@@ -1,0 +1,125 @@
+//! Pipeline-configuration ablations for Fig. 8 and Fig. 9.
+
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::{CountingMode, Thresholds};
+use skynet_core::PipelineConfig;
+
+/// One named pipeline variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Label used on the figure's x-axis.
+    pub label: String,
+    /// The config under test.
+    pub config: PipelineConfig,
+}
+
+impl Ablation {
+    /// The production configuration (`2/1+2/5`, type-distinct counting).
+    pub fn production() -> Self {
+        Ablation {
+            label: "2/1+2/5".into(),
+            config: PipelineConfig::production(),
+        }
+    }
+
+    /// A threshold variant in the paper's `A/B+C/D` notation.
+    pub fn with_thresholds(spec: &str) -> Self {
+        let mut config = PipelineConfig::production();
+        config.locator.thresholds = spec.parse().expect("valid A/B+C/D spec");
+        Ablation {
+            label: spec.into(),
+            config,
+        }
+    }
+
+    /// The `type+location` counting baseline (Fig. 9's first bar): alerts
+    /// of the same type at different locations count separately.
+    pub fn type_and_location() -> Self {
+        let mut config = PipelineConfig::production();
+        config.locator.counting = CountingMode::TypeAndLocation;
+        Ablation {
+            label: "type+location".into(),
+            config,
+        }
+    }
+
+    /// Hierarchy-only grouping: disables the topology-link connectivity
+    /// edges (design-choice ablation called out in DESIGN.md).
+    pub fn no_topology_connectivity() -> Self {
+        let mut config = PipelineConfig::production();
+        config.locator.use_topology_connectivity = false;
+        Ablation {
+            label: "no-topology".into(),
+            config,
+        }
+    }
+
+    /// Effectively disables the preprocessor's consolidation (dedup window
+    /// and persistence minimized) — the §6.2 "without the preprocessor"
+    /// comparison.
+    pub fn no_preprocessing() -> Self {
+        let mut config = PipelineConfig::production();
+        config.preprocessor.dedup_window = skynet_model::SimDuration::ZERO;
+        config.preprocessor.refresh_interval = skynet_model::SimDuration::ZERO;
+        config.preprocessor.persistence_threshold = 1;
+        config.preprocessor.corroboration_window = skynet_model::SimDuration::from_mins(60);
+        Ablation {
+            label: "no-preprocess".into(),
+            config,
+        }
+    }
+}
+
+/// The ten Fig. 9 x-axis configurations, in figure order.
+pub fn figure9_configs() -> Vec<Ablation> {
+    let mut v = vec![Ablation::type_and_location()];
+    for spec in [
+        "0/1+2/5", "2/0+0/5", "2/1+2/0", "1/1+2/5", "2/1+2/4", "2/1+1/5", "2/1+2/5", "2/1+3/5",
+        "2/1+2/6",
+    ] {
+        v.push(Ablation::with_thresholds(spec));
+    }
+    v
+}
+
+/// Sanity accessor used by experiments: the thresholds of an ablation.
+pub fn thresholds_of(a: &Ablation) -> Thresholds {
+    a.config.locator.thresholds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_grid_matches_the_paper_axis() {
+        let configs = figure9_configs();
+        assert_eq!(configs.len(), 10);
+        assert_eq!(configs[0].label, "type+location");
+        assert_eq!(configs[7].label, "2/1+2/5");
+        assert_eq!(
+            configs[0].config.locator.counting,
+            CountingMode::TypeAndLocation
+        );
+        // All threshold variants keep type-distinct counting.
+        for a in &configs[1..] {
+            assert_eq!(a.config.locator.counting, CountingMode::TypeDistinct);
+        }
+    }
+
+    #[test]
+    fn production_uses_paper_thresholds() {
+        let a = Ablation::production();
+        assert_eq!(thresholds_of(&a).to_string(), "2/1+2/5");
+    }
+
+    #[test]
+    fn no_preprocessing_disables_consolidation() {
+        let a = Ablation::no_preprocessing();
+        assert_eq!(a.config.preprocessor.persistence_threshold, 1);
+        assert_eq!(
+            a.config.preprocessor.dedup_window,
+            skynet_model::SimDuration::ZERO
+        );
+    }
+}

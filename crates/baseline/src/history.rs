@@ -1,0 +1,165 @@
+//! A DeepIP-like learned severity ranker (§8's comparator).
+//!
+//! DeepIP trains on historical incident data to predict severity. The
+//! paper's objection: "for severe network failures it is impossible to get
+//! enough history data for model training". This baseline makes the
+//! argument concrete: a frequency-smoothed model over incident features
+//! (root level, alert-class mix, duration bucket) ranks *common* incident
+//! shapes well and falls back to an uninformative prior on the rare shapes
+//! severe failures produce.
+
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::Incident;
+use skynet_model::AlertClass;
+use std::collections::HashMap;
+
+/// The feature bucket an incident falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IncidentShape {
+    /// Depth of the incident root (1 = region … 6 = device).
+    pub root_depth: u8,
+    /// Whether failure-class alerts are present.
+    pub has_failure: bool,
+    /// Whether root-cause-class alerts are present.
+    pub has_root_cause: bool,
+    /// Duration bucket: 0 = <1 min, 1 = <10 min, 2 = ≥10 min.
+    pub duration_bucket: u8,
+}
+
+impl IncidentShape {
+    /// Extracts the bucket features from an incident.
+    pub fn of(incident: &Incident) -> Self {
+        let secs = incident.duration().as_secs();
+        IncidentShape {
+            root_depth: incident.root.depth() as u8,
+            has_failure: incident.has_class(AlertClass::Failure),
+            has_root_cause: incident.has_class(AlertClass::RootCause),
+            duration_bucket: match secs {
+                0..=59 => 0,
+                60..=599 => 1,
+                _ => 2,
+            },
+        }
+    }
+}
+
+/// Frequency-smoothed severity predictor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoryRanker {
+    /// Sum of observed label severities and observation counts per shape.
+    table: HashMap<IncidentShape, (f64, u32)>,
+    /// Global mean label (the uninformative prior).
+    global: (f64, u32),
+}
+
+impl HistoryRanker {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trains on one labelled historical incident.
+    pub fn observe(&mut self, incident: &Incident, severity_label: f64) {
+        let e = self.table.entry(IncidentShape::of(incident)).or_insert((0.0, 0));
+        e.0 += severity_label;
+        e.1 += 1;
+        self.global.0 += severity_label;
+        self.global.1 += 1;
+    }
+
+    /// Number of training observations for an incident's shape.
+    pub fn support(&self, incident: &Incident) -> u32 {
+        self.table
+            .get(&IncidentShape::of(incident))
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Predicted severity: the shape's historical mean, shrunk toward the
+    /// global prior when support is thin (Laplace-style smoothing with one
+    /// pseudo-observation).
+    pub fn predict(&self, incident: &Incident) -> f64 {
+        let prior = if self.global.1 == 0 {
+            0.0
+        } else {
+            self.global.0 / f64::from(self.global.1)
+        };
+        match self.table.get(&IncidentShape::of(incident)) {
+            Some(&(sum, n)) => (sum + prior) / f64::from(n + 1),
+            None => prior,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{
+        AlertKind, DataSource, IncidentId, LocationPath, RawAlert, SimTime, StructuredAlert,
+    };
+
+    fn incident(root: &str, kinds: &[AlertKind], dur_secs: u64) -> Incident {
+        let loc = LocationPath::parse(root).unwrap();
+        let alerts: Vec<StructuredAlert> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let raw = RawAlert::known(
+                    DataSource::Snmp,
+                    SimTime::from_secs(i as u64),
+                    loc.clone(),
+                    k,
+                );
+                let mut s = StructuredAlert::from_raw(&raw, k);
+                s.last_seen = SimTime::from_secs(dur_secs);
+                s
+            })
+            .collect();
+        Incident {
+            id: IncidentId(0),
+            root: loc,
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(dur_secs),
+            alerts,
+        }
+    }
+
+    #[test]
+    fn learns_common_shapes() {
+        let mut m = HistoryRanker::new();
+        let minor = incident("R|C|L|S|K|d", &[AlertKind::HighCpu], 30);
+        let major = incident("R|C|L", &[AlertKind::PacketLossIcmp, AlertKind::LinkDown], 1200);
+        for _ in 0..50 {
+            m.observe(&minor, 2.0);
+            m.observe(&major, 80.0);
+        }
+        assert!(m.predict(&major) > 10.0 * m.predict(&minor));
+        assert_eq!(m.support(&minor), 50);
+    }
+
+    #[test]
+    fn unprecedented_shapes_fall_back_to_the_prior() {
+        let mut m = HistoryRanker::new();
+        let minor = incident("R|C|L|S|K|d", &[AlertKind::HighCpu], 30);
+        for _ in 0..100 {
+            m.observe(&minor, 2.0);
+        }
+        // A severe region-wide failure shape never seen in training.
+        let unprecedented = incident(
+            "R",
+            &[AlertKind::PacketLossIcmp, AlertKind::LinkDown],
+            3000,
+        );
+        assert_eq!(m.support(&unprecedented), 0);
+        let predicted = m.predict(&unprecedented);
+        // The model cannot distinguish it from the minor-incident prior —
+        // exactly the paper's "not enough history for severe failures".
+        assert!((predicted - 2.0).abs() < 0.5, "prediction {predicted}");
+    }
+
+    #[test]
+    fn empty_model_predicts_zero() {
+        let m = HistoryRanker::new();
+        let i = incident("R", &[AlertKind::LinkDown], 10);
+        assert_eq!(m.predict(&i), 0.0);
+    }
+}

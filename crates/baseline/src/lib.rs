@@ -1,0 +1,34 @@
+//! # skynet-baseline
+//!
+//! Comparators and ablations for the SkyNet evaluation:
+//!
+//! - [`single_source`] — per-tool detection: how many injected failures a
+//!   *single* data source sees (Fig. 3, and the source-removal sweep of
+//!   Fig. 8a).
+//! - [`ablations`] — pipeline-config variants: the Fig. 9 threshold grid,
+//!   the `type+location` counting baseline, the no-preprocessor and
+//!   no-classifier configurations.
+//! - [`mitigation`] — the mitigation-time model comparing manual triage
+//!   (pre-SkyNet) against SkyNet-assisted response (Fig. 10c; §5.1's
+//!   case studies give the calibration points).
+//! - [`tuning`] — the §9 "better thresholds" future-work item: grid-search
+//!   threshold selection against a labelled corpus.
+//! - [`history`] — a DeepIP-like severity ranker trained on historical
+//!   incident frequencies (§8's learned-prioritization comparator; the
+//!   paper argues severe failures lack training data — this baseline
+//!   demonstrates exactly that failure mode).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod history;
+pub mod mitigation;
+pub mod single_source;
+pub mod tuning;
+
+pub use ablations::{figure9_configs, Ablation};
+pub use history::HistoryRanker;
+pub use mitigation::{manual_mitigation_secs, skynet_mitigation_secs, MitigationContext};
+pub use single_source::{source_coverage, SourceCoverage};
+pub use tuning::{grid, pick_best, ThresholdScore};

@@ -1,0 +1,184 @@
+//! The mitigation-time model (Fig. 10c).
+//!
+//! The paper reports that SkyNet cut the median mitigation time from 736 s
+//! to 147 s and the maximum from 14,028 s to 1,920 s — both reductions over
+//! 80%. We model the two operator workflows:
+//!
+//! **Manual triage (pre-SkyNet).** The on-call engineer sifts the raw
+//! flood: reaction + per-alert scanning time, a large penalty when the
+//! decisive root-cause alert is buried (the §2.2 congestion alert "obscured
+//! by a flood of alerts"), and an unknown-failure penalty when no heuristic
+//! rule matches (hours of exploratory debugging; the §2.2 incident took
+//! several hours, the §7.2 unprecedented cable cut had no rule).
+//!
+//! **SkyNet-assisted.** Known failures matched by a SOP mitigate in about
+//! a minute (§5.1's first case). Otherwise the operator reads ~10 incident
+//! reports instead of 10⁴ alerts, acts on the top-ranked incident and the
+//! zoomed location: minutes, growing mildly with the number of concurrent
+//! incidents and with an un-zoomed location.
+//!
+//! The constants are calibrated to land in the paper's reported ranges,
+//! not fitted to hidden data; EXPERIMENTS.md records the resulting
+//! distributions next to the paper's numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// What the operator faces for one failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationContext {
+    /// Raw alerts in flight during the failure window.
+    pub raw_alerts: u64,
+    /// True when a heuristic rule / SOP covers this (known) failure.
+    pub known_failure: bool,
+    /// True when the decisive root-cause alert is present in the flood.
+    pub root_cause_alert_present: bool,
+    /// Incidents reported concurrently (SkyNet path) — triage length.
+    pub concurrent_incidents: usize,
+    /// True when the zoom-in refined the location below the incident root.
+    pub zoomed: bool,
+    /// True when the failure needs physical repair (cable splicing, field
+    /// technician) — a floor neither workflow can beat.
+    pub needs_field_repair: bool,
+}
+
+/// Pre-SkyNet manual triage time in seconds.
+pub fn manual_mitigation_secs(ctx: &MitigationContext) -> f64 {
+    if ctx.known_failure {
+        // The heuristic rule system predates SkyNet and handles it fast.
+        return 300.0;
+    }
+    // Reaction, dashboard assembly, first hypothesis.
+    let mut t = 420.0;
+    // Sifting the flood: ~40 ms per alert, capped at 90 minutes of staring.
+    t += (ctx.raw_alerts as f64 * 0.04).min(5_400.0);
+    // The needle alert is buried or absent: wrong hypotheses first (§2.2's
+    // device-isolation detour).
+    if !ctx.root_cause_alert_present {
+        t += 2_400.0;
+    } else if ctx.raw_alerts > 5_000 {
+        t += 1_200.0;
+    }
+    // Unknown severe failure: exploratory debugging dominates.
+    if ctx.raw_alerts > 10_000 {
+        t *= 2.0;
+    }
+    if ctx.needs_field_repair {
+        t += 1_800.0;
+    }
+    t
+}
+
+/// SkyNet-assisted mitigation time in seconds.
+pub fn skynet_mitigation_secs(ctx: &MitigationContext) -> f64 {
+    if ctx.known_failure {
+        // Automatic SOP: "completed in approximately one minute" (§5.1).
+        return 60.0;
+    }
+    // Read the ranked incident list, act on the top one.
+    let mut t = 120.0;
+    t += ctx.concurrent_incidents.saturating_sub(1) as f64 * 20.0;
+    if !ctx.zoomed {
+        // General location only: manual narrowing inside the scope.
+        t += 180.0;
+    }
+    if !ctx.root_cause_alert_present {
+        // Even grouped, the decisive alert is missing: inspect devices.
+        t += 300.0;
+    }
+    if ctx.needs_field_repair {
+        // "The mitigation time was reduced to just a few minutes,
+        // including cable repairs" (§5.1): repair overlaps diagnosis but
+        // still costs real time.
+        t += 900.0;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn severe() -> MitigationContext {
+        MitigationContext {
+            raw_alerts: 60_000,
+            known_failure: false,
+            root_cause_alert_present: true,
+            concurrent_incidents: 2,
+            zoomed: true,
+            needs_field_repair: false,
+        }
+    }
+
+    #[test]
+    fn skynet_beats_manual_by_over_80_percent_on_severe_failures() {
+        let ctx = severe();
+        let manual = manual_mitigation_secs(&ctx);
+        let assisted = skynet_mitigation_secs(&ctx);
+        assert!(
+            assisted < manual * 0.2,
+            "paper reports >80% reduction; got {assisted} vs {manual}"
+        );
+    }
+
+    #[test]
+    fn known_failures_are_fast_either_way_but_sop_is_faster() {
+        let ctx = MitigationContext {
+            known_failure: true,
+            ..severe()
+        };
+        assert_eq!(skynet_mitigation_secs(&ctx), 60.0);
+        assert_eq!(manual_mitigation_secs(&ctx), 300.0);
+    }
+
+    #[test]
+    fn buried_root_cause_hurts_manual_triage_most() {
+        let mut ctx = severe();
+        let base = manual_mitigation_secs(&ctx);
+        ctx.root_cause_alert_present = false;
+        let buried = manual_mitigation_secs(&ctx);
+        assert!(buried > base, "the §2.2 obscured-alert effect");
+        // SkyNet degrades too, but far less.
+        let mut sk = severe();
+        sk.root_cause_alert_present = false;
+        assert!(skynet_mitigation_secs(&sk) - skynet_mitigation_secs(&severe()) < buried - base);
+    }
+
+    #[test]
+    fn times_fall_in_the_papers_reported_ranges() {
+        // Median-ish severe failure (a moderate flood).
+        let median_ctx = MitigationContext {
+            raw_alerts: 8_000,
+            known_failure: false,
+            root_cause_alert_present: true,
+            concurrent_incidents: 1,
+            zoomed: true,
+            needs_field_repair: false,
+        };
+        let manual = manual_mitigation_secs(&median_ctx);
+        let assisted = skynet_mitigation_secs(&median_ctx);
+        // Paper: medians 736 s → 147 s.
+        assert!((400.0..2_500.0).contains(&manual), "manual {manual}");
+        assert!((60.0..400.0).contains(&assisted), "assisted {assisted}");
+
+        // Worst case: huge flood, buried cause, field repair.
+        let worst = MitigationContext {
+            raw_alerts: 200_000,
+            known_failure: false,
+            root_cause_alert_present: false,
+            concurrent_incidents: 4,
+            zoomed: false,
+            needs_field_repair: true,
+        };
+        let manual_max = manual_mitigation_secs(&worst);
+        let assisted_max = skynet_mitigation_secs(&worst);
+        // Paper: maxima 14,028 s → 1,920 s.
+        assert!(
+            (10_000.0..25_000.0).contains(&manual_max),
+            "manual max {manual_max}"
+        );
+        assert!(
+            (1_000.0..2_500.0).contains(&assisted_max),
+            "assisted max {assisted_max}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Single-data-source detection — the Fig. 3 comparator.
+//!
+//! Each published tool of Table 1 relies on one data source; the paper's
+//! point is that none covers all failures (3%–84%). We measure this
+//! directly: run one tool's simulator over a failure corpus and count the
+//! must-detect failures whose effects produced *any* alert from that tool.
+
+use serde::{Deserialize, Serialize};
+use skynet_failure::Scenario;
+use skynet_model::{DataSource, FailureId};
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use std::collections::HashSet;
+
+/// Per-source coverage over one corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceCoverage {
+    /// The data source measured.
+    pub source: DataSource,
+    /// Failures the experiment expected to be detectable.
+    pub total_failures: usize,
+    /// Failures that produced at least one alert from this source.
+    pub detected: usize,
+}
+
+impl SourceCoverage {
+    /// Detection coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_failures == 0 {
+            return 0.0;
+        }
+        self.detected as f64 / self.total_failures as f64
+    }
+}
+
+/// Runs a single source over the scenario and reports its coverage of the
+/// must-detect failures.
+pub fn source_coverage(
+    scenario: &Scenario,
+    source: DataSource,
+    cfg: &TelemetryConfig,
+) -> SourceCoverage {
+    let mut suite = TelemetrySuite::with_sources(scenario.topology(), cfg.clone(), &[source]);
+    let run = suite.run(scenario);
+    let seen: HashSet<FailureId> = run.alerts.iter().filter_map(|a| a.cause).collect();
+    let must: Vec<FailureId> = scenario.must_detect().map(|e| e.id).collect();
+    SourceCoverage {
+        source,
+        total_failures: must.len(),
+        detected: must.iter().filter(|id| seen.contains(id)).count(),
+    }
+}
+
+/// Coverage of a *set* of sources combined (Fig. 8a removes sources one by
+/// one; detection here means any of the set alerted).
+pub fn combined_coverage(
+    scenario: &Scenario,
+    sources: &[DataSource],
+    cfg: &TelemetryConfig,
+) -> SourceCoverage {
+    let mut suite = TelemetrySuite::with_sources(scenario.topology(), cfg.clone(), sources);
+    let run = suite.run(scenario);
+    let seen: HashSet<FailureId> = run.alerts.iter().filter_map(|a| a.cause).collect();
+    let must: Vec<FailureId> = scenario.must_detect().map(|e| e.id).collect();
+    SourceCoverage {
+        source: sources.first().copied().unwrap_or(DataSource::Ping),
+        total_failures: must.len(),
+        detected: must.iter().filter(|id| seen.contains(id)).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use skynet_failure::Injector;
+    use skynet_model::{SimDuration, SimTime};
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn corpus() -> Scenario {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut inj = Injector::new(topo);
+        for i in 0..30u64 {
+            inj.random(
+                &mut rng,
+                SimTime::from_mins(i * 12),
+                SimDuration::from_mins(6),
+            );
+        }
+        inj.finish(SimTime::from_mins(30 * 12))
+    }
+
+    #[test]
+    fn no_single_source_covers_everything() {
+        let s = corpus();
+        let cfg = TelemetryConfig::quiet();
+        let mut best = 0.0f64;
+        let mut worst = 1.0f64;
+        for source in [
+            DataSource::Snmp,
+            DataSource::Syslog,
+            DataSource::Ping,
+            DataSource::RouteMonitoring,
+            DataSource::Ptp,
+        ] {
+            let c = source_coverage(&s, source, &cfg);
+            best = best.max(c.coverage());
+            worst = worst.min(c.coverage());
+        }
+        assert!(best < 1.0, "some failure must evade every single tool");
+        assert!(
+            worst < best,
+            "sources must differ in coverage (Fig. 3's spread)"
+        );
+    }
+
+    #[test]
+    fn snmp_beats_route_monitoring() {
+        // Fig. 3's extremes: SNMP ~84%, route monitoring ~3%.
+        let s = corpus();
+        let cfg = TelemetryConfig::quiet();
+        let snmp = source_coverage(&s, DataSource::Snmp, &cfg);
+        let route = source_coverage(&s, DataSource::RouteMonitoring, &cfg);
+        assert!(
+            snmp.coverage() > route.coverage(),
+            "snmp {} vs route {}",
+            snmp.coverage(),
+            route.coverage()
+        );
+    }
+
+    #[test]
+    fn combining_all_sources_dominates_any_single_one() {
+        let s = corpus();
+        let cfg = TelemetryConfig::quiet();
+        let all = combined_coverage(&s, &DataSource::ALL, &cfg);
+        for source in DataSource::ALL {
+            let single = source_coverage(&s, source, &cfg);
+            assert!(all.detected >= single.detected, "{source} beat the union");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Data-driven threshold selection (§9 "Better thresholds").
+//!
+//! The paper picks `2/1+2/5` from operational experience and notes that
+//! accumulated data could tune thresholds automatically. This module does
+//! the simplest defensible version: grid-search the Fig. 9 threshold space
+//! against a labelled corpus and pick, among the configurations with the
+//! lowest false-negative rate, the one with the fewest false positives
+//! (the paper's selection rule: "lowest false positives while maintaining
+//! zero false negatives").
+
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::Thresholds;
+
+/// One grid point's measured accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdScore {
+    /// The configuration.
+    pub thresholds: Thresholds,
+    /// False-positive rate over the corpus.
+    pub fp_rate: f64,
+    /// False-negative rate over the corpus.
+    pub fn_rate: f64,
+}
+
+/// The threshold grid: every `A/B+C/D` with small components, plus each
+/// clause disabled.
+pub fn grid() -> Vec<Thresholds> {
+    let mut out = Vec::new();
+    for failure in 0..=3u32 {
+        for failure_with_other in 0..=2u32 {
+            for other_with_failure in 1..=3u32 {
+                for any in [0u32, 4, 5, 6, 8] {
+                    let t = Thresholds {
+                        failure,
+                        failure_with_other,
+                        other_with_failure,
+                        any,
+                    };
+                    // At least one clause must be live.
+                    if t.failure > 0 || t.failure_with_other > 0 || t.any > 0 {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// Picks the best configuration from measured grid points: minimize the
+/// false-negative rate first (missed failures are the expensive error),
+/// then false positives, then prefer stricter thresholds (fewer spurious
+/// triggers at equal accuracy).
+pub fn pick_best(scores: &[ThresholdScore]) -> Option<ThresholdScore> {
+    scores
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            a.fn_rate
+                .total_cmp(&b.fn_rate)
+                .then(a.fp_rate.total_cmp(&b.fp_rate))
+                .then_with(|| {
+                    let strictness = |t: &Thresholds| {
+                        (
+                            std::cmp::Reverse(t.failure),
+                            std::cmp::Reverse(t.any),
+                            std::cmp::Reverse(t.failure_with_other),
+                        )
+                    };
+                    strictness(&a.thresholds).cmp(&strictness(&b.thresholds))
+                })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(spec: &str, fp: f64, fn_: f64) -> ThresholdScore {
+        ThresholdScore {
+            thresholds: spec.parse().unwrap(),
+            fp_rate: fp,
+            fn_rate: fn_,
+        }
+    }
+
+    #[test]
+    fn grid_is_substantial_and_valid() {
+        let g = grid();
+        assert!(g.len() > 100);
+        assert!(g.contains(&Thresholds::PRODUCTION));
+        for t in &g {
+            assert!(t.failure > 0 || t.failure_with_other > 0 || t.any > 0);
+        }
+    }
+
+    #[test]
+    fn zero_fn_dominates_then_fp_breaks_ties() {
+        let scores = [
+            score("1/1+1/4", 0.40, 0.0), // catches everything, noisy
+            score("2/1+2/5", 0.05, 0.0), // the paper's pick
+            score("3/2+3/8", 0.01, 0.2), // quiet but misses failures
+        ];
+        let best = pick_best(&scores).unwrap();
+        assert_eq!(best.thresholds, Thresholds::PRODUCTION);
+    }
+
+    #[test]
+    fn strictness_breaks_exact_ties() {
+        let scores = [score("1/1+2/5", 0.1, 0.0), score("2/1+2/5", 0.1, 0.0)];
+        let best = pick_best(&scores).unwrap();
+        assert_eq!(best.thresholds.failure, 2, "prefer the stricter clause");
+    }
+
+    #[test]
+    fn empty_grid_yields_none() {
+        assert!(pick_best(&[]).is_none());
+    }
+}

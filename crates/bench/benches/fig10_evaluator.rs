@@ -1,0 +1,55 @@
+//! Fig. 10 bench: prints the severity/filter/mitigation panels, then times
+//! severity scoring and the mitigation-time models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_baseline::{manual_mitigation_secs, skynet_mitigation_secs, MitigationContext};
+use skynet_bench::experiments::{self, fig10};
+use skynet_bench::ExperimentScale;
+use skynet_core::evaluator::score::{severity, CircuitSetImpact, ScoreConfig, SeverityInputs};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let prepared = experiments::prepare(ExperimentScale::Small);
+    println!("{}", fig10::run_on(&prepared).render());
+
+    let inputs = SeverityInputs {
+        circuit_sets: (0..32)
+            .map(|i| CircuitSetImpact {
+                break_ratio: 0.5,
+                sla_over_ratio: 0.25,
+                importance: 2.0 + i as f64 * 0.1,
+                customers: 4,
+            })
+            .collect(),
+        avg_ping_loss: 0.2,
+        max_sla_over: 0.3,
+        duration_secs: 600.0,
+        important_customers: 7,
+    };
+    let cfg = ScoreConfig::default();
+    c.bench_function("fig10/severity_equations", |b| {
+        b.iter(|| black_box(severity(&inputs, &cfg)));
+    });
+
+    let ctx = MitigationContext {
+        raw_alerts: 60_000,
+        known_failure: false,
+        root_cause_alert_present: true,
+        concurrent_incidents: 2,
+        zoomed: true,
+        needs_field_repair: false,
+    };
+    c.bench_function("fig10/mitigation_models", |b| {
+        b.iter(|| {
+            black_box(manual_mitigation_secs(&ctx));
+            black_box(skynet_mitigation_secs(&ctx))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 1 bench: prints the root-cause mix table, then times the
+//! Fig. 1-weighted failure sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use skynet_bench::experiments::fig1;
+use skynet_bench::ExperimentScale;
+use skynet_failure::Injector;
+use skynet_model::{SimDuration, SimTime};
+use skynet_topology::{generate, GeneratorConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig1::run(ExperimentScale::Small).render());
+
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    c.bench_function("fig1/random_failure_injection_x100", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut inj = Injector::new(Arc::clone(&topo));
+            for i in 0..100u64 {
+                inj.random(
+                    &mut rng,
+                    SimTime::from_secs(i * 10),
+                    SimDuration::from_secs(5),
+                );
+            }
+            black_box(inj.finish(SimTime::from_secs(2_000)))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 3 bench: prints per-source coverage, then times a single-source
+//! telemetry sweep over the failure census.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_baseline::single_source::source_coverage;
+use skynet_bench::experiments::fig3;
+use skynet_bench::ExperimentScale;
+use skynet_model::DataSource;
+use skynet_telemetry::TelemetryConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3::run(ExperimentScale::Small).render());
+
+    let census = fig3::census(ExperimentScale::Small);
+    let cfg = TelemetryConfig::quiet();
+    c.bench_function("fig3/snmp_coverage_census", |b| {
+        b.iter(|| black_box(source_coverage(&census, DataSource::Snmp, &cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 5d bench: prints the incident/alert-class correlation, then times
+//! one full-pipeline episode analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_bench::experiments::{self, fig5d};
+use skynet_bench::ExperimentScale;
+use skynet_core::PipelineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let prepared = experiments::prepare(ExperimentScale::Small);
+    println!("{}", fig5d::run_on(&prepared).render());
+
+    let skynet = prepared.skynet(PipelineConfig::production());
+    c.bench_function("fig5d/analyze_one_episode", |b| {
+        b.iter(|| black_box(prepared.analyze(&skynet, 0, None)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 7 bench: prints the reachability matrix and zoom result, then
+//! times matrix construction and focal-point detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_bench::ExperimentScale;
+use skynet_bench::experiments::fig7;
+use skynet_core::evaluator::ReachabilityMatrix;
+use skynet_failure::Injector;
+use skynet_model::{LocationLevel, SimDuration, SimTime};
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::{generate, GeneratorConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::run(ExperimentScale::Small).render());
+
+    // Kernel input: the lossy-cluster ping log of the Fig. 7 scenario.
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let victim = topo.clusters()[1].clone();
+    let mut inj = Injector::new(Arc::clone(&topo));
+    for &leaf in topo.agg_group(&victim).to_vec().iter() {
+        inj.device_hardware(leaf, SimTime::from_mins(3), SimDuration::from_mins(12), 0.15, false);
+    }
+    let scenario = inj.finish(SimTime::from_mins(22));
+    let run = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default())
+        .run(&scenario);
+    c.bench_function("fig7/build_matrix_and_find_focal", |b| {
+        b.iter(|| {
+            let m = ReachabilityMatrix::build(
+                &run.ping,
+                SimTime::ZERO,
+                scenario.horizon(),
+                LocationLevel::Cluster,
+            );
+            black_box(m.focal_points(1.5, 0.01))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

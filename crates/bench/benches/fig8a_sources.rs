@@ -1,0 +1,27 @@
+//! Fig. 8a bench: prints accuracy vs source count, then times analysis of
+//! an episode under the smallest source set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_bench::experiments::{self, fig8a};
+use skynet_bench::ExperimentScale;
+use skynet_core::PipelineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let prepared = experiments::prepare(ExperimentScale::Small);
+    println!("{}", fig8a::run_on(&prepared).render());
+
+    let skynet = prepared.skynet(PipelineConfig::production());
+    let sets = fig8a::source_sets();
+    let three = &sets[3].1;
+    c.bench_function("fig8a/analyze_episode_three_sources", |b| {
+        b.iter(|| black_box(prepared.analyze(&skynet, 0, Some(three))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

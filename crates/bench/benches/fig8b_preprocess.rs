@@ -1,0 +1,38 @@
+//! Fig. 8b bench: prints the before/after scatter, then times the
+//! preprocessor over a recorded severe flood.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use skynet_bench::corpus::severe_cable_cut;
+use skynet_bench::experiments::fig8b;
+use skynet_bench::ExperimentScale;
+use skynet_core::{Preprocessor, PreprocessorConfig};
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig8b::run(ExperimentScale::Small).render());
+
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 50);
+    let cfg = TelemetryConfig {
+        noise_per_hour: 20_000.0,
+        ..TelemetryConfig::default()
+    };
+    let run = TelemetrySuite::standard(scenario.topology(), cfg).run(&scenario);
+    let mut group = c.benchmark_group("fig8b");
+    group.throughput(Throughput::Elements(run.alerts.len() as u64));
+    group.bench_function("preprocess_severe_flood", |b| {
+        b.iter(|| {
+            let mut pp = Preprocessor::new(PreprocessorConfig::default(), None);
+            black_box(pp.process_batch(&run.alerts))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 8c bench: prints the locating-time sweep, then times the locator
+//! at several flood sizes (the figure's x-axis as benchmark inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::experiments::fig8c;
+use skynet_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig8c::run(ExperimentScale::Small).render());
+
+    let (topo, flood) = fig8c::build_flood(8_000);
+    let mut group = c.benchmark_group("fig8c");
+    for &n in &[1_000usize, 4_000, 8_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("locate", n), &n, |b, &n| {
+            b.iter(|| black_box(fig8c::time_locating(&topo, &flood[..n])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 9 bench: prints the threshold-sweep accuracy table, then times one
+//! episode analysis under the production and the type+location configs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_baseline::Ablation;
+use skynet_bench::experiments::{self, fig9};
+use skynet_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let prepared = experiments::prepare(ExperimentScale::Small);
+    println!("{}", fig9::run_on(&prepared).render());
+
+    let production = prepared.skynet(Ablation::production().config);
+    let type_loc = prepared.skynet(Ablation::type_and_location().config);
+    c.bench_function("fig9/analyze_episode_production", |b| {
+        b.iter(|| black_box(prepared.analyze(&production, 0, None)));
+    });
+    c.bench_function("fig9/analyze_episode_type_location", |b| {
+        b.iter(|| black_box(prepared.analyze(&type_loc, 0, None)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Tables 1–3 bench: prints the registries, then times serde round-trips
+//! of the uniform alert format (the Table-2 integration boundary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_bench::experiments::tables;
+use skynet_model::{AlertKind, DataSource, LocationPath, RawAlert, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table3());
+
+    let alert = RawAlert::known(
+        DataSource::Ping,
+        SimTime::from_millis(123_456),
+        LocationPath::parse("Region A|City a|Logic site 2|Site I").unwrap(),
+        AlertKind::PacketLossIcmp,
+    )
+    .with_magnitude(0.15);
+    c.bench_function("tables/raw_alert_json_round_trip", |b| {
+        b.iter(|| {
+            let json = serde_json::to_string(&alert).unwrap();
+            let back: RawAlert = serde_json::from_str(&json).unwrap();
+            black_box(back)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

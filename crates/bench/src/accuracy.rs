@@ -1,0 +1,185 @@
+//! False-positive / false-negative scoring against injected ground truth.
+//!
+//! The paper's operators labelled incidents by hand (§6.1, §6.3); here the
+//! injector's provenance tags do the labelling:
+//!
+//! - a **false negative** is a must-detect failure (severe or
+//!   customer-impacting) that appears in *no* incident's causes;
+//! - a **false positive** is a reported incident whose alert mass is
+//!   majority background noise (no injected cause) — a cluster of
+//!   unrelated glitches promoted to an incident.
+
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::Incident;
+use skynet_failure::Scenario;
+use skynet_model::FailureId;
+use std::collections::HashSet;
+
+/// Accuracy counters over a corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Incidents reported in total.
+    pub incidents: usize,
+    /// Incidents that are majority-noise (false positives).
+    pub false_positives: usize,
+    /// Failures that had to be detected.
+    pub must_detect: usize,
+    /// Must-detect failures with no matching incident (false negatives).
+    pub false_negatives: usize,
+}
+
+impl Accuracy {
+    /// False-positive ratio over reported incidents (the paper's Fig. 8a /
+    /// Fig. 9 y-axis).
+    pub fn fp_rate(&self) -> f64 {
+        if self.incidents == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / self.incidents as f64
+    }
+
+    /// False-negative ratio over must-detect failures.
+    pub fn fn_rate(&self) -> f64 {
+        if self.must_detect == 0 {
+            return 0.0;
+        }
+        self.false_negatives as f64 / self.must_detect as f64
+    }
+
+    /// Accumulates another episode's counts.
+    pub fn merge(&mut self, other: Accuracy) {
+        self.incidents += other.incidents;
+        self.false_positives += other.false_positives;
+        self.must_detect += other.must_detect;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// True when the incident's alert mass is majority injected-failure (by
+/// consolidated raw count).
+fn is_failure_backed(incident: &Incident) -> bool {
+    let mut caused = 0u64;
+    let mut noise = 0u64;
+    for a in &incident.alerts {
+        if a.cause.is_some() {
+            caused += u64::from(a.count);
+        } else {
+            noise += u64::from(a.count);
+        }
+    }
+    caused >= noise && caused > 0
+}
+
+/// Scores one episode's incidents against its scenario.
+pub fn score_episode(scenario: &Scenario, incidents: &[Incident]) -> Accuracy {
+    let detected: HashSet<FailureId> = incidents
+        .iter()
+        .flat_map(|i| i.causes())
+        .collect();
+    let must: Vec<FailureId> = scenario.must_detect().map(|e| e.id).collect();
+    Accuracy {
+        incidents: incidents.len(),
+        false_positives: incidents
+            .iter()
+            .filter(|i| !is_failure_backed(i))
+            .count(),
+        must_detect: must.len(),
+        false_negatives: must.iter().filter(|id| !detected.contains(id)).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_failure::Injector;
+    use skynet_model::{
+        AlertKind, DataSource, IncidentId, LocationPath, RawAlert, SimDuration, SimTime,
+        StructuredAlert,
+    };
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn salert(cause: Option<FailureId>, count: u32) -> StructuredAlert {
+        let mut raw = RawAlert::known(
+            DataSource::Ping,
+            SimTime::ZERO,
+            LocationPath::parse("R|C").unwrap(),
+            AlertKind::PacketLossIcmp,
+        );
+        raw.cause = cause;
+        let mut s = StructuredAlert::from_raw(&raw, AlertKind::PacketLossIcmp);
+        s.count = count;
+        s
+    }
+
+    fn incident(alerts: Vec<StructuredAlert>) -> Incident {
+        Incident {
+            id: IncidentId(0),
+            root: LocationPath::parse("R|C").unwrap(),
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(60),
+            alerts,
+        }
+    }
+
+    fn one_failure_scenario() -> Scenario {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut inj = Injector::new(topo);
+        inj.device_down(
+            skynet_model::DeviceId(5),
+            SimTime::ZERO,
+            SimDuration::from_mins(5),
+        );
+        inj.finish(SimTime::from_mins(10))
+    }
+
+    #[test]
+    fn detected_failure_counts_clean() {
+        let s = one_failure_scenario();
+        let i = incident(vec![salert(Some(FailureId(0)), 5), salert(None, 2)]);
+        let acc = score_episode(&s, &[i]);
+        assert_eq!(acc.false_negatives, 0);
+        assert_eq!(acc.false_positives, 0);
+        assert_eq!(acc.fp_rate(), 0.0);
+        assert_eq!(acc.fn_rate(), 0.0);
+    }
+
+    #[test]
+    fn noise_majority_incident_is_a_false_positive() {
+        let s = one_failure_scenario();
+        let noise_incident = incident(vec![salert(None, 10), salert(Some(FailureId(0)), 1)]);
+        let real = incident(vec![salert(Some(FailureId(0)), 3)]);
+        let acc = score_episode(&s, &[noise_incident, real]);
+        assert_eq!(acc.false_positives, 1);
+        assert_eq!(acc.fp_rate(), 0.5);
+    }
+
+    #[test]
+    fn missed_failure_is_a_false_negative() {
+        let s = one_failure_scenario();
+        let acc = score_episode(&s, &[]);
+        assert_eq!(acc.must_detect, 1);
+        assert_eq!(acc.false_negatives, 1);
+        assert_eq!(acc.fn_rate(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Accuracy {
+            incidents: 2,
+            false_positives: 1,
+            must_detect: 3,
+            false_negatives: 1,
+        };
+        a.merge(Accuracy {
+            incidents: 1,
+            false_positives: 0,
+            must_detect: 1,
+            false_negatives: 0,
+        });
+        assert_eq!(a.incidents, 3);
+        assert_eq!(a.must_detect, 4);
+        assert!((a.fp_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.fn_rate(), 0.25);
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates the paper's tables and figures from the simulation.
+//!
+//! ```text
+//! paper_report [--scale small|paper] [experiment ...]
+//! ```
+//!
+//! With no experiment names, everything runs. Shared corpora are prepared
+//! once and reused across the experiments that need them.
+
+use skynet_bench::experiments::{self, ablations, fig1, fig10, fig3, fig5d, fig7, fig8a, fig8b, fig8c, fig9, sec62, tables};
+use skynet_bench::ExperimentScale;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "fig1", "fig3", "fig5d", "fig7", "fig8a", "fig8b", "fig8c",
+    "fig9", "fig10", "sec62", "ablations",
+];
+
+fn main() {
+    let mut scale = ExperimentScale::Small;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = ExperimentScale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use small|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: paper_report [--scale small|paper] [experiment ...]");
+                eprintln!("experiments: {}", ALL.join(" "));
+                return;
+            }
+            name => wanted.push(name.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for name in &wanted {
+        if !ALL.contains(&name.as_str()) {
+            eprintln!("unknown experiment {name:?}; choose from: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    // Prepare the shared corpus only if some experiment needs it.
+    let needs_corpus = wanted
+        .iter()
+        .any(|n| matches!(n.as_str(), "fig5d" | "fig8a" | "fig8b" | "fig9" | "fig10" | "ablations"));
+    let prepared = needs_corpus.then(|| {
+        eprintln!("preparing shared corpus ({scale:?}) ...");
+        experiments::prepare(scale)
+    });
+
+    for name in &wanted {
+        let text = match name.as_str() {
+            "table1" => tables::table1(),
+            "table2" => tables::table2(),
+            "table3" => tables::table3(),
+            "fig1" => fig1::run(scale).render(),
+            "fig3" => fig3::run(scale).render(),
+            "fig5d" => fig5d::run_on(prepared.as_ref().expect("prepared")).render(),
+            "fig7" => fig7::run(scale).render(),
+            "fig8a" => fig8a::run_on(prepared.as_ref().expect("prepared")).render(),
+            "fig8b" => fig8b::run_on(prepared.as_ref().expect("prepared"), scale).render(),
+            "fig8c" => fig8c::run(scale).render(),
+            "fig9" => fig9::run_on(prepared.as_ref().expect("prepared")).render(),
+            "fig10" => fig10::run_on(prepared.as_ref().expect("prepared")).render(),
+            "sec62" => sec62::run(scale).render(),
+            "ablations" => ablations::run_on(prepared.as_ref().expect("prepared")).render(),
+            _ => unreachable!("validated above"),
+        };
+        println!("{text}");
+        println!("{}", "=".repeat(72));
+    }
+}

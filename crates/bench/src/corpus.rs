@@ -1,0 +1,210 @@
+//! Scenario corpora: the synthetic stand-in for the paper's 1.5 years of
+//! production incidents.
+//!
+//! Continuous multi-month simulation at a 2-second telemetry tick is
+//! wasteful — the network is healthy most of the time. A corpus is instead
+//! a list of [`Episode`]s: independent failure windows (each a
+//! [`Scenario`] of tens of minutes) tagged with a month, sharing one
+//! topology. Quiet time between episodes contributes no alerts by
+//! construction (background noise is simulated *within* each window).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use skynet_failure::{Injector, Scenario};
+use skynet_model::{SimDuration, SimTime};
+use skynet_telemetry::{TelemetryConfig, TelemetryRun, TelemetrySuite};
+use skynet_topology::{generate, GeneratorConfig, Topology};
+use std::sync::Arc;
+
+/// One failure window.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Month index (1-based) the episode belongs to.
+    pub month: u32,
+    /// The injected window.
+    pub scenario: Scenario,
+}
+
+/// Corpus parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Topology scale.
+    pub topology: GeneratorConfig,
+    /// Months covered.
+    pub months: u32,
+    /// Failure episodes per month.
+    pub episodes_per_month: u32,
+    /// Probability an episode contains a second, concurrent failure
+    /// (the §5.1 "scene ranking" situation).
+    pub concurrent_prob: f64,
+    /// Length of each episode window.
+    pub window: SimDuration,
+    /// Failure duration within the window.
+    pub failure_duration: SimDuration,
+    /// Background noise rate for the telemetry runs (alerts/hour).
+    pub noise_per_hour: f64,
+    /// Probe glitch storms per hour (the Fig. 9 false-positive pressure).
+    pub storms_per_hour: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// Test-sized corpus: 2 months × 6 episodes on the small topology.
+    pub fn small() -> Self {
+        CorpusConfig {
+            topology: GeneratorConfig::small(),
+            months: 2,
+            episodes_per_month: 6,
+            concurrent_prob: 0.2,
+            window: SimDuration::from_mins(20),
+            failure_duration: SimDuration::from_mins(8),
+            noise_per_hour: 300.0,
+            storms_per_hour: 3.0,
+            seed: 17,
+        }
+    }
+
+    /// Paper-sized corpus: 9 months × 24 episodes (Fig. 10's nine months,
+    /// "hundreds of network events monthly" scaled to simulation size).
+    pub fn paper() -> Self {
+        CorpusConfig {
+            topology: GeneratorConfig::medium(),
+            months: 9,
+            episodes_per_month: 24,
+            concurrent_prob: 0.15,
+            window: SimDuration::from_mins(25),
+            failure_duration: SimDuration::from_mins(10),
+            noise_per_hour: 600.0,
+            storms_per_hour: 3.0,
+            seed: 17,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The telemetry configuration matching this corpus's noise model.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        TelemetryConfig {
+            noise_per_hour: self.noise_per_hour,
+            glitch_storms_per_hour: self.storms_per_hour,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// A generated corpus sharing one topology.
+#[derive(Debug, Clone)]
+pub struct EpisodeCorpus {
+    /// The shared network.
+    pub topology: Arc<Topology>,
+    /// All failure windows, month-tagged.
+    pub episodes: Vec<Episode>,
+}
+
+/// Builds a corpus: every episode gets one Fig. 1-weighted random failure
+/// (sometimes two concurrent ones) in the middle of its window, and one
+/// episode per month is the severe Internet-entry cable cut of §2.2 —
+/// the failure class whose detection hinges on the path-probing sources
+/// (the Fig. 8a mechanism).
+pub fn build_corpus(cfg: &CorpusConfig) -> EpisodeCorpus {
+    let topology = Arc::new(generate(&cfg.topology));
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let regions: Vec<_> = {
+        let mut v: Vec<_> = topology.regions_with_entries().cloned().collect();
+        v.sort();
+        v
+    };
+    let mut episodes = Vec::new();
+    for month in 1..=cfg.months {
+        for e in 0..cfg.episodes_per_month {
+            let mut inj = Injector::new(Arc::clone(&topology));
+            let start = SimTime::from_mins(2);
+            if e == 0 {
+                let region = &regions[(month as usize - 1) % regions.len()];
+                inj.entry_cable_cut(region, 0.5, start, cfg.failure_duration);
+            } else {
+                inj.random(&mut rng, start, cfg.failure_duration);
+                if rng.gen_bool(cfg.concurrent_prob) {
+                    inj.random(
+                        &mut rng,
+                        start + SimDuration::from_mins(1),
+                        cfg.failure_duration,
+                    );
+                }
+            }
+            episodes.push(Episode {
+                month,
+                scenario: inj.finish(SimTime::ZERO + cfg.window),
+            });
+        }
+    }
+    EpisodeCorpus { topology, episodes }
+}
+
+/// Runs the full telemetry suite over one episode.
+pub fn run_episode(episode: &Episode, telemetry: &TelemetryConfig) -> TelemetryRun {
+    let mut suite = TelemetrySuite::standard(episode.scenario.topology(), telemetry.clone());
+    suite.run(&episode.scenario)
+}
+
+/// The §2.2 severe failure: half the Internet entry circuits of a region
+/// cut, on the given topology scale.
+pub fn severe_cable_cut(topology: GeneratorConfig, seed: u64) -> Scenario {
+    let topo = Arc::new(generate(&GeneratorConfig { seed, ..topology }));
+    let region = topo
+        .regions_with_entries()
+        .min_by_key(|r| r.to_string())
+        .expect("generator always creates entries")
+        .clone();
+    let mut inj = Injector::new(topo);
+    inj.entry_cable_cut(
+        &region,
+        0.5,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(15),
+    );
+    inj.finish(SimTime::from_mins(25))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_failure::RootCauseCategory;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized_right() {
+        let cfg = CorpusConfig::small();
+        let a = build_corpus(&cfg);
+        let b = build_corpus(&cfg);
+        assert_eq!(
+            a.episodes.len(),
+            (cfg.months * cfg.episodes_per_month) as usize
+        );
+        assert_eq!(a.episodes.len(), b.episodes.len());
+        for (x, y) in a.episodes.iter().zip(&b.episodes) {
+            assert_eq!(x.month, y.month);
+            assert_eq!(x.scenario.events(), y.scenario.events());
+        }
+    }
+
+    #[test]
+    fn some_episodes_are_concurrent() {
+        let cfg = CorpusConfig::small();
+        let c = build_corpus(&cfg);
+        assert!(c
+            .episodes
+            .iter()
+            .any(|e| e.scenario.events().len() == 2));
+    }
+
+    #[test]
+    fn severe_cable_cut_is_a_link_failure_at_region_scope() {
+        let s = severe_cable_cut(GeneratorConfig::small(), 5);
+        assert_eq!(s.events().len(), 1);
+        let e = &s.events()[0];
+        assert_eq!(e.category, RootCauseCategory::Link);
+        assert!(e.severe);
+        assert_eq!(e.epicenter.depth(), 1);
+    }
+}

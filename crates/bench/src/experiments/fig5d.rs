@@ -1,0 +1,159 @@
+//! Figure 5d: correlation between incidents and the three alert classes.
+//!
+//! The paper's bars: failure incidents are a minority of all incidents;
+//! failure alerts are a small share of all alerts; yet nearly every
+//! failure incident contains failure alerts — the correlation that makes
+//! failure alerts the most authoritative detection signal (§4.2).
+
+use crate::experiments::{pct, PreparedCorpus};
+use crate::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skynet_core::PipelineConfig;
+use skynet_model::AlertClass;
+use std::fmt::Write as _;
+
+/// The Fig. 5d reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5dResult {
+    /// Incidents reported in total.
+    pub all_incidents: usize,
+    /// Incidents whose alert mass traces to an injected failure.
+    pub failure_incidents: usize,
+    /// Share of structured alert groups per class (failure, abnormal,
+    /// root-cause) — each consolidated alert counted once, since the raw
+    /// repeat volume (ping probes every 2 s) would swamp the statistic.
+    pub alert_class_share: [f64; 3],
+    /// Fraction of *failure incidents* containing ≥1 alert of each class.
+    pub failure_incident_class_presence: [f64; 3],
+}
+
+/// Runs the experiment on a prepared corpus.
+pub fn run_on(prepared: &PreparedCorpus) -> Fig5dResult {
+    let skynet = prepared.skynet(PipelineConfig::production());
+    let mut all_incidents = 0usize;
+    let mut failure_incidents = 0usize;
+    let mut class_counts = [0u64; 3];
+    let mut presence = [0usize; 3];
+
+    for idx in 0..prepared.len() {
+        let report = prepared.analyze(&skynet, idx, None);
+        for scored in &report.incidents {
+            let incident = &scored.incident;
+            all_incidents += 1;
+            let caused: u64 = incident
+                .alerts
+                .iter()
+                .filter(|a| a.cause.is_some())
+                .map(|a| u64::from(a.count))
+                .sum();
+            let noise: u64 = incident
+                .alerts
+                .iter()
+                .filter(|a| a.cause.is_none())
+                .map(|a| u64::from(a.count))
+                .sum();
+            let is_failure = caused > 0 && caused >= noise;
+            for (i, class) in
+                [AlertClass::Failure, AlertClass::Abnormal, AlertClass::RootCause]
+                    .iter()
+                    .enumerate()
+            {
+                let n: u64 = incident
+                    .alerts
+                    .iter()
+                    .filter(|a| a.class() == *class)
+                    .count() as u64;
+                class_counts[i] += n;
+                if is_failure && n > 0 {
+                    presence[i] += 1;
+                }
+            }
+            if is_failure {
+                failure_incidents += 1;
+            }
+        }
+    }
+
+    let total_alerts: u64 = class_counts.iter().sum();
+    let share = |n: u64| {
+        if total_alerts == 0 {
+            0.0
+        } else {
+            n as f64 / total_alerts as f64
+        }
+    };
+    let presence_frac = |n: usize| {
+        if failure_incidents == 0 {
+            0.0
+        } else {
+            n as f64 / failure_incidents as f64
+        }
+    };
+    Fig5dResult {
+        all_incidents,
+        failure_incidents,
+        alert_class_share: [
+            share(class_counts[0]),
+            share(class_counts[1]),
+            share(class_counts[2]),
+        ],
+        failure_incident_class_presence: [
+            presence_frac(presence[0]),
+            presence_frac(presence[1]),
+            presence_frac(presence[2]),
+        ],
+    }
+}
+
+/// Runs at a scale, preparing its own corpus.
+pub fn run(scale: ExperimentScale) -> Fig5dResult {
+    run_on(&crate::experiments::prepare(scale))
+}
+
+impl Fig5dResult {
+    /// Table rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Fig. 5d — incidents vs alert classes\n");
+        let _ = writeln!(
+            s,
+            "failure incidents / all incidents: {} / {} ({})",
+            self.failure_incidents,
+            self.all_incidents,
+            pct(self.failure_incidents as f64 / self.all_incidents.max(1) as f64)
+        );
+        let labels = ["failure", "abnormal", "root-cause"];
+        for (i, l) in labels.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{l:<11} alerts share: {:>6}   present in failure incidents: {:>6}",
+                pct(self.alert_class_share[i]),
+                pct(self.failure_incident_class_presence[i]),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_alerts_are_rare_but_accompany_failure_incidents() {
+        let r = run(ExperimentScale::Small);
+        assert!(r.all_incidents > 0, "corpus must produce incidents");
+        assert!(r.failure_incidents > 0);
+        // Fig. 5d's shape: failure alerts are a minority of the flood...
+        assert!(
+            r.alert_class_share[0] < 0.5,
+            "failure share {}",
+            r.alert_class_share[0]
+        );
+        // ...but nearly all failure incidents contain them.
+        assert!(
+            r.failure_incident_class_presence[0] > 0.7,
+            "presence {}",
+            r.failure_incident_class_presence[0]
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 8a: locating accuracy vs number of data sources.
+//!
+//! Sources are removed lowest-coverage-first (All → 6 → 4 → 3); false
+//! positives barely move while false negatives climb — the paper's case
+//! for integrating every source.
+
+use crate::accuracy::{score_episode, Accuracy};
+use crate::experiments::{pct, PreparedCorpus};
+use crate::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skynet_core::PipelineConfig;
+use skynet_model::DataSource;
+use std::fmt::Write as _;
+
+/// One source-count configuration's accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8aRow {
+    /// X-axis label ("All", "6", "4", "3").
+    pub label: String,
+    /// Sources kept (highest-coverage ones survive removal).
+    pub sources: Vec<DataSource>,
+    /// Accuracy over the corpus.
+    pub accuracy: Accuracy,
+}
+
+/// The Fig. 8a reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8aResult {
+    /// Rows, most sources first.
+    pub rows: Vec<Fig8aRow>,
+}
+
+/// The paper's x-axis: all 12 sources, then the top 6/4/3 by coverage.
+pub fn source_sets() -> Vec<(String, Vec<DataSource>)> {
+    let descending: Vec<DataSource> = DataSource::by_ascending_coverage()
+        .into_iter()
+        .rev()
+        .collect();
+    vec![
+        ("All".into(), descending.clone()),
+        ("6".into(), descending[..6].to_vec()),
+        ("4".into(), descending[..4].to_vec()),
+        ("3".into(), descending[..3].to_vec()),
+    ]
+}
+
+/// Runs the experiment on a prepared corpus.
+pub fn run_on(prepared: &PreparedCorpus) -> Fig8aResult {
+    let skynet = prepared.skynet(PipelineConfig::production());
+    let rows = source_sets()
+        .into_iter()
+        .map(|(label, sources)| {
+            let mut accuracy = Accuracy::default();
+            for idx in 0..prepared.len() {
+                let report = prepared.analyze(&skynet, idx, Some(&sources));
+                let incidents: Vec<_> = report
+                    .incidents
+                    .iter()
+                    .map(|s| s.incident.clone())
+                    .collect();
+                accuracy.merge(score_episode(
+                    &prepared.corpus.episodes[idx].scenario,
+                    &incidents,
+                ));
+            }
+            Fig8aRow {
+                label,
+                sources,
+                accuracy,
+            }
+        })
+        .collect();
+    Fig8aResult { rows }
+}
+
+/// Runs at a scale, preparing its own corpus.
+pub fn run(scale: ExperimentScale) -> Fig8aResult {
+    run_on(&crate::experiments::prepare(scale))
+}
+
+impl Fig8aResult {
+    /// Table rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Fig. 8a — accuracy vs data sources\n{:<6} {:>10} {:>10} {:>10}\n",
+            "srcs", "incidents", "FP rate", "FN rate"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<6} {:>10} {:>10} {:>10}",
+                r.label,
+                r.accuracy.incidents,
+                pct(r.accuracy.fp_rate()),
+                pct(r.accuracy.fn_rate()),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_sources_raises_false_negatives() {
+        let r = run(ExperimentScale::Small);
+        assert_eq!(r.rows.len(), 4);
+        let all_fn = r.rows[0].accuracy.fn_rate();
+        let three_fn = r.rows[3].accuracy.fn_rate();
+        assert!(
+            three_fn > all_fn,
+            "3 sources must miss more failures than 12: {three_fn} vs {all_fn}"
+        );
+        // With all sources, false negatives are (near) zero — the paper's
+        // headline claim.
+        assert!(all_fn < 0.15, "all-sources FN {all_fn}");
+        // FP movement stays modest compared to the FN climb.
+        let fp_spread = r
+            .rows
+            .iter()
+            .map(|x| x.accuracy.fp_rate())
+            .fold(0.0f64, f64::max)
+            - r.rows
+                .iter()
+                .map(|x| x.accuracy.fp_rate())
+                .fold(1.0f64, f64::min);
+        assert!(
+            fp_spread <= (three_fn - all_fn) + 0.15,
+            "FP spread {fp_spread} should be small next to the FN climb"
+        );
+    }
+
+    #[test]
+    fn source_sets_shrink_in_order() {
+        let sets = source_sets();
+        assert_eq!(sets[0].1.len(), 12);
+        assert_eq!(sets[1].1.len(), 6);
+        assert_eq!(sets[2].1.len(), 4);
+        assert_eq!(sets[3].1.len(), 3);
+        // Highest-coverage source survives every cut.
+        for (_, set) in &sets {
+            assert!(set.contains(&DataSource::Snmp));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 8b: alert volume before vs after preprocessing.
+//!
+//! Each point is one flood: raw alerts in, structured alerts out. The
+//! paper's scatter shows roughly an order of magnitude of reduction up to
+//! 300k raw alerts.
+
+use crate::corpus::severe_cable_cut;
+use crate::experiments::PreparedCorpus;
+use crate::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skynet_core::{Preprocessor, PreprocessorConfig, SyslogClassifier};
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::fmt::Write as _;
+
+/// One scatter point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig8bPoint {
+    /// Raw alerts fed in.
+    pub before: u64,
+    /// Structured alerts emitted.
+    pub after: u64,
+}
+
+/// The Fig. 8b reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8bResult {
+    /// All scatter points, ascending by `before`.
+    pub points: Vec<Fig8bPoint>,
+}
+
+fn preprocess_count(
+    alerts: &[skynet_model::RawAlert],
+    classifier: &SyslogClassifier,
+) -> Fig8bPoint {
+    let mut pp = Preprocessor::new(PreprocessorConfig::default(), Some(classifier.clone()));
+    let out = pp.process_batch(alerts);
+    Fig8bPoint {
+        before: pp.stats().raw,
+        after: out.len() as u64,
+    }
+}
+
+/// Runs the experiment on a prepared corpus plus extra severe floods (the
+/// upper-right of the scatter).
+pub fn run_on(prepared: &PreparedCorpus, scale: ExperimentScale) -> Fig8bResult {
+    let classifier = SyslogClassifier::train(&prepared.training, 3, 8);
+    let mut points: Vec<Fig8bPoint> = prepared
+        .runs
+        .iter()
+        .map(|run| preprocess_count(&run.alerts, &classifier))
+        .collect();
+
+    // Severe floods at growing noise rates stretch the x-axis.
+    let noise_levels: &[f64] = match scale {
+        ExperimentScale::Small => &[2_000.0, 20_000.0],
+        ExperimentScale::Paper => &[2_000.0, 20_000.0, 120_000.0, 400_000.0],
+    };
+    for (i, &noise) in noise_levels.iter().enumerate() {
+        let scenario = severe_cable_cut(GeneratorConfig::small(), 50 + i as u64);
+        let cfg = TelemetryConfig {
+            noise_per_hour: noise,
+            ..TelemetryConfig::default()
+        };
+        let mut suite = TelemetrySuite::standard(scenario.topology(), cfg);
+        let run = suite.run(&scenario);
+        points.push(preprocess_count(&run.alerts, &classifier));
+    }
+
+    points.sort_by_key(|p| p.before);
+    Fig8bResult { points }
+}
+
+/// Runs at a scale, preparing its own corpus.
+pub fn run(scale: ExperimentScale) -> Fig8bResult {
+    run_on(&crate::experiments::prepare(scale), scale)
+}
+
+impl Fig8bResult {
+    /// Overall reduction factor (total before / total after).
+    pub fn reduction_factor(&self) -> f64 {
+        let before: u64 = self.points.iter().map(|p| p.before).sum();
+        let after: u64 = self.points.iter().map(|p| p.after).sum();
+        if after == 0 {
+            return f64::INFINITY;
+        }
+        before as f64 / after as f64
+    }
+
+    /// Scatter rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Fig. 8b — alerts before vs after preprocessing ({} floods, overall {:.1}x reduction)\n{:>10} {:>10}\n",
+            self.points.len(),
+            self.reduction_factor(),
+            "before",
+            "after"
+        );
+        for p in &self.points {
+            let _ = writeln!(s, "{:>10} {:>10}", p.before, p.after);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preprocessing_cuts_roughly_an_order_of_magnitude() {
+        let r = run(ExperimentScale::Small);
+        assert!(r.points.len() >= 5);
+        for p in &r.points {
+            assert!(p.after <= p.before, "{p:?}");
+        }
+        let f = r.reduction_factor();
+        assert!(f > 4.0, "overall reduction {f} too weak for Fig. 8b's shape");
+    }
+
+    #[test]
+    fn bigger_floods_stay_compressed() {
+        let r = run(ExperimentScale::Small);
+        let biggest = r.points.last().unwrap();
+        assert!(
+            (biggest.after as f64) < biggest.before as f64 * 0.5,
+            "{biggest:?}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 8c: locating time vs number of alerts.
+//!
+//! The locator ingests preprocessed floods of growing size; the paper
+//! reports under 10 seconds at ~40k alerts with a positive correlation to
+//! volume. (Absolute numbers depend on hardware; the shape — monotone
+//! growth, well under the minute-level SLA — is the target.)
+
+use crate::corpus::severe_cable_cut;
+use crate::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::{Locator, LocatorConfig};
+use skynet_core::{Preprocessor, PreprocessorConfig};
+use skynet_model::{SimTime, StructuredAlert};
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::{GeneratorConfig, Topology};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig8cPoint {
+    /// Structured alerts ingested.
+    pub alerts: usize,
+    /// Wall-clock locating time in seconds.
+    pub seconds: f64,
+    /// Incidents found.
+    pub incidents: usize,
+}
+
+/// The Fig. 8c reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8cResult {
+    /// Points, ascending alert count.
+    pub points: Vec<Fig8cPoint>,
+}
+
+/// Builds a large structured-alert flood by replaying a severe failure
+/// with heavy noise and cycling it to reach `target` alerts.
+pub fn build_flood(target: usize) -> (Arc<Topology>, Vec<StructuredAlert>) {
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 77);
+    let cfg = TelemetryConfig {
+        noise_per_hour: 50_000.0,
+        ..TelemetryConfig::default()
+    };
+    let mut suite = TelemetrySuite::standard(scenario.topology(), cfg);
+    let run = suite.run(&scenario);
+    let mut pp = Preprocessor::new(PreprocessorConfig::default(), None);
+    let base = pp.process_batch(&run.alerts);
+    assert!(!base.is_empty());
+    // Cycle the window to reach the target volume, shifting timestamps so
+    // alerts stay temporally plausible.
+    let window = scenario.horizon();
+    let mut alerts = Vec::with_capacity(target);
+    let mut cycle = 0u64;
+    'outer: loop {
+        for a in &base {
+            let mut shifted = a.clone();
+            let offset = skynet_model::SimDuration::from_millis(
+                cycle * window.as_millis(),
+            );
+            shifted.first_seen += offset;
+            shifted.last_seen += offset;
+            alerts.push(shifted);
+            if alerts.len() >= target {
+                break 'outer;
+            }
+        }
+        cycle += 1;
+    }
+    (Arc::clone(scenario.topology()), alerts)
+}
+
+/// Times the locator over `alerts`.
+pub fn time_locating(topo: &Arc<Topology>, alerts: &[StructuredAlert]) -> (f64, usize) {
+    let mut locator = Locator::new(topo, LocatorConfig::default());
+    let horizon = alerts
+        .iter()
+        .map(|a| a.last_seen)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        + skynet_model::SimDuration::from_mins(20);
+    let start = Instant::now();
+    let incidents = locator.process_batch(alerts, horizon);
+    (start.elapsed().as_secs_f64(), incidents.len())
+}
+
+/// Runs the sweep.
+pub fn run(scale: ExperimentScale) -> Fig8cResult {
+    let sizes: &[usize] = match scale {
+        ExperimentScale::Small => &[1_000, 4_000, 8_000],
+        ExperimentScale::Paper => &[5_000, 10_000, 20_000, 40_000],
+    };
+    let (topo, flood) = build_flood(*sizes.last().expect("sizes non-empty"));
+    let points = sizes
+        .iter()
+        .map(|&n| {
+            let (seconds, incidents) = time_locating(&topo, &flood[..n]);
+            Fig8cPoint {
+                alerts: n,
+                seconds,
+                incidents,
+            }
+        })
+        .collect();
+    Fig8cResult { points }
+}
+
+impl Fig8cResult {
+    /// Table rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Fig. 8c — locating time vs alert count\n{:>10} {:>10} {:>10}\n",
+            "alerts", "seconds", "incidents"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                s,
+                "{:>10} {:>10.3} {:>10}",
+                p.alerts, p.seconds, p.incidents
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locating_is_fast_and_grows_with_volume() {
+        let r = run(ExperimentScale::Small);
+        assert_eq!(r.points.len(), 3);
+        // The paper's bound: well under 10 s even at the largest sweep
+        // point (ours are smaller, so the bound holds with margin). Debug
+        // builds are ~10x slower and tests may share the machine with
+        // benches, so the bound is relaxed there; the release-mode
+        // `paper_report fig8c` run checks the real number.
+        let bound = if cfg!(debug_assertions) { 120.0 } else { 10.0 };
+        for p in &r.points {
+            assert!(p.seconds < bound, "{p:?}");
+        }
+        // Positive correlation: the largest flood takes at least as long
+        // as the smallest.
+        assert!(
+            r.points.last().unwrap().seconds >= r.points[0].seconds * 0.8,
+            "{:?}",
+            r.points
+        );
+        assert!(r.points.iter().all(|p| p.incidents > 0));
+    }
+}

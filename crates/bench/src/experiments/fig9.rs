@@ -1,0 +1,154 @@
+//! Figure 9: accuracy under different incident-generation parameters.
+//!
+//! Ten configurations sweep the `A/B+C/D` thresholds plus the
+//! `type+location` counting baseline. The paper's findings to reproduce:
+//! `type+location` explodes false positives (~70%); disabling any clause
+//! raises false negatives; the production `2/1+2/5` gives the lowest false
+//! positives among the zero-false-negative settings.
+
+use crate::accuracy::{score_episode, Accuracy};
+use crate::experiments::{pct, PreparedCorpus};
+use crate::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use skynet_baseline::figure9_configs;
+use std::fmt::Write as _;
+
+/// One configuration's accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// X-axis label (`type+location`, `2/1+2/5`, …).
+    pub label: String,
+    /// Accuracy over the corpus.
+    pub accuracy: Accuracy,
+}
+
+/// The Fig. 9 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// Rows, figure order.
+    pub rows: Vec<Fig9Row>,
+}
+
+/// Runs the sweep on a prepared corpus.
+pub fn run_on(prepared: &PreparedCorpus) -> Fig9Result {
+    let rows = figure9_configs()
+        .into_iter()
+        .map(|ablation| {
+            let skynet = prepared.skynet(ablation.config.clone());
+            let mut accuracy = Accuracy::default();
+            for idx in 0..prepared.len() {
+                let report = prepared.analyze(&skynet, idx, None);
+                let incidents: Vec<_> = report
+                    .incidents
+                    .iter()
+                    .map(|s| s.incident.clone())
+                    .collect();
+                accuracy.merge(score_episode(
+                    &prepared.corpus.episodes[idx].scenario,
+                    &incidents,
+                ));
+            }
+            Fig9Row {
+                label: ablation.label,
+                accuracy,
+            }
+        })
+        .collect();
+    Fig9Result { rows }
+}
+
+/// Runs at a scale, preparing its own corpus.
+pub fn run(scale: ExperimentScale) -> Fig9Result {
+    run_on(&crate::experiments::prepare(scale))
+}
+
+impl Fig9Result {
+    /// Row by label.
+    pub fn row(&self, label: &str) -> Option<&Fig9Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// The §9 "better thresholds" selection applied to this sweep: the
+    /// lowest-FN, then lowest-FP, then strictest configuration (excluding
+    /// the `type+location` counting baseline, which is not a threshold).
+    pub fn best_thresholds(&self) -> Option<skynet_core::locator::Thresholds> {
+        let scores: Vec<skynet_baseline::ThresholdScore> = self
+            .rows
+            .iter()
+            .filter_map(|r| {
+                r.label
+                    .parse()
+                    .ok()
+                    .map(|thresholds| skynet_baseline::ThresholdScore {
+                        thresholds,
+                        fp_rate: r.accuracy.fp_rate(),
+                        fn_rate: r.accuracy.fn_rate(),
+                    })
+            })
+            .collect();
+        skynet_baseline::pick_best(&scores).map(|s| s.thresholds)
+    }
+
+    /// Table rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Fig. 9 — accuracy vs incident thresholds\n{:<15} {:>10} {:>10} {:>10}\n",
+            "threshold", "incidents", "FP rate", "FN rate"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<15} {:>10} {:>10} {:>10}",
+                r.label,
+                r.accuracy.incidents,
+                pct(r.accuracy.fp_rate()),
+                pct(r.accuracy.fn_rate()),
+            );
+        }
+        if let Some(best) = self.best_thresholds() {
+            let _ = writeln!(s, "data-driven pick (§9 tuning rule): {best}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_thresholds_balance_fp_and_fn() {
+        let r = run(ExperimentScale::Small);
+        assert_eq!(r.rows.len(), 10);
+        let production = r.row("2/1+2/5").unwrap();
+        let type_loc = r.row("type+location").unwrap();
+
+        // type+location inflates false positives well above production.
+        assert!(
+            type_loc.accuracy.fp_rate() > production.accuracy.fp_rate(),
+            "type+location fp {} vs production {}",
+            type_loc.accuracy.fp_rate(),
+            production.accuracy.fp_rate()
+        );
+        // Production keeps false negatives (near) zero.
+        assert!(
+            production.accuracy.fn_rate() < 0.15,
+            "production FN {}",
+            production.accuracy.fn_rate()
+        );
+        // Tighter thresholds (2/1+2/6) can only match or miss more.
+        let tight = r.row("2/1+2/6").unwrap();
+        assert!(tight.accuracy.fn_rate() >= production.accuracy.fn_rate());
+        // Looser failure clause (1/1+2/5) can only match or report more
+        // incidents.
+        let loose = r.row("1/1+2/5").unwrap();
+        assert!(loose.accuracy.incidents >= production.accuracy.incidents);
+
+        // The §9 tuning rule picks a zero-ish-FN config at least as good
+        // as production on both axes.
+        let best = r.best_thresholds().expect("grid is non-empty");
+        let best_row = r.row(&best.to_string()).unwrap();
+        assert!(best_row.accuracy.fn_rate() <= production.accuracy.fn_rate());
+        assert!(best_row.accuracy.fp_rate() <= production.accuracy.fp_rate());
+    }
+}

@@ -1,0 +1,118 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig3;
+pub mod fig5d;
+pub mod fig7;
+pub mod fig8a;
+pub mod fig8b;
+pub mod fig8c;
+pub mod fig9;
+pub mod sec62;
+pub mod tables;
+
+use crate::corpus::{build_corpus, run_episode, CorpusConfig, EpisodeCorpus};
+use crate::ExperimentScale;
+use skynet_core::{AnalysisReport, PipelineConfig, SkyNet};
+use skynet_model::{AlertKind, SimTime};
+use skynet_telemetry::{TelemetryConfig, TelemetryRun};
+
+/// A corpus with its telemetry runs precomputed (telemetry simulation is
+/// the expensive part; pipeline ablations reuse the same floods).
+#[derive(Debug)]
+pub struct PreparedCorpus {
+    /// The corpus.
+    pub corpus: EpisodeCorpus,
+    /// One telemetry run per episode, same order.
+    pub runs: Vec<TelemetryRun>,
+    /// Labelled syslog corpus for classifier training.
+    pub training: Vec<(String, AlertKind)>,
+    /// The telemetry config used.
+    pub telemetry: TelemetryConfig,
+}
+
+/// Builds and simulates the accuracy corpus for a scale.
+pub fn prepare(scale: ExperimentScale) -> PreparedCorpus {
+    let cfg = match scale {
+        ExperimentScale::Small => CorpusConfig::small(),
+        ExperimentScale::Paper => CorpusConfig::paper(),
+    };
+    let telemetry = cfg.telemetry();
+    prepare_with(&cfg, &telemetry)
+}
+
+/// Builds and simulates a corpus with explicit configs.
+pub fn prepare_with(cfg: &CorpusConfig, telemetry: &TelemetryConfig) -> PreparedCorpus {
+    let corpus = build_corpus(cfg);
+    let runs = corpus
+        .episodes
+        .iter()
+        .map(|e| run_episode(e, telemetry))
+        .collect();
+    PreparedCorpus {
+        corpus,
+        runs,
+        training: skynet_telemetry::tools::syslog::labeled_corpus(40, cfg.seed),
+        telemetry: telemetry.clone(),
+    }
+}
+
+impl PreparedCorpus {
+    /// Builds a SkyNet pipeline (classifier trained on the corpus's
+    /// labelled history) for a config.
+    pub fn skynet(&self, config: PipelineConfig) -> SkyNet {
+        SkyNet::with_training(&self.corpus.topology, config, &self.training)
+    }
+
+    /// Analyzes one episode with a pipeline, optionally restricted to a
+    /// source subset (the Fig. 8a ablation filters the recorded flood).
+    pub fn analyze(
+        &self,
+        skynet: &SkyNet,
+        index: usize,
+        sources: Option<&[skynet_model::DataSource]>,
+    ) -> AnalysisReport {
+        let episode = &self.corpus.episodes[index];
+        let run = &self.runs[index];
+        let horizon = episode.scenario.horizon() + skynet_model::SimDuration::from_mins(20);
+        match sources {
+            None => skynet.analyze(&run.alerts, &run.ping, horizon),
+            Some(set) => {
+                let filtered: Vec<_> = run
+                    .alerts
+                    .iter()
+                    .filter(|a| set.contains(&a.source))
+                    .cloned()
+                    .collect();
+                let ping = if set.contains(&skynet_model::DataSource::Ping) {
+                    run.ping.clone()
+                } else {
+                    skynet_model::PingLog::new()
+                };
+                skynet.analyze(&filtered, &ping, horizon)
+            }
+        }
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.corpus.episodes.len()
+    }
+
+    /// True when the corpus has no episodes.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.episodes.is_empty()
+    }
+}
+
+/// Analysis horizon helper used by one-off scenarios.
+pub fn horizon_after(scenario: &skynet_failure::Scenario) -> SimTime {
+    scenario.horizon() + skynet_model::SimDuration::from_mins(20)
+}
+
+/// Formats a `[0, 1]` ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -1,0 +1,69 @@
+//! Tables 1–3: static registries rendered for the report.
+
+use skynet_model::source::{DataSource, TABLE1_TOOLS};
+use std::fmt::Write as _;
+
+/// Renders Table 1: existing tools, production status, data source.
+pub fn table1() -> String {
+    let mut s = format!(
+        "Table 1 — existing network monitoring tools\n{:<16} {:<14} {:<12}\n",
+        "tool", "in production", "data source"
+    );
+    for t in TABLE1_TOOLS {
+        let _ = writeln!(
+            s,
+            "{:<16} {:<14} {:<12}",
+            t.name,
+            if t.in_production { "true" } else { "false" },
+            t.data_source
+        );
+    }
+    s
+}
+
+/// Renders Table 2: SkyNet's twelve data sources with descriptions.
+pub fn table2() -> String {
+    let mut s = String::from("Table 2 — network monitoring tools used by SkyNet\n");
+    for src in DataSource::ALL {
+        let _ = writeln!(s, "{:<22} {}", src.name(), src.description());
+    }
+    s
+}
+
+/// Renders Table 3: the severity-equation symbols (implemented by
+/// `skynet_core::evaluator::score`).
+pub fn table3() -> String {
+    let rows: [(&str, &str); 8] = [
+        ("N", "total number of circuit sets related to the incident"),
+        ("d_i", "break ratio of circuit set i"),
+        ("l_i", "ratio of SLA flows beyond limit on circuit set i"),
+        ("g_i", "importance factor of customers related to circuit set i"),
+        ("u_i", "number of customers related to circuit set i"),
+        ("R_k", "average ping packet loss rate"),
+        ("L_k", "max average SLA flow rate beyond limit"),
+        ("dT_k / U_k", "alert lasting time / number of important customers"),
+    ];
+    let mut s = String::from("Table 3 — severity-equation symbols (Eqs. 1-3)\n");
+    for (sym, expl) in rows {
+        let _ = writeln!(s, "{sym:<12} {expl}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_completely() {
+        let t1 = table1();
+        assert_eq!(t1.lines().count(), 2 + TABLE1_TOOLS.len());
+        assert!(t1.contains("Pingmesh"));
+        let t2 = table2();
+        assert_eq!(t2.lines().count(), 1 + DataSource::ALL.len());
+        assert!(t2.contains("sFlow"));
+        let t3 = table3();
+        assert!(t3.contains("R_k"));
+        assert!(t3.contains("break ratio"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # skynet-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§6), regenerating the same rows and series from the
+//! simulation substrate. The [`experiments`] modules produce serializable
+//! result structs with a `render()` text form; the `paper_report` binary
+//! prints any or all of them; the Criterion benches in `benches/` time the
+//! computational kernels behind each figure.
+//!
+//! Scale: every experiment takes an [`ExperimentScale`]; `Small` keeps
+//! everything test-sized, `Paper` approaches the paper's volumes (minutes
+//! of wall time).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod corpus;
+pub mod experiments;
+
+pub use accuracy::Accuracy;
+pub use corpus::{CorpusConfig, Episode, EpisodeCorpus};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Seconds of wall time; used by tests and Criterion.
+    Small,
+    /// The paper-sized run used for EXPERIMENTS.md.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses `small` / `paper`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(ExperimentScale::Small),
+            "paper" | "full" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The evaluator (§4.3): severity scoring, location zoom-in and the
+//! severity filter.
+
+pub mod score;
+pub mod zoom;
+
+pub use score::{CircuitSetImpact, ScoreConfig, SeverityBreakdown, SeverityInputs};
+pub use zoom::{ReachabilityMatrix, ZoomMethod, ZoomResult};
+
+use crate::locator::Incident;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertKind, CustomerId, PingLog};
+use skynet_topology::Topology;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Evaluator knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatorConfig {
+    /// Scoring calibration for Equations 1–3.
+    pub score: ScoreConfig,
+    /// Incidents scoring below this are filtered from the operator feed —
+    /// "we set the severity threshold score to 10" (§6.4).
+    pub severity_threshold: f64,
+    /// Reachability-matrix focal point must dominate the overall mean by
+    /// this factor.
+    pub matrix_factor: f64,
+    /// Absolute minimum loss for a matrix focal point.
+    pub matrix_min_loss: f64,
+}
+
+impl Default for EvaluatorConfig {
+    fn default() -> Self {
+        EvaluatorConfig {
+            score: ScoreConfig::default(),
+            severity_threshold: 10.0,
+            matrix_factor: 1.5,
+            matrix_min_loss: 0.01,
+        }
+    }
+}
+
+/// An incident with its severity and zoomed location — the final operator
+/// deliverable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredIncident {
+    /// The located incident.
+    pub incident: Incident,
+    /// Equations 1–3 breakdown.
+    pub severity: SeverityBreakdown,
+    /// Zoom-in result.
+    pub zoom: ZoomResult,
+}
+
+impl ScoredIncident {
+    /// Severity score `y_k`.
+    pub fn score(&self) -> f64 {
+        self.severity.score
+    }
+}
+
+/// The evaluator: derives Table-3 inputs from an incident's alerts plus the
+/// topology's traffic/customer data ("it queries user and traffic data
+/// related to the failure site"), scores it, and zooms in on the failure
+/// location.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    topo: Arc<Topology>,
+    cfg: EvaluatorConfig,
+}
+
+impl Evaluator {
+    /// Builds an evaluator over the topology's traffic/customer data.
+    pub fn new(topo: &Arc<Topology>, cfg: EvaluatorConfig) -> Self {
+        Evaluator {
+            topo: Arc::clone(topo),
+            cfg,
+        }
+    }
+
+    /// The configured severity threshold.
+    pub fn severity_threshold(&self) -> f64 {
+        self.cfg.severity_threshold
+    }
+
+    /// Derives the Table-3 inputs for an incident.
+    pub fn derive_inputs(&self, incident: &Incident) -> SeverityInputs {
+        // Break evidence by location: `(location, ratio)` from link/port
+        // down alerts.
+        let break_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
+            .alerts
+            .iter()
+            .filter(|a| {
+                matches!(a.ty.kind, AlertKind::LinkDown | AlertKind::PortDown)
+            })
+            .map(|a| (&a.location, if a.ty.kind == AlertKind::LinkDown { 1.0 } else { a.magnitude.clamp(0.0, 1.0) }))
+            .collect();
+        // Congestion evidence: `(location, utilization)`.
+        let congestion_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
+            .alerts
+            .iter()
+            .filter(|a| a.ty.kind == AlertKind::TrafficCongestion)
+            .map(|a| (&a.location, a.magnitude.max(1.0)))
+            .collect();
+
+        let mut circuit_sets = Vec::new();
+        let mut important: HashSet<CustomerId> = HashSet::new();
+        let mut max_sla_over = 0.0f64;
+
+        for link in self.topo.links() {
+            // A circuit set is related to the incident when any endpoint
+            // device sits under the incident root.
+            let endpoint_locs: Vec<_> = [link.a.device(), link.b.device()]
+                .into_iter()
+                .flatten()
+                .map(|d| self.topo.device(d).location.clone())
+                .collect();
+            if endpoint_locs.is_empty()
+                || !endpoint_locs
+                    .iter()
+                    .any(|l| incident.root.contains(l))
+            {
+                continue;
+            }
+            // d_i: the most specific break evidence covering an endpoint.
+            let break_ratio = break_evidence
+                .iter()
+                .filter(|(loc, _)| endpoint_locs.iter().any(|e| loc.contains(e)))
+                .map(|&(_, r)| r)
+                .fold(0.0f64, f64::max);
+            // Worst congestion covering an endpoint.
+            let util = congestion_evidence
+                .iter()
+                .filter(|(loc, _)| endpoint_locs.iter().any(|e| loc.contains(e)))
+                .map(|&(_, u)| u)
+                .fold(0.0f64, f64::max);
+
+            let flow_ids = self.topo.flows_on_circuit_set(link.circuit_set.id);
+            let mut customers: HashSet<CustomerId> = HashSet::new();
+            let mut sla_flows = 0u32;
+            let mut sla_over = 0u32;
+            for &fi in flow_ids {
+                let flow = &self.topo.flows()[fi];
+                customers.insert(flow.customer);
+                let customer = self.topo.customer(flow.customer);
+                if customer.has_sla {
+                    sla_flows += 1;
+                    // Achievable share under congestion/break.
+                    let capacity_factor = if break_ratio >= 1.0 {
+                        0.0
+                    } else if util > 1.0 {
+                        1.0 / util
+                    } else {
+                        1.0
+                    };
+                    if flow.sla_violated_at(flow.rate_gbps * capacity_factor) {
+                        sla_over += 1;
+                    }
+                }
+            }
+            let sla_over_ratio = if sla_flows == 0 {
+                0.0
+            } else {
+                f64::from(sla_over) / f64::from(sla_flows)
+            };
+            if break_ratio <= 0.0 && sla_over_ratio <= 0.0 {
+                continue; // unaffected set: contributes nothing to Eq. 1
+            }
+            let importance = if customers.is_empty() {
+                0.0
+            } else {
+                customers
+                    .iter()
+                    .map(|&c| self.topo.customer(c).importance)
+                    .sum::<f64>()
+                    / customers.len() as f64
+            };
+            for &c in &customers {
+                if self.topo.customer(c).has_sla {
+                    important.insert(c);
+                }
+            }
+            max_sla_over = max_sla_over.max(sla_over_ratio);
+            circuit_sets.push(CircuitSetImpact {
+                break_ratio,
+                sla_over_ratio,
+                importance,
+                customers: customers.len() as u32,
+            });
+        }
+
+        // R_k: average loss over the incident's ping failure alerts.
+        let ping_losses: Vec<f64> = incident
+            .alerts
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.ty.kind,
+                    AlertKind::PacketLossIcmp
+                        | AlertKind::PacketLossTcp
+                        | AlertKind::PacketLossSource
+                        | AlertKind::SflowPacketLoss
+                )
+            })
+            .map(|a| a.magnitude)
+            .collect();
+        let avg_ping_loss = if ping_losses.is_empty() {
+            0.0
+        } else {
+            ping_losses.iter().sum::<f64>() / ping_losses.len() as f64
+        };
+
+        SeverityInputs {
+            circuit_sets,
+            avg_ping_loss,
+            max_sla_over,
+            duration_secs: incident.duration().as_secs_f64(),
+            important_customers: important.len() as u32,
+        }
+    }
+
+    /// Scores one incident and zooms in on its location.
+    pub fn evaluate(&self, incident: Incident, ping: &PingLog) -> ScoredIncident {
+        let inputs = self.derive_inputs(&incident);
+        let severity = score::severity(&inputs, &self.cfg.score);
+        let zoom = zoom::zoom(
+            &incident,
+            ping,
+            self.cfg.matrix_factor,
+            self.cfg.matrix_min_loss,
+        );
+        ScoredIncident {
+            incident,
+            severity,
+            zoom,
+        }
+    }
+
+    /// Scores a batch, ranks by severity (highest first) — the incident
+    /// ranking operators act on.
+    pub fn rank(&self, incidents: Vec<Incident>, ping: &PingLog) -> Vec<ScoredIncident> {
+        let mut scored: Vec<ScoredIncident> = incidents
+            .into_iter()
+            .map(|i| self.evaluate(i, ping))
+            .collect();
+        scored.sort_by(|a, b| b.score().total_cmp(&a.score()));
+        scored
+    }
+
+    /// Applies the §6.4 severity filter: only incidents at or above the
+    /// threshold reach operators.
+    pub fn filter<'a>(
+        &self,
+        scored: &'a [ScoredIncident],
+    ) -> impl Iterator<Item = &'a ScoredIncident> + 'a {
+        let threshold = self.cfg.severity_threshold;
+        scored.iter().filter(move |s| s.score() >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{
+        DataSource, IncidentId, LocationPath, RawAlert, SimTime, StructuredAlert,
+    };
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(generate(&GeneratorConfig::small()))
+    }
+
+    fn salert(
+        source: DataSource,
+        kind: AlertKind,
+        secs: u64,
+        location: LocationPath,
+        magnitude: f64,
+    ) -> StructuredAlert {
+        let raw = RawAlert::known(source, SimTime::from_secs(secs), location, kind)
+            .with_magnitude(magnitude);
+        StructuredAlert::from_raw(&raw, kind)
+    }
+
+    fn incident(root: &str, alerts: Vec<StructuredAlert>) -> Incident {
+        let first = alerts.iter().map(|a| a.first_seen).min().unwrap();
+        let last = alerts.iter().map(|a| a.last_seen).max().unwrap();
+        Incident {
+            id: IncidentId(0),
+            root: LocationPath::parse(root).unwrap(),
+            first_seen: first,
+            last_seen: last,
+            alerts,
+        }
+    }
+
+    #[test]
+    fn broken_links_with_customers_outrank_quiet_corners() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let region = "Region-0";
+        let site = t.clusters()[0].parent().to_string();
+
+        // Severe: link down + heavy loss over 10 minutes at the site.
+        let severe = incident(
+            &site,
+            vec![
+                salert(
+                    DataSource::Snmp,
+                    AlertKind::LinkDown,
+                    0,
+                    LocationPath::parse(&site).unwrap(),
+                    1.0,
+                ),
+                salert(
+                    DataSource::Ping,
+                    AlertKind::PacketLossIcmp,
+                    600,
+                    LocationPath::parse(&site).unwrap(),
+                    0.5,
+                ),
+            ],
+        );
+        // Mild: a short jitter blip region-wide.
+        let mild = incident(
+            region,
+            vec![salert(
+                DataSource::Ping,
+                AlertKind::LatencyJitter,
+                0,
+                LocationPath::parse(region).unwrap(),
+                0.001,
+            )],
+        );
+        let ping = PingLog::new();
+        let ranked = ev.rank(vec![mild.clone(), severe.clone()], &ping);
+        assert_eq!(ranked[0].incident.root, severe.root);
+        assert!(ranked[0].score() > ranked[1].score());
+    }
+
+    #[test]
+    fn inputs_reflect_break_evidence_scope() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let site = t.clusters()[0].parent();
+        let i = incident(
+            &site.to_string(),
+            vec![salert(
+                DataSource::Snmp,
+                AlertKind::LinkDown,
+                0,
+                site.clone(),
+                1.0,
+            )],
+        );
+        let inputs = ev.derive_inputs(&i);
+        assert!(
+            !inputs.circuit_sets.is_empty(),
+            "site-wide link-down must impact some circuit sets"
+        );
+        assert!(inputs.circuit_sets.iter().all(|c| c.break_ratio > 0.0));
+    }
+
+    #[test]
+    fn unrelated_locations_contribute_nothing() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        // Evidence placed in Region-1 while the incident is in Region-0.
+        let site = t
+            .clusters()
+            .iter()
+            .find(|c| c.segments()[0].as_ref() == "Region-0")
+            .unwrap()
+            .parent();
+        let far = LocationPath::parse("Region-1").unwrap();
+        let i = incident(
+            &site.to_string(),
+            vec![salert(DataSource::Snmp, AlertKind::LinkDown, 0, far, 1.0)],
+        );
+        let inputs = ev.derive_inputs(&i);
+        assert!(inputs.circuit_sets.is_empty());
+    }
+
+    #[test]
+    fn filter_drops_low_scores() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let region = "Region-0";
+        let mild = incident(
+            region,
+            vec![salert(
+                DataSource::Ping,
+                AlertKind::LatencyJitter,
+                0,
+                LocationPath::parse(region).unwrap(),
+                0.0001,
+            )],
+        );
+        let ping = PingLog::new();
+        let scored = ev.rank(vec![mild], &ping);
+        assert_eq!(ev.filter(&scored).count(), 0, "score {}", scored[0].score());
+    }
+
+    #[test]
+    fn longer_incidents_score_higher() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let site = t.clusters()[0].parent();
+        let make = |end: u64| {
+            incident(
+                &site.to_string(),
+                vec![
+                    salert(DataSource::Snmp, AlertKind::LinkDown, 0, site.clone(), 1.0),
+                    salert(
+                        DataSource::Ping,
+                        AlertKind::PacketLossIcmp,
+                        end,
+                        site.clone(),
+                        0.3,
+                    ),
+                ],
+            )
+        };
+        let ping = PingLog::new();
+        let short = ev.evaluate(make(60), &ping);
+        let long = ev.evaluate(make(3600), &ping);
+        assert!(long.score() > short.score());
+    }
+}

@@ -1,0 +1,229 @@
+//! Severity scoring — Equations 1–3 and Table 3.
+//!
+//! ```text
+//! I_k = max(1, Σ d_i·g_i·u_i + Σ l_j·g_j·u_j)            (1)
+//! T_k = max( log_{1/R_k}(ΔT_k + Sig(U_k)),
+//!            log_{1/L_k}(ΔT_k + Sig(U_k)) )              (2)
+//! y_k = I_k · T_k                                        (3)
+//! ```
+//!
+//! The *impact factor* `I_k` grows with the circuit sets used by important
+//! customers that are broken (`d_i`) or overloaded (`l_i`); the `max(1, …)`
+//! keeps severity non-zero when no critical customer is affected. The
+//! *time factor* `T_k` grows with incident duration, faster at higher
+//! packet-loss rates (a larger rate makes the log base `1/R` smaller). The
+//! sigmoid boosts incidents touching a few key users but saturates for
+//! many, damping jitter-driven false alarms.
+//!
+//! The paper does not publish the sigmoid's scaling; we use
+//! `Sig(U) = sig_max · (2σ(U/u_scale) − 1)`, which is 0 at `U = 0` and
+//! saturates at `sig_max` (calibration documented in DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-circuit-set impact inputs (rows of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSetImpact {
+    /// `d_i`: break ratio of the set in `[0, 1]`.
+    pub break_ratio: f64,
+    /// `l_i`: ratio of SLA flows beyond limit on the set in `[0, 1]`.
+    pub sla_over_ratio: f64,
+    /// `g_i`: importance factor of the customers riding the set.
+    pub importance: f64,
+    /// `u_i`: number of customers riding the set.
+    pub customers: u32,
+}
+
+/// Aggregated severity inputs for one incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeverityInputs {
+    /// Impact rows for every related circuit set.
+    pub circuit_sets: Vec<CircuitSetImpact>,
+    /// `R_k`: average ping packet-loss rate in `[0, 1]`.
+    pub avg_ping_loss: f64,
+    /// `L_k`: max average SLA flow rate beyond limit in `[0, 1]`.
+    pub max_sla_over: f64,
+    /// `ΔT_k`: alert lasting time in seconds.
+    pub duration_secs: f64,
+    /// `U_k`: number of important customers affected.
+    pub important_customers: u32,
+}
+
+/// Scoring calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreConfig {
+    /// Saturation value of the sigmoid term, in seconds-equivalent.
+    pub sig_max: f64,
+    /// Customer-count scale of the sigmoid.
+    pub u_scale: f64,
+    /// Loss rates are clamped into `[min_rate, max_rate]` before taking
+    /// the log base (guards `log_{1/R}` at `R = 0` and `R = 1`).
+    pub min_rate: f64,
+    /// Upper clamp for loss rates.
+    pub max_rate: f64,
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        ScoreConfig {
+            sig_max: 600.0,
+            u_scale: 5.0,
+            min_rate: 1e-6,
+            max_rate: 0.99,
+        }
+    }
+}
+
+/// The computed factors and final score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeverityBreakdown {
+    /// `I_k` (Equation 1).
+    pub impact: f64,
+    /// `T_k` (Equation 2).
+    pub time_factor: f64,
+    /// `y_k = I_k · T_k` (Equation 3).
+    pub score: f64,
+}
+
+/// `Sig(U)` of Equation 2.
+pub fn sig(u: u32, cfg: &ScoreConfig) -> f64 {
+    let x = f64::from(u) / cfg.u_scale;
+    cfg.sig_max * (2.0 / (1.0 + (-x).exp()) - 1.0)
+}
+
+/// One `log_{1/rate}(x)` term of Equation 2; zero when the rate carries no
+/// signal or the argument would go non-positive.
+fn log_term(rate: f64, x: f64, cfg: &ScoreConfig) -> f64 {
+    if rate <= 0.0 || x <= 1.0 {
+        return 0.0;
+    }
+    let rate = rate.clamp(cfg.min_rate, cfg.max_rate);
+    let denom = (1.0 / rate).ln();
+    (x.ln() / denom).max(0.0)
+}
+
+/// Computes Equations 1–3.
+pub fn severity(inputs: &SeverityInputs, cfg: &ScoreConfig) -> SeverityBreakdown {
+    let break_sum: f64 = inputs
+        .circuit_sets
+        .iter()
+        .map(|c| c.break_ratio * c.importance * f64::from(c.customers))
+        .sum();
+    let over_sum: f64 = inputs
+        .circuit_sets
+        .iter()
+        .map(|c| c.sla_over_ratio * c.importance * f64::from(c.customers))
+        .sum();
+    let impact = (break_sum + over_sum).max(1.0);
+
+    let x = inputs.duration_secs + sig(inputs.important_customers, cfg);
+    let time_factor = log_term(inputs.avg_ping_loss, x, cfg)
+        .max(log_term(inputs.max_sla_over, x, cfg));
+
+    SeverityBreakdown {
+        impact,
+        time_factor,
+        score: impact * time_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> SeverityInputs {
+        SeverityInputs {
+            circuit_sets: vec![CircuitSetImpact {
+                break_ratio: 0.5,
+                sla_over_ratio: 0.2,
+                importance: 3.0,
+                customers: 4,
+            }],
+            avg_ping_loss: 0.2,
+            max_sla_over: 0.1,
+            duration_secs: 300.0,
+            important_customers: 3,
+        }
+    }
+
+    #[test]
+    fn impact_floors_at_one() {
+        let inputs = SeverityInputs {
+            circuit_sets: vec![],
+            ..base_inputs()
+        };
+        let s = severity(&inputs, &ScoreConfig::default());
+        assert_eq!(s.impact, 1.0);
+        assert!(s.score > 0.0, "severity is non-zero without key customers");
+    }
+
+    #[test]
+    fn impact_sums_break_and_overload_terms() {
+        let s = severity(&base_inputs(), &ScoreConfig::default());
+        // 0.5·3·4 + 0.2·3·4 = 6 + 2.4 = 8.4
+        assert!((s.impact - 8.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_loss_rate_accelerates_severity() {
+        let cfg = ScoreConfig::default();
+        let mut lo = base_inputs();
+        lo.avg_ping_loss = 0.05;
+        let mut hi = base_inputs();
+        hi.avg_ping_loss = 0.50;
+        assert!(
+            severity(&hi, &cfg).time_factor > severity(&lo, &cfg).time_factor,
+            "50% loss must outrank 5% loss (the §4.3 example)"
+        );
+    }
+
+    #[test]
+    fn severity_grows_with_duration() {
+        let cfg = ScoreConfig::default();
+        let mut short = base_inputs();
+        short.duration_secs = 60.0;
+        let mut long = base_inputs();
+        long.duration_secs = 3600.0;
+        assert!(severity(&long, &cfg).score > severity(&short, &cfg).score);
+    }
+
+    #[test]
+    fn sigmoid_boosts_few_then_saturates() {
+        let cfg = ScoreConfig::default();
+        assert_eq!(sig(0, &cfg), 0.0);
+        let s1 = sig(1, &cfg);
+        let s5 = sig(5, &cfg);
+        let s50 = sig(50, &cfg);
+        let s500 = sig(500, &cfg);
+        assert!(s1 > 0.0);
+        assert!(s5 > s1);
+        // Marginal growth collapses at high counts.
+        assert!((s500 - s50) < (s5 - s1));
+        assert!(s500 <= cfg.sig_max);
+    }
+
+    #[test]
+    fn degenerate_rates_are_safe() {
+        let cfg = ScoreConfig::default();
+        for rate in [0.0, -1.0, 1.0, 2.0, f64::NAN] {
+            let mut i = base_inputs();
+            i.avg_ping_loss = rate;
+            i.max_sla_over = 0.0;
+            let s = severity(&i, &cfg);
+            assert!(
+                s.score.is_finite() && s.score >= 0.0,
+                "rate {rate} gave {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_duration_zero_customers_scores_zero() {
+        let mut i = base_inputs();
+        i.duration_secs = 0.0;
+        i.important_customers = 0;
+        let s = severity(&i, &ScoreConfig::default());
+        assert_eq!(s.time_factor, 0.0);
+        assert_eq!(s.score, 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Location zoom-in (§4.3, Fig. 7).
+//!
+//! Three behaviour-monitoring signals refine an incident's location:
+//!
+//! 1. **Reachability matrix** — end-to-end ping samples are aggregated into
+//!    a src × dst loss matrix; a label whose row *and* column are both dark
+//!    is the focal point (Fig. 7's Cluster ii).
+//! 2. **sFlow trace-back** — if every sFlow loss alert in the incident
+//!    traces to one node strictly inside the incident tree, zoom there.
+//! 3. **INT** — same for in-band telemetry rate-mismatch alerts.
+//!
+//! When nothing refines the location, "emergency procedures revert to the
+//! general location of the incident".
+
+use crate::locator::Incident;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertKind, LocationLevel, LocationPath, SimTime};
+use skynet_model::PingLog;
+use std::collections::BTreeMap;
+
+/// A dense src × dst loss matrix at one location granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReachabilityMatrix {
+    /// Row/column labels (sorted location paths).
+    pub labels: Vec<LocationPath>,
+    /// `data[src][dst]` = mean observed loss (0 where no loss was seen).
+    pub data: Vec<Vec<f64>>,
+}
+
+impl ReachabilityMatrix {
+    /// Builds the matrix from lossy ping samples in `[from, to)`,
+    /// truncating endpoints to `level`.
+    pub fn build(log: &PingLog, from: SimTime, to: SimTime, level: LocationLevel) -> Self {
+        let mut sums: BTreeMap<(LocationPath, LocationPath), (f64, u32)> = BTreeMap::new();
+        let mut label_set: BTreeMap<String, LocationPath> = BTreeMap::new();
+        for s in log.window(from, to) {
+            let src = s.src.truncate_at(level);
+            let dst = s.dst.truncate_at(level);
+            label_set.entry(src.to_string()).or_insert_with(|| src.clone());
+            label_set.entry(dst.to_string()).or_insert_with(|| dst.clone());
+            let e = sums.entry((src, dst)).or_insert((0.0, 0));
+            e.0 += s.loss;
+            e.1 += 1;
+        }
+        let labels: Vec<LocationPath> = label_set.into_values().collect();
+        let index: BTreeMap<String, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.to_string(), i))
+            .collect();
+        let n = labels.len();
+        let mut data = vec![vec![0.0; n]; n];
+        for ((src, dst), (sum, count)) in sums {
+            let i = index[&src.to_string()];
+            let j = index[&dst.to_string()];
+            data[i][j] = sum / f64::from(count);
+        }
+        ReachabilityMatrix { labels, data }
+    }
+
+    /// Mean of a row excluding the diagonal.
+    fn row_mean(&self, i: usize) -> f64 {
+        let n = self.labels.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| self.data[i][j]).sum();
+        sum / (n - 1) as f64
+    }
+
+    /// Mean of a column excluding the diagonal.
+    fn col_mean(&self, j: usize) -> f64 {
+        let n = self.labels.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        let sum: f64 = (0..n).filter(|&i| i != j).map(|i| self.data[i][j]).sum();
+        sum / (n - 1) as f64
+    }
+
+    /// Focal points: labels whose row *and* column means both dominate the
+    /// overall mean by `factor` (and exceed `min_loss` absolutely). Fig. 7:
+    /// the dark row+column pinpoints the incident.
+    pub fn focal_points(&self, factor: f64, min_loss: f64) -> Vec<LocationPath> {
+        let n = self.labels.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        let overall: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| self.data[i][j])
+            .sum::<f64>()
+            / (n * (n - 1)) as f64;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let r = self.row_mean(i);
+            let c = self.col_mean(i);
+            if r >= min_loss && c >= min_loss && r >= overall * factor && c >= overall * factor {
+                out.push(self.labels[i].clone());
+            }
+        }
+        out
+    }
+
+    /// Renders the matrix as an ASCII table (loss percentages), Fig. 7
+    /// style.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let names: Vec<String> = self
+            .labels
+            .iter()
+            .map(|l| l.leaf().unwrap_or("<root>").to_string())
+            .collect();
+        let width = names.iter().map(String::len).max().unwrap_or(4).max(6);
+        let _ = write!(s, "{:width$}", "");
+        for n in &names {
+            let _ = write!(s, " {n:>width$}");
+        }
+        let _ = writeln!(s);
+        for (i, n) in names.iter().enumerate() {
+            let _ = write!(s, "{n:width$}");
+            for j in 0..names.len() {
+                let _ = write!(s, " {:>width$.2}", self.data[i][j] * 100.0);
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+/// How a zoomed location was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZoomMethod {
+    /// Focal point of the ping reachability matrix.
+    ReachabilityMatrix,
+    /// All sFlow loss alerts traced back to one node.
+    SflowTraceback,
+    /// All INT rate-mismatch alerts pointed at one node.
+    InbandTelemetry,
+    /// No refinement possible; the incident's general location stands.
+    None,
+}
+
+/// Result of the zoom-in: a (possibly refined) location and how it was
+/// found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoomResult {
+    /// The refined location (equals the incident root when `method` is
+    /// [`ZoomMethod::None`]).
+    pub location: LocationPath,
+    /// Which signal produced the refinement.
+    pub method: ZoomMethod,
+}
+
+/// Deepest common ancestor of all alerts of a kind inside the incident,
+/// if there is at least one such alert.
+fn alert_dca(incident: &Incident, kinds: &[AlertKind]) -> Option<LocationPath> {
+    let mut it = incident
+        .alerts
+        .iter()
+        .filter(|a| kinds.contains(&a.ty.kind))
+        .map(|a| &a.location);
+    let first = it.next()?.clone();
+    Some(it.fold(first, |acc, l| acc.common_ancestor(l)))
+}
+
+/// Runs the three zoom-in signals in order and returns the deepest
+/// refinement strictly inside the incident root.
+pub fn zoom(
+    incident: &Incident,
+    ping: &PingLog,
+    matrix_factor: f64,
+    matrix_min_loss: f64,
+) -> ZoomResult {
+    let mut best: Option<(LocationPath, ZoomMethod)> = None;
+    let mut consider = |loc: LocationPath, method: ZoomMethod| {
+        if !incident.root.is_strict_ancestor_of(&loc) {
+            return;
+        }
+        match &best {
+            Some((b, _)) if b.depth() >= loc.depth() => {}
+            _ => best = Some((loc, method)),
+        }
+    };
+
+    // 1. Reachability matrix focal point at cluster granularity.
+    let matrix = ReachabilityMatrix::build(
+        ping,
+        incident.first_seen,
+        incident.last_seen + skynet_model::SimDuration::from_secs(1),
+        LocationLevel::Cluster,
+    );
+    for focal in matrix.focal_points(matrix_factor, matrix_min_loss) {
+        consider(focal, ZoomMethod::ReachabilityMatrix);
+    }
+
+    // 2. sFlow trace-back.
+    if let Some(loc) = alert_dca(incident, &[AlertKind::SflowPacketLoss]) {
+        consider(loc, ZoomMethod::SflowTraceback);
+    }
+
+    // 3. INT.
+    if let Some(loc) = alert_dca(incident, &[AlertKind::IntPacketLoss]) {
+        consider(loc, ZoomMethod::InbandTelemetry);
+    }
+
+    match best {
+        Some((location, method)) => ZoomResult { location, method },
+        None => ZoomResult {
+            location: incident.root.clone(),
+            method: ZoomMethod::None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{DataSource, IncidentId, RawAlert, StructuredAlert};
+
+    fn p(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    fn cluster(k: &str) -> LocationPath {
+        p(&format!("R|C|L|S|{k}"))
+    }
+
+    /// A log reproducing Fig. 7: Cluster-ii is lossy to and from everyone.
+    fn figure7_log() -> PingLog {
+        let mut log = PingLog::new();
+        let names = ["K-o", "K-i", "K-ii", "K-iii", "K-iv"];
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let loss = if *a == "K-ii" || *b == "K-ii" { 0.08 } else { 0.0 };
+                log.record(SimTime::from_secs(10), cluster(a), cluster(b), loss);
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn focal_point_matches_figure7() {
+        let log = figure7_log();
+        let m = ReachabilityMatrix::build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Cluster,
+        );
+        let focal = m.focal_points(1.5, 0.01);
+        assert_eq!(focal, vec![cluster("K-ii")]);
+    }
+
+    #[test]
+    fn healthy_matrix_has_no_focal_point() {
+        let mut log = PingLog::new();
+        log.record(SimTime::ZERO, cluster("K-o"), cluster("K-i"), 0.001);
+        let m = ReachabilityMatrix::build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Cluster,
+        );
+        assert!(m.focal_points(1.5, 0.01).is_empty());
+    }
+
+    #[test]
+    fn render_contains_labels_and_rates() {
+        let m = ReachabilityMatrix::build(
+            &figure7_log(),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Cluster,
+        );
+        let text = m.render();
+        assert!(text.contains("K-ii"));
+        assert!(text.contains("8.00"));
+    }
+
+    fn incident_with(alerts: Vec<StructuredAlert>) -> Incident {
+        Incident {
+            id: IncidentId(0),
+            root: p("R|C|L|S"),
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(60),
+            alerts,
+        }
+    }
+
+    fn salert(kind: AlertKind, location: &LocationPath) -> StructuredAlert {
+        let raw = RawAlert::known(DataSource::TrafficStats, SimTime::ZERO, location.clone(), kind);
+        StructuredAlert::from_raw(&raw, kind)
+    }
+
+    #[test]
+    fn matrix_zoom_refines_to_the_focal_cluster() {
+        let incident = incident_with(vec![salert(
+            AlertKind::PacketLossIcmp,
+            &p("R|C|L|S"),
+        )]);
+        let z = zoom(&incident, &figure7_log(), 1.5, 0.01);
+        assert_eq!(z.method, ZoomMethod::ReachabilityMatrix);
+        assert_eq!(z.location, cluster("K-ii"));
+    }
+
+    #[test]
+    fn sflow_traceback_zooms_when_alerts_converge() {
+        let incident = incident_with(vec![
+            salert(AlertKind::SflowPacketLoss, &cluster("K-i")),
+            salert(AlertKind::SflowPacketLoss, &cluster("K-i")),
+        ]);
+        let z = zoom(&incident, &PingLog::new(), 1.5, 0.01);
+        assert_eq!(z.method, ZoomMethod::SflowTraceback);
+        assert_eq!(z.location, cluster("K-i"));
+    }
+
+    #[test]
+    fn divergent_evidence_keeps_the_general_location() {
+        // sFlow alerts spread across two clusters: their DCA is the site
+        // itself — not strictly inside, so no refinement.
+        let incident = incident_with(vec![
+            salert(AlertKind::SflowPacketLoss, &cluster("K-i")),
+            salert(AlertKind::SflowPacketLoss, &cluster("K-ii")),
+        ]);
+        let z = zoom(&incident, &PingLog::new(), 1.5, 0.01);
+        assert_eq!(z.method, ZoomMethod::None);
+        assert_eq!(z.location, p("R|C|L|S"));
+    }
+
+    #[test]
+    fn deepest_refinement_wins() {
+        // INT points at a device, sFlow only at a cluster.
+        let device = p("R|C|L|S|K-i|dev-3");
+        let incident = incident_with(vec![
+            salert(AlertKind::SflowPacketLoss, &cluster("K-i")),
+            salert(AlertKind::IntPacketLoss, &device),
+        ]);
+        let z = zoom(&incident, &PingLog::new(), 1.5, 0.01);
+        assert_eq!(z.method, ZoomMethod::InbandTelemetry);
+        assert_eq!(z.location, device);
+    }
+}

@@ -1,0 +1,41 @@
+//! # skynet-core
+//!
+//! The paper's contribution: the SkyNet analysis pipeline that turns an
+//! alert flood into a short, ranked list of incidents (§3–§4).
+//!
+//! ```text
+//!  raw alerts ──▶ Preprocessor ──▶ structured alerts ──▶ Locator ──▶ incidents
+//!   (12 tools)     (§4.1)                                  (§4.2)       │
+//!                  classify / dedup /                      alert trees  ▼
+//!                  consolidate                           Evaluator (§4.3)
+//!                                                        severity + zoom-in
+//! ```
+//!
+//! - [`preprocess`] — uniform-format normalization, FT-tree syslog
+//!   classification, three-stage consolidation (identical / single-source /
+//!   cross-source).
+//! - [`locator`] — the hierarchical main alert tree and incident trees
+//!   (Algorithms 1–3), type-distinct counting, the `A/B+C/D` thresholds,
+//!   topology-connectivity grouping.
+//! - [`evaluator`] — severity scoring (Equations 1–3, Table 3), the
+//!   reachability-matrix / sFlow / INT location zoom-in, and the severity
+//!   filter.
+//! - [`sop`] — the heuristic-rule engine handling *known* failures with
+//!   automatic standard operating procedures (§7.2, §7.3).
+//! - [`pipeline`] — the assembled system: batch analysis and a
+//!   channel-based streaming mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluator;
+pub mod locator;
+pub mod pipeline;
+pub mod preprocess;
+pub mod sop;
+
+pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
+pub use pipeline::{AnalysisReport, PipelineConfig, SkyNet};
+pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
+pub use sop::{SopAction, SopEngine, SopPlan, SopRule};

@@ -1,0 +1,195 @@
+//! Incidents: clusters of alerts attributed to one root cause.
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{
+    AlertClass, AlertType, IncidentId, LocationPath, SimDuration, SimTime, StructuredAlert,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A finished incident as reported to operators (Fig. 6's right-hand side):
+/// a location, a time range and the associated alerts grouped by class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Identifier assigned by the locator.
+    pub id: IncidentId,
+    /// The incident tree's root location.
+    pub root: LocationPath,
+    /// Earliest alert in the incident.
+    pub first_seen: SimTime,
+    /// Latest alert in the incident.
+    pub last_seen: SimTime,
+    /// Every consolidated alert attributed to this incident.
+    pub alerts: Vec<StructuredAlert>,
+}
+
+impl Incident {
+    /// Incident duration (`ΔT_k` of Table 3).
+    pub fn duration(&self) -> SimDuration {
+        self.last_seen.since(self.first_seen)
+    }
+
+    /// Alerts of one class.
+    pub fn alerts_of_class(&self, class: AlertClass) -> impl Iterator<Item = &StructuredAlert> {
+        self.alerts.iter().filter(move |a| a.class() == class)
+    }
+
+    /// Distinct alert types present, with per-type total counts —
+    /// the `(3)`/`(680)` numbers of Fig. 6.
+    pub fn type_counts(&self) -> BTreeMap<AlertType, u32> {
+        let mut m = BTreeMap::new();
+        for a in &self.alerts {
+            *m.entry(a.ty).or_insert(0) += a.count;
+        }
+        m
+    }
+
+    /// Number of distinct failure-class types.
+    pub fn failure_type_count(&self) -> usize {
+        let mut types: Vec<AlertType> = self
+            .alerts_of_class(AlertClass::Failure)
+            .map(|a| a.ty)
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        types.len()
+    }
+
+    /// True when any alert of the class is present (Fig. 5d's correlation
+    /// statistic).
+    pub fn has_class(&self, class: AlertClass) -> bool {
+        self.alerts.iter().any(|a| a.class() == class)
+    }
+
+    /// Ground-truth provenance: the injected failures whose alerts landed
+    /// in this incident, most-frequent first. Experiment-harness only.
+    pub fn causes(&self) -> Vec<skynet_model::FailureId> {
+        let mut tally: BTreeMap<skynet_model::FailureId, u32> = BTreeMap::new();
+        for a in &self.alerts {
+            if let Some(c) = a.cause {
+                *tally.entry(c).or_insert(0) += a.count;
+            }
+        }
+        let mut v: Vec<_> = tally.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Renders the operator-facing report of Fig. 6: location, time range,
+    /// and the alert tree grouped by class then source.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Incident {}:\n[{}][{} - {}]",
+            self.id.index() + 1,
+            self.root,
+            self.first_seen,
+            self.last_seen
+        );
+        for (class, title) in [
+            (AlertClass::Failure, "Failure alerts"),
+            (AlertClass::Abnormal, "Abnormal alerts"),
+            (AlertClass::RootCause, "Root cause alerts"),
+        ] {
+            let mut by_type: BTreeMap<AlertType, u32> = BTreeMap::new();
+            for a in self.alerts_of_class(class) {
+                *by_type.entry(a.ty).or_insert(0) += a.count;
+            }
+            if by_type.is_empty() {
+                continue;
+            }
+            let _ = writeln!(s, "{title}");
+            let mut last_source = None;
+            let entries: Vec<_> = by_type.into_iter().collect();
+            for (i, (ty, count)) in entries.iter().enumerate() {
+                if last_source != Some(ty.source) {
+                    let _ = writeln!(s, "{}", ty.source);
+                    last_source = Some(ty.source);
+                }
+                let next_same_source = entries
+                    .get(i + 1)
+                    .is_some_and(|(t, _)| t.source == ty.source);
+                let branch = if next_same_source { "|-" } else { "└-" };
+                let _ = writeln!(s, "{branch} {} ({count})", ty.kind);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{AlertKind, DataSource, FailureId, RawAlert};
+
+    fn alert(source: DataSource, kind: AlertKind, secs: u64, count: u32) -> StructuredAlert {
+        let raw = RawAlert::known(
+            source,
+            SimTime::from_secs(secs),
+            LocationPath::parse("R|C|L").unwrap(),
+            kind,
+        );
+        let mut s = StructuredAlert::from_raw(&raw, kind);
+        s.count = count;
+        s
+    }
+
+    fn sample() -> Incident {
+        Incident {
+            id: IncidentId(0),
+            root: LocationPath::parse("R|C|L").unwrap(),
+            first_seen: SimTime::from_secs(10),
+            last_seen: SimTime::from_secs(190),
+            alerts: vec![
+                alert(DataSource::Ping, AlertKind::PacketLossIcmp, 10, 3),
+                alert(DataSource::OutOfBand, AlertKind::DeviceInaccessible, 20, 680),
+                alert(DataSource::Syslog, AlertKind::BgpPeerDown, 30, 2),
+                alert(DataSource::Syslog, AlertKind::HardwareError, 40, 1),
+                alert(DataSource::Snmp, AlertKind::TrafficCongestion, 50, 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn duration_and_classes() {
+        let i = sample();
+        assert_eq!(i.duration(), SimDuration::from_secs(180));
+        assert!(i.has_class(AlertClass::Failure));
+        assert!(i.has_class(AlertClass::Abnormal));
+        assert!(i.has_class(AlertClass::RootCause));
+        assert_eq!(i.failure_type_count(), 1);
+        assert_eq!(i.alerts_of_class(AlertClass::Abnormal).count(), 2);
+    }
+
+    #[test]
+    fn type_counts_aggregate_consolidated_counts() {
+        let i = sample();
+        let counts = i.type_counts();
+        assert_eq!(
+            counts[&AlertType::new(DataSource::OutOfBand, AlertKind::DeviceInaccessible)],
+            680
+        );
+    }
+
+    #[test]
+    fn report_has_figure6_shape() {
+        let r = sample().report();
+        assert!(r.contains("[R|C|L]"));
+        assert!(r.contains("Failure alerts"));
+        assert!(r.contains("Abnormal alerts"));
+        assert!(r.contains("Root cause alerts"));
+        assert!(r.contains("inaccessible (680)"));
+        assert!(r.contains("└-"));
+    }
+
+    #[test]
+    fn causes_ranked_by_alert_mass() {
+        let mut i = sample();
+        i.alerts[0].cause = Some(FailureId(2));
+        i.alerts[1].cause = Some(FailureId(1));
+        i.alerts[2].cause = Some(FailureId(2));
+        // FailureId(1) has 680 alerts worth of mass, FailureId(2) has 5.
+        assert_eq!(i.causes(), vec![FailureId(1), FailureId(2)]);
+    }
+}

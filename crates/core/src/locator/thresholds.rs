@@ -1,0 +1,161 @@
+//! Incident-generation thresholds in the paper's `A/B+C/D` notation.
+//!
+//! "The threshold for incident tree generation is set at either two failure
+//! alerts, one failure alert plus two other alerts, or five alerts of any
+//! type" (§4.2) — written `2/1+2/5` in Fig. 9's x-axis: `A` failure alerts,
+//! or `B` failure alerts and `C` other alerts, or `D` alerts of any type.
+//! A component set to 0 disables that clause (Fig. 9's ablations).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The three-clause incident threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// `A`: failure alerts alone (0 disables).
+    pub failure: u32,
+    /// `B`: failure alerts in the combined clause (0 disables the clause).
+    pub failure_with_other: u32,
+    /// `C`: other alerts required alongside `B` failures.
+    pub other_with_failure: u32,
+    /// `D`: alerts of any type (0 disables).
+    pub any: u32,
+}
+
+impl Thresholds {
+    /// The production setting `2/1+2/5` (§6.3).
+    pub const PRODUCTION: Thresholds = Thresholds {
+        failure: 2,
+        failure_with_other: 1,
+        other_with_failure: 2,
+        any: 5,
+    };
+
+    /// True when the given distinct-type counts cross any enabled clause.
+    pub fn is_met(&self, failure_types: u32, all_types: u32) -> bool {
+        let other_types = all_types.saturating_sub(failure_types);
+        (self.failure > 0 && failure_types >= self.failure)
+            || (self.failure_with_other > 0
+                && failure_types >= self.failure_with_other
+                && other_types >= self.other_with_failure)
+            || (self.any > 0 && all_types >= self.any)
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::PRODUCTION
+    }
+}
+
+impl fmt::Display for Thresholds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}+{}/{}",
+            self.failure, self.failure_with_other, self.other_with_failure, self.any
+        )
+    }
+}
+
+/// Error from parsing the `A/B+C/D` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdParseError(String);
+
+impl fmt::Display for ThresholdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid threshold spec {:?}, expected A/B+C/D", self.0)
+    }
+}
+
+impl std::error::Error for ThresholdParseError {}
+
+impl FromStr for Thresholds {
+    type Err = ThresholdParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ThresholdParseError(s.to_string());
+        let mut slash = s.splitn(2, '/');
+        let a = slash.next().ok_or_else(err)?;
+        let rest = slash.next().ok_or_else(err)?;
+        let mut plus = rest.splitn(2, '+');
+        let b = plus.next().ok_or_else(err)?;
+        let rest = plus.next().ok_or_else(err)?;
+        let mut slash2 = rest.splitn(2, '/');
+        let c = slash2.next().ok_or_else(err)?;
+        let d = slash2.next().ok_or_else(err)?;
+        Ok(Thresholds {
+            failure: a.parse().map_err(|_| err())?,
+            failure_with_other: b.parse().map_err(|_| err())?,
+            other_with_failure: c.parse().map_err(|_| err())?,
+            any: d.parse().map_err(|_| err())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_values() {
+        let t = Thresholds::PRODUCTION;
+        assert_eq!(t.to_string(), "2/1+2/5");
+        assert_eq!("2/1+2/5".parse::<Thresholds>().unwrap(), t);
+    }
+
+    #[test]
+    fn paper_clauses() {
+        let t = Thresholds::PRODUCTION;
+        // Two failure alerts.
+        assert!(t.is_met(2, 2));
+        // One failure plus two others.
+        assert!(t.is_met(1, 3));
+        // Five of any type.
+        assert!(t.is_met(0, 5));
+        // Below everything.
+        assert!(!t.is_met(1, 2));
+        assert!(!t.is_met(0, 4));
+        assert!(!t.is_met(1, 1));
+    }
+
+    #[test]
+    fn zero_disables_clauses() {
+        let no_any = Thresholds {
+            any: 0,
+            ..Thresholds::PRODUCTION
+        };
+        assert!(!no_any.is_met(0, 50));
+        assert!(no_any.is_met(2, 2));
+
+        let no_failure = Thresholds {
+            failure: 0,
+            ..Thresholds::PRODUCTION
+        };
+        assert!(!no_failure.is_met(4, 4), "combined clause needs others");
+        assert!(no_failure.is_met(1, 3));
+
+        let only_any = "0/0+0/5".parse::<Thresholds>().unwrap();
+        assert!(!only_any.is_met(4, 4));
+        assert!(only_any.is_met(0, 5));
+    }
+
+    #[test]
+    fn figure9_configs_parse() {
+        for spec in [
+            "0/1+2/5", "2/0+0/5", "2/1+2/0", "1/1+2/5", "2/1+2/4", "2/1+1/5", "2/1+2/5",
+            "2/1+3/5", "2/1+2/6",
+        ] {
+            let t: Thresholds = spec.parse().unwrap();
+            assert_eq!(t.to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn garbage_fails_to_parse() {
+        for bad in ["", "2", "2/1", "2/1+2", "a/b+c/d", "2/1+2/5/9"] {
+            assert!(bad.parse::<Thresholds>().is_err(), "{bad:?} parsed");
+        }
+    }
+}

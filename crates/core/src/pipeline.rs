@@ -1,0 +1,467 @@
+//! The assembled SkyNet system.
+//!
+//! [`SkyNet::analyze`] runs the batch pipeline of Fig. 5a — preprocess →
+//! locate → evaluate → rank — over a recorded alert flood.
+//! [`spawn_streaming`] runs the same stages as a long-lived worker thread
+//! fed through a channel, the shape the production deployment uses
+//! ("the alert preprocessing occurs through a stream processing
+//! mechanism", §6.2).
+
+use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+use crate::locator::{Incident, Locator, LocatorConfig};
+use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
+use crate::sop::{SopEngine, SopPlan};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertKind, IncidentId, PingLog, PingSample, RawAlert, SimTime};
+use skynet_topology::Topology;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PipelineConfig {
+    /// Preprocessor knobs (§4.1).
+    pub preprocessor: PreprocessorConfig,
+    /// Locator knobs (§4.2).
+    pub locator: LocatorConfig,
+    /// Evaluator knobs (§4.3).
+    pub evaluator: EvaluatorConfig,
+    /// FT-tree minimum template support.
+    pub classifier_min_support: u32,
+    /// FT-tree maximum template depth.
+    pub classifier_max_depth: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's production settings.
+    pub fn production() -> Self {
+        PipelineConfig {
+            preprocessor: PreprocessorConfig::default(),
+            locator: LocatorConfig::default(),
+            evaluator: EvaluatorConfig::default(),
+            classifier_min_support: 3,
+            classifier_max_depth: 8,
+        }
+    }
+}
+
+/// The final report handed to operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Every incident, ranked by severity (highest first).
+    pub incidents: Vec<ScoredIncident>,
+    /// Automatic SOP plans for the incidents that matched a known-failure
+    /// rule.
+    pub sop_plans: Vec<(IncidentId, SopPlan)>,
+    /// Preprocessing counters (Fig. 8b's data).
+    pub preprocess: PreprocessStats,
+    /// The severity threshold in force.
+    pub severity_threshold: f64,
+}
+
+impl AnalysisReport {
+    /// Incidents at or above the severity threshold — what operators are
+    /// actually paged for (§6.4).
+    pub fn actionable(&self) -> impl Iterator<Item = &ScoredIncident> {
+        self.incidents
+            .iter()
+            .filter(|s| s.score() >= self.severity_threshold)
+    }
+
+    /// The SOP plan for an incident, if a known-failure rule matched.
+    pub fn sop_for(&self, id: IncidentId) -> Option<&SopPlan> {
+        self.sop_plans
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, p)| p)
+    }
+
+    /// A truncated, highest-severity-first context block for an LLM
+    /// diagnostic assistant (§9: "SkyNet truncates the monitoring results
+    /// to maintain compliance with the LLM input length constraints
+    /// without sacrificing valuable information"). Whole incidents are
+    /// included in rank order until the budget is exhausted; an incident
+    /// is never split.
+    pub fn llm_context(&self, max_chars: usize) -> String {
+        let mut out = String::new();
+        for scored in &self.incidents {
+            let block = format!(
+                "incident at {} (severity {:.1}, zoomed {}):\n{}\n",
+                scored.incident.root,
+                scored.score(),
+                scored.zoom.location,
+                scored.incident.report()
+            );
+            if out.len() + block.len() > max_chars {
+                break;
+            }
+            out.push_str(&block);
+        }
+        out
+    }
+
+    /// Renders the ranked incident list with severities and zooms, Fig. 6
+    /// style.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} incidents ({} actionable at threshold {}):",
+            self.incidents.len(),
+            self.actionable().count(),
+            self.severity_threshold
+        );
+        for scored in &self.incidents {
+            let _ = writeln!(
+                s,
+                "--- score {:.1} (impact {:.1} × time {:.2}), zoom: {} [{:?}]",
+                scored.score(),
+                scored.severity.impact,
+                scored.severity.time_factor,
+                scored.zoom.location,
+                scored.zoom.method,
+            );
+            let _ = write!(s, "{}", scored.incident.report());
+            if let Some(plan) = self.sop_for(scored.incident.id) {
+                let _ = writeln!(s, "SOP: {} -> {:?}", plan.rule, plan.action);
+            }
+        }
+        s
+    }
+}
+
+/// The assembled system.
+#[derive(Debug)]
+pub struct SkyNet {
+    topo: Arc<Topology>,
+    cfg: PipelineConfig,
+    classifier: Option<SyslogClassifier>,
+}
+
+impl SkyNet {
+    /// A pipeline without a syslog classifier (raw syslog becomes
+    /// `Unclassified`).
+    pub fn new(topo: &Arc<Topology>, cfg: PipelineConfig) -> Self {
+        SkyNet {
+            topo: Arc::clone(topo),
+            cfg,
+            classifier: None,
+        }
+    }
+
+    /// A pipeline whose FT-tree classifier is trained on a labelled
+    /// historical corpus.
+    pub fn with_training(
+        topo: &Arc<Topology>,
+        cfg: PipelineConfig,
+        corpus: &[(String, AlertKind)],
+    ) -> Self {
+        let classifier = SyslogClassifier::train(
+            corpus,
+            cfg.classifier_min_support,
+            cfg.classifier_max_depth,
+        );
+        SkyNet {
+            topo: Arc::clone(topo),
+            cfg,
+            classifier: Some(classifier),
+        }
+    }
+
+    /// The topology under analysis.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Batch analysis of a recorded flood: preprocess, locate until
+    /// `horizon`, evaluate, rank, and match SOPs.
+    pub fn analyze(
+        &self,
+        alerts: &[RawAlert],
+        ping: &PingLog,
+        horizon: SimTime,
+    ) -> AnalysisReport {
+        let mut preprocessor =
+            Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone());
+        let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
+        let mut structured = Vec::new();
+        for alert in alerts {
+            structured.clear();
+            preprocessor.push(alert, &mut structured);
+            for s in &structured {
+                locator.insert(s);
+            }
+        }
+        preprocessor.finish();
+        locator.advance(horizon);
+        locator.finish();
+        let mut incidents = locator.take_completed();
+        incidents.sort_by_key(|i| (i.first_seen, i.id));
+
+        self.finish_report(incidents, ping, preprocessor.stats())
+    }
+
+    fn finish_report(
+        &self,
+        incidents: Vec<Incident>,
+        ping: &PingLog,
+        preprocess: PreprocessStats,
+    ) -> AnalysisReport {
+        let evaluator = Evaluator::new(&self.topo, self.cfg.evaluator.clone());
+        let sop = SopEngine::standard(&self.topo);
+        let mut sop_plans = Vec::new();
+        for incident in &incidents {
+            if let Some(plan) = sop.match_incident(incident) {
+                sop_plans.push((incident.id, plan));
+            }
+        }
+        let scored = evaluator.rank(incidents, ping);
+        AnalysisReport {
+            incidents: scored,
+            sop_plans,
+            preprocess,
+            severity_threshold: self.cfg.evaluator.severity_threshold,
+        }
+    }
+}
+
+/// Events accepted by the streaming worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A raw alert from any monitoring tool.
+    Alert(RawAlert),
+    /// A lossy ping sample for the reachability matrix.
+    Ping(PingSample),
+    /// Advance the locator's clock without an alert (drives timeouts
+    /// through quiet periods).
+    Tick(SimTime),
+    /// End of stream: finalize all open incidents and stop.
+    Flush,
+}
+
+/// Handle to a running streaming pipeline.
+#[derive(Debug)]
+pub struct StreamingHandle {
+    /// Send events here.
+    pub events: Sender<StreamEvent>,
+    /// Scored incidents arrive here as their trees finalize.
+    pub incidents: Receiver<ScoredIncident>,
+    /// Live preprocessing counters.
+    pub stats: Arc<Mutex<PreprocessStats>>,
+    /// Worker thread handle.
+    pub worker: JoinHandle<()>,
+}
+
+/// Spawns the pipeline as a worker thread fed through a bounded channel —
+/// per the tokio guide this workload is CPU-bound stream processing, so it
+/// runs on a plain OS thread with crossbeam channels.
+pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
+    let (event_tx, event_rx) = bounded::<StreamEvent>(4096);
+    let (incident_tx, incident_rx) = bounded::<ScoredIncident>(256);
+    let stats = Arc::new(Mutex::new(PreprocessStats::default()));
+    let stats_handle = Arc::clone(&stats);
+
+    let worker = std::thread::Builder::new()
+        .name("skynet-pipeline".into())
+        .spawn(move || {
+            let mut preprocessor =
+                Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
+            let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
+            let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone());
+            let sop = SopEngine::standard(&skynet.topo);
+            let mut ping = PingLog::new();
+            let mut structured = Vec::new();
+
+            let drain = |locator: &mut Locator, ping: &PingLog| {
+                for incident in locator.take_completed() {
+                    let _ = sop.match_incident(&incident);
+                    let scored = evaluator.evaluate(incident, ping);
+                    if incident_tx.send(scored).is_err() {
+                        return false; // receiver gone
+                    }
+                }
+                true
+            };
+
+            for event in event_rx.iter() {
+                match event {
+                    StreamEvent::Alert(raw) => {
+                        structured.clear();
+                        preprocessor.push(&raw, &mut structured);
+                        for s in &structured {
+                            locator.insert(s);
+                        }
+                        *stats_handle.lock() = preprocessor.stats();
+                    }
+                    StreamEvent::Ping(sample) => {
+                        ping.record(sample.t, sample.src, sample.dst, sample.loss);
+                    }
+                    StreamEvent::Tick(now) => {
+                        locator.advance(now);
+                    }
+                    StreamEvent::Flush => break,
+                }
+                if !drain(&mut locator, &ping) {
+                    return;
+                }
+            }
+            preprocessor.finish();
+            *stats_handle.lock() = preprocessor.stats();
+            locator.finish();
+            let _ = drain(&mut locator, &ping);
+        })
+        .expect("spawning the pipeline worker");
+
+    StreamingHandle {
+        events: event_tx,
+        incidents: incident_rx,
+        stats,
+        worker,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{DataSource, LocationPath};
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(generate(&GeneratorConfig::small()))
+    }
+
+    fn flood(site: &LocationPath) -> Vec<RawAlert> {
+        let mut alerts = Vec::new();
+        // Persistent ping loss (two types), link down, congestion.
+        for t in 0..30u64 {
+            alerts.push(
+                RawAlert::known(
+                    DataSource::Ping,
+                    SimTime::from_secs(t * 2),
+                    site.clone(),
+                    AlertKind::PacketLossIcmp,
+                )
+                .with_magnitude(0.3),
+            );
+        }
+        for t in 0..10u64 {
+            alerts.push(
+                RawAlert::known(
+                    DataSource::Ping,
+                    SimTime::from_secs(5 + t * 2),
+                    site.clone(),
+                    AlertKind::PacketLossTcp,
+                )
+                .with_magnitude(0.2),
+            );
+        }
+        alerts.push(RawAlert::known(
+            DataSource::Snmp,
+            SimTime::from_secs(11),
+            site.clone(),
+            AlertKind::LinkDown,
+        ));
+        alerts.sort_by_key(|a| a.timestamp);
+        alerts
+    }
+
+    #[test]
+    fn batch_analysis_produces_a_ranked_actionable_report() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
+        assert_eq!(report.incidents.len(), 1);
+        let top = &report.incidents[0];
+        assert_eq!(top.incident.root, site);
+        assert!(top.score() > 0.0);
+        assert!(report.preprocess.raw > report.preprocess.emitted);
+        let text = report.render();
+        assert!(text.contains("score"));
+        assert!(text.contains("Failure alerts"));
+    }
+
+    #[test]
+    fn streaming_matches_batch_incidents() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let alerts = flood(&site);
+        let skynet_batch = SkyNet::new(&t, PipelineConfig::production());
+        let batch = skynet_batch.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
+
+        let skynet_stream = SkyNet::new(&t, PipelineConfig::production());
+        let handle = spawn_streaming(skynet_stream);
+        for a in &alerts {
+            handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<ScoredIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+
+        assert_eq!(streamed.len(), batch.incidents.len());
+        assert_eq!(streamed[0].incident.root, batch.incidents[0].incident.root);
+        assert_eq!(
+            streamed[0].incident.alerts.len(),
+            batch.incidents[0].incident.alerts.len()
+        );
+        assert!(handle.stats.lock().raw > 0);
+    }
+
+    #[test]
+    fn llm_context_is_ranked_and_budgeted() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
+        let full = report.llm_context(100_000);
+        assert!(full.contains("incident at"));
+        assert!(full.contains("Failure alerts"));
+        // A tight budget truncates at whole-incident granularity.
+        let tight = report.llm_context(10);
+        assert!(tight.is_empty(), "too small for any whole incident");
+        let medium = report.llm_context(full.len());
+        assert_eq!(medium, full);
+        assert!(report.llm_context(2_000).len() <= 2_000);
+    }
+
+    #[test]
+    fn quiet_stream_produces_nothing() {
+        let t = topo();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let report = skynet.analyze(&[], &PingLog::new(), SimTime::from_mins(30));
+        assert!(report.incidents.is_empty());
+        assert_eq!(report.actionable().count(), 0);
+    }
+
+    #[test]
+    fn tick_drives_incident_finalization_through_quiet_periods() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let handle = spawn_streaming(skynet);
+        for a in flood(&site) {
+            handle.events.send(StreamEvent::Alert(a)).unwrap();
+        }
+        // Nothing finalized yet (incident still within its idle window).
+        assert!(handle.incidents.try_recv().is_err());
+        // A tick 20 minutes later times the incident out without new alerts.
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(21)))
+            .unwrap();
+        let scored = handle
+            .incidents
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("incident finalizes on tick");
+        assert_eq!(scored.incident.root, site);
+        handle.events.send(StreamEvent::Flush).unwrap();
+        handle.worker.join().unwrap();
+    }
+}

@@ -1,0 +1,598 @@
+//! The preprocessor (§4.1): uniform format, classification, consolidation.
+//!
+//! Three consolidation stages shrink the raw flood roughly an order of
+//! magnitude (§6.2: ~100 k alerts/hour → <10 k normally, <50 k in
+//! extremes):
+//!
+//! 1. **Identical alerts** — repeats of the same `(type, location)` within
+//!    a window update the first alert's timestamp instead of producing new
+//!    alerts. Long-lived conditions re-emit a *refresh* of the same group
+//!    periodically so downstream trees stay fresh.
+//! 2. **Single-source rules** — sporadic observations are ignored until
+//!    they persist (`persistence_threshold` sightings within the window),
+//!    and correlated same-source alerts (surge ripples on adjacent
+//!    interfaces) keep only their first representative per site.
+//! 3. **Cross-source rules** — a traffic *drop* alone is expected user
+//!    behaviour; it is emitted only when corroborated by a failure-class
+//!    or root-cause alert nearby within the corroboration window.
+
+pub mod classify;
+
+pub use classify::SyslogClassifier;
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{
+    AlertBody, AlertClass, AlertKind, AlertType, LocationLevel, LocationPath, RawAlert,
+    SimDuration, SimTime, StructuredAlert,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Preprocessor knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessorConfig {
+    /// Identical-alert consolidation window: repeats within this window are
+    /// absorbed into the original alert.
+    pub dedup_window: SimDuration,
+    /// How often a still-active consolidated group re-emits a refresh.
+    pub refresh_interval: SimDuration,
+    /// Observations required before a persistence-gated kind is emitted
+    /// ("sporadic packet loss is ignored, persistent packet loss is
+    /// recorded").
+    pub persistence_threshold: u32,
+    /// Window within which persistence observations must accumulate.
+    pub persistence_window: SimDuration,
+    /// Window within which a traffic drop must find a corroborating
+    /// failure/root-cause alert.
+    pub corroboration_window: SimDuration,
+}
+
+impl Default for PreprocessorConfig {
+    fn default() -> Self {
+        PreprocessorConfig {
+            dedup_window: SimDuration::from_mins(5),
+            refresh_interval: SimDuration::from_secs(120),
+            persistence_threshold: 2,
+            persistence_window: SimDuration::from_secs(30),
+            corroboration_window: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// Alert kinds that must persist before being reported (stage 2).
+fn needs_persistence(kind: AlertKind) -> bool {
+    matches!(
+        kind,
+        AlertKind::PacketLossIcmp
+            | AlertKind::PacketLossTcp
+            | AlertKind::PacketLossSource
+            | AlertKind::LatencyJitter
+            | AlertKind::HighCpu
+            | AlertKind::HighMemory
+            | AlertKind::TrafficSurge
+    )
+}
+
+/// Alert kinds gated on cross-source corroboration (stage 3).
+fn needs_corroboration(kind: AlertKind) -> bool {
+    matches!(kind, AlertKind::TrafficDrop)
+}
+
+/// True when an alert can corroborate a held traffic drop: definite
+/// failures or device-visible root causes.
+fn corroborates(class: AlertClass) -> bool {
+    matches!(class, AlertClass::Failure | AlertClass::RootCause)
+}
+
+/// Running counters for the preprocessing experiments (Fig. 8b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreprocessStats {
+    /// Raw alerts pushed in.
+    pub raw: u64,
+    /// Structured alerts emitted (first occurrences + refreshes).
+    pub emitted: u64,
+    /// Raw alerts absorbed by identical-alert consolidation.
+    pub deduplicated: u64,
+    /// Alerts dropped by the persistence gate.
+    pub filtered_sporadic: u64,
+    /// Traffic drops discarded for lack of corroboration.
+    pub filtered_uncorroborated: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenGroup {
+    alert: StructuredAlert,
+    last_emitted: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct PendingPersistence {
+    alert: StructuredAlert,
+    sightings: u32,
+}
+
+/// The streaming preprocessor. Push time-ordered raw alerts, collect
+/// structured alerts.
+#[derive(Debug)]
+pub struct Preprocessor {
+    cfg: PreprocessorConfig,
+    classifier: Option<SyslogClassifier>,
+    open: HashMap<(AlertType, LocationPath), OpenGroup>,
+    pending: HashMap<(AlertType, LocationPath), PendingPersistence>,
+    held_drops: VecDeque<StructuredAlert>,
+    /// Recent corroborating alert locations with timestamps.
+    corroborators: VecDeque<(SimTime, LocationPath)>,
+    /// Recent surge emissions per site prefix (related-alert suppression).
+    recent_surges: HashMap<LocationPath, SimTime>,
+    stats: PreprocessStats,
+}
+
+impl Preprocessor {
+    /// Builds a preprocessor. The classifier handles raw syslog text; pass
+    /// `None` to treat all syslog as [`AlertKind::Unclassified`] (used by
+    /// ablations).
+    pub fn new(cfg: PreprocessorConfig, classifier: Option<SyslogClassifier>) -> Self {
+        Preprocessor {
+            cfg,
+            classifier,
+            open: HashMap::new(),
+            pending: HashMap::new(),
+            held_drops: VecDeque::new(),
+            corroborators: VecDeque::new(),
+            recent_surges: HashMap::new(),
+            stats: PreprocessStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PreprocessStats {
+        self.stats
+    }
+
+    /// Processes one raw alert, appending any resulting structured alerts.
+    pub fn push(&mut self, raw: &RawAlert, out: &mut Vec<StructuredAlert>) {
+        self.stats.raw += 1;
+        let now = raw.timestamp;
+
+        // Normalization: resolve the kind.
+        let kind = match &raw.body {
+            AlertBody::Known(k) => *k,
+            AlertBody::SyslogText(text) => self
+                .classifier
+                .as_ref()
+                .map(|c| c.classify(text))
+                .unwrap_or(AlertKind::Unclassified),
+        };
+
+        // Location: a link/path alert is split into two alerts, one per
+        // endpoint (§4.1).
+        self.ingest(raw, kind, raw.location.clone(), now, out);
+        if let Some(peer) = &raw.peer {
+            self.stats.raw += 1;
+            self.ingest(raw, kind, peer.clone(), now, out);
+        }
+        self.expire(now, out);
+    }
+
+    fn ingest(
+        &mut self,
+        raw: &RawAlert,
+        kind: AlertKind,
+        location: LocationPath,
+        now: SimTime,
+        out: &mut Vec<StructuredAlert>,
+    ) {
+        let ty = AlertType::new(raw.source, kind);
+        let key = (ty, location.clone());
+        let mut candidate = StructuredAlert {
+            ty,
+            first_seen: now,
+            last_seen: now,
+            location,
+            count: 1,
+            magnitude: raw.magnitude,
+            cause: raw.cause,
+        };
+
+        // Stage 1: identical-alert consolidation.
+        if let Some(group) = self.open.get_mut(&key) {
+            if now.since(group.alert.last_seen) <= self.cfg.dedup_window {
+                group.alert.absorb(&candidate);
+                self.stats.deduplicated += 1;
+                // Periodic refresh keeps downstream trees fresh while the
+                // condition lasts.
+                let refresh = if now.since(group.last_emitted) >= self.cfg.refresh_interval {
+                    group.last_emitted = now;
+                    Some(group.alert.clone())
+                } else {
+                    None
+                };
+                if let Some(alert) = refresh {
+                    self.emit(alert, out);
+                }
+                return;
+            }
+            self.open.remove(&key);
+        }
+
+        // Stage 2a: persistence gate for sporadic-prone kinds.
+        if needs_persistence(kind) {
+            let threshold = self.cfg.persistence_threshold;
+            let window = self.cfg.persistence_window;
+            let pending = self
+                .pending
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    let mut empty = candidate.clone();
+                    empty.count = 0; // absorbed below
+                    PendingPersistence {
+                        alert: empty,
+                        sightings: 0,
+                    }
+                });
+            if pending.sightings > 0 && now.since(pending.alert.last_seen) > window {
+                // Stale pending state: restart the count.
+                let mut empty = candidate.clone();
+                empty.count = 0;
+                pending.alert = empty;
+                pending.sightings = 0;
+            }
+            pending.sightings += 1;
+            pending.alert.absorb(&candidate);
+            if pending.sightings < threshold {
+                self.stats.filtered_sporadic += 1;
+                return;
+            }
+            candidate = self.pending.remove(&key).expect("just inserted").alert;
+        }
+
+        // Stage 2b: related-alert suppression — one surge representative
+        // per site within the dedup window.
+        if kind == AlertKind::TrafficSurge {
+            let site = candidate.location.truncate_at(LocationLevel::Site);
+            if let Some(&t) = self.recent_surges.get(&site) {
+                if now.since(t) <= self.cfg.dedup_window {
+                    self.stats.deduplicated += 1;
+                    return;
+                }
+            }
+            self.recent_surges.insert(site, now);
+        }
+
+        // Stage 3: cross-source corroboration for traffic drops.
+        if needs_corroboration(kind) {
+            if self.is_corroborated(&candidate.location, now) {
+                self.open.insert(
+                    key,
+                    OpenGroup {
+                        alert: candidate.clone(),
+                        last_emitted: now,
+                    },
+                );
+                self.emit(candidate, out);
+            } else {
+                self.held_drops.push_back(candidate);
+            }
+            return;
+        }
+
+        // Corroborating alerts release held drops near them.
+        if corroborates(kind.class()) {
+            self.corroborators.push_back((now, candidate.location.clone()));
+            let mut released = Vec::new();
+            self.held_drops.retain(|d| {
+                let related = d.location.contains(&candidate.location)
+                    || candidate.location.contains(&d.location);
+                let fresh = now.since(d.last_seen) <= self.cfg.corroboration_window;
+                if related && fresh {
+                    released.push(d.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for drop in released {
+                let key = (drop.ty, drop.location.clone());
+                self.open.insert(
+                    key,
+                    OpenGroup {
+                        alert: drop.clone(),
+                        last_emitted: now,
+                    },
+                );
+                self.emit(drop, out);
+            }
+        }
+
+        self.open.insert(
+            key,
+            OpenGroup {
+                alert: candidate.clone(),
+                last_emitted: now,
+            },
+        );
+        self.emit(candidate, out);
+    }
+
+    fn is_corroborated(&self, location: &LocationPath, now: SimTime) -> bool {
+        self.corroborators.iter().any(|(t, loc)| {
+            now.since(*t) <= self.cfg.corroboration_window
+                && (loc.contains(location) || location.contains(loc))
+        })
+    }
+
+    fn emit(&mut self, alert: StructuredAlert, out: &mut Vec<StructuredAlert>) {
+        self.stats.emitted += 1;
+        out.push(alert);
+    }
+
+    /// Drops expired held/pending state. Uncorroborated drops die silently.
+    fn expire(&mut self, now: SimTime, _out: &mut [StructuredAlert]) {
+        let window = self.cfg.corroboration_window;
+        let before = self.held_drops.len();
+        self.held_drops
+            .retain(|d| now.since(d.last_seen) <= window);
+        self.stats.filtered_uncorroborated += (before - self.held_drops.len()) as u64;
+        while let Some(&(t, _)) = self.corroborators.front() {
+            if now.since(t) > window {
+                self.corroborators.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Flushes end-of-stream state (held drops are discarded as
+    /// uncorroborated).
+    pub fn finish(&mut self) {
+        self.stats.filtered_uncorroborated += self.held_drops.len() as u64;
+        self.held_drops.clear();
+        self.pending.clear();
+        self.open.clear();
+    }
+
+    /// Convenience: processes a whole batch and returns the structured
+    /// stream.
+    pub fn process_batch(&mut self, alerts: &[RawAlert]) -> Vec<StructuredAlert> {
+        let mut out = Vec::new();
+        for a in alerts {
+            self.push(a, &mut out);
+        }
+        self.finish();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::DataSource;
+
+    fn loc(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    fn pp() -> Preprocessor {
+        Preprocessor::new(PreprocessorConfig::default(), None)
+    }
+
+    fn known(
+        source: DataSource,
+        kind: AlertKind,
+        secs: u64,
+        location: &str,
+    ) -> RawAlert {
+        RawAlert::known(source, SimTime::from_secs(secs), loc(location), kind)
+    }
+
+    #[test]
+    fn identical_alerts_are_consolidated() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            p.push(
+                &known(
+                    DataSource::OutOfBand,
+                    AlertKind::DeviceInaccessible,
+                    i * 2,
+                    "R|C|L|S|K|d1",
+                ),
+                &mut out,
+            );
+        }
+        assert_eq!(out.len(), 1, "repeats within the window emit once");
+        assert_eq!(p.stats().deduplicated, 9);
+    }
+
+    #[test]
+    fn long_lived_groups_refresh_periodically() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        for i in 0..13 {
+            p.push(
+                &known(
+                    DataSource::OutOfBand,
+                    AlertKind::DeviceInaccessible,
+                    i * 30,
+                    "R|C|L|S|K|d1",
+                ),
+                &mut out,
+            );
+        }
+        // 6 minutes of repeats at 30 s, refresh every 60 s: first emission
+        // plus refreshes at 60/120/...; all the same group.
+        assert!(out.len() >= 4 && out.len() <= 8, "got {}", out.len());
+        let last = out.last().unwrap();
+        assert_eq!(last.count, 13);
+        assert_eq!(last.first_seen, SimTime::ZERO);
+    }
+
+    #[test]
+    fn reoccurrence_after_window_is_a_new_alert() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &known(DataSource::Snmp, AlertKind::LinkDown, 0, "R|C|L|S|K|d1"),
+            &mut out,
+        );
+        p.push(
+            &known(DataSource::Snmp, AlertKind::LinkDown, 600, "R|C|L|S|K|d1"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|a| a.count == 1));
+    }
+
+    #[test]
+    fn sporadic_packet_loss_is_filtered_persistent_is_kept() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        // One isolated blip: filtered.
+        p.push(
+            &known(DataSource::Ping, AlertKind::PacketLossIcmp, 0, "R|C|L|S"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.stats().filtered_sporadic, 1);
+        // A second sighting within the persistence window: emitted with the
+        // full history.
+        p.push(
+            &known(DataSource::Ping, AlertKind::PacketLossIcmp, 2, "R|C|L|S"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].count, 2);
+        assert_eq!(out[0].first_seen, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stale_persistence_counts_restart() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &known(DataSource::Ping, AlertKind::PacketLossIcmp, 0, "R|C|L|S"),
+            &mut out,
+        );
+        // 10 minutes later — outside the persistence window.
+        p.push(
+            &known(DataSource::Ping, AlertKind::PacketLossIcmp, 600, "R|C|L|S"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "two blips far apart are both sporadic");
+    }
+
+    #[test]
+    fn peer_alerts_are_split_into_two_locations() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        let mut raw = known(DataSource::Ping, AlertKind::LinkDown, 0, "R|C|L|S1");
+        raw.peer = Some(loc("R|C|L|S2"));
+        p.push(&raw, &mut out);
+        assert_eq!(out.len(), 2);
+        let locs: Vec<String> = out.iter().map(|a| a.location.to_string()).collect();
+        assert!(locs.contains(&"R|C|L|S1".to_string()));
+        assert!(locs.contains(&"R|C|L|S2".to_string()));
+    }
+
+    #[test]
+    fn uncorroborated_traffic_drop_is_discarded() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 0, "R|C|L|S"),
+            &mut out,
+        );
+        assert!(out.is_empty(), "a lone drop is expected user behaviour");
+        // Push something far away much later to trigger expiry.
+        p.push(
+            &known(DataSource::Snmp, AlertKind::LinkDown, 500, "Q|C|L|S|K|d9"),
+            &mut out,
+        );
+        p.finish();
+        assert!(p.stats().filtered_uncorroborated >= 1);
+        assert!(out.iter().all(|a| a.ty.kind != AlertKind::TrafficDrop));
+    }
+
+    #[test]
+    fn corroborated_traffic_drop_is_released() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 0, "R|C|L|S"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // A root-cause alert under the same site corroborates it.
+        p.push(
+            &known(DataSource::Snmp, AlertKind::LinkDown, 30, "R|C|L|S|K|d1"),
+            &mut out,
+        );
+        let kinds: Vec<AlertKind> = out.iter().map(|a| a.ty.kind).collect();
+        assert!(kinds.contains(&AlertKind::TrafficDrop));
+        assert!(kinds.contains(&AlertKind::LinkDown));
+    }
+
+    #[test]
+    fn drop_already_corroborated_emits_immediately() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &known(DataSource::Snmp, AlertKind::LinkDown, 0, "R|C|L|S|K|d1"),
+            &mut out,
+        );
+        p.push(
+            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 10, "R|C|L|S"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn surge_ripples_keep_one_representative_per_site() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        for d in ["d1", "d2", "d3"] {
+            // Two sightings each to pass persistence.
+            for t in [0, 2] {
+                p.push(
+                    &known(
+                        DataSource::Snmp,
+                        AlertKind::TrafficSurge,
+                        t,
+                        &format!("R|C|L|S|K|{d}"),
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        assert_eq!(out.len(), 1, "adjacent surges are related alerts");
+    }
+
+    #[test]
+    fn syslog_without_classifier_is_unclassified() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        p.push(
+            &RawAlert::syslog(SimTime::ZERO, loc("R|C|L|S|K|d1"), "mystery message"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ty.kind, AlertKind::Unclassified);
+        assert_eq!(out[0].ty.source, DataSource::Syslog);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut p = pp();
+        let mut out = Vec::new();
+        for i in 0..20 {
+            p.push(
+                &known(DataSource::Snmp, AlertKind::LinkDown, i, "R|C|L|S|K|d1"),
+                &mut out,
+            );
+        }
+        let s = p.stats();
+        assert_eq!(s.raw, 20);
+        assert_eq!(s.emitted as usize, out.len());
+        assert_eq!(s.deduplicated, 19);
+    }
+}

@@ -1,0 +1,377 @@
+//! Heuristic rules and automatic SOPs for *known* failures (§7.2, §7.3).
+//!
+//! Before SkyNet, ~1,000 hand-written rules mapped familiar alert patterns
+//! to mitigation plans. The paper keeps the rule system for minor/known
+//! failures and routes everything else through SkyNet. The canonical rule
+//! (§7.2):
+//!
+//! - a device within a group is losing packets,
+//! - no other device of the group alerts,
+//! - the group's total traffic is below a threshold,
+//!
+//! → isolate the device, with a prepared rollback plan.
+
+use crate::locator::Incident;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertClass, AlertKind, LocationLevel, LocationPath};
+use skynet_topology::Topology;
+use std::sync::Arc;
+
+/// The mitigation an SOP performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SopAction {
+    /// Take a device out of forwarding.
+    IsolateDevice(LocationPath),
+    /// Block traffic toward a location (DDoS response).
+    BlockTraffic(LocationPath),
+    /// Drain a congested aggregation layer.
+    DrainLocation(LocationPath),
+}
+
+/// A matched plan: the rule, the bound action and the rollback recipe the
+/// operators can revert with (§7.2: "a rollback plan is prepared").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SopPlan {
+    /// Rule that matched.
+    pub rule: String,
+    /// Concrete action.
+    pub action: SopAction,
+    /// Manual rollback instructions.
+    pub rollback: String,
+}
+
+/// What a rule does when it matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SopActionKind {
+    /// Isolate the single alerting device.
+    IsolateDevice,
+    /// Block traffic at the incident location.
+    BlockTraffic,
+    /// Drain the incident location.
+    DrainLocation,
+}
+
+/// A declarative heuristic rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SopRule {
+    /// Rule name (shown in the plan).
+    pub name: String,
+    /// Alert kinds that must all be present in the incident.
+    pub required_kinds: Vec<AlertKind>,
+    /// Alert classes that must all be present.
+    pub required_classes: Vec<AlertClass>,
+    /// The incident root must be at this level or deeper (known failures
+    /// are narrow; a region-wide incident never matches a device rule).
+    pub min_depth: LocationLevel,
+    /// Require that exactly one device-level location alerts and that no
+    /// sibling of its aggregation group appears in the incident (the §7.2
+    /// "no other device in this group generates alerts" condition).
+    pub require_isolated_device: bool,
+    /// The flows riding the alerting device's links must total below this
+    /// (Gbps). `f64::INFINITY` disables the check.
+    pub max_device_traffic_gbps: f64,
+    /// Action template.
+    pub action: SopActionKind,
+    /// Rollback recipe.
+    pub rollback: String,
+}
+
+impl SopRule {
+    /// The §7.2 device-isolation rule.
+    pub fn device_isolation() -> Self {
+        SopRule {
+            name: "isolate-lossy-device".into(),
+            required_kinds: vec![],
+            required_classes: vec![AlertClass::Failure],
+            min_depth: LocationLevel::Cluster,
+            require_isolated_device: true,
+            max_device_traffic_gbps: 200.0,
+            action: SopActionKind::IsolateDevice,
+            rollback: "re-enable forwarding on the isolated device and verify BGP sessions"
+                .into(),
+        }
+    }
+
+    /// A DDoS blocking rule: surge + congestion confined to one cluster.
+    pub fn ddos_block() -> Self {
+        SopRule {
+            name: "block-ddos-target".into(),
+            required_kinds: vec![AlertKind::TrafficSurge, AlertKind::TrafficCongestion],
+            required_classes: vec![],
+            min_depth: LocationLevel::Cluster,
+            require_isolated_device: false,
+            max_device_traffic_gbps: f64::INFINITY,
+            action: SopActionKind::BlockTraffic,
+            rollback: "remove the blackhole routes installed for the attack sources".into(),
+        }
+    }
+}
+
+/// The rule engine.
+#[derive(Debug, Clone)]
+pub struct SopEngine {
+    topo: Arc<Topology>,
+    rules: Vec<SopRule>,
+}
+
+impl SopEngine {
+    /// Engine with a custom rule set.
+    pub fn new(topo: &Arc<Topology>, rules: Vec<SopRule>) -> Self {
+        SopEngine {
+            topo: Arc::clone(topo),
+            rules,
+        }
+    }
+
+    /// Engine with the standard rules.
+    pub fn standard(topo: &Arc<Topology>) -> Self {
+        Self::new(topo, vec![SopRule::device_isolation(), SopRule::ddos_block()])
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SopRule] {
+        &self.rules
+    }
+
+    /// Tries every rule in order; the first full match wins ("if any
+    /// conditions are unmet, mitigation is not initiated").
+    pub fn match_incident(&self, incident: &Incident) -> Option<SopPlan> {
+        self.rules
+            .iter()
+            .find_map(|rule| self.try_rule(rule, incident))
+    }
+
+    fn try_rule(&self, rule: &SopRule, incident: &Incident) -> Option<SopPlan> {
+        if incident.root.depth() < rule.min_depth.depth() {
+            return None;
+        }
+        for kind in &rule.required_kinds {
+            if !incident.alerts.iter().any(|a| a.ty.kind == *kind) {
+                return None;
+            }
+        }
+        for class in &rule.required_classes {
+            if !incident.has_class(*class) {
+                return None;
+            }
+        }
+
+        let target = if rule.require_isolated_device {
+            Some(self.isolated_device(incident)?)
+        } else {
+            None
+        };
+
+        if let Some(device_loc) = &target {
+            if rule.max_device_traffic_gbps.is_finite() {
+                let device = self
+                    .topo
+                    .devices_under(device_loc)
+                    .next()
+                    .expect("isolated_device returns an existing device");
+                let traffic: f64 = self
+                    .topo
+                    .links_of(device.id)
+                    .iter()
+                    .flat_map(|&l| {
+                        self.topo
+                            .flows_on_circuit_set(self.topo.link(l).circuit_set.id)
+                    })
+                    .map(|&fi| self.topo.flows()[fi].rate_gbps)
+                    .sum();
+                if traffic > rule.max_device_traffic_gbps {
+                    return None;
+                }
+            }
+        }
+
+        let action = match rule.action {
+            SopActionKind::IsolateDevice => SopAction::IsolateDevice(target?),
+            SopActionKind::BlockTraffic => SopAction::BlockTraffic(incident.root.clone()),
+            SopActionKind::DrainLocation => SopAction::DrainLocation(incident.root.clone()),
+        };
+        Some(SopPlan {
+            rule: rule.name.clone(),
+            action,
+            rollback: rule.rollback.clone(),
+        })
+    }
+
+    /// The single alerting device of the incident, provided no sibling of
+    /// its aggregation group also alerts. Device-level alert locations are
+    /// required; broader locations (site-wide ping loss) don't disqualify
+    /// the device but alerts on *another* device do.
+    fn isolated_device(&self, incident: &Incident) -> Option<LocationPath> {
+        let mut device_locs: Vec<&LocationPath> = incident
+            .alerts
+            .iter()
+            .map(|a| &a.location)
+            .filter(|l| l.level() == Some(LocationLevel::Device))
+            .collect();
+        device_locs.sort_by_key(|l| l.to_string());
+        device_locs.dedup();
+        match device_locs.as_slice() {
+            [single] => {
+                let device = self
+                    .topo
+                    .devices_under(single)
+                    .next()?;
+                // No sibling of the group may alert at all.
+                let group_loc = device
+                    .location
+                    .truncate_at(device.role.serves_level());
+                let siblings = self.topo.agg_group(&group_loc);
+                let clean = siblings.iter().all(|&s| {
+                    s == device.id
+                        || !incident
+                            .alerts
+                            .iter()
+                            .any(|a| a.location.contains(&self.topo.device(s).location))
+                });
+                clean.then(|| (*single).clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{
+        DataSource, IncidentId, RawAlert, SimTime, StructuredAlert,
+    };
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(generate(&GeneratorConfig::small()))
+    }
+
+    fn salert(kind: AlertKind, location: LocationPath) -> StructuredAlert {
+        let raw = RawAlert::known(DataSource::Ping, SimTime::ZERO, location, kind)
+            .with_magnitude(0.2);
+        StructuredAlert::from_raw(&raw, kind)
+    }
+
+    fn incident(root: LocationPath, alerts: Vec<StructuredAlert>) -> Incident {
+        Incident {
+            id: IncidentId(0),
+            root,
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(60),
+            alerts,
+        }
+    }
+
+    #[test]
+    fn lone_lossy_device_is_isolated() {
+        let t = topo();
+        let engine = SopEngine::standard(&t);
+        // A leaf switch: low enough traffic for the isolation rule's
+        // threshold (a loaded DCBR would be vetoed).
+        let device = t
+            .devices()
+            .iter()
+            .find(|d| d.role == skynet_topology::DeviceRole::Leaf)
+            .unwrap()
+            .location
+            .clone();
+        let i = incident(
+            device.parent(),
+            vec![
+                salert(AlertKind::PacketLossIcmp, device.clone()),
+                salert(AlertKind::PacketLossTcp, device.clone()),
+            ],
+        );
+        let plan = engine.match_incident(&i).expect("the §7.2 rule matches");
+        assert_eq!(plan.rule, "isolate-lossy-device");
+        assert_eq!(plan.action, SopAction::IsolateDevice(device));
+        assert!(!plan.rollback.is_empty());
+    }
+
+    #[test]
+    fn sibling_alerts_block_the_isolation_rule() {
+        let t = topo();
+        let engine = SopEngine::standard(&t);
+        // Two leaves of the same cluster both alert: the failure is not
+        // confined to one device.
+        let cluster = t.clusters()[0].clone();
+        let group = t.agg_group(&cluster);
+        assert!(group.len() >= 2);
+        let d1 = t.device(group[0]).location.clone();
+        let d2 = t.device(group[1]).location.clone();
+        let i = incident(
+            cluster,
+            vec![
+                salert(AlertKind::PacketLossIcmp, d1),
+                salert(AlertKind::PacketLossTcp, d2),
+            ],
+        );
+        assert!(engine.match_incident(&i).is_none());
+    }
+
+    #[test]
+    fn wide_incidents_never_match_device_rules() {
+        let t = topo();
+        let engine = SopEngine::standard(&t);
+        let region = LocationPath::parse("Region-0").unwrap();
+        let i = incident(
+            region.clone(),
+            vec![
+                salert(AlertKind::PacketLossIcmp, region.clone()),
+                salert(AlertKind::PacketLossTcp, region),
+            ],
+        );
+        assert!(
+            engine.match_incident(&i).is_none(),
+            "severe region-wide failures go to SkyNet, not SOPs"
+        );
+    }
+
+    #[test]
+    fn ddos_rule_blocks_traffic_at_the_cluster() {
+        let t = topo();
+        let engine = SopEngine::standard(&t);
+        let cluster = t.clusters()[0].clone();
+        let i = incident(
+            cluster.clone(),
+            vec![
+                salert(AlertKind::TrafficSurge, cluster.clone()),
+                salert(AlertKind::TrafficCongestion, cluster.clone()),
+            ],
+        );
+        let plan = engine.match_incident(&i).expect("ddos rule matches");
+        assert_eq!(plan.action, SopAction::BlockTraffic(cluster));
+    }
+
+    #[test]
+    fn traffic_threshold_blocks_isolation_of_loaded_devices() {
+        let t = topo();
+        let mut rule = SopRule::device_isolation();
+        rule.max_device_traffic_gbps = 0.0; // nothing is below this
+        let engine = SopEngine::new(&t, vec![rule]);
+        // A leaf that actually carries flows.
+        let device = t
+            .devices()
+            .iter()
+            .find(|d| {
+                t.links_of(d.id).iter().any(|&l| {
+                    !t.flows_on_circuit_set(t.link(l).circuit_set.id).is_empty()
+                })
+            })
+            .expect("some device carries traffic")
+            .location
+            .clone();
+        let i = incident(
+            device.parent(),
+            vec![
+                salert(AlertKind::PacketLossIcmp, device.clone()),
+                salert(AlertKind::PacketLossTcp, device),
+            ],
+        );
+        assert!(
+            engine.match_incident(&i).is_none(),
+            "high traffic through the group must veto automatic isolation"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Root-cause taxonomy with the observed production mix of Fig. 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Root-cause category of a network failure, with the proportions the paper
+/// reports for its production network (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RootCauseCategory {
+    /// Device hardware error — 42.6% of failures.
+    DeviceHardware,
+    /// Link error (cable, optics) — 18.5%.
+    Link,
+    /// Network modification error (bad maintenance/config push) — 16.7%.
+    NetworkModification,
+    /// Device software error — 9.3%.
+    DeviceSoftware,
+    /// Infrastructure error (power, cooling, facility) — 9.3%.
+    Infrastructure,
+    /// Route error (control plane) — 1.9%.
+    Route,
+    /// Security incident (e.g. DDoS) — 1.9%.
+    Security,
+    /// Configuration error — 1.9%.
+    Configuration,
+}
+
+impl RootCauseCategory {
+    /// All categories, Fig. 1 order (largest share first).
+    pub const ALL: [RootCauseCategory; 8] = [
+        RootCauseCategory::DeviceHardware,
+        RootCauseCategory::Link,
+        RootCauseCategory::NetworkModification,
+        RootCauseCategory::DeviceSoftware,
+        RootCauseCategory::Infrastructure,
+        RootCauseCategory::Route,
+        RootCauseCategory::Security,
+        RootCauseCategory::Configuration,
+    ];
+
+    /// The paper's observed share of failures in this category (Fig. 1).
+    pub const fn paper_share(self) -> f64 {
+        match self {
+            RootCauseCategory::DeviceHardware => 0.426,
+            RootCauseCategory::Link => 0.185,
+            RootCauseCategory::NetworkModification => 0.167,
+            RootCauseCategory::DeviceSoftware => 0.093,
+            RootCauseCategory::Infrastructure => 0.093,
+            RootCauseCategory::Route => 0.019,
+            RootCauseCategory::Security => 0.019,
+            RootCauseCategory::Configuration => 0.019,
+        }
+    }
+
+    /// Display name matching Fig. 1's labels.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RootCauseCategory::DeviceHardware => "Device hardware error",
+            RootCauseCategory::Link => "Link error",
+            RootCauseCategory::NetworkModification => "Network modification error",
+            RootCauseCategory::DeviceSoftware => "Device software error",
+            RootCauseCategory::Infrastructure => "Infrastructure error",
+            RootCauseCategory::Route => "Route error",
+            RootCauseCategory::Security => "Security error",
+            RootCauseCategory::Configuration => "Configuration error",
+        }
+    }
+}
+
+impl fmt::Display for RootCauseCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let sum: f64 = RootCauseCategory::ALL.iter().map(|c| c.paper_share()).sum();
+        assert!((sum - 1.021).abs() < 1e-9, "Fig. 1 shares sum to {sum}");
+        // (Fig. 1's printed percentages add to 102.1% due to rounding in
+        // the paper; we keep the printed values and normalize on sampling.)
+    }
+
+    #[test]
+    fn hardware_is_the_plurality() {
+        for c in RootCauseCategory::ALL {
+            assert!(RootCauseCategory::DeviceHardware.paper_share() >= c.paper_share());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Concrete timed network conditions inflicted by failures.
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{DeviceId, LinkId, LocationPath, SimTime};
+
+/// What a network effect does while active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EffectKind {
+    /// `broken` circuits of the link's circuit set are out of service. The
+    /// link's capacity shrinks proportionally; with all circuits broken the
+    /// link is down.
+    CircuitBreaks {
+        /// Affected link.
+        link: LinkId,
+        /// Number of broken circuits (clamped to the set size downstream).
+        broken: u32,
+    },
+    /// The device is completely down (power loss, crash).
+    DeviceDown {
+        /// Affected device.
+        device: DeviceId,
+    },
+    /// The device forwards but drops a fraction of packets (gray failure —
+    /// ASIC fault, linecard error, silent loss).
+    DeviceDegraded {
+        /// Affected device.
+        device: DeviceId,
+        /// Packet-loss fraction in `[0, 1]` for traffic through the device.
+        loss: f64,
+        /// Whether the device itself notices and logs the fault (hardware
+        /// errors usually do; silent loss does not — syslog coverage gap,
+        /// §2.1).
+        device_aware: bool,
+    },
+    /// Extra offered load on a link (DDoS, reroute spillover), as a
+    /// fraction of the link's healthy capacity.
+    ExtraLoad {
+        /// Affected link.
+        link: LinkId,
+        /// Additional load as a fraction of healthy capacity (0.5 = +50%).
+        load: f64,
+    },
+    /// The device's BGP sessions flap repeatedly.
+    BgpChurn {
+        /// Affected device.
+        device: DeviceId,
+    },
+    /// Control-plane route anomaly scoped to a location.
+    RouteAnomaly {
+        /// Scope of the anomaly (usually a region or city).
+        scope: LocationPath,
+        /// What the route monitor would call it.
+        anomaly: RouteAnomalyKind,
+    },
+    /// Device clock drifting out of PTP synchronization.
+    ClockDrift {
+        /// Affected device.
+        device: DeviceId,
+    },
+    /// High CPU/RAM on a device (precursor or side effect of failures;
+    /// also delays the device's own SNMP reporting, §4.2).
+    ResourceExhaustion {
+        /// Affected device.
+        device: DeviceId,
+        /// CPU utilization in `[0, 1]`.
+        cpu: f64,
+    },
+}
+
+/// Control-plane anomaly kinds seen by route monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteAnomalyKind {
+    /// A more-specific prefix announced by the wrong origin.
+    Hijack,
+    /// Routes leaked beyond their intended scope.
+    Leak,
+    /// Loss of a default or aggregate route.
+    DefaultRouteLoss,
+}
+
+/// A network effect active over `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEffect {
+    /// When the condition begins.
+    pub start: SimTime,
+    /// When the condition clears.
+    pub end: SimTime,
+    /// The condition itself.
+    pub kind: EffectKind,
+}
+
+impl NetworkEffect {
+    /// Builds an effect over a half-open interval.
+    pub fn new(start: SimTime, end: SimTime, kind: EffectKind) -> Self {
+        debug_assert!(start <= end, "effect interval is inverted");
+        NetworkEffect { start, end, kind }
+    }
+
+    /// True while the condition holds at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_interval() {
+        let e = NetworkEffect::new(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            EffectKind::DeviceDown {
+                device: DeviceId(0),
+            },
+        );
+        assert!(!e.active_at(SimTime::from_secs(9)));
+        assert!(e.active_at(SimTime::from_secs(10)));
+        assert!(e.active_at(SimTime::from_millis(19_999)));
+        assert!(!e.active_at(SimTime::from_secs(20)));
+    }
+}

@@ -1,0 +1,698 @@
+//! Failure constructors and the Fig. 1-weighted random injector.
+//!
+//! Each constructor builds one [`FailureEvent`] with the network effects the
+//! real-world failure would inflict, including *propagated* effects: a dead
+//! aggregation device spills its traffic onto its ECMP siblings (the
+//! congestion-follows-reroute dynamic behind the §2.2 war story), a DDoS
+//! loads the victim's entry links, an infrastructure outage takes a whole
+//! cluster down.
+
+use crate::catalog::RootCauseCategory;
+use crate::effect::{EffectKind, NetworkEffect, RouteAnomalyKind};
+use crate::scenario::{FailureEvent, Scenario};
+use rand::prelude::*;
+use skynet_model::{DeviceId, FailureId, LinkId, LocationLevel, LocationPath, SimDuration, SimTime};
+use skynet_topology::{DeviceRole, Topology};
+use std::sync::Arc;
+
+/// Accumulates failure events against a topology and finishes into a
+/// [`Scenario`].
+#[derive(Debug)]
+pub struct Injector {
+    topo: Arc<Topology>,
+    events: Vec<FailureEvent>,
+}
+
+impl Injector {
+    /// Starts injecting against a topology.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        Injector {
+            topo,
+            events: Vec::new(),
+        }
+    }
+
+    /// The topology under injection.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Number of events injected so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes into a scenario covering `[0, horizon)`.
+    pub fn finish(self, horizon: SimTime) -> Scenario {
+        Scenario::new(self.topo, self.events, horizon)
+    }
+
+    fn push(&mut self, mut event: FailureEvent) -> FailureId {
+        let id = FailureId::from_index(self.events.len());
+        event.id = id;
+        self.events.push(event);
+        id
+    }
+
+    /// True if any customer flow rides a link of this device.
+    fn impacts_customers(&self, device: DeviceId) -> bool {
+        self.topo.links_of(device).iter().any(|&l| {
+            !self
+                .topo
+                .flows_on_circuit_set(self.topo.link(l).circuit_set.id)
+                .is_empty()
+        })
+    }
+
+    /// Spillover effects: the base traffic of `device`'s links redistributed
+    /// as [`EffectKind::ExtraLoad`] onto the parallel links of its ECMP
+    /// siblings (devices of the same aggregation group).
+    fn spillover(&self, device: DeviceId, start: SimTime, end: SimTime) -> Vec<NetworkEffect> {
+        let dev = self.topo.device(device);
+        let group_loc = dev.location.truncate_at(dev.role.serves_level());
+        let siblings: Vec<DeviceId> = self
+            .topo
+            .agg_group(&group_loc)
+            .iter()
+            .copied()
+            .filter(|&d| d != device)
+            .collect();
+        if siblings.is_empty() {
+            return Vec::new();
+        }
+        let mut effects = Vec::new();
+        for &link_id in self.topo.links_of(device) {
+            let link = self.topo.link(link_id);
+            let base: f64 = self
+                .topo
+                .flows_on_circuit_set(link.circuit_set.id)
+                .iter()
+                .map(|&i| self.topo.flows()[i].rate_gbps)
+                .sum();
+            if base <= 0.0 {
+                continue;
+            }
+            let Some(peer) = link.other(device).and_then(|e| e.device()) else {
+                continue;
+            };
+            // The peer re-hashes the displaced traffic across its links to
+            // the surviving siblings.
+            let sibling_links: Vec<LinkId> = siblings
+                .iter()
+                .filter_map(|&s| self.topo.link_between(peer, s))
+                .collect();
+            if sibling_links.is_empty() {
+                continue;
+            }
+            let share = base / sibling_links.len() as f64;
+            for sl in sibling_links {
+                let cap = self.topo.link(sl).circuit_set.total_capacity_gbps();
+                if cap <= 0.0 {
+                    continue;
+                }
+                effects.push(NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::ExtraLoad {
+                        link: sl,
+                        load: share / cap,
+                    },
+                ));
+            }
+        }
+        effects
+    }
+
+    /// Fig. 2a-style known failure: one device develops a hardware fault,
+    /// dropping a fraction of transit packets. `device_aware` hardware
+    /// errors also appear in the device's syslog.
+    pub fn device_hardware(
+        &mut self,
+        device: DeviceId,
+        start: SimTime,
+        duration: SimDuration,
+        loss: f64,
+        device_aware: bool,
+    ) -> FailureId {
+        let end = start + duration;
+        let dev = self.topo.device(device);
+        let severe = dev.role != DeviceRole::Leaf;
+        let epicenter = dev.location.clone();
+        let customer_impacting = self.impacts_customers(device);
+        let effects = vec![
+            NetworkEffect::new(
+                start,
+                end,
+                EffectKind::DeviceDegraded {
+                    device,
+                    loss,
+                    device_aware,
+                },
+            ),
+            NetworkEffect::new(start, end, EffectKind::ResourceExhaustion { device, cpu: 0.92 }),
+        ];
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::DeviceHardware,
+            description: format!("hardware fault on {} ({:.0}% loss)", dev.name(), loss * 100.0),
+            epicenter,
+            severe,
+            customer_impacting,
+            effects,
+        })
+    }
+
+    /// Whole-device outage with traffic spilling onto ECMP siblings.
+    pub fn device_down(
+        &mut self,
+        device: DeviceId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let dev = self.topo.device(device);
+        let severe = dev.role != DeviceRole::Leaf;
+        let epicenter = dev.location.clone();
+        let customer_impacting = self.impacts_customers(device);
+        let mut effects = vec![NetworkEffect::new(
+            start,
+            end,
+            EffectKind::DeviceDown { device },
+        )];
+        effects.extend(self.spillover(device, start, end));
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::DeviceHardware,
+            description: format!("device {} down", dev.name()),
+            epicenter,
+            severe,
+            customer_impacting,
+            effects,
+        })
+    }
+
+    /// The §2.2 severe failure: a fraction of the circuits of *every*
+    /// Internet entry link of a region break at once. The surviving
+    /// capacity congests under the unchanged offered load.
+    pub fn entry_cable_cut(
+        &mut self,
+        region: &LocationPath,
+        fraction: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let entries = self.topo.internet_entries(region).to_vec();
+        assert!(
+            !entries.is_empty(),
+            "region {region} has no internet entries"
+        );
+        let effects: Vec<NetworkEffect> = entries
+            .iter()
+            .map(|&link| {
+                let circuits = self.topo.link(link).circuit_set.circuits;
+                let broken = ((f64::from(circuits) * fraction).round() as u32).min(circuits);
+                NetworkEffect::new(start, end, EffectKind::CircuitBreaks { link, broken })
+            })
+            .collect();
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Link,
+            description: format!(
+                "{:.0}% of internet entry circuits of {region} cut",
+                fraction * 100.0
+            ),
+            epicenter: region.clone(),
+            severe: true,
+            customer_impacting: true,
+            effects,
+        })
+    }
+
+    /// Breaks `broken` circuits of one link's set.
+    pub fn link_cut(
+        &mut self,
+        link: LinkId,
+        broken: u32,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let l = self.topo.link(link);
+        let full = broken >= l.circuit_set.circuits;
+        let epicenter = match (l.a.device(), l.b.device()) {
+            (Some(a), Some(b)) => self
+                .topo
+                .device(a)
+                .location
+                .common_ancestor(&self.topo.device(b).location),
+            (Some(d), None) | (None, Some(d)) => self
+                .topo
+                .device(d)
+                .location
+                .truncate_at(LocationLevel::Region),
+            (None, None) => LocationPath::root(),
+        };
+        let customer_impacting =
+            full && !self.topo.flows_on_circuit_set(l.circuit_set.id).is_empty();
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Link,
+            description: format!("{broken} circuits of {link} cut"),
+            epicenter,
+            severe: full,
+            customer_impacting,
+            effects: vec![NetworkEffect::new(
+                start,
+                end,
+                EffectKind::CircuitBreaks { link, broken },
+            )],
+        })
+    }
+
+    /// A DDoS attack on a cluster: its uplinks and its region's entry links
+    /// are flooded with extra load (§5.1 "multiple scene detection" hit
+    /// five locations at once — call this five times).
+    pub fn ddos(
+        &mut self,
+        cluster: &LocationPath,
+        load: f64,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let mut effects = Vec::new();
+        // Uplinks of the victim cluster's leaves.
+        for &leaf in self.topo.agg_group(cluster) {
+            for &l in self.topo.links_of(leaf) {
+                effects.push(NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::ExtraLoad { link: l, load },
+                ));
+            }
+        }
+        // The attack volume stays within the region's entry headroom (or
+        // is scrubbed upstream): the victim's uplinks are the choke point.
+        // This keeps simultaneous scenes *separate* incidents, as in the
+        // paper's five-location DDoS (§5.1).
+        assert!(!effects.is_empty(), "cluster {cluster} has no leaves");
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Security,
+            description: format!("DDoS on {cluster} (+{:.0}% load)", load * 100.0),
+            epicenter: cluster.clone(),
+            severe: true,
+            customer_impacting: true,
+            effects,
+        })
+    }
+
+    /// A failed network modification on a device: BGP churn plus a brief
+    /// degradation while the bad change is live.
+    pub fn modification_error(
+        &mut self,
+        device: DeviceId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let dev = self.topo.device(device);
+        let customer_impacting = self.impacts_customers(device);
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::NetworkModification,
+            description: format!("modification failed on {}", dev.name()),
+            epicenter: dev.location.clone(),
+            severe: false,
+            customer_impacting,
+            effects: vec![
+                NetworkEffect::new(start, end, EffectKind::BgpChurn { device }),
+                NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::DeviceDegraded {
+                        device,
+                        loss: 0.05,
+                        device_aware: true,
+                    },
+                ),
+            ],
+        })
+    }
+
+    /// A control-plane route error scoped to a location.
+    pub fn route_error(
+        &mut self,
+        scope: &LocationPath,
+        anomaly: RouteAnomalyKind,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Route,
+            description: format!("route anomaly {anomaly:?} in {scope}"),
+            epicenter: scope.clone(),
+            severe: false,
+            customer_impacting: matches!(anomaly, RouteAnomalyKind::DefaultRouteLoss),
+            effects: vec![NetworkEffect::new(
+                start,
+                end,
+                EffectKind::RouteAnomaly {
+                    scope: scope.clone(),
+                    anomaly,
+                },
+            )],
+        })
+    }
+
+    /// A device software error (§2.4's case: runtime errors, reported to
+    /// the vendor): device-aware degradation plus BGP churn and memory
+    /// pressure.
+    pub fn software_error(
+        &mut self,
+        device: DeviceId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let dev = self.topo.device(device);
+        let customer_impacting = self.impacts_customers(device);
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::DeviceSoftware,
+            description: format!("software error on {}", dev.name()),
+            epicenter: dev.location.clone(),
+            severe: false,
+            customer_impacting,
+            effects: vec![
+                NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::DeviceDegraded {
+                        device,
+                        loss: 0.10,
+                        device_aware: true,
+                    },
+                ),
+                NetworkEffect::new(start, end, EffectKind::BgpChurn { device }),
+                NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::ResourceExhaustion { device, cpu: 0.97 },
+                ),
+            ],
+        })
+    }
+
+    /// An infrastructure (power/cooling) outage taking down every device
+    /// under a location.
+    pub fn infrastructure_outage(
+        &mut self,
+        location: &LocationPath,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let victims: Vec<DeviceId> = self
+            .topo
+            .devices_under(location)
+            .map(|d| d.id)
+            .collect();
+        assert!(!victims.is_empty(), "no devices under {location}");
+        let customer_impacting = victims.iter().any(|&d| self.impacts_customers(d));
+        let mut effects: Vec<NetworkEffect> = victims
+            .iter()
+            .map(|&device| NetworkEffect::new(start, end, EffectKind::DeviceDown { device }))
+            .collect();
+        for &v in &victims {
+            effects.extend(self.spillover(v, start, end));
+        }
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Infrastructure,
+            description: format!("power outage under {location} ({} devices)", victims.len()),
+            epicenter: location.clone(),
+            severe: victims.len() > 1,
+            customer_impacting,
+            effects,
+        })
+    }
+
+    /// A configuration error on a device: route leak out of its location
+    /// plus BGP churn.
+    pub fn config_error(
+        &mut self,
+        device: DeviceId,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let end = start + duration;
+        let dev = self.topo.device(device);
+        let scope = dev.location.truncate_at(LocationLevel::LogicSite);
+        self.push(FailureEvent {
+            id: FailureId(0),
+            category: RootCauseCategory::Configuration,
+            description: format!("configuration error on {}", dev.name()),
+            epicenter: dev.location.clone(),
+            severe: false,
+            customer_impacting: false,
+            effects: vec![
+                NetworkEffect::new(start, end, EffectKind::BgpChurn { device }),
+                NetworkEffect::new(
+                    start,
+                    end,
+                    EffectKind::RouteAnomaly {
+                        scope,
+                        anomaly: RouteAnomalyKind::Leak,
+                    },
+                ),
+            ],
+        })
+    }
+
+    /// Injects one failure with a Fig. 1-weighted random category, a random
+    /// target and the given time span. Used to build long-run corpora with
+    /// the paper's root-cause mix.
+    pub fn random<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let weights: Vec<f64> = RootCauseCategory::ALL
+            .iter()
+            .map(|c| c.paper_share())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut category = RootCauseCategory::DeviceHardware;
+        for (c, w) in RootCauseCategory::ALL.iter().zip(&weights) {
+            if pick < *w {
+                category = *c;
+                break;
+            }
+            pick -= *w;
+        }
+        self.random_of_category(rng, category, start, duration)
+    }
+
+    /// Injects one failure of the given category with a random target.
+    pub fn random_of_category<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        category: RootCauseCategory,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> FailureId {
+        let device = DeviceId::from_index(rng.gen_range(0..self.topo.devices().len()));
+        match category {
+            RootCauseCategory::DeviceHardware => {
+                if rng.gen_bool(0.5) {
+                    self.device_down(device, start, duration)
+                } else {
+                    let loss = rng.gen_range(0.05..0.6);
+                    self.device_hardware(device, start, duration, loss, rng.gen_bool(0.7))
+                }
+            }
+            RootCauseCategory::Link => {
+                let link = self.topo.links()[rng.gen_range(0..self.topo.links().len())].id;
+                let circuits = self.topo.link(link).circuit_set.circuits;
+                let broken = rng.gen_range(1..=circuits);
+                self.link_cut(link, broken, start, duration)
+            }
+            RootCauseCategory::NetworkModification => {
+                self.modification_error(device, start, duration)
+            }
+            RootCauseCategory::DeviceSoftware => self.software_error(device, start, duration),
+            RootCauseCategory::Infrastructure => {
+                let clusters = self.topo.clusters();
+                let cluster = clusters[rng.gen_range(0..clusters.len())].clone();
+                self.infrastructure_outage(&cluster, start, duration)
+            }
+            RootCauseCategory::Route => {
+                let scope = self
+                    .topo
+                    .device(device)
+                    .location
+                    .truncate_at(LocationLevel::City);
+                let anomaly = match rng.gen_range(0..3) {
+                    0 => RouteAnomalyKind::Hijack,
+                    1 => RouteAnomalyKind::Leak,
+                    _ => RouteAnomalyKind::DefaultRouteLoss,
+                };
+                self.route_error(&scope, anomaly, start, duration)
+            }
+            RootCauseCategory::Security => {
+                let clusters = self.topo.clusters();
+                let cluster = clusters[rng.gen_range(0..clusters.len())].clone();
+                self.ddos(&cluster, rng.gen_range(1.0..4.0), start, duration)
+            }
+            RootCauseCategory::Configuration => self.config_error(device, start, duration),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NetworkState;
+    use rand_chacha::ChaCha8Rng;
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(generate(&GeneratorConfig::small()))
+    }
+
+    #[test]
+    fn entry_cable_cut_congests_surviving_entries() {
+        let topo = topo();
+        let region = LocationPath::parse("Region-0").unwrap();
+        let mut inj = Injector::new(topo.clone());
+        inj.entry_cable_cut(
+            &region,
+            0.5,
+            SimTime::from_secs(60),
+            SimDuration::from_mins(30),
+        );
+        let s = inj.finish(SimTime::from_mins(60));
+        let state = NetworkState::at(&s, SimTime::from_mins(5));
+        for &entry in topo.internet_entries(&region) {
+            let (n, _) = state.broken_circuits(entry).unwrap();
+            assert_eq!(n, topo.link(entry).circuit_set.circuits / 2);
+            // Remaining capacity halves, utilization doubles vs healthy.
+            let healthy_cap = topo.link(entry).circuit_set.total_capacity_gbps();
+            assert!((state.remaining_capacity_gbps(entry) - healthy_cap / 2.0).abs() < 1e-9);
+        }
+        let event = &s.events()[0];
+        assert!(event.severe);
+        assert_eq!(event.category, RootCauseCategory::Link);
+        assert_eq!(event.epicenter, region);
+    }
+
+    #[test]
+    fn device_down_spills_load_onto_siblings() {
+        let topo = topo();
+        // Pick a CSR that carries flows.
+        let csr = topo
+            .devices()
+            .iter()
+            .find(|d| {
+                d.role == DeviceRole::Csr
+                    && topo.links_of(d.id).iter().any(|&l| {
+                        !topo
+                            .flows_on_circuit_set(topo.link(l).circuit_set.id)
+                            .is_empty()
+                    })
+            })
+            .expect("some CSR carries flows")
+            .id;
+        let mut inj = Injector::new(topo.clone());
+        inj.device_down(csr, SimTime::ZERO, SimDuration::from_mins(10));
+        let s = inj.finish(SimTime::from_mins(20));
+        let has_spillover = s.events()[0]
+            .effects
+            .iter()
+            .any(|e| matches!(e.kind, EffectKind::ExtraLoad { .. }));
+        assert!(has_spillover, "dead CSR must spill load onto siblings");
+    }
+
+    #[test]
+    fn ddos_loads_cluster_uplinks_and_entries() {
+        let topo = topo();
+        let cluster = topo.clusters()[0].clone();
+        let mut inj = Injector::new(topo.clone());
+        inj.ddos(&cluster, 2.0, SimTime::ZERO, SimDuration::from_mins(5));
+        let s = inj.finish(SimTime::from_mins(10));
+        let state = NetworkState::at(&s, SimTime::from_secs(30));
+        let leaf = topo.agg_group(&cluster)[0];
+        let uplink = topo.links_of(leaf)[0];
+        let (util, cause) = state.utilization(uplink);
+        assert!(util > 1.0, "DDoS must congest uplinks, got {util}");
+        assert_eq!(cause, Some(FailureId(0)));
+    }
+
+    #[test]
+    fn random_injection_is_deterministic_and_well_formed() {
+        let topo = topo();
+        let make = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut inj = Injector::new(topo.clone());
+            for i in 0..50 {
+                inj.random(
+                    &mut rng,
+                    SimTime::from_mins(i * 10),
+                    SimDuration::from_mins(5),
+                );
+            }
+            inj.finish(SimTime::from_mins(600))
+        };
+        let a = make(1);
+        let b = make(1);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 50);
+        for e in a.events() {
+            assert!(!e.effects.is_empty(), "{} has no effects", e.description);
+        }
+    }
+
+    #[test]
+    fn random_mix_approximates_figure1() {
+        let topo = topo();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut inj = Injector::new(topo.clone());
+        let n = 2000;
+        for i in 0..n {
+            inj.random(&mut rng, SimTime::from_secs(i), SimDuration::from_secs(10));
+        }
+        let s = inj.finish(SimTime::from_secs(3000));
+        let hw = s
+            .events()
+            .iter()
+            .filter(|e| e.category == RootCauseCategory::DeviceHardware)
+            .count() as f64
+            / n as f64;
+        // 42.6% ± 4 points.
+        assert!((hw - 0.426).abs() < 0.04, "hardware share {hw}");
+    }
+
+    #[test]
+    fn infrastructure_outage_downs_every_cluster_device() {
+        let topo = topo();
+        let cluster = topo.clusters()[1].clone();
+        let mut inj = Injector::new(topo.clone());
+        inj.infrastructure_outage(&cluster, SimTime::ZERO, SimDuration::from_mins(5));
+        let s = inj.finish(SimTime::from_mins(10));
+        let state = NetworkState::at(&s, SimTime::from_secs(10));
+        for d in topo.devices_under(&cluster) {
+            assert!(state.device_down(d.id).is_some(), "{} alive", d.name());
+        }
+    }
+}

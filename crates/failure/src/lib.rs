@@ -1,0 +1,32 @@
+//! # skynet-failure
+//!
+//! Failure injection and propagation — the ground-truth generator standing
+//! in for the paper's production incidents. A [`Scenario`] couples a
+//! topology with a set of [`FailureEvent`]s; each event carries the
+//! *network effects* it inflicts (circuit breaks, device loss, congestion,
+//! BGP churn, …) over a time span. Telemetry simulators read the resulting
+//! [`NetworkState`] snapshots to decide what alerts to emit, and the
+//! experiment harness reads the events back as ground truth to score
+//! SkyNet's false positives and negatives.
+//!
+//! - [`catalog`] — the root-cause taxonomy with Fig. 1's observed mix.
+//! - [`effect`] — concrete timed network conditions.
+//! - [`scenario`] — failure events, scenarios, ground-truth queries.
+//! - [`state`] — the dynamic network state at an instant.
+//! - [`inject`] — constructors for the paper's canonical failures plus a
+//!   Fig. 1-weighted random sampler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod effect;
+pub mod inject;
+pub mod scenario;
+pub mod state;
+
+pub use catalog::RootCauseCategory;
+pub use effect::NetworkEffect;
+pub use inject::Injector;
+pub use scenario::{FailureEvent, Scenario};
+pub use state::NetworkState;

@@ -1,0 +1,199 @@
+//! Failure events and scenarios (ground truth).
+
+use crate::catalog::RootCauseCategory;
+use crate::effect::NetworkEffect;
+use serde::{Deserialize, Serialize};
+use skynet_model::{FailureId, LocationPath, SimDuration, SimTime};
+use skynet_topology::Topology;
+use std::sync::Arc;
+
+/// One injected failure: the ground-truth record the experiment harness
+/// scores against, and the bundle of network effects the telemetry
+/// simulators observe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Ground-truth identifier (alerts caused by this failure carry it as
+    /// provenance).
+    pub id: FailureId,
+    /// Root-cause category (Fig. 1).
+    pub category: RootCauseCategory,
+    /// Human-readable description for reports.
+    pub description: String,
+    /// The deepest location that fully contains the failure — what a
+    /// perfect locator would report.
+    pub epicenter: LocationPath,
+    /// Whether this is a *severe* failure (multi-device, flood-producing)
+    /// or a minor one. Drives the expected-detection bookkeeping in the
+    /// accuracy experiments.
+    pub severe: bool,
+    /// Whether the failure actually impacts customer traffic (the paper's
+    /// high-availability design absorbs some root causes, §6.4). Harmless
+    /// events that SkyNet reports are *not* false positives, but they are
+    /// expected to be filtered by the evaluator's severity threshold.
+    pub customer_impacting: bool,
+    /// The concrete network conditions this failure creates.
+    pub effects: Vec<NetworkEffect>,
+}
+
+impl FailureEvent {
+    /// Start of the earliest effect.
+    pub fn start(&self) -> SimTime {
+        self.effects
+            .iter()
+            .map(|e| e.start)
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// End of the latest effect.
+    pub fn end(&self) -> SimTime {
+        self.effects
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Duration from first effect start to last effect end.
+    pub fn duration(&self) -> SimDuration {
+        self.end().since(self.start())
+    }
+
+    /// True if any effect is active at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.effects.iter().any(|e| e.active_at(t))
+    }
+}
+
+/// A topology plus a set of injected failures over a time horizon.
+///
+/// The topology is shared via `Arc`: scenarios, telemetry simulators and
+/// the pipeline all hold references without cloning the network.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    topology: Arc<Topology>,
+    events: Vec<FailureEvent>,
+    horizon: SimTime,
+}
+
+impl Scenario {
+    /// Builds a scenario. Events keep their insertion order; ids must be
+    /// dense indexes into that order.
+    ///
+    /// # Panics
+    /// Panics if event ids are not `0..n` in order (the injector guarantees
+    /// this; manual construction must too).
+    pub fn new(topology: Arc<Topology>, events: Vec<FailureEvent>, horizon: SimTime) -> Self {
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(
+                e.id.index(),
+                i,
+                "failure ids must be dense insertion indexes"
+            );
+        }
+        Scenario {
+            topology,
+            events,
+            horizon,
+        }
+    }
+
+    /// The network under test.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// Ground truth: every injected failure.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Looks up a failure by id.
+    pub fn event(&self, id: FailureId) -> &FailureEvent {
+        &self.events[id.index()]
+    }
+
+    /// End of the simulated window.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Failures with any effect active at `t`.
+    pub fn active_at(&self, t: SimTime) -> impl Iterator<Item = &FailureEvent> {
+        self.events.iter().filter(move |e| e.active_at(t))
+    }
+
+    /// Failures the accuracy experiments expect SkyNet to detect: severe
+    /// or customer-impacting ones (minor absorbed glitches are not false
+    /// negatives when missed, §6.4).
+    pub fn must_detect(&self) -> impl Iterator<Item = &FailureEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.severe || e.customer_impacting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effect::EffectKind;
+    use skynet_model::DeviceId;
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn event(id: u32, start: u64, end: u64) -> FailureEvent {
+        FailureEvent {
+            id: FailureId(id),
+            category: RootCauseCategory::DeviceHardware,
+            description: "test".into(),
+            epicenter: LocationPath::parse("R").unwrap(),
+            severe: id.is_multiple_of(2),
+            customer_impacting: true,
+            effects: vec![NetworkEffect::new(
+                SimTime::from_secs(start),
+                SimTime::from_secs(end),
+                EffectKind::DeviceDown {
+                    device: DeviceId(0),
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn event_time_bounds() {
+        let mut e = event(0, 10, 50);
+        e.effects.push(NetworkEffect::new(
+            SimTime::from_secs(5),
+            SimTime::from_secs(30),
+            EffectKind::DeviceDown {
+                device: DeviceId(1),
+            },
+        ));
+        assert_eq!(e.start(), SimTime::from_secs(5));
+        assert_eq!(e.end(), SimTime::from_secs(50));
+        assert_eq!(e.duration(), SimDuration::from_secs(45));
+        assert!(e.active_at(SimTime::from_secs(40)));
+        assert!(!e.active_at(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn scenario_queries() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let s = Scenario::new(
+            topo,
+            vec![event(0, 0, 10), event(1, 20, 30)],
+            SimTime::from_secs(60),
+        );
+        assert_eq!(s.active_at(SimTime::from_secs(5)).count(), 1);
+        assert_eq!(s.active_at(SimTime::from_secs(15)).count(), 0);
+        assert_eq!(s.active_at(SimTime::from_secs(25)).count(), 1);
+        assert_eq!(s.must_detect().count(), 2);
+        assert_eq!(s.event(FailureId(1)).id, FailureId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense insertion indexes")]
+    fn non_dense_ids_panic() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        Scenario::new(topo, vec![event(3, 0, 1)], SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,416 @@
+//! The dynamic network state at one instant.
+//!
+//! [`NetworkState::at`] folds every effect active at time `t` into a
+//! snapshot the telemetry simulators can query: broken circuits, device
+//! health, link load and loss, control-plane anomalies. Every query that
+//! reflects a failure also returns the ground-truth [`FailureId`] so the
+//! emitted alerts can carry provenance.
+
+use crate::effect::{EffectKind, RouteAnomalyKind};
+use crate::scenario::Scenario;
+use skynet_model::{DeviceId, FailureId, LinkId, LocationPath, SimTime};
+use skynet_topology::route::RoutePath;
+use skynet_topology::Topology;
+use std::collections::HashMap;
+
+/// Snapshot of every failure-induced condition at one instant.
+#[derive(Debug, Clone)]
+pub struct NetworkState<'a> {
+    topo: &'a Topology,
+    /// Snapshot instant.
+    pub t: SimTime,
+    broken: HashMap<LinkId, (u32, FailureId)>,
+    down: HashMap<DeviceId, FailureId>,
+    degraded: HashMap<DeviceId, (f64, bool, FailureId)>,
+    extra_load: HashMap<LinkId, (f64, FailureId)>,
+    bgp_churn: HashMap<DeviceId, FailureId>,
+    clock_drift: HashMap<DeviceId, FailureId>,
+    cpu: HashMap<DeviceId, (f64, FailureId)>,
+    route_anomalies: Vec<(LocationPath, RouteAnomalyKind, FailureId)>,
+}
+
+impl<'a> NetworkState<'a> {
+    /// Builds the snapshot for time `t`. When several failures hit the same
+    /// element, the earliest-injected one wins the provenance tag (matches
+    /// how operators would attribute it post-hoc).
+    pub fn at(scenario: &'a Scenario, t: SimTime) -> Self {
+        let mut s = NetworkState {
+            topo: scenario.topology(),
+            t,
+            broken: HashMap::new(),
+            down: HashMap::new(),
+            degraded: HashMap::new(),
+            extra_load: HashMap::new(),
+            bgp_churn: HashMap::new(),
+            clock_drift: HashMap::new(),
+            cpu: HashMap::new(),
+            route_anomalies: Vec::new(),
+        };
+        for event in scenario.events() {
+            for effect in &event.effects {
+                if !effect.active_at(t) {
+                    continue;
+                }
+                let id = event.id;
+                match &effect.kind {
+                    EffectKind::CircuitBreaks { link, broken } => {
+                        let entry = s.broken.entry(*link).or_insert((0, id));
+                        // Concurrent cuts on the same set accumulate.
+                        entry.0 = entry.0.saturating_add(*broken);
+                    }
+                    EffectKind::DeviceDown { device } => {
+                        s.down.entry(*device).or_insert(id);
+                    }
+                    EffectKind::DeviceDegraded {
+                        device,
+                        loss,
+                        device_aware,
+                    } => {
+                        s.degraded
+                            .entry(*device)
+                            .or_insert((*loss, *device_aware, id));
+                    }
+                    EffectKind::ExtraLoad { link, load } => {
+                        let entry = s.extra_load.entry(*link).or_insert((0.0, id));
+                        entry.0 += *load;
+                    }
+                    EffectKind::BgpChurn { device } => {
+                        s.bgp_churn.entry(*device).or_insert(id);
+                    }
+                    EffectKind::RouteAnomaly { scope, anomaly } => {
+                        s.route_anomalies.push((scope.clone(), *anomaly, id));
+                    }
+                    EffectKind::ClockDrift { device } => {
+                        s.clock_drift.entry(*device).or_insert(id);
+                    }
+                    EffectKind::ResourceExhaustion { device, cpu } => {
+                        s.cpu.entry(*device).or_insert((*cpu, id));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// The topology under the snapshot.
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Broken circuits on a link's set (clamped to the set size) with the
+    /// causing failure, if any circuit is broken.
+    pub fn broken_circuits(&self, link: LinkId) -> Option<(u32, FailureId)> {
+        self.broken.get(&link).map(|&(n, id)| {
+            let max = self.topo.link(link).circuit_set.circuits;
+            (n.min(max), id)
+        })
+    }
+
+    /// True when every circuit of the link's set is broken.
+    pub fn link_down(&self, link: LinkId) -> Option<FailureId> {
+        self.broken_circuits(link).and_then(|(n, id)| {
+            (n >= self.topo.link(link).circuit_set.circuits).then_some(id)
+        })
+    }
+
+    /// Whole-device outage.
+    pub fn device_down(&self, device: DeviceId) -> Option<FailureId> {
+        self.down.get(&device).copied()
+    }
+
+    /// Gray failure on a device: `(loss fraction, device-aware?)`.
+    pub fn device_degraded(&self, device: DeviceId) -> Option<(f64, bool, FailureId)> {
+        self.degraded.get(&device).copied()
+    }
+
+    /// BGP sessions flapping on a device.
+    pub fn bgp_churn(&self, device: DeviceId) -> Option<FailureId> {
+        self.bgp_churn.get(&device).copied()
+    }
+
+    /// Clock drifting out of PTP sync.
+    pub fn clock_drift(&self, device: DeviceId) -> Option<FailureId> {
+        self.clock_drift.get(&device).copied()
+    }
+
+    /// CPU utilization in `[0, 1]`: failure-driven exhaustion if present,
+    /// else a healthy baseline.
+    pub fn device_cpu(&self, device: DeviceId) -> (f64, Option<FailureId>) {
+        match self.cpu.get(&device) {
+            Some(&(c, id)) => (c, Some(id)),
+            None => (0.2, None),
+        }
+    }
+
+    /// Control-plane anomalies whose scope intersects `location`.
+    pub fn route_anomalies_at(
+        &self,
+        location: &LocationPath,
+    ) -> impl Iterator<Item = (&LocationPath, RouteAnomalyKind, FailureId)> + '_ {
+        let location = location.clone();
+        self.route_anomalies
+            .iter()
+            .filter(move |(scope, _, _)| scope.contains(&location) || location.contains(scope))
+            .map(|(scope, kind, id)| (scope, *kind, *id))
+    }
+
+    /// All control-plane anomalies.
+    pub fn route_anomalies(&self) -> &[(LocationPath, RouteAnomalyKind, FailureId)] {
+        &self.route_anomalies
+    }
+
+    /// Steady-state offered rate on a link from the routed flows.
+    pub fn base_rate_gbps(&self, link: LinkId) -> f64 {
+        let cs = self.topo.link(link).circuit_set.id;
+        self.topo
+            .flows_on_circuit_set(cs)
+            .iter()
+            .map(|&i| self.topo.flows()[i].rate_gbps)
+            .sum()
+    }
+
+    /// Offered rate including failure-driven extra load.
+    pub fn offered_rate_gbps(&self, link: LinkId) -> (f64, Option<FailureId>) {
+        let base = self.base_rate_gbps(link);
+        match self.extra_load.get(&link) {
+            Some(&(load, id)) => {
+                let cap = self.topo.link(link).circuit_set.total_capacity_gbps();
+                (base + load * cap, Some(id))
+            }
+            None => (base, None),
+        }
+    }
+
+    /// Remaining capacity after circuit breaks.
+    pub fn remaining_capacity_gbps(&self, link: LinkId) -> f64 {
+        let cs = &self.topo.link(link).circuit_set;
+        let broken = self.broken.get(&link).map_or(0, |&(n, _)| n);
+        cs.remaining_capacity_gbps(broken)
+    }
+
+    /// Utilization of a link: offered / remaining capacity. Greater than 1
+    /// means congestion; infinite when the link is fully down but still
+    /// offered traffic.
+    pub fn utilization(&self, link: LinkId) -> (f64, Option<FailureId>) {
+        let (offered, load_cause) = self.offered_rate_gbps(link);
+        let remaining = self.remaining_capacity_gbps(link);
+        let break_cause = self.broken.get(&link).map(|&(_, id)| id);
+        let cause = break_cause.or(load_cause);
+        if remaining <= f64::EPSILON {
+            if offered > 0.0 {
+                (f64::INFINITY, cause)
+            } else {
+                (0.0, cause)
+            }
+        } else {
+            (offered / remaining, cause)
+        }
+    }
+
+    /// Loss fraction on a link from congestion/outage: the share of offered
+    /// traffic that cannot fit the remaining capacity.
+    pub fn link_loss(&self, link: LinkId) -> (f64, Option<FailureId>) {
+        let (util, cause) = self.utilization(link);
+        if util.is_infinite() {
+            return (1.0, cause);
+        }
+        if util <= 1.0 {
+            return (0.0, if util > 0.95 { cause } else { None });
+        }
+        (1.0 - 1.0 / util, cause)
+    }
+
+    /// Loss fraction introduced by a device for transit traffic.
+    pub fn device_loss(&self, device: DeviceId) -> (f64, Option<FailureId>) {
+        if let Some(id) = self.device_down(device) {
+            return (1.0, Some(id));
+        }
+        if let Some((loss, _, id)) = self.device_degraded(device) {
+            return (loss, Some(id));
+        }
+        (0.0, None)
+    }
+
+    /// End-to-end loss along a routed path: combines device and link loss
+    /// multiplicatively. Returns the loss fraction and the provenance of
+    /// the largest single contributor.
+    pub fn path_loss(&self, route: &RoutePath) -> (f64, Option<FailureId>) {
+        let mut pass = 1.0f64;
+        let mut top: (f64, Option<FailureId>) = (0.0, None);
+        for &d in &route.devices {
+            let (loss, cause) = self.device_loss(d);
+            pass *= 1.0 - loss;
+            if loss > top.0 {
+                top = (loss, cause);
+            }
+        }
+        for &l in &route.links {
+            let (loss, cause) = self.link_loss(l);
+            pass *= 1.0 - loss;
+            if loss > top.0 {
+                top = (loss, cause);
+            }
+        }
+        ((1.0 - pass).clamp(0.0, 1.0), top.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::RootCauseCategory;
+    use crate::effect::NetworkEffect;
+    use crate::scenario::FailureEvent;
+    use skynet_model::LocationPath;
+    use skynet_topology::{generate, route, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn scenario_with(effects: Vec<EffectKind>) -> Scenario {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let events = effects
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| FailureEvent {
+                id: FailureId::from_index(i),
+                category: RootCauseCategory::DeviceHardware,
+                description: format!("effect {i}"),
+                epicenter: LocationPath::parse("Region-0").unwrap(),
+                severe: true,
+                customer_impacting: true,
+                effects: vec![NetworkEffect::new(
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(100),
+                    kind,
+                )],
+            })
+            .collect();
+        Scenario::new(topo, events, SimTime::from_secs(200))
+    }
+
+    #[test]
+    fn healthy_network_has_no_loss() {
+        let s = scenario_with(vec![]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let clusters = state.topology().clusters();
+        let r = route::route_between_clusters(state.topology(), &clusters[0], &clusters[3], 1)
+            .unwrap();
+        let (loss, cause) = state.path_loss(&r);
+        assert_eq!(loss, 0.0);
+        assert!(cause.is_none());
+    }
+
+    #[test]
+    fn device_down_blackholes_paths_through_it() {
+        let s0 = scenario_with(vec![]);
+        let topo = s0.topology().clone();
+        let clusters = topo.clusters().to_vec();
+        let r = route::route_between_clusters(&topo, &clusters[0], &clusters[3], 1).unwrap();
+        let victim = r.devices[1];
+        let s = scenario_with(vec![EffectKind::DeviceDown { device: victim }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (loss, cause) = state.path_loss(&r);
+        assert_eq!(loss, 1.0);
+        assert_eq!(cause, Some(FailureId(0)));
+        // Before the effect starts, the path is clean.
+        let before = NetworkState::at(&s, SimTime::from_secs(5));
+        assert_eq!(before.path_loss(&r).0, 0.0);
+    }
+
+    #[test]
+    fn partial_circuit_break_reduces_capacity_not_reachability() {
+        let s0 = scenario_with(vec![]);
+        let link = s0.topology().links()[0].id;
+        let circuits = s0.topology().link(link).circuit_set.circuits;
+        assert!(circuits >= 2);
+        let s = scenario_with(vec![EffectKind::CircuitBreaks { link, broken: 1 }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (n, _) = state.broken_circuits(link).unwrap();
+        assert_eq!(n, 1);
+        assert!(state.link_down(link).is_none());
+        assert!(state.remaining_capacity_gbps(link) > 0.0);
+    }
+
+    #[test]
+    fn full_break_downs_the_link() {
+        let s0 = scenario_with(vec![]);
+        let link = s0.topology().links()[0].id;
+        let circuits = s0.topology().link(link).circuit_set.circuits;
+        let s = scenario_with(vec![EffectKind::CircuitBreaks {
+            link,
+            broken: circuits,
+        }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        assert!(state.link_down(link).is_some());
+        assert_eq!(state.remaining_capacity_gbps(link), 0.0);
+    }
+
+    #[test]
+    fn concurrent_cuts_accumulate_and_clamp() {
+        let s0 = scenario_with(vec![]);
+        let link = s0.topology().links()[0].id;
+        let circuits = s0.topology().link(link).circuit_set.circuits;
+        let s = scenario_with(vec![
+            EffectKind::CircuitBreaks { link, broken: circuits },
+            EffectKind::CircuitBreaks { link, broken: circuits },
+        ]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (n, id) = state.broken_circuits(link).unwrap();
+        assert_eq!(n, circuits);
+        assert_eq!(id, FailureId(0), "first injected failure wins provenance");
+    }
+
+    #[test]
+    fn extra_load_congests_links() {
+        let s0 = scenario_with(vec![]);
+        // Pick a link with some base traffic if possible, else any link.
+        let link = s0.topology().links()[0].id;
+        let s = scenario_with(vec![EffectKind::ExtraLoad { link, load: 2.0 }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (util, cause) = state.utilization(link);
+        assert!(util > 1.0);
+        assert_eq!(cause, Some(FailureId(0)));
+        let (loss, _) = state.link_loss(link);
+        assert!(loss > 0.0 && loss < 1.0);
+    }
+
+    #[test]
+    fn degraded_device_drops_a_fraction() {
+        let s0 = scenario_with(vec![]);
+        let topo = s0.topology().clone();
+        let clusters = topo.clusters().to_vec();
+        let r = route::route_between_clusters(&topo, &clusters[0], &clusters[1], 2).unwrap();
+        let victim = r.devices[1];
+        let s = scenario_with(vec![EffectKind::DeviceDegraded {
+            device: victim,
+            loss: 0.3,
+            device_aware: false,
+        }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (loss, cause) = state.path_loss(&r);
+        assert!((loss - 0.3).abs() < 1e-9);
+        assert_eq!(cause, Some(FailureId(0)));
+    }
+
+    #[test]
+    fn route_anomaly_scoping() {
+        let region = LocationPath::parse("Region-0").unwrap();
+        let s = scenario_with(vec![EffectKind::RouteAnomaly {
+            scope: region.clone(),
+            anomaly: RouteAnomalyKind::Hijack,
+        }]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let city = region.child("City-0");
+        assert_eq!(state.route_anomalies_at(&city).count(), 1);
+        let other = LocationPath::parse("Region-1").unwrap();
+        assert_eq!(state.route_anomalies_at(&other).count(), 0);
+    }
+
+    #[test]
+    fn cpu_defaults_to_healthy_baseline() {
+        let s = scenario_with(vec![]);
+        let state = NetworkState::at(&s, SimTime::from_secs(50));
+        let (cpu, cause) = state.device_cpu(DeviceId(0));
+        assert!(cpu < 0.5);
+        assert!(cause.is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! # skynet-ftree
+//!
+//! A reimplementation of **FT-tree** syslog template mining (Zhang et al.,
+//! *Syslog processing for switch failure diagnosis and prediction in
+//! datacenter networks*, IWQoS 2017) — the technique SkyNet's preprocessor
+//! uses to turn free-text syslog into alert types (§4.1):
+//!
+//! 1. Gather command-line outputs from all devices and split them into
+//!    words ([`scrub::tokenize`]).
+//! 2. Remove *variable* words — addresses, interface names, numbers — with
+//!    a fixed set of detectors ([`scrub::is_variable`]; the paper uses
+//!    predefined regular expressions, we use equivalent hand-rolled
+//!    character-class matchers).
+//! 3. Order each message's remaining words by descending corpus frequency
+//!    and insert the sequence into a prefix tree; prune subtrees whose
+//!    support falls below a threshold. Root-to-node paths of the pruned
+//!    tree are the templates ([`FtTree`]).
+//! 4. Classify a new message by walking the tree with its frequency-ordered
+//!    constant words; the deepest matched template is its type
+//!    ([`FtTree::match_message`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scrub;
+pub mod tree;
+
+pub use tree::{FtTree, FtTreeBuilder, Template, TemplateId};

@@ -1,0 +1,187 @@
+//! Tokenization and variable-word scrubbing.
+//!
+//! The paper removes "variable words, such as addresses, interfaces, and
+//! numbers … using predefined regular expressions". We implement the same
+//! detector set as explicit character-class matchers (no regex engine):
+//! numbers, hex strings, IPv4/IPv6 addresses, MAC addresses, interface
+//! names (`TenGigE0/1/0/25`, `Eth1/3`), timestamps and mixed
+//! identifier-digit blobs.
+
+/// Splits a raw syslog line into word tokens. Separators are whitespace and
+/// the punctuation syslog renderers wrap fields with; `/`, `:`, `.` and `-`
+/// are *kept inside* tokens so interface names, addresses and timestamps
+/// stay whole for the variable detectors.
+pub fn tokenize(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| {
+        c.is_whitespace() || matches!(c, ',' | ';' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '=')
+    })
+    .map(|w| w.trim_matches(|c: char| matches!(c, '.' | ':' | '!' | '?' | '\'' | '<' | '>')))
+    .filter(|w| !w.is_empty())
+}
+
+/// True when every character is an ASCII digit (optionally signed).
+fn is_number(word: &str) -> bool {
+    let w = word.strip_prefix(['+', '-']).unwrap_or(word);
+    !w.is_empty() && w.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// True for decimal/dotted numerics: `3.14`, `10.0.0.1`, `99%`.
+fn is_numeric_blob(word: &str) -> bool {
+    let w = word.strip_suffix(['%', 's']).unwrap_or(word);
+    let mut saw_digit = false;
+    for b in w.bytes() {
+        match b {
+            b'0'..=b'9' => saw_digit = true,
+            b'.' | b':' | b'/' | b'-' | b'+' => {}
+            _ => return false,
+        }
+    }
+    saw_digit
+}
+
+/// True for `0x`-prefixed or long bare hex strings.
+fn is_hex(word: &str) -> bool {
+    let w = word
+        .strip_prefix("0x")
+        .or_else(|| word.strip_prefix("0X"));
+    match w {
+        Some(rest) => !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_hexdigit()),
+        // Bare hex only counts when long enough to be unambiguous and
+        // containing at least one digit ("deadbeef" stays a word).
+        None => {
+            word.len() >= 8
+                && word.bytes().all(|b| b.is_ascii_hexdigit())
+                && word.bytes().any(|b| b.is_ascii_digit())
+        }
+    }
+}
+
+/// True for MAC-address-shaped words: six hex pairs with `:`/`-`.
+fn is_mac(word: &str) -> bool {
+    let parts: Vec<&str> = if word.contains(':') {
+        word.split(':').collect()
+    } else {
+        word.split('-').collect()
+    };
+    parts.len() == 6
+        && parts
+            .iter()
+            .all(|p| p.len() == 2 && p.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+/// True for interface-name-shaped words: an alphabetic prefix followed by
+/// digits with `/`-separated indices (`TenGigE0/1/0/25`, `Eth1/3`,
+/// `HundredGigE0/0/0/1.100`).
+fn is_interface(word: &str) -> bool {
+    let alpha_len = word.bytes().take_while(|b| b.is_ascii_alphabetic()).count();
+    if alpha_len == 0 || alpha_len == word.len() {
+        return false;
+    }
+    let rest = &word[alpha_len..];
+    rest.contains('/')
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'/' | b'.' | b':'))
+}
+
+/// True for identifier-plus-digits blobs that vary per device or session
+/// (`session-14988`, `VLAN204`): an alphabetic stem with a numeric tail of
+/// two or more digits.
+fn is_id_blob(word: &str) -> bool {
+    let alpha_len = word
+        .bytes()
+        .take_while(|b| b.is_ascii_alphabetic() || *b == b'-' || *b == b'_')
+        .count();
+    if alpha_len == 0 {
+        return false;
+    }
+    let tail = &word[alpha_len..];
+    tail.len() >= 2 && tail.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// True when the word is a *variable* that must be scrubbed before
+/// template mining.
+pub fn is_variable(word: &str) -> bool {
+    is_number(word)
+        || is_numeric_blob(word)
+        || is_hex(word)
+        || is_mac(word)
+        || is_interface(word)
+        || is_id_blob(word)
+}
+
+/// Tokenizes a line and keeps only the constant (template) words,
+/// lowercased for case-insensitive matching.
+pub fn constant_words(line: &str) -> Vec<String> {
+    tokenize(line)
+        .filter(|w| !is_variable(w))
+        .map(str::to_ascii_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation() {
+        let toks: Vec<&str> = tokenize("LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state")
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                "LINK-3-UPDOWN",
+                "Interface",
+                "TenGigE0/1/0/25",
+                "changed",
+                "state"
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_numerics_are_variables() {
+        for w in ["42", "-7", "+13", "3.14", "99%", "10.0.0.1", "2024-07-02", "11:45:14.464"] {
+            assert!(is_variable(w), "{w} should be a variable");
+        }
+    }
+
+    #[test]
+    fn hex_and_mac_are_variables() {
+        for w in ["0xDEAD", "0x1f", "a1b2c3d4e5", "00:1a:2b:3c:4d:5e", "00-1A-2B-3C-4D-5E"] {
+            assert!(is_variable(w), "{w} should be a variable");
+        }
+        // Pure words that happen to be hex letters stay.
+        assert!(!is_variable("deadbeef".to_uppercase().as_str()));
+        assert!(!is_variable("cafe"));
+    }
+
+    #[test]
+    fn interfaces_and_id_blobs_are_variables() {
+        for w in ["TenGigE0/1/0/25", "Eth1/3", "HundredGigE0/0/0/1.100", "VLAN204", "session-14988"] {
+            assert!(is_variable(w), "{w} should be a variable");
+        }
+    }
+
+    #[test]
+    fn plain_words_are_constants() {
+        for w in ["Interface", "down", "BGP", "peer", "state", "error", "OSPF6"] {
+            // OSPF6 has a 1-digit tail: kept (protocol names end in one digit).
+            assert!(!is_variable(w), "{w} should be constant");
+        }
+    }
+
+    #[test]
+    fn constant_words_lowercase_and_scrub() {
+        let words = constant_words("[R4] Packet loss to H3 rate 15.49% on TenGigE0/1/0/25");
+        assert_eq!(words, vec!["r4", "packet", "loss", "to", "h3", "rate", "on"]);
+        // "R4"/"H3" have 1-digit tails — kept as constants (device names of
+        // the paper's figures); "15.49%" and the interface are scrubbed.
+    }
+
+    #[test]
+    fn empty_and_all_variable_lines() {
+        assert!(constant_words("").is_empty());
+        assert!(constant_words("42 0xFF 10.0.0.1").is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! The frequency-ordered template tree.
+
+use crate::scrub::constant_words;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a mined template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TemplateId(pub u32);
+
+/// A mined syslog template: the constant words of a message family, in
+/// global-frequency order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// Identifier (dense).
+    pub id: TemplateId,
+    /// Constant words from root to this template's node.
+    pub words: Vec<String>,
+    /// How many corpus messages passed through this node.
+    pub support: u32,
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} [{}] x{}", self.id.0, self.words.join(" "), self.support)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    children: HashMap<String, usize>,
+    support: u32,
+    template: Option<TemplateId>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: HashMap::new(),
+            support: 0,
+            template: None,
+        }
+    }
+}
+
+/// Accumulates a syslog corpus and mines an [`FtTree`].
+#[derive(Debug, Clone)]
+pub struct FtTreeBuilder {
+    min_support: u32,
+    max_depth: usize,
+    corpus: Vec<Vec<String>>,
+}
+
+impl Default for FtTreeBuilder {
+    fn default() -> Self {
+        FtTreeBuilder::new(2, 8)
+    }
+}
+
+impl FtTreeBuilder {
+    /// `min_support`: messages required for a tree path to survive pruning.
+    /// `max_depth`: maximum template length in words (over-specific tails
+    /// are cut; the FT-tree paper prunes by per-level frequency, a depth
+    /// cap is the standard simplification).
+    pub fn new(min_support: u32, max_depth: usize) -> Self {
+        assert!(min_support >= 1);
+        assert!(max_depth >= 1);
+        FtTreeBuilder {
+            min_support,
+            max_depth,
+            corpus: Vec::new(),
+        }
+    }
+
+    /// Adds one raw syslog line to the corpus.
+    pub fn add_line(&mut self, line: &str) {
+        let words = constant_words(line);
+        if !words.is_empty() {
+            self.corpus.push(words);
+        }
+    }
+
+    /// Number of usable corpus lines so far.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when no usable line was added.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Mines the tree: counts global word frequencies, inserts each
+    /// message's frequency-ordered constant words, prunes rare paths and
+    /// assigns template ids.
+    pub fn build(self) -> FtTree {
+        let FtTreeBuilder {
+            min_support,
+            max_depth,
+            corpus,
+        } = self;
+
+        let mut freq: HashMap<String, u32> = HashMap::new();
+        for words in &corpus {
+            for w in words {
+                *freq.entry(w.clone()).or_insert(0) += 1;
+            }
+        }
+
+        let mut nodes = vec![Node::new()]; // 0 = root
+        for words in &corpus {
+            let ordered = order_words(words, &freq, max_depth);
+            let mut cur = 0usize;
+            nodes[cur].support += 1;
+            for w in ordered {
+                let next = match nodes[cur].children.get(&w) {
+                    Some(&i) => i,
+                    None => {
+                        let i = nodes.len();
+                        nodes.push(Node::new());
+                        nodes[cur].children.insert(w, i);
+                        i
+                    }
+                };
+                nodes[next].support += 1;
+                cur = next;
+            }
+        }
+
+        // Prune: drop children below min_support (whole subtrees go with
+        // them — support is monotone down the tree).
+        for i in 0..nodes.len() {
+            let pruned: Vec<String> = nodes[i]
+                .children
+                .iter()
+                .filter(|&(_, &c)| nodes[c].support < min_support)
+                .map(|(w, _)| w.clone())
+                .collect();
+            for w in pruned {
+                nodes[i].children.remove(&w);
+            }
+        }
+
+        // Assign template ids to every surviving non-root node, in a
+        // deterministic order (BFS with sorted child words).
+        let mut templates = Vec::new();
+        let mut queue: Vec<(usize, Vec<String>)> = vec![(0, Vec::new())];
+        while let Some((n, path)) = queue.pop() {
+            let mut kids: Vec<(&String, &usize)> = nodes[n].children.iter().collect();
+            kids.sort_by(|a, b| b.0.cmp(a.0)); // reverse: stack pops in order
+            let kid_indices: Vec<(String, usize)> =
+                kids.into_iter().map(|(w, &i)| (w.clone(), i)).collect();
+            for (w, i) in kid_indices {
+                let mut p = path.clone();
+                p.push(w);
+                let id = TemplateId(templates.len() as u32);
+                nodes[i].template = Some(id);
+                templates.push(Template {
+                    id,
+                    words: p.clone(),
+                    support: nodes[i].support,
+                });
+                queue.push((i, p));
+            }
+        }
+
+        FtTree {
+            nodes,
+            freq,
+            templates,
+            max_depth,
+        }
+    }
+}
+
+/// Orders a message's constant words by descending corpus frequency (ties
+/// broken alphabetically), removes duplicates and truncates to `max_depth`.
+fn order_words(words: &[String], freq: &HashMap<String, u32>, max_depth: usize) -> Vec<String> {
+    let mut uniq: Vec<&String> = Vec::new();
+    for w in words {
+        if !uniq.contains(&w) {
+            uniq.push(w);
+        }
+    }
+    uniq.sort_by(|a, b| {
+        let fa = freq.get(*a).copied().unwrap_or(0);
+        let fb = freq.get(*b).copied().unwrap_or(0);
+        fb.cmp(&fa).then_with(|| a.cmp(b))
+    });
+    uniq.into_iter().take(max_depth).cloned().collect()
+}
+
+/// A mined, immutable FT-tree usable for classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtTree {
+    nodes: Vec<Node>,
+    freq: HashMap<String, u32>,
+    templates: Vec<Template>,
+    max_depth: usize,
+}
+
+impl FtTree {
+    /// All mined templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Looks up a template.
+    pub fn template(&self, id: TemplateId) -> &Template {
+        &self.templates[id.0 as usize]
+    }
+
+    /// Classifies a raw syslog line: walks the tree with the line's
+    /// frequency-ordered constant words (skipping words the tree never
+    /// kept) and returns the deepest template reached.
+    pub fn match_message(&self, line: &str) -> Option<TemplateId> {
+        let words = constant_words(line);
+        let ordered = order_words(&words, &self.freq, self.max_depth);
+        let mut cur = 0usize;
+        let mut best = None;
+        for w in &ordered {
+            match self.nodes[cur].children.get(w) {
+                Some(&next) => {
+                    cur = next;
+                    if let Some(id) = self.nodes[cur].template {
+                        best = Some(id);
+                    }
+                }
+                // Unknown or pruned word: skip it, keep walking with the
+                // remaining words from the current node.
+                None => continue,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_tree() -> FtTree {
+        let mut b = FtTreeBuilder::new(2, 8);
+        // Two strong families plus a singleton that must be pruned.
+        for i in 0..20 {
+            b.add_line(&format!("Interface TenGigE0/1/0/{i} changed state to down"));
+        }
+        for i in 0..15 {
+            b.add_line(&format!("BGP peer 10.0.0.{i} session went down"));
+        }
+        b.add_line("totally unique cosmic ray message");
+        b.build()
+    }
+
+    #[test]
+    fn families_become_templates_and_singletons_are_pruned() {
+        let t = corpus_tree();
+        assert!(!t.templates().is_empty());
+        let all_words: Vec<String> = t
+            .templates()
+            .iter()
+            .flat_map(|tp| tp.words.clone())
+            .collect();
+        assert!(all_words.contains(&"interface".to_string()));
+        assert!(all_words.contains(&"bgp".to_string()));
+        assert!(
+            !all_words.contains(&"cosmic".to_string()),
+            "singleton must be pruned"
+        );
+    }
+
+    #[test]
+    fn corpus_messages_match_their_family() {
+        let t = corpus_tree();
+        let a = t
+            .match_message("Interface TenGigE0/9/9/99 changed state to down")
+            .expect("interface family must match");
+        let b = t
+            .match_message("BGP peer 192.168.1.1 session went down")
+            .expect("bgp family must match");
+        assert_ne!(a, b, "different families get different templates");
+        // Same family, different variables → same template.
+        let a2 = t
+            .match_message("Interface Eth7/7 changed state to down")
+            .unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn unknown_message_matches_nothing_or_shallowly() {
+        let t = corpus_tree();
+        assert_eq!(t.match_message("quantum flux capacitor overflow"), None);
+    }
+
+    #[test]
+    fn shared_words_produce_hierarchical_templates() {
+        let t = corpus_tree();
+        // "down" appears in both families (35 lines) — frequency ordering
+        // puts it near the root, so both family templates descend from it.
+        let down_template = t
+            .templates()
+            .iter()
+            .find(|tp| tp.words == vec!["down".to_string()]);
+        assert!(
+            down_template.is_some(),
+            "most frequent shared word becomes the shallowest template; got {:?}",
+            t.templates()
+        );
+        assert_eq!(down_template.unwrap().support, 35);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let ta = corpus_tree();
+        let tb = corpus_tree();
+        assert_eq!(ta.templates(), tb.templates());
+    }
+
+    #[test]
+    fn max_depth_caps_template_length() {
+        let mut b = FtTreeBuilder::new(1, 3);
+        for _ in 0..3 {
+            b.add_line("alpha beta gamma delta epsilon zeta");
+        }
+        let t = b.build();
+        assert!(t.templates().iter().all(|tp| tp.words.len() <= 3));
+    }
+
+    #[test]
+    fn empty_corpus_builds_empty_tree() {
+        let t = FtTreeBuilder::default().build();
+        assert!(t.templates().is_empty());
+        assert_eq!(t.match_message("anything at all"), None);
+    }
+
+    #[test]
+    fn duplicate_words_in_one_message_count_once_per_path() {
+        let mut b = FtTreeBuilder::new(1, 8);
+        for _ in 0..2 {
+            b.add_line("flap flap flap port state flap");
+        }
+        let t = b.build();
+        for tp in t.templates() {
+            let mut w = tp.words.clone();
+            w.sort();
+            let before = w.len();
+            w.dedup();
+            assert_eq!(w.len(), before, "template has duplicate words: {tp}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn word_strategy() -> impl Strategy<Value = String> {
+        prop::sample::select(vec![
+            "interface", "bgp", "peer", "down", "up", "state", "error", "link", "port",
+            "flap", "session", "memory", "crc",
+        ])
+        .prop_map(str::to_string)
+    }
+
+    fn line_strategy() -> impl Strategy<Value = String> {
+        (
+            prop::collection::vec(word_strategy(), 1..6),
+            prop::collection::vec(0u32..1000, 0..3),
+        )
+            .prop_map(|(words, nums)| {
+                let mut parts = words;
+                for n in nums {
+                    parts.push(n.to_string());
+                }
+                parts.join(" ")
+            })
+    }
+
+    proptest! {
+        /// Every line of a min_support=1 corpus must classify to some
+        /// template, and re-matching is deterministic.
+        #[test]
+        fn corpus_lines_always_match_with_support_one(
+            lines in prop::collection::vec(line_strategy(), 1..40)
+        ) {
+            let mut b = FtTreeBuilder::new(1, 8);
+            for l in &lines {
+                b.add_line(l);
+            }
+            let t = b.build();
+            for l in &lines {
+                let m1 = t.match_message(l);
+                prop_assert!(m1.is_some(), "corpus line failed to match: {l}");
+                prop_assert_eq!(m1, t.match_message(l));
+            }
+        }
+
+        /// Template supports never exceed the corpus size and are monotone
+        /// along prefix containment.
+        #[test]
+        fn supports_are_bounded_and_monotone(
+            lines in prop::collection::vec(line_strategy(), 1..40)
+        ) {
+            let n = lines.len() as u32;
+            let mut b = FtTreeBuilder::new(1, 8);
+            for l in &lines {
+                b.add_line(l);
+            }
+            let t = b.build();
+            for tp in t.templates() {
+                prop_assert!(tp.support <= n);
+                for other in t.templates() {
+                    // If `other` extends `tp` by one word, its support is ≤.
+                    if other.words.len() == tp.words.len() + 1
+                        && other.words[..tp.words.len()] == tp.words[..]
+                    {
+                        prop_assert!(other.support <= tp.support);
+                    }
+                }
+            }
+        }
+
+        /// Variable scrubbing: templates never contain pure numbers.
+        #[test]
+        fn templates_contain_no_numbers(
+            lines in prop::collection::vec(line_strategy(), 1..40)
+        ) {
+            let mut b = FtTreeBuilder::new(1, 8);
+            for l in &lines {
+                b.add_line(l);
+            }
+            let t = b.build();
+            for tp in t.templates() {
+                for w in &tp.words {
+                    prop_assert!(!w.bytes().all(|c| c.is_ascii_digit()));
+                }
+            }
+        }
+    }
+}

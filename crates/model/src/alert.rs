@@ -1,0 +1,286 @@
+//! The uniform alert input format (§4.1) and the preprocessor's output.
+//!
+//! [`RawAlert`] is what every monitoring tool emits — the extensibility
+//! boundary of the system. It is serde-serializable so a new tool only needs
+//! to produce JSON lines in this shape to be integrated. [`StructuredAlert`]
+//! is what the preprocessor hands to the locator: classified, consolidated,
+//! carrying a time *range* and a duplicate count rather than one timestamp
+//! per observation.
+
+use crate::ids::FailureId;
+use crate::kind::{AlertClass, AlertKind, AlertType};
+use crate::location::LocationPath;
+use crate::source::DataSource;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload of a raw alert.
+///
+/// Structured tools (ping, SNMP, out-of-band, …) know their alert kind at
+/// emission time. Syslog emits free text; the preprocessor classifies it
+/// into a kind with FT-tree templates (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertBody {
+    /// A manually-typed alert from a structured tool.
+    Known(AlertKind),
+    /// A raw syslog line, to be classified by template matching.
+    SyslogText(String),
+}
+
+/// A raw alert as emitted by a monitoring tool: when, where and what.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawAlert {
+    /// The tool that produced the alert.
+    pub source: DataSource,
+    /// Emission time (may lag the observed event by the tool's delay; SNMP
+    /// on CPU-limited devices lags up to ~2 minutes, §4.2).
+    pub timestamp: SimTime,
+    /// Where the alert is attributed in the location hierarchy.
+    pub location: LocationPath,
+    /// For link- or path-scoped alerts, the other endpoint. The
+    /// preprocessor splits such alerts into two, one per endpoint (§4.1).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub peer: Option<LocationPath>,
+    /// What happened.
+    pub body: AlertBody,
+    /// Tool-specific magnitude: packet-loss ratio in `[0, 1]`, latency in
+    /// ms, traffic delta ratio, … Zero when the tool reports none.
+    pub magnitude: f64,
+    /// Simulation-only provenance: which injected failure caused this alert
+    /// (`None` for background noise). Never read by SkyNet's algorithms —
+    /// only by the experiment harness to score accuracy against ground
+    /// truth.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cause: Option<FailureId>,
+}
+
+impl RawAlert {
+    /// A structured alert of a known kind.
+    pub fn known(
+        source: DataSource,
+        timestamp: SimTime,
+        location: LocationPath,
+        kind: AlertKind,
+    ) -> Self {
+        RawAlert {
+            source,
+            timestamp,
+            location,
+            peer: None,
+            body: AlertBody::Known(kind),
+            magnitude: 0.0,
+            cause: None,
+        }
+    }
+
+    /// A raw syslog line.
+    pub fn syslog(timestamp: SimTime, location: LocationPath, text: impl Into<String>) -> Self {
+        RawAlert {
+            source: DataSource::Syslog,
+            timestamp,
+            location,
+            peer: None,
+            body: AlertBody::SyslogText(text.into()),
+            magnitude: 0.0,
+            cause: None,
+        }
+    }
+
+    /// Sets the magnitude (builder style).
+    pub fn with_magnitude(mut self, magnitude: f64) -> Self {
+        self.magnitude = magnitude;
+        self
+    }
+
+    /// Sets the peer endpoint (builder style).
+    pub fn with_peer(mut self, peer: LocationPath) -> Self {
+        self.peer = Some(peer);
+        self
+    }
+
+    /// Sets ground-truth provenance (builder style).
+    pub fn with_cause(mut self, cause: FailureId) -> Self {
+        self.cause = Some(cause);
+        self
+    }
+
+    /// The kind, if already known without classification.
+    pub fn known_kind(&self) -> Option<AlertKind> {
+        match &self.body {
+            AlertBody::Known(k) => Some(*k),
+            AlertBody::SyslogText(_) => None,
+        }
+    }
+}
+
+/// A classified, consolidated alert — the preprocessor's output and the
+/// locator's input. Matches the "Structured Alerts" of Fig. 6: a type, a
+/// time range and a location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructuredAlert {
+    /// Fully-qualified type (source + kind).
+    pub ty: AlertType,
+    /// First observation in the consolidated group.
+    pub first_seen: SimTime,
+    /// Most recent observation (updated when duplicates are consolidated).
+    pub last_seen: SimTime,
+    /// Attributed location.
+    pub location: LocationPath,
+    /// How many raw alerts were consolidated into this one.
+    pub count: u32,
+    /// Maximum magnitude over the consolidated group.
+    pub magnitude: f64,
+    /// Ground-truth provenance of the first causal raw alert, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cause: Option<FailureId>,
+}
+
+impl StructuredAlert {
+    /// Builds a structured alert from a single classified raw alert.
+    pub fn from_raw(raw: &RawAlert, kind: AlertKind) -> Self {
+        StructuredAlert {
+            ty: AlertType::new(raw.source, kind),
+            first_seen: raw.timestamp,
+            last_seen: raw.timestamp,
+            location: raw.location.clone(),
+            count: 1,
+            magnitude: raw.magnitude,
+            cause: raw.cause,
+        }
+    }
+
+    /// The alert class of the underlying kind.
+    pub fn class(&self) -> AlertClass {
+        self.ty.class()
+    }
+
+    /// The "duration" attribute shown to operators (§4.1).
+    pub fn duration(&self) -> SimDuration {
+        self.last_seen.since(self.first_seen)
+    }
+
+    /// Folds another observation of the same type/location into this alert:
+    /// extends the time range, bumps the count, keeps the max magnitude and
+    /// the earliest known cause.
+    pub fn absorb(&mut self, other: &StructuredAlert) {
+        debug_assert_eq!(self.ty, other.ty);
+        self.first_seen = self.first_seen.min(other.first_seen);
+        self.last_seen = self.last_seen.max(other.last_seen);
+        self.count += other.count;
+        if other.magnitude > self.magnitude {
+            self.magnitude = other.magnitude;
+        }
+        if self.cause.is_none() {
+            self.cause = other.cause;
+        }
+    }
+}
+
+impl fmt::Display for StructuredAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} [{} - {}] x{}",
+            self.ty, self.location, self.first_seen, self.last_seen, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn raw_alert_builders() {
+        let a = RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(10),
+            loc("R|C|L|S"),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.15)
+        .with_cause(FailureId(3));
+        assert_eq!(a.known_kind(), Some(AlertKind::PacketLossIcmp));
+        assert_eq!(a.magnitude, 0.15);
+        assert_eq!(a.cause, Some(FailureId(3)));
+
+        let s = RawAlert::syslog(SimTime::ZERO, loc("R|C|L|S|K|D"), "TenGigE0/1/0/25 down");
+        assert_eq!(s.known_kind(), None);
+        assert_eq!(s.source, DataSource::Syslog);
+    }
+
+    #[test]
+    fn structured_from_raw() {
+        let raw = RawAlert::known(
+            DataSource::Snmp,
+            SimTime::from_secs(5),
+            loc("R|C|L"),
+            AlertKind::TrafficCongestion,
+        )
+        .with_magnitude(0.9);
+        let s = StructuredAlert::from_raw(&raw, AlertKind::TrafficCongestion);
+        assert_eq!(s.class(), AlertClass::RootCause);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.duration(), SimDuration::ZERO);
+        assert_eq!(s.magnitude, 0.9);
+    }
+
+    #[test]
+    fn absorb_merges_range_count_magnitude_and_cause() {
+        let raw1 = RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(10),
+            loc("R|C"),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.05);
+        let raw2 = RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(4),
+            loc("R|C"),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.20)
+        .with_cause(FailureId(1));
+
+        let mut a = StructuredAlert::from_raw(&raw1, AlertKind::PacketLossIcmp);
+        let b = StructuredAlert::from_raw(&raw2, AlertKind::PacketLossIcmp);
+        a.absorb(&b);
+        assert_eq!(a.first_seen, SimTime::from_secs(4));
+        assert_eq!(a.last_seen, SimTime::from_secs(10));
+        assert_eq!(a.count, 2);
+        assert_eq!(a.magnitude, 0.20);
+        assert_eq!(a.cause, Some(FailureId(1)));
+        assert_eq!(a.duration(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn raw_alert_json_round_trip() {
+        let a = RawAlert::known(
+            DataSource::OutOfBand,
+            SimTime::from_millis(123),
+            loc("R|C|L|S|K|Device i"),
+            AlertKind::DeviceInaccessible,
+        );
+        let json = serde_json::to_string(&a).unwrap();
+        let back: RawAlert = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        // Optional fields are omitted from the wire format.
+        assert!(!json.contains("peer"));
+        assert!(!json.contains("cause"));
+    }
+
+    #[test]
+    fn syslog_json_round_trip() {
+        let a = RawAlert::syslog(SimTime::from_secs(1), loc("R|C|L|S|K|D"), "BGP peer down")
+            .with_peer(loc("R|C|L|S|K|E"));
+        let json = serde_json::to_string(&a).unwrap();
+        let back: RawAlert = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,108 @@
+//! Strongly-typed identifiers.
+//!
+//! Devices, links, circuit sets, customers and incidents are all referred to
+//! by dense `u32` indices into the topology (or the incident store). Newtype
+//! wrappers keep the index spaces from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect(concat!(stringify!($name), " index overflow")))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A network device (router/switch) in the topology.
+    DeviceId,
+    "dev"
+);
+id_type!(
+    /// A logical link between two devices. One link aggregates the circuits
+    /// of one circuit set.
+    LinkId,
+    "link"
+);
+id_type!(
+    /// A redundancy group of physical circuits backing one logical link
+    /// (§4.3: "all links connecting network devices consist of multiple
+    /// circuits, each is called a circuit set").
+    CircuitSetId,
+    "cset"
+);
+id_type!(
+    /// A customer whose traffic rides some circuit sets (used by the
+    /// evaluator's importance factor, Table 3).
+    CustomerId,
+    "cust"
+);
+id_type!(
+    /// An incident produced by the locator (a set of alerts attributed to
+    /// one root cause).
+    IncidentId,
+    "incident"
+);
+id_type!(
+    /// An injected failure (simulation ground truth). Alerts carry an
+    /// optional `FailureId` provenance tag so experiments can score false
+    /// positives/negatives against the injector's record; SkyNet's
+    /// algorithms never read it.
+    FailureId,
+    "failure"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let d = DeviceId::from_index(42);
+        assert_eq!(d.index(), 42);
+        assert_eq!(d, DeviceId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(DeviceId(3).to_string(), "dev3");
+        assert_eq!(LinkId(9).to_string(), "link9");
+        assert_eq!(CircuitSetId(1).to_string(), "cset1");
+        assert_eq!(CustomerId(0).to_string(), "cust0");
+        assert_eq!(IncidentId(7).to_string(), "incident7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(DeviceId(1) < DeviceId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflow")]
+    fn overflow_panics() {
+        let _ = DeviceId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,335 @@
+//! Alert types and their three-level classification (§4.2).
+//!
+//! SkyNet categorizes every alert into one of three classes:
+//!
+//! - **Failure alerts** — network behaviour is definitively abnormal: packet
+//!   loss, bit flips, high transmission latency. Nearly all real failures
+//!   are accompanied by these (Fig. 5d), so they carry the most weight in
+//!   incident detection.
+//! - **Abnormal alerts** — irregular behaviour that does not by itself imply
+//!   a failure: jitter, sudden latency increase, abrupt traffic decrease.
+//! - **Root-cause alerts** — failures of network *entities*: device or NIC
+//!   failures, link outages, CRC errors, risky routing paths. These point
+//!   operators at the repair action.
+//!
+//! [`AlertKind`] is the catalog of well-known types. For structured tools
+//! (ping, SNMP, …) the kind is assigned manually by the emitting simulator;
+//! for syslog the preprocessor derives it from FT-tree templates (§4.1).
+
+use crate::source::DataSource;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three-level alert classification of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlertClass {
+    /// Network behaviour definitively abnormal (packet loss, bit flip,
+    /// high latency). The most authoritative signal for incident detection.
+    Failure,
+    /// Irregular but not necessarily broken (jitter, traffic swings).
+    Abnormal,
+    /// A network entity failed (device, link, NIC, route); points at the
+    /// mitigation action.
+    RootCause,
+}
+
+impl fmt::Display for AlertClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlertClass::Failure => "failure",
+            AlertClass::Abnormal => "abnormal",
+            AlertClass::RootCause => "root-cause",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A well-known alert type.
+///
+/// The same kind may arrive from different sources (e.g. [`AlertKind::PortDown`]
+/// from both syslog and SNMP); the *type identity* used for the locator's
+/// type-distinct counting is the `(DataSource, AlertKind)` pair, matching the
+/// per-source grouping of the incident reports in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlertKind {
+    // ---- Failure class ---------------------------------------------------
+    /// End-to-end ICMP packet loss between server pairs (ping mesh).
+    PacketLossIcmp,
+    /// Packet loss localized to a source server ("End to end Source").
+    PacketLossSource,
+    /// TCP-probe packet loss ("End to end TCP").
+    PacketLossTcp,
+    /// Payload bit flip detected on a path.
+    PacketBitFlip,
+    /// Packet transmission latency above the failure threshold.
+    HighLatency,
+    /// Packet loss measured by sFlow counters.
+    SflowPacketLoss,
+    /// INT test-flow input/output rate mismatch (in-band packet loss).
+    IntPacketLoss,
+    /// Internet address unreachable from DC servers.
+    InternetUnreachable,
+
+    // ---- Abnormal class --------------------------------------------------
+    /// Device inaccessible over the out-of-band channel.
+    DeviceInaccessible,
+    /// Traffic enters a device but never leaves (blackhole symptom log).
+    TrafficBlackhole,
+    /// Link repeatedly going up and down.
+    LinkFlapping,
+    /// Port repeatedly going up and down.
+    PortFlapping,
+    /// BGP peer session lost.
+    BgpPeerDown,
+    /// Latency jitter above the abnormal threshold.
+    LatencyJitter,
+    /// Abrupt decrease of traffic through an interface.
+    TrafficDrop,
+    /// Abrupt increase of traffic through an interface.
+    TrafficSurge,
+    /// Device clock out of PTP synchronization.
+    PtpDesync,
+    /// CPU utilization above threshold.
+    HighCpu,
+    /// Memory utilization above threshold.
+    HighMemory,
+    /// A syslog message that matched no FT-tree template. Treated as
+    /// abnormal: present in the report, never decisive.
+    Unclassified,
+
+    // ---- Root-cause class ------------------------------------------------
+    /// BGP session jitter on a link (repeated flaps of the routing session).
+    BgpLinkJitter,
+    /// Device hardware error logged (ASIC, linecard, fan, power).
+    HardwareError,
+    /// Device process out of memory.
+    OutOfMemory,
+    /// Device software error (crash, assertion, protocol bug).
+    SoftwareError,
+    /// Physical port down.
+    PortDown,
+    /// Logical link down (all circuits of the set lost).
+    LinkDown,
+    /// Interface congestion: sustained utilization at capacity with drops.
+    TrafficCongestion,
+    /// Whole device down / power lost.
+    DeviceDown,
+    /// NIC failure on a connected server or device.
+    NicFailure,
+    /// CRC errors on a circuit (corrupting optics/cable).
+    CrcError,
+    /// Route hijack observed in the control plane.
+    RouteHijack,
+    /// Route leak observed in the control plane.
+    RouteLeak,
+    /// Loss of a default or aggregate route.
+    DefaultRouteLoss,
+    /// A network modification (maintenance/config push) reported failure.
+    ModificationFailure,
+    /// Patrol inspection command output flagged anomalous.
+    PatrolAnomaly,
+}
+
+impl AlertKind {
+    /// Every catalogued kind.
+    pub const ALL: [AlertKind; 35] = [
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossSource,
+        AlertKind::PacketLossTcp,
+        AlertKind::PacketBitFlip,
+        AlertKind::HighLatency,
+        AlertKind::SflowPacketLoss,
+        AlertKind::IntPacketLoss,
+        AlertKind::InternetUnreachable,
+        AlertKind::DeviceInaccessible,
+        AlertKind::TrafficBlackhole,
+        AlertKind::LinkFlapping,
+        AlertKind::PortFlapping,
+        AlertKind::BgpPeerDown,
+        AlertKind::LatencyJitter,
+        AlertKind::TrafficDrop,
+        AlertKind::TrafficSurge,
+        AlertKind::PtpDesync,
+        AlertKind::HighCpu,
+        AlertKind::HighMemory,
+        AlertKind::Unclassified,
+        AlertKind::BgpLinkJitter,
+        AlertKind::HardwareError,
+        AlertKind::OutOfMemory,
+        AlertKind::SoftwareError,
+        AlertKind::PortDown,
+        AlertKind::LinkDown,
+        AlertKind::TrafficCongestion,
+        AlertKind::DeviceDown,
+        AlertKind::NicFailure,
+        AlertKind::CrcError,
+        AlertKind::RouteHijack,
+        AlertKind::RouteLeak,
+        AlertKind::DefaultRouteLoss,
+        AlertKind::ModificationFailure,
+        AlertKind::PatrolAnomaly,
+    ];
+
+    /// The class this kind belongs to.
+    pub const fn class(self) -> AlertClass {
+        use AlertKind::*;
+        match self {
+            PacketLossIcmp | PacketLossSource | PacketLossTcp | PacketBitFlip | HighLatency
+            | SflowPacketLoss | IntPacketLoss | InternetUnreachable => AlertClass::Failure,
+
+            DeviceInaccessible | TrafficBlackhole | LinkFlapping | PortFlapping | BgpPeerDown
+            | LatencyJitter | TrafficDrop | TrafficSurge | PtpDesync | HighCpu | HighMemory
+            | Unclassified => AlertClass::Abnormal,
+
+            BgpLinkJitter | HardwareError | OutOfMemory | SoftwareError | PortDown | LinkDown
+            | TrafficCongestion | DeviceDown | NicFailure | CrcError | RouteHijack | RouteLeak
+            | DefaultRouteLoss | ModificationFailure | PatrolAnomaly => AlertClass::RootCause,
+        }
+    }
+
+    /// Human-readable name as shown in the incident reports of Fig. 6.
+    pub const fn name(self) -> &'static str {
+        use AlertKind::*;
+        match self {
+            PacketLossIcmp => "end-to-end ICMP loss",
+            PacketLossSource => "end-to-end source loss",
+            PacketLossTcp => "end-to-end TCP loss",
+            PacketBitFlip => "packet bit flip",
+            HighLatency => "high latency",
+            SflowPacketLoss => "sFlow packet loss",
+            IntPacketLoss => "INT packet loss",
+            InternetUnreachable => "internet unreachable",
+            DeviceInaccessible => "inaccessible",
+            TrafficBlackhole => "traffic blackhole",
+            LinkFlapping => "link flapping",
+            PortFlapping => "port flapping",
+            BgpPeerDown => "BGP peer down",
+            LatencyJitter => "latency jitter",
+            TrafficDrop => "traffic drop",
+            TrafficSurge => "traffic surge",
+            PtpDesync => "PTP desync",
+            HighCpu => "high CPU",
+            HighMemory => "high memory",
+            Unclassified => "unclassified",
+            BgpLinkJitter => "BGP link jitter",
+            HardwareError => "hardware error",
+            OutOfMemory => "out of memory",
+            SoftwareError => "software error",
+            PortDown => "port down",
+            LinkDown => "link down",
+            TrafficCongestion => "traffic congestion",
+            DeviceDown => "device down",
+            NicFailure => "NIC failure",
+            CrcError => "CRC error",
+            RouteHijack => "route hijack",
+            RouteLeak => "route leak",
+            DefaultRouteLoss => "default route loss",
+            ModificationFailure => "modification failure",
+            PatrolAnomaly => "patrol anomaly",
+        }
+    }
+
+    /// All kinds belonging to a class.
+    pub fn of_class(class: AlertClass) -> impl Iterator<Item = AlertKind> {
+        Self::ALL.into_iter().filter(move |k| k.class() == class)
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully-qualified alert type: source plus kind. This is the identity
+/// under which the locator counts "alerts of the same type once" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AlertType {
+    /// The monitoring tool that produced the alert.
+    pub source: DataSource,
+    /// The normalized alert kind.
+    pub kind: AlertKind,
+}
+
+impl AlertType {
+    /// Convenience constructor.
+    pub const fn new(source: DataSource, kind: AlertKind) -> Self {
+        AlertType { source, kind }
+    }
+
+    /// The class of the underlying kind.
+    pub const fn class(self) -> AlertClass {
+        self.kind.class()
+    }
+}
+
+impl fmt::Display for AlertType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}][{}]", self.source, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_unique() {
+        let mut names: Vec<_> = AlertKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate kind names");
+        assert_eq!(AlertKind::ALL.len(), 35);
+    }
+
+    #[test]
+    fn class_partition() {
+        let f = AlertKind::of_class(AlertClass::Failure).count();
+        let a = AlertKind::of_class(AlertClass::Abnormal).count();
+        let r = AlertKind::of_class(AlertClass::RootCause).count();
+        assert_eq!(f + a + r, AlertKind::ALL.len());
+        assert_eq!(f, 8);
+        assert_eq!(a, 12);
+        assert_eq!(r, 15);
+    }
+
+    #[test]
+    fn figure6_examples_have_expected_classes() {
+        // Incident 1 of Fig. 6.
+        assert_eq!(AlertKind::PacketLossIcmp.class(), AlertClass::Failure);
+        assert_eq!(AlertKind::DeviceInaccessible.class(), AlertClass::Abnormal);
+        assert_eq!(AlertKind::TrafficBlackhole.class(), AlertClass::Abnormal);
+        assert_eq!(AlertKind::BgpPeerDown.class(), AlertClass::Abnormal);
+        assert_eq!(AlertKind::BgpLinkJitter.class(), AlertClass::RootCause);
+        assert_eq!(AlertKind::HardwareError.class(), AlertClass::RootCause);
+        assert_eq!(AlertKind::TrafficCongestion.class(), AlertClass::RootCause);
+        // Incident 2 of Fig. 6.
+        assert_eq!(AlertKind::PortDown.class(), AlertClass::RootCause);
+        assert_eq!(AlertKind::SoftwareError.class(), AlertClass::RootCause);
+    }
+
+    #[test]
+    fn alert_type_display_matches_figure6_format() {
+        let t = AlertType::new(DataSource::Ping, AlertKind::PacketLossIcmp);
+        assert_eq!(t.to_string(), "[ping][end-to-end ICMP loss]");
+    }
+
+    #[test]
+    fn same_kind_different_source_is_a_different_type() {
+        let syslog = AlertType::new(DataSource::Syslog, AlertKind::PortDown);
+        let snmp = AlertType::new(DataSource::Snmp, AlertKind::PortDown);
+        assert_ne!(syslog, snmp);
+        assert_eq!(syslog.class(), snmp.class());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for k in AlertKind::ALL {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: AlertKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+}

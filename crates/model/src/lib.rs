@@ -1,0 +1,41 @@
+//! # skynet-model
+//!
+//! Core data model shared by every crate of the SkyNet reproduction.
+//!
+//! The paper's central extensibility claim (§4.1) is that all monitoring
+//! tools are integrated through a *uniform input format*: every alert is
+//! reduced to a `(timestamp, location, type)` triple before any analysis.
+//! This crate defines that boundary:
+//!
+//! - [`time`] — deterministic simulated time ([`SimTime`], [`SimDuration`]).
+//! - [`location`] — the cloud location hierarchy of Fig. 5b
+//!   (Region → City → Logic site → Site → Cluster → Device) as
+//!   [`LocationPath`] values.
+//! - [`source`] — the twelve monitoring data sources of Table 2
+//!   ([`DataSource`]) with their paper-reported failure coverage (Fig. 3).
+//! - [`alert`] — [`RawAlert`] (what tools emit, serde/JSON-lines friendly)
+//!   and [`StructuredAlert`] (what the preprocessor produces).
+//! - [`kind`] — the catalog of well-known alert types ([`AlertKind`]) and
+//!   their three-level classification ([`AlertClass`]: failure / abnormal /
+//!   root-cause, §4.2).
+//! - [`ids`] — strongly-typed identifiers for devices, links, circuit sets,
+//!   customers and incidents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod ids;
+pub mod kind;
+pub mod location;
+pub mod ping;
+pub mod source;
+pub mod time;
+
+pub use alert::{AlertBody, RawAlert, StructuredAlert};
+pub use ids::{CircuitSetId, CustomerId, DeviceId, FailureId, IncidentId, LinkId};
+pub use kind::{AlertClass, AlertKind, AlertType};
+pub use location::{LocationLevel, LocationPath};
+pub use ping::{PingLog, PingSample};
+pub use source::DataSource;
+pub use time::{SimDuration, SimTime};

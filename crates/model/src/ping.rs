@@ -1,0 +1,89 @@
+//! Sparse log of lossy ping samples — the raw material of the evaluator's
+//! reachability matrix (Fig. 7).
+
+use crate::location::LocationPath;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One lossy end-to-end measurement between two clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingSample {
+    /// Probe time.
+    pub t: SimTime,
+    /// Source cluster path.
+    pub src: LocationPath,
+    /// Destination cluster path.
+    pub dst: LocationPath,
+    /// Measured loss ratio in `(0, 1]` (zero-loss samples are not logged).
+    pub loss: f64,
+}
+
+/// Append-only log of lossy samples, time-ordered by construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PingLog {
+    samples: Vec<PingSample>,
+}
+
+impl PingLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a lossy sample; zero-loss samples are ignored to keep the
+    /// log sparse (a healthy mesh probes millions of pairs per hour).
+    pub fn record(&mut self, t: SimTime, src: LocationPath, dst: LocationPath, loss: f64) {
+        if loss > 0.0 {
+            self.samples.push(PingSample { t, src, dst, loss });
+        }
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[PingSample] {
+        &self.samples
+    }
+
+    /// Samples within `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &PingSample> {
+        self.samples
+            .iter()
+            .filter(move |s| from <= s.t && s.t < to)
+    }
+
+    /// Merges another log (used when running tools in isolation).
+    pub fn merge(&mut self, other: PingLog) {
+        self.samples.extend(other.samples);
+        self.samples.sort_by_key(|s| s.t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn zero_loss_is_not_recorded() {
+        let mut log = PingLog::new();
+        log.record(SimTime::ZERO, p("R|C|L|S|K1"), p("R|C|L|S|K2"), 0.0);
+        assert!(log.samples().is_empty());
+        log.record(SimTime::ZERO, p("R|C|L|S|K1"), p("R|C|L|S|K2"), 0.2);
+        assert_eq!(log.samples().len(), 1);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut log = PingLog::new();
+        for s in [10u64, 20, 30] {
+            log.record(SimTime::from_secs(s), p("R|C|L|S|K1"), p("R|C|L|S|K2"), 0.5);
+        }
+        let hits: Vec<_> = log
+            .window(SimTime::from_secs(15), SimTime::from_secs(30))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].t, SimTime::from_secs(20));
+    }
+}

@@ -1,0 +1,236 @@
+//! The monitoring data sources integrated by SkyNet.
+//!
+//! Table 2 of the paper lists twelve data sources; Fig. 3 reports each
+//! tool's stand-alone failure-detection coverage (3%–84%). [`DataSource`]
+//! enumerates them, and [`DataSource::paper_coverage`] carries our digitized
+//! approximation of Fig. 3 (the figure has no numeric labels; values were
+//! read off the bar chart and are only used to parameterize the telemetry
+//! simulators and the Fig. 3 / Fig. 8a reproductions).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A network monitoring data source (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataSource {
+    /// End-to-end ping mesh between pairs of servers (latency/reachability).
+    Ping,
+    /// Per-hop latency probes between pairs of servers.
+    Traceroute,
+    /// Out-of-band device monitoring: liveness, CPU, RAM, temperature.
+    OutOfBand,
+    /// Traffic statistics from sFlow and NetFlow collectors.
+    TrafficStats,
+    /// Internet telemetry: pinging Internet addresses from DC servers.
+    InternetTelemetry,
+    /// Errors detected and logged by network devices (free-text syslog).
+    Syslog,
+    /// SNMP & GRPC: interface status/counters, RX errors, CPU/RAM usage.
+    Snmp,
+    /// In-band network telemetry: test packets collecting per-device state.
+    InbandTelemetry,
+    /// Precision Time Protocol: device clocks out of synchronization.
+    Ptp,
+    /// Control-plane route monitoring: route loss, hijack, leaking.
+    RouteMonitoring,
+    /// Failure reports from automatic or manual network modifications.
+    ModificationEvents,
+    /// Patrol inspection: periodic manually-defined CLI commands on devices.
+    PatrolInspection,
+}
+
+impl DataSource {
+    /// All twelve data sources, in Table 2 order.
+    pub const ALL: [DataSource; 12] = [
+        DataSource::Ping,
+        DataSource::Traceroute,
+        DataSource::OutOfBand,
+        DataSource::TrafficStats,
+        DataSource::InternetTelemetry,
+        DataSource::Syslog,
+        DataSource::Snmp,
+        DataSource::InbandTelemetry,
+        DataSource::Ptp,
+        DataSource::RouteMonitoring,
+        DataSource::ModificationEvents,
+        DataSource::PatrolInspection,
+    ];
+
+    /// Stand-alone failure coverage of this source as a fraction of all
+    /// failure kinds, per our digitization of Fig. 3 (sources absent from
+    /// the figure get small, plausible values).
+    pub const fn paper_coverage(self) -> f64 {
+        match self {
+            DataSource::Snmp => 0.84,
+            DataSource::Syslog => 0.72,
+            DataSource::Ping => 0.58,
+            DataSource::InternetTelemetry => 0.34,
+            DataSource::OutOfBand => 0.26,
+            DataSource::InbandTelemetry => 0.20,
+            DataSource::ModificationEvents => 0.15,
+            DataSource::TrafficStats => 0.30,
+            DataSource::Traceroute => 0.22,
+            DataSource::PatrolInspection => 0.10,
+            DataSource::Ptp => 0.05,
+            DataSource::RouteMonitoring => 0.03,
+        }
+    }
+
+    /// Table 2's one-line description of the source.
+    pub const fn description(self) -> &'static str {
+        match self {
+            DataSource::Ping => {
+                "Periodically records latency and reachability between pairs of servers"
+            }
+            DataSource::Traceroute => {
+                "Periodically records latency of each hop between pairs of servers"
+            }
+            DataSource::OutOfBand => {
+                "Periodically collects device information out-of-band: liveness, CPU and RAM usage"
+            }
+            DataSource::TrafficStats => "Data from traffic monitoring systems sFlow and NetFlow",
+            DataSource::InternetTelemetry => {
+                "Monitoring system that pings Internet addresses from DC servers"
+            }
+            DataSource::Syslog => "Errors detected by network devices",
+            DataSource::Snmp => {
+                "Standard network protocols: interface status and counters, RX errors, CPU and RAM"
+            }
+            DataSource::InbandTelemetry => {
+                "Sends test packets and collects information from devices bypassed"
+            }
+            DataSource::Ptp => "System time of network devices out of synchronization",
+            DataSource::RouteMonitoring => {
+                "Loss of default/aggregate route, route hijack and route leaking"
+            }
+            DataSource::ModificationEvents => {
+                "Failure of network modifications triggered automatically or manually"
+            }
+            DataSource::PatrolInspection => {
+                "Runs manually defined commands on network devices and collects results periodically"
+            }
+        }
+    }
+
+    /// Short stable name used in reports and serialized formats.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataSource::Ping => "ping",
+            DataSource::Traceroute => "traceroute",
+            DataSource::OutOfBand => "out-of-band",
+            DataSource::TrafficStats => "traffic-stats",
+            DataSource::InternetTelemetry => "internet-telemetry",
+            DataSource::Syslog => "syslog",
+            DataSource::Snmp => "snmp",
+            DataSource::InbandTelemetry => "inband-telemetry",
+            DataSource::Ptp => "ptp",
+            DataSource::RouteMonitoring => "route-monitoring",
+            DataSource::ModificationEvents => "modification-events",
+            DataSource::PatrolInspection => "patrol-inspection",
+        }
+    }
+
+    /// Sources ordered by ascending paper coverage — the removal order used
+    /// by the Fig. 8a experiment ("systematically removed data sources,
+    /// beginning with those having low coverage").
+    pub fn by_ascending_coverage() -> Vec<DataSource> {
+        let mut v = Self::ALL.to_vec();
+        v.sort_by(|a, b| {
+            a.paper_coverage()
+                .partial_cmp(&b.paper_coverage())
+                .expect("coverage values are finite")
+        });
+        v
+    }
+}
+
+impl fmt::Display for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An entry of Table 1: a published monitoring tool and its data source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishedTool {
+    /// Tool name as cited in the paper.
+    pub name: &'static str,
+    /// Whether the paper marks it as used in production.
+    pub in_production: bool,
+    /// The single data source the tool relies on.
+    pub data_source: &'static str,
+}
+
+/// Table 1 of the paper: existing tools, production status, data source.
+pub const TABLE1_TOOLS: [PublishedTool; 11] = [
+    PublishedTool { name: "RD-Probe", in_production: true, data_source: "Ping" },
+    PublishedTool { name: "Pingmesh", in_production: true, data_source: "Ping" },
+    PublishedTool { name: "NetNORAD", in_production: true, data_source: "Ping" },
+    PublishedTool { name: "deTector", in_production: false, data_source: "Ping" },
+    PublishedTool { name: "Dynamic mining", in_production: true, data_source: "Syslog" },
+    PublishedTool { name: "007", in_production: true, data_source: "traceroute" },
+    PublishedTool { name: "Roy et al.", in_production: true, data_source: "INT" },
+    PublishedTool { name: "Netbouncer", in_production: true, data_source: "INT" },
+    PublishedTool { name: "PTPMesh", in_production: false, data_source: "PTP" },
+    PublishedTool { name: "Shin et al.", in_production: false, data_source: "SNMP" },
+    PublishedTool { name: "Redfish-Nagios", in_production: true, data_source: "Out-of-band" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_sources() {
+        assert_eq!(DataSource::ALL.len(), 12);
+        // Names must be unique and lowercase.
+        let mut names: Vec<_> = DataSource::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert!(names.iter().all(|n| *n == n.to_lowercase()));
+    }
+
+    #[test]
+    fn coverage_matches_paper_range() {
+        // Fig. 3: "failure detection coverage ... ranges from 3% to 84%".
+        let min = DataSource::ALL
+            .iter()
+            .map(|s| s.paper_coverage())
+            .fold(f64::INFINITY, f64::min);
+        let max = DataSource::ALL
+            .iter()
+            .map(|s| s.paper_coverage())
+            .fold(0.0, f64::max);
+        assert!((min - 0.03).abs() < 1e-9);
+        assert!((max - 0.84).abs() < 1e-9);
+        // No single tool detects everything.
+        assert!(max < 1.0);
+    }
+
+    #[test]
+    fn ascending_coverage_order() {
+        let order = DataSource::by_ascending_coverage();
+        assert_eq!(order.len(), 12);
+        assert_eq!(order[0], DataSource::RouteMonitoring);
+        assert_eq!(order[11], DataSource::Snmp);
+        for w in order.windows(2) {
+            assert!(w[0].paper_coverage() <= w[1].paper_coverage());
+        }
+    }
+
+    #[test]
+    fn table1_has_eleven_entries() {
+        assert_eq!(TABLE1_TOOLS.len(), 11);
+        assert!(TABLE1_TOOLS.iter().filter(|t| t.in_production).count() == 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for s in DataSource::ALL {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: DataSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

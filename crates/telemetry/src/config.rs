@@ -1,0 +1,147 @@
+//! Telemetry configuration: polling periods, thresholds, noise rates.
+
+use serde::{Deserialize, Serialize};
+use skynet_model::SimDuration;
+
+/// Knobs for the telemetry suite. Defaults follow the paper where it gives
+/// numbers (ping every 2 s; SNMP delay up to ~2 min) and sensible practice
+/// elsewhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Base driver step; every tool period must be a multiple.
+    pub base_tick: SimDuration,
+    /// Ping probe period ("Ping outputs one data point every 2 seconds").
+    pub ping_period: SimDuration,
+    /// Peer clusters each cluster probes per round.
+    pub ping_fanout: usize,
+    /// Loss ratio above which ping raises a failure alert.
+    pub ping_loss_threshold: f64,
+    /// Latency-jitter band: loss below the failure threshold but above
+    /// this raises an abnormal jitter alert.
+    pub ping_jitter_threshold: f64,
+    /// Traceroute probe period.
+    pub traceroute_period: SimDuration,
+    /// Fraction of traceroute probes that localize the lossy hop (the tool
+    /// "loses effectiveness" on asymmetric/tunneled paths, §2.1).
+    pub traceroute_effectiveness: f64,
+    /// Out-of-band poll period.
+    pub oob_period: SimDuration,
+    /// SNMP/GRPC poll period.
+    pub snmp_period: SimDuration,
+    /// Maximum extra delay of SNMP alerts from CPU-starved devices (§4.2:
+    /// "approximately 2 minutes").
+    pub snmp_max_delay: SimDuration,
+    /// CPU level above which SNMP reporting lags.
+    pub snmp_delay_cpu: f64,
+    /// Utilization above which SNMP flags congestion.
+    pub congestion_threshold: f64,
+    /// Traffic-statistics (sFlow/NetFlow) aggregation period.
+    pub traffic_period: SimDuration,
+    /// Relative traffic change that counts as a drop/surge.
+    pub traffic_delta_threshold: f64,
+    /// Internet telemetry probe period.
+    pub internet_period: SimDuration,
+    /// INT test-flow period.
+    pub int_period: SimDuration,
+    /// Fraction of devices that support INT ("not universally supported",
+    /// §2.1); membership is a stable hash of the device id.
+    pub int_device_coverage: f64,
+    /// PTP check period.
+    pub ptp_period: SimDuration,
+    /// Route monitoring poll period.
+    pub route_period: SimDuration,
+    /// Syslog condition-scan period (events repeat while active, giving
+    /// the storm behaviour of Fig. 2b).
+    pub syslog_period: SimDuration,
+    /// Probability that an active flapping condition logs again on a scan.
+    pub syslog_repeat_prob: f64,
+    /// Patrol inspection period.
+    pub patrol_period: SimDuration,
+    /// Background noise: expected unrelated glitch alerts per hour across
+    /// the whole network (they "continued to produce alerts", §2.2).
+    pub noise_per_hour: f64,
+    /// Expected probe glitch *storms* per hour: a buggy activity probe
+    /// raising the same alert on every device of a site at once (§4.2's
+    /// false-alarm anecdote — the stress case for type-distinct counting).
+    pub glitch_storms_per_hour: f64,
+    /// How long one glitch storm lasts.
+    pub glitch_storm_duration: SimDuration,
+    /// RNG seed for probe sampling, noise and delays.
+    pub seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            base_tick: SimDuration::from_secs(2),
+            ping_period: SimDuration::from_secs(2),
+            ping_fanout: 3,
+            ping_loss_threshold: 0.01,
+            ping_jitter_threshold: 0.001,
+            traceroute_period: SimDuration::from_secs(30),
+            traceroute_effectiveness: 0.5,
+            oob_period: SimDuration::from_secs(30),
+            snmp_period: SimDuration::from_secs(60),
+            snmp_max_delay: SimDuration::from_secs(120),
+            snmp_delay_cpu: 0.9,
+            congestion_threshold: 0.95,
+            traffic_period: SimDuration::from_secs(60),
+            traffic_delta_threshold: 0.5,
+            internet_period: SimDuration::from_secs(10),
+            int_period: SimDuration::from_secs(30),
+            int_device_coverage: 0.6,
+            ptp_period: SimDuration::from_secs(60),
+            route_period: SimDuration::from_secs(30),
+            syslog_period: SimDuration::from_secs(10),
+            syslog_repeat_prob: 0.35,
+            patrol_period: SimDuration::from_secs(300),
+            noise_per_hour: 400.0,
+            glitch_storms_per_hour: 0.0,
+            glitch_storm_duration: SimDuration::from_secs(120),
+            seed: 11,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A quieter configuration for unit tests: no background noise.
+    pub fn quiet() -> Self {
+        TelemetryConfig {
+            noise_per_hour: 0.0,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_numbers() {
+        let c = TelemetryConfig::default();
+        assert_eq!(c.ping_period, SimDuration::from_secs(2));
+        assert_eq!(c.snmp_max_delay, SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn periods_are_multiples_of_base_tick() {
+        let c = TelemetryConfig::default();
+        let base = c.base_tick.as_millis();
+        for p in [
+            c.ping_period,
+            c.traceroute_period,
+            c.oob_period,
+            c.snmp_period,
+            c.traffic_period,
+            c.internet_period,
+            c.int_period,
+            c.ptp_period,
+            c.route_period,
+            c.syslog_period,
+            c.patrol_period,
+        ] {
+            assert_eq!(p.as_millis() % base, 0, "{p} not a multiple of base");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # skynet-telemetry
+//!
+//! Simulators for the twelve monitoring data sources of Table 2. Each tool
+//! observes the injected [`NetworkState`](skynet_failure::NetworkState) on
+//! its own polling period and emits [`RawAlert`](skynet_model::RawAlert)s in
+//! the uniform input format, reproducing the characteristics §4.1 calls
+//! out:
+//!
+//! - **frequency differences** — ping reports every 2 s while down, syslog
+//!   only on events, SNMP every 60 s;
+//! - **location differences** — ping attributes loss to site-pair paths
+//!   (with a `peer`), device tools attribute to the device;
+//! - **coverage differences** — each tool sees only the conditions its data
+//!   source can see (Fig. 3), e.g. syslog misses silent packet loss,
+//!   route monitoring only sees the control plane;
+//! - **delay** — SNMP alerts from CPU-starved devices arrive up to ~2 min
+//!   late (the reason behind the locator's 5-minute node timeout, §4.2);
+//! - **noise** — unrelated glitch alerts at a configurable background rate.
+//!
+//! [`TelemetrySuite::run`] drives every tool over a scenario and returns
+//! the merged, time-ordered alert flood plus the sparse ping-loss samples
+//! the evaluator's reachability matrix consumes (Fig. 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod suite;
+pub mod tools;
+
+pub use config::TelemetryConfig;
+pub use skynet_model::ping::{PingLog, PingSample};
+pub use suite::{TelemetryRun, TelemetrySuite};
+pub use tools::{MonitoringTool, PollCtx};

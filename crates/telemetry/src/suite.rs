@@ -1,0 +1,366 @@
+//! The telemetry driver: all tools stepped over a scenario.
+
+use crate::config::TelemetryConfig;
+use skynet_model::ping::PingLog;
+use crate::tools::{
+    InbandTelemetry, InternetTelemetry, ModificationEvents, MonitoringTool, OutOfBand,
+    PatrolInspection, PingMesh, PollCtx, Ptp, RouteMonitoring, Sink, Snmp, Syslog, Traceroute,
+    TrafficStats,
+};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use skynet_failure::{NetworkState, Scenario};
+use skynet_model::{AlertKind, DataSource, DeviceId, LocationLevel, LocationPath, RawAlert, SimTime};
+
+/// The merged output of one telemetry run.
+#[derive(Debug, Clone)]
+pub struct TelemetryRun {
+    /// All raw alerts, ordered by timestamp.
+    pub alerts: Vec<RawAlert>,
+    /// Sparse lossy ping samples for the reachability matrix.
+    pub ping: PingLog,
+}
+
+/// A live probe-glitch storm (§4.2's false-alarm anecdote).
+#[derive(Debug, Clone)]
+struct GlitchStorm {
+    until: SimTime,
+    site: LocationPath,
+    source: DataSource,
+    kind: AlertKind,
+}
+
+/// Drives a set of monitoring tools over a scenario.
+pub struct TelemetrySuite {
+    tools: Vec<Box<dyn MonitoringTool>>,
+    cfg: TelemetryConfig,
+    noise_rng: ChaCha8Rng,
+    storm: Option<GlitchStorm>,
+}
+
+impl std::fmt::Debug for TelemetrySuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySuite")
+            .field("tools", &self.sources())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySuite {
+    /// All twelve Table-2 tools.
+    pub fn standard(topo: &std::sync::Arc<skynet_topology::Topology>, cfg: TelemetryConfig) -> Self {
+        Self::with_sources(topo, cfg, &DataSource::ALL)
+    }
+
+    /// A subset of tools — the Fig. 8a coverage ablation removes sources
+    /// one by one.
+    pub fn with_sources(
+        topo: &std::sync::Arc<skynet_topology::Topology>,
+        cfg: TelemetryConfig,
+        sources: &[DataSource],
+    ) -> Self {
+        let mut tools: Vec<Box<dyn MonitoringTool>> = Vec::new();
+        for &s in sources {
+            match s {
+                DataSource::Ping => tools.push(Box::new(PingMesh::new(topo, &cfg))),
+                DataSource::Traceroute => tools.push(Box::new(Traceroute::new(topo, &cfg))),
+                DataSource::OutOfBand => tools.push(Box::new(OutOfBand::new(&cfg))),
+                DataSource::TrafficStats => tools.push(Box::new(TrafficStats::new(&cfg))),
+                DataSource::InternetTelemetry => {
+                    tools.push(Box::new(InternetTelemetry::new(topo, &cfg)))
+                }
+                DataSource::Syslog => tools.push(Box::new(Syslog::new(&cfg))),
+                DataSource::Snmp => tools.push(Box::new(Snmp::new(&cfg))),
+                DataSource::InbandTelemetry => {
+                    tools.push(Box::new(InbandTelemetry::new(topo, &cfg)))
+                }
+                DataSource::Ptp => tools.push(Box::new(Ptp::new(&cfg))),
+                DataSource::RouteMonitoring => tools.push(Box::new(RouteMonitoring::new(&cfg))),
+                DataSource::ModificationEvents => {
+                    tools.push(Box::new(ModificationEvents::new(&cfg)))
+                }
+                DataSource::PatrolInspection => tools.push(Box::new(PatrolInspection::new(&cfg))),
+            }
+        }
+        let noise_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4E4F_4953);
+        TelemetrySuite {
+            tools,
+            cfg,
+            noise_rng,
+            storm: None,
+        }
+    }
+
+    /// Adds a custom monitoring tool (§5.2/§9: new data sources join by
+    /// emitting the uniform format — user-side telemetry, SRTE label
+    /// probes, anything implementing [`MonitoringTool`]).
+    pub fn push_tool(&mut self, tool: Box<dyn MonitoringTool>) {
+        self.tools.push(tool);
+    }
+
+    /// The active data sources.
+    pub fn sources(&self) -> Vec<DataSource> {
+        self.tools.iter().map(|t| t.source()).collect()
+    }
+
+    /// Steps every tool over `[0, scenario.horizon())` and returns the
+    /// merged, time-ordered flood.
+    pub fn run(&mut self, scenario: &Scenario) -> TelemetryRun {
+        let mut alerts = Vec::new();
+        let mut ping = PingLog::new();
+        let tick = self.cfg.base_tick;
+        assert!(tick.as_millis() > 0, "base tick must be positive");
+
+        let mut now = SimTime::ZERO;
+        while now < scenario.horizon() {
+            let state = NetworkState::at(scenario, now);
+            let ctx = PollCtx {
+                scenario,
+                state: &state,
+                now,
+            };
+            for tool in &mut self.tools {
+                let period = tool.period().as_millis().max(1);
+                if now.as_millis().is_multiple_of(period) {
+                    let mut sink = Sink {
+                        alerts: &mut alerts,
+                        ping: &mut ping,
+                    };
+                    tool.poll(&ctx, &mut sink);
+                }
+            }
+            self.emit_noise(scenario, now, &mut alerts);
+            self.emit_glitch_storm(scenario, now, &mut alerts);
+            now += tick;
+        }
+
+        alerts.sort_by_key(|a| a.timestamp);
+        TelemetryRun { alerts, ping }
+    }
+
+    /// Unrelated background glitches (§2.2: "unrelated glitches continued
+    /// to produce alerts"): mostly abnormal-class blips on random devices,
+    /// occasionally a brief failure-class one.
+    fn emit_noise(&mut self, scenario: &Scenario, now: SimTime, alerts: &mut Vec<RawAlert>) {
+        if self.cfg.noise_per_hour <= 0.0 {
+            return;
+        }
+        let sources = self.sources();
+        if sources.is_empty() {
+            return;
+        }
+        let expected = self.cfg.noise_per_hour * self.cfg.base_tick.as_secs_f64() / 3600.0;
+        let mut n = expected.floor() as usize;
+        if self.noise_rng.gen_bool((expected - n as f64).clamp(0.0, 1.0)) {
+            n += 1;
+        }
+        let topo = scenario.topology();
+        for _ in 0..n {
+            let source = sources[self.noise_rng.gen_range(0..sources.len())];
+            let device =
+                DeviceId::from_index(self.noise_rng.gen_range(0..topo.devices().len()));
+            let location = topo.device(device).location.clone();
+            let alert = match source {
+                DataSource::Syslog => {
+                    let kind = if self.noise_rng.gen_bool(0.5) {
+                        AlertKind::LinkFlapping
+                    } else {
+                        AlertKind::PortFlapping
+                    };
+                    let text =
+                        crate::tools::syslog::render_message(kind, &mut self.noise_rng);
+                    RawAlert::syslog(now, location, text)
+                }
+                DataSource::Ping if self.noise_rng.gen_bool(0.1) => {
+                    // A rare failure-class glitch: a transient loss blip.
+                    RawAlert::known(
+                        source,
+                        now,
+                        topo.device(device).attribution(),
+                        AlertKind::PacketLossIcmp,
+                    )
+                    .with_magnitude(self.noise_rng.gen_range(0.01..0.05))
+                }
+                DataSource::Ping => RawAlert::known(
+                    source,
+                    now,
+                    topo.device(device).attribution(),
+                    AlertKind::LatencyJitter,
+                )
+                .with_magnitude(self.noise_rng.gen_range(0.0001..0.001)),
+                DataSource::OutOfBand | DataSource::Snmp => {
+                    RawAlert::known(source, now, location, AlertKind::HighCpu)
+                        .with_magnitude(self.noise_rng.gen_range(0.9..1.0))
+                }
+                DataSource::TrafficStats => {
+                    let kind = if self.noise_rng.gen_bool(0.5) {
+                        AlertKind::TrafficSurge
+                    } else {
+                        AlertKind::TrafficDrop
+                    };
+                    RawAlert::known(source, now, topo.device(device).attribution(), kind)
+                        .with_magnitude(self.noise_rng.gen_range(0.5..1.5))
+                }
+                DataSource::Ptp => {
+                    RawAlert::known(source, now, location, AlertKind::PtpDesync)
+                }
+                _ => RawAlert::known(source, now, location, AlertKind::LatencyJitter)
+                    .with_magnitude(self.noise_rng.gen_range(0.0001..0.001)),
+            };
+            alerts.push(alert);
+        }
+    }
+}
+
+impl TelemetrySuite {
+    /// A buggy activity probe flags every device of one site with the same
+    /// alert at once, repeatedly for the storm's duration. Cause-less:
+    /// nothing is actually wrong — the §4.2 false-positive pressure that
+    /// type-distinct counting defuses.
+    fn emit_glitch_storm(
+        &mut self,
+        scenario: &Scenario,
+        now: SimTime,
+        alerts: &mut Vec<RawAlert>,
+    ) {
+        if self.cfg.glitch_storms_per_hour <= 0.0 {
+            return;
+        }
+        if let Some(storm) = &self.storm {
+            if now >= storm.until {
+                self.storm = None;
+            }
+        }
+        let topo = scenario.topology();
+        if self.storm.is_none() {
+            let p = (self.cfg.glitch_storms_per_hour * self.cfg.base_tick.as_secs_f64()
+                / 3600.0)
+                .clamp(0.0, 1.0);
+            if self.noise_rng.gen_bool(p) {
+                let clusters = topo.clusters();
+                let site = clusters[self.noise_rng.gen_range(0..clusters.len())]
+                    .truncate_at(LocationLevel::Site);
+                let (source, kind) = if self.noise_rng.gen_bool(0.7) {
+                    (DataSource::OutOfBand, AlertKind::DeviceInaccessible)
+                } else {
+                    (DataSource::Ptp, AlertKind::PtpDesync)
+                };
+                self.storm = Some(GlitchStorm {
+                    until: now + self.cfg.glitch_storm_duration,
+                    site,
+                    source,
+                    kind,
+                });
+            }
+        }
+        if let Some(storm) = self.storm.clone() {
+            // The buggy probe re-fires on its polling cadence (~30 s).
+            if now.as_millis().is_multiple_of(30_000) {
+                for device in topo.devices_under(&storm.site) {
+                    alerts.push(RawAlert::known(
+                        storm.source,
+                        now,
+                        device.location.clone(),
+                        storm.kind,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_failure::Injector;
+    use skynet_model::{LocationPath, SimDuration};
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn cable_cut_scenario() -> Scenario {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let region = LocationPath::parse("Region-0").unwrap();
+        let mut inj = Injector::new(topo);
+        inj.entry_cable_cut(
+            &region,
+            0.5,
+            SimTime::from_mins(2),
+            SimDuration::from_mins(5),
+        );
+        inj.finish(SimTime::from_mins(10))
+    }
+
+    #[test]
+    fn run_produces_a_time_ordered_multi_source_flood() {
+        let s = cable_cut_scenario();
+        let mut suite = TelemetrySuite::standard(s.topology(), TelemetryConfig::quiet());
+        let run = suite.run(&s);
+        assert!(!run.alerts.is_empty());
+        assert!(run.alerts.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        let mut sources: Vec<DataSource> = run.alerts.iter().map(|a| a.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert!(
+            sources.len() >= 2,
+            "a severe failure is visible to several tools: {sources:?}"
+        );
+        // Everything during the quiet run is failure-caused.
+        assert!(run.alerts.iter().all(|a| a.cause.is_some()));
+    }
+
+    #[test]
+    fn noise_adds_unrelated_alerts() {
+        let s = cable_cut_scenario();
+        let cfg = TelemetryConfig {
+            noise_per_hour: 3600.0, // ~2 per tick at 2 s
+            ..TelemetryConfig::default()
+        };
+        let mut suite = TelemetrySuite::standard(s.topology(), cfg);
+        let run = suite.run(&s);
+        let noise = run.alerts.iter().filter(|a| a.cause.is_none()).count();
+        assert!(noise > 100, "expected substantial noise, got {noise}");
+    }
+
+    #[test]
+    fn with_sources_restricts_tools() {
+        let s = cable_cut_scenario();
+        let mut suite = TelemetrySuite::with_sources(
+            s.topology(),
+            TelemetryConfig::quiet(),
+            &[DataSource::Snmp, DataSource::Syslog],
+        );
+        let run = suite.run(&s);
+        assert!(run
+            .alerts
+            .iter()
+            .all(|a| matches!(a.source, DataSource::Snmp | DataSource::Syslog)));
+        assert!(run.ping.samples().is_empty(), "no ping tool, no samples");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = cable_cut_scenario();
+        let run1 = TelemetrySuite::standard(s.topology(), TelemetryConfig::default()).run(&s);
+        let run2 = TelemetrySuite::standard(s.topology(), TelemetryConfig::default()).run(&s);
+        assert_eq!(run1.alerts, run2.alerts);
+        assert_eq!(run1.ping, run2.ping);
+    }
+
+    #[test]
+    fn severe_failure_floods_relative_to_quiet_period() {
+        let s = cable_cut_scenario();
+        let mut suite = TelemetrySuite::standard(s.topology(), TelemetryConfig::quiet());
+        let run = suite.run(&s);
+        let before = run
+            .alerts
+            .iter()
+            .filter(|a| a.timestamp < SimTime::from_mins(2))
+            .count();
+        let during = run
+            .alerts
+            .iter()
+            .filter(|a| a.timestamp >= SimTime::from_mins(2))
+            .count();
+        assert!(during > 10 * (before + 1), "before={before} during={during}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Control-plane tools: route monitoring and modification-event reporting.
+
+use super::{MonitoringTool, PollCtx, Sink};
+use crate::config::TelemetryConfig;
+use skynet_failure::effect::RouteAnomalyKind;
+use skynet_failure::RootCauseCategory;
+use skynet_model::{AlertKind, DataSource, FailureId, RawAlert, SimDuration};
+use std::collections::HashSet;
+
+/// Route monitoring: hijacks, leaks and default/aggregate route loss in the
+/// control plane. "Limited to the control plane and cannot diagnose data
+/// plane issues" (§2.1) — it sees only [`RouteAnomaly`] effects.
+///
+/// [`RouteAnomaly`]: skynet_failure::effect::EffectKind::RouteAnomaly
+#[derive(Debug)]
+pub struct RouteMonitoring {
+    period: SimDuration,
+}
+
+impl RouteMonitoring {
+    /// New route monitor.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        RouteMonitoring {
+            period: cfg.route_period,
+        }
+    }
+}
+
+impl MonitoringTool for RouteMonitoring {
+    fn source(&self) -> DataSource {
+        DataSource::RouteMonitoring
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for (scope, anomaly, cause) in ctx.state.route_anomalies() {
+            let kind = match anomaly {
+                RouteAnomalyKind::Hijack => AlertKind::RouteHijack,
+                RouteAnomalyKind::Leak => AlertKind::RouteLeak,
+                RouteAnomalyKind::DefaultRouteLoss => AlertKind::DefaultRouteLoss,
+            };
+            let mut alert =
+                RawAlert::known(DataSource::RouteMonitoring, ctx.now, scope.clone(), kind);
+            alert.cause = Some(*cause);
+            sink.alerts.push(alert);
+        }
+    }
+}
+
+/// Modification events: the change-management system reports failed
+/// network modifications directly (it *knows* its change failed — a
+/// ground-truth-adjacent source, which is why the paper keeps it despite
+/// its narrow coverage).
+#[derive(Debug)]
+pub struct ModificationEvents {
+    period: SimDuration,
+    reported: HashSet<FailureId>,
+}
+
+impl ModificationEvents {
+    /// New modification-event reporter.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        ModificationEvents {
+            period: cfg.route_period,
+            reported: HashSet::new(),
+        }
+    }
+}
+
+impl MonitoringTool for ModificationEvents {
+    fn source(&self) -> DataSource {
+        DataSource::ModificationEvents
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for event in ctx.scenario.active_at(ctx.now) {
+            if event.category != RootCauseCategory::NetworkModification {
+                continue;
+            }
+            if !self.reported.insert(event.id) {
+                continue; // one report per failed change
+            }
+            let mut alert = RawAlert::known(
+                DataSource::ModificationEvents,
+                ctx.now,
+                event.epicenter.clone(),
+                AlertKind::ModificationFailure,
+            );
+            alert.cause = Some(event.id);
+            sink.alerts.push(alert);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::ping::PingLog;
+    use skynet_failure::{Injector, NetworkState, Scenario};
+    use skynet_model::{DeviceId, LocationPath, SimTime};
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn poll<T: MonitoringTool>(tool: &mut T, s: &Scenario, secs: u64) -> Vec<RawAlert> {
+        let state = NetworkState::at(s, SimTime::from_secs(secs));
+        let ctx = PollCtx {
+            scenario: s,
+            state: &state,
+            now: SimTime::from_secs(secs),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        tool.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        alerts
+    }
+
+    #[test]
+    fn route_monitor_maps_anomaly_kinds() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let scope = LocationPath::parse("Region-0|City-0").unwrap();
+        let mut inj = Injector::new(topo);
+        inj.route_error(
+            &scope,
+            RouteAnomalyKind::Hijack,
+            SimTime::ZERO,
+            SimDuration::from_mins(5),
+        );
+        let s = inj.finish(SimTime::from_mins(10));
+        let alerts = poll(&mut RouteMonitoring::new(&TelemetryConfig::quiet()), &s, 60);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].known_kind(), Some(AlertKind::RouteHijack));
+        assert_eq!(alerts[0].location, scope);
+    }
+
+    #[test]
+    fn modification_failures_are_reported_exactly_once() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut inj = Injector::new(topo);
+        inj.modification_error(DeviceId(1), SimTime::ZERO, SimDuration::from_mins(5));
+        let s = inj.finish(SimTime::from_mins(10));
+        let mut tool = ModificationEvents::new(&TelemetryConfig::quiet());
+        assert_eq!(poll(&mut tool, &s, 30).len(), 1);
+        assert_eq!(poll(&mut tool, &s, 60).len(), 0, "no duplicate report");
+    }
+}

@@ -1,0 +1,76 @@
+//! The monitoring-tool trait and the twelve Table-2 implementations.
+
+pub mod control;
+pub mod device;
+pub mod ping;
+pub mod syslog;
+pub mod traffic;
+
+use skynet_model::ping::PingLog;
+use skynet_failure::{NetworkState, Scenario};
+use skynet_model::{DataSource, RawAlert, SimDuration, SimTime};
+
+pub use control::{ModificationEvents, RouteMonitoring};
+pub use device::{OutOfBand, PatrolInspection, Ptp, Snmp};
+pub use ping::{InbandTelemetry, InternetTelemetry, PingMesh, Traceroute};
+pub use syslog::Syslog;
+pub use traffic::TrafficStats;
+
+/// Everything a tool can observe during one poll.
+#[derive(Debug)]
+pub struct PollCtx<'a> {
+    /// The scenario under simulation (tools that are *themselves* event
+    /// reporters — modification events — read their events here).
+    pub scenario: &'a Scenario,
+    /// The failure-state snapshot at `now`.
+    pub state: &'a NetworkState<'a>,
+    /// Poll instant.
+    pub now: SimTime,
+}
+
+/// Where tools deposit their observations.
+#[derive(Debug)]
+pub struct Sink<'a> {
+    /// The merged alert flood.
+    pub alerts: &'a mut Vec<RawAlert>,
+    /// Sparse lossy ping samples (reachability-matrix raw material).
+    pub ping: &'a mut PingLog,
+}
+
+/// A simulated monitoring tool (one per Table-2 data source).
+pub trait MonitoringTool {
+    /// The data source this tool feeds.
+    fn source(&self) -> DataSource;
+
+    /// Polling period (a multiple of the driver's base tick).
+    fn period(&self) -> SimDuration;
+
+    /// Observes the state and emits alerts.
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>);
+}
+
+/// Stable per-device hash in `[0, 1)` for coverage membership (e.g. which
+/// devices support INT).
+pub(crate) fn device_unit_hash(device: skynet_model::DeviceId, salt: u64) -> f64 {
+    let mut z = (u64::from(device.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::DeviceId;
+
+    #[test]
+    fn device_unit_hash_is_stable_and_uniform_ish() {
+        let a = device_unit_hash(DeviceId(5), 1);
+        assert_eq!(a, device_unit_hash(DeviceId(5), 1));
+        assert!((0.0..1.0).contains(&a));
+        let mean: f64 =
+            (0..1000).map(|i| device_unit_hash(DeviceId(i), 7)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,402 @@
+//! Path-probing tools: ping mesh, traceroute, Internet telemetry and
+//! in-band network telemetry.
+
+use super::{device_unit_hash, MonitoringTool, PollCtx, Sink};
+use crate::config::TelemetryConfig;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use skynet_model::{
+    AlertKind, DataSource, LocationLevel, LocationPath, RawAlert, SimDuration,
+};
+use skynet_topology::route::{self, RoutePath};
+use skynet_topology::Topology;
+use std::sync::Arc;
+
+/// A probed cluster pair with its precomputed route.
+#[derive(Debug, Clone)]
+struct ProbePair {
+    src: LocationPath,
+    dst: LocationPath,
+    route: RoutePath,
+    kind: AlertKind,
+}
+
+fn sample_pairs(topo: &Topology, fanout: usize, rng: &mut ChaCha8Rng) -> Vec<ProbePair> {
+    let clusters = topo.clusters();
+    let mut pairs = Vec::new();
+    let kinds = [
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossTcp,
+        AlertKind::PacketLossSource,
+    ];
+    for (i, src) in clusters.iter().enumerate() {
+        for f in 0..fanout.min(clusters.len().saturating_sub(1)) {
+            let mut j = rng.gen_range(0..clusters.len());
+            if clusters[j] == *src {
+                j = (j + 1) % clusters.len();
+            }
+            let dst = clusters[j].clone();
+            let hash = (i as u64) << 16 | f as u64;
+            if let Some(route) = route::route_between_clusters(topo, src, &dst, hash) {
+                pairs.push(ProbePair {
+                    src: src.clone(),
+                    dst,
+                    route,
+                    kind: kinds[(i + f) % kinds.len()],
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// End-to-end ping mesh between cluster pairs ("one data point every 2
+/// seconds"). Loss above the failure threshold raises an end-to-end loss
+/// alert attributed to the source *site* with the destination site as peer
+/// (§4.1: path alerts are split by the preprocessor); sub-threshold loss
+/// raises jitter. Every lossy sample also lands in the ping log for the
+/// reachability matrix.
+#[derive(Debug)]
+pub struct PingMesh {
+    pairs: Vec<ProbePair>,
+    period: SimDuration,
+    loss_threshold: f64,
+    jitter_threshold: f64,
+}
+
+impl PingMesh {
+    /// Builds the mesh with a seeded peer sample per cluster.
+    pub fn new(topo: &Arc<Topology>, cfg: &TelemetryConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x50494E47);
+        PingMesh {
+            pairs: sample_pairs(topo, cfg.ping_fanout, &mut rng),
+            period: cfg.ping_period,
+            loss_threshold: cfg.ping_loss_threshold,
+            jitter_threshold: cfg.ping_jitter_threshold,
+        }
+    }
+
+    /// Number of probed pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+impl MonitoringTool for PingMesh {
+    fn source(&self) -> DataSource {
+        DataSource::Ping
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for pair in &self.pairs {
+            let (loss, cause) = ctx.state.path_loss(&pair.route);
+            if loss <= 0.0 {
+                continue;
+            }
+            sink.ping
+                .record(ctx.now, pair.src.clone(), pair.dst.clone(), loss);
+            let kind = if loss >= self.loss_threshold {
+                pair.kind
+            } else if loss >= self.jitter_threshold {
+                AlertKind::LatencyJitter
+            } else {
+                continue;
+            };
+            let mut alert = RawAlert::known(
+                DataSource::Ping,
+                ctx.now,
+                pair.src.truncate_at(LocationLevel::Site),
+                kind,
+            )
+            .with_peer(pair.dst.truncate_at(LocationLevel::Site))
+            .with_magnitude(loss);
+            alert.cause = cause;
+            sink.alerts.push(alert);
+        }
+    }
+}
+
+/// Per-hop traceroute probes. When a path is lossy the tool localizes the
+/// worst hop — but only on a fraction of probes ("loses effectiveness in
+/// networks with asymmetric paths or ... SRTE", §2.1).
+#[derive(Debug)]
+pub struct Traceroute {
+    pairs: Vec<ProbePair>,
+    period: SimDuration,
+    effectiveness: f64,
+    loss_threshold: f64,
+    rng: ChaCha8Rng,
+}
+
+impl Traceroute {
+    /// Builds the probe set (smaller than the ping mesh: one peer per
+    /// cluster).
+    pub fn new(topo: &Arc<Topology>, cfg: &TelemetryConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x54524143);
+        Traceroute {
+            pairs: sample_pairs(topo, 1, &mut rng),
+            period: cfg.traceroute_period,
+            effectiveness: cfg.traceroute_effectiveness,
+            loss_threshold: cfg.ping_loss_threshold,
+            rng,
+        }
+    }
+}
+
+impl MonitoringTool for Traceroute {
+    fn source(&self) -> DataSource {
+        DataSource::Traceroute
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for pair in &self.pairs {
+            let (loss, _) = ctx.state.path_loss(&pair.route);
+            if loss < self.loss_threshold {
+                continue;
+            }
+            if !self.rng.gen_bool(self.effectiveness) {
+                continue;
+            }
+            // Localize the worst hop.
+            let worst = pair
+                .route
+                .devices
+                .iter()
+                .map(|&d| (d, ctx.state.device_loss(d)))
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0));
+            if let Some((dev, (hop_loss, cause))) = worst {
+                if hop_loss <= 0.0 {
+                    continue;
+                }
+                let attribution = ctx.state.topology().device(dev).attribution();
+                let mut alert = RawAlert::known(
+                    DataSource::Traceroute,
+                    ctx.now,
+                    attribution,
+                    AlertKind::HighLatency,
+                )
+                .with_magnitude(hop_loss);
+                alert.cause = cause;
+                sink.alerts.push(alert);
+            }
+        }
+    }
+}
+
+/// Internet telemetry: probes Internet addresses from sample clusters of
+/// every region through the region's entry links.
+#[derive(Debug)]
+pub struct InternetTelemetry {
+    routes: Vec<(LocationPath, RoutePath)>,
+    period: SimDuration,
+    loss_threshold: f64,
+}
+
+impl InternetTelemetry {
+    /// Probes from up to two clusters per region.
+    pub fn new(topo: &Arc<Topology>, cfg: &TelemetryConfig) -> Self {
+        let mut routes = Vec::new();
+        let mut per_region: std::collections::HashMap<LocationPath, usize> =
+            std::collections::HashMap::new();
+        for (i, cluster) in topo.clusters().iter().enumerate() {
+            let region = cluster.truncate_at(LocationLevel::Region);
+            let n = per_region.entry(region).or_insert(0);
+            if *n >= 2 {
+                continue;
+            }
+            if let Some(route) = route::route_to_internet(topo, cluster, i as u64) {
+                routes.push((cluster.clone(), route));
+                *n += 1;
+            }
+        }
+        InternetTelemetry {
+            routes,
+            period: cfg.internet_period,
+            loss_threshold: cfg.ping_loss_threshold,
+        }
+    }
+}
+
+impl MonitoringTool for InternetTelemetry {
+    fn source(&self) -> DataSource {
+        DataSource::InternetTelemetry
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for (cluster, route) in &self.routes {
+            let (loss, cause) = ctx.state.path_loss(route);
+            if loss < self.loss_threshold {
+                continue;
+            }
+            let mut alert = RawAlert::known(
+                DataSource::InternetTelemetry,
+                ctx.now,
+                cluster.truncate_at(LocationLevel::Site),
+                AlertKind::InternetUnreachable,
+            )
+            .with_magnitude(loss);
+            alert.cause = cause;
+            sink.alerts.push(alert);
+        }
+    }
+}
+
+/// In-band network telemetry: test flows comparing input and output rates
+/// per device. Localizes loss to the exact device, but only on devices
+/// that support INT (§2.1).
+#[derive(Debug)]
+pub struct InbandTelemetry {
+    pairs: Vec<ProbePair>,
+    period: SimDuration,
+    coverage: f64,
+    salt: u64,
+}
+
+impl InbandTelemetry {
+    /// Builds INT test flows over a seeded pair sample.
+    pub fn new(topo: &Arc<Topology>, cfg: &TelemetryConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x494E5421);
+        InbandTelemetry {
+            pairs: sample_pairs(topo, 2, &mut rng),
+            period: cfg.int_period,
+            coverage: cfg.int_device_coverage,
+            salt: cfg.seed,
+        }
+    }
+}
+
+impl MonitoringTool for InbandTelemetry {
+    fn source(&self) -> DataSource {
+        DataSource::InbandTelemetry
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for pair in &self.pairs {
+            for &dev in &pair.route.devices {
+                if device_unit_hash(dev, self.salt) >= self.coverage {
+                    continue; // device does not support INT
+                }
+                let (loss, cause) = ctx.state.device_loss(dev);
+                if loss <= 0.005 || loss >= 1.0 {
+                    // A fully-dead device produces no INT reports at all.
+                    continue;
+                }
+                let attribution = ctx.state.topology().device(dev).attribution();
+                let mut alert = RawAlert::known(
+                    DataSource::InbandTelemetry,
+                    ctx.now,
+                    attribution,
+                    AlertKind::IntPacketLoss,
+                )
+                .with_magnitude(loss);
+                alert.cause = cause;
+                sink.alerts.push(alert);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::ping::PingLog;
+    use skynet_failure::{Injector, NetworkState};
+    use skynet_model::{SimDuration, SimTime};
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn quiet_scenario_with_down_csr() -> (skynet_failure::Scenario, skynet_model::DeviceId) {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let csr = topo
+            .devices()
+            .iter()
+            .find(|d| d.role == skynet_topology::DeviceRole::Csr)
+            .unwrap()
+            .id;
+        let mut inj = Injector::new(topo);
+        inj.device_down(csr, SimTime::ZERO, SimDuration::from_mins(10));
+        (inj.finish(SimTime::from_mins(10)), csr)
+    }
+
+    #[test]
+    fn ping_emits_loss_alerts_with_peer_and_cause() {
+        let (scenario, _) = quiet_scenario_with_down_csr();
+        let cfg = TelemetryConfig::quiet();
+        let mut ping = PingMesh::new(scenario.topology(), &cfg);
+        assert!(ping.pair_count() > 0);
+        let state = NetworkState::at(&scenario, SimTime::from_secs(30));
+        let ctx = PollCtx {
+            scenario: &scenario,
+            state: &state,
+            now: SimTime::from_secs(30),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        ping.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        assert!(!alerts.is_empty(), "a dead CSR must cost some ping pairs");
+        for a in &alerts {
+            assert_eq!(a.source, DataSource::Ping);
+            assert!(a.peer.is_some());
+            assert!(a.cause.is_some());
+            assert_eq!(a.location.level(), Some(LocationLevel::Site));
+        }
+        assert!(!log.samples().is_empty());
+    }
+
+    #[test]
+    fn healthy_network_pings_silently() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let scenario = Injector::new(topo).finish(SimTime::from_mins(10));
+        let cfg = TelemetryConfig::quiet();
+        let mut ping = PingMesh::new(scenario.topology(), &cfg);
+        let state = NetworkState::at(&scenario, SimTime::from_secs(30));
+        let ctx = PollCtx {
+            scenario: &scenario,
+            state: &state,
+            now: SimTime::from_secs(30),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        ping.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        assert!(alerts.is_empty());
+        assert!(log.samples().is_empty());
+    }
+
+    #[test]
+    fn int_skips_uncovered_and_dead_devices() {
+        let (scenario, csr) = quiet_scenario_with_down_csr();
+        let cfg = TelemetryConfig::quiet();
+        let mut int = InbandTelemetry::new(scenario.topology(), &cfg);
+        let state = NetworkState::at(&scenario, SimTime::from_secs(30));
+        let ctx = PollCtx {
+            scenario: &scenario,
+            state: &state,
+            now: SimTime::from_secs(30),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        int.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        // The fully-dead CSR never reports INT.
+        assert!(alerts
+            .iter()
+            .all(|a| a.location != scenario.topology().device(csr).attribution()
+                || a.known_kind() != Some(AlertKind::IntPacketLoss)
+                || a.magnitude < 1.0));
+    }
+}

@@ -1,0 +1,323 @@
+//! The syslog simulator: free-text error logs from network devices.
+//!
+//! Syslog is the only source that emits *unstructured* alerts — realistic
+//! vendor-style message lines with variable fields (interfaces, addresses,
+//! counters). The preprocessor classifies them back into kinds with the
+//! FT-tree template miner; [`labeled_corpus`] provides the training corpus
+//! standing in for the paper's months of manual labelling (§4.1).
+
+use super::{MonitoringTool, PollCtx, Sink};
+use crate::config::TelemetryConfig;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use skynet_failure::RootCauseCategory;
+use skynet_model::{AlertKind, DataSource, DeviceId, FailureId, RawAlert, SimDuration};
+use std::collections::HashSet;
+
+/// Renders a realistic vendor-style syslog line for a kind, with randomized
+/// variable fields.
+pub fn render_message<R: Rng>(kind: AlertKind, rng: &mut R) -> String {
+    let ifname = format!(
+        "TenGigE0/{}/0/{}",
+        rng.gen_range(0..8),
+        rng.gen_range(0..48)
+    );
+    let ip = format!(
+        "10.{}.{}.{}",
+        rng.gen_range(0..255),
+        rng.gen_range(0..255),
+        rng.gen_range(1..255)
+    );
+    match kind {
+        AlertKind::HardwareError => format!(
+            "%PLATFORM-2-HW_ERROR: Hardware error detected on linecard {} asic {} code 0x{:X}",
+            rng.gen_range(0..8),
+            rng.gen_range(0..4),
+            rng.gen::<u16>()
+        ),
+        AlertKind::OutOfMemory => format!(
+            "%SYSTEM-1-MEMORY: Out of memory in process routing pid {}",
+            rng.gen_range(1000..30000)
+        ),
+        AlertKind::SoftwareError => format!(
+            "%OS-2-CRASH: Process bgpd crashed with signal {} core dumped restarting",
+            rng.gen_range(4..12)
+        ),
+        AlertKind::PortDown => format!(
+            "%LINK-3-UPDOWN: Interface {ifname} changed state to down"
+        ),
+        AlertKind::LinkDown => format!(
+            "%LINEPROTO-5-UPDOWN: Line protocol on Interface {ifname} changed state to down"
+        ),
+        AlertKind::BgpPeerDown => format!(
+            "%BGP-5-ADJCHANGE: neighbor {ip} Down BGP Notification sent hold time expired"
+        ),
+        AlertKind::BgpLinkJitter => format!(
+            "%BGP-3-NOTIFICATION: session with {ip} flapped {} times in {} seconds jitter detected",
+            rng.gen_range(3..20),
+            rng.gen_range(10..120)
+        ),
+        AlertKind::LinkFlapping => format!(
+            "%PKT_INFRA-LINK-3-FLAP: Interface {ifname} link flapped excessive transitions count {}",
+            rng.gen_range(3..30)
+        ),
+        AlertKind::PortFlapping => format!(
+            "%ETHPORT-5-IF_FLAP: port {ifname} flapping between up and down states"
+        ),
+        AlertKind::TrafficBlackhole => format!(
+            "%FIB-2-BLACKHOLE: traffic blackhole detected for prefix {ip}/24 packets dropped {}",
+            rng.gen_range(1000..999999)
+        ),
+        other => format!("%GENERIC-4-EVENT: {} observed on device", other.name()),
+    }
+}
+
+/// Ground-truth-labelled training corpus for the FT-tree classifier — the
+/// stand-in for the paper's historical syslog archive plus months of
+/// manual type assignment.
+pub fn labeled_corpus(lines_per_kind: usize, seed: u64) -> Vec<(String, AlertKind)> {
+    let kinds = syslog_kinds();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut corpus = Vec::with_capacity(kinds.len() * lines_per_kind);
+    for &kind in &kinds {
+        for _ in 0..lines_per_kind {
+            corpus.push((render_message(kind, &mut rng), kind));
+        }
+    }
+    corpus
+}
+
+/// The alert kinds syslog can express.
+pub fn syslog_kinds() -> Vec<AlertKind> {
+    vec![
+        AlertKind::HardwareError,
+        AlertKind::OutOfMemory,
+        AlertKind::SoftwareError,
+        AlertKind::PortDown,
+        AlertKind::LinkDown,
+        AlertKind::BgpPeerDown,
+        AlertKind::BgpLinkJitter,
+        AlertKind::LinkFlapping,
+        AlertKind::PortFlapping,
+        AlertKind::TrafficBlackhole,
+    ]
+}
+
+/// One loggable condition on a device, used for repeat suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Condition {
+    device: DeviceId,
+    kind: AlertKind,
+}
+
+/// The syslog tool. Scans device-visible conditions every period: logs a
+/// condition immediately when it first becomes active, then keeps
+/// re-logging with [`TelemetryConfig::syslog_repeat_prob`] while it lasts —
+/// producing the message storms of Fig. 2b.
+#[derive(Debug)]
+pub struct Syslog {
+    period: SimDuration,
+    repeat_prob: f64,
+    rng: ChaCha8Rng,
+    seen: HashSet<Condition>,
+}
+
+impl Syslog {
+    /// New syslog scanner.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        Syslog {
+            period: cfg.syslog_period,
+            repeat_prob: cfg.syslog_repeat_prob,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5359_534C),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The conditions a device would log at this instant.
+    fn conditions(ctx: &PollCtx<'_>, device: DeviceId) -> Vec<(AlertKind, FailureId)> {
+        let state = ctx.state;
+        let topo = state.topology();
+        let mut found = Vec::new();
+        // A dead device logs nothing (its final gasp is below the syslog
+        // collector's reach — the coverage gap §2.1 describes).
+        if state.device_down(device).is_some() {
+            return found;
+        }
+        if let Some((_loss, aware, cause)) = state.device_degraded(device) {
+            if aware {
+                let kind = match ctx.scenario.event(cause).category {
+                    RootCauseCategory::DeviceSoftware => AlertKind::SoftwareError,
+                    _ => AlertKind::HardwareError,
+                };
+                found.push((kind, cause));
+            }
+        }
+        let (cpu, cpu_cause) = state.device_cpu(device);
+        if cpu > 0.95 {
+            if let Some(cause) = cpu_cause {
+                found.push((AlertKind::OutOfMemory, cause));
+            }
+        }
+        if let Some(cause) = state.bgp_churn(device) {
+            found.push((AlertKind::BgpPeerDown, cause));
+            found.push((AlertKind::BgpLinkJitter, cause));
+        }
+        for &link_id in topo.links_of(device) {
+            let link = topo.link(link_id);
+            if let Some(cause) = state.link_down(link_id) {
+                found.push((AlertKind::PortDown, cause));
+                found.push((AlertKind::LinkDown, cause));
+            } else if let Some((broken, cause)) = state.broken_circuits(link_id) {
+                if broken > 0 {
+                    found.push((AlertKind::LinkFlapping, cause));
+                }
+            }
+            // Peer dead: the BGP session to it drops.
+            if let Some(peer) = link.other(device).and_then(|e| e.device()) {
+                if let Some(cause) = state.device_down(peer) {
+                    found.push((AlertKind::BgpPeerDown, cause));
+                }
+            }
+            // Offered traffic with zero capacity left: FIB blackhole log.
+            let (util, util_cause) = state.utilization(link_id);
+            if util.is_infinite() {
+                if let Some(cause) = util_cause {
+                    found.push((AlertKind::TrafficBlackhole, cause));
+                }
+            }
+        }
+        found
+    }
+}
+
+impl MonitoringTool for Syslog {
+    fn source(&self) -> DataSource {
+        DataSource::Syslog
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        let mut active: HashSet<Condition> = HashSet::new();
+        for device in ctx.state.topology().devices() {
+            for (kind, cause) in Self::conditions(ctx, device.id) {
+                let condition = Condition {
+                    device: device.id,
+                    kind,
+                };
+                active.insert(condition);
+                let first_time = !self.seen.contains(&condition);
+                if first_time || self.rng.gen_bool(self.repeat_prob) {
+                    let text = render_message(kind, &mut self.rng);
+                    let mut alert =
+                        RawAlert::syslog(ctx.now, device.location.clone(), text);
+                    alert.cause = Some(cause);
+                    sink.alerts.push(alert);
+                }
+            }
+        }
+        // Forget cleared conditions so a re-occurrence logs immediately.
+        self.seen = active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::ping::PingLog;
+    use skynet_failure::{Injector, NetworkState, Scenario};
+    use skynet_model::{AlertBody, SimTime};
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    fn poll_at(tool: &mut Syslog, s: &Scenario, secs: u64) -> Vec<RawAlert> {
+        let state = NetworkState::at(s, SimTime::from_secs(secs));
+        let ctx = PollCtx {
+            scenario: s,
+            state: &state,
+            now: SimTime::from_secs(secs),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        tool.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        alerts
+    }
+
+    #[test]
+    fn hardware_fault_logs_hw_error_text() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut inj = Injector::new(topo);
+        inj.device_hardware(DeviceId(2), SimTime::ZERO, SimDuration::from_mins(10), 0.3, true);
+        let s = inj.finish(SimTime::from_mins(10));
+        let mut tool = Syslog::new(&TelemetryConfig::quiet());
+        let alerts = poll_at(&mut tool, &s, 10);
+        let texts: Vec<&str> = alerts
+            .iter()
+            .filter_map(|a| match &a.body {
+                AlertBody::SyslogText(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            texts.iter().any(|t| t.contains("HW_ERROR")),
+            "expected a hardware-error line, got {texts:?}"
+        );
+    }
+
+    #[test]
+    fn silent_loss_produces_no_syslog() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut inj = Injector::new(topo);
+        inj.device_hardware(DeviceId(2), SimTime::ZERO, SimDuration::from_mins(10), 0.3, false);
+        let s = inj.finish(SimTime::from_mins(10));
+        let mut tool = Syslog::new(&TelemetryConfig::quiet());
+        // The degraded device itself must not log (coverage gap, §2.1);
+        // no other condition exists in this scenario.
+        let loc = s.topology().device(DeviceId(2)).location.clone();
+        let alerts = poll_at(&mut tool, &s, 10);
+        assert!(alerts.iter().all(|a| a.location != loc));
+    }
+
+    #[test]
+    fn first_occurrence_always_logs_then_repeats_probabilistically() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let mut inj = Injector::new(topo);
+        inj.software_error(DeviceId(4), SimTime::ZERO, SimDuration::from_mins(10));
+        let s = inj.finish(SimTime::from_mins(10));
+        let mut cfg = TelemetryConfig::quiet();
+        cfg.syslog_repeat_prob = 0.0; // isolate first-time behaviour
+        let mut tool = Syslog::new(&cfg);
+        let first = poll_at(&mut tool, &s, 10);
+        assert!(!first.is_empty());
+        let second = poll_at(&mut tool, &s, 20);
+        assert!(second.is_empty(), "repeat_prob 0 means no repeats");
+        // After the failure clears and re-fires, logging resumes.
+        let cleared = poll_at(&mut tool, &s, 60 * 11);
+        assert!(cleared.is_empty());
+        let again = poll_at(&mut tool, &s, 10);
+        assert!(!again.is_empty(), "re-occurrence logs immediately");
+    }
+
+    #[test]
+    fn labeled_corpus_covers_all_syslog_kinds() {
+        let corpus = labeled_corpus(5, 1);
+        assert_eq!(corpus.len(), syslog_kinds().len() * 5);
+        for kind in syslog_kinds() {
+            assert!(corpus.iter().any(|(_, k)| *k == kind));
+        }
+        // Deterministic.
+        assert_eq!(labeled_corpus(5, 1), corpus);
+    }
+
+    #[test]
+    fn rendered_messages_differ_in_variables_not_structure() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = render_message(AlertKind::PortDown, &mut rng);
+        let b = render_message(AlertKind::PortDown, &mut rng);
+        assert_ne!(a, b, "variable fields must vary");
+        assert!(a.contains("changed state to down"));
+        assert!(b.contains("changed state to down"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Traffic statistics (sFlow / NetFlow).
+
+use super::{MonitoringTool, PollCtx, Sink};
+use crate::config::TelemetryConfig;
+use skynet_model::{AlertKind, DataSource, RawAlert, SimDuration};
+
+/// sFlow/NetFlow collector: compares each link's current rate against its
+/// healthy baseline. Sustained drops and surges raise abnormal alerts;
+/// drops actually caused by downstream loss raise sFlow packet-loss
+/// failure alerts (§4.3 uses the *ratio* to normalize across traffic
+/// levels).
+#[derive(Debug)]
+pub struct TrafficStats {
+    period: SimDuration,
+    delta_threshold: f64,
+}
+
+impl TrafficStats {
+    /// New collector.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        TrafficStats {
+            period: cfg.traffic_period,
+            delta_threshold: cfg.traffic_delta_threshold,
+        }
+    }
+}
+
+impl MonitoringTool for TrafficStats {
+    fn source(&self) -> DataSource {
+        DataSource::TrafficStats
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        let topo = ctx.state.topology();
+        for link in topo.links() {
+            let base = ctx.state.base_rate_gbps(link.id);
+            if base <= 0.0 {
+                continue; // unmetered link
+            }
+            let dev = match (link.a.device(), link.b.device()) {
+                (Some(d), _) if ctx.state.device_down(d).is_none() => Some(d),
+                (_, Some(d)) if ctx.state.device_down(d).is_none() => Some(d),
+                _ => None,
+            };
+            let Some(dev) = dev else { continue };
+            let location = topo.device(dev).attribution();
+
+            // Measured rate: offered traffic clipped by remaining capacity.
+            // The drop/surge baseline is what the collector *historically*
+            // measured on a healthy link (offered clipped by full
+            // capacity), so a permanently tight link is not a "drop".
+            let (offered, load_cause) = ctx.state.offered_rate_gbps(link.id);
+            let (loss, loss_cause) = ctx.state.link_loss(link.id);
+            let measured = offered.min(ctx.state.remaining_capacity_gbps(link.id));
+            let base = base.min(link.circuit_set.total_capacity_gbps());
+
+            if loss > 0.0 {
+                let mut alert = RawAlert::known(
+                    DataSource::TrafficStats,
+                    ctx.now,
+                    location.clone(),
+                    AlertKind::SflowPacketLoss,
+                )
+                .with_magnitude(loss);
+                alert.cause = loss_cause;
+                sink.alerts.push(alert);
+            }
+            let delta = (measured - base) / base;
+            if delta <= -self.delta_threshold {
+                let mut alert = RawAlert::known(
+                    DataSource::TrafficStats,
+                    ctx.now,
+                    location.clone(),
+                    AlertKind::TrafficDrop,
+                )
+                .with_magnitude(-delta);
+                alert.cause = loss_cause.or(load_cause);
+                sink.alerts.push(alert);
+            } else if delta >= self.delta_threshold {
+                let mut alert = RawAlert::known(
+                    DataSource::TrafficStats,
+                    ctx.now,
+                    location,
+                    AlertKind::TrafficSurge,
+                )
+                .with_magnitude(delta);
+                alert.cause = load_cause;
+                sink.alerts.push(alert);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::ping::PingLog;
+    use skynet_failure::{Injector, NetworkState};
+    use skynet_model::SimTime;
+    use skynet_topology::{generate, GeneratorConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn ddos_surges_and_cable_cut_drops() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let cluster = topo.clusters()[0].clone();
+        let region = skynet_model::LocationPath::parse("Region-0").unwrap();
+        let mut inj = Injector::new(topo);
+        inj.ddos(&cluster, 3.0, SimTime::ZERO, SimDuration::from_mins(10));
+        inj.entry_cable_cut(&region, 1.0, SimTime::ZERO, SimDuration::from_mins(10));
+        let s = inj.finish(SimTime::from_mins(10));
+        let state = NetworkState::at(&s, SimTime::from_secs(60));
+        let ctx = PollCtx {
+            scenario: &s,
+            state: &state,
+            now: SimTime::from_secs(60),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        TrafficStats::new(&TelemetryConfig::quiet())
+            .poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        let kinds: Vec<_> = alerts.iter().filter_map(|a| a.known_kind()).collect();
+        assert!(kinds.contains(&AlertKind::SflowPacketLoss));
+        assert!(kinds.contains(&AlertKind::TrafficDrop));
+        assert!(alerts.iter().all(|a| a.cause.is_some()));
+    }
+
+    #[test]
+    fn healthy_network_is_silent() {
+        let topo = Arc::new(generate(&GeneratorConfig::small()));
+        let s = Injector::new(topo).finish(SimTime::from_mins(10));
+        let state = NetworkState::at(&s, SimTime::from_secs(60));
+        let ctx = PollCtx {
+            scenario: &s,
+            state: &state,
+            now: SimTime::from_secs(60),
+        };
+        let mut alerts = Vec::new();
+        let mut log = PingLog::new();
+        TrafficStats::new(&TelemetryConfig::quiet())
+            .poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        assert!(alerts.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Customers and their traffic flows.
+//!
+//! The evaluator prioritizes incidents by the importance of affected
+//! customers, "determined using traffic data collected via NetFlow" (§4.3).
+//! We model customers with an importance factor `g` (Table 3) and SLA flows
+//! routed from a source cluster either to another cluster or out to the
+//! Internet. The topology attaches each flow to every circuit set on its
+//! path, so the evaluator can look up, per circuit set, which customers ride
+//! it and at what rate.
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{CustomerId, LocationPath};
+
+/// A customer of the cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Customer {
+    /// Dense identifier.
+    pub id: CustomerId,
+    /// Display name.
+    pub name: String,
+    /// Importance factor `g` (Table 3): premium customers have larger `g`.
+    pub importance: f64,
+    /// Whether this customer bought an SLA with hard stability expectations.
+    pub has_sla: bool,
+}
+
+/// Where a flow terminates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowDestination {
+    /// Another cluster inside the network.
+    Cluster(LocationPath),
+    /// The Internet via the source region's entry links.
+    Internet,
+}
+
+/// One customer traffic flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// The paying customer.
+    pub customer: CustomerId,
+    /// Source cluster (cluster-level location path).
+    pub src: LocationPath,
+    /// Destination.
+    pub dst: FlowDestination,
+    /// Steady-state rate in Gbps.
+    pub rate_gbps: f64,
+    /// SLA rate limit in Gbps: the flow is "beyond limit" when its share of
+    /// a circuit set's remaining capacity forces it under this rate (feeds
+    /// `l_i` of Table 3).
+    pub sla_limit_gbps: f64,
+    /// Stable hash used for ECMP member selection along the route.
+    pub ecmp_hash: u64,
+}
+
+impl Flow {
+    /// True when the flow's SLA is violated at the given achievable rate.
+    pub fn sla_violated_at(&self, achievable_gbps: f64) -> bool {
+        achievable_gbps < self.sla_limit_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sla_violation_threshold() {
+        let f = Flow {
+            customer: CustomerId(0),
+            src: LocationPath::parse("R|C|L|S|K").unwrap(),
+            dst: FlowDestination::Internet,
+            rate_gbps: 10.0,
+            sla_limit_gbps: 5.0,
+            ecmp_hash: 7,
+        };
+        assert!(f.sla_violated_at(4.9));
+        assert!(!f.sla_violated_at(5.0));
+    }
+}

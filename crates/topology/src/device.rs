@@ -1,0 +1,135 @@
+//! Network devices and their roles.
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{DeviceId, LocationLevel, LocationPath};
+use std::fmt;
+
+/// The aggregation role a device plays, broadly following the device names
+/// visible in the paper's Fig. 11 visualization (DCBR/BSR/ISR/CSR) plus the
+/// in-cluster leaf switches and the occasional route reflector (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceRole {
+    /// Leaf/ToR switch inside a cluster.
+    Leaf,
+    /// Cluster-to-site aggregation router (CSR).
+    Csr,
+    /// Site-to-logic-site aggregation router (BSR).
+    Bsr,
+    /// Logic-site-to-city aggregation router (ISR).
+    Isr,
+    /// Region border router — carries inter-region and Internet entry
+    /// traffic (DCBR).
+    Dcbr,
+    /// BGP route reflector attached at the logic-site level.
+    Reflector,
+}
+
+impl DeviceRole {
+    /// Short name used in generated device names and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeviceRole::Leaf => "LEAF",
+            DeviceRole::Csr => "CSR",
+            DeviceRole::Bsr => "BSR",
+            DeviceRole::Isr => "ISR",
+            DeviceRole::Dcbr => "DCBR",
+            DeviceRole::Reflector => "RR",
+        }
+    }
+
+    /// The hierarchy level whose *uplink* this role aggregates: a CSR is the
+    /// aggregation group for clusters within a site, so it serves
+    /// [`LocationLevel::Site`], and so on. Leaf switches serve their own
+    /// cluster; reflectors serve the logic site they sit in.
+    pub const fn serves_level(self) -> LocationLevel {
+        match self {
+            DeviceRole::Leaf => LocationLevel::Cluster,
+            DeviceRole::Csr => LocationLevel::Site,
+            DeviceRole::Bsr | DeviceRole::Reflector => LocationLevel::LogicSite,
+            DeviceRole::Isr => LocationLevel::City,
+            DeviceRole::Dcbr => LocationLevel::Region,
+        }
+    }
+}
+
+impl fmt::Display for DeviceRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A network device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Dense topology-wide identifier.
+    pub id: DeviceId,
+    /// Role in the aggregation hierarchy.
+    pub role: DeviceRole,
+    /// Full device-level location path
+    /// (`Region|City|Logic site|Site|Cluster|Name`). Aggregation devices
+    /// above the cluster level live in a synthetic aggregation cluster of
+    /// their serving location (e.g. a CSR's path ends in `…|Site I|agg|CSR-1`
+    /// — matching the paper's attribution of alerts from aggregation devices
+    /// to the location level they serve, Fig. 6).
+    pub location: LocationPath,
+}
+
+impl Device {
+    /// The device's name (final path segment).
+    pub fn name(&self) -> &str {
+        self.location.leaf().expect("device paths are never empty")
+    }
+
+    /// The location level this device's alerts are attributed to (§4.1):
+    /// the level its role serves. A leaf switch's alerts are attributed to
+    /// its cluster; a BSR's to its logic site.
+    pub fn attribution(&self) -> LocationPath {
+        self.location.truncate_at(self.role.serves_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(role: DeviceRole, path: &str) -> Device {
+        Device {
+            id: DeviceId(0),
+            role,
+            location: LocationPath::parse(path).unwrap(),
+        }
+    }
+
+    #[test]
+    fn leaf_attribution_is_its_cluster() {
+        let d = dev(DeviceRole::Leaf, "R|C|L|S|K|leaf-1");
+        assert_eq!(d.attribution(), LocationPath::parse("R|C|L|S|K").unwrap());
+        assert_eq!(d.name(), "leaf-1");
+    }
+
+    #[test]
+    fn aggregation_attribution_is_served_level() {
+        let csr = dev(DeviceRole::Csr, "R|C|L|S|agg|CSR-0");
+        assert_eq!(csr.attribution(), LocationPath::parse("R|C|L|S").unwrap());
+        let bsr = dev(DeviceRole::Bsr, "R|C|L|agg|agg|BSR-0");
+        assert_eq!(bsr.attribution(), LocationPath::parse("R|C|L").unwrap());
+        let dcbr = dev(DeviceRole::Dcbr, "R|agg|agg|agg|agg|DCBR-0");
+        assert_eq!(dcbr.attribution(), LocationPath::parse("R").unwrap());
+    }
+
+    #[test]
+    fn roles_cover_all_levels() {
+        use LocationLevel::*;
+        let served: Vec<_> = [
+            DeviceRole::Leaf,
+            DeviceRole::Csr,
+            DeviceRole::Bsr,
+            DeviceRole::Isr,
+            DeviceRole::Dcbr,
+        ]
+        .iter()
+        .map(|r| r.serves_level())
+        .collect();
+        assert_eq!(served, vec![Cluster, Site, LogicSite, City, Region]);
+    }
+}

@@ -1,0 +1,408 @@
+//! Seeded synthetic topology generation.
+//!
+//! Builds a hierarchical cloud network in the shape of Fig. 5b at a
+//! configurable scale, with full bipartite links between consecutive
+//! aggregation groups (so every ECMP choice in [`crate::route`] has a
+//! link), inter-region DCBR meshes, Internet entry links, a route reflector
+//! per logic site, and a customer/flow population.
+//!
+//! Generation is deterministic from [`GeneratorConfig::seed`].
+
+use crate::customer::{Flow, FlowDestination};
+use crate::device::DeviceRole;
+use crate::net::{Topology, TopologyBuilder};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use skynet_model::{DeviceId, LocationPath};
+
+/// Scale and shape knobs for the synthetic network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of regions.
+    pub regions: usize,
+    /// Cities per region.
+    pub cities_per_region: usize,
+    /// Logic sites per city.
+    pub logic_sites_per_city: usize,
+    /// Sites per logic site.
+    pub sites_per_logic_site: usize,
+    /// Workload clusters per site.
+    pub clusters_per_site: usize,
+    /// Leaf devices per cluster.
+    pub leaves_per_cluster: usize,
+    /// CSRs per site / BSRs per logic site / ISRs per city / DCBRs per
+    /// region (one knob keeps the config small; production groups are
+    /// similar sizes).
+    pub agg_group_size: usize,
+    /// Circuits per intra-DC circuit set.
+    pub circuits_per_link: u32,
+    /// Circuits per region Internet-entry circuit set (the §2.2 incident
+    /// cut half of these).
+    pub circuits_per_entry: u32,
+    /// Capacity of each circuit in Gbps.
+    pub circuit_capacity_gbps: f64,
+    /// Capacity of each Internet-entry circuit in Gbps. Entries are
+    /// deliberately tighter than the intra-DC fabric so that losing half
+    /// of them congests the survivors (the §2.2 dynamic).
+    pub entry_circuit_capacity_gbps: f64,
+    /// Internet entry links per region.
+    pub entries_per_region: usize,
+    /// Customers to create.
+    pub customers: usize,
+    /// Flows to create.
+    pub flows: usize,
+    /// Fraction of flows destined to the Internet (vs. another cluster).
+    pub internet_flow_fraction: f64,
+    /// Fraction of customers that are premium (high importance, SLA).
+    pub premium_customer_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A small network for unit tests and examples: ~100 devices.
+    pub fn small() -> Self {
+        GeneratorConfig {
+            regions: 2,
+            cities_per_region: 1,
+            logic_sites_per_city: 1,
+            sites_per_logic_site: 2,
+            clusters_per_site: 3,
+            leaves_per_cluster: 3,
+            agg_group_size: 2,
+            circuits_per_link: 4,
+            circuits_per_entry: 8,
+            circuit_capacity_gbps: 100.0,
+            entry_circuit_capacity_gbps: 16.0,
+            entries_per_region: 2,
+            customers: 12,
+            flows: 60,
+            internet_flow_fraction: 0.4,
+            premium_customer_fraction: 0.25,
+            seed: 7,
+        }
+    }
+
+    /// A medium network for integration tests and most experiments:
+    /// ~1,000 devices.
+    pub fn medium() -> Self {
+        GeneratorConfig {
+            regions: 3,
+            cities_per_region: 2,
+            logic_sites_per_city: 2,
+            sites_per_logic_site: 2,
+            clusters_per_site: 6,
+            leaves_per_cluster: 5,
+            agg_group_size: 4,
+            circuits_per_link: 4,
+            circuits_per_entry: 16,
+            circuit_capacity_gbps: 100.0,
+            entry_circuit_capacity_gbps: 20.0,
+            entries_per_region: 4,
+            customers: 60,
+            flows: 600,
+            internet_flow_fraction: 0.4,
+            premium_customer_fraction: 0.2,
+            seed: 7,
+        }
+    }
+
+    /// A large network for the flood benchmarks: ~10,000 devices (the
+    /// paper's network is O(10^5); one order below keeps benches laptop-
+    /// sized while preserving the flood dynamics).
+    pub fn large() -> Self {
+        GeneratorConfig {
+            regions: 4,
+            cities_per_region: 3,
+            logic_sites_per_city: 2,
+            sites_per_logic_site: 3,
+            clusters_per_site: 10,
+            leaves_per_cluster: 12,
+            agg_group_size: 4,
+            circuits_per_link: 4,
+            circuits_per_entry: 16,
+            circuit_capacity_gbps: 100.0,
+            entry_circuit_capacity_gbps: 100.0,
+            entries_per_region: 4,
+            customers: 300,
+            flows: 4000,
+            internet_flow_fraction: 0.4,
+            premium_customer_fraction: 0.2,
+            seed: 7,
+        }
+    }
+
+    /// Expected total device count for this config.
+    pub fn expected_devices(&self) -> usize {
+        let sites = self.regions
+            * self.cities_per_region
+            * self.logic_sites_per_city
+            * self.sites_per_logic_site;
+        let clusters = sites * self.clusters_per_site;
+        let leaves = clusters * self.leaves_per_cluster;
+        let csrs = sites * self.agg_group_size;
+        let logic_sites =
+            self.regions * self.cities_per_region * self.logic_sites_per_city;
+        let bsrs = logic_sites * self.agg_group_size;
+        let reflectors = logic_sites; // one per logic site
+        let isrs = self.regions * self.cities_per_region * self.agg_group_size;
+        let dcbrs = self.regions * self.agg_group_size;
+        leaves + csrs + bsrs + reflectors + isrs + dcbrs
+    }
+}
+
+/// Generates a topology from a config. Deterministic in `config.seed`.
+pub fn generate(config: &GeneratorConfig) -> Topology {
+    assert!(config.regions >= 1, "need at least one region");
+    assert!(config.agg_group_size >= 1, "need at least one agg device");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = TopologyBuilder::new();
+
+    let caps = config.circuit_capacity_gbps;
+    let mut dcbrs_by_region: Vec<Vec<DeviceId>> = Vec::new();
+    let mut all_clusters: Vec<LocationPath> = Vec::new();
+
+    for r in 0..config.regions {
+        let region = LocationPath::new([format!("Region-{r}")]);
+        // Region border routers.
+        let dcbrs: Vec<DeviceId> = (0..config.agg_group_size)
+            .map(|i| {
+                b.add_device(
+                    DeviceRole::Dcbr,
+                    agg_path(&region, 5, &format!("DCBR-{i}")),
+                )
+            })
+            .collect();
+        // Internet entry links, round-robin across the region's DCBRs.
+        for e in 0..config.entries_per_region {
+            b.add_internet_entry(
+                dcbrs[e % dcbrs.len()],
+                config.circuits_per_entry,
+                config.entry_circuit_capacity_gbps,
+            );
+        }
+
+        for c in 0..config.cities_per_region {
+            let city = region.child(format!("City-{c}"));
+            let isrs: Vec<DeviceId> = (0..config.agg_group_size)
+                .map(|i| b.add_device(DeviceRole::Isr, agg_path(&city, 4, &format!("ISR-{i}"))))
+                .collect();
+            bipartite(&mut b, &isrs, &dcbrs, config.circuits_per_link, caps);
+
+            for l in 0..config.logic_sites_per_city {
+                let logic = city.child(format!("Logic-{l}"));
+                let bsrs: Vec<DeviceId> = (0..config.agg_group_size)
+                    .map(|i| {
+                        b.add_device(DeviceRole::Bsr, agg_path(&logic, 3, &format!("BSR-{i}")))
+                    })
+                    .collect();
+                bipartite(&mut b, &bsrs, &isrs, config.circuits_per_link, caps);
+                // One route reflector per logic site (§7.1's incident).
+                let rr = b.add_device(DeviceRole::Reflector, agg_path(&logic, 3, "RR-0"));
+                for &bsr in &bsrs {
+                    b.add_link(rr, bsr, 2, caps);
+                }
+
+                for s in 0..config.sites_per_logic_site {
+                    let site = logic.child(format!("Site-{s}"));
+                    let csrs: Vec<DeviceId> = (0..config.agg_group_size)
+                        .map(|i| {
+                            b.add_device(DeviceRole::Csr, agg_path(&site, 2, &format!("CSR-{i}")))
+                        })
+                        .collect();
+                    bipartite(&mut b, &csrs, &bsrs, config.circuits_per_link, caps);
+
+                    for k in 0..config.clusters_per_site {
+                        let cluster = site.child(format!("Cluster-{k}"));
+                        let leaves: Vec<DeviceId> = (0..config.leaves_per_cluster)
+                            .map(|i| {
+                                b.add_device(
+                                    DeviceRole::Leaf,
+                                    cluster.child(format!("leaf-{i}")),
+                                )
+                            })
+                            .collect();
+                        bipartite(&mut b, &leaves, &csrs, config.circuits_per_link, caps);
+                        all_clusters.push(cluster);
+                    }
+                }
+            }
+        }
+        dcbrs_by_region.push(dcbrs);
+    }
+
+    // Inter-region WAN mesh: pairwise bipartite between region DCBR groups.
+    for i in 0..dcbrs_by_region.len() {
+        for j in (i + 1)..dcbrs_by_region.len() {
+            bipartite(
+                &mut b,
+                &dcbrs_by_region[i],
+                &dcbrs_by_region[j],
+                config.circuits_per_link,
+                caps,
+            );
+        }
+    }
+
+    // Customers: a premium head and a long tail.
+    let premium = ((config.customers as f64) * config.premium_customer_fraction).ceil() as usize;
+    for i in 0..config.customers {
+        let is_premium = i < premium;
+        let importance = if is_premium {
+            rng.gen_range(3.0..8.0)
+        } else {
+            rng.gen_range(0.5..1.5)
+        };
+        b.add_customer(format!("customer-{i}"), importance, is_premium);
+    }
+
+    // Flows: random source cluster; Internet or another random cluster.
+    for f in 0..config.flows {
+        let customer = skynet_model::CustomerId::from_index(rng.gen_range(0..config.customers));
+        let src = all_clusters[rng.gen_range(0..all_clusters.len())].clone();
+        let dst = if rng.gen_bool(config.internet_flow_fraction) {
+            FlowDestination::Internet
+        } else {
+            let mut d = all_clusters[rng.gen_range(0..all_clusters.len())].clone();
+            while d == src && all_clusters.len() > 1 {
+                d = all_clusters[rng.gen_range(0..all_clusters.len())].clone();
+            }
+            FlowDestination::Cluster(d)
+        };
+        let rate = rng.gen_range(0.5..20.0);
+        b.add_flow(Flow {
+            customer,
+            src,
+            dst,
+            rate_gbps: rate,
+            sla_limit_gbps: rate * rng.gen_range(0.3..0.8),
+            ecmp_hash: (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ config.seed,
+        });
+    }
+
+    b.build()
+}
+
+/// Builds the device path for an aggregation device: the served location
+/// padded with `agg` segments to device depth.
+fn agg_path(served: &LocationPath, pad: usize, name: &str) -> LocationPath {
+    let mut p = served.clone();
+    for _ in 1..pad {
+        p = p.child("agg");
+    }
+    p.child(name)
+}
+
+/// Adds full bipartite links between two device groups.
+fn bipartite(
+    b: &mut TopologyBuilder,
+    group_a: &[DeviceId],
+    group_b: &[DeviceId],
+    circuits: u32,
+    capacity: f64,
+) {
+    for &a in group_a {
+        for &bd in group_b {
+            b.add_link(a, bd, circuits, capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route;
+
+    #[test]
+    fn small_topology_has_expected_shape() {
+        let cfg = GeneratorConfig::small();
+        let t = generate(&cfg);
+        assert_eq!(t.devices().len(), cfg.expected_devices());
+        assert_eq!(
+            t.clusters().len(),
+            cfg.regions
+                * cfg.cities_per_region
+                * cfg.logic_sites_per_city
+                * cfg.sites_per_logic_site
+                * cfg.clusters_per_site
+        );
+        assert_eq!(t.customers().len(), cfg.customers);
+        assert_eq!(t.flows().len(), cfg.flows);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.devices(), b.devices());
+        assert_eq!(a.links().len(), b.links().len());
+        assert_eq!(a.flows(), b.flows());
+    }
+
+    #[test]
+    fn every_cluster_pair_routes() {
+        let t = generate(&GeneratorConfig::small());
+        let clusters = t.clusters();
+        for (i, a) in clusters.iter().enumerate() {
+            for bp in clusters.iter().skip(i) {
+                for hash in [0u64, 1, 999] {
+                    let r = route::route_between_clusters(&t, a, bp, hash);
+                    assert!(r.is_some(), "no route {a} -> {bp} (hash {hash})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cluster_reaches_internet() {
+        let t = generate(&GeneratorConfig::small());
+        for c in t.clusters() {
+            assert!(
+                route::route_to_internet(&t, c, 5).is_some(),
+                "no internet route from {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_region_has_entries() {
+        let cfg = GeneratorConfig::small();
+        let t = generate(&cfg);
+        assert_eq!(t.regions_with_entries().count(), cfg.regions);
+        for region in t.regions_with_entries() {
+            assert_eq!(t.internet_entries(region).len(), cfg.entries_per_region);
+        }
+    }
+
+    #[test]
+    fn flows_attach_to_circuit_sets() {
+        let t = generate(&GeneratorConfig::small());
+        let attached: usize = t
+            .links()
+            .iter()
+            .map(|l| t.flows_on_circuit_set(l.circuit_set.id).len())
+            .sum();
+        // Every flow crosses at least one link.
+        assert!(attached >= t.flows().len());
+    }
+
+    #[test]
+    fn premium_customers_exist_and_are_more_important() {
+        let t = generate(&GeneratorConfig::small());
+        let premium_min = t
+            .customers()
+            .iter()
+            .filter(|c| c.has_sla)
+            .map(|c| c.importance)
+            .fold(f64::INFINITY, f64::min);
+        let regular_max = t
+            .customers()
+            .iter()
+            .filter(|c| !c.has_sla)
+            .map(|c| c.importance)
+            .fold(0.0, f64::max);
+        assert!(premium_min > regular_max);
+    }
+}

@@ -1,0 +1,39 @@
+//! # skynet-topology
+//!
+//! Synthetic hierarchical cloud network — the substrate the paper's
+//! production network provides. The network follows Fig. 5b: Region → City →
+//! Logic site → Site → Cluster → Device, with aggregation device groups at
+//! every level (leaf switches in clusters, CSRs per site, BSRs per logic
+//! site, ISRs per city, DCBRs at the region border — the roles visible in
+//! the paper's Fig. 11 visualization).
+//!
+//! Devices are connected by logical links, each backed by a *circuit set*
+//! (§4.3): a redundancy group of physical circuits. Customer flows are
+//! routed hierarchically (up to the common ancestor, down to the target,
+//! ECMP-hashed across aggregation groups) and attached to every circuit set
+//! on their path — exactly the inputs the evaluator's severity equations
+//! consume (Table 3).
+//!
+//! - [`device`] / [`link`] — devices with roles, links with circuit sets.
+//! - [`customer`] — customers, importance factors, SLA flows.
+//! - [`net`] — the immutable [`Topology`] plus its [`TopologyBuilder`].
+//! - [`route`] — hierarchical ECMP routing between clusters and to the
+//!   Internet entry.
+//! - [`generator`] — seeded synthetic topology generation at configurable
+//!   scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod customer;
+pub mod device;
+pub mod generator;
+pub mod link;
+pub mod net;
+pub mod route;
+
+pub use customer::{Customer, Flow, FlowDestination};
+pub use device::{Device, DeviceRole};
+pub use generator::{generate, GeneratorConfig};
+pub use link::{CircuitSet, Link, LinkEndpoint};
+pub use net::{Topology, TopologyBuilder};

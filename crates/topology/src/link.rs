@@ -1,0 +1,168 @@
+//! Links and circuit sets.
+//!
+//! "For redundancy purposes, all links connecting network devices consist of
+//! multiple circuits, each \[group\] is called a circuit set" (§4.3). A
+//! [`Link`] is the logical adjacency between two endpoints; its [`CircuitSet`]
+//! records how many physical circuits back it and their capacity. The
+//! evaluator's impact factor reads the *break ratio* `d_i` of each circuit
+//! set (Table 3).
+
+use serde::{Deserialize, Serialize};
+use skynet_model::{CircuitSetId, DeviceId, LinkId};
+use std::fmt;
+
+/// One end of a link: a device, or the Internet outside our network
+/// (region entry cables terminate on DCBRs and face the Internet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkEndpoint {
+    /// A device inside the topology.
+    Device(DeviceId),
+    /// The Internet beyond the region border.
+    Internet,
+}
+
+impl LinkEndpoint {
+    /// The device id, if this endpoint is a device.
+    pub fn device(self) -> Option<DeviceId> {
+        match self {
+            LinkEndpoint::Device(d) => Some(d),
+            LinkEndpoint::Internet => None,
+        }
+    }
+}
+
+impl fmt::Display for LinkEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkEndpoint::Device(d) => write!(f, "{d}"),
+            LinkEndpoint::Internet => f.write_str("internet"),
+        }
+    }
+}
+
+/// The redundancy group of physical circuits backing one link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSet {
+    /// Dense topology-wide identifier.
+    pub id: CircuitSetId,
+    /// Number of physical circuits in the set.
+    pub circuits: u32,
+    /// Capacity of each circuit in Gbps.
+    pub circuit_capacity_gbps: f64,
+}
+
+impl CircuitSet {
+    /// Total capacity with all circuits healthy.
+    pub fn total_capacity_gbps(&self) -> f64 {
+        f64::from(self.circuits) * self.circuit_capacity_gbps
+    }
+
+    /// Remaining capacity with `broken` circuits out of service.
+    pub fn remaining_capacity_gbps(&self, broken: u32) -> f64 {
+        f64::from(self.circuits.saturating_sub(broken)) * self.circuit_capacity_gbps
+    }
+
+    /// The break ratio `d_i` of Table 3 for `broken` circuits out.
+    pub fn break_ratio(&self, broken: u32) -> f64 {
+        if self.circuits == 0 {
+            return 0.0;
+        }
+        f64::from(broken.min(self.circuits)) / f64::from(self.circuits)
+    }
+}
+
+/// A logical link between two endpoints, backed by one circuit set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Dense topology-wide identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: LinkEndpoint,
+    /// The other endpoint.
+    pub b: LinkEndpoint,
+    /// The redundancy group backing this link.
+    pub circuit_set: CircuitSet,
+}
+
+impl Link {
+    /// True if the link touches `device`.
+    pub fn touches(&self, device: DeviceId) -> bool {
+        self.a.device() == Some(device) || self.b.device() == Some(device)
+    }
+
+    /// The opposite endpoint from `device`, if the link touches it.
+    pub fn other(&self, device: DeviceId) -> Option<LinkEndpoint> {
+        if self.a.device() == Some(device) {
+            Some(self.b)
+        } else if self.b.device() == Some(device) {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// True if this is a region Internet-entry link.
+    pub fn is_internet_entry(&self) -> bool {
+        matches!(self.a, LinkEndpoint::Internet) || matches!(self.b, LinkEndpoint::Internet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cset(circuits: u32) -> CircuitSet {
+        CircuitSet {
+            id: CircuitSetId(0),
+            circuits,
+            circuit_capacity_gbps: 100.0,
+        }
+    }
+
+    #[test]
+    fn capacity_math() {
+        let cs = cset(8);
+        assert_eq!(cs.total_capacity_gbps(), 800.0);
+        assert_eq!(cs.remaining_capacity_gbps(3), 500.0);
+        assert_eq!(cs.remaining_capacity_gbps(20), 0.0);
+    }
+
+    #[test]
+    fn break_ratio_is_clamped() {
+        let cs = cset(4);
+        assert_eq!(cs.break_ratio(0), 0.0);
+        assert_eq!(cs.break_ratio(2), 0.5);
+        assert_eq!(cs.break_ratio(9), 1.0);
+        assert_eq!(cset(0).break_ratio(1), 0.0);
+    }
+
+    #[test]
+    fn link_endpoint_navigation() {
+        let link = Link {
+            id: LinkId(0),
+            a: LinkEndpoint::Device(DeviceId(1)),
+            b: LinkEndpoint::Device(DeviceId(2)),
+            circuit_set: cset(2),
+        };
+        assert!(link.touches(DeviceId(1)));
+        assert!(!link.touches(DeviceId(3)));
+        assert_eq!(
+            link.other(DeviceId(1)),
+            Some(LinkEndpoint::Device(DeviceId(2)))
+        );
+        assert_eq!(link.other(DeviceId(3)), None);
+        assert!(!link.is_internet_entry());
+    }
+
+    #[test]
+    fn internet_entry_detection() {
+        let entry = Link {
+            id: LinkId(1),
+            a: LinkEndpoint::Device(DeviceId(0)),
+            b: LinkEndpoint::Internet,
+            circuit_set: cset(16),
+        };
+        assert!(entry.is_internet_entry());
+        assert_eq!(entry.other(DeviceId(0)), Some(LinkEndpoint::Internet));
+    }
+}

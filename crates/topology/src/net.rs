@@ -1,0 +1,530 @@
+//! The immutable [`Topology`] and its builder.
+
+use crate::customer::{Customer, Flow};
+use crate::device::{Device, DeviceRole};
+use crate::link::{CircuitSet, Link, LinkEndpoint};
+use serde::{Deserialize, Serialize};
+use skynet_model::{CircuitSetId, CustomerId, DeviceId, LinkId, LocationLevel, LocationPath};
+use std::collections::HashMap;
+
+/// An immutable network topology: devices, links (with circuit sets),
+/// customers and routed flows, plus the indexes the analysis needs.
+///
+/// Build one with [`TopologyBuilder`] or [`crate::generator::generate`].
+/// Serialization keeps only the essential data (devices, links, customers,
+/// flows) and rebuilds every index on deserialization, so the JSON form is
+/// stable and human-inspectable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "TopologyData", into = "TopologyData")]
+pub struct Topology {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    customers: Vec<Customer>,
+    flows: Vec<Flow>,
+    /// Per-device outgoing link lists (index = device index).
+    links_by_device: Vec<Vec<LinkId>>,
+    /// Aggregation groups: the devices serving each location's uplink,
+    /// keyed by the served location (cluster path → its leaves, site path →
+    /// its CSRs, …).
+    agg_groups: HashMap<LocationPath, Vec<DeviceId>>,
+    /// All cluster-level paths that host leaf devices (workload clusters).
+    clusters: Vec<LocationPath>,
+    /// Link lookup by unordered device pair.
+    link_by_pair: HashMap<(DeviceId, DeviceId), LinkId>,
+    /// Internet entry links per region path.
+    entries_by_region: HashMap<LocationPath, Vec<LinkId>>,
+    /// Flow indexes attached to each circuit set (computed by routing every
+    /// flow at build time).
+    flows_by_circuit_set: HashMap<CircuitSetId, Vec<usize>>,
+}
+
+impl Topology {
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All customers.
+    pub fn customers(&self) -> &[Customer] {
+        &self.customers
+    }
+
+    /// All flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Looks up a device.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Looks up a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Looks up a customer.
+    pub fn customer(&self, id: CustomerId) -> &Customer {
+        &self.customers[id.index()]
+    }
+
+    /// Links touching a device.
+    pub fn links_of(&self, id: DeviceId) -> &[LinkId] {
+        &self.links_by_device[id.index()]
+    }
+
+    /// The link between two devices, if one exists.
+    pub fn link_between(&self, a: DeviceId, b: DeviceId) -> Option<LinkId> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_by_pair.get(&key).copied()
+    }
+
+    /// The aggregation group serving `location` (cluster → leaves, site →
+    /// CSRs, logic site → BSRs, city → ISRs, region → DCBRs). Empty slice if
+    /// the location is unknown.
+    pub fn agg_group(&self, location: &LocationPath) -> &[DeviceId] {
+        self.agg_groups
+            .get(location)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All workload cluster paths (sorted, deterministic order).
+    pub fn clusters(&self) -> &[LocationPath] {
+        &self.clusters
+    }
+
+    /// Internet entry links of a region.
+    pub fn internet_entries(&self, region: &LocationPath) -> &[LinkId] {
+        self.entries_by_region
+            .get(region)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All regions with Internet entry links.
+    pub fn regions_with_entries(&self) -> impl Iterator<Item = &LocationPath> {
+        self.entries_by_region.keys()
+    }
+
+    /// Flow indexes riding a circuit set.
+    pub fn flows_on_circuit_set(&self, cs: CircuitSetId) -> &[usize] {
+        self.flows_by_circuit_set
+            .get(&cs)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Devices whose full location path lies under `location`.
+    pub fn devices_under<'a>(
+        &'a self,
+        location: &'a LocationPath,
+    ) -> impl Iterator<Item = &'a Device> + 'a {
+        self.devices
+            .iter()
+            .filter(move |d| location.contains(&d.location))
+    }
+
+    /// True if some link directly connects a device under `a` to a device
+    /// under `b` (used by the locator's connectivity-aware grouping: alerts
+    /// propagate through topology links, §4.2). Locations that nest are
+    /// trivially connected.
+    pub fn locations_connected(&self, a: &LocationPath, b: &LocationPath) -> bool {
+        if a.contains(b) || b.contains(a) {
+            return true;
+        }
+        self.links.iter().any(|l| {
+            let (Some(da), Some(db)) = (l.a.device(), l.b.device()) else {
+                return false;
+            };
+            let la = &self.devices[da.index()].location;
+            let lb = &self.devices[db.index()].location;
+            (a.contains(la) && b.contains(lb)) || (a.contains(lb) && b.contains(la))
+        })
+    }
+
+    /// Summary counts for reports.
+    pub fn summary(&self) -> TopologySummary {
+        TopologySummary {
+            devices: self.devices.len(),
+            links: self.links.len(),
+            clusters: self.clusters.len(),
+            customers: self.customers.len(),
+            flows: self.flows.len(),
+        }
+    }
+}
+
+/// Size summary of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySummary {
+    /// Total devices.
+    pub devices: usize,
+    /// Total links.
+    pub links: usize,
+    /// Workload clusters.
+    pub clusters: usize,
+    /// Customers.
+    pub customers: usize,
+    /// Flows.
+    pub flows: usize,
+}
+
+/// The serialized form of a topology: essential data only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TopologyData {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    customers: Vec<Customer>,
+    flows: Vec<Flow>,
+}
+
+impl From<Topology> for TopologyData {
+    fn from(t: Topology) -> Self {
+        TopologyData {
+            devices: t.devices,
+            links: t.links,
+            customers: t.customers,
+            flows: t.flows,
+        }
+    }
+}
+
+impl From<TopologyData> for Topology {
+    fn from(d: TopologyData) -> Self {
+        let mut b = TopologyBuilder::new();
+        b.devices = d.devices;
+        b.links = d.links;
+        b.customers = d.customers;
+        b.flows = d.flows;
+        b.build()
+    }
+}
+
+/// Incremental builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    customers: Vec<Customer>,
+    flows: Vec<Flow>,
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a device.
+    ///
+    /// # Panics
+    /// Panics if `location` is not device-depth (6 segments).
+    pub fn add_device(&mut self, role: DeviceRole, location: LocationPath) -> DeviceId {
+        assert_eq!(
+            location.level(),
+            Some(LocationLevel::Device),
+            "device location must be 6 segments deep, got {location}"
+        );
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device { id, role, location });
+        id
+    }
+
+    /// Adds a link between two devices, backed by a fresh circuit set.
+    pub fn add_link(
+        &mut self,
+        a: DeviceId,
+        b: DeviceId,
+        circuits: u32,
+        circuit_capacity_gbps: f64,
+    ) -> LinkId {
+        self.push_link(
+            LinkEndpoint::Device(a),
+            LinkEndpoint::Device(b),
+            circuits,
+            circuit_capacity_gbps,
+        )
+    }
+
+    /// Adds an Internet entry link on a device (normally a DCBR).
+    pub fn add_internet_entry(
+        &mut self,
+        device: DeviceId,
+        circuits: u32,
+        circuit_capacity_gbps: f64,
+    ) -> LinkId {
+        self.push_link(
+            LinkEndpoint::Device(device),
+            LinkEndpoint::Internet,
+            circuits,
+            circuit_capacity_gbps,
+        )
+    }
+
+    fn push_link(
+        &mut self,
+        a: LinkEndpoint,
+        b: LinkEndpoint,
+        circuits: u32,
+        circuit_capacity_gbps: f64,
+    ) -> LinkId {
+        assert!(circuits > 0, "a circuit set needs at least one circuit");
+        let id = LinkId::from_index(self.links.len());
+        let circuit_set = CircuitSet {
+            // One circuit set per link: same dense index space.
+            id: CircuitSetId(id.0),
+            circuits,
+            circuit_capacity_gbps,
+        };
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            circuit_set,
+        });
+        id
+    }
+
+    /// Adds a customer.
+    pub fn add_customer(
+        &mut self,
+        name: impl Into<String>,
+        importance: f64,
+        has_sla: bool,
+    ) -> CustomerId {
+        let id = CustomerId::from_index(self.customers.len());
+        self.customers.push(Customer {
+            id,
+            name: name.into(),
+            importance,
+            has_sla,
+        });
+        id
+    }
+
+    /// Adds a flow (routed and attached to circuit sets at `build`).
+    pub fn add_flow(&mut self, flow: Flow) {
+        assert!(
+            flow.customer.index() < self.customers.len(),
+            "flow references unknown {}",
+            flow.customer
+        );
+        self.flows.push(flow);
+    }
+
+    /// Finalizes the topology: computes indexes, aggregation groups and flow
+    /// → circuit-set attachments.
+    ///
+    /// # Panics
+    /// Panics on duplicate device locations or duplicate device-pair links.
+    pub fn build(self) -> Topology {
+        let TopologyBuilder {
+            devices,
+            links,
+            customers,
+            flows,
+        } = self;
+
+        let mut links_by_device: Vec<Vec<LinkId>> = vec![Vec::new(); devices.len()];
+        let mut link_by_pair = HashMap::new();
+        let mut entries_by_region: HashMap<LocationPath, Vec<LinkId>> = HashMap::new();
+        for link in &links {
+            for ep in [link.a, link.b] {
+                if let Some(d) = ep.device() {
+                    links_by_device[d.index()].push(link.id);
+                }
+            }
+            if let (Some(da), Some(db)) = (link.a.device(), link.b.device()) {
+                let key = if da <= db { (da, db) } else { (db, da) };
+                let prev = link_by_pair.insert(key, link.id);
+                assert!(prev.is_none(), "duplicate link between {da} and {db}");
+            }
+            if link.is_internet_entry() {
+                if let Some(d) = link.a.device().or_else(|| link.b.device()) {
+                    let region = devices[d.index()].location.truncate_at(LocationLevel::Region);
+                    entries_by_region.entry(region).or_default().push(link.id);
+                }
+            }
+        }
+
+        let mut seen_paths = HashMap::new();
+        let mut agg_groups: HashMap<LocationPath, Vec<DeviceId>> = HashMap::new();
+        let mut clusters: Vec<LocationPath> = Vec::new();
+        for device in &devices {
+            if let Some(prev) = seen_paths.insert(device.location.clone(), device.id) {
+                panic!(
+                    "duplicate device location {} ({prev} and {})",
+                    device.location, device.id
+                );
+            }
+            // Route reflectors are control-plane only: they belong to their
+            // logic site but never forward traffic, so they are excluded
+            // from the ECMP aggregation groups.
+            if device.role != DeviceRole::Reflector {
+                let served = device.location.truncate_at(device.role.serves_level());
+                agg_groups.entry(served.clone()).or_default().push(device.id);
+            }
+            if device.role == DeviceRole::Leaf {
+                let cluster = device.location.truncate_at(LocationLevel::Cluster);
+                if !clusters.contains(&cluster) {
+                    clusters.push(cluster);
+                }
+            }
+        }
+        clusters.sort_by_key(ToString::to_string);
+
+        let mut topo = Topology {
+            devices,
+            links,
+            customers,
+            flows: Vec::new(),
+            links_by_device,
+            agg_groups,
+            clusters,
+            link_by_pair,
+            entries_by_region,
+            flows_by_circuit_set: HashMap::new(),
+        };
+
+        // Route every flow and attach it to the circuit sets on its path.
+        let mut flows_by_circuit_set: HashMap<CircuitSetId, Vec<usize>> = HashMap::new();
+        for (idx, flow) in flows.iter().enumerate() {
+            if let Some(route) = crate::route::route_flow(&topo, flow) {
+                for link_id in route.links {
+                    let cs = topo.link(link_id).circuit_set.id;
+                    flows_by_circuit_set.entry(cs).or_default().push(idx);
+                }
+            }
+        }
+        topo.flows = flows;
+        topo.flows_by_circuit_set = flows_by_circuit_set;
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::customer::FlowDestination;
+
+    fn p(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    /// A two-cluster, one-site toy network: 2 leaves per cluster, 2 CSRs.
+    fn toy() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let mut leaves = Vec::new();
+        for k in ["K1", "K2"] {
+            for n in 0..2 {
+                leaves.push(b.add_device(
+                    DeviceRole::Leaf,
+                    p(&format!("R|C|L|S|{k}|leaf-{n}")),
+                ));
+            }
+        }
+        let csr0 = b.add_device(DeviceRole::Csr, p("R|C|L|S|agg|CSR-0"));
+        let csr1 = b.add_device(DeviceRole::Csr, p("R|C|L|S|agg|CSR-1"));
+        for &leaf in &leaves {
+            b.add_link(leaf, csr0, 4, 100.0);
+            b.add_link(leaf, csr1, 4, 100.0);
+        }
+        let cust = b.add_customer("acme", 2.0, true);
+        b.add_flow(Flow {
+            customer: cust,
+            src: p("R|C|L|S|K1"),
+            dst: FlowDestination::Cluster(p("R|C|L|S|K2")),
+            rate_gbps: 10.0,
+            sla_limit_gbps: 5.0,
+            ecmp_hash: 42,
+        });
+        b.build()
+    }
+
+    #[test]
+    fn indexes_are_consistent() {
+        let t = toy();
+        assert_eq!(t.summary().devices, 6);
+        assert_eq!(t.summary().links, 8);
+        assert_eq!(t.clusters().len(), 2);
+        assert_eq!(t.agg_group(&p("R|C|L|S")).len(), 2); // CSRs
+        assert_eq!(t.agg_group(&p("R|C|L|S|K1")).len(), 2); // leaves
+        // Every link appears in both endpoints' lists.
+        for link in t.links() {
+            for ep in [link.a, link.b] {
+                if let Some(d) = ep.device() {
+                    assert!(t.links_of(d).contains(&link.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_between_is_symmetric() {
+        let t = toy();
+        let leaf = t.agg_group(&p("R|C|L|S|K1"))[0];
+        let csr = t.agg_group(&p("R|C|L|S"))[0];
+        assert_eq!(t.link_between(leaf, csr), t.link_between(csr, leaf));
+        assert!(t.link_between(leaf, csr).is_some());
+        let other_leaf = t.agg_group(&p("R|C|L|S|K2"))[0];
+        assert!(t.link_between(leaf, other_leaf).is_none());
+    }
+
+    #[test]
+    fn flows_are_attached_to_route_circuit_sets() {
+        let t = toy();
+        let attached: usize = t
+            .links()
+            .iter()
+            .map(|l| t.flows_on_circuit_set(l.circuit_set.id).len())
+            .sum();
+        // Inter-cluster route in one site: leaf → CSR → leaf = 2 links.
+        assert_eq!(attached, 2);
+    }
+
+    #[test]
+    fn locations_connected_via_links_and_nesting() {
+        let t = toy();
+        // Clusters connect through the CSR-containing site only via nesting,
+        // but cluster↔site-agg devices are directly linked.
+        assert!(t.locations_connected(&p("R|C|L|S|K1"), &p("R|C|L|S")));
+        // Two clusters are not directly linked to each other.
+        assert!(!t.locations_connected(&p("R|C|L|S|K1"), &p("R|C|L|S|K2")));
+        // Nesting is trivially connected.
+        assert!(t.locations_connected(&p("R"), &p("R|C|L|S|K1")));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device location")]
+    fn duplicate_device_location_panics() {
+        let mut b = TopologyBuilder::new();
+        b.add_device(DeviceRole::Leaf, p("R|C|L|S|K|d"));
+        b.add_device(DeviceRole::Leaf, p("R|C|L|S|K|d"));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "device location must be 6 segments")]
+    fn shallow_device_location_panics() {
+        let mut b = TopologyBuilder::new();
+        b.add_device(DeviceRole::Leaf, p("R|C|L"));
+    }
+
+    #[test]
+    fn internet_entries_indexed_by_region() {
+        let mut b = TopologyBuilder::new();
+        let d = b.add_device(DeviceRole::Dcbr, p("R|agg|agg|agg|agg|DCBR-0"));
+        b.add_internet_entry(d, 16, 100.0);
+        let t = b.build();
+        assert_eq!(t.internet_entries(&p("R")).len(), 1);
+        assert_eq!(t.internet_entries(&p("Q")).len(), 0);
+        assert!(t.link(t.internet_entries(&p("R"))[0]).is_internet_entry());
+    }
+}

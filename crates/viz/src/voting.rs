@@ -1,0 +1,250 @@
+//! Alert-voting graphs over an incident's scope.
+
+use serde::{Deserialize, Serialize};
+use skynet_core::locator::Incident;
+use skynet_model::{DeviceId, LinkId};
+use skynet_topology::Topology;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The voted device/link graph of one incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VotingGraph {
+    /// Devices in scope with their vote counts.
+    pub device_votes: Vec<(DeviceId, u32)>,
+    /// Links in scope (both endpoints in scope) with their vote counts.
+    pub link_votes: Vec<(LinkId, u32)>,
+}
+
+impl VotingGraph {
+    /// Builds the graph: the scope is every device under the incident
+    /// root; each alert votes for the devices its location covers and, via
+    /// propagation, for their links and direct neighbours.
+    pub fn build(topo: &Arc<Topology>, incident: &Incident) -> Self {
+        let scope: Vec<DeviceId> = topo
+            .devices_under(&incident.root)
+            .map(|d| d.id)
+            .collect();
+        let in_scope: std::collections::HashSet<DeviceId> = scope.iter().copied().collect();
+        let mut device_votes: HashMap<DeviceId, u32> =
+            scope.iter().map(|&d| (d, 0)).collect();
+        let mut link_votes: HashMap<LinkId, u32> = HashMap::new();
+        for &d in &scope {
+            for &l in topo.links_of(d) {
+                let link = topo.link(l);
+                let both_in = [link.a.device(), link.b.device()]
+                    .into_iter()
+                    .all(|e| e.is_none_or(|dev| in_scope.contains(&dev)));
+                if both_in {
+                    link_votes.entry(l).or_insert(0);
+                }
+            }
+        }
+
+        for alert in &incident.alerts {
+            // Weight each alert once regardless of its consolidated count:
+            // a storm of identical messages should not dominate the vote.
+            let voters: Vec<DeviceId> = scope
+                .iter()
+                .copied()
+                .filter(|&d| alert.location.contains(&topo.device(d).location))
+                .collect();
+            for d in voters {
+                *device_votes.get_mut(&d).expect("scope device") += 1;
+                for &l in topo.links_of(d) {
+                    if let Some(v) = link_votes.get_mut(&l) {
+                        *v += 1;
+                        // The link passes the vote to its other endpoint.
+                        if let Some(peer) =
+                            topo.link(l).other(d).and_then(|e| e.device())
+                        {
+                            if let Some(pv) = device_votes.get_mut(&peer) {
+                                *pv += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut device_votes: Vec<(DeviceId, u32)> = device_votes.into_iter().collect();
+        device_votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut link_votes: Vec<(LinkId, u32)> = link_votes.into_iter().collect();
+        link_votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        VotingGraph {
+            device_votes,
+            link_votes,
+        }
+    }
+
+    /// The device with the most votes, if any device is in scope.
+    pub fn top_device(&self) -> Option<(DeviceId, u32)> {
+        self.device_votes.first().copied()
+    }
+
+    /// Graphviz DOT rendering: node shade scales with votes (the Fig. 11
+    /// highlighting).
+    pub fn to_dot(&self, topo: &Topology) -> String {
+        let max = self
+            .device_votes
+            .first()
+            .map(|&(_, v)| v.max(1))
+            .unwrap_or(1);
+        let mut s = String::from("graph incident {\n  node [style=filled];\n");
+        for &(d, votes) in &self.device_votes {
+            let dev = topo.device(d);
+            let shade = 100 - (votes * 60 / max).min(60); // 100 = white, 40 = dark
+            let _ = writeln!(
+                s,
+                "  \"{}\" [label=\"{}\\n{} ({votes})\", fillcolor=\"gray{shade}\"];",
+                dev.name(),
+                dev.role,
+                dev.name(),
+            );
+        }
+        for &(l, votes) in &self.link_votes {
+            let link = topo.link(l);
+            let (Some(a), Some(b)) = (link.a.device(), link.b.device()) else {
+                continue;
+            };
+            let width = 1 + (votes * 4 / max.max(1)).min(4);
+            let _ = writeln!(
+                s,
+                "  \"{}\" -- \"{}\" [penwidth={width}];",
+                topo.device(a).name(),
+                topo.device(b).name(),
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// ASCII vote table, highest first.
+    pub fn render(&self, topo: &Topology, top: usize) -> String {
+        let mut s = String::from("votes  device\n");
+        for &(d, votes) in self.device_votes.iter().take(top) {
+            let dev = topo.device(d);
+            let _ = writeln!(s, "{votes:>5}  {} [{}]", dev.location, dev.role);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{
+        AlertKind, DataSource, IncidentId, LocationPath, RawAlert, SimTime, StructuredAlert,
+    };
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(generate(&GeneratorConfig::small()))
+    }
+
+    fn salert(kind: AlertKind, location: LocationPath, count: u32) -> StructuredAlert {
+        let raw = RawAlert::known(DataSource::Syslog, SimTime::ZERO, location, kind);
+        let mut s = StructuredAlert::from_raw(&raw, kind);
+        s.count = count;
+        s
+    }
+
+    fn incident(topo: &Topology, device: DeviceId) -> Incident {
+        let loc = topo.device(device).location.clone();
+        Incident {
+            id: IncidentId(0),
+            root: loc.truncate_at(skynet_model::LocationLevel::Site),
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(60),
+            alerts: vec![
+                salert(AlertKind::HardwareError, loc.clone(), 1),
+                salert(AlertKind::PortDown, loc, 400),
+            ],
+        }
+    }
+
+    #[test]
+    fn single_device_alerts_vote_device_and_neighbours_equally() {
+        let t = topo();
+        // A leaf inside some cluster.
+        let leaf = t.agg_group(&t.clusters()[0])[0];
+        let i = incident(&t, leaf);
+        let g = VotingGraph::build(&t, &i);
+        let leaf_votes = g
+            .device_votes
+            .iter()
+            .find(|&&(d, _)| d == leaf)
+            .map(|&(_, v)| v)
+            .unwrap();
+        // Two alerts → two self-votes; paper voting is equal-weight, so
+        // the uplink CSRs tie with the leaf. Storm count (400) must not
+        // multiply the vote.
+        assert_eq!(leaf_votes, 2);
+        assert_eq!(g.top_device().unwrap().1, 2);
+    }
+
+    #[test]
+    fn shared_neighbour_aggregates_votes_like_the_reflector_case() {
+        let t = topo();
+        // Every leaf of one cluster alerts (a cluster-wide failure whose
+        // common element is the aggregation layer — the §7.1 situation).
+        let cluster = t.clusters()[0].clone();
+        let leaves = t.agg_group(&cluster).to_vec();
+        assert!(leaves.len() >= 2);
+        let alerts: Vec<StructuredAlert> = leaves
+            .iter()
+            .map(|&l| salert(AlertKind::PortDown, t.device(l).location.clone(), 1))
+            .collect();
+        let i = Incident {
+            id: IncidentId(0),
+            root: cluster.truncate_at(skynet_model::LocationLevel::Site),
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::from_secs(60),
+            alerts,
+        };
+        let g = VotingGraph::build(&t, &i);
+        let (top, votes) = g.top_device().unwrap();
+        // The CSRs receive one propagated vote per alerting leaf and beat
+        // any single leaf (1 self-vote each).
+        assert_eq!(t.device(top).role, skynet_topology::DeviceRole::Csr);
+        assert_eq!(votes as usize, leaves.len());
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let t = topo();
+        let leaf = t.agg_group(&t.clusters()[0])[0];
+        let g = VotingGraph::build(&t, &incident(&t, leaf));
+        let dot = g.to_dot(&t);
+        assert!(dot.starts_with("graph incident {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("--"));
+        assert!(dot.contains(t.device(leaf).name()));
+    }
+
+    #[test]
+    fn render_lists_top_devices() {
+        let t = topo();
+        let leaf = t.agg_group(&t.clusters()[0])[0];
+        let g = VotingGraph::build(&t, &incident(&t, leaf));
+        let text = g.render(&t, 3);
+        assert!(text.lines().count() <= 4);
+        assert!(text.contains("LEAF") || text.contains("CSR"));
+    }
+
+    #[test]
+    fn empty_incident_graph_is_safe() {
+        let t = topo();
+        let i = Incident {
+            id: IncidentId(0),
+            root: LocationPath::parse("NoSuchRegion").unwrap(),
+            first_seen: SimTime::ZERO,
+            last_seen: SimTime::ZERO,
+            alerts: vec![],
+        };
+        let g = VotingGraph::build(&t, &i);
+        assert!(g.top_device().is_none());
+        assert!(g.to_dot(&t).contains("graph incident"));
+    }
+}

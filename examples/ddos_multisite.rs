@@ -1,0 +1,81 @@
+//! The §5.1 "multiple scene detection" case: simultaneous DDoS attacks on
+//! several locations. SkyNet clusters the alerts by location into separate
+//! incidents — one per attacked scene — so operators can block all of them
+//! instead of overlooking one.
+//!
+//! ```text
+//! cargo run --example ddos_multisite
+//! ```
+
+use skynet::core::{PipelineConfig, SkyNet, SopAction};
+use skynet::failure::Injector;
+use skynet::model::{LocationLevel, SimDuration, SimTime};
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::{generate, GeneratorConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn main() {
+    // The paper's attack hit five geographically distinct locations; the
+    // medium topology has six cities to choose from.
+    let topo = Arc::new(generate(&GeneratorConfig::medium()));
+
+    // Attack one cluster in five *different* cities at once.
+    let mut seen_cities = HashSet::new();
+    let victims: Vec<_> = topo
+        .clusters()
+        .iter()
+        .filter(|c| seen_cities.insert(c.truncate_at(LocationLevel::City)))
+        .take(5)
+        .cloned()
+        .collect();
+    println!("DDoS hitting {} locations simultaneously:", victims.len());
+    for v in &victims {
+        println!("  {v}");
+    }
+
+    let mut injector = Injector::new(Arc::clone(&topo));
+    for v in &victims {
+        injector.ddos(v, 3.0, SimTime::from_mins(2), SimDuration::from_mins(10));
+    }
+    let scenario = injector.finish(SimTime::from_mins(20));
+
+    let mut suite = TelemetrySuite::standard(&topo, TelemetryConfig::default());
+    let run = suite.run(&scenario);
+    println!("\nalert flood: {} raw alerts", run.alerts.len());
+
+    let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 3);
+    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
+
+    println!("\n{} incidents detected:", report.incidents.len());
+    let mut covered = HashSet::new();
+    for scored in &report.incidents {
+        let root = &scored.incident.root;
+        println!("  score {:>7.1}  {}", scored.score(), root);
+        if let Some(plan) = report.sop_for(scored.incident.id) {
+            if let SopAction::BlockTraffic(at) = &plan.action {
+                println!("           SOP: block traffic at {at}");
+            }
+        }
+        for v in &victims {
+            if root.contains(v) || v.contains(root) {
+                covered.insert(v.clone());
+            }
+        }
+    }
+
+    assert_eq!(
+        covered.len(),
+        victims.len(),
+        "every attacked scene must be covered by an incident"
+    );
+    assert!(
+        report.incidents.len() >= victims.len(),
+        "scenes in different cities stay separate incidents"
+    );
+    println!(
+        "\n=> all {} attack scenes surfaced as separate incidents — none overlooked",
+        victims.len()
+    );
+}

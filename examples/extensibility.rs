@@ -1,0 +1,122 @@
+//! Extensibility (§5.2, §9): plugging a *new* monitoring data source into
+//! SkyNet without touching any crate internals.
+//!
+//! The paper added route monitoring, end-to-end ping, modification events
+//! and GRPC over eight years, and names **user-side telemetry** as the
+//! next source. Here we implement it: a tool (defined entirely in this
+//! example) that probes from simulated user clients into the data center
+//! and emits alerts in the uniform input format. Because the cable cut
+//! only shows up end-to-end from *outside*, SkyNet with the stock twelve
+//! tools plus the new source detects it with richer evidence.
+//!
+//! ```text
+//! cargo run --example extensibility
+//! ```
+
+use skynet::core::{PipelineConfig, SkyNet};
+use skynet::failure::Injector;
+use skynet::model::{
+    AlertKind, DataSource, LocationLevel, RawAlert, SimDuration, SimTime,
+};
+use skynet::telemetry::tools::{MonitoringTool, PollCtx, Sink};
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::route;
+use skynet::topology::{generate, GeneratorConfig, Topology};
+use std::sync::Arc;
+
+/// The §9 future-work tool: telemetry packets from users' clients to the
+/// data center. Implemented downstream of the library — the point of the
+/// uniform input format.
+struct UserSideTelemetry {
+    /// Cluster targets probed from "outside" (via the entry links).
+    targets: Vec<(skynet::model::LocationPath, route::RoutePath)>,
+}
+
+impl UserSideTelemetry {
+    fn new(topo: &Arc<Topology>) -> Self {
+        // Users reach every cluster through the Internet entries: the
+        // user-side path is the internet route traversed inwards.
+        let targets = topo
+            .clusters()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                route::route_to_internet(topo, c, i as u64).map(|r| (c.clone(), r))
+            })
+            .collect();
+        UserSideTelemetry { targets }
+    }
+}
+
+impl MonitoringTool for UserSideTelemetry {
+    fn source(&self) -> DataSource {
+        // Rides the internet-telemetry source id: same data family, new
+        // vantage point (a production deployment would extend the enum).
+        DataSource::InternetTelemetry
+    }
+
+    fn period(&self) -> skynet::model::SimDuration {
+        SimDuration::from_secs(10)
+    }
+
+    fn poll(&mut self, ctx: &PollCtx<'_>, sink: &mut Sink<'_>) {
+        for (cluster, path) in &self.targets {
+            let (loss, cause) = ctx.state.path_loss(path);
+            if loss < 0.01 {
+                continue;
+            }
+            let mut alert = RawAlert::known(
+                self.source(),
+                ctx.now,
+                cluster.truncate_at(LocationLevel::Site),
+                AlertKind::InternetUnreachable,
+            )
+            .with_magnitude(loss);
+            alert.cause = cause;
+            sink.alerts.push(alert);
+        }
+    }
+}
+
+fn main() {
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let region = topo
+        .regions_with_entries()
+        .min_by_key(|r| r.to_string())
+        .unwrap()
+        .clone();
+    let mut injector = Injector::new(Arc::clone(&topo));
+    injector.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    let scenario = injector.finish(SimTime::from_mins(20));
+
+    // Stock suite + the new tool, added with one line.
+    let mut suite = TelemetrySuite::standard(&topo, TelemetryConfig::quiet());
+    suite.push_tool(Box::new(UserSideTelemetry::new(&topo)));
+    let run = suite.run(&scenario);
+
+    let user_side = run
+        .alerts
+        .iter()
+        .filter(|a| a.known_kind() == Some(AlertKind::InternetUnreachable))
+        .count();
+    println!(
+        "flood: {} alerts, {} internet-unreachable (incl. the user-side vantage)",
+        run.alerts.len(),
+        user_side
+    );
+    assert!(user_side > 0, "the new source must observe the cut");
+
+    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
+    let top = report.incidents.first().expect("detected");
+    println!("top incident: {} (score {:.1})", top.incident.root, top.score());
+    assert!(top.incident.root.to_string().starts_with(&region.to_string()));
+
+    // §9's LLM integration point: the truncated context SkyNet would hand
+    // to a diagnostic LLM.
+    let ctx = report.llm_context(1200);
+    println!("\n--- LLM context (≤1200 chars) ---\n{ctx}");
+    assert!(ctx.len() <= 1200);
+    assert!(ctx.contains("incident at"));
+    println!("=> a thirteenth data source integrated without touching the library");
+}

@@ -1,0 +1,206 @@
+//! The paper's running example (Fig. 6): two concurrent incidents built on
+//! a hand-made topology with the paper's location names, grouped and
+//! ranked by SkyNet.
+//!
+//! Incident 1: a broad failure at `Region A|City a|Logic site 2` with ping
+//! loss, hundreds of out-of-band inaccessible repeats, BGP churn, hardware
+//! error and congestion — ranked critical.
+//! Incident 2: a port-down + software error confined to `Cluster n` of
+//! `Site n` — real, but minor.
+//!
+//! ```text
+//! cargo run --example running_example
+//! ```
+
+use skynet::core::{PipelineConfig, SkyNet};
+use skynet::model::{
+    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimTime,
+};
+use skynet::topology::{DeviceRole, Flow, FlowDestination, TopologyBuilder};
+use std::sync::Arc;
+
+fn p(s: &str) -> LocationPath {
+    LocationPath::parse(s).unwrap()
+}
+
+/// Builds a miniature of Fig. 6's world: Logic site 2 with Sites I/II, and
+/// Logic site n with Site n / Cluster n.
+fn figure6_topology() -> Arc<skynet::topology::Topology> {
+    let mut b = TopologyBuilder::new();
+    let mut devices = Vec::new();
+    for (site, cluster, name) in [
+        ("Logic site 2|Site I", "Cluster i", "Device i"),
+        ("Logic site 2|Site I", "Cluster ii", "Device ii"),
+        ("Logic site 2|Site II", "Cluster iii", "Device iii"),
+        ("Logic site n|Site n", "Cluster n", "Device n"),
+    ] {
+        devices.push(b.add_device(
+            DeviceRole::Leaf,
+            p(&format!("Region A|City a|{site}|{cluster}|{name}")),
+        ));
+    }
+    let csr1 = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site 2|Site I|agg|CSR-1"));
+    let csr2 = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site 2|Site II|agg|CSR-2"));
+    let csrn = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site n|Site n|agg|CSR-n"));
+    b.add_link(devices[0], csr1, 4, 100.0);
+    b.add_link(devices[1], csr1, 4, 100.0);
+    b.add_link(devices[2], csr2, 4, 100.0);
+    b.add_link(devices[3], csrn, 4, 100.0);
+
+    // Traffic: important customers ride Logic site 2 (incident 1's scope).
+    let cx = b.add_customer("Customer x", 6.0, true);
+    let cy = b.add_customer("Customer y", 4.0, true);
+    let cz = b.add_customer("Customer z", 1.0, false);
+    for (customer, src, hash) in [
+        (cx, "Region A|City a|Logic site 2|Site I|Cluster i", 1u64),
+        (cy, "Region A|City a|Logic site 2|Site I|Cluster ii", 2),
+        (cz, "Region A|City a|Logic site n|Site n|Cluster n", 3),
+    ] {
+        b.add_flow(Flow {
+            customer,
+            src: p(src),
+            dst: FlowDestination::Cluster(p(
+                "Region A|City a|Logic site 2|Site II|Cluster iii",
+            )),
+            rate_gbps: 12.0,
+            sla_limit_gbps: 8.0,
+            ecmp_hash: hash,
+        });
+    }
+    Arc::new(b.build())
+}
+
+/// Replays Fig. 6's left-hand raw alerts.
+fn figure6_alerts() -> Vec<RawAlert> {
+    let site1 = p("Region A|City a|Logic site 2|Site I");
+    let logic2 = p("Region A|City a|Logic site 2");
+    let dev_i = p("Region A|City a|Logic site 2|Site I|Cluster i|Device i");
+    let dev_ii = p("Region A|City a|Logic site 2|Site I|Cluster ii|Device ii");
+    let cluster_n = p("Region A|City a|Logic site n|Site n|Cluster n");
+    let dev_n = p("Region A|City a|Logic site n|Site n|Cluster n|Device n");
+
+    let mut alerts = Vec::new();
+    let t0 = SimTime::from_mins(5);
+
+    // Ping: repeated packet loss at Site I (several probe kinds).
+    for i in 0..90u64 {
+        let kind = match i % 3 {
+            0 => AlertKind::PacketLossIcmp,
+            1 => AlertKind::PacketLossSource,
+            _ => AlertKind::PacketLossTcp,
+        };
+        alerts.push(
+            RawAlert::known(
+                DataSource::Ping,
+                t0 + skynet::model::SimDuration::from_secs(i * 2),
+                site1.clone(),
+                kind,
+            )
+            .with_magnitude(0.22),
+        );
+    }
+    // Out-of-band: "Inaccessible (680)" — a storm of repeats.
+    for i in 0..680u64 {
+        let loc = if i % 2 == 0 { &dev_i } else { &dev_ii };
+        alerts.push(RawAlert::known(
+            DataSource::OutOfBand,
+            t0 + skynet::model::SimDuration::from_millis(i * 250),
+            loc.clone(),
+            AlertKind::DeviceInaccessible,
+        ));
+    }
+    // Syslog at the logic site: churn and the decisive root causes.
+    for (offset, text) in [
+        (7u64, "%BGP-5-ADJCHANGE: neighbor 10.2.3.4 Down BGP Notification sent hold time expired"),
+        (9, "%BGP-3-NOTIFICATION: session with 10.2.3.4 flapped 9 times in 60 seconds jitter detected"),
+        (11, "%PLATFORM-2-HW_ERROR: Hardware error detected on linecard 3 asic 1 code 0x5A"),
+        (13, "%SYSTEM-1-MEMORY: Out of memory in process routing pid 2211"),
+        (15, "%FIB-2-BLACKHOLE: traffic blackhole detected for prefix 10.9.0.0/24 packets dropped 88123"),
+    ] {
+        alerts.push(RawAlert::syslog(
+            t0 + skynet::model::SimDuration::from_secs(offset),
+            logic2.clone(),
+            text,
+        ));
+    }
+    // SNMP: congestion + link down at Site I.
+    alerts.push(
+        RawAlert::known(
+            DataSource::Snmp,
+            t0 + skynet::model::SimDuration::from_secs(20),
+            site1.clone(),
+            AlertKind::TrafficCongestion,
+        )
+        .with_magnitude(1.4),
+    );
+    alerts.push(RawAlert::known(
+        DataSource::Snmp,
+        t0 + skynet::model::SimDuration::from_secs(25),
+        site1,
+        AlertKind::LinkDown,
+    ));
+
+    // Incident 2: Device n's port down + software error, far away.
+    alerts.push(RawAlert::syslog(
+        t0 + skynet::model::SimDuration::from_secs(40),
+        dev_n.clone(),
+        "%LINK-3-UPDOWN: Interface TenGigE0/2/0/7 changed state to down",
+    ));
+    alerts.push(RawAlert::syslog(
+        t0 + skynet::model::SimDuration::from_secs(45),
+        dev_n,
+        "%OS-2-CRASH: Process bgpd crashed with signal 6 core dumped restarting",
+    ));
+    alerts.push(
+        RawAlert::known(
+            DataSource::Ping,
+            t0 + skynet::model::SimDuration::from_secs(50),
+            cluster_n.clone(),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.03),
+    );
+    alerts.push(
+        RawAlert::known(
+            DataSource::Ping,
+            t0 + skynet::model::SimDuration::from_secs(52),
+            cluster_n,
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.03),
+    );
+
+    alerts.sort_by_key(|a| a.timestamp);
+    alerts
+}
+
+fn main() {
+    let topo = figure6_topology();
+    let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 6);
+    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let report = sky.analyze(&figure6_alerts(), &PingLog::new(), SimTime::from_mins(40));
+
+    println!("{}", report.render());
+
+    assert_eq!(report.incidents.len(), 2, "Fig. 6 shows two incidents");
+    let first = &report.incidents[0];
+    let second = &report.incidents[1];
+    assert!(
+        first.incident.root.to_string().contains("Logic site 2"),
+        "the broad failure ranks first: {}",
+        first.incident.root
+    );
+    assert!(
+        second.incident.root.to_string().contains("Logic site n"),
+        "the minor failure ranks second: {}",
+        second.incident.root
+    );
+    assert!(first.score() > second.score());
+    println!(
+        "=> incident 1 ({}) scores {:.1}, incident 2 ({}) scores {:.1} — operators start with incident 1",
+        first.incident.root,
+        first.score(),
+        second.incident.root,
+        second.score()
+    );
+}

@@ -1,0 +1,117 @@
+//! `skynet` — analyze an alert flood from the command line.
+//!
+//! The operational entry point: feed a JSON-lines file of uniform-format
+//! alerts (what every monitoring tool emits, §4.1) against a topology, get
+//! the ranked incident report.
+//!
+//! ```text
+//! skynet analyze --topology topo.json --alerts flood.jsonl [--horizon-mins 60]
+//! skynet gen-topology [--scale small|medium|large] > topo.json
+//! skynet demo          # generate, break, analyze — end to end
+//! ```
+
+use skynet::core::{PipelineConfig, SkyNet};
+use skynet::model::{PingLog, RawAlert, SimDuration, SimTime};
+use skynet::topology::{generate, GeneratorConfig, Topology};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("gen-topology") => gen_topology(&args[1..]),
+        Some("demo") => demo(),
+        _ => usage(),
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn scale_config(scale: Option<&str>) -> GeneratorConfig {
+    match scale.unwrap_or("small") {
+        "small" => GeneratorConfig::small(),
+        "medium" => GeneratorConfig::medium(),
+        "large" => GeneratorConfig::large(),
+        other => {
+            eprintln!("unknown scale {other:?}; use small|medium|large");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn gen_topology(args: &[String]) {
+    let topo = generate(&scale_config(flag(args, "--scale")));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    serde_json::to_writer(&mut out, &topo).expect("topology serializes");
+    let _ = out.write_all(b"\n");
+    eprintln!("generated {:?}", topo.summary());
+}
+
+fn analyze(args: &[String]) {
+    let topo_path = flag(args, "--topology").unwrap_or_else(|| usage());
+    let alerts_path = flag(args, "--alerts").unwrap_or_else(|| usage());
+    let horizon_mins: u64 = flag(args, "--horizon-mins")
+        .map(|v| v.parse().expect("--horizon-mins takes a number"))
+        .unwrap_or(60);
+
+    let topo_file = std::fs::File::open(topo_path)
+        .unwrap_or_else(|e| panic!("cannot open {topo_path}: {e}"));
+    let topo: Topology =
+        serde_json::from_reader(BufReader::new(topo_file)).expect("topology parses");
+    let topo = Arc::new(topo);
+
+    let alerts_file = std::fs::File::open(alerts_path)
+        .unwrap_or_else(|e| panic!("cannot open {alerts_path}: {e}"));
+    let mut alerts: Vec<RawAlert> = Vec::new();
+    for (n, line) in BufReader::new(alerts_file).lines().enumerate() {
+        let line = line.expect("readable input");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let alert: RawAlert = serde_json::from_str(&line)
+            .unwrap_or_else(|e| panic!("{alerts_path}:{}: bad alert: {e}", n + 1));
+        alerts.push(alert);
+    }
+    alerts.sort_by_key(|a| a.timestamp);
+    eprintln!("loaded {} alerts against {:?}", alerts.len(), topo.summary());
+
+    let skynet = SkyNet::new(&topo, PipelineConfig::production());
+    let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(horizon_mins));
+    println!("{}", report.render());
+}
+
+/// End-to-end demo: generate a network, break a router, print the report.
+fn demo() {
+    use skynet::failure::Injector;
+    use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let victim = topo
+        .devices()
+        .iter()
+        .find(|d| d.role == skynet::topology::DeviceRole::Csr)
+        .expect("generator builds CSRs");
+    eprintln!("demo: taking {} down", victim.location);
+    let mut injector = Injector::new(Arc::clone(&topo));
+    injector.device_down(victim.id, SimTime::from_mins(5), SimDuration::from_mins(8));
+    let scenario = injector.finish(SimTime::from_mins(20));
+    let run = TelemetrySuite::standard(&topo, TelemetryConfig::default()).run(&scenario);
+    eprintln!("demo: {} raw alerts", run.alerts.len());
+    let skynet = SkyNet::new(&topo, PipelineConfig::production());
+    let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
+    println!("{}", report.render());
+}

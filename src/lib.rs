@@ -1,0 +1,28 @@
+//! # SkyNet (reproduction)
+//!
+//! Umbrella crate for the SkyNet reproduction — *SkyNet: Analyzing Alert
+//! Flooding from Severe Network Failures in Large Cloud Infrastructures*
+//! (SIGCOMM 2025). Re-exports every sub-crate under one namespace so that
+//! examples and downstream users need a single dependency.
+//!
+//! ```
+//! use skynet::model::{DataSource, LocationPath};
+//!
+//! let loc = LocationPath::parse("Region A|City a|Logic site 2").unwrap();
+//! assert_eq!(loc.depth(), 3);
+//! assert_eq!(DataSource::ALL.len(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use skynet_model as model;
+
+// Re-exported as modules are implemented:
+pub use skynet_baseline as baseline;
+pub use skynet_bench as bench;
+pub use skynet_core as core;
+pub use skynet_failure as failure;
+pub use skynet_ftree as ftree;
+pub use skynet_telemetry as telemetry;
+pub use skynet_topology as topology;
+pub use skynet_viz as viz;

@@ -1,0 +1,86 @@
+//! The `skynet` CLI binary: the operational JSON-lines entry point.
+
+use skynet::failure::Injector;
+use skynet::model::{SimDuration, SimTime};
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::{generate, GeneratorConfig};
+use std::io::Write;
+use std::process::Command;
+use std::sync::Arc;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skynet"))
+}
+
+#[test]
+fn gen_topology_emits_parseable_json() {
+    let out = bin()
+        .args(["gen-topology", "--scale", "small"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let topo: skynet::topology::Topology =
+        serde_json::from_slice(&out.stdout).expect("valid topology JSON");
+    assert_eq!(
+        topo.summary().devices,
+        GeneratorConfig::small().expected_devices()
+    );
+}
+
+#[test]
+fn analyze_reads_json_lines_and_reports() {
+    let dir = std::env::temp_dir().join("skynet-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Build a flood in-process with the same small topology the CLI
+    // generates (seeded identically).
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let victim = topo
+        .devices()
+        .iter()
+        .find(|d| d.role == skynet::topology::DeviceRole::Csr)
+        .unwrap();
+    let mut injector = Injector::new(Arc::clone(&topo));
+    injector.device_down(victim.id, SimTime::from_mins(5), SimDuration::from_mins(8));
+    let scenario = injector.finish(SimTime::from_mins(20));
+    let run = TelemetrySuite::standard(&topo, TelemetryConfig::quiet()).run(&scenario);
+
+    let topo_path = dir.join("topo.json");
+    std::fs::write(&topo_path, serde_json::to_vec(&*topo).unwrap()).unwrap();
+    let alerts_path = dir.join("flood.jsonl");
+    {
+        let mut f = std::fs::File::create(&alerts_path).unwrap();
+        for a in &run.alerts {
+            writeln!(f, "{}", serde_json::to_string(a).unwrap()).unwrap();
+        }
+    }
+
+    let out = bin()
+        .args([
+            "analyze",
+            "--topology",
+            topo_path.to_str().unwrap(),
+            "--alerts",
+            alerts_path.to_str().unwrap(),
+            "--horizon-mins",
+            "40",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("incidents"), "{stdout}");
+    assert!(
+        stdout.contains(&victim.location.parent().to_string())
+            || stdout.contains("Failure alerts"),
+        "report must describe the outage: {stdout}"
+    );
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = bin().arg("analyze").output().expect("binary runs");
+    assert!(!out.status.success());
+}

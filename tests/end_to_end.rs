@@ -1,0 +1,330 @@
+//! Cross-crate integration: injected failures of every root-cause category
+//! travel through telemetry, preprocessing, locating and evaluation.
+
+use skynet::core::{PipelineConfig, SkyNet};
+use skynet::failure::effect::RouteAnomalyKind;
+use skynet::failure::{Injector, Scenario};
+use skynet::model::{DeviceId, SimDuration, SimTime};
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::{generate, DeviceRole, GeneratorConfig, Topology};
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(generate(&GeneratorConfig::small()))
+}
+
+fn analyze(scenario: &Scenario) -> skynet::core::AnalysisReport {
+    let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::quiet());
+    let run = suite.run(scenario);
+    let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 7);
+    let sky = SkyNet::with_training(scenario.topology(), PipelineConfig::production(), &training);
+    sky.analyze(
+        &run.alerts,
+        &run.ping,
+        scenario.horizon() + SimDuration::from_mins(20),
+    )
+}
+
+fn first_agg_device(topo: &Topology, role: DeviceRole) -> DeviceId {
+    topo.devices().iter().find(|d| d.role == role).unwrap().id
+}
+
+#[test]
+fn device_down_is_detected_and_located() {
+    let topo = topo();
+    let victim = first_agg_device(&topo, DeviceRole::Csr);
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.device_down(victim, SimTime::from_mins(3), SimDuration::from_mins(8));
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+
+    let victim_loc = &topo.device(victim).location;
+    let hit = report
+        .incidents
+        .iter()
+        .find(|s| s.incident.root.contains(victim_loc))
+        .expect("a CSR outage must produce a covering incident");
+    assert!(hit.incident.causes().contains(&scenario.events()[0].id));
+    assert!(hit.score() > 0.0);
+}
+
+#[test]
+fn entry_cable_cut_is_detected_with_failure_class_evidence() {
+    let topo = topo();
+    let region = topo
+        .regions_with_entries()
+        .min_by_key(|r| r.to_string())
+        .unwrap()
+        .clone();
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+
+    let hit = report
+        .incidents
+        .iter()
+        .find(|s| region.contains(&s.incident.root) || s.incident.root.contains(&region))
+        .expect("the cable cut must surface");
+    assert!(
+        hit.incident.has_class(skynet::model::AlertClass::Failure),
+        "congestion loss must appear as failure-class alerts"
+    );
+    // The §6.4 filter must keep this severe incident.
+    assert!(
+        hit.score() >= report.severity_threshold,
+        "severe failures survive the severity filter: {}",
+        hit.score()
+    );
+}
+
+#[test]
+fn software_error_reaches_the_report_via_syslog_classification() {
+    let topo = topo();
+    let victim = first_agg_device(&topo, DeviceRole::Bsr);
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.software_error(victim, SimTime::from_mins(3), SimDuration::from_mins(8));
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+
+    let victim_loc = &topo.device(victim).location;
+    let hit = report
+        .incidents
+        .iter()
+        .find(|s| s.incident.root.contains(victim_loc))
+        .expect("software error must surface");
+    let kinds: Vec<_> = hit.incident.alerts.iter().map(|a| a.ty.kind).collect();
+    assert!(
+        kinds.contains(&skynet::model::AlertKind::SoftwareError),
+        "the classified syslog crash line must be in the incident: {kinds:?}"
+    );
+}
+
+#[test]
+fn route_anomaly_alone_stays_quiet_but_is_observed() {
+    // A pure control-plane anomaly produces one alert type — below every
+    // incident threshold by design (§4.2 needs co-occurring evidence).
+    let topo = topo();
+    let scope = topo.clusters()[0].truncate_at(skynet::model::LocationLevel::City);
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.route_error(
+        &scope,
+        RouteAnomalyKind::Hijack,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(8),
+    );
+    let scenario = inj.finish(SimTime::from_mins(20));
+
+    let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::quiet());
+    let run = suite.run(&scenario);
+    assert!(
+        run.alerts
+            .iter()
+            .any(|a| a.known_kind() == Some(skynet::model::AlertKind::RouteHijack)),
+        "route monitoring must observe the hijack"
+    );
+    let report = analyze(&scenario);
+    assert!(
+        report.incidents.is_empty(),
+        "one alert type does not make an incident"
+    );
+}
+
+#[test]
+fn concurrent_failures_in_different_regions_stay_separate() {
+    let topo = topo();
+    let c0 = topo
+        .clusters()
+        .iter()
+        .find(|c| c.segments()[0].as_ref() == "Region-0")
+        .unwrap()
+        .clone();
+    let c1 = topo
+        .clusters()
+        .iter()
+        .find(|c| c.segments()[0].as_ref() == "Region-1")
+        .unwrap()
+        .clone();
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.infrastructure_outage(&c0, SimTime::from_mins(3), SimDuration::from_mins(8));
+    inj.ddos(&c1, 3.0, SimTime::from_mins(3), SimDuration::from_mins(8));
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+
+    let covers = |target: &skynet::model::LocationPath| {
+        report
+            .incidents
+            .iter()
+            .filter(|s| s.incident.root.contains(target) || target.contains(&s.incident.root))
+            .count()
+    };
+    assert!(covers(&c0) >= 1, "outage missing");
+    assert!(covers(&c1) >= 1, "ddos missing");
+    // No single incident spans both regions.
+    for s in &report.incidents {
+        assert!(
+            !s.incident.root.is_root(),
+            "no incident may flatten to the network root"
+        );
+    }
+}
+
+#[test]
+fn preprocessing_compresses_every_flood() {
+    let topo = topo();
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.entry_cable_cut(
+        &topo.regions_with_entries().next().unwrap().clone(),
+        0.5,
+        SimTime::from_mins(2),
+        SimDuration::from_mins(10),
+    );
+    let scenario = inj.finish(SimTime::from_mins(15));
+    // A production-shaped flood (background noise on) compresses hard.
+    let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default());
+    let run = suite.run(&scenario);
+    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(35));
+    assert!(
+        report.preprocess.emitted * 3 <= report.preprocess.raw,
+        "expected ≥3x reduction: {:?}",
+        report.preprocess
+    );
+}
+
+#[test]
+fn known_single_device_failure_gets_an_automatic_sop() {
+    let topo = topo();
+    // A leaf with gray loss: the Fig. 2a known failure.
+    let leaf = topo
+        .devices()
+        .iter()
+        .find(|d| d.role == DeviceRole::Leaf)
+        .unwrap()
+        .id;
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.device_hardware(leaf, SimTime::from_mins(3), SimDuration::from_mins(8), 0.4, true);
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+
+    let victim_loc = &topo.device(leaf).location;
+    let hit = report
+        .incidents
+        .iter()
+        .find(|s| s.incident.root.contains(victim_loc) || victim_loc.contains(&s.incident.root));
+    if let Some(hit) = hit {
+        if let Some(plan) = report.sop_for(hit.incident.id) {
+            assert_eq!(plan.rule, "isolate-lossy-device");
+        }
+    }
+    // At minimum the failure is detected somewhere.
+    assert!(
+        report
+            .incidents
+            .iter()
+            .any(|s| s.incident.causes().contains(&scenario.events()[0].id)),
+        "gray failure must be detected"
+    );
+}
+
+#[test]
+fn late_root_cause_alerts_still_join_their_incident() {
+    // §7.3: "the device hardware error was not the initial alert; a BGP
+    // link break alert was the first to occur, followed by a flood of
+    // packet drop ... Several minutes later, SkyNet received a syslog
+    // indicating the device had encountered a hardware error." SkyNet's
+    // tree-with-timeout design (not first-alert-is-cause time ordering)
+    // must attach the late root-cause alert to the same incident.
+    use skynet::model::{AlertKind, DataSource, PingLog, RawAlert};
+    let topo = topo();
+    let site = topo.clusters()[0].parent();
+    let device = topo.device(topo.agg_group(&topo.clusters()[0])[0]).location.clone();
+
+    let mut alerts = Vec::new();
+    // t=0s: BGP break is first.
+    alerts.push(RawAlert::syslog(
+        SimTime::from_secs(0),
+        device.clone(),
+        "%BGP-5-ADJCHANGE: neighbor 10.0.0.9 Down BGP Notification sent hold time expired",
+    ));
+    // t=5..180s: the behaviour flood.
+    for i in 0..60u64 {
+        let kind = if i % 2 == 0 {
+            AlertKind::PacketLossIcmp
+        } else {
+            AlertKind::PacketLossTcp
+        };
+        alerts.push(
+            RawAlert::known(DataSource::Ping, SimTime::from_secs(5 + i * 3), site.clone(), kind)
+                .with_magnitude(0.3),
+        );
+    }
+    // t=240s (four minutes in): the actual root cause finally logs.
+    alerts.push(RawAlert::syslog(
+        SimTime::from_secs(240),
+        device.clone(),
+        "%PLATFORM-2-HW_ERROR: Hardware error detected on linecard 2 asic 0 code 0x77",
+    ));
+
+    let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 8);
+    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
+    assert_eq!(report.incidents.len(), 1, "one incident despite the 4-minute gap");
+    let incident = &report.incidents[0].incident;
+    assert!(
+        incident
+            .alerts
+            .iter()
+            .any(|a| a.ty.kind == AlertKind::HardwareError),
+        "the late hardware-error alert must be inside the incident: {:?}",
+        incident.alerts.iter().map(|a| a.ty).collect::<Vec<_>>()
+    );
+    assert!(incident.has_class(skynet::model::AlertClass::RootCause));
+}
+
+#[test]
+fn history_ranker_fails_on_unprecedented_severe_failures() {
+    // §8's DeepIP argument made concrete: a frequency model trained on
+    // everyday minor incidents cannot rank an unprecedented severe one,
+    // while SkyNet's heuristic evaluator can.
+    use skynet::baseline::HistoryRanker;
+    let topo = topo();
+    let region = topo
+        .regions_with_entries()
+        .min_by_key(|r| r.to_string())
+        .unwrap()
+        .clone();
+
+    // History: dozens of minor device glitches, labelled low severity.
+    let mut ranker = HistoryRanker::new();
+    for seed in 0..20u64 {
+        let mut inj = Injector::new(Arc::clone(&topo));
+        let dev = DeviceId((seed % topo.devices().len() as u64) as u32);
+        inj.device_hardware(dev, SimTime::from_mins(2), SimDuration::from_mins(4), 0.3, true);
+        let scenario = inj.finish(SimTime::from_mins(12));
+        let report = analyze(&scenario);
+        for s in &report.incidents {
+            ranker.observe(&s.incident, 2.0);
+        }
+    }
+
+    // The unprecedented severe failure.
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let report = analyze(&scenario);
+    let severe = report
+        .incidents
+        .iter()
+        .find(|s| region.contains(&s.incident.root) || s.incident.root.contains(&region))
+        .expect("cable cut surfaces");
+
+    let learned = ranker.predict(&severe.incident);
+    // The learned model falls back near its minor-incident prior ...
+    assert!(
+        learned < 10.0,
+        "history model should underrate the unprecedented failure, got {learned}"
+    );
+    // ... while the heuristic evaluator flags it as severe.
+    assert!(severe.score() >= report.severity_threshold);
+}

@@ -1,0 +1,166 @@
+//! Property-based integration tests: pipeline invariants over arbitrary
+//! alert streams.
+
+use proptest::prelude::*;
+use skynet::core::locator::{Locator, LocatorConfig};
+use skynet::core::{PipelineConfig, Preprocessor, PreprocessorConfig, SkyNet};
+use skynet::model::{
+    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimTime, StructuredAlert,
+};
+use skynet::topology::{generate, GeneratorConfig, Topology};
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(generate(&GeneratorConfig::small()))
+}
+
+fn kind_strategy() -> impl Strategy<Value = AlertKind> {
+    prop::sample::select(vec![
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossTcp,
+        AlertKind::LatencyJitter,
+        AlertKind::DeviceInaccessible,
+        AlertKind::LinkDown,
+        AlertKind::PortDown,
+        AlertKind::TrafficCongestion,
+        AlertKind::HardwareError,
+        AlertKind::HighCpu,
+        AlertKind::TrafficDrop,
+        AlertKind::TrafficSurge,
+        AlertKind::BgpPeerDown,
+    ])
+}
+
+fn source_strategy() -> impl Strategy<Value = DataSource> {
+    prop::sample::select(DataSource::ALL.to_vec())
+}
+
+/// Random locations drawn from a real topology's location space.
+fn location_strategy(topo: Arc<Topology>) -> impl Strategy<Value = LocationPath> {
+    let locations: Vec<LocationPath> = topo
+        .devices()
+        .iter()
+        .flat_map(|d| d.location.prefixes().collect::<Vec<_>>())
+        .collect();
+    prop::sample::select(locations)
+}
+
+fn alert_strategy(topo: Arc<Topology>) -> impl Strategy<Value = RawAlert> {
+    (
+        source_strategy(),
+        kind_strategy(),
+        0u64..1_800_000, // 30 minutes of millis
+        location_strategy(topo),
+        0.0f64..1.0,
+    )
+        .prop_map(|(source, kind, t, location, magnitude)| {
+            RawAlert::known(source, SimTime::from_millis(t), location, kind)
+                .with_magnitude(magnitude)
+        })
+}
+
+fn sorted_stream(topo: Arc<Topology>, max: usize) -> impl Strategy<Value = Vec<RawAlert>> {
+    prop::collection::vec(alert_strategy(topo), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|a| a.timestamp);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The preprocessor never emits more alerts than it ingests, never
+    /// drops failure-class evidence entirely, and its stats add up.
+    #[test]
+    fn preprocessor_invariants(alerts in sorted_stream(topo(), 300)) {
+        let mut pp = Preprocessor::new(PreprocessorConfig::default(), None);
+        let out = pp.process_batch(&alerts);
+        let stats = pp.stats();
+        // `raw` counts peer-splits too, so it is >= the input length.
+        prop_assert!(stats.raw >= alerts.len() as u64);
+        prop_assert_eq!(stats.emitted as usize, out.len());
+        prop_assert!(stats.emitted <= stats.raw);
+        // Time ranges are sane.
+        for a in &out {
+            prop_assert!(a.first_seen <= a.last_seen);
+            prop_assert!(a.count >= 1);
+        }
+        // Every emitted location appeared in the input.
+        for a in &out {
+            prop_assert!(
+                alerts.iter().any(|r| r.location == a.location),
+                "location {} not from input", a.location
+            );
+        }
+    }
+
+    /// Locator invariants: every incident's alerts sit under its root,
+    /// times are ordered, ids are unique, and nothing lands at the
+    /// network root.
+    #[test]
+    fn locator_invariants(alerts in sorted_stream(topo(), 300)) {
+        let t = topo();
+        let structured: Vec<StructuredAlert> = alerts
+            .iter()
+            .filter_map(|r| r.known_kind().map(|k| StructuredAlert::from_raw(r, k)))
+            .collect();
+        let mut locator = Locator::new(&t, LocatorConfig::default());
+        let incidents = locator.process_batch(&structured, SimTime::from_mins(60));
+        let mut seen_ids = std::collections::HashSet::new();
+        for incident in &incidents {
+            prop_assert!(seen_ids.insert(incident.id), "duplicate id {:?}", incident.id);
+            prop_assert!(!incident.alerts.is_empty());
+            prop_assert!(incident.first_seen <= incident.last_seen);
+            prop_assert!(!incident.root.is_root(), "incident at network root");
+            for a in &incident.alerts {
+                prop_assert!(
+                    incident.root.contains(&a.location),
+                    "alert at {} outside root {}", a.location, incident.root
+                );
+            }
+        }
+    }
+
+    /// The full pipeline never panics and produces a coherent ranked
+    /// report for arbitrary input.
+    #[test]
+    fn pipeline_is_total_and_ranked(alerts in sorted_stream(topo(), 200)) {
+        let t = topo();
+        let sky = SkyNet::new(&t, PipelineConfig::production());
+        let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(60));
+        // Ranked descending.
+        for w in report.incidents.windows(2) {
+            prop_assert!(w[0].score() >= w[1].score());
+        }
+        // Scores are finite and non-negative; zooms stay in scope.
+        for s in &report.incidents {
+            prop_assert!(s.score().is_finite() && s.score() >= 0.0);
+            prop_assert!(s.incident.root.contains(&s.zoom.location));
+        }
+        prop_assert!(report.actionable().count() <= report.incidents.len());
+    }
+
+    /// Type-distinct counting dominates type+location: the production
+    /// counting mode never reports *more* incidents.
+    #[test]
+    fn type_distinct_reports_at_most_as_many_incidents(
+        alerts in sorted_stream(topo(), 200)
+    ) {
+        let t = topo();
+        let structured: Vec<StructuredAlert> = alerts
+            .iter()
+            .filter_map(|r| r.known_kind().map(|k| StructuredAlert::from_raw(r, k)))
+            .collect();
+        let run = |counting| {
+            let cfg = LocatorConfig { counting, ..LocatorConfig::default() };
+            let mut locator = Locator::new(&t, cfg);
+            locator.process_batch(&structured, SimTime::from_mins(60)).len()
+        };
+        let distinct = run(skynet::core::CountingMode::TypeDistinct);
+        let per_location = run(skynet::core::CountingMode::TypeAndLocation);
+        prop_assert!(
+            distinct <= per_location,
+            "distinct {} > per-location {}", distinct, per_location
+        );
+    }
+}

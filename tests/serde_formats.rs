@@ -1,0 +1,126 @@
+//! The uniform input format as an integration boundary (§4.1, §5.2):
+//! a recorded flood serialized to JSON lines and read back must analyze
+//! identically, and a *new* monitoring tool can join by emitting the same
+//! format.
+
+use skynet::core::{PipelineConfig, SkyNet};
+use skynet::failure::Injector;
+use skynet::model::{
+    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimDuration, SimTime,
+};
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::{generate, GeneratorConfig};
+use std::sync::Arc;
+
+#[test]
+fn json_lines_round_trip_preserves_the_analysis() {
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let mut inj = Injector::new(Arc::clone(&topo));
+    inj.device_down(
+        skynet::model::DeviceId(7),
+        SimTime::from_mins(3),
+        SimDuration::from_mins(8),
+    );
+    let scenario = inj.finish(SimTime::from_mins(20));
+    let run = TelemetrySuite::standard(&topo, TelemetryConfig::default()).run(&scenario);
+
+    // Serialize the flood to JSON lines — the on-the-wire ingest format.
+    let wire: String = run
+        .alerts
+        .iter()
+        .map(|a| serde_json::to_string(a).expect("alerts serialize"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let parsed: Vec<RawAlert> = wire
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("alerts parse"))
+        .collect();
+    assert_eq!(parsed, run.alerts);
+
+    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let horizon = SimTime::from_mins(40);
+    let direct = sky.analyze(&run.alerts, &run.ping, horizon);
+    let via_wire = sky.analyze(&parsed, &run.ping, horizon);
+    assert_eq!(direct.incidents.len(), via_wire.incidents.len());
+    for (a, b) in direct.incidents.iter().zip(&via_wire.incidents) {
+        assert_eq!(a.incident.root, b.incident.root);
+        assert_eq!(a.incident.alerts, b.incident.alerts);
+        assert_eq!(a.score(), b.score());
+    }
+}
+
+#[test]
+fn a_new_tool_integrates_by_emitting_the_uniform_format() {
+    // §5.2: data sources were added over eight years by converting their
+    // output into the uniform format. Simulate a "user-side telemetry"
+    // tool (the paper's future-work source) emitting JSON alerts.
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let site = topo.clusters()[0].parent();
+
+    let hand_written = format!(
+        r#"{{"source":"Ping","timestamp":{t},"location":"{site}","body":{{"Known":"PacketLossIcmp"}},"magnitude":0.3}}"#,
+        t = SimTime::from_mins(5).as_millis(),
+    );
+    let alert: RawAlert = serde_json::from_str(&hand_written).expect("uniform format parses");
+    assert_eq!(alert.source, DataSource::Ping);
+    assert_eq!(alert.known_kind(), Some(AlertKind::PacketLossIcmp));
+    assert_eq!(alert.location, site);
+
+    // Enough uniform-format alerts from the "new tool" make an incident.
+    let mut alerts = Vec::new();
+    for i in 0..6u64 {
+        let kind = if i % 2 == 0 {
+            AlertKind::PacketLossIcmp
+        } else {
+            AlertKind::PacketLossTcp
+        };
+        for rep in 0..2u64 {
+            alerts.push(
+                RawAlert::known(
+                    DataSource::Ping,
+                    SimTime::from_mins(5) + SimDuration::from_secs(i * 10 + rep * 2),
+                    site.clone(),
+                    kind,
+                )
+                .with_magnitude(0.3),
+            );
+        }
+    }
+    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(40));
+    assert_eq!(report.incidents.len(), 1);
+    assert_eq!(report.incidents[0].incident.root, site);
+}
+
+#[test]
+fn reports_and_configs_serialize() {
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let scenario = {
+        let mut inj = Injector::new(Arc::clone(&topo));
+        inj.ddos(
+            &topo.clusters()[0],
+            3.0,
+            SimTime::from_mins(2),
+            SimDuration::from_mins(6),
+        );
+        inj.finish(SimTime::from_mins(15))
+    };
+    let run = TelemetrySuite::standard(&topo, TelemetryConfig::quiet()).run(&scenario);
+    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(35));
+
+    // The whole operator deliverable is serializable (dashboards, storage).
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: skynet::core::AnalysisReport =
+        serde_json::from_str(&json).expect("report parses");
+    assert_eq!(back, report);
+
+    // Configs too (deployment manifests).
+    let cfg_json = serde_json::to_string(&PipelineConfig::production()).unwrap();
+    let cfg: PipelineConfig = serde_json::from_str(&cfg_json).unwrap();
+    assert_eq!(cfg, PipelineConfig::production());
+
+    // Location paths keep their display form in JSON.
+    let loc: LocationPath = serde_json::from_str("\"Region A|City a\"").unwrap();
+    assert_eq!(loc.to_string(), "Region A|City a");
+}
