@@ -60,7 +60,10 @@ impl HistoryRanker {
 
     /// Trains on one labelled historical incident.
     pub fn observe(&mut self, incident: &Incident, severity_label: f64) {
-        let e = self.table.entry(IncidentShape::of(incident)).or_insert((0.0, 0));
+        let e = self
+            .table
+            .entry(IncidentShape::of(incident))
+            .or_insert((0.0, 0));
         e.0 += severity_label;
         e.1 += 1;
         self.global.0 += severity_label;
@@ -127,7 +130,11 @@ mod tests {
     fn learns_common_shapes() {
         let mut m = HistoryRanker::new();
         let minor = incident("R|C|L|S|K|d", &[AlertKind::HighCpu], 30);
-        let major = incident("R|C|L", &[AlertKind::PacketLossIcmp, AlertKind::LinkDown], 1200);
+        let major = incident(
+            "R|C|L",
+            &[AlertKind::PacketLossIcmp, AlertKind::LinkDown],
+            1200,
+        );
         for _ in 0..50 {
             m.observe(&minor, 2.0);
             m.observe(&major, 80.0);
@@ -144,11 +151,7 @@ mod tests {
             m.observe(&minor, 2.0);
         }
         // A severe region-wide failure shape never seen in training.
-        let unprecedented = incident(
-            "R",
-            &[AlertKind::PacketLossIcmp, AlertKind::LinkDown],
-            3000,
-        );
+        let unprecedented = incident("R", &[AlertKind::PacketLossIcmp, AlertKind::LinkDown], 3000);
         assert_eq!(m.support(&unprecedented), 0);
         let predicted = m.predict(&unprecedented);
         // The model cannot distinguish it from the minor-incident prior —

@@ -53,24 +53,21 @@ pub fn grid() -> Vec<Thresholds> {
 /// then false positives, then prefer stricter thresholds (fewer spurious
 /// triggers at equal accuracy).
 pub fn pick_best(scores: &[ThresholdScore]) -> Option<ThresholdScore> {
-    scores
-        .iter()
-        .copied()
-        .min_by(|a, b| {
-            a.fn_rate
-                .total_cmp(&b.fn_rate)
-                .then(a.fp_rate.total_cmp(&b.fp_rate))
-                .then_with(|| {
-                    let strictness = |t: &Thresholds| {
-                        (
-                            std::cmp::Reverse(t.failure),
-                            std::cmp::Reverse(t.any),
-                            std::cmp::Reverse(t.failure_with_other),
-                        )
-                    };
-                    strictness(&a.thresholds).cmp(&strictness(&b.thresholds))
-                })
-        })
+    scores.iter().copied().min_by(|a, b| {
+        a.fn_rate
+            .total_cmp(&b.fn_rate)
+            .then(a.fp_rate.total_cmp(&b.fp_rate))
+            .then_with(|| {
+                let strictness = |t: &Thresholds| {
+                    (
+                        std::cmp::Reverse(t.failure),
+                        std::cmp::Reverse(t.any),
+                        std::cmp::Reverse(t.failure_with_other),
+                    )
+                };
+                strictness(&a.thresholds).cmp(&strictness(&b.thresholds))
+            })
+    })
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@
 //! times matrix construction and focal-point detection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skynet_bench::ExperimentScale;
 use skynet_bench::experiments::fig7;
+use skynet_bench::ExperimentScale;
 use skynet_core::evaluator::ReachabilityMatrix;
 use skynet_failure::Injector;
 use skynet_model::{LocationLevel, SimDuration, SimTime};
@@ -20,11 +20,17 @@ fn bench(c: &mut Criterion) {
     let victim = topo.clusters()[1].clone();
     let mut inj = Injector::new(Arc::clone(&topo));
     for &leaf in topo.agg_group(&victim).to_vec().iter() {
-        inj.device_hardware(leaf, SimTime::from_mins(3), SimDuration::from_mins(12), 0.15, false);
+        inj.device_hardware(
+            leaf,
+            SimTime::from_mins(3),
+            SimDuration::from_mins(12),
+            0.15,
+            false,
+        );
     }
     let scenario = inj.finish(SimTime::from_mins(22));
-    let run = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default())
-        .run(&scenario);
+    let run =
+        TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default()).run(&scenario);
     c.bench_function("fig7/build_matrix_and_find_focal", |b| {
         b.iter(|| {
             let m = ReachabilityMatrix::build(

@@ -15,8 +15,8 @@ fn bench(c: &mut Criterion) {
     println!("{}", sec62::run(ExperimentScale::Small).render());
 
     let scenario = severe_cable_cut(GeneratorConfig::small(), 21);
-    let run = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default())
-        .run(&scenario);
+    let run =
+        TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default()).run(&scenario);
     let mut group = c.benchmark_group("sec62");
     group.throughput(Throughput::Elements(run.alerts.len() as u64));
     group.bench_function("streaming_pipeline_end_to_end", |b| {

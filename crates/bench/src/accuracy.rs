@@ -72,17 +72,11 @@ fn is_failure_backed(incident: &Incident) -> bool {
 
 /// Scores one episode's incidents against its scenario.
 pub fn score_episode(scenario: &Scenario, incidents: &[Incident]) -> Accuracy {
-    let detected: HashSet<FailureId> = incidents
-        .iter()
-        .flat_map(|i| i.causes())
-        .collect();
+    let detected: HashSet<FailureId> = incidents.iter().flat_map(|i| i.causes()).collect();
     let must: Vec<FailureId> = scenario.must_detect().map(|e| e.id).collect();
     Accuracy {
         incidents: incidents.len(),
-        false_positives: incidents
-            .iter()
-            .filter(|i| !is_failure_backed(i))
-            .count(),
+        false_positives: incidents.iter().filter(|i| !is_failure_backed(i)).count(),
         must_detect: must.len(),
         false_negatives: must.iter().filter(|id| !detected.contains(id)).count(),
     }

@@ -7,12 +7,26 @@
 //! With no experiment names, everything runs. Shared corpora are prepared
 //! once and reused across the experiments that need them.
 
-use skynet_bench::experiments::{self, ablations, fig1, fig10, fig3, fig5d, fig7, fig8a, fig8b, fig8c, fig9, sec62, tables};
+use skynet_bench::experiments::{
+    self, ablations, fig1, fig10, fig3, fig5d, fig7, fig8a, fig8b, fig8c, fig9, sec62, tables,
+};
 use skynet_bench::ExperimentScale;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "fig1", "fig3", "fig5d", "fig7", "fig8a", "fig8b", "fig8c",
-    "fig9", "fig10", "sec62", "ablations",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig3",
+    "fig5d",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9",
+    "fig10",
+    "sec62",
+    "ablations",
 ];
 
 fn main() {
@@ -41,15 +55,21 @@ fn main() {
     }
     for name in &wanted {
         if !ALL.contains(&name.as_str()) {
-            eprintln!("unknown experiment {name:?}; choose from: {}", ALL.join(" "));
+            eprintln!(
+                "unknown experiment {name:?}; choose from: {}",
+                ALL.join(" ")
+            );
             std::process::exit(2);
         }
     }
 
     // Prepare the shared corpus only if some experiment needs it.
-    let needs_corpus = wanted
-        .iter()
-        .any(|n| matches!(n.as_str(), "fig5d" | "fig8a" | "fig8b" | "fig9" | "fig10" | "ablations"));
+    let needs_corpus = wanted.iter().any(|n| {
+        matches!(
+            n.as_str(),
+            "fig5d" | "fig8a" | "fig8b" | "fig9" | "fig10" | "ablations"
+        )
+    });
     let prepared = needs_corpus.then(|| {
         eprintln!("preparing shared corpus ({scale:?}) ...");
         experiments::prepare(scale)

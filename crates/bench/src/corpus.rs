@@ -192,10 +192,7 @@ mod tests {
     fn some_episodes_are_concurrent() {
         let cfg = CorpusConfig::small();
         let c = build_corpus(&cfg);
-        assert!(c
-            .episodes
-            .iter()
-            .any(|e| e.scenario.events().len() == 2));
+        assert!(c.episodes.iter().any(|e| e.scenario.events().len() == 2));
     }
 
     #[test]

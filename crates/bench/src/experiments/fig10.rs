@@ -121,9 +121,7 @@ pub fn run_on(prepared: &PreparedCorpus) -> Fig10Result {
                 let ctx = MitigationContext {
                     raw_alerts,
                     known_failure: report.sop_for(scored.incident.id).is_some(),
-                    root_cause_alert_present: scored
-                        .incident
-                        .has_class(AlertClass::RootCause),
+                    root_cause_alert_present: scored.incident.has_class(AlertClass::RootCause),
                     concurrent_incidents: concurrent,
                     zoomed: scored.incident.root != scored.zoom.location,
                     needs_field_repair: scored
@@ -145,10 +143,7 @@ pub fn run_on(prepared: &PreparedCorpus) -> Fig10Result {
     Fig10Result {
         all_scores: Summary::of(&all_scores),
         failure_scores: Summary::of(&failure_scores),
-        monthly: monthly
-            .into_iter()
-            .map(|(m, (a, s))| (m, a, s))
-            .collect(),
+        monthly: monthly.into_iter().map(|(m, (a, s))| (m, a, s)).collect(),
         manual: Summary::of(&manual),
         assisted: Summary::of(&assisted),
         threshold,
@@ -249,6 +244,10 @@ mod tests {
             "median reduction {}",
             r.median_reduction()
         );
-        assert!(r.max_reduction() > 0.5, "max reduction {}", r.max_reduction());
+        assert!(
+            r.max_reduction() > 0.5,
+            "max reduction {}",
+            r.max_reduction()
+        );
     }
 }

@@ -110,13 +110,7 @@ mod tests {
     #[test]
     fn coverage_shape_matches_the_paper() {
         let r = run(ExperimentScale::Small);
-        let get = |s: DataSource| {
-            r.rows
-                .iter()
-                .find(|row| row.source == s)
-                .unwrap()
-                .measured
-        };
+        let get = |s: DataSource| r.rows.iter().find(|row| row.source == s).unwrap().measured;
         // No tool is complete; the union beats every single tool.
         assert!(r.rows.iter().all(|row| row.measured < 1.0));
         assert!(r.combined >= r.rows.iter().map(|x| x.measured).fold(0.0, f64::max));
@@ -124,7 +118,11 @@ mod tests {
         assert!(get(DataSource::Snmp) > get(DataSource::RouteMonitoring));
         assert!(get(DataSource::Syslog) > get(DataSource::Ptp));
         // Strong tools are strong, weak tools weak (coarse bands).
-        assert!(get(DataSource::Snmp) > 0.5, "snmp {}", get(DataSource::Snmp));
+        assert!(
+            get(DataSource::Snmp) > 0.5,
+            "snmp {}",
+            get(DataSource::Snmp)
+        );
         assert!(
             get(DataSource::RouteMonitoring) < 0.2,
             "route {}",

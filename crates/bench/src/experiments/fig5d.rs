@@ -53,10 +53,13 @@ pub fn run_on(prepared: &PreparedCorpus) -> Fig5dResult {
                 .map(|a| u64::from(a.count))
                 .sum();
             let is_failure = caused > 0 && caused >= noise;
-            for (i, class) in
-                [AlertClass::Failure, AlertClass::Abnormal, AlertClass::RootCause]
-                    .iter()
-                    .enumerate()
+            for (i, class) in [
+                AlertClass::Failure,
+                AlertClass::Abnormal,
+                AlertClass::RootCause,
+            ]
+            .iter()
+            .enumerate()
             {
                 let n: u64 = incident
                     .alerts

@@ -37,7 +37,10 @@ pub fn run(scale: ExperimentScale) -> Fig7Result {
         ExperimentScale::Small => GeneratorConfig::small(),
         ExperimentScale::Paper => GeneratorConfig::medium(),
     };
-    let topo = Arc::new(generate(&GeneratorConfig { seed: 9, ..topo_cfg }));
+    let topo = Arc::new(generate(&GeneratorConfig {
+        seed: 9,
+        ..topo_cfg
+    }));
     // "Cluster ii": the second cluster of the first site.
     let victim = topo.clusters()[1].clone();
     let mut inj = Injector::new(Arc::clone(&topo));
@@ -54,11 +57,8 @@ pub fn run(scale: ExperimentScale) -> Fig7Result {
     let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default());
     let run = suite.run(&scenario);
     let training = skynet_telemetry::tools::syslog::labeled_corpus(40, 9);
-    let skynet = SkyNet::with_training(
-        scenario.topology(),
-        PipelineConfig::production(),
-        &training,
-    );
+    let skynet =
+        SkyNet::with_training(scenario.topology(), PipelineConfig::production(), &training);
     let report = skynet.analyze(&run.alerts, &run.ping, horizon_after(&scenario));
     let top = report
         .incidents

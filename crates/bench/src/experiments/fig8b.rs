@@ -115,7 +115,10 @@ mod tests {
             assert!(p.after <= p.before, "{p:?}");
         }
         let f = r.reduction_factor();
-        assert!(f > 4.0, "overall reduction {f} too weak for Fig. 8b's shape");
+        assert!(
+            f > 4.0,
+            "overall reduction {f} too weak for Fig. 8b's shape"
+        );
     }
 
     #[test]

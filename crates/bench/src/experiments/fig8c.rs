@@ -56,9 +56,7 @@ pub fn build_flood(target: usize) -> (Arc<Topology>, Vec<StructuredAlert>) {
     'outer: loop {
         for a in &base {
             let mut shifted = a.clone();
-            let offset = skynet_model::SimDuration::from_millis(
-                cycle * window.as_millis(),
-            );
+            let offset = skynet_model::SimDuration::from_millis(cycle * window.as_millis());
             shifted.first_seen += offset;
             shifted.last_seen += offset;
             alerts.push(shifted);

@@ -37,11 +37,17 @@ pub fn table3() -> String {
         ("N", "total number of circuit sets related to the incident"),
         ("d_i", "break ratio of circuit set i"),
         ("l_i", "ratio of SLA flows beyond limit on circuit set i"),
-        ("g_i", "importance factor of customers related to circuit set i"),
+        (
+            "g_i",
+            "importance factor of customers related to circuit set i",
+        ),
         ("u_i", "number of customers related to circuit set i"),
         ("R_k", "average ping packet loss rate"),
         ("L_k", "max average SLA flow rate beyond limit"),
-        ("dT_k / U_k", "alert lasting time / number of important customers"),
+        (
+            "dT_k / U_k",
+            "alert lasting time / number of important customers",
+        ),
     ];
     let mut s = String::from("Table 3 — severity-equation symbols (Eqs. 1-3)\n");
     for (sym, expl) in rows {

@@ -85,22 +85,38 @@ impl Evaluator {
 
     /// Derives the Table-3 inputs for an incident.
     pub fn derive_inputs(&self, incident: &Incident) -> SeverityInputs {
+        // A corrupted magnitude (NaN/∞ from a buggy tool) must not poison
+        // the severity arithmetic; treat it as "no magnitude reported".
+        fn finite(m: f64) -> f64 {
+            if m.is_finite() {
+                m
+            } else {
+                0.0
+            }
+        }
         // Break evidence by location: `(location, ratio)` from link/port
         // down alerts.
         let break_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
             .alerts
             .iter()
-            .filter(|a| {
-                matches!(a.ty.kind, AlertKind::LinkDown | AlertKind::PortDown)
+            .filter(|a| matches!(a.ty.kind, AlertKind::LinkDown | AlertKind::PortDown))
+            .map(|a| {
+                (
+                    &a.location,
+                    if a.ty.kind == AlertKind::LinkDown {
+                        1.0
+                    } else {
+                        finite(a.magnitude).clamp(0.0, 1.0)
+                    },
+                )
             })
-            .map(|a| (&a.location, if a.ty.kind == AlertKind::LinkDown { 1.0 } else { a.magnitude.clamp(0.0, 1.0) }))
             .collect();
         // Congestion evidence: `(location, utilization)`.
         let congestion_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
             .alerts
             .iter()
             .filter(|a| a.ty.kind == AlertKind::TrafficCongestion)
-            .map(|a| (&a.location, a.magnitude.max(1.0)))
+            .map(|a| (&a.location, finite(a.magnitude).max(1.0)))
             .collect();
 
         let mut circuit_sets = Vec::new();
@@ -115,10 +131,7 @@ impl Evaluator {
                 .flatten()
                 .map(|d| self.topo.device(d).location.clone())
                 .collect();
-            if endpoint_locs.is_empty()
-                || !endpoint_locs
-                    .iter()
-                    .any(|l| incident.root.contains(l))
+            if endpoint_locs.is_empty() || !endpoint_locs.iter().any(|l| incident.root.contains(l))
             {
                 continue;
             }
@@ -202,7 +215,7 @@ impl Evaluator {
                         | AlertKind::SflowPacketLoss
                 )
             })
-            .map(|a| a.magnitude)
+            .map(|a| finite(a.magnitude))
             .collect();
         let avg_ping_loss = if ping_losses.is_empty() {
             0.0
@@ -261,9 +274,7 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::{
-        DataSource, IncidentId, LocationPath, RawAlert, SimTime, StructuredAlert,
-    };
+    use skynet_model::{DataSource, IncidentId, LocationPath, RawAlert, SimTime, StructuredAlert};
     use skynet_topology::{generate, GeneratorConfig};
 
     fn topo() -> Arc<Topology> {

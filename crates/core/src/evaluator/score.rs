@@ -117,8 +117,8 @@ pub fn severity(inputs: &SeverityInputs, cfg: &ScoreConfig) -> SeverityBreakdown
     let impact = (break_sum + over_sum).max(1.0);
 
     let x = inputs.duration_secs + sig(inputs.important_customers, cfg);
-    let time_factor = log_term(inputs.avg_ping_loss, x, cfg)
-        .max(log_term(inputs.max_sla_over, x, cfg));
+    let time_factor =
+        log_term(inputs.avg_ping_loss, x, cfg).max(log_term(inputs.max_sla_over, x, cfg));
 
     SeverityBreakdown {
         impact,

@@ -14,8 +14,8 @@
 
 use crate::locator::Incident;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertKind, LocationLevel, LocationPath, SimTime};
 use skynet_model::PingLog;
+use skynet_model::{AlertKind, LocationLevel, LocationPath, SimTime};
 use std::collections::BTreeMap;
 
 /// A dense src × dst loss matrix at one location granularity.
@@ -36,8 +36,12 @@ impl ReachabilityMatrix {
         for s in log.window(from, to) {
             let src = s.src.truncate_at(level);
             let dst = s.dst.truncate_at(level);
-            label_set.entry(src.to_string()).or_insert_with(|| src.clone());
-            label_set.entry(dst.to_string()).or_insert_with(|| dst.clone());
+            label_set
+                .entry(src.to_string())
+                .or_insert_with(|| src.clone());
+            label_set
+                .entry(dst.to_string())
+                .or_insert_with(|| dst.clone());
             let e = sums.entry((src, dst)).or_insert((0.0, 0));
             e.0 += s.loss;
             e.1 += 1;
@@ -236,7 +240,11 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let loss = if *a == "K-ii" || *b == "K-ii" { 0.08 } else { 0.0 };
+                let loss = if *a == "K-ii" || *b == "K-ii" {
+                    0.08
+                } else {
+                    0.0
+                };
                 log.record(SimTime::from_secs(10), cluster(a), cluster(b), loss);
             }
         }
@@ -293,16 +301,18 @@ mod tests {
     }
 
     fn salert(kind: AlertKind, location: &LocationPath) -> StructuredAlert {
-        let raw = RawAlert::known(DataSource::TrafficStats, SimTime::ZERO, location.clone(), kind);
+        let raw = RawAlert::known(
+            DataSource::TrafficStats,
+            SimTime::ZERO,
+            location.clone(),
+            kind,
+        );
         StructuredAlert::from_raw(&raw, kind)
     }
 
     #[test]
     fn matrix_zoom_refines_to_the_focal_cluster() {
-        let incident = incident_with(vec![salert(
-            AlertKind::PacketLossIcmp,
-            &p("R|C|L|S"),
-        )]);
+        let incident = incident_with(vec![salert(AlertKind::PacketLossIcmp, &p("R|C|L|S"))]);
         let z = zoom(&incident, &figure7_log(), 1.5, 0.01);
         assert_eq!(z.method, ZoomMethod::ReachabilityMatrix);
         assert_eq!(z.location, cluster("K-ii"));

@@ -1,0 +1,625 @@
+//! Ingestion guard: validation, watermarked reordering and quarantine.
+//!
+//! The streaming deployment ingests alerts from twelve independently-clocked
+//! tools (§4.1), so the feed arrives dirty: corrupt syslog bytes, probes
+//! reporting locations that left the topology, retransmitting sources, and
+//! out-of-order delivery. The guard sits in front of the preprocessor and
+//! enforces three invariants the downstream stages rely on:
+//!
+//! 1. **Validity** — every admitted alert is structurally well-formed
+//!    ([`RawAlert::structural_defect`]) and attributed to a location on the
+//!    monitored topology.
+//! 2. **Order** — admitted alerts are released in non-decreasing timestamp
+//!    order. A *watermark* trails the maximum event time seen by a
+//!    configurable skew window; alerts inside the window are buffered and
+//!    re-sequenced, alerts behind the watermark are dropped as late.
+//! 3. **Accountability** — nothing disappears silently. Every reject is
+//!    counted per [`RejectReason`] and stored (bounded) in a
+//!    [`DeadLetterQueue`] for operator inspection.
+
+use crate::error::RejectReason;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertBody, DataSource, LocationPath, RawAlert, SimDuration, SimTime};
+use skynet_topology::Topology;
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Ingestion-guard knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// How far behind the maximum seen event time the watermark trails.
+    /// Alerts arriving out of order within this window are re-sequenced;
+    /// older ones are late-dropped. Covers the tool delays of §4.1 (SNMP
+    /// lags up to ~2 min on CPU-starved devices, so the production locator
+    /// tolerates lateness at the *node* level; the guard window only needs
+    /// to absorb transport-level jitter).
+    pub skew_window: SimDuration,
+    /// How far ahead of the trusted clock (the latest `Tick`) an alert
+    /// timestamp may claim to be before it is rejected as clock skew.
+    /// Inactive until the first tick arrives.
+    pub max_future_skew: SimDuration,
+    /// Maximum dead letters retained; older entries are evicted (counters
+    /// keep the full totals).
+    pub dead_letter_capacity: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            skew_window: SimDuration::from_secs(30),
+            max_future_skew: SimDuration::from_mins(60),
+            dead_letter_capacity: 1024,
+        }
+    }
+}
+
+/// A rejected alert plus why the guard refused it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// The alert as received.
+    pub alert: RawAlert,
+    /// The rejection reason.
+    pub reason: RejectReason,
+}
+
+/// Bounded quarantine for rejected alerts.
+///
+/// Holds the most recent `capacity` rejects for inspection; per-reason
+/// counters cover the full history even after eviction.
+#[derive(Debug)]
+pub struct DeadLetterQueue {
+    letters: VecDeque<DeadLetter>,
+    capacity: usize,
+    evicted: u64,
+    counts: [u64; RejectReason::ALL.len()],
+}
+
+impl Default for DeadLetterQueue {
+    fn default() -> Self {
+        DeadLetterQueue::new(GuardConfig::default().dead_letter_capacity)
+    }
+}
+
+impl DeadLetterQueue {
+    /// An empty queue retaining at most `capacity` letters.
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterQueue {
+            letters: VecDeque::new(),
+            capacity,
+            evicted: 0,
+            counts: [0; RejectReason::ALL.len()],
+        }
+    }
+
+    fn slot(reason: RejectReason) -> usize {
+        match reason {
+            RejectReason::OffTopology => 0,
+            RejectReason::StaleTimestamp => 1,
+            RejectReason::FutureTimestamp => 2,
+            RejectReason::Duplicate => 3,
+            RejectReason::CorruptBody => 4,
+        }
+    }
+
+    /// Quarantines one reject, evicting the oldest letter when full.
+    pub fn push(&mut self, alert: RawAlert, reason: RejectReason) {
+        self.counts[Self::slot(reason)] += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.letters.len() == self.capacity {
+            self.letters.pop_front();
+            self.evicted += 1;
+        }
+        self.letters.push_back(DeadLetter { alert, reason });
+    }
+
+    /// Retained letters, oldest first.
+    pub fn letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.letters.iter()
+    }
+
+    /// Number of retained letters.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Total rejects for one reason (including evicted letters).
+    pub fn count(&self, reason: RejectReason) -> u64 {
+        self.counts[Self::slot(reason)]
+    }
+
+    /// Total rejects across all reasons (including evicted letters).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Letters dropped to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// Ingestion counters, published alongside [`PreprocessStats`]
+/// (Fig. 8b-style accounting for the layer *in front of* preprocessing).
+///
+/// [`PreprocessStats`]: crate::preprocess::PreprocessStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Alerts admitted past every check.
+    pub accepted: u64,
+    /// Admitted alerts that arrived behind the maximum seen event time and
+    /// were re-sequenced by the reordering buffer.
+    pub reordered: u64,
+    /// Rejects: location (or peer) not on the monitored topology.
+    pub rejected_off_topology: u64,
+    /// Rejects: arrived behind the watermark (late drops).
+    pub rejected_stale: u64,
+    /// Rejects: timestamp absurdly ahead of the trusted clock.
+    pub rejected_future: u64,
+    /// Rejects: exact duplicate of an already-admitted alert.
+    pub rejected_duplicate: u64,
+    /// Rejects: structurally corrupt body.
+    pub rejected_corrupt: u64,
+    /// The watermark when this snapshot was taken.
+    pub watermark: SimTime,
+}
+
+impl IngestStats {
+    /// Total rejects across all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_off_topology
+            + self.rejected_stale
+            + self.rejected_future
+            + self.rejected_duplicate
+            + self.rejected_corrupt
+    }
+
+    /// The counter for one rejection reason.
+    pub fn count_for(&self, reason: RejectReason) -> u64 {
+        match reason {
+            RejectReason::OffTopology => self.rejected_off_topology,
+            RejectReason::StaleTimestamp => self.rejected_stale,
+            RejectReason::FutureTimestamp => self.rejected_future,
+            RejectReason::Duplicate => self.rejected_duplicate,
+            RejectReason::CorruptBody => self.rejected_corrupt,
+        }
+    }
+
+    /// Folds counters from a later snapshot segment into this one (used by
+    /// the supervisor to accumulate across worker restarts). Counters add;
+    /// the watermark takes the maximum.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.accepted += other.accepted;
+        self.reordered += other.reordered;
+        self.rejected_off_topology += other.rejected_off_topology;
+        self.rejected_stale += other.rejected_stale;
+        self.rejected_future += other.rejected_future;
+        self.rejected_duplicate += other.rejected_duplicate;
+        self.rejected_corrupt += other.rejected_corrupt;
+        self.watermark = self.watermark.max_of(other.watermark);
+    }
+}
+
+/// Identity of an alert for exact-duplicate suppression: everything a tool
+/// would retransmit verbatim. Magnitude enters as raw bits so only
+/// bit-identical retransmissions collide (NaNs never get here — they are
+/// rejected as corrupt first).
+type DupKey = (
+    DataSource,
+    AlertBody,
+    LocationPath,
+    Option<LocationPath>,
+    SimTime,
+    u64,
+);
+
+#[derive(Debug)]
+struct Buffered {
+    at: SimTime,
+    seq: u64,
+    alert: RawAlert,
+}
+
+impl PartialEq for Buffered {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Buffered {}
+impl PartialOrd for Buffered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Buffered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The ingestion guard. See the module docs for the invariants it enforces.
+#[derive(Debug)]
+pub struct IngestGuard {
+    cfg: GuardConfig,
+    /// Every location an alert may legitimately be attributed to: the
+    /// ancestor chain of every device path (tools attribute to the device
+    /// or to a serving-level prefix, §4.1).
+    valid: HashSet<LocationPath>,
+    buffer: BinaryHeap<Reverse<Buffered>>,
+    seq: u64,
+    /// Maximum event time admitted so far; the watermark trails it.
+    max_seen: SimTime,
+    /// Trusted processing-time clock from `Tick`s; arms the future check.
+    trusted_now: Option<SimTime>,
+    /// Admission time of each recent alert signature, pruned by watermark.
+    seen: HashMap<DupKey, SimTime>,
+    stats: IngestStats,
+    dead: Arc<Mutex<DeadLetterQueue>>,
+}
+
+impl IngestGuard {
+    /// A guard for `topo` with a fresh dead-letter queue.
+    pub fn new(topo: &Topology, cfg: GuardConfig) -> Self {
+        let dead = Arc::new(Mutex::new(DeadLetterQueue::new(cfg.dead_letter_capacity)));
+        Self::with_dead_letters(topo, cfg, dead)
+    }
+
+    /// A guard reusing an existing dead-letter queue — how the supervisor
+    /// keeps quarantined alerts across worker restarts.
+    pub fn with_dead_letters(
+        topo: &Topology,
+        cfg: GuardConfig,
+        dead: Arc<Mutex<DeadLetterQueue>>,
+    ) -> Self {
+        let mut valid = HashSet::new();
+        for device in topo.devices() {
+            for prefix in device.location.prefixes() {
+                valid.insert(prefix);
+            }
+        }
+        IngestGuard {
+            cfg,
+            valid,
+            buffer: BinaryHeap::new(),
+            seq: 0,
+            max_seen: SimTime::ZERO,
+            trusted_now: None,
+            seen: HashMap::new(),
+            stats: IngestStats::default(),
+            dead,
+        }
+    }
+
+    /// The current watermark: releases and late-drop decisions happen
+    /// against this.
+    pub fn watermark(&self) -> SimTime {
+        SimTime::from_millis(
+            self.max_seen
+                .as_millis()
+                .saturating_sub(self.cfg.skew_window.as_millis()),
+        )
+    }
+
+    /// Counters so far (watermark field refreshed on read).
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            watermark: self.watermark(),
+            ..self.stats
+        }
+    }
+
+    /// The shared dead-letter queue.
+    pub fn dead_letters(&self) -> Arc<Mutex<DeadLetterQueue>> {
+        Arc::clone(&self.dead)
+    }
+
+    /// Alerts currently held in the reordering buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn validate(&self, raw: &RawAlert) -> Result<(), RejectReason> {
+        if raw.structural_defect().is_some() {
+            return Err(RejectReason::CorruptBody);
+        }
+        if !self.valid.contains(&raw.location) {
+            return Err(RejectReason::OffTopology);
+        }
+        if let Some(peer) = &raw.peer {
+            if !self.valid.contains(peer) {
+                return Err(RejectReason::OffTopology);
+            }
+        }
+        if let Some(now) = self.trusted_now {
+            if raw.timestamp > now.saturating_add(self.cfg.max_future_skew) {
+                return Err(RejectReason::FutureTimestamp);
+            }
+        }
+        if raw.timestamp < self.watermark() {
+            return Err(RejectReason::StaleTimestamp);
+        }
+        Ok(())
+    }
+
+    fn reject(&mut self, raw: RawAlert, reason: RejectReason) -> RejectReason {
+        match reason {
+            RejectReason::OffTopology => self.stats.rejected_off_topology += 1,
+            RejectReason::StaleTimestamp => self.stats.rejected_stale += 1,
+            RejectReason::FutureTimestamp => self.stats.rejected_future += 1,
+            RejectReason::Duplicate => self.stats.rejected_duplicate += 1,
+            RejectReason::CorruptBody => self.stats.rejected_corrupt += 1,
+        }
+        self.dead.lock().push(raw, reason);
+        reason
+    }
+
+    /// Offers one alert. Admitted alerts enter the reordering buffer;
+    /// anything the advancing watermark releases is appended to `out` in
+    /// non-decreasing timestamp order. Rejects are quarantined and counted.
+    pub fn offer(&mut self, raw: RawAlert, out: &mut Vec<RawAlert>) -> Result<(), RejectReason> {
+        if let Err(reason) = self.validate(&raw) {
+            return Err(self.reject(raw, reason));
+        }
+        let key: DupKey = (
+            raw.source,
+            raw.body.clone(),
+            raw.location.clone(),
+            raw.peer.clone(),
+            raw.timestamp,
+            raw.magnitude.to_bits(),
+        );
+        match self.seen.entry(key) {
+            Entry::Occupied(_) => {
+                return Err(self.reject(raw, RejectReason::Duplicate));
+            }
+            Entry::Vacant(v) => {
+                v.insert(raw.timestamp);
+            }
+        }
+        self.stats.accepted += 1;
+        if raw.timestamp < self.max_seen {
+            self.stats.reordered += 1;
+        }
+        let at = raw.timestamp;
+        self.buffer.push(Reverse(Buffered {
+            at,
+            seq: self.seq,
+            alert: raw,
+        }));
+        self.seq += 1;
+        self.max_seen = self.max_seen.max_of(at);
+        self.release(out);
+        Ok(())
+    }
+
+    /// Advances the trusted clock (from a `Tick`), releasing everything the
+    /// new watermark passes.
+    pub fn advance(&mut self, now: SimTime, out: &mut Vec<RawAlert>) {
+        self.trusted_now = Some(self.trusted_now.map_or(now, |t| t.max_of(now)));
+        self.max_seen = self.max_seen.max_of(now);
+        self.release(out);
+    }
+
+    /// End of stream: releases every buffered alert regardless of the
+    /// watermark.
+    pub fn flush(&mut self, out: &mut Vec<RawAlert>) {
+        while let Some(Reverse(b)) = self.buffer.pop() {
+            out.push(b.alert);
+        }
+        self.seen.clear();
+    }
+
+    fn release(&mut self, out: &mut Vec<RawAlert>) {
+        let watermark = self.watermark();
+        loop {
+            match self.buffer.peek() {
+                Some(Reverse(top)) if top.at <= watermark => {}
+                _ => break,
+            }
+            if let Some(Reverse(b)) = self.buffer.pop() {
+                out.push(b.alert);
+            }
+        }
+        // Duplicate suppression only needs signatures the stale check would
+        // not already catch, i.e. admission times at or above the watermark.
+        if self.seen.len() > 64 {
+            self.seen.retain(|_, &mut at| at >= watermark);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{AlertKind, DataSource, LocationPath};
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn topo() -> Topology {
+        generate(&GeneratorConfig::small())
+    }
+
+    fn alert(topo: &Topology, secs: u64) -> RawAlert {
+        RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(secs),
+            topo.devices()[0].location.clone(),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.1)
+    }
+
+    #[test]
+    fn well_formed_alerts_pass_in_order() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        for s in 0..100 {
+            guard.offer(alert(&t, s), &mut out).unwrap();
+        }
+        guard.flush(&mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        let stats = guard.stats();
+        assert_eq!(stats.accepted, 100);
+        assert_eq!(stats.rejected(), 0);
+        assert!(guard.dead_letters().lock().is_empty());
+    }
+
+    #[test]
+    fn bounded_skew_is_resequenced_and_counted() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        // 100, 90, 110: the 90 s alert is 10 s out of order — inside the
+        // 30 s window, so it must come out between the other two.
+        for s in [100, 90, 110] {
+            guard.offer(alert(&t, s), &mut out).unwrap();
+        }
+        guard.flush(&mut out);
+        let times: Vec<u64> = out.iter().map(|a| a.timestamp.as_secs()).collect();
+        assert_eq!(times, vec![90, 100, 110]);
+        assert_eq!(guard.stats().reordered, 1);
+        assert_eq!(guard.stats().rejected(), 0);
+    }
+
+    #[test]
+    fn late_alerts_behind_the_watermark_are_dropped() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        guard.offer(alert(&t, 100), &mut out).unwrap();
+        // 100 s - 30 s window = watermark 70 s; 50 s is hopelessly late.
+        let err = guard.offer(alert(&t, 50), &mut out).unwrap_err();
+        assert_eq!(err, RejectReason::StaleTimestamp);
+        let stats = guard.stats();
+        assert_eq!(stats.rejected_stale, 1);
+        assert_eq!(stats.watermark, SimTime::from_secs(70));
+        let dlq = guard.dead_letters();
+        let dlq = dlq.lock();
+        assert_eq!(dlq.count(RejectReason::StaleTimestamp), 1);
+        assert_eq!(
+            dlq.letters().next().unwrap().reason,
+            RejectReason::StaleTimestamp
+        );
+    }
+
+    #[test]
+    fn future_check_arms_on_first_tick() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        // Without a tick there is no trusted clock: any timestamp passes.
+        guard.offer(alert(&t, 10_000), &mut out).unwrap();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        guard.advance(SimTime::from_secs(60), &mut out);
+        let err = guard.offer(alert(&t, 60 + 3601), &mut out).unwrap_err();
+        assert_eq!(err, RejectReason::FutureTimestamp);
+        // Just inside the allowance passes.
+        guard.offer(alert(&t, 60 + 3600), &mut out).unwrap();
+        assert_eq!(guard.stats().rejected_future, 1);
+    }
+
+    #[test]
+    fn off_topology_and_corrupt_alerts_are_quarantined() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        let foreign = RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(1),
+            LocationPath::parse("Atlantis|Lost City").unwrap(),
+            AlertKind::PacketLossIcmp,
+        );
+        assert_eq!(
+            guard.offer(foreign, &mut out).unwrap_err(),
+            RejectReason::OffTopology
+        );
+        let bad_peer = alert(&t, 1).with_peer(LocationPath::parse("Nowhere").unwrap());
+        assert_eq!(
+            guard.offer(bad_peer, &mut out).unwrap_err(),
+            RejectReason::OffTopology
+        );
+        let corrupt = RawAlert::syslog(
+            SimTime::from_secs(1),
+            t.devices()[0].location.clone(),
+            "garbage \u{0} bytes",
+        );
+        assert_eq!(
+            guard.offer(corrupt, &mut out).unwrap_err(),
+            RejectReason::CorruptBody
+        );
+        let nan = alert(&t, 1).with_magnitude(f64::NAN);
+        assert_eq!(
+            guard.offer(nan, &mut out).unwrap_err(),
+            RejectReason::CorruptBody
+        );
+        let dlq = guard.dead_letters();
+        let dlq = dlq.lock();
+        assert_eq!(dlq.count(RejectReason::OffTopology), 2);
+        assert_eq!(dlq.count(RejectReason::CorruptBody), 2);
+        assert_eq!(dlq.total(), 4);
+    }
+
+    #[test]
+    fn exact_duplicates_are_rejected_but_new_observations_pass() {
+        let t = topo();
+        let mut guard = IngestGuard::new(&t, GuardConfig::default());
+        let mut out = Vec::new();
+        guard.offer(alert(&t, 10), &mut out).unwrap();
+        let err = guard.offer(alert(&t, 10), &mut out).unwrap_err();
+        assert_eq!(err, RejectReason::Duplicate);
+        // Same shape, later observation: a genuine new data point.
+        guard.offer(alert(&t, 12), &mut out).unwrap();
+        // Same time but different magnitude: not an exact retransmission.
+        guard
+            .offer(alert(&t, 10).with_magnitude(0.7), &mut out)
+            .unwrap();
+        assert_eq!(guard.stats().rejected_duplicate, 1);
+        assert_eq!(guard.stats().accepted, 3);
+    }
+
+    #[test]
+    fn dead_letter_queue_is_bounded_but_counters_are_not() {
+        let mut dlq = DeadLetterQueue::new(2);
+        let t = topo();
+        for s in 0..5 {
+            dlq.push(alert(&t, s), RejectReason::Duplicate);
+        }
+        assert_eq!(dlq.len(), 2);
+        assert_eq!(dlq.count(RejectReason::Duplicate), 5);
+        assert_eq!(dlq.evicted(), 3);
+        // The retained letters are the most recent ones.
+        let kept: Vec<u64> = dlq.letters().map(|l| l.alert.timestamp.as_secs()).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_across_restarts() {
+        let mut a = IngestStats {
+            accepted: 10,
+            rejected_stale: 2,
+            watermark: SimTime::from_secs(50),
+            ..IngestStats::default()
+        };
+        let b = IngestStats {
+            accepted: 5,
+            rejected_corrupt: 1,
+            watermark: SimTime::from_secs(40),
+            ..IngestStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accepted, 15);
+        assert_eq!(a.rejected(), 3);
+        assert_eq!(a.watermark, SimTime::from_secs(50));
+    }
+}

@@ -22,20 +22,31 @@
 //!   filter.
 //! - [`sop`] — the heuristic-rule engine handling *known* failures with
 //!   automatic standard operating procedures (§7.2, §7.3).
-//! - [`pipeline`] — the assembled system: batch analysis and a
+//! - [`guard`] — the fault-tolerant ingestion boundary: validation,
+//!   watermark-based re-sequencing, and the dead-letter queue.
+//! - [`error`] — the [`SkyNetError`] taxonomy surfaced by the streaming
+//!   runtime instead of panics.
+//! - [`pipeline`] — the assembled system: batch analysis and a supervised,
 //!   channel-based streaming mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod evaluator;
+pub mod guard;
 pub mod locator;
 pub mod pipeline;
 pub mod preprocess;
 pub mod sop;
 
+pub use error::{RejectReason, SkyNetError};
 pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
-pub use pipeline::{AnalysisReport, PipelineConfig, SkyNet};
+pub use pipeline::{
+    spawn_streaming, AnalysisReport, HealthReport, IngestSnapshot, PipelineConfig, SkyNet,
+    StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
+};
 pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
 pub use sop::{SopAction, SopEngine, SopPlan, SopRule};

@@ -143,7 +143,12 @@ mod tests {
             last_seen: SimTime::from_secs(190),
             alerts: vec![
                 alert(DataSource::Ping, AlertKind::PacketLossIcmp, 10, 3),
-                alert(DataSource::OutOfBand, AlertKind::DeviceInaccessible, 20, 680),
+                alert(
+                    DataSource::OutOfBand,
+                    AlertKind::DeviceInaccessible,
+                    20,
+                    680,
+                ),
                 alert(DataSource::Syslog, AlertKind::BgpPeerDown, 30, 2),
                 alert(DataSource::Syslog, AlertKind::HardwareError, 40, 1),
                 alert(DataSource::Snmp, AlertKind::TrafficCongestion, 50, 1),

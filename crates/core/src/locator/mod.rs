@@ -97,7 +97,6 @@ impl Node {
             .and_modify(|existing| existing.absorb(alert))
             .or_insert_with(|| alert.clone());
     }
-
 }
 
 #[derive(Debug, Clone)]
@@ -129,8 +128,16 @@ impl OpenIncident {
                 .then_with(|| a.location.cmp(&b.location))
                 .then_with(|| a.ty.cmp(&b.ty))
         });
-        let first_seen = alerts.iter().map(|a| a.first_seen).min().unwrap_or(SimTime::ZERO);
-        let last_seen = alerts.iter().map(|a| a.last_seen).max().unwrap_or(SimTime::ZERO);
+        let first_seen = alerts
+            .iter()
+            .map(|a| a.first_seen)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let last_seen = alerts
+            .iter()
+            .map(|a| a.last_seen)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         Incident {
             id: self.id,
             root: self.root,
@@ -224,11 +231,14 @@ impl Locator {
 
     /// Runs any due Algorithm 2/3 checks up to `now`.
     pub fn advance(&mut self, now: SimTime) {
+        // A zero interval (from a hand-written config) must not loop
+        // forever; clamp to the finest representable cadence.
+        let step = self.cfg.check_interval.max(SimDuration::from_millis(1));
         while self.next_check <= now {
             let at = self.next_check;
             self.check_trees(at);
             self.generate_trees(at);
-            self.next_check += self.cfg.check_interval;
+            self.next_check += step;
         }
     }
 
@@ -236,8 +246,7 @@ impl Locator {
     fn check_trees(&mut self, now: SimTime) {
         let timeout = self.cfg.node_timeout;
         for node in self.main.values_mut() {
-            node.alerts
-                .retain(|_, a| now.since(a.last_seen) <= timeout);
+            node.alerts.retain(|_, a| now.since(a.last_seen) <= timeout);
         }
         self.main.retain(|_, node| !node.alerts.is_empty());
 
@@ -385,50 +394,47 @@ impl Locator {
     /// Creates one incident tree rooted at `root` over the given alerting
     /// locations, absorbing any open incidents strictly inside the root.
     fn create_incident(&mut self, root: LocationPath, locs: &[&LocationPath]) {
-            // Growth upward: absorb open incidents strictly inside us.
-            let mut nodes: HashMap<LocationPath, Node> = HashMap::new();
-            let mut update_time = SimTime::ZERO;
-            let mut absorbed_ids = Vec::new();
-            self.open.retain_mut(|i| {
-                if root.contains(&i.root) {
-                    for (loc, node) in i.nodes.drain() {
-                        let target = nodes.entry(loc).or_default();
-                        for alert in node.alerts.values() {
-                            target.add(alert);
-                        }
-                    }
-                    update_time = update_time.max_of(i.update_time);
-                    absorbed_ids.push(i.id);
-                    false
-                } else {
-                    true
-                }
-            });
-            // Replicate the component's subtree from the main tree
-            // ("the subtree beneath the node is replicated").
-            for loc in locs {
-                if let Some(node) = self.main.get(*loc) {
-                    let target = nodes.entry((*loc).clone()).or_default();
+        // Growth upward: absorb open incidents strictly inside us.
+        let mut nodes: HashMap<LocationPath, Node> = HashMap::new();
+        let mut update_time = SimTime::ZERO;
+        let mut absorbed_ids = Vec::new();
+        self.open.retain_mut(|i| {
+            if root.contains(&i.root) {
+                for (loc, node) in i.nodes.drain() {
+                    let target = nodes.entry(loc).or_default();
                     for alert in node.alerts.values() {
                         target.add(alert);
-                        update_time = update_time.max_of(alert.last_seen);
                     }
                 }
+                update_time = update_time.max_of(i.update_time);
+                absorbed_ids.push(i.id);
+                false
+            } else {
+                true
             }
-            let id = absorbed_ids
-                .into_iter()
-                .min()
-                .unwrap_or_else(|| {
-                    let id = IncidentId(self.next_id);
-                    self.next_id += 1;
-                    id
-                });
-            self.open.push(OpenIncident {
-                id,
-                root,
-                nodes,
-                update_time,
-            });
+        });
+        // Replicate the component's subtree from the main tree
+        // ("the subtree beneath the node is replicated").
+        for loc in locs {
+            if let Some(node) = self.main.get(*loc) {
+                let target = nodes.entry((*loc).clone()).or_default();
+                for alert in node.alerts.values() {
+                    target.add(alert);
+                    update_time = update_time.max_of(alert.last_seen);
+                }
+            }
+        }
+        let id = absorbed_ids.into_iter().min().unwrap_or_else(|| {
+            let id = IncidentId(self.next_id);
+            self.next_id += 1;
+            id
+        });
+        self.open.push(OpenIncident {
+            id,
+            root,
+            nodes,
+            update_time,
+        });
     }
 
     /// The deepest prefix covering at least `root_quorum` of the
@@ -436,8 +442,11 @@ impl Locator {
     /// thresholds; the component's deepest common ancestor always
     /// qualifies, so this is total.
     fn quorum_root(&self, locs: &[&LocationPath]) -> LocationPath {
-        let mut dca = locs[0].clone();
-        for l in &locs[1..] {
+        let Some((first, rest)) = locs.split_first() else {
+            return LocationPath::root();
+        };
+        let mut dca = (*first).clone();
+        for l in rest {
             dca = dca.common_ancestor(l);
         }
         let type_sets: Vec<(&LocationPath, HashSet<AlertType>)> = locs
@@ -657,7 +666,12 @@ mod tests {
         assert_eq!(c1.parent(), c2.parent(), "test expects same-site clusters");
         loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 1, &c1));
         loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 2, &c2));
-        loc.insert(&alert(DataSource::Snmp, AlertKind::LinkDown, 3, &c1.parent()));
+        loc.insert(&alert(
+            DataSource::Snmp,
+            AlertKind::LinkDown,
+            3,
+            &c1.parent(),
+        ));
         loc.advance(SimTime::from_secs(30));
         assert_eq!(loc.open_count(), 1);
         assert_eq!(loc.open_roots()[0], c1.parent());
@@ -678,7 +692,12 @@ mod tests {
         // incident re-roots at the site.
         let c2 = t.clusters()[1].clone();
         loc.insert(&alert(DataSource::Ping, AlertKind::PacketBitFlip, 30, &c2));
-        loc.insert(&alert(DataSource::Snmp, AlertKind::LinkDown, 31, &c1.parent()));
+        loc.insert(&alert(
+            DataSource::Snmp,
+            AlertKind::LinkDown,
+            31,
+            &c1.parent(),
+        ));
         loc.advance(SimTime::from_secs(60));
         assert_eq!(loc.open_count(), 1, "roots: {:?}", loc.open_roots());
         assert_eq!(loc.open_roots()[0], c1.parent());
@@ -760,7 +779,12 @@ mod tests {
         }
         // ...plus one stray abnormal alert at the whole region.
         let region = cluster.truncate_at(skynet_model::LocationLevel::Region);
-        loc.insert(&alert(DataSource::Ping, AlertKind::LatencyJitter, 6, &region));
+        loc.insert(&alert(
+            DataSource::Ping,
+            AlertKind::LatencyJitter,
+            6,
+            &region,
+        ));
         loc.advance(SimTime::from_secs(60));
         assert_eq!(loc.open_count(), 1);
         assert_eq!(
@@ -792,7 +816,12 @@ mod tests {
             loc.insert(&alert(DataSource::Snmp, *kind, i as u64, &cluster));
         }
         let region = cluster.truncate_at(skynet_model::LocationLevel::Region);
-        loc.insert(&alert(DataSource::Ping, AlertKind::LatencyJitter, 6, &region));
+        loc.insert(&alert(
+            DataSource::Ping,
+            AlertKind::LatencyJitter,
+            6,
+            &region,
+        ));
         loc.advance(SimTime::from_secs(60));
         assert_eq!(loc.open_count(), 1);
         assert_eq!(

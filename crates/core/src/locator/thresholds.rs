@@ -144,8 +144,8 @@ mod tests {
     #[test]
     fn figure9_configs_parse() {
         for spec in [
-            "0/1+2/5", "2/0+0/5", "2/1+2/0", "1/1+2/5", "2/1+2/4", "2/1+1/5", "2/1+2/5",
-            "2/1+3/5", "2/1+2/6",
+            "0/1+2/5", "2/0+0/5", "2/1+2/0", "1/1+2/5", "2/1+2/4", "2/1+1/5", "2/1+2/5", "2/1+3/5",
+            "2/1+2/6",
         ] {
             let t: Thresholds = spec.parse().unwrap();
             assert_eq!(t.to_string(), spec);

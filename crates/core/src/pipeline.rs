@@ -1,23 +1,76 @@
 //! The assembled SkyNet system.
 //!
-//! [`SkyNet::analyze`] runs the batch pipeline of Fig. 5a — preprocess →
-//! locate → evaluate → rank — over a recorded alert flood.
-//! [`spawn_streaming`] runs the same stages as a long-lived worker thread
-//! fed through a channel, the shape the production deployment uses
-//! ("the alert preprocessing occurs through a stream processing
+//! [`SkyNet::analyze`] runs the batch pipeline of Fig. 5a — guard →
+//! preprocess → locate → evaluate → rank — over a recorded alert flood.
+//! [`spawn_streaming`] runs the same stages as a long-lived, *supervised*
+//! worker thread fed through a channel, the shape the production deployment
+//! uses ("the alert preprocessing occurs through a stream processing
 //! mechanism", §6.2).
+//!
+//! The streaming runtime is built to survive the conditions it analyzes:
+//!
+//! - an [`IngestGuard`] validates and re-sequences the feed, quarantining
+//!   rejects in a dead-letter queue instead of poisoning the locator;
+//! - [`StreamingHandle::send_alert`] applies **class-aware load shedding**
+//!   when the event channel saturates — [`AlertClass::Failure`] alerts are
+//!   never shed, [`AlertClass::Abnormal`] alerts go first;
+//! - a **supervisor** wraps the worker in `catch_unwind` and restarts it
+//!   with fresh stage state after a panic (counters survive via shared
+//!   snapshots), up to a configurable cap;
+//! - [`StreamingHandle::health`] is the liveness probe.
 
+use crate::error::SkyNetError;
 use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+use crate::guard::{DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 use crate::locator::{Incident, Locator, LocatorConfig};
 use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
 use crate::sop::{SopEngine, SopPlan};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertKind, IncidentId, PingLog, PingSample, RawAlert, SimTime};
+use skynet_model::{
+    AlertClass, AlertKind, IncidentId, PingLog, PingSample, RawAlert, SimTime, StructuredAlert,
+};
 use skynet_topology::Topology;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Knobs for the streaming runtime (channel sizing, ingestion guard,
+/// shedding and supervision).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// Bounded event-channel capacity.
+    pub event_capacity: usize,
+    /// Bounded incident-channel capacity.
+    pub incident_capacity: usize,
+    /// Ingestion-guard knobs (watermark skew, future tolerance, quarantine
+    /// size).
+    pub guard: GuardConfig,
+    /// Publish shared counter snapshots every this many processed alerts
+    /// (ticks and flushes always publish). `0` publishes on every alert.
+    pub stats_interval: u64,
+    /// Event-channel fill fraction above which `Abnormal` alerts are shed
+    /// by [`StreamingHandle::send_alert`].
+    pub shed_high_water: f64,
+    /// Worker panics tolerated (each costs a restart with fresh stage
+    /// state) before the supervisor gives up.
+    pub max_restarts: u32,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            event_capacity: 4096,
+            incident_capacity: 256,
+            guard: GuardConfig::default(),
+            stats_interval: 64,
+            shed_high_water: 0.75,
+            max_restarts: 3,
+        }
+    }
+}
 
 /// Configuration of the whole pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -28,6 +81,10 @@ pub struct PipelineConfig {
     pub locator: LocatorConfig,
     /// Evaluator knobs (§4.3).
     pub evaluator: EvaluatorConfig,
+    /// Streaming-runtime knobs (§6.2). Also supplies the ingestion-guard
+    /// settings the batch path uses.
+    #[serde(default)]
+    pub streaming: StreamingConfig,
     /// FT-tree minimum template support.
     pub classifier_min_support: u32,
     /// FT-tree maximum template depth.
@@ -41,6 +98,7 @@ impl PipelineConfig {
             preprocessor: PreprocessorConfig::default(),
             locator: LocatorConfig::default(),
             evaluator: EvaluatorConfig::default(),
+            streaming: StreamingConfig::default(),
             classifier_min_support: 3,
             classifier_max_depth: 8,
         }
@@ -57,6 +115,9 @@ pub struct AnalysisReport {
     pub sop_plans: Vec<(IncidentId, SopPlan)>,
     /// Preprocessing counters (Fig. 8b's data).
     pub preprocess: PreprocessStats,
+    /// Ingestion-guard counters: rejects per reason, late drops, watermark.
+    #[serde(default)]
+    pub ingest: IngestStats,
     /// The severity threshold in force.
     pub severity_threshold: f64,
 }
@@ -83,9 +144,11 @@ impl AnalysisReport {
     /// to maintain compliance with the LLM input length constraints
     /// without sacrificing valuable information"). Whole incidents are
     /// included in rank order until the budget is exhausted; an incident
-    /// is never split.
+    /// is never split. The budget counts `char`s, not bytes, so multi-byte
+    /// location names cannot skew the cut-off.
     pub fn llm_context(&self, max_chars: usize) -> String {
         let mut out = String::new();
+        let mut used = 0usize;
         for scored in &self.incidents {
             let block = format!(
                 "incident at {} (severity {:.1}, zoomed {}):\n{}\n",
@@ -94,9 +157,11 @@ impl AnalysisReport {
                 scored.zoom.location,
                 scored.incident.report()
             );
-            if out.len() + block.len() > max_chars {
+            let block_chars = block.chars().count();
+            if used.saturating_add(block_chars) > max_chars {
                 break;
             }
+            used += block_chars;
             out.push_str(&block);
         }
         out
@@ -159,11 +224,8 @@ impl SkyNet {
         cfg: PipelineConfig,
         corpus: &[(String, AlertKind)],
     ) -> Self {
-        let classifier = SyslogClassifier::train(
-            corpus,
-            cfg.classifier_min_support,
-            cfg.classifier_max_depth,
-        );
+        let classifier =
+            SyslogClassifier::train(corpus, cfg.classifier_min_support, cfg.classifier_max_depth);
         SkyNet {
             topo: Arc::clone(topo),
             cfg,
@@ -176,32 +238,33 @@ impl SkyNet {
         &self.topo
     }
 
-    /// Batch analysis of a recorded flood: preprocess, locate until
-    /// `horizon`, evaluate, rank, and match SOPs.
-    pub fn analyze(
-        &self,
-        alerts: &[RawAlert],
-        ping: &PingLog,
-        horizon: SimTime,
-    ) -> AnalysisReport {
+    /// Batch analysis of a recorded flood: guard, preprocess, locate until
+    /// `horizon`, evaluate, rank, and match SOPs. Malformed or hopelessly
+    /// late alerts are rejected (counted in the report's `ingest` stats)
+    /// rather than analyzed.
+    pub fn analyze(&self, alerts: &[RawAlert], ping: &PingLog, horizon: SimTime) -> AnalysisReport {
         let mut preprocessor =
             Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone());
         let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
+        let mut guard = IngestGuard::new(&self.topo, self.cfg.streaming.guard.clone());
+        let mut released = Vec::new();
         let mut structured = Vec::new();
         for alert in alerts {
-            structured.clear();
-            preprocessor.push(alert, &mut structured);
-            for s in &structured {
-                locator.insert(s);
-            }
+            released.clear();
+            let _ = guard.offer(alert.clone(), &mut released);
+            feed(&released, &mut structured, &mut preprocessor, &mut locator);
         }
+        released.clear();
+        guard.advance(horizon, &mut released);
+        guard.flush(&mut released);
+        feed(&released, &mut structured, &mut preprocessor, &mut locator);
         preprocessor.finish();
         locator.advance(horizon);
         locator.finish();
         let mut incidents = locator.take_completed();
         incidents.sort_by_key(|i| (i.first_seen, i.id));
 
-        self.finish_report(incidents, ping, preprocessor.stats())
+        self.finish_report(incidents, ping, preprocessor.stats(), guard.stats())
     }
 
     fn finish_report(
@@ -209,6 +272,7 @@ impl SkyNet {
         incidents: Vec<Incident>,
         ping: &PingLog,
         preprocess: PreprocessStats,
+        ingest: IngestStats,
     ) -> AnalysisReport {
         let evaluator = Evaluator::new(&self.topo, self.cfg.evaluator.clone());
         let sop = SopEngine::standard(&self.topo);
@@ -223,6 +287,7 @@ impl SkyNet {
             incidents: scored,
             sop_plans,
             preprocess,
+            ingest,
             severity_threshold: self.cfg.evaluator.severity_threshold,
         }
     }
@@ -235,99 +300,388 @@ pub enum StreamEvent {
     Alert(RawAlert),
     /// A lossy ping sample for the reachability matrix.
     Ping(PingSample),
-    /// Advance the locator's clock without an alert (drives timeouts
-    /// through quiet periods).
+    /// Advance the pipeline's clock without an alert: drives locator
+    /// timeouts through quiet periods and arms the ingestion guard's
+    /// future-timestamp check.
     Tick(SimTime),
     /// End of stream: finalize all open incidents and stop.
     Flush,
+    /// Chaos hook: makes the worker panic when processed, exercising the
+    /// supervisor's catch-and-restart path. Costs one restart.
+    ChaosPanic,
+}
+
+/// An incident emitted by the streaming pipeline: the scored incident plus
+/// the SOP plan a known-failure rule matched, mirroring what the batch
+/// report records in `sop_plans`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamIncident {
+    /// The evaluated incident.
+    pub scored: ScoredIncident,
+    /// The automatic SOP plan, if a rule matched.
+    pub sop: Option<SopPlan>,
+}
+
+/// Liveness/health probe result for the streaming pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// The supervisor loop is still running.
+    pub alive: bool,
+    /// Worker panics caught so far (each but possibly the last led to a
+    /// restart with fresh stage state).
+    pub restarts: u32,
+    /// The supervisor exhausted its restart budget and stopped.
+    pub gave_up: bool,
+    /// Events currently queued in the channel.
+    pub queued_events: usize,
+}
+
+/// A consistent snapshot of every counter the streaming pipeline keeps,
+/// taken across worker restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    /// Preprocessing counters (including producer-side shed counts).
+    pub preprocess: PreprocessStats,
+    /// Ingestion-guard counters.
+    pub ingest: IngestStats,
+    /// Worker panics caught so far.
+    pub restarts: u32,
+}
+
+/// The shedding policy (graceful degradation under flood, §6.2):
+/// [`AlertClass::Failure`] evidence is never shed — losing it costs
+/// detection recall; [`AlertClass::Abnormal`] alerts shed once the queue
+/// passes the `high_water` fraction of `capacity`; [`AlertClass::RootCause`]
+/// alerts shed only when the queue is completely full.
+pub fn should_shed(class: AlertClass, queued: usize, capacity: usize, high_water: f64) -> bool {
+    match class {
+        AlertClass::Failure => false,
+        AlertClass::Abnormal => (queued as f64) >= (capacity as f64) * high_water,
+        AlertClass::RootCause => queued >= capacity,
+    }
+}
+
+#[derive(Debug)]
+struct Monitor {
+    alive: AtomicBool,
+    gave_up: AtomicBool,
+    restarts: AtomicU32,
+    shed_abnormal: AtomicU64,
+    shed_root_cause: AtomicU64,
+}
+
+impl Monitor {
+    fn new() -> Self {
+        Monitor {
+            alive: AtomicBool::new(true),
+            gave_up: AtomicBool::new(false),
+            restarts: AtomicU32::new(0),
+            shed_abnormal: AtomicU64::new(0),
+            shed_root_cause: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Handle to a running streaming pipeline.
 #[derive(Debug)]
 pub struct StreamingHandle {
-    /// Send events here.
+    /// Send events here. Prefer [`StreamingHandle::send_alert`] for alerts
+    /// so the shedding policy applies.
     pub events: Sender<StreamEvent>,
-    /// Scored incidents arrive here as their trees finalize.
-    pub incidents: Receiver<ScoredIncident>,
-    /// Live preprocessing counters.
+    /// Scored incidents (with their SOP plans) arrive here as their trees
+    /// finalize.
+    pub incidents: Receiver<StreamIncident>,
+    /// Live preprocessing counters (refreshed every `stats_interval`
+    /// alerts and on every tick/flush; survives worker restarts).
     pub stats: Arc<Mutex<PreprocessStats>>,
-    /// Worker thread handle.
+    /// Live ingestion-guard counters (same cadence as `stats`).
+    pub ingest: Arc<Mutex<IngestStats>>,
+    /// Quarantined rejects with their reasons; survives worker restarts.
+    pub dead_letters: Arc<Mutex<DeadLetterQueue>>,
+    /// Supervisor thread handle.
     pub worker: JoinHandle<()>,
+    monitor: Arc<Monitor>,
+    shed_high_water: f64,
 }
 
-/// Spawns the pipeline as a worker thread fed through a bounded channel —
-/// per the tokio guide this workload is CPU-bound stream processing, so it
-/// runs on a plain OS thread with crossbeam channels.
+impl StreamingHandle {
+    /// Submits one alert with class-aware load shedding. `Failure`-class
+    /// alerts always block until queued (they are never shed); `Abnormal`
+    /// alerts are shed once the channel passes the high-water mark,
+    /// `RootCause` alerts only when it is full. Shed counts surface in
+    /// [`PreprocessStats::shed_abnormal`] / [`PreprocessStats::shed_root_cause`].
+    ///
+    /// Raw syslog text is unclassified at this point and treated as
+    /// `Abnormal` for shedding purposes.
+    pub fn send_alert(&self, raw: RawAlert) -> Result<(), SkyNetError> {
+        let class = raw.known_kind().map_or(AlertClass::Abnormal, |k| k.class());
+        if class == AlertClass::Failure {
+            return self
+                .events
+                .send(StreamEvent::Alert(raw))
+                .map_err(|_| SkyNetError::ChannelClosed);
+        }
+        let capacity = self.events.capacity().unwrap_or(usize::MAX);
+        if should_shed(class, self.events.len(), capacity, self.shed_high_water) {
+            self.note_shed(class);
+            return Err(SkyNetError::Shed { class });
+        }
+        match self.events.try_send(StreamEvent::Alert(raw)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.note_shed(class);
+                Err(SkyNetError::Shed { class })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SkyNetError::ChannelClosed),
+        }
+    }
+
+    fn note_shed(&self, class: AlertClass) {
+        match class {
+            AlertClass::Abnormal => {
+                self.monitor.shed_abnormal.fetch_add(1, Ordering::Relaxed);
+            }
+            AlertClass::RootCause => {
+                self.monitor.shed_root_cause.fetch_add(1, Ordering::Relaxed);
+            }
+            AlertClass::Failure => {}
+        }
+    }
+
+    /// The liveness probe.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            alive: self.monitor.alive.load(Ordering::SeqCst),
+            restarts: self.monitor.restarts.load(Ordering::SeqCst),
+            gave_up: self.monitor.gave_up.load(Ordering::SeqCst),
+            queued_events: self.events.len(),
+        }
+    }
+
+    /// True while the supervisor loop is running.
+    pub fn is_alive(&self) -> bool {
+        self.monitor.alive.load(Ordering::SeqCst)
+    }
+
+    /// A consistent counter snapshot including not-yet-published shed
+    /// counts.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        let mut preprocess = *self.stats.lock();
+        preprocess.shed_abnormal = self.monitor.shed_abnormal.load(Ordering::Relaxed);
+        preprocess.shed_root_cause = self.monitor.shed_root_cause.load(Ordering::Relaxed);
+        IngestSnapshot {
+            preprocess,
+            ingest: *self.ingest.lock(),
+            restarts: self.monitor.restarts.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Everything the worker shares with the handle (and keeps across
+/// restarts).
+struct WorkerShared {
+    stats: Arc<Mutex<PreprocessStats>>,
+    ingest: Arc<Mutex<IngestStats>>,
+    dead: Arc<Mutex<DeadLetterQueue>>,
+    monitor: Arc<Monitor>,
+}
+
+/// Spawns the pipeline as a supervised worker thread fed through a bounded
+/// channel — per the tokio guide this workload is CPU-bound stream
+/// processing, so it runs on a plain OS thread with crossbeam channels.
 pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
-    let (event_tx, event_rx) = bounded::<StreamEvent>(4096);
-    let (incident_tx, incident_rx) = bounded::<ScoredIncident>(256);
+    let scfg = skynet.cfg.streaming.clone();
+    let (event_tx, event_rx) = bounded::<StreamEvent>(scfg.event_capacity.max(1));
+    let (incident_tx, incident_rx) = bounded::<StreamIncident>(scfg.incident_capacity.max(1));
     let stats = Arc::new(Mutex::new(PreprocessStats::default()));
-    let stats_handle = Arc::clone(&stats);
+    let ingest = Arc::new(Mutex::new(IngestStats::default()));
+    let dead_letters = Arc::new(Mutex::new(DeadLetterQueue::new(
+        scfg.guard.dead_letter_capacity,
+    )));
+    let monitor = Arc::new(Monitor::new());
+    let shared = WorkerShared {
+        stats: Arc::clone(&stats),
+        ingest: Arc::clone(&ingest),
+        dead: Arc::clone(&dead_letters),
+        monitor: Arc::clone(&monitor),
+    };
+    let shed_high_water = scfg.shed_high_water;
 
     let worker = std::thread::Builder::new()
         .name("skynet-pipeline".into())
-        .spawn(move || {
-            let mut preprocessor =
-                Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
-            let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
-            let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone());
-            let sop = SopEngine::standard(&skynet.topo);
-            let mut ping = PingLog::new();
-            let mut structured = Vec::new();
-
-            let drain = |locator: &mut Locator, ping: &PingLog| {
-                for incident in locator.take_completed() {
-                    let _ = sop.match_incident(&incident);
-                    let scored = evaluator.evaluate(incident, ping);
-                    if incident_tx.send(scored).is_err() {
-                        return false; // receiver gone
-                    }
-                }
-                true
-            };
-
-            for event in event_rx.iter() {
-                match event {
-                    StreamEvent::Alert(raw) => {
-                        structured.clear();
-                        preprocessor.push(&raw, &mut structured);
-                        for s in &structured {
-                            locator.insert(s);
-                        }
-                        *stats_handle.lock() = preprocessor.stats();
-                    }
-                    StreamEvent::Ping(sample) => {
-                        ping.record(sample.t, sample.src, sample.dst, sample.loss);
-                    }
-                    StreamEvent::Tick(now) => {
-                        locator.advance(now);
-                    }
-                    StreamEvent::Flush => break,
-                }
-                if !drain(&mut locator, &ping) {
-                    return;
-                }
-            }
-            preprocessor.finish();
-            *stats_handle.lock() = preprocessor.stats();
-            locator.finish();
-            let _ = drain(&mut locator, &ping);
-        })
-        .expect("spawning the pipeline worker");
+        .spawn(move || supervise(&skynet, &scfg, &event_rx, &incident_tx, &shared))
+        .expect("spawning the pipeline worker thread");
 
     StreamingHandle {
         events: event_tx,
         incidents: incident_rx,
         stats,
+        ingest,
+        dead_letters,
         worker,
+        monitor,
+        shed_high_water,
     }
+}
+
+/// The supervisor: runs the worker under `catch_unwind`; a panic costs one
+/// restart with fresh stage state (shared counters and the dead-letter
+/// queue survive), up to `max_restarts`. Counter deltas not yet published
+/// when a panic hits (at most `stats_interval` alerts' worth) are lost with
+/// the stage state.
+fn supervise(
+    skynet: &SkyNet,
+    scfg: &StreamingConfig,
+    events: &Receiver<StreamEvent>,
+    incidents: &Sender<StreamIncident>,
+    shared: &WorkerShared,
+) {
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_worker(skynet, scfg, events, incidents, shared)
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(_) => {
+                let caught = shared.monitor.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+                if caught > scfg.max_restarts {
+                    shared.monitor.gave_up.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+    shared.monitor.alive.store(false, Ordering::SeqCst);
+    // Dropping `events`/`incidents` here unblocks producers (sends fail
+    // with `ChannelClosed`) and ends the consumer's iterator.
+}
+
+/// One worker incarnation: fresh guard/preprocessor/locator state, counters
+/// based on whatever earlier incarnations already published.
+fn run_worker(
+    skynet: &SkyNet,
+    scfg: &StreamingConfig,
+    events: &Receiver<StreamEvent>,
+    incidents: &Sender<StreamIncident>,
+    shared: &WorkerShared,
+) {
+    let mut preprocessor =
+        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
+    let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
+    let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone());
+    let sop = SopEngine::standard(&skynet.topo);
+    let mut guard =
+        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead));
+    let mut ping = PingLog::new();
+    let mut released: Vec<RawAlert> = Vec::new();
+    let mut structured: Vec<StructuredAlert> = Vec::new();
+    let base_pre = *shared.stats.lock();
+    let base_ingest = *shared.ingest.lock();
+    let mut since_publish: u64 = 0;
+
+    for event in events.iter() {
+        match event {
+            StreamEvent::Alert(raw) => {
+                released.clear();
+                let _ = guard.offer(raw, &mut released);
+                feed(&released, &mut structured, &mut preprocessor, &mut locator);
+                since_publish += 1;
+                if since_publish >= scfg.stats_interval {
+                    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                    since_publish = 0;
+                }
+            }
+            StreamEvent::Ping(sample) => {
+                ping.record(sample.t, sample.src, sample.dst, sample.loss);
+            }
+            StreamEvent::Tick(now) => {
+                released.clear();
+                guard.advance(now, &mut released);
+                feed(&released, &mut structured, &mut preprocessor, &mut locator);
+                locator.advance(now);
+                publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                since_publish = 0;
+            }
+            StreamEvent::Flush => break,
+            StreamEvent::ChaosPanic => panic!("chaos: injected pipeline worker panic"),
+        }
+        if !drain_completed(&mut locator, &ping, &evaluator, &sop, incidents) {
+            return; // receiver gone
+        }
+    }
+    // Flush (or all producers hung up): release everything and finalize.
+    released.clear();
+    guard.flush(&mut released);
+    feed(&released, &mut structured, &mut preprocessor, &mut locator);
+    preprocessor.finish();
+    locator.finish();
+    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+    let _ = drain_completed(&mut locator, &ping, &evaluator, &sop, incidents);
+}
+
+/// Runs released raw alerts through preprocessing into the locator.
+fn feed(
+    released: &[RawAlert],
+    structured: &mut Vec<StructuredAlert>,
+    preprocessor: &mut Preprocessor,
+    locator: &mut Locator,
+) {
+    for raw in released {
+        structured.clear();
+        preprocessor.push(raw, structured);
+        for s in structured.iter() {
+            locator.insert(s);
+        }
+    }
+}
+
+/// Publishes counter snapshots: earlier incarnations' base plus this
+/// incarnation's counters, with shed counts taken live from the producer
+/// side.
+fn publish(
+    shared: &WorkerShared,
+    base_pre: PreprocessStats,
+    base_ingest: IngestStats,
+    preprocessor: &Preprocessor,
+    guard: &IngestGuard,
+) {
+    let mut pre = base_pre;
+    pre.merge(&preprocessor.stats());
+    pre.shed_abnormal = shared.monitor.shed_abnormal.load(Ordering::Relaxed);
+    pre.shed_root_cause = shared.monitor.shed_root_cause.load(Ordering::Relaxed);
+    *shared.stats.lock() = pre;
+    let mut ing = base_ingest;
+    ing.merge(&guard.stats());
+    *shared.ingest.lock() = ing;
+}
+
+/// Evaluates and emits every newly-completed incident, with its SOP plan
+/// attached. Returns `false` when the consumer dropped the receiver.
+fn drain_completed(
+    locator: &mut Locator,
+    ping: &PingLog,
+    evaluator: &Evaluator,
+    sop: &SopEngine,
+    incidents: &Sender<StreamIncident>,
+) -> bool {
+    for incident in locator.take_completed() {
+        let plan = sop.match_incident(&incident);
+        let scored = evaluator.evaluate(incident, ping);
+        if incidents
+            .send(StreamIncident { scored, sop: plan })
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use skynet_model::{DataSource, LocationPath};
-    use skynet_topology::{generate, GeneratorConfig};
+    use skynet_topology::{generate, DeviceRole, GeneratorConfig, TopologyBuilder};
 
     fn topo() -> Arc<Topology> {
         Arc::new(generate(&GeneratorConfig::small()))
@@ -379,9 +733,46 @@ mod tests {
         assert_eq!(top.incident.root, site);
         assert!(top.score() > 0.0);
         assert!(report.preprocess.raw > report.preprocess.emitted);
+        assert_eq!(report.ingest.accepted, report.preprocess.raw);
+        assert_eq!(report.ingest.rejected(), 0);
         let text = report.render();
         assert!(text.contains("score"));
         assert!(text.contains("Failure alerts"));
+    }
+
+    #[test]
+    fn batch_analysis_quarantines_malformed_alerts() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let mut alerts = flood(&site);
+        alerts.push(
+            RawAlert::known(
+                DataSource::Ping,
+                SimTime::from_secs(20),
+                LocationPath::parse("Narnia|Wardrobe").unwrap(),
+                AlertKind::PacketLossIcmp,
+            )
+            .with_magnitude(0.4),
+        );
+        alerts.push(
+            RawAlert::known(
+                DataSource::Snmp,
+                SimTime::from_secs(21),
+                site.clone(),
+                AlertKind::TrafficCongestion,
+            )
+            .with_magnitude(f64::INFINITY),
+        );
+        alerts.sort_by_key(|a| a.timestamp);
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
+        assert_eq!(report.ingest.rejected_off_topology, 1);
+        assert_eq!(report.ingest.rejected_corrupt, 1);
+        // The garbage never reached the preprocessor.
+        assert_eq!(report.ingest.accepted, report.preprocess.raw);
+        // The clean flood still resolves to its incident.
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].incident.root, site);
     }
 
     #[test]
@@ -402,16 +793,28 @@ mod tests {
             .send(StreamEvent::Tick(SimTime::from_mins(30)))
             .unwrap();
         handle.events.send(StreamEvent::Flush).unwrap();
-        let streamed: Vec<ScoredIncident> = handle.incidents.iter().collect();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
         handle.worker.join().unwrap();
 
         assert_eq!(streamed.len(), batch.incidents.len());
-        assert_eq!(streamed[0].incident.root, batch.incidents[0].incident.root);
         assert_eq!(
-            streamed[0].incident.alerts.len(),
+            streamed[0].scored.incident.root,
+            batch.incidents[0].incident.root
+        );
+        assert_eq!(
+            streamed[0].scored.incident.alerts.len(),
             batch.incidents[0].incident.alerts.len()
         );
+        // SOP parity: what the batch report records, streaming attaches.
+        assert_eq!(
+            streamed[0].sop.as_ref(),
+            batch.sop_for(batch.incidents[0].incident.id)
+        );
+        // Counter parity across the two execution modes.
         assert!(handle.stats.lock().raw > 0);
+        assert_eq!(*handle.stats.lock(), batch.preprocess);
+        assert_eq!(*handle.ingest.lock(), batch.ingest);
+        assert!(handle.dead_letters.lock().is_empty());
     }
 
     #[test]
@@ -432,12 +835,40 @@ mod tests {
     }
 
     #[test]
+    fn llm_context_budget_counts_chars_not_bytes() {
+        // A hand-built two-device topology with multi-byte location names.
+        let mut b = TopologyBuilder::new();
+        let path = |d: &str| {
+            LocationPath::parse(&format!("Région-Ω|Müncheñ|Lógica-1|Sítio-ß|Grün-K|{d}")).unwrap()
+        };
+        let d1 = b.add_device(DeviceRole::Leaf, path("Gerät-1"));
+        let d2 = b.add_device(DeviceRole::Leaf, path("Gerät-2"));
+        b.add_link(d1, d2, 4, 100.0);
+        let t = Arc::new(b.build());
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
+        assert_eq!(report.incidents.len(), 1);
+        let full = report.llm_context(usize::MAX);
+        assert!(
+            full.len() > full.chars().count(),
+            "context must contain multi-byte characters"
+        );
+        // A budget of exactly the char count keeps the whole incident; a
+        // byte-based check would wrongly truncate here.
+        assert_eq!(report.llm_context(full.chars().count()), full);
+        // One char less and the (single, unsplittable) incident is dropped.
+        assert!(report.llm_context(full.chars().count() - 1).is_empty());
+    }
+
+    #[test]
     fn quiet_stream_produces_nothing() {
         let t = topo();
         let skynet = SkyNet::new(&t, PipelineConfig::production());
         let report = skynet.analyze(&[], &PingLog::new(), SimTime::from_mins(30));
         assert!(report.incidents.is_empty());
         assert_eq!(report.actionable().count(), 0);
+        assert_eq!(report.ingest.accepted, 0);
     }
 
     #[test]
@@ -456,12 +887,101 @@ mod tests {
             .events
             .send(StreamEvent::Tick(SimTime::from_mins(21)))
             .unwrap();
-        let scored = handle
+        let emitted = handle
             .incidents
             .recv_timeout(std::time::Duration::from_secs(5))
             .expect("incident finalizes on tick");
-        assert_eq!(scored.incident.root, site);
+        assert_eq!(emitted.scored.incident.root, site);
         handle.events.send(StreamEvent::Flush).unwrap();
         handle.worker.join().unwrap();
+    }
+
+    #[test]
+    fn supervisor_restarts_worker_after_poison_event() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let handle = spawn_streaming(skynet);
+        assert!(handle.is_alive());
+        // Poison first, then the flood: the restarted worker must analyze
+        // it with fresh state as if nothing happened.
+        handle.events.send(StreamEvent::ChaosPanic).unwrap();
+        for a in flood(&site) {
+            handle.events.send(StreamEvent::Alert(a)).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].scored.incident.root, site);
+        let health = handle.health();
+        assert_eq!(health.restarts, 1);
+        assert!(!health.gave_up);
+        assert!(!health.alive, "worker exited after flush");
+        assert_eq!(handle.snapshot().restarts, 1);
+    }
+
+    #[test]
+    fn supervisor_gives_up_after_restart_cap() {
+        let t = topo();
+        let mut cfg = PipelineConfig::production();
+        cfg.streaming.max_restarts = 1;
+        let skynet = SkyNet::new(&t, cfg);
+        let handle = spawn_streaming(skynet);
+        handle.events.send(StreamEvent::ChaosPanic).unwrap();
+        handle.events.send(StreamEvent::ChaosPanic).unwrap();
+        handle.worker.join().unwrap();
+        let health = handle.health();
+        assert!(health.gave_up);
+        assert!(!health.alive);
+        assert_eq!(health.restarts, 2);
+        // The stream is dead: further submissions fail cleanly.
+        let site = t.clusters()[0].parent();
+        let alert = RawAlert::known(
+            DataSource::Snmp,
+            SimTime::from_secs(1),
+            site,
+            AlertKind::LinkDown,
+        );
+        assert_eq!(handle.send_alert(alert), Err(SkyNetError::ChannelClosed));
+    }
+
+    #[test]
+    fn shedding_policy_never_touches_failure_evidence() {
+        // Failure-class evidence survives even a full queue.
+        assert!(!should_shed(AlertClass::Failure, 4096, 4096, 0.75));
+        // Abnormal alerts go first, at the high-water mark.
+        assert!(should_shed(AlertClass::Abnormal, 3072, 4096, 0.75));
+        assert!(!should_shed(AlertClass::Abnormal, 3071, 4096, 0.75));
+        // Root-cause evidence sheds only when completely full.
+        assert!(!should_shed(AlertClass::RootCause, 4095, 4096, 0.75));
+        assert!(should_shed(AlertClass::RootCause, 4096, 4096, 0.75));
+    }
+
+    #[test]
+    fn send_alert_queues_and_classifies() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let handle = spawn_streaming(skynet);
+        // A near-empty channel never sheds anything.
+        for a in flood(&site) {
+            handle.send_alert(a).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+        assert_eq!(streamed.len(), 1);
+        let snap = handle.snapshot();
+        assert_eq!(snap.preprocess.shed(), 0);
+        assert_eq!(snap.ingest.accepted, 41);
     }
 }

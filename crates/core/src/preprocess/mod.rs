@@ -96,6 +96,33 @@ pub struct PreprocessStats {
     pub filtered_sporadic: u64,
     /// Traffic drops discarded for lack of corroboration.
     pub filtered_uncorroborated: u64,
+    /// `Abnormal`-class alerts shed by the streaming producer under load,
+    /// before they ever reached the preprocessor.
+    #[serde(default)]
+    pub shed_abnormal: u64,
+    /// `RootCause`-class alerts shed by the streaming producer under load.
+    #[serde(default)]
+    pub shed_root_cause: u64,
+}
+
+impl PreprocessStats {
+    /// Total alerts shed by the streaming producer (never includes
+    /// `Failure`-class alerts — those are never shed).
+    pub fn shed(&self) -> u64 {
+        self.shed_abnormal + self.shed_root_cause
+    }
+
+    /// Folds counters from a later stream segment into this one (used by
+    /// the supervisor to accumulate totals across worker restarts).
+    pub fn merge(&mut self, other: &PreprocessStats) {
+        self.raw += other.raw;
+        self.emitted += other.emitted;
+        self.deduplicated += other.deduplicated;
+        self.filtered_sporadic += other.filtered_sporadic;
+        self.filtered_uncorroborated += other.filtered_uncorroborated;
+        self.shed_abnormal += other.shed_abnormal;
+        self.shed_root_cause += other.shed_root_cause;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -218,17 +245,14 @@ impl Preprocessor {
         if needs_persistence(kind) {
             let threshold = self.cfg.persistence_threshold;
             let window = self.cfg.persistence_window;
-            let pending = self
-                .pending
-                .entry(key.clone())
-                .or_insert_with(|| {
-                    let mut empty = candidate.clone();
-                    empty.count = 0; // absorbed below
-                    PendingPersistence {
-                        alert: empty,
-                        sightings: 0,
-                    }
-                });
+            let pending = self.pending.entry(key.clone()).or_insert_with(|| {
+                let mut empty = candidate.clone();
+                empty.count = 0; // absorbed below
+                PendingPersistence {
+                    alert: empty,
+                    sightings: 0,
+                }
+            });
             if pending.sightings > 0 && now.since(pending.alert.last_seen) > window {
                 // Stale pending state: restart the count.
                 let mut empty = candidate.clone();
@@ -242,7 +266,12 @@ impl Preprocessor {
                 self.stats.filtered_sporadic += 1;
                 return;
             }
-            candidate = self.pending.remove(&key).expect("just inserted").alert;
+            // The entry was inserted above; fall back to the bare candidate
+            // rather than panicking if that invariant ever breaks.
+            candidate = match self.pending.remove(&key) {
+                Some(pending) => pending.alert,
+                None => candidate,
+            };
         }
 
         // Stage 2b: related-alert suppression — one surge representative
@@ -277,7 +306,8 @@ impl Preprocessor {
 
         // Corroborating alerts release held drops near them.
         if corroborates(kind.class()) {
-            self.corroborators.push_back((now, candidate.location.clone()));
+            self.corroborators
+                .push_back((now, candidate.location.clone()));
             let mut released = Vec::new();
             self.held_drops.retain(|d| {
                 let related = d.location.contains(&candidate.location)
@@ -329,8 +359,7 @@ impl Preprocessor {
     fn expire(&mut self, now: SimTime, _out: &mut [StructuredAlert]) {
         let window = self.cfg.corroboration_window;
         let before = self.held_drops.len();
-        self.held_drops
-            .retain(|d| now.since(d.last_seen) <= window);
+        self.held_drops.retain(|d| now.since(d.last_seen) <= window);
         self.stats.filtered_uncorroborated += (before - self.held_drops.len()) as u64;
         while let Some(&(t, _)) = self.corroborators.front() {
             if now.since(t) > window {
@@ -375,12 +404,7 @@ mod tests {
         Preprocessor::new(PreprocessorConfig::default(), None)
     }
 
-    fn known(
-        source: DataSource,
-        kind: AlertKind,
-        secs: u64,
-        location: &str,
-    ) -> RawAlert {
+    fn known(source: DataSource, kind: AlertKind, secs: u64, location: &str) -> RawAlert {
         RawAlert::known(source, SimTime::from_secs(secs), loc(location), kind)
     }
 
@@ -498,7 +522,12 @@ mod tests {
         let mut p = pp();
         let mut out = Vec::new();
         p.push(
-            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 0, "R|C|L|S"),
+            &known(
+                DataSource::TrafficStats,
+                AlertKind::TrafficDrop,
+                0,
+                "R|C|L|S",
+            ),
             &mut out,
         );
         assert!(out.is_empty(), "a lone drop is expected user behaviour");
@@ -517,7 +546,12 @@ mod tests {
         let mut p = pp();
         let mut out = Vec::new();
         p.push(
-            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 0, "R|C|L|S"),
+            &known(
+                DataSource::TrafficStats,
+                AlertKind::TrafficDrop,
+                0,
+                "R|C|L|S",
+            ),
             &mut out,
         );
         assert!(out.is_empty());
@@ -540,7 +574,12 @@ mod tests {
             &mut out,
         );
         p.push(
-            &known(DataSource::TrafficStats, AlertKind::TrafficDrop, 10, "R|C|L|S"),
+            &known(
+                DataSource::TrafficStats,
+                AlertKind::TrafficDrop,
+                10,
+                "R|C|L|S",
+            ),
             &mut out,
         );
         assert_eq!(out.len(), 2);

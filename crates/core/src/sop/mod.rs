@@ -87,8 +87,7 @@ impl SopRule {
             require_isolated_device: true,
             max_device_traffic_gbps: 200.0,
             action: SopActionKind::IsolateDevice,
-            rollback: "re-enable forwarding on the isolated device and verify BGP sessions"
-                .into(),
+            rollback: "re-enable forwarding on the isolated device and verify BGP sessions".into(),
         }
     }
 
@@ -125,7 +124,10 @@ impl SopEngine {
 
     /// Engine with the standard rules.
     pub fn standard(topo: &Arc<Topology>) -> Self {
-        Self::new(topo, vec![SopRule::device_isolation(), SopRule::ddos_block()])
+        Self::new(
+            topo,
+            vec![SopRule::device_isolation(), SopRule::ddos_block()],
+        )
     }
 
     /// The configured rules.
@@ -212,14 +214,9 @@ impl SopEngine {
         device_locs.dedup();
         match device_locs.as_slice() {
             [single] => {
-                let device = self
-                    .topo
-                    .devices_under(single)
-                    .next()?;
+                let device = self.topo.devices_under(single).next()?;
                 // No sibling of the group may alert at all.
-                let group_loc = device
-                    .location
-                    .truncate_at(device.role.serves_level());
+                let group_loc = device.location.truncate_at(device.role.serves_level());
                 let siblings = self.topo.agg_group(&group_loc);
                 let clean = siblings.iter().all(|&s| {
                     s == device.id
@@ -238,9 +235,7 @@ impl SopEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::{
-        DataSource, IncidentId, RawAlert, SimTime, StructuredAlert,
-    };
+    use skynet_model::{DataSource, IncidentId, RawAlert, SimTime, StructuredAlert};
     use skynet_topology::{generate, GeneratorConfig};
 
     fn topo() -> Arc<Topology> {
@@ -248,8 +243,8 @@ mod tests {
     }
 
     fn salert(kind: AlertKind, location: LocationPath) -> StructuredAlert {
-        let raw = RawAlert::known(DataSource::Ping, SimTime::ZERO, location, kind)
-            .with_magnitude(0.2);
+        let raw =
+            RawAlert::known(DataSource::Ping, SimTime::ZERO, location, kind).with_magnitude(0.2);
         StructuredAlert::from_raw(&raw, kind)
     }
 
@@ -355,9 +350,9 @@ mod tests {
             .devices()
             .iter()
             .find(|d| {
-                t.links_of(d.id).iter().any(|&l| {
-                    !t.flows_on_circuit_set(t.link(l).circuit_set.id).is_empty()
-                })
+                t.links_of(d.id)
+                    .iter()
+                    .any(|&l| !t.flows_on_circuit_set(t.link(l).circuit_set.id).is_empty())
             })
             .expect("some device carries traffic")
             .location

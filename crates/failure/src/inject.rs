@@ -11,7 +11,9 @@ use crate::catalog::RootCauseCategory;
 use crate::effect::{EffectKind, NetworkEffect, RouteAnomalyKind};
 use crate::scenario::{FailureEvent, Scenario};
 use rand::prelude::*;
-use skynet_model::{DeviceId, FailureId, LinkId, LocationLevel, LocationPath, SimDuration, SimTime};
+use skynet_model::{
+    DeviceId, FailureId, LinkId, LocationLevel, LocationPath, SimDuration, SimTime,
+};
 use skynet_topology::{DeviceRole, Topology};
 use std::sync::Arc;
 
@@ -154,12 +156,20 @@ impl Injector {
                     device_aware,
                 },
             ),
-            NetworkEffect::new(start, end, EffectKind::ResourceExhaustion { device, cpu: 0.92 }),
+            NetworkEffect::new(
+                start,
+                end,
+                EffectKind::ResourceExhaustion { device, cpu: 0.92 },
+            ),
         ];
         self.push(FailureEvent {
             id: FailureId(0),
             category: RootCauseCategory::DeviceHardware,
-            description: format!("hardware fault on {} ({:.0}% loss)", dev.name(), loss * 100.0),
+            description: format!(
+                "hardware fault on {} ({:.0}% loss)",
+                dev.name(),
+                loss * 100.0
+            ),
             epicenter,
             severe,
             customer_impacting,
@@ -421,11 +431,7 @@ impl Injector {
         duration: SimDuration,
     ) -> FailureId {
         let end = start + duration;
-        let victims: Vec<DeviceId> = self
-            .topo
-            .devices_under(location)
-            .map(|d| d.id)
-            .collect();
+        let victims: Vec<DeviceId> = self.topo.devices_under(location).map(|d| d.id).collect();
         assert!(!victims.is_empty(), "no devices under {location}");
         let customer_impacting = victims.iter().any(|&d| self.impacts_customers(d));
         let mut effects: Vec<NetworkEffect> = victims

@@ -109,8 +109,19 @@ impl Scenario {
     }
 
     /// Looks up a failure by id.
+    ///
+    /// # Panics
+    /// Panics on an id from a different scenario. Use [`Scenario::try_event`]
+    /// when the id comes from untrusted provenance (e.g. replayed alert
+    /// streams).
     pub fn event(&self, id: FailureId) -> &FailureEvent {
         &self.events[id.index()]
+    }
+
+    /// Looks up a failure by id, returning `None` for a foreign or stale id
+    /// instead of panicking.
+    pub fn try_event(&self, id: FailureId) -> Option<&FailureEvent> {
+        self.events.get(id.index())
     }
 
     /// End of the simulated window.
@@ -188,6 +199,8 @@ mod tests {
         assert_eq!(s.active_at(SimTime::from_secs(25)).count(), 1);
         assert_eq!(s.must_detect().count(), 2);
         assert_eq!(s.event(FailureId(1)).id, FailureId(1));
+        assert_eq!(s.try_event(FailureId(1)).map(|e| e.id), Some(FailureId(1)));
+        assert_eq!(s.try_event(FailureId(99)), None);
     }
 
     #[test]

@@ -108,9 +108,8 @@ impl<'a> NetworkState<'a> {
 
     /// True when every circuit of the link's set is broken.
     pub fn link_down(&self, link: LinkId) -> Option<FailureId> {
-        self.broken_circuits(link).and_then(|(n, id)| {
-            (n >= self.topo.link(link).circuit_set.circuits).then_some(id)
-        })
+        self.broken_circuits(link)
+            .and_then(|(n, id)| (n >= self.topo.link(link).circuit_set.circuits).then_some(id))
     }
 
     /// Whole-device outage.
@@ -292,8 +291,8 @@ mod tests {
         let s = scenario_with(vec![]);
         let state = NetworkState::at(&s, SimTime::from_secs(50));
         let clusters = state.topology().clusters();
-        let r = route::route_between_clusters(state.topology(), &clusters[0], &clusters[3], 1)
-            .unwrap();
+        let r =
+            route::route_between_clusters(state.topology(), &clusters[0], &clusters[3], 1).unwrap();
         let (loss, cause) = state.path_loss(&r);
         assert_eq!(loss, 0.0);
         assert!(cause.is_none());
@@ -350,8 +349,14 @@ mod tests {
         let link = s0.topology().links()[0].id;
         let circuits = s0.topology().link(link).circuit_set.circuits;
         let s = scenario_with(vec![
-            EffectKind::CircuitBreaks { link, broken: circuits },
-            EffectKind::CircuitBreaks { link, broken: circuits },
+            EffectKind::CircuitBreaks {
+                link,
+                broken: circuits,
+            },
+            EffectKind::CircuitBreaks {
+                link,
+                broken: circuits,
+            },
         ]);
         let state = NetworkState::at(&s, SimTime::from_secs(50));
         let (n, id) = state.broken_circuits(link).unwrap();

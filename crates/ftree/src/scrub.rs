@@ -41,9 +41,7 @@ fn is_numeric_blob(word: &str) -> bool {
 
 /// True for `0x`-prefixed or long bare hex strings.
 fn is_hex(word: &str) -> bool {
-    let w = word
-        .strip_prefix("0x")
-        .or_else(|| word.strip_prefix("0X"));
+    let w = word.strip_prefix("0x").or_else(|| word.strip_prefix("0X"));
     match w {
         Some(rest) => !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_hexdigit()),
         // Bare hex only counts when long enough to be unambiguous and
@@ -125,8 +123,8 @@ mod tests {
 
     #[test]
     fn tokenize_strips_punctuation() {
-        let toks: Vec<&str> = tokenize("LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state")
-            .collect();
+        let toks: Vec<&str> =
+            tokenize("LINK-3-UPDOWN: Interface TenGigE0/1/0/25, changed state").collect();
         assert_eq!(
             toks,
             vec![
@@ -141,14 +139,29 @@ mod tests {
 
     #[test]
     fn numbers_and_numerics_are_variables() {
-        for w in ["42", "-7", "+13", "3.14", "99%", "10.0.0.1", "2024-07-02", "11:45:14.464"] {
+        for w in [
+            "42",
+            "-7",
+            "+13",
+            "3.14",
+            "99%",
+            "10.0.0.1",
+            "2024-07-02",
+            "11:45:14.464",
+        ] {
             assert!(is_variable(w), "{w} should be a variable");
         }
     }
 
     #[test]
     fn hex_and_mac_are_variables() {
-        for w in ["0xDEAD", "0x1f", "a1b2c3d4e5", "00:1a:2b:3c:4d:5e", "00-1A-2B-3C-4D-5E"] {
+        for w in [
+            "0xDEAD",
+            "0x1f",
+            "a1b2c3d4e5",
+            "00:1a:2b:3c:4d:5e",
+            "00-1A-2B-3C-4D-5E",
+        ] {
             assert!(is_variable(w), "{w} should be a variable");
         }
         // Pure words that happen to be hex letters stay.
@@ -158,14 +171,28 @@ mod tests {
 
     #[test]
     fn interfaces_and_id_blobs_are_variables() {
-        for w in ["TenGigE0/1/0/25", "Eth1/3", "HundredGigE0/0/0/1.100", "VLAN204", "session-14988"] {
+        for w in [
+            "TenGigE0/1/0/25",
+            "Eth1/3",
+            "HundredGigE0/0/0/1.100",
+            "VLAN204",
+            "session-14988",
+        ] {
             assert!(is_variable(w), "{w} should be a variable");
         }
     }
 
     #[test]
     fn plain_words_are_constants() {
-        for w in ["Interface", "down", "BGP", "peer", "state", "error", "OSPF6"] {
+        for w in [
+            "Interface",
+            "down",
+            "BGP",
+            "peer",
+            "state",
+            "error",
+            "OSPF6",
+        ] {
             // OSPF6 has a 1-digit tail: kept (protocol names end in one digit).
             assert!(!is_variable(w), "{w} should be constant");
         }
@@ -174,7 +201,10 @@ mod tests {
     #[test]
     fn constant_words_lowercase_and_scrub() {
         let words = constant_words("[R4] Packet loss to H3 rate 15.49% on TenGigE0/1/0/25");
-        assert_eq!(words, vec!["r4", "packet", "loss", "to", "h3", "rate", "on"]);
+        assert_eq!(
+            words,
+            vec!["r4", "packet", "loss", "to", "h3", "rate", "on"]
+        );
         // "R4"/"H3" have 1-digit tails — kept as constants (device names of
         // the paper's figures); "15.49%" and the interface are scrubbed.
     }

@@ -24,7 +24,13 @@ pub struct Template {
 
 impl fmt::Display for Template {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{} [{}] x{}", self.id.0, self.words.join(" "), self.support)
+        write!(
+            f,
+            "#{} [{}] x{}",
+            self.id.0,
+            self.words.join(" "),
+            self.support
+        )
     }
 }
 
@@ -359,8 +365,19 @@ mod proptests {
 
     fn word_strategy() -> impl Strategy<Value = String> {
         prop::sample::select(vec![
-            "interface", "bgp", "peer", "down", "up", "state", "error", "link", "port",
-            "flap", "session", "memory", "crc",
+            "interface",
+            "bgp",
+            "peer",
+            "down",
+            "up",
+            "state",
+            "error",
+            "link",
+            "port",
+            "flap",
+            "session",
+            "memory",
+            "crc",
         ])
         .prop_map(str::to_string)
     }

@@ -20,7 +20,7 @@ use std::fmt;
 /// Structured tools (ping, SNMP, out-of-band, …) know their alert kind at
 /// emission time. Syslog emits free text; the preprocessor classifies it
 /// into a kind with FT-tree templates (§4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AlertBody {
     /// A manually-typed alert from a structured tool.
     Known(AlertKind),
@@ -53,6 +53,35 @@ pub struct RawAlert {
     /// truth.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cause: Option<FailureId>,
+}
+
+/// A structural defect in a raw alert, detectable without any topology or
+/// stream context. This is the model-level validation hook the pipeline's
+/// ingestion guard builds on: a tool emitting garbage (NaN magnitudes,
+/// truncated or binary-corrupted syslog lines) is caught at the uniform
+/// input format boundary instead of poisoning the locator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlertDefect {
+    /// `magnitude` is NaN or infinite.
+    NonFiniteMagnitude,
+    /// A syslog body that is empty (or whitespace only) — nothing to
+    /// classify.
+    EmptySyslog,
+    /// A syslog body containing control characters or U+FFFD replacement
+    /// characters: the signature of truncated or binary-corrupted log
+    /// transport.
+    CorruptSyslogBytes,
+}
+
+impl fmt::Display for AlertDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlertDefect::NonFiniteMagnitude => "non-finite magnitude",
+            AlertDefect::EmptySyslog => "empty syslog body",
+            AlertDefect::CorruptSyslogBytes => "corrupt bytes in syslog body",
+        };
+        f.write_str(s)
+    }
 }
 
 impl RawAlert {
@@ -111,6 +140,29 @@ impl RawAlert {
             AlertBody::Known(k) => Some(*k),
             AlertBody::SyslogText(_) => None,
         }
+    }
+
+    /// Checks the alert for structural defects (the first found, if any).
+    ///
+    /// A `None` result means the alert is well-formed at the model level;
+    /// it may still be rejected by stream-level checks (watermark,
+    /// topology membership, duplicate suppression).
+    pub fn structural_defect(&self) -> Option<AlertDefect> {
+        if !self.magnitude.is_finite() {
+            return Some(AlertDefect::NonFiniteMagnitude);
+        }
+        if let AlertBody::SyslogText(text) = &self.body {
+            if text.trim().is_empty() {
+                return Some(AlertDefect::EmptySyslog);
+            }
+            if text
+                .chars()
+                .any(|c| (c.is_control() && c != '\t') || c == '\u{fffd}')
+            {
+                return Some(AlertDefect::CorruptSyslogBytes);
+            }
+        }
+        None
     }
 }
 
@@ -257,6 +309,42 @@ mod tests {
         assert_eq!(a.magnitude, 0.20);
         assert_eq!(a.cause, Some(FailureId(1)));
         assert_eq!(a.duration(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn structural_defects_are_detected() {
+        let ok = RawAlert::known(
+            DataSource::Ping,
+            SimTime::ZERO,
+            loc("R|C"),
+            AlertKind::PacketLossIcmp,
+        );
+        assert_eq!(ok.structural_defect(), None);
+        assert_eq!(
+            ok.clone().with_magnitude(f64::NAN).structural_defect(),
+            Some(AlertDefect::NonFiniteMagnitude)
+        );
+        assert_eq!(
+            ok.with_magnitude(f64::INFINITY).structural_defect(),
+            Some(AlertDefect::NonFiniteMagnitude)
+        );
+        assert_eq!(
+            RawAlert::syslog(SimTime::ZERO, loc("R|C"), "   ").structural_defect(),
+            Some(AlertDefect::EmptySyslog)
+        );
+        assert_eq!(
+            RawAlert::syslog(SimTime::ZERO, loc("R|C"), "BGP\u{0} down").structural_defect(),
+            Some(AlertDefect::CorruptSyslogBytes)
+        );
+        assert_eq!(
+            RawAlert::syslog(SimTime::ZERO, loc("R|C"), "truncated \u{fffd}").structural_defect(),
+            Some(AlertDefect::CorruptSyslogBytes)
+        );
+        // Tabs are common in real syslog payloads and stay legal.
+        assert_eq!(
+            RawAlert::syslog(SimTime::ZERO, loc("R|C"), "iface\tdown").structural_defect(),
+            None
+        );
     }
 
     #[test]

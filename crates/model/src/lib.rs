@@ -32,7 +32,7 @@ pub mod ping;
 pub mod source;
 pub mod time;
 
-pub use alert::{AlertBody, RawAlert, StructuredAlert};
+pub use alert::{AlertBody, AlertDefect, RawAlert, StructuredAlert};
 pub use ids::{CircuitSetId, CustomerId, DeviceId, FailureId, IncidentId, LinkId};
 pub use kind::{AlertClass, AlertKind, AlertType};
 pub use location::{LocationLevel, LocationPath};

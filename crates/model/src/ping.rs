@@ -45,9 +45,7 @@ impl PingLog {
 
     /// Samples within `[from, to)`.
     pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &PingSample> {
-        self.samples
-            .iter()
-            .filter(move |s| from <= s.t && s.t < to)
+        self.samples.iter().filter(move |s| from <= s.t && s.t < to)
     }
 
     /// Merges another log (used when running tools in isolation).

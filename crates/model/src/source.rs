@@ -163,17 +163,61 @@ pub struct PublishedTool {
 
 /// Table 1 of the paper: existing tools, production status, data source.
 pub const TABLE1_TOOLS: [PublishedTool; 11] = [
-    PublishedTool { name: "RD-Probe", in_production: true, data_source: "Ping" },
-    PublishedTool { name: "Pingmesh", in_production: true, data_source: "Ping" },
-    PublishedTool { name: "NetNORAD", in_production: true, data_source: "Ping" },
-    PublishedTool { name: "deTector", in_production: false, data_source: "Ping" },
-    PublishedTool { name: "Dynamic mining", in_production: true, data_source: "Syslog" },
-    PublishedTool { name: "007", in_production: true, data_source: "traceroute" },
-    PublishedTool { name: "Roy et al.", in_production: true, data_source: "INT" },
-    PublishedTool { name: "Netbouncer", in_production: true, data_source: "INT" },
-    PublishedTool { name: "PTPMesh", in_production: false, data_source: "PTP" },
-    PublishedTool { name: "Shin et al.", in_production: false, data_source: "SNMP" },
-    PublishedTool { name: "Redfish-Nagios", in_production: true, data_source: "Out-of-band" },
+    PublishedTool {
+        name: "RD-Probe",
+        in_production: true,
+        data_source: "Ping",
+    },
+    PublishedTool {
+        name: "Pingmesh",
+        in_production: true,
+        data_source: "Ping",
+    },
+    PublishedTool {
+        name: "NetNORAD",
+        in_production: true,
+        data_source: "Ping",
+    },
+    PublishedTool {
+        name: "deTector",
+        in_production: false,
+        data_source: "Ping",
+    },
+    PublishedTool {
+        name: "Dynamic mining",
+        in_production: true,
+        data_source: "Syslog",
+    },
+    PublishedTool {
+        name: "007",
+        in_production: true,
+        data_source: "traceroute",
+    },
+    PublishedTool {
+        name: "Roy et al.",
+        in_production: true,
+        data_source: "INT",
+    },
+    PublishedTool {
+        name: "Netbouncer",
+        in_production: true,
+        data_source: "INT",
+    },
+    PublishedTool {
+        name: "PTPMesh",
+        in_production: false,
+        data_source: "PTP",
+    },
+    PublishedTool {
+        name: "Shin et al.",
+        in_production: false,
+        data_source: "SNMP",
+    },
+    PublishedTool {
+        name: "Redfish-Nagios",
+        in_production: true,
+        data_source: "Out-of-band",
+    },
 ];
 
 #[cfg(test)]

@@ -1,0 +1,299 @@
+//! Chaos mode: deterministic fault injection for the *alert feed itself*.
+//!
+//! The telemetry tools simulate what monitoring observes; this module
+//! simulates what the collection fabric does to those observations on a bad
+//! day — tool dropout, duplicate storms from retransmitting relays, syslog
+//! lines corrupted in transport, clock-skewed sources and bounded
+//! out-of-order delivery. [`ChaosEngine::apply`] mutates a recorded flood
+//! into the degraded feed the pipeline's ingestion guard must survive, and
+//! reports exactly what it did so tests can assert dead-letter accounting
+//! to the alert.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use skynet_model::{AlertBody, LocationPath, RawAlert, SimDuration, SimTime};
+
+/// Knobs for the chaos engine. All probabilities are per-alert and the
+/// mutations (drop / corrupt / reroute) are mutually exclusive, so
+/// [`ChaosStats`] counts map one-to-one onto ingestion-guard reject
+/// reasons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Tool dropout: probability an alert is silently lost in collection.
+    pub drop_prob: f64,
+    /// Probability a syslog alert's text is corrupted in transport
+    /// (NUL bytes and U+FFFD replacement characters injected).
+    pub corrupt_syslog_prob: f64,
+    /// Probability an alert's location is rewritten to a path outside the
+    /// topology (a decommissioned or mislabelled device reporting in).
+    pub off_topology_prob: f64,
+    /// Probability a clean alert is retransmitted as bit-identical
+    /// duplicates.
+    pub duplicate_prob: f64,
+    /// Copies added per duplicated alert.
+    pub duplicate_burst: usize,
+    /// Probability an alert comes from a clock-skewed source: its
+    /// timestamp shifts backwards by up to [`ChaosConfig::clock_skew`].
+    pub skew_prob: f64,
+    /// Maximum backwards clock skew.
+    pub clock_skew: SimDuration,
+    /// Bounded out-of-order delivery: each alert may be delivered up to
+    /// this many positions away from its recorded order. `0` keeps order.
+    pub shuffle_window: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            drop_prob: 0.02,
+            corrupt_syslog_prob: 0.05,
+            off_topology_prob: 0.02,
+            duplicate_prob: 0.05,
+            duplicate_burst: 2,
+            skew_prob: 0.0,
+            clock_skew: SimDuration::from_secs(10),
+            shuffle_window: 8,
+        }
+    }
+}
+
+/// What one [`ChaosEngine::apply`] pass actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Alerts silently dropped (tool dropout).
+    pub dropped: u64,
+    /// Syslog alerts with corrupted bytes (guard: `corrupt-body`).
+    pub corrupted: u64,
+    /// Alerts rerouted off the topology (guard: `off-topology`).
+    pub rerouted: u64,
+    /// Bit-identical duplicate copies injected (guard: `duplicate`).
+    pub duplicated: u64,
+    /// Alerts with backwards-skewed timestamps.
+    pub skewed: u64,
+    /// Alerts delivered out of their recorded order.
+    pub displaced: u64,
+}
+
+/// Deterministic feed-level fault injector.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    cfg: ChaosConfig,
+    rng: ChaCha8Rng,
+    stats: ChaosStats,
+}
+
+impl ChaosEngine {
+    /// A fresh engine; the same seed and input always produce the same
+    /// degraded feed.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x4348_414F);
+        ChaosEngine {
+            cfg,
+            rng,
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Cumulative mutation counts across all `apply` calls.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Degrades a recorded flood into the feed a failing collection fabric
+    /// would deliver. Mutations are exclusive per alert (drop, corrupt,
+    /// reroute — in that precedence); only *clean* alerts are duplicated or
+    /// clock-skewed, so every injected defect maps to exactly one
+    /// ingestion-guard reject reason.
+    pub fn apply(&mut self, alerts: &[RawAlert]) -> Vec<RawAlert> {
+        let mut out = Vec::with_capacity(alerts.len());
+        for alert in alerts {
+            if self.rng.gen_bool(self.cfg.drop_prob) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let mut alert = alert.clone();
+            if matches!(alert.body, AlertBody::SyslogText(_))
+                && self.rng.gen_bool(self.cfg.corrupt_syslog_prob)
+            {
+                if let AlertBody::SyslogText(text) = &mut alert.body {
+                    let cut = text.chars().count() / 2;
+                    let mut mangled: String = text.chars().take(cut).collect();
+                    mangled.push('\u{0}');
+                    mangled.push('\u{fffd}');
+                    *text = mangled;
+                }
+                self.stats.corrupted += 1;
+                out.push(alert);
+                continue;
+            }
+            if self.rng.gen_bool(self.cfg.off_topology_prob) {
+                let phantom = self.rng.gen_range(0..u32::MAX);
+                alert.location = LocationPath::parse(&format!("Chaos|Phantom|Rack-{phantom}"))
+                    .expect("phantom path parses");
+                self.stats.rerouted += 1;
+                out.push(alert);
+                continue;
+            }
+            if self.rng.gen_bool(self.cfg.skew_prob) {
+                let skew_ms = self.cfg.clock_skew.as_millis();
+                if skew_ms > 0 {
+                    let shift = self.rng.gen_range(0..=skew_ms);
+                    alert.timestamp =
+                        SimTime::from_millis(alert.timestamp.as_millis().saturating_sub(shift));
+                    self.stats.skewed += 1;
+                }
+            }
+            let copies = if self.rng.gen_bool(self.cfg.duplicate_prob) {
+                self.cfg.duplicate_burst
+            } else {
+                0
+            };
+            out.push(alert.clone());
+            for _ in 0..copies {
+                out.push(alert.clone());
+                self.stats.duplicated += 1;
+            }
+        }
+        self.shuffle_bounded(&mut out);
+        out
+    }
+
+    /// Bounded out-of-order delivery: full Fisher–Yates within consecutive
+    /// chunks of `shuffle_window`, so no element ends up more than
+    /// `shuffle_window - 1` positions from where it started.
+    fn shuffle_bounded(&mut self, alerts: &mut [RawAlert]) {
+        if self.cfg.shuffle_window < 2 {
+            return;
+        }
+        for start in (0..alerts.len()).step_by(self.cfg.shuffle_window) {
+            let chunk_len = self.cfg.shuffle_window.min(alerts.len() - start);
+            for k in (1..chunk_len).rev() {
+                let j = self.rng.gen_range(0..=k);
+                if j != k {
+                    alerts.swap(start + k, start + j);
+                    self.stats.displaced += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_model::{AlertKind, DataSource};
+
+    fn flood(n: u64) -> Vec<RawAlert> {
+        let site = LocationPath::parse("R|C|L|S").unwrap();
+        (0..n)
+            .map(|t| {
+                if t % 5 == 0 {
+                    RawAlert::syslog(
+                        SimTime::from_secs(t),
+                        site.clone(),
+                        "%LINK-3-UPDOWN: interface down",
+                    )
+                } else {
+                    RawAlert::known(
+                        DataSource::Ping,
+                        SimTime::from_secs(t),
+                        site.clone(),
+                        AlertKind::PacketLossIcmp,
+                    )
+                    .with_magnitude(0.2)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let input = flood(200);
+        let cfg = ChaosConfig::default();
+        let a = ChaosEngine::new(cfg.clone()).apply(&input);
+        let b = ChaosEngine::new(cfg).apply(&input);
+        assert_eq!(a, b);
+        let c = ChaosEngine::new(ChaosConfig {
+            seed: 1,
+            ..ChaosConfig::default()
+        })
+        .apply(&input);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mutation_counts_reconcile_with_output() {
+        let input = flood(500);
+        let mut engine = ChaosEngine::new(ChaosConfig {
+            duplicate_prob: 0.1,
+            duplicate_burst: 3,
+            ..ChaosConfig::default()
+        });
+        let out = engine.apply(&input);
+        let stats = engine.stats();
+        assert_eq!(
+            out.len() as u64,
+            input.len() as u64 - stats.dropped + stats.duplicated
+        );
+        assert!(stats.dropped > 0);
+        assert!(stats.corrupted > 0);
+        assert!(stats.duplicated > 0);
+        let corrupt = out
+            .iter()
+            .filter(|a| a.structural_defect().is_some())
+            .count() as u64;
+        assert_eq!(corrupt, stats.corrupted);
+        let phantom = out
+            .iter()
+            .filter(|a| a.location.to_string().starts_with("Chaos|"))
+            .count() as u64;
+        assert_eq!(phantom, stats.rerouted);
+    }
+
+    #[test]
+    fn shuffle_displacement_is_bounded() {
+        let input = flood(300);
+        let window = 6;
+        let mut engine = ChaosEngine::new(ChaosConfig {
+            drop_prob: 0.0,
+            corrupt_syslog_prob: 0.0,
+            off_topology_prob: 0.0,
+            duplicate_prob: 0.0,
+            shuffle_window: window,
+            ..ChaosConfig::default()
+        });
+        let out = engine.apply(&input);
+        assert_eq!(out.len(), input.len());
+        for (pos, alert) in out.iter().enumerate() {
+            let orig = input
+                .iter()
+                .position(|a| a == alert)
+                .expect("every alert survives");
+            assert!(
+                pos.abs_diff(orig) < window,
+                "alert moved {orig} -> {pos}, window {window}"
+            );
+        }
+        assert!(engine.stats().displaced > 0);
+    }
+
+    #[test]
+    fn zero_probability_chaos_is_identity() {
+        let input = flood(50);
+        let mut engine = ChaosEngine::new(ChaosConfig {
+            drop_prob: 0.0,
+            corrupt_syslog_prob: 0.0,
+            off_topology_prob: 0.0,
+            duplicate_prob: 0.0,
+            skew_prob: 0.0,
+            shuffle_window: 0,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(engine.apply(&input), input);
+        assert_eq!(engine.stats(), ChaosStats::default());
+    }
+}

@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod suite;
 pub mod tools;
 
+pub use chaos::{ChaosConfig, ChaosEngine, ChaosStats};
 pub use config::TelemetryConfig;
 pub use skynet_model::ping::{PingLog, PingSample};
 pub use suite::{TelemetryRun, TelemetrySuite};

@@ -1,7 +1,6 @@
 //! The telemetry driver: all tools stepped over a scenario.
 
 use crate::config::TelemetryConfig;
-use skynet_model::ping::PingLog;
 use crate::tools::{
     InbandTelemetry, InternetTelemetry, ModificationEvents, MonitoringTool, OutOfBand,
     PatrolInspection, PingMesh, PollCtx, Ptp, RouteMonitoring, Sink, Snmp, Syslog, Traceroute,
@@ -10,7 +9,10 @@ use crate::tools::{
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use skynet_failure::{NetworkState, Scenario};
-use skynet_model::{AlertKind, DataSource, DeviceId, LocationLevel, LocationPath, RawAlert, SimTime};
+use skynet_model::ping::PingLog;
+use skynet_model::{
+    AlertKind, DataSource, DeviceId, LocationLevel, LocationPath, RawAlert, SimTime,
+};
 
 /// The merged output of one telemetry run.
 #[derive(Debug, Clone)]
@@ -48,7 +50,10 @@ impl std::fmt::Debug for TelemetrySuite {
 
 impl TelemetrySuite {
     /// All twelve Table-2 tools.
-    pub fn standard(topo: &std::sync::Arc<skynet_topology::Topology>, cfg: TelemetryConfig) -> Self {
+    pub fn standard(
+        topo: &std::sync::Arc<skynet_topology::Topology>,
+        cfg: TelemetryConfig,
+    ) -> Self {
         Self::with_sources(topo, cfg, &DataSource::ALL)
     }
 
@@ -151,14 +156,16 @@ impl TelemetrySuite {
         }
         let expected = self.cfg.noise_per_hour * self.cfg.base_tick.as_secs_f64() / 3600.0;
         let mut n = expected.floor() as usize;
-        if self.noise_rng.gen_bool((expected - n as f64).clamp(0.0, 1.0)) {
+        if self
+            .noise_rng
+            .gen_bool((expected - n as f64).clamp(0.0, 1.0))
+        {
             n += 1;
         }
         let topo = scenario.topology();
         for _ in 0..n {
             let source = sources[self.noise_rng.gen_range(0..sources.len())];
-            let device =
-                DeviceId::from_index(self.noise_rng.gen_range(0..topo.devices().len()));
+            let device = DeviceId::from_index(self.noise_rng.gen_range(0..topo.devices().len()));
             let location = topo.device(device).location.clone();
             let alert = match source {
                 DataSource::Syslog => {
@@ -167,8 +174,7 @@ impl TelemetrySuite {
                     } else {
                         AlertKind::PortFlapping
                     };
-                    let text =
-                        crate::tools::syslog::render_message(kind, &mut self.noise_rng);
+                    let text = crate::tools::syslog::render_message(kind, &mut self.noise_rng);
                     RawAlert::syslog(now, location, text)
                 }
                 DataSource::Ping if self.noise_rng.gen_bool(0.1) => {
@@ -201,9 +207,7 @@ impl TelemetrySuite {
                     RawAlert::known(source, now, topo.device(device).attribution(), kind)
                         .with_magnitude(self.noise_rng.gen_range(0.5..1.5))
                 }
-                DataSource::Ptp => {
-                    RawAlert::known(source, now, location, AlertKind::PtpDesync)
-                }
+                DataSource::Ptp => RawAlert::known(source, now, location, AlertKind::PtpDesync),
                 _ => RawAlert::known(source, now, location, AlertKind::LatencyJitter)
                     .with_magnitude(self.noise_rng.gen_range(0.0001..0.001)),
             };
@@ -217,12 +221,7 @@ impl TelemetrySuite {
     /// alert at once, repeatedly for the storm's duration. Cause-less:
     /// nothing is actually wrong — the §4.2 false-positive pressure that
     /// type-distinct counting defuses.
-    fn emit_glitch_storm(
-        &mut self,
-        scenario: &Scenario,
-        now: SimTime,
-        alerts: &mut Vec<RawAlert>,
-    ) {
+    fn emit_glitch_storm(&mut self, scenario: &Scenario, now: SimTime, alerts: &mut Vec<RawAlert>) {
         if self.cfg.glitch_storms_per_hour <= 0.0 {
             return;
         }
@@ -233,8 +232,7 @@ impl TelemetrySuite {
         }
         let topo = scenario.topology();
         if self.storm.is_none() {
-            let p = (self.cfg.glitch_storms_per_hour * self.cfg.base_tick.as_secs_f64()
-                / 3600.0)
+            let p = (self.cfg.glitch_storms_per_hour * self.cfg.base_tick.as_secs_f64() / 3600.0)
                 .clamp(0.0, 1.0);
             if self.noise_rng.gen_bool(p) {
                 let clusters = topo.clusters();
@@ -296,7 +294,10 @@ mod tests {
         let mut suite = TelemetrySuite::standard(s.topology(), TelemetryConfig::quiet());
         let run = suite.run(&s);
         assert!(!run.alerts.is_empty());
-        assert!(run.alerts.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(run
+            .alerts
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
         let mut sources: Vec<DataSource> = run.alerts.iter().map(|a| a.source).collect();
         sources.sort_unstable();
         sources.dedup();
@@ -361,6 +362,9 @@ mod tests {
             .iter()
             .filter(|a| a.timestamp >= SimTime::from_mins(2))
             .count();
-        assert!(during > 10 * (before + 1), "before={before} during={during}");
+        assert!(
+            during > 10 * (before + 1),
+            "before={before} during={during}"
+        );
     }
 }

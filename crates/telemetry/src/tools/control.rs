@@ -102,8 +102,8 @@ impl MonitoringTool for ModificationEvents {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::ping::PingLog;
     use skynet_failure::{Injector, NetworkState, Scenario};
+    use skynet_model::ping::PingLog;
     use skynet_model::{DeviceId, LocationPath, SimTime};
     use skynet_topology::{generate, GeneratorConfig};
     use std::sync::Arc;
@@ -117,7 +117,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        tool.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        tool.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         alerts
     }
 

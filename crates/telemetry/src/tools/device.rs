@@ -261,8 +261,8 @@ impl MonitoringTool for PatrolInspection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::ping::PingLog;
     use skynet_failure::{Injector, NetworkState, Scenario};
+    use skynet_model::ping::PingLog;
     use skynet_model::{DeviceId, SimTime};
     use skynet_topology::{generate, GeneratorConfig};
     use std::sync::Arc;
@@ -283,7 +283,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        tool.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        tool.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         alerts
     }
 
@@ -337,7 +343,9 @@ mod tests {
             .collect();
         assert!(!starved.is_empty());
         assert!(
-            starved.iter().all(|a| a.timestamp >= SimTime::from_secs(60)),
+            starved
+                .iter()
+                .all(|a| a.timestamp >= SimTime::from_secs(60)),
             "delay is never negative"
         );
         assert!(

@@ -6,8 +6,8 @@ pub mod ping;
 pub mod syslog;
 pub mod traffic;
 
-use skynet_model::ping::PingLog;
 use skynet_failure::{NetworkState, Scenario};
+use skynet_model::ping::PingLog;
 use skynet_model::{DataSource, RawAlert, SimDuration, SimTime};
 
 pub use control::{ModificationEvents, RouteMonitoring};
@@ -69,8 +69,10 @@ mod tests {
         let a = device_unit_hash(DeviceId(5), 1);
         assert_eq!(a, device_unit_hash(DeviceId(5), 1));
         assert!((0.0..1.0).contains(&a));
-        let mean: f64 =
-            (0..1000).map(|i| device_unit_hash(DeviceId(i), 7)).sum::<f64>() / 1000.0;
+        let mean: f64 = (0..1000)
+            .map(|i| device_unit_hash(DeviceId(i), 7))
+            .sum::<f64>()
+            / 1000.0;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
     }
 }

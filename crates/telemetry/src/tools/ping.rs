@@ -5,9 +5,7 @@ use super::{device_unit_hash, MonitoringTool, PollCtx, Sink};
 use crate::config::TelemetryConfig;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use skynet_model::{
-    AlertKind, DataSource, LocationLevel, LocationPath, RawAlert, SimDuration,
-};
+use skynet_model::{AlertKind, DataSource, LocationLevel, LocationPath, RawAlert, SimDuration};
 use skynet_topology::route::{self, RoutePath};
 use skynet_topology::Topology;
 use std::sync::Arc;
@@ -316,8 +314,8 @@ impl MonitoringTool for InbandTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::ping::PingLog;
     use skynet_failure::{Injector, NetworkState};
+    use skynet_model::ping::PingLog;
     use skynet_model::{SimDuration, SimTime};
     use skynet_topology::{generate, GeneratorConfig};
 
@@ -348,7 +346,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        ping.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        ping.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         assert!(!alerts.is_empty(), "a dead CSR must cost some ping pairs");
         for a in &alerts {
             assert_eq!(a.source, DataSource::Ping);
@@ -373,7 +377,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        ping.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        ping.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         assert!(alerts.is_empty());
         assert!(log.samples().is_empty());
     }
@@ -391,12 +401,18 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        int.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        int.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         // The fully-dead CSR never reports INT.
-        assert!(alerts
-            .iter()
-            .all(|a| a.location != scenario.topology().device(csr).attribution()
+        assert!(alerts.iter().all(
+            |a| a.location != scenario.topology().device(csr).attribution()
                 || a.known_kind() != Some(AlertKind::IntPacketLoss)
-                || a.magnitude < 1.0));
+                || a.magnitude < 1.0
+        ));
     }
 }

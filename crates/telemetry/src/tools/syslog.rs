@@ -211,8 +211,7 @@ impl MonitoringTool for Syslog {
                 let first_time = !self.seen.contains(&condition);
                 if first_time || self.rng.gen_bool(self.repeat_prob) {
                     let text = render_message(kind, &mut self.rng);
-                    let mut alert =
-                        RawAlert::syslog(ctx.now, device.location.clone(), text);
+                    let mut alert = RawAlert::syslog(ctx.now, device.location.clone(), text);
                     alert.cause = Some(cause);
                     sink.alerts.push(alert);
                 }
@@ -226,8 +225,8 @@ impl MonitoringTool for Syslog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::ping::PingLog;
     use skynet_failure::{Injector, NetworkState, Scenario};
+    use skynet_model::ping::PingLog;
     use skynet_model::{AlertBody, SimTime};
     use skynet_topology::{generate, GeneratorConfig};
     use std::sync::Arc;
@@ -241,7 +240,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        tool.poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        tool.poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         alerts
     }
 
@@ -249,7 +254,13 @@ mod tests {
     fn hardware_fault_logs_hw_error_text() {
         let topo = Arc::new(generate(&GeneratorConfig::small()));
         let mut inj = Injector::new(topo);
-        inj.device_hardware(DeviceId(2), SimTime::ZERO, SimDuration::from_mins(10), 0.3, true);
+        inj.device_hardware(
+            DeviceId(2),
+            SimTime::ZERO,
+            SimDuration::from_mins(10),
+            0.3,
+            true,
+        );
         let s = inj.finish(SimTime::from_mins(10));
         let mut tool = Syslog::new(&TelemetryConfig::quiet());
         let alerts = poll_at(&mut tool, &s, 10);
@@ -270,7 +281,13 @@ mod tests {
     fn silent_loss_produces_no_syslog() {
         let topo = Arc::new(generate(&GeneratorConfig::small()));
         let mut inj = Injector::new(topo);
-        inj.device_hardware(DeviceId(2), SimTime::ZERO, SimDuration::from_mins(10), 0.3, false);
+        inj.device_hardware(
+            DeviceId(2),
+            SimTime::ZERO,
+            SimDuration::from_mins(10),
+            0.3,
+            false,
+        );
         let s = inj.finish(SimTime::from_mins(10));
         let mut tool = Syslog::new(&TelemetryConfig::quiet());
         // The degraded device itself must not log (coverage gap, §2.1);

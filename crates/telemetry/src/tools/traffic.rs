@@ -98,8 +98,8 @@ impl MonitoringTool for TrafficStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skynet_model::ping::PingLog;
     use skynet_failure::{Injector, NetworkState};
+    use skynet_model::ping::PingLog;
     use skynet_model::SimTime;
     use skynet_topology::{generate, GeneratorConfig};
     use std::sync::Arc;
@@ -121,8 +121,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        TrafficStats::new(&TelemetryConfig::quiet())
-            .poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        TrafficStats::new(&TelemetryConfig::quiet()).poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         let kinds: Vec<_> = alerts.iter().filter_map(|a| a.known_kind()).collect();
         assert!(kinds.contains(&AlertKind::SflowPacketLoss));
         assert!(kinds.contains(&AlertKind::TrafficDrop));
@@ -141,8 +146,13 @@ mod tests {
         };
         let mut alerts = Vec::new();
         let mut log = PingLog::new();
-        TrafficStats::new(&TelemetryConfig::quiet())
-            .poll(&ctx, &mut Sink { alerts: &mut alerts, ping: &mut log });
+        TrafficStats::new(&TelemetryConfig::quiet()).poll(
+            &ctx,
+            &mut Sink {
+                alerts: &mut alerts,
+                ping: &mut log,
+            },
+        );
         assert!(alerts.is_empty());
     }
 }

@@ -142,8 +142,7 @@ impl GeneratorConfig {
         let clusters = sites * self.clusters_per_site;
         let leaves = clusters * self.leaves_per_cluster;
         let csrs = sites * self.agg_group_size;
-        let logic_sites =
-            self.regions * self.cities_per_region * self.logic_sites_per_city;
+        let logic_sites = self.regions * self.cities_per_region * self.logic_sites_per_city;
         let bsrs = logic_sites * self.agg_group_size;
         let reflectors = logic_sites; // one per logic site
         let isrs = self.regions * self.cities_per_region * self.agg_group_size;
@@ -167,12 +166,7 @@ pub fn generate(config: &GeneratorConfig) -> Topology {
         let region = LocationPath::new([format!("Region-{r}")]);
         // Region border routers.
         let dcbrs: Vec<DeviceId> = (0..config.agg_group_size)
-            .map(|i| {
-                b.add_device(
-                    DeviceRole::Dcbr,
-                    agg_path(&region, 5, &format!("DCBR-{i}")),
-                )
-            })
+            .map(|i| b.add_device(DeviceRole::Dcbr, agg_path(&region, 5, &format!("DCBR-{i}"))))
             .collect();
         // Internet entry links, round-robin across the region's DCBRs.
         for e in 0..config.entries_per_region {
@@ -217,10 +211,7 @@ pub fn generate(config: &GeneratorConfig) -> Topology {
                         let cluster = site.child(format!("Cluster-{k}"));
                         let leaves: Vec<DeviceId> = (0..config.leaves_per_cluster)
                             .map(|i| {
-                                b.add_device(
-                                    DeviceRole::Leaf,
-                                    cluster.child(format!("leaf-{i}")),
-                                )
+                                b.add_device(DeviceRole::Leaf, cluster.child(format!("leaf-{i}")))
                             })
                             .collect();
                         bipartite(&mut b, &leaves, &csrs, config.circuits_per_link, caps);

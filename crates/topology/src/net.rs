@@ -348,7 +348,9 @@ impl TopologyBuilder {
             }
             if link.is_internet_entry() {
                 if let Some(d) = link.a.device().or_else(|| link.b.device()) {
-                    let region = devices[d.index()].location.truncate_at(LocationLevel::Region);
+                    let region = devices[d.index()]
+                        .location
+                        .truncate_at(LocationLevel::Region);
                     entries_by_region.entry(region).or_default().push(link.id);
                 }
             }
@@ -369,7 +371,10 @@ impl TopologyBuilder {
             // from the ECMP aggregation groups.
             if device.role != DeviceRole::Reflector {
                 let served = device.location.truncate_at(device.role.serves_level());
-                agg_groups.entry(served.clone()).or_default().push(device.id);
+                agg_groups
+                    .entry(served.clone())
+                    .or_default()
+                    .push(device.id);
             }
             if device.role == DeviceRole::Leaf {
                 let cluster = device.location.truncate_at(LocationLevel::Cluster);
@@ -424,10 +429,7 @@ mod tests {
         let mut leaves = Vec::new();
         for k in ["K1", "K2"] {
             for n in 0..2 {
-                leaves.push(b.add_device(
-                    DeviceRole::Leaf,
-                    p(&format!("R|C|L|S|{k}|leaf-{n}")),
-                ));
+                leaves.push(b.add_device(DeviceRole::Leaf, p(&format!("R|C|L|S|{k}|leaf-{n}"))));
             }
         }
         let csr0 = b.add_device(DeviceRole::Csr, p("R|C|L|S|agg|CSR-0"));
@@ -456,7 +458,7 @@ mod tests {
         assert_eq!(t.clusters().len(), 2);
         assert_eq!(t.agg_group(&p("R|C|L|S")).len(), 2); // CSRs
         assert_eq!(t.agg_group(&p("R|C|L|S|K1")).len(), 2); // leaves
-        // Every link appears in both endpoints' lists.
+                                                            // Every link appears in both endpoints' lists.
         for link in t.links() {
             for ep in [link.a, link.b] {
                 if let Some(d) = ep.device() {

@@ -22,13 +22,9 @@ impl VotingGraph {
     /// root; each alert votes for the devices its location covers and, via
     /// propagation, for their links and direct neighbours.
     pub fn build(topo: &Arc<Topology>, incident: &Incident) -> Self {
-        let scope: Vec<DeviceId> = topo
-            .devices_under(&incident.root)
-            .map(|d| d.id)
-            .collect();
+        let scope: Vec<DeviceId> = topo.devices_under(&incident.root).map(|d| d.id).collect();
         let in_scope: std::collections::HashSet<DeviceId> = scope.iter().copied().collect();
-        let mut device_votes: HashMap<DeviceId, u32> =
-            scope.iter().map(|&d| (d, 0)).collect();
+        let mut device_votes: HashMap<DeviceId, u32> = scope.iter().map(|&d| (d, 0)).collect();
         let mut link_votes: HashMap<LinkId, u32> = HashMap::new();
         for &d in &scope {
             for &l in topo.links_of(d) {
@@ -56,9 +52,7 @@ impl VotingGraph {
                     if let Some(v) = link_votes.get_mut(&l) {
                         *v += 1;
                         // The link passes the vote to its other endpoint.
-                        if let Some(peer) =
-                            topo.link(l).other(d).and_then(|e| e.device())
-                        {
+                        if let Some(peer) = topo.link(l).other(d).and_then(|e| e.device()) {
                             if let Some(pv) = device_votes.get_mut(&peer) {
                                 *pv += 1;
                             }

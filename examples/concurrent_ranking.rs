@@ -10,8 +10,8 @@
 use skynet::core::{PipelineConfig, SkyNet};
 use skynet::failure::Injector;
 use skynet::model::{CustomerId, SimDuration, SimTime};
-use skynet::topology::{generate, GeneratorConfig};
 use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::{generate, GeneratorConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -55,9 +55,18 @@ fn main() {
 
     let mut injector = Injector::new(Arc::clone(&topo));
     // A: a whole site loses power — many devices, many alerts.
-    injector.infrastructure_outage(&boring_region, SimTime::from_mins(2), SimDuration::from_mins(12));
+    injector.infrastructure_outage(
+        &boring_region,
+        SimTime::from_mins(2),
+        SimDuration::from_mins(12),
+    );
     // B: a DDoS congests the premium cluster — fewer devices.
-    injector.ddos(&critical, 3.0, SimTime::from_mins(2), SimDuration::from_mins(12));
+    injector.ddos(
+        &critical,
+        3.0,
+        SimTime::from_mins(2),
+        SimDuration::from_mins(12),
+    );
     let scenario = injector.finish(SimTime::from_mins(22));
 
     let mut suite = TelemetrySuite::standard(&topo, TelemetryConfig::default());

@@ -15,9 +15,7 @@
 
 use skynet::core::{PipelineConfig, SkyNet};
 use skynet::failure::Injector;
-use skynet::model::{
-    AlertKind, DataSource, LocationLevel, RawAlert, SimDuration, SimTime,
-};
+use skynet::model::{AlertKind, DataSource, LocationLevel, RawAlert, SimDuration, SimTime};
 use skynet::telemetry::tools::{MonitoringTool, PollCtx, Sink};
 use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet::topology::route;
@@ -86,7 +84,12 @@ fn main() {
         .unwrap()
         .clone();
     let mut injector = Injector::new(Arc::clone(&topo));
-    injector.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    injector.entry_cable_cut(
+        &region,
+        0.5,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(10),
+    );
     let scenario = injector.finish(SimTime::from_mins(20));
 
     // Stock suite + the new tool, added with one line.
@@ -109,8 +112,16 @@ fn main() {
     let sky = SkyNet::new(&topo, PipelineConfig::production());
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
     let top = report.incidents.first().expect("detected");
-    println!("top incident: {} (score {:.1})", top.incident.root, top.score());
-    assert!(top.incident.root.to_string().starts_with(&region.to_string()));
+    println!(
+        "top incident: {} (score {:.1})",
+        top.incident.root,
+        top.score()
+    );
+    assert!(top
+        .incident
+        .root
+        .to_string()
+        .starts_with(&region.to_string()));
 
     // §9's LLM integration point: the truncated context SkyNet would hand
     // to a diagnostic LLM.

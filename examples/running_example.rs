@@ -13,9 +13,7 @@
 //! ```
 
 use skynet::core::{PipelineConfig, SkyNet};
-use skynet::model::{
-    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimTime,
-};
+use skynet::model::{AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimTime};
 use skynet::topology::{DeviceRole, Flow, FlowDestination, TopologyBuilder};
 use std::sync::Arc;
 
@@ -39,9 +37,18 @@ fn figure6_topology() -> Arc<skynet::topology::Topology> {
             p(&format!("Region A|City a|{site}|{cluster}|{name}")),
         ));
     }
-    let csr1 = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site 2|Site I|agg|CSR-1"));
-    let csr2 = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site 2|Site II|agg|CSR-2"));
-    let csrn = b.add_device(DeviceRole::Csr, p("Region A|City a|Logic site n|Site n|agg|CSR-n"));
+    let csr1 = b.add_device(
+        DeviceRole::Csr,
+        p("Region A|City a|Logic site 2|Site I|agg|CSR-1"),
+    );
+    let csr2 = b.add_device(
+        DeviceRole::Csr,
+        p("Region A|City a|Logic site 2|Site II|agg|CSR-2"),
+    );
+    let csrn = b.add_device(
+        DeviceRole::Csr,
+        p("Region A|City a|Logic site n|Site n|agg|CSR-n"),
+    );
     b.add_link(devices[0], csr1, 4, 100.0);
     b.add_link(devices[1], csr1, 4, 100.0);
     b.add_link(devices[2], csr2, 4, 100.0);
@@ -59,9 +66,7 @@ fn figure6_topology() -> Arc<skynet::topology::Topology> {
         b.add_flow(Flow {
             customer,
             src: p(src),
-            dst: FlowDestination::Cluster(p(
-                "Region A|City a|Logic site 2|Site II|Cluster iii",
-            )),
+            dst: FlowDestination::Cluster(p("Region A|City a|Logic site 2|Site II|Cluster iii")),
             rate_gbps: 12.0,
             sla_limit_gbps: 8.0,
             ecmp_hash: hash,

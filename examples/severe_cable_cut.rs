@@ -27,12 +27,20 @@ fn main() {
         .clone();
     println!("cutting 50% of the internet entry circuits of {region}");
     let mut injector = Injector::new(Arc::clone(&topo));
-    injector.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(15));
+    injector.entry_cable_cut(
+        &region,
+        0.5,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(15),
+    );
     let scenario = injector.finish(SimTime::from_mins(25));
 
     let mut suite = TelemetrySuite::standard(&topo, TelemetryConfig::default());
     let run = suite.run(&scenario);
-    println!("alert flood: {} raw alerts in 25 minutes\n", run.alerts.len());
+    println!(
+        "alert flood: {} raw alerts in 25 minutes\n",
+        run.alerts.len()
+    );
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 2);
     let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
@@ -41,7 +49,10 @@ fn main() {
 
     let top = report.incidents.first().expect("the cut must surface");
     assert!(
-        top.incident.root.to_string().starts_with(&region.to_string()),
+        top.incident
+            .root
+            .to_string()
+            .starts_with(&region.to_string()),
         "incident at {}",
         top.incident.root
     );
@@ -58,8 +69,7 @@ fn main() {
     // §7.1: the voting graph of the incident scope.
     let graph = VotingGraph::build(&topo, &top.incident);
     println!("top-voted devices (§7.1):\n{}", graph.render(&topo, 5));
-    std::fs::write("target/cable_cut_incident.dot", graph.to_dot(&topo))
-        .expect("write DOT file");
+    std::fs::write("target/cable_cut_incident.dot", graph.to_dot(&topo)).expect("write DOT file");
     println!("full graph written to target/cable_cut_incident.dot\n");
 
     // Fig. 10c: what this failure costs with and without SkyNet.

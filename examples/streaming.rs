@@ -35,10 +35,16 @@ fn main() {
 
     // Interleave alerts and ping samples exactly as the feed would.
     for alert in &run.alerts {
-        handle.events.send(StreamEvent::Alert(alert.clone())).unwrap();
+        handle
+            .events
+            .send(StreamEvent::Alert(alert.clone()))
+            .unwrap();
     }
     for sample in run.ping.samples() {
-        handle.events.send(StreamEvent::Ping(sample.clone())).unwrap();
+        handle
+            .events
+            .send(StreamEvent::Ping(sample.clone()))
+            .unwrap();
     }
     // Quiet period: ticks alone drive the 15-minute incident timeout.
     handle
@@ -52,10 +58,21 @@ fn main() {
         .expect("an incident finalizes during the quiet period");
     println!(
         "incident finalized mid-stream: {} (score {:.1}, zoom {})",
-        first.incident.root,
-        first.score(),
-        first.zoom.location
+        first.scored.incident.root,
+        first.scored.score(),
+        first.scored.zoom.location
     );
+    if let Some(plan) = &first.sop {
+        println!("SOP attached: {} -> {:?}", plan.rule, plan.action);
+    }
+
+    // The liveness probe: what a health-check endpoint would poll.
+    let health = handle.health();
+    println!(
+        "health: alive={} restarts={} queued={}",
+        health.alive, health.restarts, health.queued_events
+    );
+    assert!(health.alive && !health.gave_up);
 
     let stats = *handle.stats.lock();
     println!(
@@ -63,12 +80,23 @@ fn main() {
         stats.raw, stats.emitted, stats.deduplicated
     );
     assert!(stats.emitted < stats.raw);
+    let ingest = *handle.ingest.lock();
+    println!(
+        "ingest: {} accepted, {} rejected, watermark {}",
+        ingest.accepted,
+        ingest.rejected(),
+        ingest.watermark
+    );
+    assert!(handle.dead_letters.lock().is_empty());
 
     handle.events.send(StreamEvent::Flush).unwrap();
     drop(handle.events);
     let mut incidents: Vec<_> = handle.incidents.iter().collect();
     handle.worker.join().unwrap();
-    println!("flush drained {} further incident(s); worker exited cleanly", incidents.len());
+    println!(
+        "flush drained {} further incident(s); worker exited cleanly",
+        incidents.len()
+    );
 
     // A BSR outage is seen from both sides of the WAN: the far region's
     // ping mesh reports loss too. At least one incident must sit on the
@@ -77,7 +105,7 @@ fn main() {
     assert!(
         incidents
             .iter()
-            .any(|s| s.incident.root.contains(&victim.location)),
+            .any(|s| s.scored.incident.root.contains(&victim.location)),
         "some incident must cover the dead BSR"
     );
 }

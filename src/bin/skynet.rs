@@ -68,8 +68,8 @@ fn analyze(args: &[String]) {
         .map(|v| v.parse().expect("--horizon-mins takes a number"))
         .unwrap_or(60);
 
-    let topo_file = std::fs::File::open(topo_path)
-        .unwrap_or_else(|e| panic!("cannot open {topo_path}: {e}"));
+    let topo_file =
+        std::fs::File::open(topo_path).unwrap_or_else(|e| panic!("cannot open {topo_path}: {e}"));
     let topo: Topology =
         serde_json::from_reader(BufReader::new(topo_file)).expect("topology parses");
     let topo = Arc::new(topo);
@@ -87,7 +87,11 @@ fn analyze(args: &[String]) {
         alerts.push(alert);
     }
     alerts.sort_by_key(|a| a.timestamp);
-    eprintln!("loaded {} alerts against {:?}", alerts.len(), topo.summary());
+    eprintln!(
+        "loaded {} alerts against {:?}",
+        alerts.len(),
+        topo.summary()
+    );
 
     let skynet = SkyNet::new(&topo, PipelineConfig::production());
     let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(horizon_mins));

@@ -67,12 +67,15 @@ fn analyze_reads_json_lines_and_reports() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("incidents"), "{stdout}");
     assert!(
-        stdout.contains(&victim.location.parent().to_string())
-            || stdout.contains("Failure alerts"),
+        stdout.contains(&victim.location.parent().to_string()) || stdout.contains("Failure alerts"),
         "report must describe the outage: {stdout}"
     );
 }

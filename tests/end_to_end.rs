@@ -57,7 +57,12 @@ fn entry_cable_cut_is_detected_with_failure_class_evidence() {
         .unwrap()
         .clone();
     let mut inj = Injector::new(Arc::clone(&topo));
-    inj.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    inj.entry_cable_cut(
+        &region,
+        0.5,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(10),
+    );
     let scenario = inj.finish(SimTime::from_mins(20));
     let report = analyze(&scenario);
 
@@ -203,7 +208,13 @@ fn known_single_device_failure_gets_an_automatic_sop() {
         .unwrap()
         .id;
     let mut inj = Injector::new(Arc::clone(&topo));
-    inj.device_hardware(leaf, SimTime::from_mins(3), SimDuration::from_mins(8), 0.4, true);
+    inj.device_hardware(
+        leaf,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(8),
+        0.4,
+        true,
+    );
     let scenario = inj.finish(SimTime::from_mins(20));
     let report = analyze(&scenario);
 
@@ -238,7 +249,10 @@ fn late_root_cause_alerts_still_join_their_incident() {
     use skynet::model::{AlertKind, DataSource, PingLog, RawAlert};
     let topo = topo();
     let site = topo.clusters()[0].parent();
-    let device = topo.device(topo.agg_group(&topo.clusters()[0])[0]).location.clone();
+    let device = topo
+        .device(topo.agg_group(&topo.clusters()[0])[0])
+        .location
+        .clone();
 
     let mut alerts = Vec::new();
     // t=0s: BGP break is first.
@@ -255,8 +269,13 @@ fn late_root_cause_alerts_still_join_their_incident() {
             AlertKind::PacketLossTcp
         };
         alerts.push(
-            RawAlert::known(DataSource::Ping, SimTime::from_secs(5 + i * 3), site.clone(), kind)
-                .with_magnitude(0.3),
+            RawAlert::known(
+                DataSource::Ping,
+                SimTime::from_secs(5 + i * 3),
+                site.clone(),
+                kind,
+            )
+            .with_magnitude(0.3),
         );
     }
     // t=240s (four minutes in): the actual root cause finally logs.
@@ -269,7 +288,11 @@ fn late_root_cause_alerts_still_join_their_incident() {
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 8);
     let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
     let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
-    assert_eq!(report.incidents.len(), 1, "one incident despite the 4-minute gap");
+    assert_eq!(
+        report.incidents.len(),
+        1,
+        "one incident despite the 4-minute gap"
+    );
     let incident = &report.incidents[0].incident;
     assert!(
         incident
@@ -300,7 +323,13 @@ fn history_ranker_fails_on_unprecedented_severe_failures() {
     for seed in 0..20u64 {
         let mut inj = Injector::new(Arc::clone(&topo));
         let dev = DeviceId((seed % topo.devices().len() as u64) as u32);
-        inj.device_hardware(dev, SimTime::from_mins(2), SimDuration::from_mins(4), 0.3, true);
+        inj.device_hardware(
+            dev,
+            SimTime::from_mins(2),
+            SimDuration::from_mins(4),
+            0.3,
+            true,
+        );
         let scenario = inj.finish(SimTime::from_mins(12));
         let report = analyze(&scenario);
         for s in &report.incidents {
@@ -310,7 +339,12 @@ fn history_ranker_fails_on_unprecedented_severe_failures() {
 
     // The unprecedented severe failure.
     let mut inj = Injector::new(Arc::clone(&topo));
-    inj.entry_cable_cut(&region, 0.5, SimTime::from_mins(3), SimDuration::from_mins(10));
+    inj.entry_cable_cut(
+        &region,
+        0.5,
+        SimTime::from_mins(3),
+        SimDuration::from_mins(10),
+    );
     let scenario = inj.finish(SimTime::from_mins(20));
     let report = analyze(&scenario);
     let severe = report

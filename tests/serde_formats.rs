@@ -5,9 +5,7 @@
 
 use skynet::core::{PipelineConfig, SkyNet};
 use skynet::failure::Injector;
-use skynet::model::{
-    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimDuration, SimTime,
-};
+use skynet::model::{AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimDuration, SimTime};
 use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet::topology::{generate, GeneratorConfig};
 use std::sync::Arc;
@@ -111,8 +109,7 @@ fn reports_and_configs_serialize() {
 
     // The whole operator deliverable is serializable (dashboards, storage).
     let json = serde_json::to_string(&report).expect("report serializes");
-    let back: skynet::core::AnalysisReport =
-        serde_json::from_str(&json).expect("report parses");
+    let back: skynet::core::AnalysisReport = serde_json::from_str(&json).expect("report parses");
     assert_eq!(back, report);
 
     // Configs too (deployment manifests).
