@@ -1,0 +1,51 @@
+//! Locator ingest throughput: the interned-id arena locator vs the
+//! path-keyed baseline (`PathLocator`) on the same Fig. 8c-scale flood.
+//!
+//! Both implementations produce identical incidents (see the
+//! `locator_equivalence` test); this bench isolates what the interning
+//! refactor buys on the hot path. Record the ratio in `EXPERIMENTS.md`
+//! when it changes materially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::experiments::fig8c;
+use skynet_core::locator::{Locator, LocatorConfig, PathLocator};
+use skynet_model::{SimDuration, SimTime, StructuredAlert};
+use std::hint::black_box;
+
+fn horizon(alerts: &[StructuredAlert]) -> SimTime {
+    alerts
+        .iter()
+        .map(|a| a.last_seen)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        + SimDuration::from_mins(20)
+}
+
+fn bench(c: &mut Criterion) {
+    let (topo, flood) = fig8c::build_flood(8_000);
+    let mut group = c.benchmark_group("locator_intern");
+    for &n in &[4_000usize, 8_000] {
+        let end = horizon(&flood[..n]);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut locator = Locator::new(&topo, LocatorConfig::default());
+                black_box(locator.process_batch(&flood[..n], end))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("path_keyed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut locator = PathLocator::new(&topo, LocatorConfig::default());
+                black_box(locator.process_batch(&flood[..n], end))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

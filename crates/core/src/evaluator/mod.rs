@@ -9,7 +9,7 @@ pub use zoom::{ReachabilityMatrix, ZoomMethod, ZoomResult};
 
 use crate::locator::Incident;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertKind, CustomerId, PingLog};
+use skynet_model::{AlertKind, CustomerId, LocId, PingLog};
 use skynet_topology::Topology;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -94,57 +94,74 @@ impl Evaluator {
                 0.0
             }
         }
+        // Evidence and endpoints are compared as interned ids against the
+        // topology's interner. Off-topology evidence locations (probes the
+        // topology never modeled) resolve to nothing — exactly the alerts
+        // that can never cover a topology device, so dropping them is
+        // behaviour-preserving.
+        let interner = self.topo.interner();
         // Break evidence by location: `(location, ratio)` from link/port
         // down alerts.
-        let break_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
+        let break_evidence: Vec<(LocId, f64)> = incident
             .alerts
             .iter()
             .filter(|a| matches!(a.ty.kind, AlertKind::LinkDown | AlertKind::PortDown))
-            .map(|a| {
-                (
-                    &a.location,
-                    if a.ty.kind == AlertKind::LinkDown {
-                        1.0
-                    } else {
-                        finite(a.magnitude).clamp(0.0, 1.0)
-                    },
-                )
+            .filter_map(|a| {
+                let ratio = if a.ty.kind == AlertKind::LinkDown {
+                    1.0
+                } else {
+                    finite(a.magnitude).clamp(0.0, 1.0)
+                };
+                interner.resolve(&a.location).map(|loc| (loc, ratio))
             })
             .collect();
         // Congestion evidence: `(location, utilization)`.
-        let congestion_evidence: Vec<(&skynet_model::LocationPath, f64)> = incident
+        let congestion_evidence: Vec<(LocId, f64)> = incident
             .alerts
             .iter()
             .filter(|a| a.ty.kind == AlertKind::TrafficCongestion)
-            .map(|a| (&a.location, finite(a.magnitude).max(1.0)))
+            .filter_map(|a| {
+                interner
+                    .resolve(&a.location)
+                    .map(|loc| (loc, finite(a.magnitude).max(1.0)))
+            })
             .collect();
 
         let mut circuit_sets = Vec::new();
         let mut important: HashSet<CustomerId> = HashSet::new();
         let mut max_sla_over = 0.0f64;
 
+        // The bare hierarchy root contains every device; any other
+        // unresolvable incident root is off the topology, hence an ancestor
+        // of no device: no circuit set can be related.
+        let root_is_all = incident.root.is_root();
+        let root = interner.resolve(&incident.root);
         for link in self.topo.links() {
+            if !root_is_all && root.is_none() {
+                break;
+            }
             // A circuit set is related to the incident when any endpoint
             // device sits under the incident root.
-            let endpoint_locs: Vec<_> = [link.a.device(), link.b.device()]
+            let endpoint_locs: Vec<LocId> = [link.a.device(), link.b.device()]
                 .into_iter()
                 .flatten()
-                .map(|d| self.topo.device(d).location.clone())
+                .map(|d| self.topo.device_loc(d))
                 .collect();
-            if endpoint_locs.is_empty() || !endpoint_locs.iter().any(|l| incident.root.contains(l))
-            {
+            let related = root_is_all
+                || root.is_some_and(|r| endpoint_locs.iter().any(|&l| interner.contains(r, l)));
+            if endpoint_locs.is_empty() || !related {
                 continue;
             }
             // d_i: the most specific break evidence covering an endpoint.
             let break_ratio = break_evidence
                 .iter()
-                .filter(|(loc, _)| endpoint_locs.iter().any(|e| loc.contains(e)))
+                .filter(|&&(loc, _)| endpoint_locs.iter().any(|&e| interner.contains(loc, e)))
                 .map(|&(_, r)| r)
                 .fold(0.0f64, f64::max);
             // Worst congestion covering an endpoint.
             let util = congestion_evidence
                 .iter()
-                .filter(|(loc, _)| endpoint_locs.iter().any(|e| loc.contains(e)))
+                .filter(|&&(loc, _)| endpoint_locs.iter().any(|&e| interner.contains(loc, e)))
                 .map(|&(_, u)| u)
                 .fold(0.0f64, f64::max);
 

@@ -15,8 +15,8 @@
 use crate::locator::Incident;
 use serde::{Deserialize, Serialize};
 use skynet_model::PingLog;
-use skynet_model::{AlertKind, LocationLevel, LocationPath, SimTime};
-use std::collections::BTreeMap;
+use skynet_model::{AlertKind, LocId, LocationInterner, LocationLevel, LocationPath, SimTime};
+use std::collections::HashMap;
 
 /// A dense src × dst loss matrix at one location granularity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,35 +30,39 @@ pub struct ReachabilityMatrix {
 impl ReachabilityMatrix {
     /// Builds the matrix from lossy ping samples in `[from, to)`,
     /// truncating endpoints to `level`.
+    ///
+    /// Endpoints are interned into a matrix-local [`LocationInterner`] so
+    /// the aggregation loop keys cells by `Copy` id pairs and truncates in
+    /// id space; paths are only materialized once per label at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ping sample endpoint is the bare hierarchy root.
     pub fn build(log: &PingLog, from: SimTime, to: SimTime, level: LocationLevel) -> Self {
-        let mut sums: BTreeMap<(LocationPath, LocationPath), (f64, u32)> = BTreeMap::new();
-        let mut label_set: BTreeMap<String, LocationPath> = BTreeMap::new();
+        let mut interner = LocationInterner::new();
+        let mut sums: HashMap<(LocId, LocId), (f64, u32)> = HashMap::new();
         for s in log.window(from, to) {
-            let src = s.src.truncate_at(level);
-            let dst = s.dst.truncate_at(level);
-            label_set
-                .entry(src.to_string())
-                .or_insert_with(|| src.clone());
-            label_set
-                .entry(dst.to_string())
-                .or_insert_with(|| dst.clone());
+            let src = interner.intern(&s.src);
+            let src = interner.truncate_at(src, level);
+            let dst = interner.intern(&s.dst);
+            let dst = interner.truncate_at(dst, level);
             let e = sums.entry((src, dst)).or_insert((0.0, 0));
             e.0 += s.loss;
             e.1 += 1;
         }
-        let labels: Vec<LocationPath> = label_set.into_values().collect();
-        let index: BTreeMap<String, usize> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (l.to_string(), i))
-            .collect();
-        let n = labels.len();
+        // Only ids seen as endpoints become labels (the interner also holds
+        // their ancestors); keep the historical string sort order.
+        let mut ids: Vec<LocId> = sums.keys().flat_map(|&(src, dst)| [src, dst]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.sort_by_cached_key(|&id| interner.path(id).to_string());
+        let index: HashMap<LocId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let n = ids.len();
         let mut data = vec![vec![0.0; n]; n];
-        for ((src, dst), (sum, count)) in sums {
-            let i = index[&src.to_string()];
-            let j = index[&dst.to_string()];
-            data[i][j] = sum / f64::from(count);
+        for (&(src, dst), &(sum, count)) in &sums {
+            data[index[&src]][index[&dst]] = sum / f64::from(count);
         }
+        let labels = ids.iter().map(|&id| interner.path(id).clone()).collect();
         ReachabilityMatrix { labels, data }
     }
 

@@ -20,11 +20,13 @@
 use crate::error::RejectReason;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertBody, DataSource, LocationPath, RawAlert, SimDuration, SimTime};
+use skynet_model::{
+    AlertBody, DataSource, LocId, LocationInterner, RawAlert, SimDuration, SimTime,
+};
 use skynet_topology::Topology;
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Ingestion-guard knobs.
@@ -211,17 +213,12 @@ impl IngestStats {
 }
 
 /// Identity of an alert for exact-duplicate suppression: everything a tool
-/// would retransmit verbatim. Magnitude enters as raw bits so only
-/// bit-identical retransmissions collide (NaNs never get here — they are
-/// rejected as corrupt first).
-type DupKey = (
-    DataSource,
-    AlertBody,
-    LocationPath,
-    Option<LocationPath>,
-    SimTime,
-    u64,
-);
+/// would retransmit verbatim. Locations enter as interned [`LocId`]s (the
+/// validity check already resolved them, so no paths are cloned or
+/// re-hashed per offer). Magnitude enters as raw bits so only bit-identical
+/// retransmissions collide (NaNs never get here — they are rejected as
+/// corrupt first).
+type DupKey = (DataSource, AlertBody, LocId, Option<LocId>, SimTime, u64);
 
 #[derive(Debug)]
 struct Buffered {
@@ -251,10 +248,12 @@ impl Ord for Buffered {
 #[derive(Debug)]
 pub struct IngestGuard {
     cfg: GuardConfig,
-    /// Every location an alert may legitimately be attributed to: the
-    /// ancestor chain of every device path (tools attribute to the device
-    /// or to a serving-level prefix, §4.1).
-    valid: HashSet<LocationPath>,
+    /// The topology's location interner. Every location an alert may
+    /// legitimately be attributed to — the ancestor chain of every device
+    /// path (tools attribute to the device or to a serving-level prefix,
+    /// §4.1) — resolves to an id here; anything else (including the bare
+    /// hierarchy root) is off-topology.
+    interner: Arc<LocationInterner>,
     buffer: BinaryHeap<Reverse<Buffered>>,
     seq: u64,
     /// Maximum event time admitted so far; the watermark trails it.
@@ -281,15 +280,9 @@ impl IngestGuard {
         cfg: GuardConfig,
         dead: Arc<Mutex<DeadLetterQueue>>,
     ) -> Self {
-        let mut valid = HashSet::new();
-        for device in topo.devices() {
-            for prefix in device.location.prefixes() {
-                valid.insert(prefix);
-            }
-        }
         IngestGuard {
             cfg,
-            valid,
+            interner: Arc::clone(topo.interner()),
             buffer: BinaryHeap::new(),
             seq: 0,
             max_seen: SimTime::ZERO,
@@ -328,18 +321,22 @@ impl IngestGuard {
         self.buffer.len()
     }
 
-    fn validate(&self, raw: &RawAlert) -> Result<(), RejectReason> {
+    /// Validates one alert, returning the interned ids of its location and
+    /// peer so admission never resolves (or clones) a path twice.
+    fn validate(&self, raw: &RawAlert) -> Result<(LocId, Option<LocId>), RejectReason> {
         if raw.structural_defect().is_some() {
             return Err(RejectReason::CorruptBody);
         }
-        if !self.valid.contains(&raw.location) {
+        let Some(loc) = self.interner.resolve(&raw.location) else {
             return Err(RejectReason::OffTopology);
-        }
-        if let Some(peer) = &raw.peer {
-            if !self.valid.contains(peer) {
-                return Err(RejectReason::OffTopology);
-            }
-        }
+        };
+        let peer = match &raw.peer {
+            Some(peer) => match self.interner.resolve(peer) {
+                Some(id) => Some(id),
+                None => return Err(RejectReason::OffTopology),
+            },
+            None => None,
+        };
         if let Some(now) = self.trusted_now {
             if raw.timestamp > now.saturating_add(self.cfg.max_future_skew) {
                 return Err(RejectReason::FutureTimestamp);
@@ -348,7 +345,7 @@ impl IngestGuard {
         if raw.timestamp < self.watermark() {
             return Err(RejectReason::StaleTimestamp);
         }
-        Ok(())
+        Ok((loc, peer))
     }
 
     fn reject(&mut self, raw: RawAlert, reason: RejectReason) -> RejectReason {
@@ -367,14 +364,15 @@ impl IngestGuard {
     /// anything the advancing watermark releases is appended to `out` in
     /// non-decreasing timestamp order. Rejects are quarantined and counted.
     pub fn offer(&mut self, raw: RawAlert, out: &mut Vec<RawAlert>) -> Result<(), RejectReason> {
-        if let Err(reason) = self.validate(&raw) {
-            return Err(self.reject(raw, reason));
-        }
+        let (loc, peer) = match self.validate(&raw) {
+            Ok(ids) => ids,
+            Err(reason) => return Err(self.reject(raw, reason)),
+        };
         let key: DupKey = (
             raw.source,
             raw.body.clone(),
-            raw.location.clone(),
-            raw.peer.clone(),
+            loc,
+            peer,
             raw.timestamp,
             raw.magnitude.to_bits(),
         );

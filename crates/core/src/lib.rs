@@ -16,7 +16,9 @@
 //!   cross-source).
 //! - [`locator`] — the hierarchical main alert tree and incident trees
 //!   (Algorithms 1–3), type-distinct counting, the `A/B+C/D` thresholds,
-//!   topology-connectivity grouping.
+//!   topology-connectivity grouping. The production [`Locator`] runs on an
+//!   interned-id arena; [`locator::PathLocator`] keeps the path-keyed
+//!   implementation as a differential oracle and benchmark baseline.
 //! - [`evaluator`] — severity scoring (Equations 1–3, Table 3), the
 //!   reachability-matrix / sFlow / INT location zoom-in, and the severity
 //!   filter.
@@ -43,7 +45,7 @@ pub mod sop;
 pub use error::{RejectReason, SkyNetError};
 pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
-pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
+pub use locator::{CountingMode, Incident, Locator, LocatorConfig, PathLocator, Thresholds};
 pub use pipeline::{
     spawn_streaming, AnalysisReport, HealthReport, IngestSnapshot, PipelineConfig, SkyNet,
     StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,

@@ -15,16 +15,30 @@
 //! upward by replacing contained incidents, and finalize after 15 idle
 //! minutes.
 
+//!
+//! ## Interned hot path
+//!
+//! The main tree is an index-addressed arena: every location is resolved to
+//! a dense [`LocId`] exactly once, when its alert enters [`Locator::insert`],
+//! and Algorithms 1–3 then run entirely on `Copy` ids — containment is two
+//! array probes, adjacency one canonical-ordered pair lookup, and no
+//! [`LocationPath`] is cloned or re-hashed per alert. Paths reappear only on
+//! finished [`Incident`]s (the serde/API boundary). The previous path-keyed
+//! implementation survives as [`reference::PathLocator`], the differential
+//! test oracle and benchmark baseline.
+
 pub mod incident;
+pub mod reference;
 pub mod thresholds;
 
 pub use incident::Incident;
+pub use reference::PathLocator;
 pub use thresholds::Thresholds;
 
 use serde::{Deserialize, Serialize};
 use skynet_model::{
-    AlertClass, AlertType, IncidentId, LocationLevel, LocationPath, SimDuration, SimTime,
-    StructuredAlert,
+    AlertClass, AlertType, IncidentId, LocId, LocationInterner, LocationLevel, LocationPath,
+    SimDuration, SimTime, StructuredAlert,
 };
 use skynet_topology::Topology;
 use std::collections::{HashMap, HashSet};
@@ -102,21 +116,18 @@ impl Node {
 #[derive(Debug, Clone)]
 struct OpenIncident {
     id: IncidentId,
-    root: LocationPath,
-    nodes: HashMap<LocationPath, Node>,
+    root: LocId,
+    nodes: HashMap<LocId, Node>,
     update_time: SimTime,
 }
 
 impl OpenIncident {
-    fn add(&mut self, alert: &StructuredAlert) {
-        self.nodes
-            .entry(alert.location.clone())
-            .or_default()
-            .add(alert);
+    fn add(&mut self, loc: LocId, alert: &StructuredAlert) {
+        self.nodes.entry(loc).or_default().add(alert);
         self.update_time = self.update_time.max_of(alert.last_seen);
     }
 
-    fn into_incident(self) -> Incident {
+    fn into_incident(self, interner: &LocationInterner) -> Incident {
         let mut alerts: Vec<StructuredAlert> = self
             .nodes
             .into_values()
@@ -140,7 +151,7 @@ impl OpenIncident {
             .unwrap_or(SimTime::ZERO);
         Incident {
             id: self.id,
-            root: self.root,
+            root: interner.path(self.root).clone(),
             first_seen,
             last_seen,
             alerts,
@@ -148,23 +159,41 @@ impl OpenIncident {
     }
 }
 
+/// A canonical-ordered location pair: adjacency stores each linked pair
+/// once, queried from either direction without cloning anything.
+fn pair(a: LocId, b: LocId) -> (LocId, LocId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 /// The locator: feed it time-ordered structured alerts, collect finished
 /// incidents.
 pub struct Locator {
     cfg: LocatorConfig,
-    main: HashMap<LocationPath, Node>,
+    /// The topology's interner, extended in place with any off-topology
+    /// locations the flood mentions (e.g. probe pseudo-devices).
+    interner: LocationInterner,
+    /// The main alert tree as an arena indexed by `LocId`.
+    main: Vec<Node>,
+    /// Ids of main-tree nodes that currently hold alerts (no duplicates;
+    /// pruned on expiry).
+    active: Vec<LocId>,
     open: Vec<OpenIncident>,
     completed: Vec<Incident>,
     next_check: SimTime,
     next_id: u32,
-    /// Location-prefix pairs directly connected by a topology link.
-    adjacency: HashSet<(LocationPath, LocationPath)>,
+    /// Location-prefix pairs directly connected by a topology link, stored
+    /// once in canonical id order.
+    adjacency: HashSet<(LocId, LocId)>,
 }
 
 impl std::fmt::Debug for Locator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Locator")
-            .field("main_nodes", &self.main.len())
+            .field("main_nodes", &self.active.len())
             .field("open_incidents", &self.open.len())
             .field("completed", &self.completed.len())
             .finish_non_exhaustive()
@@ -175,34 +204,37 @@ impl Locator {
     /// Builds a locator over a topology (used for link-connectivity
     /// grouping).
     pub fn new(topo: &Arc<Topology>, cfg: LocatorConfig) -> Self {
+        let interner = (**topo.interner()).clone();
         let mut adjacency = HashSet::new();
         if cfg.use_topology_connectivity {
             for link in topo.links() {
                 let (Some(da), Some(db)) = (link.a.device(), link.b.device()) else {
                     continue;
                 };
-                let la = &topo.device(da).location;
-                let lb = &topo.device(db).location;
+                let la = topo.device_loc(da);
+                let lb = topo.device_loc(db);
                 // Adjacency grouping is scoped within a region: failures
                 // are reported per region (the paper's five-region DDoS
                 // produced five incidents, §5.1), so inter-region WAN
                 // links do not merge incident scopes.
-                if la.segments().first() != lb.segments().first() {
+                if interner.ancestor_at_depth(la, 1) != interner.ancestor_at_depth(lb, 1) {
                     continue;
                 }
-                for pa in la.prefixes() {
-                    for pb in lb.prefixes() {
+                for pa in interner.ancestors(la) {
+                    for pb in interner.ancestors(lb) {
                         if pa != pb {
-                            adjacency.insert((pa.clone(), pb.clone()));
-                            adjacency.insert((pb, pa.clone()));
+                            adjacency.insert(pair(pa, pb));
                         }
                     }
                 }
             }
         }
+        let main = vec![Node::default(); interner.len()];
         Locator {
             cfg,
-            main: HashMap::new(),
+            interner,
+            main,
+            active: Vec::new(),
             open: Vec::new(),
             completed: Vec::new(),
             next_check: SimTime::ZERO,
@@ -214,19 +246,30 @@ impl Locator {
     /// Algorithm 1: routes an alert into any covering incident tree, and
     /// always into the main tree. Advances the clock to the alert's time
     /// *before* inserting, so pending expiry checks never see alerts from
-    /// their future.
+    /// their future. The alert's location is resolved to a [`LocId`] here,
+    /// once; everything downstream runs on ids.
+    ///
+    /// # Panics
+    /// Panics on an alert located at the network root — the ingestion guard
+    /// rejects those as off-topology before they can reach the locator.
     pub fn insert(&mut self, alert: &StructuredAlert) {
         self.advance(alert.last_seen);
+        let loc = self.interner.intern(&alert.location);
         for incident in &mut self.open {
-            if incident.root.contains(&alert.location) {
-                incident.add(alert);
+            if self.interner.contains(incident.root, loc) {
+                incident.add(loc, alert);
                 break;
             }
         }
-        self.main
-            .entry(alert.location.clone())
-            .or_default()
-            .add(alert);
+        if self.main.len() < self.interner.len() {
+            self.main.resize_with(self.interner.len(), Node::default);
+        }
+        let node = &mut self.main[loc.index()];
+        let was_empty = node.alerts.is_empty();
+        node.add(alert);
+        if was_empty {
+            self.active.push(loc);
+        }
     }
 
     /// Runs any due Algorithm 2/3 checks up to `now`.
@@ -245,16 +288,20 @@ impl Locator {
     /// Algorithm 3: expire main-tree alerts and finalize idle incidents.
     fn check_trees(&mut self, now: SimTime) {
         let timeout = self.cfg.node_timeout;
-        for node in self.main.values_mut() {
+        let main = &mut self.main;
+        self.active.retain(|&id| {
+            let node = &mut main[id.index()];
             node.alerts.retain(|_, a| now.since(a.last_seen) <= timeout);
-        }
-        self.main.retain(|_, node| !node.alerts.is_empty());
+            !node.alerts.is_empty()
+        });
 
         let idle = self.cfg.incident_timeout;
+        let interner = &self.interner;
+        let completed = &mut self.completed;
         let mut still_open = Vec::new();
         for incident in self.open.drain(..) {
             if now.since(incident.update_time) > idle {
-                self.completed.push(incident.into_incident());
+                completed.push(incident.into_incident(interner));
             } else {
                 still_open.push(incident);
             }
@@ -269,23 +316,22 @@ impl Locator {
     /// Siblings above the site level (cities, regions) are *not*
     /// auto-connected, and neither are cross-branch locations without a
     /// link — Fig. 5c's device-n isolation.
-    fn connected(&self, a: &LocationPath, b: &LocationPath) -> bool {
-        a.contains(b)
-            || b.contains(a)
-            || (a.depth() >= LocationLevel::Site.depth() && a.parent() == b.parent())
-            || self.adjacency.contains(&(a.clone(), b.clone()))
+    fn connected(&self, a: LocId, b: LocId) -> bool {
+        self.interner.contains(a, b)
+            || self.interner.contains(b, a)
+            || (self.interner.depth(a) >= LocationLevel::Site.depth()
+                && self.interner.parent(a) == self.interner.parent(b))
+            || self.adjacency.contains(&pair(a, b))
     }
 
     /// Counts `(failure_types, all_types)` for a set of nodes under the
     /// configured counting mode.
-    fn count_component(&self, locations: &[&LocationPath]) -> (u32, u32) {
+    fn count_component(&self, locations: &[LocId]) -> (u32, u32) {
         match self.cfg.counting {
             CountingMode::TypeDistinct => {
                 let mut types: HashSet<AlertType> = HashSet::new();
-                for loc in locations {
-                    if let Some(node) = self.main.get(*loc) {
-                        types.extend(node.alerts.keys().copied());
-                    }
+                for &loc in locations {
+                    types.extend(self.main[loc.index()].alerts.keys().copied());
                 }
                 let failure = types
                     .iter()
@@ -296,15 +342,14 @@ impl Locator {
             CountingMode::TypeAndLocation => {
                 let mut failure = 0u32;
                 let mut all = 0u32;
-                for loc in locations {
-                    if let Some(node) = self.main.get(*loc) {
-                        all += node.alerts.len() as u32;
-                        failure += node
-                            .alerts
-                            .keys()
-                            .filter(|t| t.class() == AlertClass::Failure)
-                            .count() as u32;
-                    }
+                for &loc in locations {
+                    let node = &self.main[loc.index()];
+                    all += node.alerts.len() as u32;
+                    failure += node
+                        .alerts
+                        .keys()
+                        .filter(|t| t.class() == AlertClass::Failure)
+                        .count() as u32;
                 }
                 (failure, all)
             }
@@ -314,7 +359,7 @@ impl Locator {
     /// Algorithm 2: group alerting nodes into connected components and turn
     /// threshold-crossing components into incident trees.
     fn generate_trees(&mut self, _now: SimTime) {
-        let locations: Vec<LocationPath> = self.main.keys().cloned().collect();
+        let locations: Vec<LocId> = self.active.clone();
         if locations.is_empty() {
             return;
         }
@@ -332,7 +377,7 @@ impl Locator {
         }
         for i in 0..n {
             for j in (i + 1)..n {
-                if self.connected(&locations[i], &locations[j]) {
+                if self.connected(locations[i], locations[j]) {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
@@ -347,17 +392,19 @@ impl Locator {
         }
 
         let mut component_list: Vec<Vec<usize>> = components.into_values().collect();
-        // Deterministic order.
-        component_list.sort_by_key(|c| {
+        // Deterministic order: by each component's first location in path
+        // order (id order is interning order, not path order).
+        let interner = &self.interner;
+        let min_loc = |c: &Vec<usize>| -> LocId {
             c.iter()
-                .map(|&i| locations[i].to_string())
-                .min()
-                .unwrap_or_default()
-        });
+                .map(|&i| locations[i])
+                .min_by(|&x, &y| interner.cmp(x, y))
+                .expect("components are non-empty")
+        };
+        component_list.sort_by(|a, b| interner.cmp(min_loc(a), min_loc(b)));
 
         for component in component_list {
-            let mut remaining: Vec<&LocationPath> =
-                component.iter().map(|&i| &locations[i]).collect();
+            let mut remaining: Vec<LocId> = component.iter().map(|&i| locations[i]).collect();
             // A component may host several incidents once quorum rooting
             // excludes outliers (e.g. two attacked sites bridged by a
             // shared parent): keep carving incidents out of the remainder
@@ -371,19 +418,24 @@ impl Locator {
                 // Only nodes under the root join this incident; quorum
                 // outliers stay for the next carve (or expire) — Fig. 5c's
                 // device-n separation.
-                let locs: Vec<&LocationPath> = remaining
+                let locs: Vec<LocId> = remaining
                     .iter()
                     .copied()
-                    .filter(|l| root.contains(l))
+                    .filter(|&l| self.interner.contains(root, l))
                     .collect();
                 let before = remaining.len();
-                remaining.retain(|l| !root.contains(l));
+                let interner = &self.interner;
+                remaining.retain(|&l| !interner.contains(root, l));
                 if remaining.len() == before {
                     break; // no progress; defensive
                 }
                 // Skip roots already covered by an open incident (their
                 // alerts were routed there by Algorithm 1).
-                if self.open.iter().any(|i| i.root.contains(&root)) {
+                if self
+                    .open
+                    .iter()
+                    .any(|i| self.interner.contains(i.root, root))
+                {
                     continue;
                 }
                 self.create_incident(root, &locs);
@@ -393,13 +445,14 @@ impl Locator {
 
     /// Creates one incident tree rooted at `root` over the given alerting
     /// locations, absorbing any open incidents strictly inside the root.
-    fn create_incident(&mut self, root: LocationPath, locs: &[&LocationPath]) {
+    fn create_incident(&mut self, root: LocId, locs: &[LocId]) {
         // Growth upward: absorb open incidents strictly inside us.
-        let mut nodes: HashMap<LocationPath, Node> = HashMap::new();
+        let mut nodes: HashMap<LocId, Node> = HashMap::new();
         let mut update_time = SimTime::ZERO;
         let mut absorbed_ids = Vec::new();
+        let interner = &self.interner;
         self.open.retain_mut(|i| {
-            if root.contains(&i.root) {
+            if interner.contains(root, i.root) {
                 for (loc, node) in i.nodes.drain() {
                     let target = nodes.entry(loc).or_default();
                     for alert in node.alerts.values() {
@@ -415,13 +468,12 @@ impl Locator {
         });
         // Replicate the component's subtree from the main tree
         // ("the subtree beneath the node is replicated").
-        for loc in locs {
-            if let Some(node) = self.main.get(*loc) {
-                let target = nodes.entry((*loc).clone()).or_default();
-                for alert in node.alerts.values() {
-                    target.add(alert);
-                    update_time = update_time.max_of(alert.last_seen);
-                }
+        for &loc in locs {
+            let node = &self.main[loc.index()];
+            let target = nodes.entry(loc).or_default();
+            for alert in node.alerts.values() {
+                target.add(alert);
+                update_time = update_time.max_of(alert.last_seen);
             }
         }
         let id = absorbed_ids.into_iter().min().unwrap_or_else(|| {
@@ -441,22 +493,21 @@ impl Locator {
     /// component's distinct alert types while still meeting the incident
     /// thresholds; the component's deepest common ancestor always
     /// qualifies, so this is total.
-    fn quorum_root(&self, locs: &[&LocationPath]) -> LocationPath {
-        let Some((first, rest)) = locs.split_first() else {
-            return LocationPath::root();
-        };
-        let mut dca = (*first).clone();
-        for l in rest {
-            dca = dca.common_ancestor(l);
+    fn quorum_root(&self, locs: &[LocId]) -> LocId {
+        let (&first, rest) = locs.split_first().expect("quorum_root needs members");
+        let mut dca = first;
+        for &l in rest {
+            // Connectivity is region-scoped, so every component shares a
+            // region and the fold can never reach the network root.
+            dca = self
+                .interner
+                .common_ancestor(dca, l)
+                .expect("components never span regions");
         }
-        let type_sets: Vec<(&LocationPath, HashSet<AlertType>)> = locs
+        let type_sets: Vec<(LocId, HashSet<AlertType>)> = locs
             .iter()
             .map(|&l| {
-                let types = self
-                    .main
-                    .get(l)
-                    .map(|n| n.alerts.keys().copied().collect())
-                    .unwrap_or_default();
+                let types = self.main[l.index()].alerts.keys().copied().collect();
                 (l, types)
             })
             .collect();
@@ -466,31 +517,32 @@ impl Locator {
             .collect();
         let needed = ((total.len() as f64) * self.cfg.root_quorum).ceil() as usize;
 
-        let mut candidates: Vec<LocationPath> = locs
+        let mut candidates: Vec<LocId> = locs
             .iter()
-            .flat_map(|l| l.prefixes())
-            .filter(|c| dca.contains(c))
+            .flat_map(|&l| self.interner.ancestors(l))
+            .filter(|&c| self.interner.contains(dca, c))
             .collect();
-        candidates.sort_by(|a, b| {
-            b.depth()
-                .cmp(&a.depth())
-                .then_with(|| a.to_string().cmp(&b.to_string()))
+        candidates.sort_by(|&a, &b| {
+            self.interner
+                .depth(b)
+                .cmp(&self.interner.depth(a))
+                .then_with(|| self.interner.cmp(a, b))
         });
         candidates.dedup();
 
         for candidate in candidates {
             let covered: HashSet<AlertType> = type_sets
                 .iter()
-                .filter(|(l, _)| candidate.contains(l))
+                .filter(|&&(l, _)| self.interner.contains(candidate, l))
                 .flat_map(|(_, t)| t.iter().copied())
                 .collect();
             if covered.len() < needed {
                 continue;
             }
-            let covered_locs: Vec<&LocationPath> = locs
+            let covered_locs: Vec<LocId> = locs
                 .iter()
                 .copied()
-                .filter(|l| candidate.contains(l))
+                .filter(|&l| self.interner.contains(candidate, l))
                 .collect();
             let (failure, all) = self.count_component(&covered_locs);
             if self.cfg.thresholds.is_met(failure, all) {
@@ -503,10 +555,15 @@ impl Locator {
     /// Flushes everything: finalizes all open incidents (used at end of a
     /// batch run).
     pub fn finish(&mut self) {
+        let interner = &self.interner;
+        let completed = &mut self.completed;
         for incident in self.open.drain(..) {
-            self.completed.push(incident.into_incident());
+            completed.push(incident.into_incident(interner));
         }
-        self.main.clear();
+        for &id in &self.active {
+            self.main[id.index()].alerts.clear();
+        }
+        self.active.clear();
     }
 
     /// Takes the finished incidents accumulated so far.
@@ -521,7 +578,10 @@ impl Locator {
 
     /// Roots of the currently open incident trees.
     pub fn open_roots(&self) -> Vec<LocationPath> {
-        self.open.iter().map(|i| i.root.clone()).collect()
+        self.open
+            .iter()
+            .map(|i| self.interner.path(i.root).clone())
+            .collect()
     }
 
     /// Convenience: run a whole time-ordered batch through Algorithms 1–3

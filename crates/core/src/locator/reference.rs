@@ -1,0 +1,419 @@
+//! The pre-interning, path-keyed locator, kept verbatim as a reference.
+//!
+//! [`PathLocator`] is the implementation the arena [`Locator`](super::Locator)
+//! replaced: the main tree is a `HashMap<LocationPath, Node>`, adjacency is a
+//! double-inserted `(A,B)`/`(B,A)` path-pair set, and every insert clones and
+//! re-hashes the alert's [`LocationPath`]. It exists for two reasons:
+//!
+//! 1. **Differential oracle** — `tests/locator_equivalence.rs` asserts the
+//!    interned locator produces identical incidents (roots, members,
+//!    timings) on randomized floods.
+//! 2. **Benchmark baseline** — `crates/bench/benches/locator_intern.rs`
+//!    measures the before/after ingest throughput on a Fig. 7-scale flood.
+//!
+//! The only intentional deviations from the historical code are the two
+//! deterministic sort points (component order, quorum-root tie-break):
+//! they compare paths segment-wise (the [`LocationPath`] `Ord`) instead of
+//! via `to_string()`, matching the arena locator exactly even when one
+//! segment name is a prefix of another (`"Cluster-1"` vs `"Cluster-10"`).
+
+use super::{CountingMode, Incident, LocatorConfig, Node};
+use skynet_model::{
+    AlertClass, AlertType, IncidentId, LocationLevel, LocationPath, SimDuration, SimTime,
+    StructuredAlert,
+};
+use skynet_topology::Topology;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct OpenIncident {
+    id: IncidentId,
+    root: LocationPath,
+    nodes: HashMap<LocationPath, Node>,
+    update_time: SimTime,
+}
+
+impl OpenIncident {
+    fn add(&mut self, alert: &StructuredAlert) {
+        self.nodes
+            .entry(alert.location.clone())
+            .or_default()
+            .add(alert);
+        self.update_time = self.update_time.max_of(alert.last_seen);
+    }
+
+    fn into_incident(self) -> Incident {
+        let mut alerts: Vec<StructuredAlert> = self
+            .nodes
+            .into_values()
+            .flat_map(|n| n.alerts.into_values())
+            .collect();
+        alerts.sort_by(|a, b| {
+            a.first_seen
+                .cmp(&b.first_seen)
+                .then_with(|| a.location.cmp(&b.location))
+                .then_with(|| a.ty.cmp(&b.ty))
+        });
+        let first_seen = alerts
+            .iter()
+            .map(|a| a.first_seen)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let last_seen = alerts
+            .iter()
+            .map(|a| a.last_seen)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Incident {
+            id: self.id,
+            root: self.root,
+            first_seen,
+            last_seen,
+            alerts,
+        }
+    }
+}
+
+/// The path-keyed locator: behaviorally identical to [`super::Locator`] but
+/// paying a `LocationPath` clone + string-vector hash per lookup. See the
+/// module docs for why it is kept.
+pub struct PathLocator {
+    cfg: LocatorConfig,
+    main: HashMap<LocationPath, Node>,
+    open: Vec<OpenIncident>,
+    completed: Vec<Incident>,
+    next_check: SimTime,
+    next_id: u32,
+    /// Location-prefix pairs directly connected by a topology link, stored
+    /// in both directions (the double insertion the arena locator fixed).
+    adjacency: HashSet<(LocationPath, LocationPath)>,
+}
+
+impl std::fmt::Debug for PathLocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathLocator")
+            .field("main_nodes", &self.main.len())
+            .field("open_incidents", &self.open.len())
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PathLocator {
+    /// Builds a locator over a topology (used for link-connectivity
+    /// grouping).
+    pub fn new(topo: &Arc<Topology>, cfg: LocatorConfig) -> Self {
+        let mut adjacency = HashSet::new();
+        if cfg.use_topology_connectivity {
+            for link in topo.links() {
+                let (Some(da), Some(db)) = (link.a.device(), link.b.device()) else {
+                    continue;
+                };
+                let la = &topo.device(da).location;
+                let lb = &topo.device(db).location;
+                if la.segments().first() != lb.segments().first() {
+                    continue;
+                }
+                for pa in la.prefixes() {
+                    for pb in lb.prefixes() {
+                        if pa != pb {
+                            adjacency.insert((pa.clone(), pb.clone()));
+                            adjacency.insert((pb, pa.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        PathLocator {
+            cfg,
+            main: HashMap::new(),
+            open: Vec::new(),
+            completed: Vec::new(),
+            next_check: SimTime::ZERO,
+            next_id: 0,
+            adjacency,
+        }
+    }
+
+    /// Algorithm 1 (path-keyed): see [`super::Locator::insert`].
+    pub fn insert(&mut self, alert: &StructuredAlert) {
+        self.advance(alert.last_seen);
+        for incident in &mut self.open {
+            if incident.root.contains(&alert.location) {
+                incident.add(alert);
+                break;
+            }
+        }
+        self.main
+            .entry(alert.location.clone())
+            .or_default()
+            .add(alert);
+    }
+
+    /// Runs any due Algorithm 2/3 checks up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let step = self.cfg.check_interval.max(SimDuration::from_millis(1));
+        while self.next_check <= now {
+            let at = self.next_check;
+            self.check_trees(at);
+            self.generate_trees(at);
+            self.next_check += step;
+        }
+    }
+
+    fn check_trees(&mut self, now: SimTime) {
+        let timeout = self.cfg.node_timeout;
+        for node in self.main.values_mut() {
+            node.alerts.retain(|_, a| now.since(a.last_seen) <= timeout);
+        }
+        self.main.retain(|_, node| !node.alerts.is_empty());
+
+        let idle = self.cfg.incident_timeout;
+        let mut still_open = Vec::new();
+        for incident in self.open.drain(..) {
+            if now.since(incident.update_time) > idle {
+                self.completed.push(incident.into_incident());
+            } else {
+                still_open.push(incident);
+            }
+        }
+        self.open = still_open;
+    }
+
+    fn connected(&self, a: &LocationPath, b: &LocationPath) -> bool {
+        a.contains(b)
+            || b.contains(a)
+            || (a.depth() >= LocationLevel::Site.depth() && a.parent() == b.parent())
+            || self.adjacency.contains(&(a.clone(), b.clone()))
+    }
+
+    fn count_component(&self, locations: &[&LocationPath]) -> (u32, u32) {
+        match self.cfg.counting {
+            CountingMode::TypeDistinct => {
+                let mut types: HashSet<AlertType> = HashSet::new();
+                for loc in locations {
+                    if let Some(node) = self.main.get(*loc) {
+                        types.extend(node.alerts.keys().copied());
+                    }
+                }
+                let failure = types
+                    .iter()
+                    .filter(|t| t.class() == AlertClass::Failure)
+                    .count() as u32;
+                (failure, types.len() as u32)
+            }
+            CountingMode::TypeAndLocation => {
+                let mut failure = 0u32;
+                let mut all = 0u32;
+                for loc in locations {
+                    if let Some(node) = self.main.get(*loc) {
+                        all += node.alerts.len() as u32;
+                        failure += node
+                            .alerts
+                            .keys()
+                            .filter(|t| t.class() == AlertClass::Failure)
+                            .count() as u32;
+                    }
+                }
+                (failure, all)
+            }
+        }
+    }
+
+    fn generate_trees(&mut self, _now: SimTime) {
+        let locations: Vec<LocationPath> = self.main.keys().cloned().collect();
+        if locations.is_empty() {
+            return;
+        }
+
+        let n = locations.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut i = i;
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.connected(&locations[i], &locations[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            components.entry(r).or_default().push(i);
+        }
+
+        let mut component_list: Vec<Vec<usize>> = components.into_values().collect();
+        // Deterministic order (segment-wise, matching the arena locator).
+        component_list.sort_by_key(|c| c.iter().map(|&i| locations[i].clone()).min());
+
+        for component in component_list {
+            let mut remaining: Vec<&LocationPath> =
+                component.iter().map(|&i| &locations[i]).collect();
+            loop {
+                let (failure, all) = self.count_component(&remaining);
+                if remaining.is_empty() || !self.cfg.thresholds.is_met(failure, all) {
+                    break;
+                }
+                let root = self.quorum_root(&remaining);
+                let locs: Vec<&LocationPath> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|l| root.contains(l))
+                    .collect();
+                let before = remaining.len();
+                remaining.retain(|l| !root.contains(l));
+                if remaining.len() == before {
+                    break; // no progress; defensive
+                }
+                if self.open.iter().any(|i| i.root.contains(&root)) {
+                    continue;
+                }
+                self.create_incident(root, &locs);
+            }
+        }
+    }
+
+    fn create_incident(&mut self, root: LocationPath, locs: &[&LocationPath]) {
+        let mut nodes: HashMap<LocationPath, Node> = HashMap::new();
+        let mut update_time = SimTime::ZERO;
+        let mut absorbed_ids = Vec::new();
+        self.open.retain_mut(|i| {
+            if root.contains(&i.root) {
+                for (loc, node) in i.nodes.drain() {
+                    let target = nodes.entry(loc).or_default();
+                    for alert in node.alerts.values() {
+                        target.add(alert);
+                    }
+                }
+                update_time = update_time.max_of(i.update_time);
+                absorbed_ids.push(i.id);
+                false
+            } else {
+                true
+            }
+        });
+        for loc in locs {
+            if let Some(node) = self.main.get(*loc) {
+                let target = nodes.entry((*loc).clone()).or_default();
+                for alert in node.alerts.values() {
+                    target.add(alert);
+                    update_time = update_time.max_of(alert.last_seen);
+                }
+            }
+        }
+        let id = absorbed_ids.into_iter().min().unwrap_or_else(|| {
+            let id = IncidentId(self.next_id);
+            self.next_id += 1;
+            id
+        });
+        self.open.push(OpenIncident {
+            id,
+            root,
+            nodes,
+            update_time,
+        });
+    }
+
+    fn quorum_root(&self, locs: &[&LocationPath]) -> LocationPath {
+        let Some((first, rest)) = locs.split_first() else {
+            return LocationPath::root();
+        };
+        let mut dca = (*first).clone();
+        for l in rest {
+            dca = dca.common_ancestor(l);
+        }
+        let type_sets: Vec<(&LocationPath, HashSet<AlertType>)> = locs
+            .iter()
+            .map(|&l| {
+                let types = self
+                    .main
+                    .get(l)
+                    .map(|n| n.alerts.keys().copied().collect())
+                    .unwrap_or_default();
+                (l, types)
+            })
+            .collect();
+        let total: HashSet<AlertType> = type_sets
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .collect();
+        let needed = ((total.len() as f64) * self.cfg.root_quorum).ceil() as usize;
+
+        let mut candidates: Vec<LocationPath> = locs
+            .iter()
+            .flat_map(|l| l.prefixes())
+            .filter(|c| dca.contains(c))
+            .collect();
+        // Depth-first tie-break, segment-wise (matching the arena locator).
+        candidates.sort_by(|a, b| b.depth().cmp(&a.depth()).then_with(|| a.cmp(b)));
+        candidates.dedup();
+
+        for candidate in candidates {
+            let covered: HashSet<AlertType> = type_sets
+                .iter()
+                .filter(|(l, _)| candidate.contains(l))
+                .flat_map(|(_, t)| t.iter().copied())
+                .collect();
+            if covered.len() < needed {
+                continue;
+            }
+            let covered_locs: Vec<&LocationPath> = locs
+                .iter()
+                .copied()
+                .filter(|l| candidate.contains(l))
+                .collect();
+            let (failure, all) = self.count_component(&covered_locs);
+            if self.cfg.thresholds.is_met(failure, all) {
+                return candidate;
+            }
+        }
+        dca
+    }
+
+    /// Flushes everything: finalizes all open incidents.
+    pub fn finish(&mut self) {
+        for incident in self.open.drain(..) {
+            self.completed.push(incident.into_incident());
+        }
+        self.main.clear();
+    }
+
+    /// Takes the finished incidents accumulated so far.
+    pub fn take_completed(&mut self) -> Vec<Incident> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Number of currently open incident trees.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Roots of the currently open incident trees.
+    pub fn open_roots(&self) -> Vec<LocationPath> {
+        self.open.iter().map(|i| i.root.clone()).collect()
+    }
+
+    /// Convenience: run a whole time-ordered batch through Algorithms 1–3
+    /// and return every incident.
+    pub fn process_batch(&mut self, alerts: &[StructuredAlert], horizon: SimTime) -> Vec<Incident> {
+        for alert in alerts {
+            self.insert(alert);
+        }
+        self.advance(horizon);
+        self.finish();
+        let mut incidents = self.take_completed();
+        incidents.sort_by_key(|i| (i.first_seen, i.id));
+        incidents
+    }
+}

@@ -15,6 +15,11 @@
 //! 3. **Cross-source rules** — a traffic *drop* alone is expected user
 //!    behaviour; it is emitted only when corroborated by a failure-class
 //!    or root-cause alert nearby within the corroboration window.
+//!
+//! Internally every alert location is interned into a dense [`LocId`] on
+//! arrival, so consolidation keys are `Copy` `(AlertType, LocId)` pairs and
+//! the containment checks behind corroboration and surge suppression are
+//! `O(1)` id probes instead of segment-wise path walks.
 
 pub mod classify;
 
@@ -22,8 +27,8 @@ pub use classify::SyslogClassifier;
 
 use serde::{Deserialize, Serialize};
 use skynet_model::{
-    AlertBody, AlertClass, AlertKind, AlertType, LocationLevel, LocationPath, RawAlert,
-    SimDuration, SimTime, StructuredAlert,
+    AlertBody, AlertClass, AlertKind, AlertType, LocId, LocationInterner, LocationLevel,
+    LocationPath, RawAlert, SimDuration, SimTime, StructuredAlert,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -143,13 +148,16 @@ struct PendingPersistence {
 pub struct Preprocessor {
     cfg: PreprocessorConfig,
     classifier: Option<SyslogClassifier>,
-    open: HashMap<(AlertType, LocationPath), OpenGroup>,
-    pending: HashMap<(AlertType, LocationPath), PendingPersistence>,
-    held_drops: VecDeque<StructuredAlert>,
+    /// Locations seen so far, interned on first sight. The preprocessor has
+    /// no topology, so the interner starts empty and grows with the stream.
+    interner: LocationInterner,
+    open: HashMap<(AlertType, LocId), OpenGroup>,
+    pending: HashMap<(AlertType, LocId), PendingPersistence>,
+    held_drops: VecDeque<(LocId, StructuredAlert)>,
     /// Recent corroborating alert locations with timestamps.
-    corroborators: VecDeque<(SimTime, LocationPath)>,
+    corroborators: VecDeque<(SimTime, LocId)>,
     /// Recent surge emissions per site prefix (related-alert suppression).
-    recent_surges: HashMap<LocationPath, SimTime>,
+    recent_surges: HashMap<LocId, SimTime>,
     stats: PreprocessStats,
 }
 
@@ -161,6 +169,7 @@ impl Preprocessor {
         Preprocessor {
             cfg,
             classifier,
+            interner: LocationInterner::new(),
             open: HashMap::new(),
             pending: HashMap::new(),
             held_drops: VecDeque::new(),
@@ -176,6 +185,11 @@ impl Preprocessor {
     }
 
     /// Processes one raw alert, appending any resulting structured alerts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alert (or its peer) is located at the hierarchy root;
+    /// the [`IngestGuard`](crate::IngestGuard) rejects such alerts upstream.
     pub fn push(&mut self, raw: &RawAlert, out: &mut Vec<StructuredAlert>) {
         self.stats.raw += 1;
         let now = raw.timestamp;
@@ -209,7 +223,8 @@ impl Preprocessor {
         out: &mut Vec<StructuredAlert>,
     ) {
         let ty = AlertType::new(raw.source, kind);
-        let key = (ty, location.clone());
+        let loc = self.interner.intern(&location);
+        let key = (ty, loc);
         let mut candidate = StructuredAlert {
             ty,
             first_seen: now,
@@ -245,7 +260,7 @@ impl Preprocessor {
         if needs_persistence(kind) {
             let threshold = self.cfg.persistence_threshold;
             let window = self.cfg.persistence_window;
-            let pending = self.pending.entry(key.clone()).or_insert_with(|| {
+            let pending = self.pending.entry(key).or_insert_with(|| {
                 let mut empty = candidate.clone();
                 empty.count = 0; // absorbed below
                 PendingPersistence {
@@ -277,7 +292,7 @@ impl Preprocessor {
         // Stage 2b: related-alert suppression — one surge representative
         // per site within the dedup window.
         if kind == AlertKind::TrafficSurge {
-            let site = candidate.location.truncate_at(LocationLevel::Site);
+            let site = self.interner.truncate_at(loc, LocationLevel::Site);
             if let Some(&t) = self.recent_surges.get(&site) {
                 if now.since(t) <= self.cfg.dedup_window {
                     self.stats.deduplicated += 1;
@@ -289,7 +304,7 @@ impl Preprocessor {
 
         // Stage 3: cross-source corroboration for traffic drops.
         if needs_corroboration(kind) {
-            if self.is_corroborated(&candidate.location, now) {
+            if self.is_corroborated(loc, now) {
                 self.open.insert(
                     key,
                     OpenGroup {
@@ -299,29 +314,29 @@ impl Preprocessor {
                 );
                 self.emit(candidate, out);
             } else {
-                self.held_drops.push_back(candidate);
+                self.held_drops.push_back((loc, candidate));
             }
             return;
         }
 
         // Corroborating alerts release held drops near them.
         if corroborates(kind.class()) {
-            self.corroborators
-                .push_back((now, candidate.location.clone()));
+            self.corroborators.push_back((now, loc));
+            let interner = &self.interner;
+            let window = self.cfg.corroboration_window;
             let mut released = Vec::new();
-            self.held_drops.retain(|d| {
-                let related = d.location.contains(&candidate.location)
-                    || candidate.location.contains(&d.location);
-                let fresh = now.since(d.last_seen) <= self.cfg.corroboration_window;
+            self.held_drops.retain(|&(dloc, ref d)| {
+                let related = interner.contains(dloc, loc) || interner.contains(loc, dloc);
+                let fresh = now.since(d.last_seen) <= window;
                 if related && fresh {
-                    released.push(d.clone());
+                    released.push((dloc, d.clone()));
                     false
                 } else {
                     true
                 }
             });
-            for drop in released {
-                let key = (drop.ty, drop.location.clone());
+            for (dloc, drop) in released {
+                let key = (drop.ty, dloc);
                 self.open.insert(
                     key,
                     OpenGroup {
@@ -343,10 +358,10 @@ impl Preprocessor {
         self.emit(candidate, out);
     }
 
-    fn is_corroborated(&self, location: &LocationPath, now: SimTime) -> bool {
-        self.corroborators.iter().any(|(t, loc)| {
-            now.since(*t) <= self.cfg.corroboration_window
-                && (loc.contains(location) || location.contains(loc))
+    fn is_corroborated(&self, loc: LocId, now: SimTime) -> bool {
+        self.corroborators.iter().any(|&(t, c)| {
+            now.since(t) <= self.cfg.corroboration_window
+                && (self.interner.contains(c, loc) || self.interner.contains(loc, c))
         })
     }
 
@@ -359,7 +374,8 @@ impl Preprocessor {
     fn expire(&mut self, now: SimTime, _out: &mut [StructuredAlert]) {
         let window = self.cfg.corroboration_window;
         let before = self.held_drops.len();
-        self.held_drops.retain(|d| now.since(d.last_seen) <= window);
+        self.held_drops
+            .retain(|(_, d)| now.since(d.last_seen) <= window);
         self.stats.filtered_uncorroborated += (before - self.held_drops.len()) as u64;
         while let Some(&(t, _)) = self.corroborators.front() {
             if now.since(t) > window {

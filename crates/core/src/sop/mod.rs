@@ -13,7 +13,7 @@
 
 use crate::locator::Incident;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertClass, AlertKind, LocationLevel, LocationPath};
+use skynet_model::{AlertClass, AlertKind, LocId, LocationLevel, LocationPath};
 use skynet_topology::Topology;
 use std::sync::Arc;
 
@@ -215,15 +215,23 @@ impl SopEngine {
         match device_locs.as_slice() {
             [single] => {
                 let device = self.topo.devices_under(single).next()?;
-                // No sibling of the group may alert at all.
-                let group_loc = device.location.truncate_at(device.role.serves_level());
-                let siblings = self.topo.agg_group(&group_loc);
+                // No sibling of the group may alert at all. Alert locations
+                // resolve against the topology interner once; off-topology
+                // alerts can never cover a modeled device and drop out.
+                let interner = self.topo.interner();
+                let group_loc = interner
+                    .truncate_at(self.topo.device_loc(device.id), device.role.serves_level());
+                let siblings = self.topo.agg_group_at(group_loc);
+                let alert_locs: Vec<LocId> = incident
+                    .alerts
+                    .iter()
+                    .filter_map(|a| interner.resolve(&a.location))
+                    .collect();
                 let clean = siblings.iter().all(|&s| {
-                    s == device.id
-                        || !incident
-                            .alerts
-                            .iter()
-                            .any(|a| a.location.contains(&self.topo.device(s).location))
+                    s == device.id || {
+                        let sibling = self.topo.device_loc(s);
+                        !alert_locs.iter().any(|&a| interner.contains(a, sibling))
+                    }
                 });
                 clean.then(|| (*single).clone())
             }

@@ -27,6 +27,9 @@ pub struct NetworkState<'a> {
     clock_drift: HashMap<DeviceId, FailureId>,
     cpu: HashMap<DeviceId, (f64, FailureId)>,
     route_anomalies: Vec<(LocationPath, RouteAnomalyKind, FailureId)>,
+    /// Interned ids of the anomaly scopes, aligned with `route_anomalies`
+    /// (`None` for scopes the topology interner cannot resolve).
+    anomaly_scopes: Vec<Option<skynet_model::LocId>>,
 }
 
 impl<'a> NetworkState<'a> {
@@ -45,6 +48,7 @@ impl<'a> NetworkState<'a> {
             clock_drift: HashMap::new(),
             cpu: HashMap::new(),
             route_anomalies: Vec::new(),
+            anomaly_scopes: Vec::new(),
         };
         for event in scenario.events() {
             for effect in &event.effects {
@@ -78,6 +82,7 @@ impl<'a> NetworkState<'a> {
                         s.bgp_churn.entry(*device).or_insert(id);
                     }
                     EffectKind::RouteAnomaly { scope, anomaly } => {
+                        s.anomaly_scopes.push(s.topo.interner().resolve(scope));
                         s.route_anomalies.push((scope.clone(), *anomaly, id));
                     }
                     EffectKind::ClockDrift { device } => {
@@ -142,15 +147,29 @@ impl<'a> NetworkState<'a> {
     }
 
     /// Control-plane anomalies whose scope intersects `location`.
+    ///
+    /// The query location is resolved against the topology interner once;
+    /// when both it and an anomaly scope are on the topology the intersect
+    /// test is two `O(1)` id probes. Either side being unresolvable (the
+    /// hierarchy root, or a scope outside the topology) falls back to
+    /// segment-wise path containment.
     pub fn route_anomalies_at(
         &self,
         location: &LocationPath,
     ) -> impl Iterator<Item = (&LocationPath, RouteAnomalyKind, FailureId)> + '_ {
+        let interner = self.topo.interner();
+        let loc_id = interner.resolve(location);
         let location = location.clone();
         self.route_anomalies
             .iter()
-            .filter(move |(scope, _, _)| scope.contains(&location) || location.contains(scope))
-            .map(|(scope, kind, id)| (scope, *kind, *id))
+            .zip(self.anomaly_scopes.iter())
+            .filter(
+                move |&((scope, _, _), &scope_id)| match (scope_id, loc_id) {
+                    (Some(s), Some(l)) => interner.contains(s, l) || interner.contains(l, s),
+                    _ => scope.contains(&location) || location.contains(scope),
+                },
+            )
+            .map(|((scope, kind, id), _)| (scope, *kind, *id))
     }
 
     /// All control-plane anomalies.

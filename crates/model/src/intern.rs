@@ -1,0 +1,461 @@
+//! Interned location identifiers.
+//!
+//! The locator walks the Region → City → Logic site → Site → Cluster →
+//! Device hierarchy for *every* alert of a flood (§4.2, Algorithms 1–3).
+//! Keying that walk by [`LocationPath`] costs an `Arc` clone plus a full
+//! string-vector hash per lookup. A [`LocationInterner`] is built once from
+//! the topology instead: every distinct path prefix gets a dense `u32`
+//! [`LocId`] carrying its depth, parent and full ancestor chain, so
+//! containment, ancestor-at-level and lowest-common-ancestor queries are
+//! `O(1)` array probes with no hashing and no allocation.
+//!
+//! `LocId` is an in-memory handle only. It is deliberately **not**
+//! serializable: alerts, incidents and topology files keep speaking
+//! [`LocationPath`] strings at the serde boundary, and every pipeline stage
+//! resolves paths to ids exactly once at ingest.
+
+use crate::location::{LocationLevel, LocationPath};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum depth of the hierarchy (a device path has six segments).
+const MAX_DEPTH: usize = 6;
+
+/// A dense handle for one interned location (a distinct [`LocationPath`]
+/// prefix). `Copy`, 4 bytes, and valid only for the interner that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(u32);
+
+impl LocId {
+    /// The raw index into the interner's node arena.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense arena index.
+    pub fn from_index(i: usize) -> Self {
+        LocId(u32::try_from(i).expect("LocId index overflow"))
+    }
+}
+
+impl fmt::Display for LocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// One interned node: a location plus its precomputed hierarchy context.
+#[derive(Debug, Clone)]
+struct LocNode {
+    /// The materialized path (for display and boundary crossings).
+    path: LocationPath,
+    /// Parent node, `None` for depth-1 (region) nodes.
+    parent: Option<LocId>,
+    /// Path depth, `1..=6`.
+    depth: u8,
+    /// `ancestors[d - 1]` is this node's ancestor at depth `d` for every
+    /// `d <= depth` (so `ancestors[depth - 1]` is the node itself). Slots
+    /// past `depth` repeat the node's own id and are never consulted.
+    ancestors: [LocId; MAX_DEPTH],
+    /// Direct children, in interning order.
+    children: Vec<LocId>,
+}
+
+/// Bidirectional map between [`LocationPath`] prefixes and dense [`LocId`]s,
+/// with `O(1)` hierarchy queries.
+///
+/// Built once from the topology's device paths via [`from_paths`]; stages
+/// that can observe off-topology locations (the locator accepts alerts for
+/// probes the topology never modeled) grow it dynamically with [`intern`].
+/// Ids are stable once issued: interning never moves or reuses a node.
+///
+/// [`from_paths`]: LocationInterner::from_paths
+/// [`intern`]: LocationInterner::intern
+#[derive(Debug, Clone, Default)]
+pub struct LocationInterner {
+    nodes: Vec<LocNode>,
+    index: HashMap<LocationPath, LocId>,
+}
+
+impl LocationInterner {
+    /// An empty interner (grows on demand via [`intern`]).
+    ///
+    /// [`intern`]: LocationInterner::intern
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an interner holding every prefix of every given path.
+    ///
+    /// Seed ids are assigned in [`LocationPath`] order (segment-wise
+    /// lexicographic), which is a depth-first pre-order of the hierarchy:
+    /// for the seed set, `LocId` order equals path order and a parent's id
+    /// is always smaller than its children's. Paths interned *later* get
+    /// appended ids, so code that needs a deterministic location order must
+    /// compare via [`cmp`], not raw ids.
+    ///
+    /// [`cmp`]: LocationInterner::cmp
+    pub fn from_paths<I>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = LocationPath>,
+    {
+        let mut prefixes: Vec<LocationPath> = paths
+            .into_iter()
+            .flat_map(|p| p.prefixes().collect::<Vec<_>>())
+            .collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let mut interner = Self::new();
+        for p in prefixes {
+            // Parents sort before children, so the parent is always present.
+            interner.intern(&p);
+        }
+        interner
+    }
+
+    /// Number of interned locations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The id for a path, if it was interned. The root path never resolves:
+    /// the root of the network is not a location.
+    pub fn resolve(&self, path: &LocationPath) -> Option<LocId> {
+        self.index.get(path).copied()
+    }
+
+    /// The id for a path, interning it (and any missing ancestors) first.
+    ///
+    /// # Panics
+    /// Panics on the root path, which has no location level.
+    pub fn intern(&mut self, path: &LocationPath) -> LocId {
+        assert!(!path.is_root(), "cannot intern the root path");
+        if let Some(id) = self.resolve(path) {
+            return id;
+        }
+        let parent_path = path.parent();
+        let parent = if parent_path.is_root() {
+            None
+        } else {
+            Some(self.intern(&parent_path))
+        };
+        let id = LocId::from_index(self.nodes.len());
+        let depth = path.depth();
+        let mut ancestors = [id; MAX_DEPTH];
+        if let Some(pid) = parent {
+            let pa = self.nodes[pid.index()].ancestors;
+            ancestors[..depth - 1].copy_from_slice(&pa[..depth - 1]);
+            self.nodes[pid.index()].children.push(id);
+        }
+        self.nodes.push(LocNode {
+            path: path.clone(),
+            parent,
+            depth: depth as u8,
+            ancestors,
+            children: Vec::new(),
+        });
+        self.index.insert(path.clone(), id);
+        id
+    }
+
+    /// The materialized path for an id.
+    pub fn path(&self, id: LocId) -> &LocationPath {
+        &self.nodes[id.index()].path
+    }
+
+    /// Path depth, `1..=6`.
+    pub fn depth(&self, id: LocId) -> usize {
+        self.nodes[id.index()].depth as usize
+    }
+
+    /// The hierarchy level of an id (always defined: the root is never
+    /// interned).
+    pub fn level(&self, id: LocId) -> LocationLevel {
+        LocationLevel::from_depth(self.depth(id)).expect("interned depth is 1..=6")
+    }
+
+    /// Parent id, `None` for region-level nodes.
+    pub fn parent(&self, id: LocId) -> Option<LocId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Direct children of a node, in interning order.
+    pub fn children(&self, id: LocId) -> &[LocId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The ancestor of `id` at exactly `depth` (`Some(id)` itself when
+    /// `depth == depth(id)`), or `None` when `id` is shallower than `depth`
+    /// or `depth` is not a valid level depth.
+    pub fn ancestor_at_depth(&self, id: LocId, depth: usize) -> Option<LocId> {
+        let node = &self.nodes[id.index()];
+        if depth == 0 || depth > node.depth as usize {
+            return None;
+        }
+        Some(node.ancestors[depth - 1])
+    }
+
+    /// The ancestor of `id` at `level`, or `None` when `id` is broader than
+    /// `level`.
+    pub fn ancestor_at(&self, id: LocId, level: LocationLevel) -> Option<LocId> {
+        self.ancestor_at_depth(id, level.depth())
+    }
+
+    /// `id` truncated at `level` — the ancestor at `level`, or `id` itself
+    /// when already broader. Mirrors [`LocationPath::truncate_at`].
+    pub fn truncate_at(&self, id: LocId, level: LocationLevel) -> LocId {
+        self.ancestor_at_depth(id, level.depth().min(self.depth(id)))
+            .expect("truncation depth is within the node's depth")
+    }
+
+    /// True if `a` is `b` or an ancestor of `b` — the containment test of
+    /// the locator's Algorithm 1, as two array probes.
+    pub fn contains(&self, a: LocId, b: LocId) -> bool {
+        self.ancestor_at_depth(b, self.depth(a)) == Some(a)
+    }
+
+    /// True if `a` is a *strict* ancestor of `b`.
+    pub fn is_strict_ancestor(&self, a: LocId, b: LocId) -> bool {
+        self.depth(a) < self.depth(b) && self.contains(a, b)
+    }
+
+    /// The deepest common ancestor of two ids, or `None` when they share no
+    /// region (their only common ancestor is the network root).
+    pub fn common_ancestor(&self, a: LocId, b: LocId) -> Option<LocId> {
+        let na = &self.nodes[a.index()];
+        let nb = &self.nodes[b.index()];
+        let max = (na.depth as usize).min(nb.depth as usize);
+        let mut deepest = None;
+        for d in 0..max {
+            if na.ancestors[d] == nb.ancestors[d] {
+                deepest = Some(na.ancestors[d]);
+            } else {
+                break;
+            }
+        }
+        deepest
+    }
+
+    /// Ancestors of `id` from the region down to `id` itself.
+    pub fn ancestors(&self, id: LocId) -> impl Iterator<Item = LocId> + '_ {
+        let node = &self.nodes[id.index()];
+        node.ancestors[..node.depth as usize].iter().copied()
+    }
+
+    /// Deterministic location order: compares the materialized paths
+    /// segment-wise (the [`LocationPath`] `Ord`), independent of interning
+    /// order. Use this wherever iteration order must not depend on when a
+    /// location was first seen.
+    pub fn cmp(&self, a: LocId, b: LocId) -> std::cmp::Ordering {
+        self.path(a).cmp(self.path(b))
+    }
+
+    /// All interned ids, in id (interning) order.
+    pub fn ids(&self) -> impl Iterator<Item = LocId> {
+        (0..self.nodes.len()).map(LocId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    fn device_interner() -> LocationInterner {
+        LocationInterner::from_paths([
+            p("R|C|L|S|K1|D1"),
+            p("R|C|L|S|K1|D2"),
+            p("R|C|L|S|K2|D3"),
+            p("R|C|L|S2|K3|D4"),
+            p("R2|C2|L2|S3|K4|D5"),
+        ])
+    }
+
+    #[test]
+    fn from_paths_interns_every_prefix() {
+        let i = device_interner();
+        // 2 regions, 2 cities, 2 logic sites, 3 sites, 4 clusters, 5 devices.
+        assert_eq!(i.len(), 18);
+        for path in [
+            p("R"),
+            p("R|C"),
+            p("R|C|L"),
+            p("R|C|L|S"),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K1|D1"),
+        ] {
+            let id = i.resolve(&path).expect("prefix interned");
+            assert_eq!(i.path(id), &path);
+            assert_eq!(i.depth(id), path.depth());
+        }
+        assert_eq!(i.resolve(&p("R|C|L|S|K9")), None);
+        assert_eq!(i.resolve(&LocationPath::root()), None);
+    }
+
+    #[test]
+    fn seed_ids_follow_path_order() {
+        let i = device_interner();
+        let mut paths: Vec<LocationPath> = i.ids().map(|id| i.path(id).clone()).collect();
+        let sorted = {
+            let mut s = paths.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(paths, sorted);
+        paths.sort();
+        // And cmp() agrees with path order regardless.
+        let mut ids: Vec<LocId> = i.ids().collect();
+        ids.sort_by(|&a, &b| i.cmp(a, b));
+        let by_cmp: Vec<LocationPath> = ids.iter().map(|&id| i.path(id).clone()).collect();
+        assert_eq!(by_cmp, paths);
+    }
+
+    #[test]
+    fn ancestor_queries_at_every_level() {
+        let i = device_interner();
+        let dev = i.resolve(&p("R|C|L|S|K1|D1")).unwrap();
+        let expected = [
+            (LocationLevel::Region, "R"),
+            (LocationLevel::City, "R|C"),
+            (LocationLevel::LogicSite, "R|C|L"),
+            (LocationLevel::Site, "R|C|L|S"),
+            (LocationLevel::Cluster, "R|C|L|S|K1"),
+            (LocationLevel::Device, "R|C|L|S|K1|D1"),
+        ];
+        for (level, path) in expected {
+            let anc = i.ancestor_at(dev, level).expect("ancestor at level");
+            assert_eq!(i.path(anc), &p(path));
+            assert_eq!(i.level(anc), level);
+            assert_eq!(i.truncate_at(dev, level), anc);
+            assert!(i.contains(anc, dev));
+        }
+        // A cluster has no device-level ancestor; truncate_at saturates.
+        let cluster = i.resolve(&p("R|C|L|S|K1")).unwrap();
+        assert_eq!(i.ancestor_at(cluster, LocationLevel::Device), None);
+        assert_eq!(i.truncate_at(cluster, LocationLevel::Device), cluster);
+    }
+
+    #[test]
+    fn common_ancestor_at_every_level() {
+        let i = device_interner();
+        let d1 = i.resolve(&p("R|C|L|S|K1|D1")).unwrap();
+        let cases = [
+            ("R|C|L|S|K1|D1", Some("R|C|L|S|K1|D1")), // self
+            ("R|C|L|S|K1|D2", Some("R|C|L|S|K1")),    // cluster LCA
+            ("R|C|L|S|K2|D3", Some("R|C|L|S")),       // site LCA
+            ("R|C|L|S2|K3|D4", Some("R|C|L")),        // logic-site LCA
+            ("R|C|L|S2", Some("R|C|L")),              // against a shallower node
+            ("R2|C2|L2|S3|K4|D5", None),              // different region: root
+        ];
+        for (other, want) in cases {
+            let o = i.resolve(&p(other)).unwrap();
+            let got = i.common_ancestor(d1, o);
+            assert_eq!(got.map(|id| i.path(id).clone()), want.map(p));
+            assert_eq!(got, i.common_ancestor(o, d1), "LCA commutes");
+        }
+        // City- and region-level LCAs via shallower probes.
+        let c = i.resolve(&p("R|C")).unwrap();
+        let r = i.resolve(&p("R")).unwrap();
+        assert_eq!(i.common_ancestor(c, d1), Some(c));
+        assert_eq!(i.common_ancestor(r, d1), Some(r));
+        // Mirrors LocationPath::common_ancestor on every interned pair.
+        for a in i.ids() {
+            for b in i.ids() {
+                let by_path = i.path(a).common_ancestor(i.path(b));
+                let by_id = i.common_ancestor(a, b);
+                match by_id {
+                    Some(id) => assert_eq!(i.path(id), &by_path),
+                    None => assert!(by_path.is_root()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment_mirrors_paths() {
+        let i = device_interner();
+        for a in i.ids() {
+            for b in i.ids() {
+                assert_eq!(i.contains(a, b), i.path(a).contains(i.path(b)));
+                assert_eq!(
+                    i.is_strict_ancestor(a, b),
+                    i.path(a).is_strict_ancestor_of(i.path(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_children_round_trip() {
+        let i = device_interner();
+        for id in i.ids() {
+            match i.parent(id) {
+                Some(parent) => {
+                    assert_eq!(i.path(parent), &i.path(id).parent());
+                    assert!(i.children(parent).contains(&id));
+                }
+                None => assert_eq!(i.depth(id), 1),
+            }
+            for &child in i.children(id) {
+                assert_eq!(i.parent(child), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_enumerate_prefix_chain() {
+        let i = device_interner();
+        let dev = i.resolve(&p("R|C|L|S|K1|D1")).unwrap();
+        let chain: Vec<LocationPath> = i.ancestors(dev).map(|a| i.path(a).clone()).collect();
+        let want: Vec<LocationPath> = p("R|C|L|S|K1|D1").prefixes().collect();
+        assert_eq!(chain, want);
+    }
+
+    #[test]
+    fn dynamic_intern_appends_and_links() {
+        let mut i = device_interner();
+        let before = i.len();
+        let probe = p("R|C|L|S|K1|probe-7");
+        assert_eq!(i.resolve(&probe), None);
+        let id = i.intern(&probe);
+        assert_eq!(id.index(), before, "appended at the end");
+        assert_eq!(i.resolve(&probe), Some(id));
+        assert_eq!(i.intern(&probe), id, "idempotent");
+        let cluster = i.resolve(&p("R|C|L|S|K1")).unwrap();
+        assert_eq!(i.parent(id), Some(cluster));
+        assert!(i.contains(cluster, id));
+        assert_eq!(i.common_ancestor(id, cluster), Some(cluster));
+        // A fully novel subtree interns every missing ancestor.
+        let far = p("R9|C9|L9");
+        let far_id = i.intern(&far);
+        assert_eq!(i.ancestors(far_id).count(), 3);
+        assert!(i.resolve(&p("R9")).is_some());
+        assert!(i.resolve(&p("R9|C9")).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot intern the root path")]
+    fn interning_root_panics() {
+        let mut i = LocationInterner::new();
+        let _ = i.intern(&LocationPath::root());
+    }
+
+    #[test]
+    fn cmp_is_path_order_even_after_dynamic_interning() {
+        let mut i = LocationInterner::from_paths([p("R|C|L|S|Cluster-10|D1")]);
+        // "Cluster-1" sorts before "Cluster-10" segment-wise, but is
+        // interned later so gets a larger id.
+        let late = i.intern(&p("R|C|L|S|Cluster-1"));
+        let early = i.resolve(&p("R|C|L|S|Cluster-10")).unwrap();
+        assert!(late > early, "id order follows interning order");
+        assert_eq!(i.cmp(late, early), std::cmp::Ordering::Less);
+    }
+}

@@ -20,12 +20,16 @@
 //!   root-cause, §4.2).
 //! - [`ids`] — strongly-typed identifiers for devices, links, circuit sets,
 //!   customers and incidents.
+//! - [`intern`] — dense [`LocId`] handles for interned locations
+//!   ([`LocationInterner`]): paths are parsed once at the boundary and the
+//!   pipeline's hot paths speak `Copy` ids with `O(1)` hierarchy queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alert;
 pub mod ids;
+pub mod intern;
 pub mod kind;
 pub mod location;
 pub mod ping;
@@ -34,6 +38,7 @@ pub mod time;
 
 pub use alert::{AlertBody, AlertDefect, RawAlert, StructuredAlert};
 pub use ids::{CircuitSetId, CustomerId, DeviceId, FailureId, IncidentId, LinkId};
+pub use intern::{LocId, LocationInterner};
 pub use kind::{AlertClass, AlertKind, AlertType};
 pub use location::{LocationLevel, LocationPath};
 pub use ping::{PingLog, PingSample};

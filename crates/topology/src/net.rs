@@ -4,8 +4,12 @@ use crate::customer::{Customer, Flow};
 use crate::device::{Device, DeviceRole};
 use crate::link::{CircuitSet, Link, LinkEndpoint};
 use serde::{Deserialize, Serialize};
-use skynet_model::{CircuitSetId, CustomerId, DeviceId, LinkId, LocationLevel, LocationPath};
+use skynet_model::{
+    CircuitSetId, CustomerId, DeviceId, LinkId, LocId, LocationInterner, LocationLevel,
+    LocationPath,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An immutable network topology: devices, links (with circuit sets),
 /// customers and routed flows, plus the indexes the analysis needs.
@@ -23,16 +27,22 @@ pub struct Topology {
     flows: Vec<Flow>,
     /// Per-device outgoing link lists (index = device index).
     links_by_device: Vec<Vec<LinkId>>,
+    /// Every location prefix of the network, interned once at build time.
+    /// Shared (`Arc`) with every pipeline stage so all of them agree on one
+    /// [`LocId`] space.
+    interner: Arc<LocationInterner>,
+    /// Interned location per device (index = device index).
+    device_locs: Vec<LocId>,
     /// Aggregation groups: the devices serving each location's uplink,
-    /// keyed by the served location (cluster path → its leaves, site path →
-    /// its CSRs, …).
-    agg_groups: HashMap<LocationPath, Vec<DeviceId>>,
+    /// keyed by the served location's id (cluster → its leaves, site → its
+    /// CSRs, …).
+    agg_groups: HashMap<LocId, Vec<DeviceId>>,
     /// All cluster-level paths that host leaf devices (workload clusters).
     clusters: Vec<LocationPath>,
     /// Link lookup by unordered device pair.
     link_by_pair: HashMap<(DeviceId, DeviceId), LinkId>,
-    /// Internet entry links per region path.
-    entries_by_region: HashMap<LocationPath, Vec<LinkId>>,
+    /// Internet entry links per region id.
+    entries_by_region: HashMap<LocId, Vec<LinkId>>,
     /// Flow indexes attached to each circuit set (computed by routing every
     /// flow at build time).
     flows_by_circuit_set: HashMap<CircuitSetId, Vec<usize>>,
@@ -85,12 +95,32 @@ impl Topology {
         self.link_by_pair.get(&key).copied()
     }
 
+    /// The location interner covering every prefix of every device path.
+    /// Pipeline stages clone this `Arc` and resolve incoming paths to
+    /// [`LocId`]s exactly once at their boundary.
+    pub fn interner(&self) -> &Arc<LocationInterner> {
+        &self.interner
+    }
+
+    /// The interned location of a device.
+    pub fn device_loc(&self, id: DeviceId) -> LocId {
+        self.device_locs[id.index()]
+    }
+
     /// The aggregation group serving `location` (cluster → leaves, site →
     /// CSRs, logic site → BSRs, city → ISRs, region → DCBRs). Empty slice if
     /// the location is unknown.
     pub fn agg_group(&self, location: &LocationPath) -> &[DeviceId] {
+        self.interner
+            .resolve(location)
+            .map(|id| self.agg_group_at(id))
+            .unwrap_or(&[])
+    }
+
+    /// Id-keyed variant of [`agg_group`](Topology::agg_group).
+    pub fn agg_group_at(&self, location: LocId) -> &[DeviceId] {
         self.agg_groups
-            .get(location)
+            .get(&location)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -102,15 +132,18 @@ impl Topology {
 
     /// Internet entry links of a region.
     pub fn internet_entries(&self, region: &LocationPath) -> &[LinkId] {
-        self.entries_by_region
-            .get(region)
+        self.interner
+            .resolve(region)
+            .and_then(|id| self.entries_by_region.get(&id))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
     /// All regions with Internet entry links.
     pub fn regions_with_entries(&self) -> impl Iterator<Item = &LocationPath> {
-        self.entries_by_region.keys()
+        self.entries_by_region
+            .keys()
+            .map(|&id| self.interner.path(id))
     }
 
     /// Flow indexes riding a circuit set.
@@ -126,9 +159,25 @@ impl Topology {
         &'a self,
         location: &'a LocationPath,
     ) -> impl Iterator<Item = &'a Device> + 'a {
+        let scope = self.interner.resolve(location);
+        let all = location.is_root();
         self.devices
             .iter()
-            .filter(move |d| location.contains(&d.location))
+            .enumerate()
+            .filter(move |(i, _)| {
+                all || scope.is_some_and(|id| self.interner.contains(id, self.device_locs[*i]))
+            })
+            .map(|(_, d)| d)
+    }
+
+    /// Devices whose interned location lies under `location` — the id-keyed
+    /// containment scan (two array probes per device, no string work).
+    pub fn devices_under_at(&self, location: LocId) -> impl Iterator<Item = &Device> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| self.interner.contains(location, self.device_locs[*i]))
+            .map(|(_, d)| d)
     }
 
     /// True if some link directly connects a device under `a` to a device
@@ -139,13 +188,20 @@ impl Topology {
         if a.contains(b) || b.contains(a) {
             return true;
         }
+        // A non-root path the interner has never seen contains no devices
+        // (every prefix of every device path is interned), so no link can
+        // bridge it. The root case is caught by the nesting test above.
+        let (Some(ia), Some(ib)) = (self.interner.resolve(a), self.interner.resolve(b)) else {
+            return false;
+        };
         self.links.iter().any(|l| {
             let (Some(da), Some(db)) = (l.a.device(), l.b.device()) else {
                 return false;
             };
-            let la = &self.devices[da.index()].location;
-            let lb = &self.devices[db.index()].location;
-            (a.contains(la) && b.contains(lb)) || (a.contains(lb) && b.contains(la))
+            let la = self.device_locs[da.index()];
+            let lb = self.device_locs[db.index()];
+            (self.interner.contains(ia, la) && self.interner.contains(ib, lb))
+                || (self.interner.contains(ia, lb) && self.interner.contains(ib, la))
         })
     }
 
@@ -332,9 +388,30 @@ impl TopologyBuilder {
             flows,
         } = self;
 
+        // Intern every prefix of every device path up front; all other
+        // indexes are keyed by the resulting ids.
+        let mut seen_paths = HashMap::new();
+        for device in &devices {
+            if let Some(prev) = seen_paths.insert(device.location.clone(), device.id) {
+                panic!(
+                    "duplicate device location {} ({prev} and {})",
+                    device.location, device.id
+                );
+            }
+        }
+        let interner = LocationInterner::from_paths(devices.iter().map(|d| d.location.clone()));
+        let device_locs: Vec<LocId> = devices
+            .iter()
+            .map(|d| {
+                interner
+                    .resolve(&d.location)
+                    .expect("device path interned at build")
+            })
+            .collect();
+
         let mut links_by_device: Vec<Vec<LinkId>> = vec![Vec::new(); devices.len()];
         let mut link_by_pair = HashMap::new();
-        let mut entries_by_region: HashMap<LocationPath, Vec<LinkId>> = HashMap::new();
+        let mut entries_by_region: HashMap<LocId, Vec<LinkId>> = HashMap::new();
         for link in &links {
             for ep in [link.a, link.b] {
                 if let Some(d) = ep.device() {
@@ -348,33 +425,23 @@ impl TopologyBuilder {
             }
             if link.is_internet_entry() {
                 if let Some(d) = link.a.device().or_else(|| link.b.device()) {
-                    let region = devices[d.index()]
-                        .location
-                        .truncate_at(LocationLevel::Region);
+                    let region =
+                        interner.truncate_at(device_locs[d.index()], LocationLevel::Region);
                     entries_by_region.entry(region).or_default().push(link.id);
                 }
             }
         }
 
-        let mut seen_paths = HashMap::new();
-        let mut agg_groups: HashMap<LocationPath, Vec<DeviceId>> = HashMap::new();
+        let mut agg_groups: HashMap<LocId, Vec<DeviceId>> = HashMap::new();
         let mut clusters: Vec<LocationPath> = Vec::new();
         for device in &devices {
-            if let Some(prev) = seen_paths.insert(device.location.clone(), device.id) {
-                panic!(
-                    "duplicate device location {} ({prev} and {})",
-                    device.location, device.id
-                );
-            }
             // Route reflectors are control-plane only: they belong to their
             // logic site but never forward traffic, so they are excluded
             // from the ECMP aggregation groups.
             if device.role != DeviceRole::Reflector {
-                let served = device.location.truncate_at(device.role.serves_level());
-                agg_groups
-                    .entry(served.clone())
-                    .or_default()
-                    .push(device.id);
+                let served = interner
+                    .truncate_at(device_locs[device.id.index()], device.role.serves_level());
+                agg_groups.entry(served).or_default().push(device.id);
             }
             if device.role == DeviceRole::Leaf {
                 let cluster = device.location.truncate_at(LocationLevel::Cluster);
@@ -391,6 +458,8 @@ impl TopologyBuilder {
             customers,
             flows: Vec::new(),
             links_by_device,
+            interner: Arc::new(interner),
+            device_locs,
             agg_groups,
             clusters,
             link_by_pair,
@@ -466,6 +535,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interner_covers_every_device_prefix() {
+        let t = toy();
+        let interner = t.interner();
+        for device in t.devices() {
+            let id = t.device_loc(device.id);
+            assert_eq!(interner.path(id), &device.location);
+            for prefix in device.location.prefixes() {
+                assert!(interner.resolve(&prefix).is_some(), "missing {prefix}");
+            }
+        }
+        // Id-keyed accessors agree with the path-keyed ones.
+        let site = interner.resolve(&p("R|C|L|S")).unwrap();
+        assert_eq!(t.agg_group_at(site), t.agg_group(&p("R|C|L|S")));
+        let k1 = interner.resolve(&p("R|C|L|S|K1")).unwrap();
+        let by_id: Vec<DeviceId> = t.devices_under_at(k1).map(|d| d.id).collect();
+        let by_path: Vec<DeviceId> = t.devices_under(&p("R|C|L|S|K1")).map(|d| d.id).collect();
+        assert_eq!(by_id, by_path);
+        // Unknown paths resolve to nothing and scan to nothing.
+        assert!(interner.resolve(&p("R|C|L|S|K9")).is_none());
+        assert_eq!(t.devices_under(&p("R|C|L|S|K9")).count(), 0);
+        assert_eq!(t.devices_under(&LocationPath::root()).count(), 6);
     }
 
     #[test]
