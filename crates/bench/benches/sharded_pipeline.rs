@@ -1,0 +1,50 @@
+//! Shard-scaling bench: the batch pipeline over a §6.2-style severe-flood
+//! corpus at 1 vs 4 region shards. The two runs analyze the identical feed
+//! and — by the sharding determinism guarantee — produce the identical
+//! report; only the wall-clock differs. A noise rate well above the
+//! default stretches the flood toward the paper's alert-storm scale so the
+//! parallel locate/evaluate stages actually have work to split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::corpus::severe_cable_cut;
+use skynet_core::{PipelineConfig, SkyNet};
+use skynet_model::SimTime;
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 21);
+    let cfg = TelemetryConfig {
+        noise_per_hour: 60_000.0,
+        ..TelemetryConfig::default()
+    };
+    let run = TelemetrySuite::standard(scenario.topology(), cfg).run(&scenario);
+    println!("sharded_pipeline corpus: {} raw alerts", run.alerts.len());
+
+    let mut group = c.benchmark_group("sharded_pipeline");
+    group.throughput(Throughput::Elements(run.alerts.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_analyze", shards),
+            &shards,
+            |b, &shards| {
+                let mut pipeline_cfg = PipelineConfig::production();
+                pipeline_cfg.streaming.shards = shards;
+                let skynet = SkyNet::new(scenario.topology(), pipeline_cfg);
+                b.iter(|| {
+                    let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(60));
+                    black_box(report)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

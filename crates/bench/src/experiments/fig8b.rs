@@ -12,6 +12,7 @@ use skynet_core::{Preprocessor, PreprocessorConfig, SyslogClassifier};
 use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet_topology::GeneratorConfig;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// One scatter point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,9 +32,9 @@ pub struct Fig8bResult {
 
 fn preprocess_count(
     alerts: &[skynet_model::RawAlert],
-    classifier: &SyslogClassifier,
+    classifier: &Arc<SyslogClassifier>,
 ) -> Fig8bPoint {
-    let mut pp = Preprocessor::new(PreprocessorConfig::default(), Some(classifier.clone()));
+    let mut pp = Preprocessor::new(PreprocessorConfig::default(), Some(Arc::clone(classifier)));
     let out = pp.process_batch(alerts);
     Fig8bPoint {
         before: pp.stats().raw,
@@ -44,7 +45,7 @@ fn preprocess_count(
 /// Runs the experiment on a prepared corpus plus extra severe floods (the
 /// upper-right of the scatter).
 pub fn run_on(prepared: &PreparedCorpus, scale: ExperimentScale) -> Fig8bResult {
-    let classifier = SyslogClassifier::train(&prepared.training, 3, 8);
+    let classifier = Arc::new(SyslogClassifier::train(&prepared.training, 3, 8));
     let mut points: Vec<Fig8bPoint> = prepared
         .runs
         .iter()

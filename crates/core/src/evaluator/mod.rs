@@ -5,9 +5,10 @@ pub mod score;
 pub mod zoom;
 
 pub use score::{CircuitSetImpact, ScoreConfig, SeverityBreakdown, SeverityInputs};
-pub use zoom::{ReachabilityMatrix, ZoomMethod, ZoomResult};
+pub use zoom::{MatrixMemo, MatrixMemoStats, ReachabilityMatrix, ZoomMethod, ZoomResult};
 
 use crate::locator::Incident;
+use crate::par::parallel_map;
 use serde::{Deserialize, Serialize};
 use skynet_model::{AlertKind, CustomerId, LocId, PingLog};
 use skynet_topology::Topology;
@@ -266,15 +267,62 @@ impl Evaluator {
         }
     }
 
+    /// [`Evaluator::evaluate`] with a prebuilt reachability matrix for the
+    /// incident's [`zoom::matrix_window`].
+    fn evaluate_with(&self, incident: Incident, matrix: &ReachabilityMatrix) -> ScoredIncident {
+        let inputs = self.derive_inputs(&incident);
+        let severity = score::severity(&inputs, &self.cfg.score);
+        let zoom = zoom::zoom_with(
+            &incident,
+            matrix,
+            self.cfg.matrix_factor,
+            self.cfg.matrix_min_loss,
+        );
+        ScoredIncident {
+            incident,
+            severity,
+            zoom,
+        }
+    }
+
     /// Scores a batch, ranks by severity (highest first) — the incident
     /// ranking operators act on.
+    ///
+    /// The reachability matrix for each distinct `(window, level)` is built
+    /// once in a [`MatrixMemo`] (incidents completed by the same locator
+    /// check share their windows, so the per-incident `PingLog` rescan is
+    /// gone), and scoring fans out over scoped threads. Both the memo
+    /// prebuild and the ranking are deterministic: the parallel map
+    /// preserves input order and the severity sort is stable, so ties keep
+    /// their batch order regardless of worker count.
     pub fn rank(&self, incidents: Vec<Incident>, ping: &PingLog) -> Vec<ScoredIncident> {
-        let mut scored: Vec<ScoredIncident> = incidents
+        self.rank_memoized(incidents, ping).0
+    }
+
+    /// [`Evaluator::rank`], also returning the matrix memo's hit/build
+    /// counters.
+    pub fn rank_memoized(
+        &self,
+        incidents: Vec<Incident>,
+        ping: &PingLog,
+    ) -> (Vec<ScoredIncident>, MatrixMemoStats) {
+        // Sequential prebuild keeps the memo free of locks; the parallel
+        // stage below only reads the shared matrices.
+        let mut memo = MatrixMemo::new();
+        let jobs: Vec<(Incident, Arc<ReachabilityMatrix>)> = incidents
             .into_iter()
-            .map(|i| self.evaluate(i, ping))
+            .map(|incident| {
+                let (from, to, level) = zoom::matrix_window(&incident);
+                let matrix = memo.get_or_build(ping, from, to, level);
+                (incident, matrix)
+            })
             .collect();
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut scored = parallel_map(jobs, workers, |(incident, matrix)| {
+            self.evaluate_with(incident, &matrix)
+        });
         scored.sort_by(|a, b| b.score().total_cmp(&a.score()));
-        scored
+        (scored, memo.stats())
     }
 
     /// Applies the §6.4 severity filter: only incidents at or above the
@@ -427,6 +475,78 @@ mod tests {
         let ping = PingLog::new();
         let scored = ev.rank(vec![mild], &ping);
         assert_eq!(ev.filter(&scored).count(), 0, "score {}", scored[0].score());
+    }
+
+    #[test]
+    fn rank_builds_one_matrix_per_distinct_window() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let site = t.clusters()[0].parent();
+        // 24 incidents over only two distinct (first_seen, last_seen)
+        // windows: a flood completed by two locator grid checks.
+        let mut incidents = Vec::new();
+        for i in 0..24u64 {
+            let start = if i % 2 == 0 { 0 } else { 300 };
+            incidents.push(incident(
+                &site.to_string(),
+                vec![
+                    salert(
+                        DataSource::Snmp,
+                        AlertKind::LinkDown,
+                        start,
+                        site.clone(),
+                        1.0,
+                    ),
+                    salert(
+                        DataSource::Ping,
+                        AlertKind::PacketLossIcmp,
+                        start + 120,
+                        site.clone(),
+                        0.3,
+                    ),
+                ],
+            ));
+        }
+        let mut ping = PingLog::new();
+        ping.record(
+            SimTime::from_secs(10),
+            t.clusters()[0].clone(),
+            t.clusters()[1].clone(),
+            0.2,
+        );
+        let (scored, stats) = ev.rank_memoized(incidents, &ping);
+        assert_eq!(scored.len(), 24);
+        assert_eq!(stats.builds, 2, "one PingLog scan per distinct window");
+        assert_eq!(stats.hits, 22, "every other incident shares a matrix");
+        assert!(stats.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn rank_matches_sequential_evaluation() {
+        let t = topo();
+        let ev = Evaluator::new(&t, EvaluatorConfig::default());
+        let site = t.clusters()[0].parent();
+        let incidents: Vec<Incident> = (0..9u64)
+            .map(|i| {
+                incident(
+                    &site.to_string(),
+                    vec![salert(
+                        DataSource::Snmp,
+                        AlertKind::LinkDown,
+                        i * 7,
+                        site.clone(),
+                        1.0,
+                    )],
+                )
+            })
+            .collect();
+        let ping = PingLog::new();
+        let mut sequential: Vec<ScoredIncident> = incidents
+            .iter()
+            .map(|i| ev.evaluate(i.clone(), &ping))
+            .collect();
+        sequential.sort_by(|a, b| b.score().total_cmp(&a.score()));
+        assert_eq!(ev.rank(incidents, &ping), sequential);
     }
 
     #[test]

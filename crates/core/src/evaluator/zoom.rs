@@ -16,7 +16,9 @@ use crate::locator::Incident;
 use serde::{Deserialize, Serialize};
 use skynet_model::PingLog;
 use skynet_model::{AlertKind, LocId, LocationInterner, LocationLevel, LocationPath, SimTime};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense src × dst loss matrix at one location granularity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,6 +139,75 @@ impl ReachabilityMatrix {
     }
 }
 
+/// Hit/build counters of a [`MatrixMemo`], exposed so callers can assert
+/// the per-incident `PingLog` rescan is actually gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MatrixMemoStats {
+    /// Matrices built from a `PingLog` window scan.
+    pub builds: u64,
+    /// Lookups served from an already-built matrix.
+    pub hits: u64,
+}
+
+impl MatrixMemoStats {
+    /// Fraction of lookups served without a log scan (1.0 when every
+    /// lookup after the first of each window hit).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.builds + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memo of reachability matrices keyed by `(window, level)`.
+///
+/// Incidents born of one flood overwhelmingly share their evaluation
+/// windows (a grid check completes siblings with identical time bounds),
+/// so the batch evaluator builds each distinct matrix **once** and shares
+/// it across incidents behind an [`Arc`] instead of rescanning the
+/// [`PingLog`] per incident.
+#[derive(Debug, Default)]
+pub struct MatrixMemo {
+    map: HashMap<(SimTime, SimTime, LocationLevel), Arc<ReachabilityMatrix>>,
+    stats: MatrixMemoStats,
+}
+
+impl MatrixMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        MatrixMemo::default()
+    }
+
+    /// The matrix for `[from, to)` at `level`, building (and caching) it on
+    /// first request.
+    pub fn get_or_build(
+        &mut self,
+        log: &PingLog,
+        from: SimTime,
+        to: SimTime,
+        level: LocationLevel,
+    ) -> Arc<ReachabilityMatrix> {
+        match self.map.entry((from, to, level)) {
+            Entry::Occupied(e) => {
+                self.stats.hits += 1;
+                Arc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                self.stats.builds += 1;
+                Arc::clone(v.insert(Arc::new(ReachabilityMatrix::build(log, from, to, level))))
+            }
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MatrixMemoStats {
+        self.stats
+    }
+}
+
 /// How a zoomed location was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ZoomMethod {
@@ -173,11 +244,36 @@ fn alert_dca(incident: &Incident, kinds: &[AlertKind]) -> Option<LocationPath> {
     Some(it.fold(first, |acc, l| acc.common_ancestor(l)))
 }
 
+/// The reachability-matrix window for an incident: its time span plus one
+/// second so the final samples are inside the half-open bound, at cluster
+/// granularity (Fig. 7 zooms to Cluster ii).
+pub fn matrix_window(incident: &Incident) -> (SimTime, SimTime, LocationLevel) {
+    (
+        incident.first_seen,
+        incident.last_seen + skynet_model::SimDuration::from_secs(1),
+        LocationLevel::Cluster,
+    )
+}
+
 /// Runs the three zoom-in signals in order and returns the deepest
 /// refinement strictly inside the incident root.
 pub fn zoom(
     incident: &Incident,
     ping: &PingLog,
+    matrix_factor: f64,
+    matrix_min_loss: f64,
+) -> ZoomResult {
+    let (from, to, level) = matrix_window(incident);
+    let matrix = ReachabilityMatrix::build(ping, from, to, level);
+    zoom_with(incident, &matrix, matrix_factor, matrix_min_loss)
+}
+
+/// [`zoom`] with a prebuilt reachability matrix for the incident's
+/// [`matrix_window`] — the shape the memoized batch evaluator uses so the
+/// `PingLog` is scanned once per distinct window, not once per incident.
+pub fn zoom_with(
+    incident: &Incident,
+    matrix: &ReachabilityMatrix,
     matrix_factor: f64,
     matrix_min_loss: f64,
 ) -> ZoomResult {
@@ -193,12 +289,6 @@ pub fn zoom(
     };
 
     // 1. Reachability matrix focal point at cluster granularity.
-    let matrix = ReachabilityMatrix::build(
-        ping,
-        incident.first_seen,
-        incident.last_seen + skynet_model::SimDuration::from_secs(1),
-        LocationLevel::Cluster,
-    );
     for focal in matrix.focal_points(matrix_factor, matrix_min_loss) {
         consider(focal, ZoomMethod::ReachabilityMatrix);
     }
@@ -344,6 +434,54 @@ mod tests {
         let z = zoom(&incident, &PingLog::new(), 1.5, 0.01);
         assert_eq!(z.method, ZoomMethod::None);
         assert_eq!(z.location, p("R|C|L|S"));
+    }
+
+    #[test]
+    fn memo_builds_each_window_once() {
+        let log = figure7_log();
+        let mut memo = MatrixMemo::new();
+        let a = memo.get_or_build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Cluster,
+        );
+        let b = memo.get_or_build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Cluster,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the first build");
+        // A different window or level is a genuinely different matrix.
+        let _ = memo.get_or_build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(50),
+            LocationLevel::Cluster,
+        );
+        let _ = memo.get_or_build(
+            &log,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            LocationLevel::Site,
+        );
+        let stats = memo.stats();
+        assert_eq!(stats.builds, 3);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoom_with_matches_zoom_on_the_incident_window() {
+        let log = figure7_log();
+        let incident = incident_with(vec![salert(AlertKind::PacketLossIcmp, &p("R|C|L|S"))]);
+        let (from, to, level) = matrix_window(&incident);
+        let matrix = ReachabilityMatrix::build(&log, from, to, level);
+        assert_eq!(
+            zoom_with(&incident, &matrix, 1.5, 0.01),
+            zoom(&incident, &log, 1.5, 0.01)
+        );
     }
 
     #[test]

@@ -400,6 +400,17 @@ impl IngestGuard {
         Ok(())
     }
 
+    /// Offers a whole recorded feed, taking ownership so nothing is cloned
+    /// on the hot path, and appends everything released. Rejects are
+    /// quarantined and counted exactly as by per-alert [`offer`] calls.
+    ///
+    /// [`offer`]: IngestGuard::offer
+    pub fn offer_batch(&mut self, alerts: Vec<RawAlert>, out: &mut Vec<RawAlert>) {
+        for alert in alerts {
+            let _ = self.offer(alert, out);
+        }
+    }
+
     /// Advances the trusted clock (from a `Tick`), releasing everything the
     /// new watermark passes.
     pub fn advance(&mut self, now: SimTime, out: &mut Vec<RawAlert>) {

@@ -28,8 +28,14 @@
 //!   watermark-based re-sequencing, and the dead-letter queue.
 //! - [`error`] — the [`SkyNetError`] taxonomy surfaced by the streaming
 //!   runtime instead of panics.
+//! - [`shard`] — region-affine shard routing: every location maps to its
+//!   region's shard in O(1), which is what lets the locate/evaluate stages
+//!   run in parallel without ever splitting an incident.
+//! - [`par`] — the minimal order-preserving parallel map the sharded
+//!   stages run on (std threads; no runtime dependency).
 //! - [`pipeline`] — the assembled system: batch analysis and a supervised,
-//!   channel-based streaming mode.
+//!   channel-based streaming mode, both optionally region-sharded via
+//!   [`StreamingConfig::shards`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,12 +44,14 @@ pub mod error;
 pub mod evaluator;
 pub mod guard;
 pub mod locator;
+pub mod par;
 pub mod pipeline;
 pub mod preprocess;
+pub mod shard;
 pub mod sop;
 
 pub use error::{RejectReason, SkyNetError};
-pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+pub use evaluator::{Evaluator, EvaluatorConfig, MatrixMemo, MatrixMemoStats, ScoredIncident};
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 pub use locator::{CountingMode, Incident, Locator, LocatorConfig, PathLocator, Thresholds};
 pub use pipeline::{
@@ -51,4 +59,5 @@ pub use pipeline::{
     StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
 };
 pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
+pub use shard::{ShardRouter, FALLBACK_SHARD};
 pub use sop::{SopAction, SopEngine, SopPlan, SopRule};

@@ -1,0 +1,83 @@
+//! Order-preserving parallel map on scoped OS threads.
+//!
+//! The pipeline's parallel stages (per-shard location, batched incident
+//! evaluation) are CPU-bound and deterministic; what they need from a
+//! thread pool is *nothing but* index-stable fan-out. [`parallel_map`]
+//! splits the input into contiguous chunks, runs one scoped thread per
+//! chunk and concatenates the results in input order, so the output is
+//! byte-identical to the sequential map at any worker count.
+
+/// Maps `f` over `items` on up to `workers` scoped threads, preserving
+/// input order. `workers <= 1` (or a single item) degenerates to the plain
+/// sequential map on the calling thread. A panic in any worker propagates
+/// to the caller.
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks keep results index-stable under concatenation.
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mapped) => out.extend(mapped),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [0, 1, 2, 3, 7, 16, 2000] {
+            let got = parallel_map(items.clone(), workers, |x| x * 3 + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(vec![1u32, 2, 3, 4], 2, |x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -23,7 +23,9 @@ use crate::error::SkyNetError;
 use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
 use crate::guard::{DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 use crate::locator::{Incident, Locator, LocatorConfig};
+use crate::par::parallel_map;
 use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
+use crate::shard::ShardRouter;
 use crate::sop::{SopEngine, SopPlan};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -57,6 +59,17 @@ pub struct StreamingConfig {
     /// Worker panics tolerated (each costs a restart with fresh stage
     /// state) before the supervisor gives up.
     pub max_restarts: u32,
+    /// Region-affine shards for the locate/evaluate stages. `1` (the
+    /// default) keeps the single-worker layout; `N > 1` fans structured
+    /// alerts out to N workers by the [`ShardRouter`] and merges their
+    /// incidents back into the canonical order. Output is byte-identical
+    /// at any shard count — see the module docs of [`crate::shard`].
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+}
+
+fn default_shards() -> usize {
+    1
 }
 
 impl Default for StreamingConfig {
@@ -68,6 +81,7 @@ impl Default for StreamingConfig {
             stats_interval: 64,
             shed_high_water: 0.75,
             max_restarts: 3,
+            shards: default_shards(),
         }
     }
 }
@@ -203,7 +217,7 @@ impl AnalysisReport {
 pub struct SkyNet {
     topo: Arc<Topology>,
     cfg: PipelineConfig,
-    classifier: Option<SyslogClassifier>,
+    classifier: Option<Arc<SyslogClassifier>>,
 }
 
 impl SkyNet {
@@ -218,7 +232,9 @@ impl SkyNet {
     }
 
     /// A pipeline whose FT-tree classifier is trained on a labelled
-    /// historical corpus.
+    /// historical corpus. The trained classifier is held behind an `Arc`
+    /// and shared (not cloned) by every analysis run, shard and worker
+    /// restart.
     pub fn with_training(
         topo: &Arc<Topology>,
         cfg: PipelineConfig,
@@ -229,7 +245,7 @@ impl SkyNet {
         SkyNet {
             topo: Arc::clone(topo),
             cfg,
-            classifier: Some(classifier),
+            classifier: Some(Arc::new(classifier)),
         }
     }
 
@@ -242,27 +258,72 @@ impl SkyNet {
     /// `horizon`, evaluate, rank, and match SOPs. Malformed or hopelessly
     /// late alerts are rejected (counted in the report's `ingest` stats)
     /// rather than analyzed.
+    ///
+    /// Borrowing convenience over [`SkyNet::analyze_owned`]: the recorded
+    /// feed is copied once up front. Callers that own their flood should
+    /// call `analyze_owned` directly and skip the copy.
     pub fn analyze(&self, alerts: &[RawAlert], ping: &PingLog, horizon: SimTime) -> AnalysisReport {
+        self.analyze_owned(alerts.to_vec(), ping, horizon)
+    }
+
+    /// [`SkyNet::analyze`], taking ownership of the flood so no alert is
+    /// cloned on the hot path.
+    ///
+    /// With `streaming.shards > 1` the locate stage runs region-sharded:
+    /// the guard and preprocessor consume the feed sequentially (the
+    /// watermark is global and peered ping alerts split into *both*
+    /// endpoint regions, so sharding raw alerts would change admission and
+    /// consolidation), then structured alerts fan out by region to one
+    /// locator per shard, run in parallel, and the completed incidents
+    /// merge back into the canonical order. The report is byte-identical
+    /// at any shard count.
+    pub fn analyze_owned(
+        &self,
+        alerts: Vec<RawAlert>,
+        ping: &PingLog,
+        horizon: SimTime,
+    ) -> AnalysisReport {
+        let shards = self.cfg.streaming.shards.max(1);
         let mut preprocessor =
             Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone());
-        let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
         let mut guard = IngestGuard::new(&self.topo, self.cfg.streaming.guard.clone());
-        let mut released = Vec::new();
-        let mut structured = Vec::new();
-        for alert in alerts {
-            released.clear();
-            let _ = guard.offer(alert.clone(), &mut released);
-            feed(&released, &mut structured, &mut preprocessor, &mut locator);
-        }
-        released.clear();
+        let router = ShardRouter::new(self.topo.interner(), shards);
+
+        // Guard: admit, re-sequence, reject. Feed-order releases are
+        // independent of when downstream stages consume them.
+        let mut released = Vec::with_capacity(alerts.len());
+        guard.offer_batch(alerts, &mut released);
         guard.advance(horizon, &mut released);
         guard.flush(&mut released);
-        feed(&released, &mut structured, &mut preprocessor, &mut locator);
+
+        // Preprocess sequentially, routing each structured alert to its
+        // region's shard.
+        let mut partitions: Vec<Vec<StructuredAlert>> = vec![Vec::new(); shards];
+        let mut structured = Vec::new();
+        for raw in &released {
+            structured.clear();
+            preprocessor.push(raw, &mut structured);
+            for alert in structured.drain(..) {
+                partitions[router.route(&alert.location)].push(alert);
+            }
+        }
         preprocessor.finish();
-        locator.advance(horizon);
-        locator.finish();
-        let mut incidents = locator.take_completed();
-        incidents.sort_by_key(|i| (i.first_seen, i.id));
+
+        // Locate each shard's sub-stream in parallel. A region-restricted
+        // locator fires the same grid checks over the same region-local
+        // state as the global one, so per-shard incidents equal the
+        // single worker's (see DESIGN.md on the sharding invariants).
+        let locate = |batch: Vec<StructuredAlert>| -> Vec<Incident> {
+            let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
+            for alert in &batch {
+                locator.insert(alert);
+            }
+            locator.advance(horizon);
+            locator.finish();
+            locator.take_completed()
+        };
+        let per_shard = parallel_map(partitions, shards, locate);
+        let incidents = merge_incidents(per_shard);
 
         self.finish_report(incidents, ping, preprocessor.stats(), guard.stats())
     }
@@ -291,6 +352,29 @@ impl SkyNet {
             severity_threshold: self.cfg.evaluator.severity_threshold,
         }
     }
+}
+
+/// Merges per-shard completed incidents into the canonical report order
+/// and renumbers their ids.
+///
+/// Each shard's locator assigns ids from its own counter, so raw ids are a
+/// function of the sharding layout. The merge erases that: incidents sort
+/// by the intrinsic key `(first_seen, root, last_seen)` — total on real
+/// data because two incidents with the same root live in the same region,
+/// hence the same shard, where the stable sort keeps their locator
+/// completion order, itself identical across layouts — and ids are
+/// reassigned densely in that order. The 1-shard path goes through the
+/// same merge, which is what makes reports byte-comparable across shard
+/// counts.
+fn merge_incidents(per_shard: Vec<Vec<Incident>>) -> Vec<Incident> {
+    let mut all: Vec<Incident> = per_shard.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        (a.first_seen, &a.root, a.last_seen).cmp(&(b.first_seen, &b.root, b.last_seen))
+    });
+    for (i, incident) in all.iter_mut().enumerate() {
+        incident.id = IncidentId::from_index(i);
+    }
+    all
 }
 
 /// Events accepted by the streaming worker.
@@ -509,7 +593,13 @@ pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
 
     let worker = std::thread::Builder::new()
         .name("skynet-pipeline".into())
-        .spawn(move || supervise(&skynet, &scfg, &event_rx, &incident_tx, &shared))
+        .spawn(move || {
+            if scfg.shards <= 1 {
+                supervise(&skynet, &scfg, &event_rx, &incident_tx, &shared);
+            } else {
+                run_sharded(&skynet, &scfg, &event_rx, incident_tx, &shared);
+            }
+        })
         .expect("spawning the pipeline worker thread");
 
     StreamingHandle {
@@ -616,6 +706,252 @@ fn run_worker(
     preprocessor.finish();
     locator.finish();
     publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+    let _ = drain_completed(&mut locator, &ping, &evaluator, &sop, incidents);
+}
+
+/// Internal event stream from the sharded ingest worker to shard workers.
+#[derive(Debug, Clone)]
+enum ShardEvent {
+    /// A structured alert routed to this shard's region(s).
+    Alert(StructuredAlert),
+    /// A lossy ping sample (broadcast: every shard keeps the full log so
+    /// its reachability matrices equal the single worker's).
+    Ping(PingSample),
+    /// Clock advance (broadcast).
+    Tick(SimTime),
+    /// Chaos hook (broadcast): panics the shard worker, exercising
+    /// per-shard restart.
+    ChaosPanic,
+}
+
+/// The sharded streaming runtime (`shards > 1`): one supervised ingest
+/// worker owns the guard and preprocessor — the watermark is global and
+/// peered alerts split into both endpoint regions, so ingestion cannot be
+/// sharded without changing admission — and fans structured alerts out to
+/// `shards` region-affine workers, each owning its own locator, evaluator,
+/// SOP engine and ping log. Every worker restarts independently from its
+/// own `max_restarts` budget; `Monitor::restarts` totals panics across all
+/// of them. Incident ids are per-shard in streaming mode (the batch path's
+/// canonical renumbering needs the full completed set; a live stream never
+/// has it).
+fn run_sharded(
+    skynet: &SkyNet,
+    scfg: &StreamingConfig,
+    events: &Receiver<StreamEvent>,
+    incidents: Sender<StreamIncident>,
+    shared: &WorkerShared,
+) {
+    let router = ShardRouter::new(skynet.topo.interner(), scfg.shards);
+    let mut shard_txs = Vec::with_capacity(scfg.shards);
+    let mut handles = Vec::with_capacity(scfg.shards);
+    for s in 0..scfg.shards {
+        let (tx, rx) = bounded::<ShardEvent>(scfg.event_capacity.max(1));
+        shard_txs.push(tx);
+        let topo = Arc::clone(&skynet.topo);
+        let locator_cfg = skynet.cfg.locator.clone();
+        let evaluator_cfg = skynet.cfg.evaluator.clone();
+        let incident_tx = incidents.clone();
+        let monitor = Arc::clone(&shared.monitor);
+        let max_restarts = scfg.max_restarts;
+        let handle = std::thread::Builder::new()
+            .name(format!("skynet-shard-{s}"))
+            .spawn(move || {
+                supervise_shard(
+                    &topo,
+                    &locator_cfg,
+                    &evaluator_cfg,
+                    &rx,
+                    &incident_tx,
+                    &monitor,
+                    max_restarts,
+                );
+            })
+            .expect("spawning a shard worker thread");
+        handles.push(handle);
+    }
+    // The shard workers hold the only incident senders now, so the
+    // consumer's iterator ends exactly when the last shard finishes.
+    drop(incidents);
+
+    let mut attempts = 0u32;
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_sharded_ingest(skynet, scfg, events, &router, &shard_txs, shared);
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(_) => {
+                attempts += 1;
+                shared.monitor.restarts.fetch_add(1, Ordering::SeqCst);
+                if attempts > scfg.max_restarts {
+                    shared.monitor.gave_up.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+    // Closing the shard channels is the flush signal: each worker
+    // finalizes its open incidents and exits.
+    drop(shard_txs);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    shared.monitor.alive.store(false, Ordering::SeqCst);
+}
+
+/// One incarnation of the sharded ingest worker: fresh guard/preprocessor
+/// state, counters based on what earlier incarnations published.
+fn run_sharded_ingest(
+    skynet: &SkyNet,
+    scfg: &StreamingConfig,
+    events: &Receiver<StreamEvent>,
+    router: &ShardRouter,
+    shard_txs: &[Sender<ShardEvent>],
+    shared: &WorkerShared,
+) {
+    let mut preprocessor =
+        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
+    let mut guard =
+        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead));
+    let mut released: Vec<RawAlert> = Vec::new();
+    let mut structured: Vec<StructuredAlert> = Vec::new();
+    let base_pre = *shared.stats.lock();
+    let base_ingest = *shared.ingest.lock();
+    let mut since_publish: u64 = 0;
+
+    for event in events.iter() {
+        match event {
+            StreamEvent::Alert(raw) => {
+                let _ = guard.offer(raw, &mut released);
+                route_released(
+                    &mut released,
+                    &mut structured,
+                    &mut preprocessor,
+                    router,
+                    shard_txs,
+                );
+                since_publish += 1;
+                if since_publish >= scfg.stats_interval {
+                    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                    since_publish = 0;
+                }
+            }
+            StreamEvent::Ping(sample) => broadcast(shard_txs, ShardEvent::Ping(sample)),
+            StreamEvent::Tick(now) => {
+                guard.advance(now, &mut released);
+                route_released(
+                    &mut released,
+                    &mut structured,
+                    &mut preprocessor,
+                    router,
+                    shard_txs,
+                );
+                broadcast(shard_txs, ShardEvent::Tick(now));
+                publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                since_publish = 0;
+            }
+            StreamEvent::Flush => break,
+            StreamEvent::ChaosPanic => broadcast(shard_txs, ShardEvent::ChaosPanic),
+        }
+    }
+    // Flush (or all producers hung up): release everything still buffered.
+    guard.flush(&mut released);
+    route_released(
+        &mut released,
+        &mut structured,
+        &mut preprocessor,
+        router,
+        shard_txs,
+    );
+    preprocessor.finish();
+    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+}
+
+/// Sends one event to every shard. A send fails only when that shard's
+/// supervisor gave up; the remaining shards keep receiving.
+fn broadcast(shard_txs: &[Sender<ShardEvent>], event: ShardEvent) {
+    for tx in shard_txs {
+        let _ = tx.send(event.clone());
+    }
+}
+
+/// Preprocesses guard-released raw alerts and routes each structured alert
+/// to its region's shard.
+fn route_released(
+    released: &mut Vec<RawAlert>,
+    structured: &mut Vec<StructuredAlert>,
+    preprocessor: &mut Preprocessor,
+    router: &ShardRouter,
+    shard_txs: &[Sender<ShardEvent>],
+) {
+    for raw in released.drain(..) {
+        structured.clear();
+        preprocessor.push(&raw, structured);
+        for alert in structured.drain(..) {
+            let shard = router.route(&alert.location);
+            let _ = shard_txs[shard].send(ShardEvent::Alert(alert));
+        }
+    }
+}
+
+/// Restarts one shard worker after panics, up to its own budget.
+fn supervise_shard(
+    topo: &Arc<Topology>,
+    locator_cfg: &LocatorConfig,
+    evaluator_cfg: &EvaluatorConfig,
+    events: &Receiver<ShardEvent>,
+    incidents: &Sender<StreamIncident>,
+    monitor: &Monitor,
+    max_restarts: u32,
+) {
+    let mut attempts = 0u32;
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_shard_worker(topo, locator_cfg, evaluator_cfg, events, incidents);
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(_) => {
+                attempts += 1;
+                monitor.restarts.fetch_add(1, Ordering::SeqCst);
+                if attempts > max_restarts {
+                    monitor.gave_up.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One incarnation of a shard worker: locate, evaluate and emit incidents
+/// for this shard's regions. State is shard-local and rebuilt fresh on
+/// restart.
+fn run_shard_worker(
+    topo: &Arc<Topology>,
+    locator_cfg: &LocatorConfig,
+    evaluator_cfg: &EvaluatorConfig,
+    events: &Receiver<ShardEvent>,
+    incidents: &Sender<StreamIncident>,
+) {
+    let mut locator = Locator::new(topo, locator_cfg.clone());
+    let evaluator = Evaluator::new(topo, evaluator_cfg.clone());
+    let sop = SopEngine::standard(topo);
+    let mut ping = PingLog::new();
+    for event in events.iter() {
+        match event {
+            ShardEvent::Alert(alert) => locator.insert(&alert),
+            ShardEvent::Ping(sample) => {
+                ping.record(sample.t, sample.src, sample.dst, sample.loss);
+            }
+            ShardEvent::Tick(now) => locator.advance(now),
+            ShardEvent::ChaosPanic => panic!("chaos: injected shard worker panic"),
+        }
+        if !drain_completed(&mut locator, &ping, &evaluator, &sop, incidents) {
+            return; // receiver gone
+        }
+    }
+    // Channel closed (flush, or the ingest worker gave up): finalize.
+    locator.finish();
     let _ = drain_completed(&mut locator, &ping, &evaluator, &sop, incidents);
 }
 
@@ -948,6 +1284,124 @@ mod tests {
             AlertKind::LinkDown,
         );
         assert_eq!(handle.send_alert(alert), Err(SkyNetError::ChannelClosed));
+    }
+
+    /// A flood hitting one site in each of `small()`'s two regions — the
+    /// smallest input that actually exercises cross-shard routing.
+    fn two_region_flood(t: &Arc<Topology>) -> Vec<RawAlert> {
+        let site = |region: &str| {
+            t.clusters()
+                .iter()
+                .find(|c| c.segments()[0].as_ref() == region)
+                .unwrap()
+                .parent()
+        };
+        let mut alerts = flood(&site("Region-0"));
+        alerts.extend(flood(&site("Region-1")));
+        alerts.sort_by_key(|a| a.timestamp);
+        alerts
+    }
+
+    #[test]
+    fn sharded_batch_report_is_byte_identical() {
+        let t = topo();
+        let alerts = two_region_flood(&t);
+        let mut ping = PingLog::new();
+        ping.record(
+            SimTime::from_secs(10),
+            t.clusters()[0].clone(),
+            t.clusters()[1].clone(),
+            0.2,
+        );
+        let run = |shards: usize| {
+            let mut cfg = PipelineConfig::production();
+            cfg.streaming.shards = shards;
+            SkyNet::new(&t, cfg).analyze(&alerts, &ping, SimTime::from_mins(30))
+        };
+        let baseline = run(1);
+        assert_eq!(baseline.incidents.len(), 2, "one incident per region");
+        // More shards than regions leaves some workers idle, never wrong.
+        for shards in [2, 4, 7] {
+            assert_eq!(run(shards), baseline, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_streaming_produces_batch_incidents() {
+        let t = topo();
+        let alerts = two_region_flood(&t);
+        let batch = SkyNet::new(&t, PipelineConfig::production()).analyze(
+            &alerts,
+            &PingLog::new(),
+            SimTime::from_mins(30),
+        );
+
+        let mut cfg = PipelineConfig::production();
+        cfg.streaming.shards = 4;
+        let handle = spawn_streaming(SkyNet::new(&t, cfg));
+        for a in &alerts {
+            handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+
+        // Shards emit in completion order, not ranked order; compare as
+        // sets keyed by what the locator decided.
+        let mut streamed_keys: Vec<_> = streamed
+            .iter()
+            .map(|s| {
+                (
+                    s.scored.incident.root.clone(),
+                    s.scored.incident.alerts.len(),
+                )
+            })
+            .collect();
+        let mut batch_keys: Vec<_> = batch
+            .incidents
+            .iter()
+            .map(|s| (s.incident.root.clone(), s.incident.alerts.len()))
+            .collect();
+        streamed_keys.sort();
+        batch_keys.sort();
+        assert_eq!(streamed_keys, batch_keys);
+        // Ingestion stays sequential in front of the fan-out, so counter
+        // parity with the batch run survives sharding.
+        assert_eq!(*handle.stats.lock(), batch.preprocess);
+        assert_eq!(*handle.ingest.lock(), batch.ingest);
+    }
+
+    #[test]
+    fn shard_workers_restart_independently() {
+        let t = topo();
+        let alerts = two_region_flood(&t);
+        let mut cfg = PipelineConfig::production();
+        cfg.streaming.shards = 2;
+        let handle = spawn_streaming(SkyNet::new(&t, cfg));
+        // One chaos event is broadcast to every shard; each catches its own
+        // panic and restarts with fresh shard-local state while the ingest
+        // worker keeps running.
+        handle.events.send(StreamEvent::ChaosPanic).unwrap();
+        for a in &alerts {
+            handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+
+        assert_eq!(streamed.len(), 2, "both regions still produce incidents");
+        let health = handle.health();
+        assert_eq!(health.restarts, 2, "one restart per shard, none for ingest");
+        assert!(!health.gave_up);
+        assert!(!health.alive, "runtime exited after flush");
     }
 
     #[test]

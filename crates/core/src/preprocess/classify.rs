@@ -11,15 +11,44 @@
 //! the tree and inherits its template's kind; unmatched lines become
 //! [`AlertKind::Unclassified`].
 
+use parking_lot::Mutex;
 use skynet_ftree::{FtTree, FtTreeBuilder, TemplateId};
 use skynet_model::AlertKind;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bound on the classification memo. A flood repeats a small set of
+/// templates with a modest variable vocabulary, so this covers steady
+/// state; on overflow the memo is cleared rather than evicted piecemeal —
+/// cheap, and the hot lines repopulate it within a few alerts.
+const CLASSIFY_CACHE_CAPACITY: usize = 4096;
 
 /// FT-tree-backed syslog classifier.
-#[derive(Debug, Clone)]
+///
+/// Identical raw lines are classified once: a bounded memo keyed by the
+/// line's hash skips the `constant_words`/`order_words` normalization and
+/// tree walk on repeats, which is the common case in a flood (tools
+/// retransmit and devices repeat the same message with the same
+/// variables). The memo uses interior mutability so `classify` stays `&self`
+/// and one classifier can be shared across shard workers behind an `Arc`.
+#[derive(Debug)]
 pub struct SyslogClassifier {
     tree: FtTree,
     kind_by_template: HashMap<TemplateId, AlertKind>,
+    cache: Mutex<HashMap<u64, AlertKind>>,
+    cache_hits: AtomicU64,
+}
+
+impl Clone for SyslogClassifier {
+    fn clone(&self) -> Self {
+        SyslogClassifier {
+            tree: self.tree.clone(),
+            kind_by_template: self.kind_by_template.clone(),
+            cache: Mutex::new(self.cache.lock().clone()),
+            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl SyslogClassifier {
@@ -53,15 +82,38 @@ impl SyslogClassifier {
         SyslogClassifier {
             tree,
             kind_by_template,
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
         }
     }
 
     /// Classifies one raw syslog line.
     pub fn classify(&self, line: &str) -> AlertKind {
-        self.tree
+        // SipHash via the std default hasher: deterministic within a
+        // process run, which is all the memo key needs.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        line.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(&kind) = self.cache.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return kind;
+        }
+        let kind = self
+            .tree
             .match_message(line)
             .and_then(|t| self.kind_by_template.get(&t).copied())
-            .unwrap_or(AlertKind::Unclassified)
+            .unwrap_or(AlertKind::Unclassified);
+        let mut cache = self.cache.lock();
+        if cache.len() >= CLASSIFY_CACHE_CAPACITY {
+            cache.clear();
+        }
+        cache.insert(key, kind);
+        kind
+    }
+
+    /// Classification calls served from the memo so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// Number of mined templates.
@@ -137,6 +189,41 @@ mod tests {
             AlertKind::Unclassified
         );
         assert_eq!(classifier.classify(""), AlertKind::Unclassified);
+    }
+
+    #[test]
+    fn repeated_lines_hit_the_memo() {
+        let classifier = SyslogClassifier::train(&training_corpus(20, 4), 3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let kind = syslog_kinds()[0];
+        let line = render_message(kind, &mut rng);
+        let first = classifier.classify(&line);
+        assert_eq!(classifier.cache_hits(), 0, "first sight is a miss");
+        for _ in 0..5 {
+            assert_eq!(classifier.classify(&line), first);
+        }
+        assert_eq!(classifier.cache_hits(), 5);
+        // Unknown lines are memoized too — garbage retransmits are the
+        // worst repeat offenders in a malformed storm.
+        let garbage = "the quick brown fox jumps over the lazy dog";
+        assert_eq!(classifier.classify(garbage), AlertKind::Unclassified);
+        assert_eq!(classifier.classify(garbage), AlertKind::Unclassified);
+        assert_eq!(classifier.cache_hits(), 6);
+    }
+
+    #[test]
+    fn memo_never_changes_classifications() {
+        let cached = SyslogClassifier::train(&training_corpus(30, 8), 3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for kind in syslog_kinds() {
+            for _ in 0..10 {
+                let line = render_message(kind, &mut rng);
+                let cold = cached.classify(&line);
+                let warm = cached.classify(&line);
+                assert_eq!(cold, warm);
+            }
+        }
+        assert!(cached.cache_hits() > 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use skynet_model::{
     LocationPath, RawAlert, SimDuration, SimTime, StructuredAlert,
 };
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Preprocessor knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -147,7 +148,10 @@ struct PendingPersistence {
 #[derive(Debug)]
 pub struct Preprocessor {
     cfg: PreprocessorConfig,
-    classifier: Option<SyslogClassifier>,
+    /// Shared FT-tree classifier: training is expensive and the tree is
+    /// read-only at classification time, so shards and worker restarts
+    /// share one instance behind an `Arc` instead of deep-cloning it.
+    classifier: Option<Arc<SyslogClassifier>>,
     /// Locations seen so far, interned on first sight. The preprocessor has
     /// no topology, so the interner starts empty and grows with the stream.
     interner: LocationInterner,
@@ -165,7 +169,7 @@ impl Preprocessor {
     /// Builds a preprocessor. The classifier handles raw syslog text; pass
     /// `None` to treat all syslog as [`AlertKind::Unclassified`] (used by
     /// ablations).
-    pub fn new(cfg: PreprocessorConfig, classifier: Option<SyslogClassifier>) -> Self {
+    pub fn new(cfg: PreprocessorConfig, classifier: Option<Arc<SyslogClassifier>>) -> Self {
         Preprocessor {
             cfg,
             classifier,

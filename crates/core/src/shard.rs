@@ -1,0 +1,140 @@
+//! Region-affine shard routing.
+//!
+//! The locator's grouping rules never connect locations from different
+//! regions: containment and sibling checks require a shared ancestor chain,
+//! and the adjacency index deliberately skips inter-region links (a WAN cut
+//! shows up as *two* regional incidents, §4.2). Incident trees therefore
+//! never span regions, and the pipeline can be partitioned by the
+//! region-level ancestor of each structured alert's location with no loss
+//! of grouping fidelity.
+//!
+//! A [`ShardRouter`] precomputes `LocId → shard` for every location the
+//! topology interner knows, so routing one alert is a single array probe.
+//! Locations the interner cannot resolve (defensive: the ingestion guard
+//! already rejects off-topology alerts) route to a deterministic fallback
+//! shard so a misrouted alert can never make output depend on shard count.
+
+use skynet_model::{LocId, LocationInterner, LocationPath};
+use std::sync::Arc;
+
+/// Shard every unresolvable location routes to.
+pub const FALLBACK_SHARD: usize = 0;
+
+/// Maps alert locations to region-affine shards.
+///
+/// Regions are enumerated in the interner's deterministic seed order and
+/// assigned round-robin to `shards` workers; every location inherits its
+/// region's shard. The assignment is a pure function of the topology and
+/// the shard count, so two routers built from the same inputs agree.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    interner: Arc<LocationInterner>,
+    /// `shard_by_loc[id.index()]` = shard of the location's region.
+    shard_by_loc: Vec<u32>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Builds a router over a topology interner for `shards` workers
+    /// (clamped to at least 1).
+    pub fn new(interner: &Arc<LocationInterner>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut region_ordinals: Vec<LocId> = Vec::new();
+        let mut shard_by_loc = Vec::with_capacity(interner.len());
+        for id in interner.ids() {
+            let region = interner.region_of(id);
+            let ordinal = match region_ordinals.iter().position(|&r| r == region) {
+                Some(i) => i,
+                None => {
+                    region_ordinals.push(region);
+                    region_ordinals.len() - 1
+                }
+            };
+            shard_by_loc.push((ordinal % shards) as u32);
+        }
+        ShardRouter {
+            interner: Arc::clone(interner),
+            shard_by_loc,
+            shards,
+        }
+    }
+
+    /// Number of shards routed to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard for an interned location: one array probe. Ids interned
+    /// into the topology interner *after* this router was built (there are
+    /// none today — the topology interner is frozen behind an `Arc`) fall
+    /// back deterministically.
+    pub fn route_id(&self, id: LocId) -> usize {
+        self.shard_by_loc
+            .get(id.index())
+            .map_or(FALLBACK_SHARD, |&s| s as usize)
+    }
+
+    /// The shard for a location path; unresolvable (off-topology) paths go
+    /// to [`FALLBACK_SHARD`].
+    pub fn route(&self, path: &LocationPath) -> usize {
+        match self.interner.resolve(path) {
+            Some(id) => self.route_id(id),
+            None => FALLBACK_SHARD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_topology::{generate, GeneratorConfig};
+
+    fn p(s: &str) -> LocationPath {
+        LocationPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn every_location_of_a_region_shares_a_shard() {
+        let topo = generate(&GeneratorConfig::small());
+        let interner = topo.interner();
+        for shards in [1, 2, 4, 7] {
+            let router = ShardRouter::new(interner, shards);
+            for id in interner.ids() {
+                let region = interner.region_of(id);
+                assert_eq!(
+                    router.route_id(id),
+                    router.route_id(region),
+                    "location must ride its region's shard"
+                );
+                assert!(router.route_id(id) < shards);
+                assert_eq!(router.route(interner.path(id)), router.route_id(id));
+            }
+        }
+    }
+
+    #[test]
+    fn regions_spread_round_robin() {
+        let topo = generate(&GeneratorConfig::small());
+        let interner = topo.interner();
+        let router = ShardRouter::new(interner, 2);
+        let shards: Vec<usize> = interner.regions().map(|r| router.route_id(r)).collect();
+        assert_eq!(shards, vec![0, 1]);
+    }
+
+    #[test]
+    fn unresolvable_locations_take_the_fallback_shard() {
+        let topo = generate(&GeneratorConfig::small());
+        let router = ShardRouter::new(topo.interner(), 4);
+        assert_eq!(router.route(&p("Atlantis|Lost City")), FALLBACK_SHARD);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let topo = generate(&GeneratorConfig::small());
+        let router = ShardRouter::new(topo.interner(), 0);
+        assert_eq!(router.shards(), 1);
+        for id in topo.interner().ids() {
+            assert_eq!(router.route_id(id), 0);
+        }
+    }
+}

@@ -247,6 +247,19 @@ impl LocationInterner {
         node.ancestors[..node.depth as usize].iter().copied()
     }
 
+    /// The region-level (depth-1) ancestor of `id`. Always defined: every
+    /// interned node's ancestor chain starts at a region.
+    pub fn region_of(&self, id: LocId) -> LocId {
+        self.nodes[id.index()].ancestors[0]
+    }
+
+    /// All region-level (depth-1) ids, in id (interning) order. For a
+    /// seed interner this is also path order, so the enumeration is a
+    /// deterministic region ordering shared by every consumer.
+    pub fn regions(&self) -> impl Iterator<Item = LocId> + '_ {
+        self.ids().filter(|&id| self.nodes[id.index()].depth == 1)
+    }
+
     /// Deterministic location order: compares the materialized paths
     /// segment-wise (the [`LocationPath`] `Ord`), independent of interning
     /// order. Use this wherever iteration order must not depend on when a
@@ -439,6 +452,22 @@ mod tests {
         assert_eq!(i.ancestors(far_id).count(), 3);
         assert!(i.resolve(&p("R9")).is_some());
         assert!(i.resolve(&p("R9|C9")).is_some());
+    }
+
+    #[test]
+    fn region_queries_are_total() {
+        let i = device_interner();
+        let regions: Vec<LocationPath> = i.regions().map(|r| i.path(r).clone()).collect();
+        assert_eq!(regions, vec![p("R"), p("R2")]);
+        for id in i.ids() {
+            let region = i.region_of(id);
+            assert_eq!(i.depth(region), 1);
+            assert!(i.contains(region, id));
+            assert_eq!(Some(region), i.ancestor_at_depth(id, 1));
+        }
+        // Region of a region is itself.
+        let r = i.resolve(&p("R")).unwrap();
+        assert_eq!(i.region_of(r), r);
     }
 
     #[test]
