@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(run.alerts.len() as u64));
     group.bench_function("streaming_pipeline_end_to_end", |b| {
         b.iter(|| {
-            let skynet = SkyNet::new(scenario.topology(), PipelineConfig::production());
+            let skynet = SkyNet::builder(scenario.topology())
+                .config(PipelineConfig::production())
+                .build();
             let handle = spawn_streaming(skynet);
             for a in &run.alerts {
                 handle.events.send(StreamEvent::Alert(a.clone())).unwrap();

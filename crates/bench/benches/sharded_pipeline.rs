@@ -31,7 +31,9 @@ fn bench(c: &mut Criterion) {
             |b, &shards| {
                 let mut pipeline_cfg = PipelineConfig::production();
                 pipeline_cfg.streaming.shards = shards;
-                let skynet = SkyNet::new(scenario.topology(), pipeline_cfg);
+                let skynet = SkyNet::builder(scenario.topology())
+                    .config(pipeline_cfg)
+                    .build();
                 b.iter(|| {
                     let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(60));
                     black_box(report)

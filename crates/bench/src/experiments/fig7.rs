@@ -57,8 +57,10 @@ pub fn run(scale: ExperimentScale) -> Fig7Result {
     let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default());
     let run = suite.run(&scenario);
     let training = skynet_telemetry::tools::syslog::labeled_corpus(40, 9);
-    let skynet =
-        SkyNet::with_training(scenario.topology(), PipelineConfig::production(), &training);
+    let skynet = SkyNet::builder(scenario.topology())
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = skynet.analyze(&run.alerts, &run.ping, horizon_after(&scenario));
     let top = report
         .incidents

@@ -63,7 +63,10 @@ impl PreparedCorpus {
     /// Builds a SkyNet pipeline (classifier trained on the corpus's
     /// labelled history) for a config.
     pub fn skynet(&self, config: PipelineConfig) -> SkyNet {
-        SkyNet::with_training(&self.corpus.topology, config, &self.training)
+        SkyNet::builder(&self.corpus.topology)
+            .config(config)
+            .training(&self.training)
+            .build()
     }
 
     /// Analyzes one episode with a pipeline, optionally restricted to a

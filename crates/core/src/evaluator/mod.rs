@@ -16,7 +16,11 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Evaluator knobs.
+///
+/// `#[non_exhaustive]`: construct via [`EvaluatorConfig::default`] and the
+/// fluent `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct EvaluatorConfig {
     /// Scoring calibration for Equations 1–3.
     pub score: ScoreConfig,
@@ -38,6 +42,32 @@ impl Default for EvaluatorConfig {
             matrix_factor: 1.5,
             matrix_min_loss: 0.01,
         }
+    }
+}
+
+impl EvaluatorConfig {
+    /// Sets the scoring calibration.
+    pub fn with_score(mut self, score: ScoreConfig) -> Self {
+        self.score = score;
+        self
+    }
+
+    /// Sets the operator-feed severity threshold.
+    pub fn with_severity_threshold(mut self, threshold: f64) -> Self {
+        self.severity_threshold = threshold;
+        self
+    }
+
+    /// Sets the matrix focal-point dominance factor.
+    pub fn with_matrix_factor(mut self, factor: f64) -> Self {
+        self.matrix_factor = factor;
+        self
+    }
+
+    /// Sets the matrix focal-point minimum loss.
+    pub fn with_matrix_min_loss(mut self, min_loss: f64) -> Self {
+        self.matrix_min_loss = min_loss;
+        self
     }
 }
 

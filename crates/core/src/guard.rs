@@ -18,10 +18,11 @@
 //!    [`DeadLetterQueue`] for operator inspection.
 
 use crate::error::RejectReason;
+use crate::obs::{Counter, Gauge, Observability, Stage, StageTracer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use skynet_model::{
-    AlertBody, DataSource, LocId, LocationInterner, RawAlert, SimDuration, SimTime,
+    AlertBody, DataSource, LocId, LocationInterner, RawAlert, SimDuration, SimTime, TraceId,
 };
 use skynet_topology::Topology;
 use std::cmp::Reverse;
@@ -30,7 +31,11 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Ingestion-guard knobs.
+///
+/// `#[non_exhaustive]`: construct via [`GuardConfig::default`] and the
+/// fluent `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct GuardConfig {
     /// How far behind the maximum seen event time the watermark trails.
     /// Alerts arriving out of order within this window are re-sequenced;
@@ -55,6 +60,26 @@ impl Default for GuardConfig {
             max_future_skew: SimDuration::from_mins(60),
             dead_letter_capacity: 1024,
         }
+    }
+}
+
+impl GuardConfig {
+    /// Sets the re-sequencing skew window.
+    pub fn with_skew_window(mut self, window: SimDuration) -> Self {
+        self.skew_window = window;
+        self
+    }
+
+    /// Sets the maximum tolerated future clock skew.
+    pub fn with_max_future_skew(mut self, skew: SimDuration) -> Self {
+        self.max_future_skew = skew;
+        self
+    }
+
+    /// Sets the dead-letter queue capacity.
+    pub fn with_dead_letter_capacity(mut self, capacity: usize) -> Self {
+        self.dead_letter_capacity = capacity;
+        self
     }
 }
 
@@ -244,6 +269,45 @@ impl Ord for Buffered {
     }
 }
 
+/// The guard's registered metric handles (detached no-op handles when the
+/// pipeline runs without observability).
+#[derive(Debug, Clone, Default)]
+struct GuardObs {
+    accepted: Counter,
+    reordered: Counter,
+    rejected: [Counter; RejectReason::ALL.len()],
+    watermark: Gauge,
+    tracer: StageTracer,
+}
+
+impl GuardObs {
+    fn registered(obs: &Observability) -> Self {
+        let reg = obs.registry();
+        GuardObs {
+            accepted: reg.counter(
+                "skynet_ingest_accepted_total",
+                "alerts admitted past every guard check",
+            ),
+            reordered: reg.counter(
+                "skynet_ingest_reordered_total",
+                "admitted alerts re-sequenced by the reordering buffer",
+            ),
+            rejected: RejectReason::ALL.map(|r| {
+                reg.labeled_counter(
+                    "skynet_ingest_rejected_total",
+                    Some(("reason", r.label())),
+                    "alerts refused by the ingestion guard, by reason",
+                )
+            }),
+            watermark: reg.gauge(
+                "skynet_ingest_watermark_seconds",
+                "current release watermark (simulated seconds)",
+            ),
+            tracer: obs.tracer(),
+        }
+    }
+}
+
 /// The ingestion guard. See the module docs for the invariants it enforces.
 #[derive(Debug)]
 pub struct IngestGuard {
@@ -264,6 +328,10 @@ pub struct IngestGuard {
     seen: HashMap<DupKey, SimTime>,
     stats: IngestStats,
     dead: Arc<Mutex<DeadLetterQueue>>,
+    /// Last trace id issued; ids are dense, starting at 1, unique within
+    /// this guard incarnation.
+    next_trace: u64,
+    obs: GuardObs,
 }
 
 impl IngestGuard {
@@ -290,7 +358,18 @@ impl IngestGuard {
             seen: HashMap::new(),
             stats: IngestStats::default(),
             dead,
+            next_trace: 0,
+            obs: GuardObs::default(),
         }
+    }
+
+    /// Attaches the guard to a shared [`Observability`] handle: per-reason
+    /// reject counters, the watermark gauge and per-alert stage tracing all
+    /// start feeding it. Metric registration is idempotent, so restarted
+    /// workers keep accumulating into the same series.
+    pub fn with_observability(mut self, obs: &Observability) -> Self {
+        self.obs = GuardObs::registered(obs);
+        self
     }
 
     /// The current watermark: releases and late-drop decisions happen
@@ -356,6 +435,10 @@ impl IngestGuard {
             RejectReason::Duplicate => self.stats.rejected_duplicate += 1,
             RejectReason::CorruptBody => self.stats.rejected_corrupt += 1,
         }
+        self.obs.rejected[DeadLetterQueue::slot(reason)].inc();
+        self.obs
+            .tracer
+            .record(raw.trace, raw.timestamp, Stage::GuardRejected(reason));
         self.dead.lock().push(raw, reason);
         reason
     }
@@ -363,7 +446,20 @@ impl IngestGuard {
     /// Offers one alert. Admitted alerts enter the reordering buffer;
     /// anything the advancing watermark releases is appended to `out` in
     /// non-decreasing timestamp order. Rejects are quarantined and counted.
-    pub fn offer(&mut self, raw: RawAlert, out: &mut Vec<RawAlert>) -> Result<(), RejectReason> {
+    ///
+    /// The guard is also where per-alert tracing begins: every offered
+    /// alert that does not already carry a [`TraceId`] is assigned the next
+    /// dense id (starting at 1) in intake order, rejects included, so the
+    /// dead-letter queue stays explainable too.
+    pub fn offer(
+        &mut self,
+        mut raw: RawAlert,
+        out: &mut Vec<RawAlert>,
+    ) -> Result<(), RejectReason> {
+        if raw.trace.is_none() {
+            self.next_trace += 1;
+            raw.trace = TraceId(self.next_trace);
+        }
         let (loc, peer) = match self.validate(&raw) {
             Ok(ids) => ids,
             Err(reason) => return Err(self.reject(raw, reason)),
@@ -385,9 +481,14 @@ impl IngestGuard {
             }
         }
         self.stats.accepted += 1;
+        self.obs.accepted.inc();
         if raw.timestamp < self.max_seen {
             self.stats.reordered += 1;
+            self.obs.reordered.inc();
         }
+        self.obs
+            .tracer
+            .record(raw.trace, raw.timestamp, Stage::GuardAdmitted);
         let at = raw.timestamp;
         self.buffer.push(Reverse(Buffered {
             at,
@@ -423,6 +524,9 @@ impl IngestGuard {
     /// watermark.
     pub fn flush(&mut self, out: &mut Vec<RawAlert>) {
         while let Some(Reverse(b)) = self.buffer.pop() {
+            self.obs
+                .tracer
+                .record(b.alert.trace, b.at, Stage::GuardReleased);
             out.push(b.alert);
         }
         self.seen.clear();
@@ -430,12 +534,16 @@ impl IngestGuard {
 
     fn release(&mut self, out: &mut Vec<RawAlert>) {
         let watermark = self.watermark();
+        self.obs.watermark.set(watermark.as_millis() as f64 / 1e3);
         loop {
             match self.buffer.peek() {
                 Some(Reverse(top)) if top.at <= watermark => {}
                 _ => break,
             }
             if let Some(Reverse(b)) = self.buffer.pop() {
+                self.obs
+                    .tracer
+                    .record(b.alert.trace, b.at, Stage::GuardReleased);
                 out.push(b.alert);
             }
         }
@@ -610,6 +718,41 @@ mod tests {
         // The retained letters are the most recent ones.
         let kept: Vec<u64> = dlq.letters().map(|l| l.alert.timestamp.as_secs()).collect();
         assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn guard_assigns_dense_trace_ids_and_feeds_observability() {
+        use crate::obs::{ObsConfig, Observability};
+        let t = topo();
+        let obs = Observability::new(&ObsConfig::default());
+        let mut guard = IngestGuard::new(&t, GuardConfig::default()).with_observability(&obs);
+        let mut out = Vec::new();
+        guard.offer(alert(&t, 1), &mut out).unwrap();
+        guard.offer(alert(&t, 2), &mut out).unwrap();
+        // A duplicate still receives a trace id (and a rejected event).
+        let _ = guard.offer(alert(&t, 1), &mut out);
+        guard.flush(&mut out);
+        let ids: Vec<u64> = out.iter().map(|a| a.trace.0).collect();
+        assert_eq!(ids, vec![1, 2], "dense ids in intake order");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("skynet_ingest_accepted_total", None), 2);
+        assert_eq!(
+            snap.counter("skynet_ingest_rejected_total", Some("duplicate")),
+            1
+        );
+        // trace3 was rejected, traces 1-2 admitted and released.
+        let steps: Vec<String> = obs
+            .explain(skynet_model::TraceId(3))
+            .iter()
+            .map(|e| e.stage.label())
+            .collect();
+        assert_eq!(steps, vec!["guard:rejected(duplicate)"]);
+        let steps: Vec<String> = obs
+            .explain(skynet_model::TraceId(1))
+            .iter()
+            .map(|e| e.stage.label())
+            .collect();
+        assert_eq!(steps, vec!["guard:admitted", "guard:released"]);
     }
 
     #[test]

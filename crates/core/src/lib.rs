@@ -36,6 +36,12 @@
 //! - [`pipeline`] — the assembled system: batch analysis and a supervised,
 //!   channel-based streaming mode, both optionally region-sharded via
 //!   [`StreamingConfig::shards`].
+//! - [`obs`] — the unified observability layer: the metrics registry every
+//!   stage registers into, per-alert stage tracing, and the Prometheus /
+//!   JSON / table exporters.
+//!
+//! Build a pipeline with [`SkyNet::builder`]; pull the common surface in
+//! one line with `use skynet_core::prelude::*`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +50,7 @@ pub mod error;
 pub mod evaluator;
 pub mod guard;
 pub mod locator;
+pub mod obs;
 pub mod par;
 pub mod pipeline;
 pub mod preprocess;
@@ -51,13 +58,39 @@ pub mod shard;
 pub mod sop;
 
 pub use error::{RejectReason, SkyNetError};
-pub use evaluator::{Evaluator, EvaluatorConfig, MatrixMemo, MatrixMemoStats, ScoredIncident};
+pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
-pub use locator::{CountingMode, Incident, Locator, LocatorConfig, PathLocator, Thresholds};
+pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
+pub use obs::{ObsConfig, Observability};
 pub use pipeline::{
     spawn_streaming, AnalysisReport, HealthReport, IngestSnapshot, PipelineConfig, SkyNet,
-    StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
+    SkyNetBuilder, StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
 };
 pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
-pub use shard::{ShardRouter, FALLBACK_SHARD};
 pub use sop::{SopAction, SopEngine, SopPlan, SopRule};
+
+/// The curated one-line import for building and driving a pipeline.
+///
+/// ```
+/// use skynet_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::error::{RejectReason, SkyNetError};
+    pub use crate::evaluator::ScoredIncident;
+    pub use crate::locator::Incident;
+    pub use crate::obs::{ObsConfig, Observability, Stage, TraceEvent};
+    pub use crate::pipeline::{
+        spawn_streaming, AnalysisReport, PipelineConfig, SkyNet, SkyNetBuilder, StreamEvent,
+        StreamIncident, StreamingConfig, StreamingHandle,
+    };
+    pub use skynet_model::{RawAlert, SimTime, TraceId};
+}
+
+/// Implementation details re-exported for benchmarks, differential tests
+/// and extensions — **not** a stable API surface.
+pub mod internals {
+    pub use crate::evaluator::{MatrixMemo, MatrixMemoStats};
+    pub use crate::locator::PathLocator;
+    pub use crate::par::parallel_map;
+    pub use crate::shard::{ShardRouter, FALLBACK_SHARD};
+}

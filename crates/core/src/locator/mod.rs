@@ -57,7 +57,11 @@ pub enum CountingMode {
 }
 
 /// Locator knobs. Defaults are the paper's production values.
+///
+/// `#[non_exhaustive]`: construct via [`LocatorConfig::default`] and the
+/// fluent `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct LocatorConfig {
     /// Incident-generation thresholds (`2/1+2/5` in production).
     pub thresholds: Thresholds,
@@ -93,6 +97,50 @@ impl Default for LocatorConfig {
             use_topology_connectivity: true,
             root_quorum: 0.8,
         }
+    }
+}
+
+impl LocatorConfig {
+    /// Sets the incident-generation thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the counting mode.
+    pub fn with_counting(mut self, counting: CountingMode) -> Self {
+        self.counting = counting;
+        self
+    }
+
+    /// Sets the main-tree alert expiry.
+    pub fn with_node_timeout(mut self, timeout: SimDuration) -> Self {
+        self.node_timeout = timeout;
+        self
+    }
+
+    /// Sets the incident-tree idle timeout.
+    pub fn with_incident_timeout(mut self, timeout: SimDuration) -> Self {
+        self.incident_timeout = timeout;
+        self
+    }
+
+    /// Sets how often Algorithms 2–3 run.
+    pub fn with_check_interval(mut self, interval: SimDuration) -> Self {
+        self.check_interval = interval;
+        self
+    }
+
+    /// Enables or disables topology-connectivity grouping.
+    pub fn with_topology_connectivity(mut self, enabled: bool) -> Self {
+        self.use_topology_connectivity = enabled;
+        self
+    }
+
+    /// Sets the root-quorum fraction.
+    pub fn with_root_quorum(mut self, quorum: f64) -> Self {
+        self.root_quorum = quorum;
+        self
     }
 }
 

@@ -23,6 +23,9 @@ use crate::error::SkyNetError;
 use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
 use crate::guard::{DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 use crate::locator::{Incident, Locator, LocatorConfig};
+use crate::obs::{
+    Counter, Histogram, ObsConfig, Observability, Stage, StageTracer, TraceEvent, LATENCY_BUCKETS,
+};
 use crate::par::parallel_map;
 use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
 use crate::shard::ShardRouter;
@@ -32,16 +35,23 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use skynet_model::{
     AlertClass, AlertKind, IncidentId, PingLog, PingSample, RawAlert, SimTime, StructuredAlert,
+    TraceId,
 };
 use skynet_topology::Topology;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Knobs for the streaming runtime (channel sizing, ingestion guard,
 /// shedding and supervision).
+///
+/// `#[non_exhaustive]`: construct via [`StreamingConfig::default`] and the
+/// fluent `with_*` setters so future knobs (like the `shards` knob this
+/// struct gained in PR 3) stop being breaking changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct StreamingConfig {
     /// Bounded event-channel capacity.
     pub event_capacity: usize,
@@ -86,8 +96,58 @@ impl Default for StreamingConfig {
     }
 }
 
+impl StreamingConfig {
+    /// Sets the bounded event-channel capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Sets the bounded incident-channel capacity.
+    pub fn with_incident_capacity(mut self, capacity: usize) -> Self {
+        self.incident_capacity = capacity;
+        self
+    }
+
+    /// Sets the ingestion-guard knobs.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the counter-publish interval (alerts between snapshots).
+    pub fn with_stats_interval(mut self, interval: u64) -> Self {
+        self.stats_interval = interval;
+        self
+    }
+
+    /// Sets the shedding high-water fraction.
+    pub fn with_shed_high_water(mut self, fraction: f64) -> Self {
+        self.shed_high_water = fraction;
+        self
+    }
+
+    /// Sets the supervisor's restart budget.
+    pub fn with_max_restarts(mut self, restarts: u32) -> Self {
+        self.max_restarts = restarts;
+        self
+    }
+
+    /// Sets the region-affine shard count for the locate/evaluate stages.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
 /// Configuration of the whole pipeline.
+///
+/// `#[non_exhaustive]`: construct via [`PipelineConfig::default`] /
+/// [`PipelineConfig::production`] and the fluent `with_*` setters so
+/// future knobs are not breaking changes. Field *access* and mutation stay
+/// available.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Preprocessor knobs (§4.1).
     pub preprocessor: PreprocessorConfig,
@@ -99,6 +159,9 @@ pub struct PipelineConfig {
     /// settings the batch path uses.
     #[serde(default)]
     pub streaming: StreamingConfig,
+    /// Observability knobs: stage tracing and the trace-ring capacity.
+    #[serde(default)]
+    pub obs: ObsConfig,
     /// FT-tree minimum template support.
     pub classifier_min_support: u32,
     /// FT-tree maximum template depth.
@@ -113,9 +176,52 @@ impl PipelineConfig {
             locator: LocatorConfig::default(),
             evaluator: EvaluatorConfig::default(),
             streaming: StreamingConfig::default(),
+            obs: ObsConfig::default(),
             classifier_min_support: 3,
             classifier_max_depth: 8,
         }
+    }
+
+    /// Sets the preprocessor knobs.
+    pub fn with_preprocessor(mut self, cfg: PreprocessorConfig) -> Self {
+        self.preprocessor = cfg;
+        self
+    }
+
+    /// Sets the locator knobs.
+    pub fn with_locator(mut self, cfg: LocatorConfig) -> Self {
+        self.locator = cfg;
+        self
+    }
+
+    /// Sets the evaluator knobs.
+    pub fn with_evaluator(mut self, cfg: EvaluatorConfig) -> Self {
+        self.evaluator = cfg;
+        self
+    }
+
+    /// Sets the streaming-runtime knobs.
+    pub fn with_streaming(mut self, cfg: StreamingConfig) -> Self {
+        self.streaming = cfg;
+        self
+    }
+
+    /// Sets the observability knobs.
+    pub fn with_obs(mut self, cfg: ObsConfig) -> Self {
+        self.obs = cfg;
+        self
+    }
+
+    /// Sets the FT-tree minimum template support.
+    pub fn with_classifier_min_support(mut self, support: u32) -> Self {
+        self.classifier_min_support = support;
+        self
+    }
+
+    /// Sets the FT-tree maximum template depth.
+    pub fn with_classifier_max_depth(mut self, depth: usize) -> Self {
+        self.classifier_max_depth = depth;
+        self
     }
 }
 
@@ -212,46 +318,169 @@ impl AnalysisReport {
     }
 }
 
+/// Builder for [`SkyNet`] — the one way to assemble the pipeline.
+///
+/// ```
+/// use skynet_core::{PipelineConfig, SkyNet};
+/// use skynet_topology::{generate, GeneratorConfig};
+/// use std::sync::Arc;
+///
+/// let topo = Arc::new(generate(&GeneratorConfig::small()));
+/// let sky = SkyNet::builder(&topo)
+///     .config(PipelineConfig::production())
+///     .build();
+/// # let _ = sky;
+/// ```
+#[derive(Debug)]
+pub struct SkyNetBuilder {
+    topo: Arc<Topology>,
+    cfg: PipelineConfig,
+    classifier: Option<Arc<SyslogClassifier>>,
+    training: Option<Vec<(String, AlertKind)>>,
+    observability: Option<Observability>,
+}
+
+impl SkyNetBuilder {
+    /// Sets the pipeline configuration (defaults to
+    /// [`PipelineConfig::default`]).
+    pub fn config(mut self, cfg: PipelineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Trains the FT-tree syslog classifier on a labelled historical
+    /// corpus at [`SkyNetBuilder::build`] time, using the config's
+    /// `classifier_min_support` / `classifier_max_depth`. Without a corpus
+    /// (or an explicit [`SkyNetBuilder::classifier`]) raw syslog becomes
+    /// `Unclassified`.
+    pub fn training(mut self, corpus: &[(String, AlertKind)]) -> Self {
+        self.training = Some(corpus.to_vec());
+        self
+    }
+
+    /// Uses an already-trained classifier (shared, not cloned, by every
+    /// analysis run, shard and worker restart). Takes precedence over
+    /// [`SkyNetBuilder::training`].
+    pub fn classifier(mut self, classifier: Arc<SyslogClassifier>) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
+    /// Plugs in an external observability sink — share one
+    /// [`Observability`] between several pipelines (or pre-register your
+    /// own metrics next to SkyNet's). By default `build` creates a fresh
+    /// one from the config's [`ObsConfig`].
+    pub fn observability(mut self, obs: Observability) -> Self {
+        self.observability = Some(obs);
+        self
+    }
+
+    /// Assembles the pipeline.
+    pub fn build(self) -> SkyNet {
+        let classifier = self.classifier.or_else(|| {
+            self.training.as_ref().map(|corpus| {
+                Arc::new(SyslogClassifier::train(
+                    corpus,
+                    self.cfg.classifier_min_support,
+                    self.cfg.classifier_max_depth,
+                ))
+            })
+        });
+        let obs = self
+            .observability
+            .unwrap_or_else(|| Observability::new(&self.cfg.obs));
+        SkyNet {
+            topo: self.topo,
+            cfg: self.cfg,
+            classifier,
+            obs,
+        }
+    }
+}
+
 /// The assembled system.
 #[derive(Debug)]
 pub struct SkyNet {
     topo: Arc<Topology>,
     cfg: PipelineConfig,
     classifier: Option<Arc<SyslogClassifier>>,
+    obs: Observability,
 }
 
 impl SkyNet {
-    /// A pipeline without a syslog classifier (raw syslog becomes
-    /// `Unclassified`).
-    pub fn new(topo: &Arc<Topology>, cfg: PipelineConfig) -> Self {
-        SkyNet {
+    /// Starts assembling a pipeline for `topo`. See [`SkyNetBuilder`].
+    pub fn builder(topo: &Arc<Topology>) -> SkyNetBuilder {
+        SkyNetBuilder {
             topo: Arc::clone(topo),
-            cfg,
+            cfg: PipelineConfig::default(),
             classifier: None,
+            training: None,
+            observability: None,
         }
     }
 
+    /// A pipeline without a syslog classifier (raw syslog becomes
+    /// `Unclassified`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SkyNet::builder(topo).config(cfg).build()`"
+    )]
+    pub fn new(topo: &Arc<Topology>, cfg: PipelineConfig) -> Self {
+        SkyNet::builder(topo).config(cfg).build()
+    }
+
     /// A pipeline whose FT-tree classifier is trained on a labelled
-    /// historical corpus. The trained classifier is held behind an `Arc`
-    /// and shared (not cloned) by every analysis run, shard and worker
-    /// restart.
+    /// historical corpus.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SkyNet::builder(topo).config(cfg).training(corpus).build()`"
+    )]
     pub fn with_training(
         topo: &Arc<Topology>,
         cfg: PipelineConfig,
         corpus: &[(String, AlertKind)],
     ) -> Self {
-        let classifier =
-            SyslogClassifier::train(corpus, cfg.classifier_min_support, cfg.classifier_max_depth);
-        SkyNet {
-            topo: Arc::clone(topo),
-            cfg,
-            classifier: Some(Arc::new(classifier)),
-        }
+        SkyNet::builder(topo).config(cfg).training(corpus).build()
     }
 
     /// The topology under analysis.
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
+    }
+
+    /// The pipeline's observability handle: metrics snapshots, exporters
+    /// and per-alert trace queries. Batch analyses accumulate into it;
+    /// [`spawn_streaming`] hands a clone of it to the
+    /// [`StreamingHandle`].
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// The metrics snapshot in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.obs.prometheus()
+    }
+
+    /// The metrics snapshot as one JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.obs.json()
+    }
+
+    /// The metrics snapshot as a human-readable table.
+    pub fn render_metrics(&self) -> String {
+        self.obs.render()
+    }
+
+    /// Every retained trace event of one alert — "where did alert X go?".
+    pub fn explain(&self, trace: TraceId) -> Vec<TraceEvent> {
+        self.obs.explain(trace)
+    }
+
+    /// The full stage trace of an incident's constituent alerts, in
+    /// recording order.
+    pub fn explain_incident(&self, incident: &Incident) -> Vec<TraceEvent> {
+        let traces: Vec<TraceId> = incident.alerts.iter().map(|a| a.trace).collect();
+        self.obs.explain_all(&traces)
     }
 
     /// Batch analysis of a recorded flood: guard, preprocess, locate until
@@ -285,16 +514,25 @@ impl SkyNet {
     ) -> AnalysisReport {
         let shards = self.cfg.streaming.shards.max(1);
         let mut preprocessor =
-            Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone());
-        let mut guard = IngestGuard::new(&self.topo, self.cfg.streaming.guard.clone());
+            Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone())
+                .with_observability(&self.obs);
+        let mut guard = IngestGuard::new(&self.topo, self.cfg.streaming.guard.clone())
+            .with_observability(&self.obs);
         let router = ShardRouter::new(self.topo.interner(), shards);
+        let tracer = self.obs.tracer();
+        let stage_seconds = StageLatency::registered(&self.obs);
 
         // Guard: admit, re-sequence, reject. Feed-order releases are
         // independent of when downstream stages consume them.
+        let started = Instant::now();
         let mut released = Vec::with_capacity(alerts.len());
         guard.offer_batch(alerts, &mut released);
         guard.advance(horizon, &mut released);
         guard.flush(&mut released);
+        let guarded = Instant::now();
+        stage_seconds
+            .guard
+            .observe(guarded.duration_since(started).as_secs_f64());
 
         // Preprocess sequentially, routing each structured alert to its
         // region's shard.
@@ -304,10 +542,20 @@ impl SkyNet {
             structured.clear();
             preprocessor.push(raw, &mut structured);
             for alert in structured.drain(..) {
-                partitions[router.route(&alert.location)].push(alert);
+                let shard = router.route(&alert.location);
+                tracer.record(
+                    alert.trace,
+                    alert.last_seen,
+                    Stage::ShardRouted(shard as u16),
+                );
+                partitions[shard].push(alert);
             }
         }
         preprocessor.finish();
+        let preprocessed = Instant::now();
+        stage_seconds
+            .preprocess
+            .observe(preprocessed.duration_since(guarded).as_secs_f64());
 
         // Locate each shard's sub-stream in parallel. A region-restricted
         // locator fires the same grid checks over the same region-local
@@ -316,6 +564,7 @@ impl SkyNet {
         let locate = |batch: Vec<StructuredAlert>| -> Vec<Incident> {
             let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
             for alert in &batch {
+                tracer.record(alert.trace, alert.last_seen, Stage::LocateInserted);
                 locator.insert(alert);
             }
             locator.advance(horizon);
@@ -324,8 +573,27 @@ impl SkyNet {
         };
         let per_shard = parallel_map(partitions, shards, locate);
         let incidents = merge_incidents(per_shard);
+        let located = Instant::now();
+        stage_seconds
+            .locate
+            .observe(located.duration_since(preprocessed).as_secs_f64());
+        // Completion events carry the *canonical* (post-merge) incident
+        // ids, so explain answers match the report the operator reads.
+        for incident in &incidents {
+            for alert in &incident.alerts {
+                tracer.record(
+                    alert.trace,
+                    incident.last_seen,
+                    Stage::IncidentCompleted(incident.id),
+                );
+            }
+        }
 
-        self.finish_report(incidents, ping, preprocessor.stats(), guard.stats())
+        let report = self.finish_report(incidents, ping, preprocessor.stats(), guard.stats());
+        stage_seconds
+            .evaluate
+            .observe(located.elapsed().as_secs_f64());
+        report
     }
 
     fn finish_report(
@@ -343,13 +611,71 @@ impl SkyNet {
                 sop_plans.push((incident.id, plan));
             }
         }
-        let scored = evaluator.rank(incidents, ping);
+        let reg = self.obs.registry();
+        reg.counter(
+            "skynet_incidents_completed_total",
+            "incidents completed by the locator",
+        )
+        .add(incidents.len() as u64);
+        let (scored, memo) = evaluator.rank_memoized(incidents, ping);
+        reg.counter(
+            "skynet_matrix_builds_total",
+            "reachability matrices built by the evaluator's zoom stage",
+        )
+        .add(memo.builds);
+        reg.counter(
+            "skynet_matrix_hits_total",
+            "reachability-matrix memo hits in the evaluator's zoom stage",
+        )
+        .add(memo.hits);
+        let tracer = self.obs.tracer();
+        if tracer.is_enabled() {
+            for s in &scored {
+                for alert in &s.incident.alerts {
+                    tracer.record(
+                        alert.trace,
+                        s.incident.last_seen,
+                        Stage::Scored(s.incident.id),
+                    );
+                }
+            }
+        }
         AnalysisReport {
             incidents: scored,
             sop_plans,
             preprocess,
             ingest,
             severity_threshold: self.cfg.evaluator.severity_threshold,
+        }
+    }
+}
+
+/// Per-phase wall-clock histograms. Latency is observed at *phase*
+/// granularity (one observation per stage per analysis, or per streaming
+/// tick), never per alert — the hot loops stay free of clock reads.
+struct StageLatency {
+    guard: Histogram,
+    preprocess: Histogram,
+    locate: Histogram,
+    evaluate: Histogram,
+}
+
+impl StageLatency {
+    fn registered(obs: &Observability) -> Self {
+        let reg = obs.registry();
+        let stage = |name: &str| {
+            reg.histogram(
+                "skynet_stage_seconds",
+                Some(("stage", name)),
+                &LATENCY_BUCKETS,
+                "wall-clock seconds spent per pipeline phase",
+            )
+        };
+        StageLatency {
+            guard: stage("guard"),
+            preprocess: stage("preprocess"),
+            locate: stage("locate"),
+            evaluate: stage("evaluate"),
         }
     }
 }
@@ -445,24 +771,83 @@ pub fn should_shed(class: AlertClass, queued: usize, capacity: usize, high_water
     }
 }
 
+/// Both counter families, published together under one lock so a reader
+/// can never observe a preprocess snapshot from one publish paired with an
+/// ingest snapshot from another.
+#[derive(Debug, Clone, Copy, Default)]
+struct SharedCounters {
+    preprocess: PreprocessStats,
+    ingest: IngestStats,
+}
+
+/// Supervisor lifecycle read and written as one unit: the previous
+/// separate `alive`/`gave_up`/`restarts` atomics allowed a
+/// [`HealthReport`] to pair a fresh `restarts` with a stale `gave_up`.
+#[derive(Debug, Clone, Copy)]
+struct SupervisorState {
+    alive: bool,
+    gave_up: bool,
+    restarts: u32,
+}
+
 #[derive(Debug)]
 struct Monitor {
-    alive: AtomicBool,
-    gave_up: AtomicBool,
-    restarts: AtomicU32,
+    state: Mutex<SupervisorState>,
+    /// Producer-side shed counts stay atomic: they are bumped on the
+    /// send_alert hot path and are individually monotonic.
     shed_abnormal: AtomicU64,
     shed_root_cause: AtomicU64,
+    restarts_metric: Counter,
+    shed_abnormal_metric: Counter,
+    shed_root_cause_metric: Counter,
 }
 
 impl Monitor {
-    fn new() -> Self {
+    fn new(obs: &Observability) -> Self {
+        let reg = obs.registry();
         Monitor {
-            alive: AtomicBool::new(true),
-            gave_up: AtomicBool::new(false),
-            restarts: AtomicU32::new(0),
+            state: Mutex::new(SupervisorState {
+                alive: true,
+                gave_up: false,
+                restarts: 0,
+            }),
             shed_abnormal: AtomicU64::new(0),
             shed_root_cause: AtomicU64::new(0),
+            restarts_metric: reg.counter(
+                "skynet_worker_restarts_total",
+                "worker panics caught and restarted by the supervisor",
+            ),
+            shed_abnormal_metric: reg.labeled_counter(
+                "skynet_shed_total",
+                Some(("class", "abnormal")),
+                "alerts shed by the producer under load, by class",
+            ),
+            shed_root_cause_metric: reg.labeled_counter(
+                "skynet_shed_total",
+                Some(("class", "root-cause")),
+                "alerts shed by the producer under load, by class",
+            ),
         }
+    }
+
+    /// Counts one caught panic; returns the new total.
+    fn count_restart(&self) -> u32 {
+        self.restarts_metric.inc();
+        let mut s = self.state.lock();
+        s.restarts += 1;
+        s.restarts
+    }
+
+    fn give_up(&self) {
+        self.state.lock().gave_up = true;
+    }
+
+    fn mark_dead(&self) {
+        self.state.lock().alive = false;
+    }
+
+    fn state(&self) -> SupervisorState {
+        *self.state.lock()
     }
 }
 
@@ -475,16 +860,13 @@ pub struct StreamingHandle {
     /// Scored incidents (with their SOP plans) arrive here as their trees
     /// finalize.
     pub incidents: Receiver<StreamIncident>,
-    /// Live preprocessing counters (refreshed every `stats_interval`
-    /// alerts and on every tick/flush; survives worker restarts).
-    pub stats: Arc<Mutex<PreprocessStats>>,
-    /// Live ingestion-guard counters (same cadence as `stats`).
-    pub ingest: Arc<Mutex<IngestStats>>,
     /// Quarantined rejects with their reasons; survives worker restarts.
     pub dead_letters: Arc<Mutex<DeadLetterQueue>>,
     /// Supervisor thread handle.
     pub worker: JoinHandle<()>,
+    counters: Arc<Mutex<SharedCounters>>,
     monitor: Arc<Monitor>,
+    obs: Observability,
     shed_high_water: f64,
 }
 
@@ -507,67 +889,122 @@ impl StreamingHandle {
         }
         let capacity = self.events.capacity().unwrap_or(usize::MAX);
         if should_shed(class, self.events.len(), capacity, self.shed_high_water) {
-            self.note_shed(class);
+            self.note_shed(class, &raw);
             return Err(SkyNetError::Shed { class });
         }
         match self.events.try_send(StreamEvent::Alert(raw)) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => {
-                self.note_shed(class);
+            Err(TrySendError::Full(raw)) => {
+                if let StreamEvent::Alert(raw) = raw {
+                    self.note_shed(class, &raw);
+                }
                 Err(SkyNetError::Shed { class })
             }
             Err(TrySendError::Disconnected(_)) => Err(SkyNetError::ChannelClosed),
         }
     }
 
-    fn note_shed(&self, class: AlertClass) {
+    fn note_shed(&self, class: AlertClass, raw: &RawAlert) {
         match class {
             AlertClass::Abnormal => {
                 self.monitor.shed_abnormal.fetch_add(1, Ordering::Relaxed);
+                self.monitor.shed_abnormal_metric.inc();
             }
             AlertClass::RootCause => {
                 self.monitor.shed_root_cause.fetch_add(1, Ordering::Relaxed);
+                self.monitor.shed_root_cause_metric.inc();
             }
             AlertClass::Failure => {}
         }
+        // Only alerts that already carry a trace id (re-submissions) show
+        // up here; the guard has not assigned ids yet for fresh ones.
+        self.obs
+            .tracer()
+            .record(raw.trace, raw.timestamp, Stage::Shed(class));
     }
 
-    /// The liveness probe.
+    /// The liveness probe. All three lifecycle fields come from one lock
+    /// acquisition, so `restarts` can never outrun `gave_up`.
     pub fn health(&self) -> HealthReport {
+        let s = self.monitor.state();
         HealthReport {
-            alive: self.monitor.alive.load(Ordering::SeqCst),
-            restarts: self.monitor.restarts.load(Ordering::SeqCst),
-            gave_up: self.monitor.gave_up.load(Ordering::SeqCst),
+            alive: s.alive,
+            restarts: s.restarts,
+            gave_up: s.gave_up,
             queued_events: self.events.len(),
         }
     }
 
     /// True while the supervisor loop is running.
     pub fn is_alive(&self) -> bool {
-        self.monitor.alive.load(Ordering::SeqCst)
+        self.monitor.state().alive
+    }
+
+    /// Live preprocessing counters (refreshed every `stats_interval`
+    /// alerts and on every tick/flush; survive worker restarts), with
+    /// not-yet-published shed counts merged in.
+    pub fn preprocess_stats(&self) -> PreprocessStats {
+        let mut pre = self.counters.lock().preprocess;
+        pre.shed_abnormal = self.monitor.shed_abnormal.load(Ordering::Relaxed);
+        pre.shed_root_cause = self.monitor.shed_root_cause.load(Ordering::Relaxed);
+        pre
+    }
+
+    /// Live ingestion-guard counters (same cadence as
+    /// [`StreamingHandle::preprocess_stats`]).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.counters.lock().ingest
     }
 
     /// A consistent counter snapshot including not-yet-published shed
-    /// counts.
+    /// counts. Both counter families come from one lock acquisition —
+    /// they were published together by the same worker pass.
     pub fn snapshot(&self) -> IngestSnapshot {
-        let mut preprocess = *self.stats.lock();
+        let c = *self.counters.lock();
+        let mut preprocess = c.preprocess;
         preprocess.shed_abnormal = self.monitor.shed_abnormal.load(Ordering::Relaxed);
         preprocess.shed_root_cause = self.monitor.shed_root_cause.load(Ordering::Relaxed);
         IngestSnapshot {
             preprocess,
-            ingest: *self.ingest.lock(),
-            restarts: self.monitor.restarts.load(Ordering::SeqCst),
+            ingest: c.ingest,
+            restarts: self.monitor.state().restarts,
         }
+    }
+
+    /// The observability handle shared with the workers: registry,
+    /// exporters and the trace ring all stay valid across restarts.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Every registered metric in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        self.obs.prometheus()
+    }
+
+    /// Every registered metric as one JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.obs.json()
+    }
+
+    /// Every registered metric as an aligned human-readable table.
+    pub fn render_metrics(&self) -> String {
+        self.obs.render()
+    }
+
+    /// The retained stage trace of one alert, oldest first.
+    pub fn explain(&self, trace: TraceId) -> Vec<TraceEvent> {
+        self.obs.explain(trace)
     }
 }
 
 /// Everything the worker shares with the handle (and keeps across
 /// restarts).
 struct WorkerShared {
-    stats: Arc<Mutex<PreprocessStats>>,
-    ingest: Arc<Mutex<IngestStats>>,
+    counters: Arc<Mutex<SharedCounters>>,
     dead: Arc<Mutex<DeadLetterQueue>>,
     monitor: Arc<Monitor>,
+    obs: Observability,
 }
 
 /// Spawns the pipeline as a supervised worker thread fed through a bounded
@@ -577,17 +1014,17 @@ pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
     let scfg = skynet.cfg.streaming.clone();
     let (event_tx, event_rx) = bounded::<StreamEvent>(scfg.event_capacity.max(1));
     let (incident_tx, incident_rx) = bounded::<StreamIncident>(scfg.incident_capacity.max(1));
-    let stats = Arc::new(Mutex::new(PreprocessStats::default()));
-    let ingest = Arc::new(Mutex::new(IngestStats::default()));
+    let counters = Arc::new(Mutex::new(SharedCounters::default()));
     let dead_letters = Arc::new(Mutex::new(DeadLetterQueue::new(
         scfg.guard.dead_letter_capacity,
     )));
-    let monitor = Arc::new(Monitor::new());
+    let obs = skynet.obs.clone();
+    let monitor = Arc::new(Monitor::new(&obs));
     let shared = WorkerShared {
-        stats: Arc::clone(&stats),
-        ingest: Arc::clone(&ingest),
+        counters: Arc::clone(&counters),
         dead: Arc::clone(&dead_letters),
         monitor: Arc::clone(&monitor),
+        obs: obs.clone(),
     };
     let shed_high_water = scfg.shed_high_water;
 
@@ -605,11 +1042,11 @@ pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
     StreamingHandle {
         events: event_tx,
         incidents: incident_rx,
-        stats,
-        ingest,
         dead_letters,
         worker,
+        counters,
         monitor,
+        obs,
         shed_high_water,
     }
 }
@@ -633,15 +1070,20 @@ fn supervise(
         match outcome {
             Ok(()) => break,
             Err(_) => {
-                let caught = shared.monitor.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+                let caught = shared.monitor.count_restart();
                 if caught > scfg.max_restarts {
-                    shared.monitor.gave_up.store(true, Ordering::SeqCst);
+                    shared.monitor.give_up();
                     break;
+                }
+                // The next incarnation's guard restarts trace ids at 1;
+                // clearing the ring keeps "explain" unambiguous.
+                if let Some(ring) = shared.obs.recorder() {
+                    ring.clear();
                 }
             }
         }
     }
-    shared.monitor.alive.store(false, Ordering::SeqCst);
+    shared.monitor.mark_dead();
     // Dropping `events`/`incidents` here unblocks producers (sends fail
     // with `ChannelClosed`) and ends the consumer's iterator.
 }
@@ -656,17 +1098,23 @@ fn run_worker(
     shared: &WorkerShared,
 ) {
     let mut preprocessor =
-        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
+        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone())
+            .with_observability(&shared.obs);
     let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
     let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone());
     let sop = SopEngine::standard(&skynet.topo);
     let mut guard =
-        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead));
+        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead))
+            .with_observability(&shared.obs);
     let mut ping = PingLog::new();
     let mut released: Vec<RawAlert> = Vec::new();
     let mut structured: Vec<StructuredAlert> = Vec::new();
-    let base_pre = *shared.stats.lock();
-    let base_ingest = *shared.ingest.lock();
+    let base = *shared.counters.lock();
+    let tracer = shared.obs.tracer();
+    let completed = shared.obs.registry().counter(
+        "skynet_incidents_completed_total",
+        "incidents whose trees finalized",
+    );
     let mut since_publish: u64 = 0;
 
     for event in events.iter() {
@@ -674,10 +1122,16 @@ fn run_worker(
             StreamEvent::Alert(raw) => {
                 released.clear();
                 let _ = guard.offer(raw, &mut released);
-                feed(&released, &mut structured, &mut preprocessor, &mut locator);
+                feed(
+                    &released,
+                    &mut structured,
+                    &mut preprocessor,
+                    &mut locator,
+                    &tracer,
+                );
                 since_publish += 1;
                 if since_publish >= scfg.stats_interval {
-                    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                    publish(shared, base, &preprocessor, &guard);
                     since_publish = 0;
                 }
             }
@@ -687,26 +1141,54 @@ fn run_worker(
             StreamEvent::Tick(now) => {
                 released.clear();
                 guard.advance(now, &mut released);
-                feed(&released, &mut structured, &mut preprocessor, &mut locator);
+                feed(
+                    &released,
+                    &mut structured,
+                    &mut preprocessor,
+                    &mut locator,
+                    &tracer,
+                );
                 locator.advance(now);
-                publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                publish(shared, base, &preprocessor, &guard);
                 since_publish = 0;
             }
             StreamEvent::Flush => break,
             StreamEvent::ChaosPanic => panic!("chaos: injected pipeline worker panic"),
         }
-        if !drain_completed(&mut locator, &ping, &evaluator, &sop, incidents) {
+        if !drain_completed(
+            &mut locator,
+            &ping,
+            &evaluator,
+            &sop,
+            incidents,
+            &tracer,
+            &completed,
+        ) {
             return; // receiver gone
         }
     }
     // Flush (or all producers hung up): release everything and finalize.
     released.clear();
     guard.flush(&mut released);
-    feed(&released, &mut structured, &mut preprocessor, &mut locator);
+    feed(
+        &released,
+        &mut structured,
+        &mut preprocessor,
+        &mut locator,
+        &tracer,
+    );
     preprocessor.finish();
     locator.finish();
-    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
-    let _ = drain_completed(&mut locator, &ping, &evaluator, &sop, incidents);
+    publish(shared, base, &preprocessor, &guard);
+    let _ = drain_completed(
+        &mut locator,
+        &ping,
+        &evaluator,
+        &sop,
+        incidents,
+        &tracer,
+        &completed,
+    );
 }
 
 /// Internal event stream from the sharded ingest worker to shard workers.
@@ -752,6 +1234,7 @@ fn run_sharded(
         let evaluator_cfg = skynet.cfg.evaluator.clone();
         let incident_tx = incidents.clone();
         let monitor = Arc::clone(&shared.monitor);
+        let obs = shared.obs.clone();
         let max_restarts = scfg.max_restarts;
         let handle = std::thread::Builder::new()
             .name(format!("skynet-shard-{s}"))
@@ -763,6 +1246,7 @@ fn run_sharded(
                     &rx,
                     &incident_tx,
                     &monitor,
+                    &obs,
                     max_restarts,
                 );
             })
@@ -782,10 +1266,14 @@ fn run_sharded(
             Ok(()) => break,
             Err(_) => {
                 attempts += 1;
-                shared.monitor.restarts.fetch_add(1, Ordering::SeqCst);
+                shared.monitor.count_restart();
                 if attempts > scfg.max_restarts {
-                    shared.monitor.gave_up.store(true, Ordering::SeqCst);
+                    shared.monitor.give_up();
                     break;
+                }
+                // A fresh ingest incarnation restarts trace ids at 1.
+                if let Some(ring) = shared.obs.recorder() {
+                    ring.clear();
                 }
             }
         }
@@ -796,7 +1284,7 @@ fn run_sharded(
     for handle in handles {
         let _ = handle.join();
     }
-    shared.monitor.alive.store(false, Ordering::SeqCst);
+    shared.monitor.mark_dead();
 }
 
 /// One incarnation of the sharded ingest worker: fresh guard/preprocessor
@@ -810,13 +1298,15 @@ fn run_sharded_ingest(
     shared: &WorkerShared,
 ) {
     let mut preprocessor =
-        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone());
+        Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone())
+            .with_observability(&shared.obs);
     let mut guard =
-        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead));
+        IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead))
+            .with_observability(&shared.obs);
     let mut released: Vec<RawAlert> = Vec::new();
     let mut structured: Vec<StructuredAlert> = Vec::new();
-    let base_pre = *shared.stats.lock();
-    let base_ingest = *shared.ingest.lock();
+    let base = *shared.counters.lock();
+    let tracer = shared.obs.tracer();
     let mut since_publish: u64 = 0;
 
     for event in events.iter() {
@@ -829,10 +1319,11 @@ fn run_sharded_ingest(
                     &mut preprocessor,
                     router,
                     shard_txs,
+                    &tracer,
                 );
                 since_publish += 1;
                 if since_publish >= scfg.stats_interval {
-                    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                    publish(shared, base, &preprocessor, &guard);
                     since_publish = 0;
                 }
             }
@@ -845,9 +1336,10 @@ fn run_sharded_ingest(
                     &mut preprocessor,
                     router,
                     shard_txs,
+                    &tracer,
                 );
                 broadcast(shard_txs, ShardEvent::Tick(now));
-                publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+                publish(shared, base, &preprocessor, &guard);
                 since_publish = 0;
             }
             StreamEvent::Flush => break,
@@ -862,9 +1354,10 @@ fn run_sharded_ingest(
         &mut preprocessor,
         router,
         shard_txs,
+        &tracer,
     );
     preprocessor.finish();
-    publish(shared, base_pre, base_ingest, &preprocessor, &guard);
+    publish(shared, base, &preprocessor, &guard);
 }
 
 /// Sends one event to every shard. A send fails only when that shard's
@@ -883,18 +1376,25 @@ fn route_released(
     preprocessor: &mut Preprocessor,
     router: &ShardRouter,
     shard_txs: &[Sender<ShardEvent>],
+    tracer: &StageTracer,
 ) {
     for raw in released.drain(..) {
         structured.clear();
         preprocessor.push(&raw, structured);
         for alert in structured.drain(..) {
             let shard = router.route(&alert.location);
+            tracer.record(
+                alert.trace,
+                alert.last_seen,
+                Stage::ShardRouted(shard as u16),
+            );
             let _ = shard_txs[shard].send(ShardEvent::Alert(alert));
         }
     }
 }
 
 /// Restarts one shard worker after panics, up to its own budget.
+#[allow(clippy::too_many_arguments)]
 fn supervise_shard(
     topo: &Arc<Topology>,
     locator_cfg: &LocatorConfig,
@@ -902,20 +1402,21 @@ fn supervise_shard(
     events: &Receiver<ShardEvent>,
     incidents: &Sender<StreamIncident>,
     monitor: &Monitor,
+    obs: &Observability,
     max_restarts: u32,
 ) {
     let mut attempts = 0u32;
     loop {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_shard_worker(topo, locator_cfg, evaluator_cfg, events, incidents);
+            run_shard_worker(topo, locator_cfg, evaluator_cfg, events, incidents, obs);
         }));
         match outcome {
             Ok(()) => break,
             Err(_) => {
                 attempts += 1;
-                monitor.restarts.fetch_add(1, Ordering::SeqCst);
+                monitor.count_restart();
                 if attempts > max_restarts {
-                    monitor.gave_up.store(true, Ordering::SeqCst);
+                    monitor.give_up();
                     break;
                 }
             }
@@ -932,27 +1433,52 @@ fn run_shard_worker(
     evaluator_cfg: &EvaluatorConfig,
     events: &Receiver<ShardEvent>,
     incidents: &Sender<StreamIncident>,
+    obs: &Observability,
 ) {
     let mut locator = Locator::new(topo, locator_cfg.clone());
     let evaluator = Evaluator::new(topo, evaluator_cfg.clone());
     let sop = SopEngine::standard(topo);
     let mut ping = PingLog::new();
+    let tracer = obs.tracer();
+    let completed = obs.registry().counter(
+        "skynet_incidents_completed_total",
+        "incidents whose trees finalized",
+    );
     for event in events.iter() {
         match event {
-            ShardEvent::Alert(alert) => locator.insert(&alert),
+            ShardEvent::Alert(alert) => {
+                tracer.record(alert.trace, alert.last_seen, Stage::LocateInserted);
+                locator.insert(&alert);
+            }
             ShardEvent::Ping(sample) => {
                 ping.record(sample.t, sample.src, sample.dst, sample.loss);
             }
             ShardEvent::Tick(now) => locator.advance(now),
             ShardEvent::ChaosPanic => panic!("chaos: injected shard worker panic"),
         }
-        if !drain_completed(&mut locator, &ping, &evaluator, &sop, incidents) {
+        if !drain_completed(
+            &mut locator,
+            &ping,
+            &evaluator,
+            &sop,
+            incidents,
+            &tracer,
+            &completed,
+        ) {
             return; // receiver gone
         }
     }
     // Channel closed (flush, or the ingest worker gave up): finalize.
     locator.finish();
-    let _ = drain_completed(&mut locator, &ping, &evaluator, &sop, incidents);
+    let _ = drain_completed(
+        &mut locator,
+        &ping,
+        &evaluator,
+        &sop,
+        incidents,
+        &tracer,
+        &completed,
+    );
 }
 
 /// Runs released raw alerts through preprocessing into the locator.
@@ -961,11 +1487,13 @@ fn feed(
     structured: &mut Vec<StructuredAlert>,
     preprocessor: &mut Preprocessor,
     locator: &mut Locator,
+    tracer: &StageTracer,
 ) {
     for raw in released {
         structured.clear();
         preprocessor.push(raw, structured);
         for s in structured.iter() {
+            tracer.record(s.trace, s.last_seen, Stage::LocateInserted);
             locator.insert(s);
         }
     }
@@ -973,22 +1501,20 @@ fn feed(
 
 /// Publishes counter snapshots: earlier incarnations' base plus this
 /// incarnation's counters, with shed counts taken live from the producer
-/// side.
+/// side. Both families are written under one lock acquisition so readers
+/// always see a pair from the same pass.
 fn publish(
     shared: &WorkerShared,
-    base_pre: PreprocessStats,
-    base_ingest: IngestStats,
+    base: SharedCounters,
     preprocessor: &Preprocessor,
     guard: &IngestGuard,
 ) {
-    let mut pre = base_pre;
-    pre.merge(&preprocessor.stats());
-    pre.shed_abnormal = shared.monitor.shed_abnormal.load(Ordering::Relaxed);
-    pre.shed_root_cause = shared.monitor.shed_root_cause.load(Ordering::Relaxed);
-    *shared.stats.lock() = pre;
-    let mut ing = base_ingest;
-    ing.merge(&guard.stats());
-    *shared.ingest.lock() = ing;
+    let mut next = base;
+    next.preprocess.merge(&preprocessor.stats());
+    next.preprocess.shed_abnormal = shared.monitor.shed_abnormal.load(Ordering::Relaxed);
+    next.preprocess.shed_root_cause = shared.monitor.shed_root_cause.load(Ordering::Relaxed);
+    next.ingest.merge(&guard.stats());
+    *shared.counters.lock() = next;
 }
 
 /// Evaluates and emits every newly-completed incident, with its SOP plan
@@ -999,10 +1525,31 @@ fn drain_completed(
     evaluator: &Evaluator,
     sop: &SopEngine,
     incidents: &Sender<StreamIncident>,
+    tracer: &StageTracer,
+    completed: &Counter,
 ) -> bool {
     for incident in locator.take_completed() {
+        completed.inc();
+        if tracer.is_enabled() {
+            for alert in &incident.alerts {
+                tracer.record(
+                    alert.trace,
+                    incident.last_seen,
+                    Stage::IncidentCompleted(incident.id),
+                );
+            }
+        }
         let plan = sop.match_incident(&incident);
         let scored = evaluator.evaluate(incident, ping);
+        if tracer.is_enabled() {
+            for alert in &scored.incident.alerts {
+                tracer.record(
+                    alert.trace,
+                    scored.incident.last_seen,
+                    Stage::Scored(scored.incident.id),
+                );
+            }
+        }
         if incidents
             .send(StreamIncident { scored, sop: plan })
             .is_err()
@@ -1062,7 +1609,9 @@ mod tests {
     fn batch_analysis_produces_a_ranked_actionable_report() {
         let t = topo();
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
         assert_eq!(report.incidents.len(), 1);
         let top = &report.incidents[0];
@@ -1100,7 +1649,9 @@ mod tests {
             .with_magnitude(f64::INFINITY),
         );
         alerts.sort_by_key(|a| a.timestamp);
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
         assert_eq!(report.ingest.rejected_off_topology, 1);
         assert_eq!(report.ingest.rejected_corrupt, 1);
@@ -1116,10 +1667,14 @@ mod tests {
         let t = topo();
         let site = t.clusters()[0].parent();
         let alerts = flood(&site);
-        let skynet_batch = SkyNet::new(&t, PipelineConfig::production());
+        let skynet_batch = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let batch = skynet_batch.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
 
-        let skynet_stream = SkyNet::new(&t, PipelineConfig::production());
+        let skynet_stream = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let handle = spawn_streaming(skynet_stream);
         for a in &alerts {
             handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
@@ -1147,9 +1702,9 @@ mod tests {
             batch.sop_for(batch.incidents[0].incident.id)
         );
         // Counter parity across the two execution modes.
-        assert!(handle.stats.lock().raw > 0);
-        assert_eq!(*handle.stats.lock(), batch.preprocess);
-        assert_eq!(*handle.ingest.lock(), batch.ingest);
+        assert!(handle.preprocess_stats().raw > 0);
+        assert_eq!(handle.preprocess_stats(), batch.preprocess);
+        assert_eq!(handle.ingest_stats(), batch.ingest);
         assert!(handle.dead_letters.lock().is_empty());
     }
 
@@ -1157,7 +1712,9 @@ mod tests {
     fn llm_context_is_ranked_and_budgeted() {
         let t = topo();
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
         let full = report.llm_context(100_000);
         assert!(full.contains("incident at"));
@@ -1182,7 +1739,9 @@ mod tests {
         b.add_link(d1, d2, 4, 100.0);
         let t = Arc::new(b.build());
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
         assert_eq!(report.incidents.len(), 1);
         let full = report.llm_context(usize::MAX);
@@ -1200,7 +1759,9 @@ mod tests {
     #[test]
     fn quiet_stream_produces_nothing() {
         let t = topo();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let report = skynet.analyze(&[], &PingLog::new(), SimTime::from_mins(30));
         assert!(report.incidents.is_empty());
         assert_eq!(report.actionable().count(), 0);
@@ -1211,7 +1772,9 @@ mod tests {
     fn tick_drives_incident_finalization_through_quiet_periods() {
         let t = topo();
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let handle = spawn_streaming(skynet);
         for a in flood(&site) {
             handle.events.send(StreamEvent::Alert(a)).unwrap();
@@ -1236,7 +1799,9 @@ mod tests {
     fn supervisor_restarts_worker_after_poison_event() {
         let t = topo();
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let handle = spawn_streaming(skynet);
         assert!(handle.is_alive());
         // Poison first, then the flood: the restarted worker must analyze
@@ -1266,7 +1831,7 @@ mod tests {
         let t = topo();
         let mut cfg = PipelineConfig::production();
         cfg.streaming.max_restarts = 1;
-        let skynet = SkyNet::new(&t, cfg);
+        let skynet = SkyNet::builder(&t).config(cfg).build();
         let handle = spawn_streaming(skynet);
         handle.events.send(StreamEvent::ChaosPanic).unwrap();
         handle.events.send(StreamEvent::ChaosPanic).unwrap();
@@ -1316,7 +1881,10 @@ mod tests {
         let run = |shards: usize| {
             let mut cfg = PipelineConfig::production();
             cfg.streaming.shards = shards;
-            SkyNet::new(&t, cfg).analyze(&alerts, &ping, SimTime::from_mins(30))
+            SkyNet::builder(&t)
+                .config(cfg)
+                .build()
+                .analyze(&alerts, &ping, SimTime::from_mins(30))
         };
         let baseline = run(1);
         assert_eq!(baseline.incidents.len(), 2, "one incident per region");
@@ -1330,15 +1898,14 @@ mod tests {
     fn sharded_streaming_produces_batch_incidents() {
         let t = topo();
         let alerts = two_region_flood(&t);
-        let batch = SkyNet::new(&t, PipelineConfig::production()).analyze(
-            &alerts,
-            &PingLog::new(),
-            SimTime::from_mins(30),
-        );
+        let batch = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build()
+            .analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
 
         let mut cfg = PipelineConfig::production();
         cfg.streaming.shards = 4;
-        let handle = spawn_streaming(SkyNet::new(&t, cfg));
+        let handle = spawn_streaming(SkyNet::builder(&t).config(cfg).build());
         for a in &alerts {
             handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
         }
@@ -1371,8 +1938,8 @@ mod tests {
         assert_eq!(streamed_keys, batch_keys);
         // Ingestion stays sequential in front of the fan-out, so counter
         // parity with the batch run survives sharding.
-        assert_eq!(*handle.stats.lock(), batch.preprocess);
-        assert_eq!(*handle.ingest.lock(), batch.ingest);
+        assert_eq!(handle.preprocess_stats(), batch.preprocess);
+        assert_eq!(handle.ingest_stats(), batch.ingest);
     }
 
     #[test]
@@ -1381,7 +1948,7 @@ mod tests {
         let alerts = two_region_flood(&t);
         let mut cfg = PipelineConfig::production();
         cfg.streaming.shards = 2;
-        let handle = spawn_streaming(SkyNet::new(&t, cfg));
+        let handle = spawn_streaming(SkyNet::builder(&t).config(cfg).build());
         // One chaos event is broadcast to every shard; each catches its own
         // panic and restarts with fresh shard-local state while the ingest
         // worker keeps running.
@@ -1420,7 +1987,9 @@ mod tests {
     fn send_alert_queues_and_classifies() {
         let t = topo();
         let site = t.clusters()[0].parent();
-        let skynet = SkyNet::new(&t, PipelineConfig::production());
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
         let handle = spawn_streaming(skynet);
         // A near-empty channel never sheds anything.
         for a in flood(&site) {
@@ -1437,5 +2006,128 @@ mod tests {
         let snap = handle.snapshot();
         assert_eq!(snap.preprocess.shed(), 0);
         assert_eq!(snap.ingest.accepted, 41);
+    }
+
+    #[test]
+    fn batch_analysis_feeds_the_metrics_registry() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
+        let report = skynet.analyze(&flood(&site), &PingLog::new(), SimTime::from_mins(30));
+        let snap = skynet.observability().snapshot();
+        assert_eq!(
+            snap.counter("skynet_ingest_accepted_total", None),
+            report.ingest.accepted
+        );
+        assert_eq!(
+            snap.counter("skynet_preprocess_raw_total", None),
+            report.preprocess.raw
+        );
+        assert_eq!(
+            snap.counter("skynet_incidents_completed_total", None),
+            report.incidents.len() as u64
+        );
+        let prom = skynet.prometheus();
+        assert!(prom.contains("skynet_stage_seconds_bucket"));
+        assert!(skynet
+            .metrics_json()
+            .contains("skynet_ingest_accepted_total"));
+        // Explain reconstructs the winning incident's constituent traces.
+        let top = &report.incidents[0];
+        let events = skynet.explain_incident(&top.incident);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.stage, Stage::GuardAdmitted)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.stage, Stage::Scored(id) if id == top.incident.id)));
+    }
+
+    #[test]
+    fn streaming_observability_exports_and_explains() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
+        let handle = spawn_streaming(skynet);
+        for a in flood(&site) {
+            handle.send_alert(a).unwrap();
+        }
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(30)))
+            .unwrap();
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let streamed: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+        assert_eq!(streamed.len(), 1);
+        let prom = handle.prometheus();
+        assert!(prom.contains("skynet_ingest_accepted_total 41"));
+        assert!(prom.contains("skynet_incidents_completed_total 1"));
+        assert!(handle
+            .metrics_json()
+            .contains("skynet_preprocess_emitted_total"));
+        assert!(handle
+            .render_metrics()
+            .contains("skynet_ingest_accepted_total"));
+        // Every constituent alert's trace runs guard → locate → score.
+        for alert in &streamed[0].scored.incident.alerts {
+            let events = handle.explain(alert.trace);
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.stage, Stage::GuardAdmitted)));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.stage, Stage::LocateInserted)));
+            assert!(events.iter().any(|e| matches!(e.stage, Stage::Scored(_))));
+        }
+    }
+
+    #[test]
+    fn restart_counters_never_regress() {
+        let t = topo();
+        let site = t.clusters()[0].parent();
+        let skynet = SkyNet::builder(&t)
+            .config(PipelineConfig::production())
+            .build();
+        let handle = spawn_streaming(skynet);
+        for a in flood(&site) {
+            handle.events.send(StreamEvent::Alert(a)).unwrap();
+        }
+        // The tick publishes a counter snapshot before the poison arrives.
+        handle
+            .events
+            .send(StreamEvent::Tick(SimTime::from_mins(21)))
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while handle.snapshot().ingest.accepted < 41 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let before = handle.snapshot();
+        assert_eq!(before.ingest.accepted, 41);
+        handle.events.send(StreamEvent::ChaosPanic).unwrap();
+        // The restarted incarnation keeps accumulating on top of what was
+        // already published — never backwards.
+        for a in flood(&site) {
+            handle.events.send(StreamEvent::Alert(a)).unwrap();
+        }
+        handle.events.send(StreamEvent::Flush).unwrap();
+        let _: Vec<StreamIncident> = handle.incidents.iter().collect();
+        handle.worker.join().unwrap();
+        let after = handle.snapshot();
+        assert_eq!(after.restarts, 1);
+        assert!(after.ingest.accepted >= before.ingest.accepted);
+        assert!(after.preprocess.raw >= before.preprocess.raw);
+        assert_eq!(after.ingest.accepted, 82);
+        assert_eq!(
+            handle
+                .observability()
+                .snapshot()
+                .counter("skynet_worker_restarts_total", None),
+            1
+        );
     }
 }

@@ -25,6 +25,7 @@ pub mod classify;
 
 pub use classify::SyslogClassifier;
 
+use crate::obs::{Counter, DropReason, Observability, Stage, StageTracer};
 use serde::{Deserialize, Serialize};
 use skynet_model::{
     AlertBody, AlertClass, AlertKind, AlertType, LocId, LocationInterner, LocationLevel,
@@ -34,7 +35,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Preprocessor knobs.
+///
+/// `#[non_exhaustive]`: construct via [`PreprocessorConfig::default`] and
+/// the fluent `with_*` setters so future knobs are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PreprocessorConfig {
     /// Identical-alert consolidation window: repeats within this window are
     /// absorbed into the original alert.
@@ -61,6 +66,38 @@ impl Default for PreprocessorConfig {
             persistence_window: SimDuration::from_secs(30),
             corroboration_window: SimDuration::from_secs(120),
         }
+    }
+}
+
+impl PreprocessorConfig {
+    /// Sets the identical-alert consolidation window.
+    pub fn with_dedup_window(mut self, window: SimDuration) -> Self {
+        self.dedup_window = window;
+        self
+    }
+
+    /// Sets the refresh interval of long-lived consolidated groups.
+    pub fn with_refresh_interval(mut self, interval: SimDuration) -> Self {
+        self.refresh_interval = interval;
+        self
+    }
+
+    /// Sets the persistence-gate threshold.
+    pub fn with_persistence_threshold(mut self, threshold: u32) -> Self {
+        self.persistence_threshold = threshold;
+        self
+    }
+
+    /// Sets the persistence-gate window.
+    pub fn with_persistence_window(mut self, window: SimDuration) -> Self {
+        self.persistence_window = window;
+        self
+    }
+
+    /// Sets the cross-source corroboration window.
+    pub fn with_corroboration_window(mut self, window: SimDuration) -> Self {
+        self.corroboration_window = window;
+        self
     }
 }
 
@@ -131,6 +168,47 @@ impl PreprocessStats {
     }
 }
 
+/// The preprocessor's registered metric handles (detached no-ops when the
+/// pipeline runs without observability).
+#[derive(Debug, Clone, Default)]
+struct PreprocessObs {
+    raw: Counter,
+    emitted: Counter,
+    deduplicated: Counter,
+    filtered_sporadic: Counter,
+    filtered_uncorroborated: Counter,
+    tracer: StageTracer,
+}
+
+impl PreprocessObs {
+    fn registered(obs: &Observability) -> Self {
+        let reg = obs.registry();
+        PreprocessObs {
+            raw: reg.counter(
+                "skynet_preprocess_raw_total",
+                "raw alerts entering the preprocessor (peer splits count twice)",
+            ),
+            emitted: reg.counter(
+                "skynet_preprocess_emitted_total",
+                "structured alerts emitted (first occurrences + refreshes)",
+            ),
+            deduplicated: reg.counter(
+                "skynet_preprocess_deduplicated_total",
+                "raw alerts absorbed by identical-alert or surge consolidation",
+            ),
+            filtered_sporadic: reg.counter(
+                "skynet_preprocess_filtered_sporadic_total",
+                "alerts dropped by the persistence gate",
+            ),
+            filtered_uncorroborated: reg.counter(
+                "skynet_preprocess_filtered_uncorroborated_total",
+                "traffic drops discarded for lack of corroboration",
+            ),
+            tracer: obs.tracer(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct OpenGroup {
     alert: StructuredAlert,
@@ -163,6 +241,7 @@ pub struct Preprocessor {
     /// Recent surge emissions per site prefix (related-alert suppression).
     recent_surges: HashMap<LocId, SimTime>,
     stats: PreprocessStats,
+    obs: PreprocessObs,
 }
 
 impl Preprocessor {
@@ -180,7 +259,15 @@ impl Preprocessor {
             corroborators: VecDeque::new(),
             recent_surges: HashMap::new(),
             stats: PreprocessStats::default(),
+            obs: PreprocessObs::default(),
         }
+    }
+
+    /// Attaches the preprocessor to a shared [`Observability`] handle:
+    /// consolidation counters and per-alert stage tracing start feeding it.
+    pub fn with_observability(mut self, obs: &Observability) -> Self {
+        self.obs = PreprocessObs::registered(obs);
+        self
     }
 
     /// Counters so far.
@@ -196,6 +283,7 @@ impl Preprocessor {
     /// the [`IngestGuard`](crate::IngestGuard) rejects such alerts upstream.
     pub fn push(&mut self, raw: &RawAlert, out: &mut Vec<StructuredAlert>) {
         self.stats.raw += 1;
+        self.obs.raw.inc();
         let now = raw.timestamp;
 
         // Normalization: resolve the kind.
@@ -213,6 +301,7 @@ impl Preprocessor {
         self.ingest(raw, kind, raw.location.clone(), now, out);
         if let Some(peer) = &raw.peer {
             self.stats.raw += 1;
+            self.obs.raw.inc();
             self.ingest(raw, kind, peer.clone(), now, out);
         }
         self.expire(now, out);
@@ -237,6 +326,7 @@ impl Preprocessor {
             count: 1,
             magnitude: raw.magnitude,
             cause: raw.cause,
+            trace: raw.trace,
         };
 
         // Stage 1: identical-alert consolidation.
@@ -244,6 +334,12 @@ impl Preprocessor {
             if now.since(group.alert.last_seen) <= self.cfg.dedup_window {
                 group.alert.absorb(&candidate);
                 self.stats.deduplicated += 1;
+                self.obs.deduplicated.inc();
+                self.obs.tracer.record(
+                    raw.trace,
+                    now,
+                    Stage::PreprocessDropped(DropReason::Consolidated),
+                );
                 // Periodic refresh keeps downstream trees fresh while the
                 // condition lasts.
                 let refresh = if now.since(group.last_emitted) >= self.cfg.refresh_interval {
@@ -283,6 +379,12 @@ impl Preprocessor {
             pending.alert.absorb(&candidate);
             if pending.sightings < threshold {
                 self.stats.filtered_sporadic += 1;
+                self.obs.filtered_sporadic.inc();
+                self.obs.tracer.record(
+                    raw.trace,
+                    now,
+                    Stage::PreprocessDropped(DropReason::Sporadic),
+                );
                 return;
             }
             // The entry was inserted above; fall back to the bare candidate
@@ -291,6 +393,15 @@ impl Preprocessor {
                 Some(pending) => pending.alert,
                 None => candidate,
             };
+            // The aggregate emits under its earliest constituent's trace;
+            // this raw's own trace ends here unless it is that earliest.
+            if raw.trace != candidate.trace {
+                self.obs.tracer.record(
+                    raw.trace,
+                    now,
+                    Stage::PreprocessDropped(DropReason::Consolidated),
+                );
+            }
         }
 
         // Stage 2b: related-alert suppression — one surge representative
@@ -300,6 +411,12 @@ impl Preprocessor {
             if let Some(&t) = self.recent_surges.get(&site) {
                 if now.since(t) <= self.cfg.dedup_window {
                     self.stats.deduplicated += 1;
+                    self.obs.deduplicated.inc();
+                    self.obs.tracer.record(
+                        raw.trace,
+                        now,
+                        Stage::PreprocessDropped(DropReason::SurgeDuplicate),
+                    );
                     return;
                 }
             }
@@ -371,16 +488,33 @@ impl Preprocessor {
 
     fn emit(&mut self, alert: StructuredAlert, out: &mut Vec<StructuredAlert>) {
         self.stats.emitted += 1;
+        self.obs.emitted.inc();
+        self.obs
+            .tracer
+            .record(alert.trace, alert.last_seen, Stage::PreprocessEmitted);
         out.push(alert);
     }
 
-    /// Drops expired held/pending state. Uncorroborated drops die silently.
+    /// Drops expired held/pending state. Uncorroborated drops die silently
+    /// (except for their trace events).
     fn expire(&mut self, now: SimTime, _out: &mut [StructuredAlert]) {
         let window = self.cfg.corroboration_window;
         let before = self.held_drops.len();
-        self.held_drops
-            .retain(|(_, d)| now.since(d.last_seen) <= window);
-        self.stats.filtered_uncorroborated += (before - self.held_drops.len()) as u64;
+        let tracer = &self.obs.tracer;
+        self.held_drops.retain(|(_, d)| {
+            let fresh = now.since(d.last_seen) <= window;
+            if !fresh {
+                tracer.record(
+                    d.trace,
+                    now,
+                    Stage::PreprocessDropped(DropReason::Uncorroborated),
+                );
+            }
+            fresh
+        });
+        let expired = (before - self.held_drops.len()) as u64;
+        self.stats.filtered_uncorroborated += expired;
+        self.obs.filtered_uncorroborated.add(expired);
         while let Some(&(t, _)) = self.corroborators.front() {
             if now.since(t) > window {
                 self.corroborators.pop_front();
@@ -394,7 +528,16 @@ impl Preprocessor {
     /// uncorroborated).
     pub fn finish(&mut self) {
         self.stats.filtered_uncorroborated += self.held_drops.len() as u64;
-        self.held_drops.clear();
+        self.obs
+            .filtered_uncorroborated
+            .add(self.held_drops.len() as u64);
+        for (_, d) in self.held_drops.drain(..) {
+            self.obs.tracer.record(
+                d.trace,
+                d.last_seen,
+                Stage::PreprocessDropped(DropReason::Uncorroborated),
+            );
+        }
         self.pending.clear();
         self.open.clear();
     }

@@ -7,7 +7,7 @@
 //! carrying a time *range* and a duplicate count rather than one timestamp
 //! per observation.
 
-use crate::ids::FailureId;
+use crate::ids::{FailureId, TraceId};
 use crate::kind::{AlertClass, AlertKind, AlertType};
 use crate::location::LocationPath;
 use crate::source::DataSource;
@@ -53,6 +53,11 @@ pub struct RawAlert {
     /// truth.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cause: Option<FailureId>,
+    /// Stage-tracing id, assigned by the ingestion guard at intake
+    /// ([`TraceId::NONE`] before then). Tools never set this; it is omitted
+    /// from the wire format while unassigned.
+    #[serde(default, skip_serializing_if = "TraceId::is_none")]
+    pub trace: TraceId,
 }
 
 /// A structural defect in a raw alert, detectable without any topology or
@@ -100,6 +105,7 @@ impl RawAlert {
             body: AlertBody::Known(kind),
             magnitude: 0.0,
             cause: None,
+            trace: TraceId::NONE,
         }
     }
 
@@ -113,6 +119,7 @@ impl RawAlert {
             body: AlertBody::SyslogText(text.into()),
             magnitude: 0.0,
             cause: None,
+            trace: TraceId::NONE,
         }
     }
 
@@ -131,6 +138,13 @@ impl RawAlert {
     /// Sets ground-truth provenance (builder style).
     pub fn with_cause(mut self, cause: FailureId) -> Self {
         self.cause = Some(cause);
+        self
+    }
+
+    /// Sets the stage-tracing id (builder style; normally assigned by the
+    /// ingestion guard).
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -186,6 +200,10 @@ pub struct StructuredAlert {
     /// Ground-truth provenance of the first causal raw alert, if any.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cause: Option<FailureId>,
+    /// Stage-tracing id inherited from the earliest raw alert consolidated
+    /// into this group ([`TraceId::NONE`] when tracing is off).
+    #[serde(default, skip_serializing_if = "TraceId::is_none")]
+    pub trace: TraceId,
 }
 
 impl StructuredAlert {
@@ -199,6 +217,7 @@ impl StructuredAlert {
             count: 1,
             magnitude: raw.magnitude,
             cause: raw.cause,
+            trace: raw.trace,
         }
     }
 
@@ -225,6 +244,9 @@ impl StructuredAlert {
         }
         if self.cause.is_none() {
             self.cause = other.cause;
+        }
+        if self.trace.is_none() {
+            self.trace = other.trace;
         }
     }
 }

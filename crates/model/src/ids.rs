@@ -75,6 +75,41 @@ id_type!(
     "failure"
 );
 
+/// Per-alert trace identifier for stage tracing ("where did alert X go?").
+///
+/// `TraceId::NONE` (the `0` value and serde default) marks an alert that has
+/// not entered the pipeline yet; the ingestion guard assigns dense ids in
+/// intake order. Ids are unique within one guard incarnation — a batch
+/// `analyze` call, or one streaming-worker life between supervisor restarts
+/// (the trace ring is cleared on restart). The id is a `Copy` `u64` so
+/// threading it through every stage costs no allocation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The "not traced" sentinel.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// True for the unassigned sentinel.
+    pub const fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// True once a real id was assigned.
+    pub const fn is_some(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +139,14 @@ mod tests {
     #[should_panic(expected = "index overflow")]
     fn overflow_panics() {
         let _ = DeviceId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn trace_id_sentinel_and_display() {
+        assert!(TraceId::NONE.is_none());
+        assert!(!TraceId::NONE.is_some());
+        assert!(TraceId(7).is_some());
+        assert_eq!(TraceId::default(), TraceId::NONE);
+        assert_eq!(TraceId(7).to_string(), "trace7");
     }
 }

@@ -37,7 +37,7 @@ pub mod source;
 pub mod time;
 
 pub use alert::{AlertBody, AlertDefect, RawAlert, StructuredAlert};
-pub use ids::{CircuitSetId, CustomerId, DeviceId, FailureId, IncidentId, LinkId};
+pub use ids::{CircuitSetId, CustomerId, DeviceId, FailureId, IncidentId, LinkId, TraceId};
 pub use intern::{LocId, LocationInterner};
 pub use kind::{AlertClass, AlertKind, AlertType};
 pub use location::{LocationLevel, LocationPath};

@@ -73,7 +73,10 @@ fn main() {
     let run = suite.run(&scenario);
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 4);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(42));
 
     println!("\nranked incidents:");

@@ -45,7 +45,10 @@ fn main() {
     println!("\nalert flood: {} raw alerts", run.alerts.len());
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 3);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
 
     println!("\n{} incidents detected:", report.incidents.len());

@@ -109,7 +109,9 @@ fn main() {
     );
     assert!(user_side > 0, "the new source must observe the cut");
 
-    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
     let top = report.incidents.first().expect("detected");
     println!(

@@ -1,0 +1,92 @@
+//! The unified observability layer: build a pipeline with tracing on,
+//! analyze a flood, scrape the metrics registry in three formats, then ask
+//! the trace recorder to *explain* how the top incident came to be.
+//!
+//! ```text
+//! cargo run --example observability
+//! ```
+
+use skynet::failure::Injector;
+use skynet::model::SimDuration;
+use skynet::prelude::*;
+use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet::topology::DeviceRole;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+
+    // A site aggregation router dies for eight minutes.
+    let victim = topo
+        .devices()
+        .iter()
+        .find(|d| d.role == DeviceRole::Csr)
+        .expect("the generator always builds CSRs");
+    let mut injector = Injector::new(Arc::clone(&topo));
+    injector.device_down(victim.id, SimTime::from_mins(5), SimDuration::from_mins(8));
+    let scenario = injector.finish(SimTime::from_mins(20));
+    let run = TelemetrySuite::standard(&topo, TelemetryConfig::default()).run(&scenario);
+    println!("flood: {} raw alerts", run.alerts.len());
+
+    // The builder is the one front door: config, training corpus and the
+    // observability knobs all thread through it.
+    let cfg =
+        PipelineConfig::production().with_obs(ObsConfig::default().with_trace_capacity(1 << 18));
+    let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 7);
+    let sky = SkyNet::builder(&topo)
+        .config(cfg)
+        .training(&training)
+        .build();
+
+    let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(45));
+    println!(
+        "pipeline: {} accepted -> {} structured -> {} incident(s)",
+        report.ingest.accepted,
+        report.preprocess.emitted,
+        report.incidents.len()
+    );
+
+    // 1. Prometheus exposition — what a scrape endpoint would serve.
+    let prom = sky.prometheus();
+    assert!(prom.contains("skynet_ingest_accepted_total"));
+    assert!(prom.contains("skynet_stage_seconds_bucket"));
+    println!("\n--- prometheus ({} lines)", prom.lines().count());
+    for line in prom.lines().take(12) {
+        println!("{line}");
+    }
+    println!("...");
+
+    // 2. The same registry as one JSON document, for dashboards.
+    let json = sky.metrics_json();
+    assert!(json.contains("\"skynet_preprocess_emitted_total\""));
+    println!("\n--- json snapshot: {} bytes", json.len());
+
+    // 3. The human table, for a terminal.
+    println!("\n--- rendered\n{}", sky.render_metrics());
+
+    // 4. Explain the top incident: replay every stage each of its
+    // constituent alerts passed through, oldest first.
+    let top = report.incidents.first().expect("the outage must surface");
+    println!(
+        "--- explaining incident {} ({} alerts)",
+        top.incident.root,
+        top.incident.alerts.len()
+    );
+    let trail = sky.explain_incident(&top.incident);
+    assert!(trail
+        .iter()
+        .any(|e| matches!(e.stage, Stage::Scored(id) if id == top.incident.id)));
+    println!(
+        "{} event(s) across {} alert(s)",
+        trail.len(),
+        top.incident.alerts.len()
+    );
+
+    // Or a single alert, by the trace id the guard stamped on intake.
+    let first = top.incident.alerts.first().expect("incidents hold alerts");
+    let events = sky.explain(first.trace);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.stage, Stage::GuardAdmitted)));
+    println!("{}", sky.observability().render_trace(first.trace));
+}

@@ -34,7 +34,10 @@ fn main() {
 
     // 4. SkyNet: preprocess, locate, evaluate.
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 1);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(50));
 
     println!(

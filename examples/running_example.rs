@@ -182,7 +182,10 @@ fn figure6_alerts() -> Vec<RawAlert> {
 fn main() {
     let topo = figure6_topology();
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 6);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&figure6_alerts(), &PingLog::new(), SimTime::from_mins(40));
 
     println!("{}", report.render());

@@ -43,7 +43,10 @@ fn main() {
     );
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 2);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(45));
     println!("{}", report.render());
 

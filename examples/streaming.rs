@@ -30,7 +30,10 @@ fn main() {
     println!("feeding {} alerts through the stream ...", run.alerts.len());
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 5);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let handle = spawn_streaming(sky);
 
     // Interleave alerts and ping samples exactly as the feed would.
@@ -74,13 +77,13 @@ fn main() {
     );
     assert!(health.alive && !health.gave_up);
 
-    let stats = *handle.stats.lock();
+    let stats = handle.preprocess_stats();
     println!(
         "live stats: {} raw in, {} structured out ({} deduplicated)",
         stats.raw, stats.emitted, stats.deduplicated
     );
     assert!(stats.emitted < stats.raw);
-    let ingest = *handle.ingest.lock();
+    let ingest = handle.ingest_stats();
     println!(
         "ingest: {} accepted, {} rejected, watermark {}",
         ingest.accepted,
@@ -88,6 +91,11 @@ fn main() {
         ingest.watermark
     );
     assert!(handle.dead_letters.lock().is_empty());
+
+    // The same numbers, as a scrape endpoint would serve them.
+    let prom = handle.prometheus();
+    assert!(prom.contains("skynet_ingest_accepted_total"));
+    println!("--- metrics\n{}", handle.render_metrics());
 
     handle.events.send(StreamEvent::Flush).unwrap();
     drop(handle.events);

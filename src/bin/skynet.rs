@@ -93,7 +93,9 @@ fn analyze(args: &[String]) {
         topo.summary()
     );
 
-    let skynet = SkyNet::new(&topo, PipelineConfig::production());
+    let skynet = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(horizon_mins));
     println!("{}", report.render());
 }
@@ -115,7 +117,9 @@ fn demo() {
     let scenario = injector.finish(SimTime::from_mins(20));
     let run = TelemetrySuite::standard(&topo, TelemetryConfig::default()).run(&scenario);
     eprintln!("demo: {} raw alerts", run.alerts.len());
-    let skynet = SkyNet::new(&topo, PipelineConfig::production());
+    let skynet = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
     println!("{}", report.render());
 }

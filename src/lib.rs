@@ -26,3 +26,15 @@ pub use skynet_ftree as ftree;
 pub use skynet_telemetry as telemetry;
 pub use skynet_topology as topology;
 pub use skynet_viz as viz;
+
+/// The curated one-line import: pipeline builder, streaming runtime,
+/// observability handles and the model types they speak.
+///
+/// ```
+/// use skynet::prelude::*;
+/// # let _ = PipelineConfig::default();
+/// ```
+pub mod prelude {
+    pub use skynet_core::prelude::*;
+    pub use skynet_topology::{generate, GeneratorConfig, Topology};
+}

@@ -99,8 +99,11 @@ fn supervised_stream_survives_chaos_and_matches_batch() {
     // The batch reference answer for the well-formed portion.
     let mut cfg = PipelineConfig::production();
     cfg.streaming.stats_interval = 1; // publish every alert: exact counters
-    let batch =
-        SkyNet::new(&topo, cfg.clone()).analyze(&clean, &PingLog::new(), SimTime::from_mins(30));
+    let batch = SkyNet::builder(&topo).config(cfg.clone()).build().analyze(
+        &clean,
+        &PingLog::new(),
+        SimTime::from_mins(30),
+    );
     assert_eq!(batch.incidents.len(), 1);
 
     // Degrade the clean flood: duplicate storms + 30%+ out-of-order
@@ -124,7 +127,7 @@ fn supervised_stream_survives_chaos_and_matches_batch() {
         "chaos must deliver at least 30% of the feed out of order"
     );
 
-    let handle = spawn_streaming(SkyNet::new(&topo, cfg));
+    let handle = spawn_streaming(SkyNet::builder(&topo).config(cfg).build());
 
     // Arm the guard's trusted clock, then hit the fresh worker with the
     // malformed storm.

@@ -17,7 +17,10 @@ fn analyze(scenario: &Scenario) -> skynet::core::AnalysisReport {
     let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::quiet());
     let run = suite.run(scenario);
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 7);
-    let sky = SkyNet::with_training(scenario.topology(), PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(scenario.topology())
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     sky.analyze(
         &run.alerts,
         &run.ping,
@@ -188,7 +191,9 @@ fn preprocessing_compresses_every_flood() {
     // A production-shaped flood (background noise on) compresses hard.
     let mut suite = TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default());
     let run = suite.run(&scenario);
-    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(35));
     assert!(
         report.preprocess.emitted * 3 <= report.preprocess.raw,
@@ -286,7 +291,10 @@ fn late_root_cause_alerts_still_join_their_incident() {
     ));
 
     let training = skynet::telemetry::tools::syslog::labeled_corpus(40, 8);
-    let sky = SkyNet::with_training(&topo, PipelineConfig::production(), &training);
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .training(&training)
+        .build();
     let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(30));
     assert_eq!(
         report.incidents.len(),

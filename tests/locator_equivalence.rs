@@ -66,18 +66,9 @@ fn alert_strategy(topo: &Arc<Topology>) -> impl Strategy<Value = StructuredAlert
 fn configs() -> Vec<LocatorConfig> {
     vec![
         LocatorConfig::default(),
-        LocatorConfig {
-            counting: CountingMode::TypeAndLocation,
-            ..LocatorConfig::default()
-        },
-        LocatorConfig {
-            root_quorum: 1.0,
-            ..LocatorConfig::default()
-        },
-        LocatorConfig {
-            use_topology_connectivity: false,
-            ..LocatorConfig::default()
-        },
+        LocatorConfig::default().with_counting(CountingMode::TypeAndLocation),
+        LocatorConfig::default().with_root_quorum(1.0),
+        LocatorConfig::default().with_topology_connectivity(false),
     ]
 }
 

@@ -155,7 +155,7 @@ proptest! {
     #[test]
     fn pipeline_is_total_and_ranked(alerts in sorted_stream(topo(), 200)) {
         let t = topo();
-        let sky = SkyNet::new(&t, PipelineConfig::production());
+        let sky = SkyNet::builder(&t).config(PipelineConfig::production()).build();
         let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(60));
         // Ranked descending.
         for w in report.incidents.windows(2) {
@@ -181,7 +181,7 @@ proptest! {
             .filter_map(|r| r.known_kind().map(|k| StructuredAlert::from_raw(r, k)))
             .collect();
         let run = |counting| {
-            let cfg = LocatorConfig { counting, ..LocatorConfig::default() };
+            let cfg = LocatorConfig::default().with_counting(counting);
             let mut locator = Locator::new(&t, cfg);
             locator.process_batch(&structured, SimTime::from_mins(60)).len()
         };
@@ -204,11 +204,11 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let t = topo();
-        let sorted = SkyNet::new(&t, PipelineConfig::production())
+        let sorted = SkyNet::builder(&t).config(PipelineConfig::production()).build()
             .analyze(&alerts, &PingLog::new(), SimTime::from_mins(60));
         // Half the default 30 s skew window.
         let feed = bucket_permute(&alerts, seed, 15_000);
-        let permuted = SkyNet::new(&t, PipelineConfig::production())
+        let permuted = SkyNet::builder(&t).config(PipelineConfig::production()).build()
             .analyze(&feed, &PingLog::new(), SimTime::from_mins(60));
 
         let key = |s: &skynet::core::ScoredIncident| {

@@ -119,7 +119,7 @@ proptest! {
         let run = |shards: usize| {
             let mut cfg = PipelineConfig::production();
             cfg.streaming.shards = shards;
-            SkyNet::new(&t, cfg).analyze(&degraded, &ping, SimTime::from_mins(60))
+            SkyNet::builder(&t).config(cfg).build().analyze(&degraded, &ping, SimTime::from_mins(60))
         };
         let baseline = run(1);
         for shards in [2usize, 4, 7] {

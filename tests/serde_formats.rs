@@ -35,7 +35,9 @@ fn json_lines_round_trip_preserves_the_analysis() {
         .collect();
     assert_eq!(parsed, run.alerts);
 
-    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let horizon = SimTime::from_mins(40);
     let direct = sky.analyze(&run.alerts, &run.ping, horizon);
     let via_wire = sky.analyze(&parsed, &run.ping, horizon);
@@ -84,7 +86,9 @@ fn a_new_tool_integrates_by_emitting_the_uniform_format() {
             );
         }
     }
-    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = sky.analyze(&alerts, &PingLog::new(), SimTime::from_mins(40));
     assert_eq!(report.incidents.len(), 1);
     assert_eq!(report.incidents[0].incident.root, site);
@@ -104,7 +108,9 @@ fn reports_and_configs_serialize() {
         inj.finish(SimTime::from_mins(15))
     };
     let run = TelemetrySuite::standard(&topo, TelemetryConfig::quiet()).run(&scenario);
-    let sky = SkyNet::new(&topo, PipelineConfig::production());
+    let sky = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
     let report = sky.analyze(&run.alerts, &run.ping, SimTime::from_mins(35));
 
     // The whole operator deliverable is serializable (dashboards, storage).
