@@ -1,0 +1,66 @@
+//! Fault-plane overhead bench: batch analysis of the same flood with (a)
+//! no fault config at all, (b) an explicitly disabled `FaultConfig` and
+//! (c) an armed-but-idle policy whose rules never fire. (a) and (b) take
+//! the identical code path — the plane is never constructed — so their
+//! numbers must coincide: that is the zero-cost-when-disabled guarantee
+//! the CI bench guard compiles. (c) bounds the cost of *carrying* armed
+//! checks on the hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::corpus::severe_cable_cut;
+use skynet_core::{FaultAction, FaultConfig, FaultRule, InjectionSite, PipelineConfig, SkyNet};
+use skynet_model::SimTime;
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 21);
+    let run =
+        TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default()).run(&scenario);
+    println!("faultinject corpus: {} raw alerts", run.alerts.len());
+
+    // Rules that are armed (the plane exists, every boundary checks) but
+    // can never fire on a finite flood.
+    let idle = FaultConfig::seeded(1)
+        .with_rule(FaultRule::once(
+            InjectionSite::LocateWorker,
+            u64::MAX,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::once(
+            InjectionSite::GuardOffer,
+            u64::MAX,
+            FaultAction::Error,
+        ));
+
+    let variants: [(&str, Option<FaultConfig>); 3] = [
+        ("absent", None),
+        ("disabled", Some(FaultConfig::default())),
+        ("armed_idle", Some(idle)),
+    ];
+
+    let mut group = c.benchmark_group("faultinject");
+    group.throughput(Throughput::Elements(run.alerts.len() as u64));
+    for (name, faults) in variants {
+        group.bench_with_input(BenchmarkId::new("batch_analyze", name), &faults, |b, f| {
+            let mut cfg = PipelineConfig::production();
+            if let Some(f) = f.clone() {
+                cfg = cfg.with_faults(f);
+            }
+            let skynet = SkyNet::builder(scenario.topology()).config(cfg).build();
+            b.iter(|| {
+                let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(60));
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -35,6 +35,9 @@ pub enum RejectReason {
     /// The alert body is structurally corrupt: non-finite magnitude, empty
     /// syslog text, or control bytes in the syslog payload.
     CorruptBody,
+    /// A fault-injection rule intercepted the alert at a stage boundary;
+    /// the alert is preserved here instead of being lost.
+    FaultInjected,
 }
 
 impl RejectReason {
@@ -46,16 +49,18 @@ impl RejectReason {
             RejectReason::FutureTimestamp => "future-timestamp",
             RejectReason::Duplicate => "duplicate",
             RejectReason::CorruptBody => "corrupt-body",
+            RejectReason::FaultInjected => "fault-injected",
         }
     }
 
     /// All reasons, in counter order.
-    pub const ALL: [RejectReason; 5] = [
+    pub const ALL: [RejectReason; 6] = [
         RejectReason::OffTopology,
         RejectReason::StaleTimestamp,
         RejectReason::FutureTimestamp,
         RejectReason::Duplicate,
         RejectReason::CorruptBody,
+        RejectReason::FaultInjected,
     ];
 }
 
@@ -66,7 +71,7 @@ impl fmt::Display for RejectReason {
 }
 
 /// Recoverable failures of the pipeline runtime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SkyNetError {
     /// A single alert was rejected by the ingestion guard.
     Rejected {
@@ -95,6 +100,11 @@ pub enum SkyNetError {
         /// The configured restart cap.
         cap: u32,
     },
+    /// A fault-injection rule fired at a stage boundary (chaos testing).
+    FaultInjected {
+        /// The injection site that raised the fault.
+        site: crate::faultinject::InjectionSite,
+    },
 }
 
 impl fmt::Display for SkyNetError {
@@ -112,6 +122,9 @@ impl fmt::Display for SkyNetError {
             }
             SkyNetError::RestartsExhausted { cap } => {
                 write!(f, "pipeline worker gave up after {cap} restarts")
+            }
+            SkyNetError::FaultInjected { site } => {
+                write!(f, "injected fault at stage boundary {site}")
             }
         }
     }
@@ -145,5 +158,10 @@ mod tests {
         assert!(SkyNetError::RestartsExhausted { cap: 3 }
             .to_string()
             .contains('3'));
+        assert!(SkyNetError::FaultInjected {
+            site: crate::faultinject::InjectionSite::GuardOffer
+        }
+        .to_string()
+        .contains("guard-offer"));
     }
 }

@@ -7,10 +7,11 @@ pub mod zoom;
 pub use score::{CircuitSetImpact, ScoreConfig, SeverityBreakdown, SeverityInputs};
 pub use zoom::{MatrixMemo, MatrixMemoStats, ReachabilityMatrix, ZoomMethod, ZoomResult};
 
+use crate::faultinject::{self, FaultArm};
 use crate::locator::Incident;
 use crate::par::parallel_map;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertKind, CustomerId, LocId, PingLog};
+use skynet_model::{AlertKind, CustomerId, LocId, PingLog, TraceId};
 use skynet_topology::Topology;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -98,6 +99,9 @@ impl ScoredIncident {
 pub struct Evaluator {
     topo: Arc<Topology>,
     cfg: EvaluatorConfig,
+    /// Fault-injection arms for the matrix-build / evaluate sites.
+    matrix_fault: Option<FaultArm>,
+    eval_fault: Option<FaultArm>,
 }
 
 impl Evaluator {
@@ -106,7 +110,35 @@ impl Evaluator {
         Evaluator {
             topo: Arc::clone(topo),
             cfg,
+            matrix_fault: None,
+            eval_fault: None,
         }
+    }
+
+    /// Arms the evaluator's fault-injection sites. A firing matrix-build
+    /// fault skips the reachability matrix (zoom falls back to sFlow/INT
+    /// signals); a firing evaluate fault abandons the zoom entirely and
+    /// keeps the incident's root location ([`ZoomMethod::None`]). Severity
+    /// scoring always runs — a faulted incident is degraded, never lost.
+    pub fn with_faults(mut self, matrix: Option<FaultArm>, evaluate: Option<FaultArm>) -> Self {
+        self.matrix_fault = matrix;
+        self.eval_fault = evaluate;
+        self
+    }
+
+    /// Checks both evaluator sites for one incident, keyed by the trace of
+    /// its earliest alert. Returns `(matrix degraded, zoom degraded)`.
+    /// Both arms are always checked so the decision streams stay aligned.
+    fn check_faults(&self, incident: &Incident) -> (bool, bool) {
+        let trace = incident
+            .alerts
+            .first()
+            .map(|a| a.trace)
+            .unwrap_or(TraceId::NONE);
+        let at = incident.last_seen;
+        let matrix = faultinject::trip(&self.matrix_fault, trace, at);
+        let eval = faultinject::trip(&self.eval_fault, trace, at);
+        (matrix, eval)
     }
 
     /// The configured severity threshold.
@@ -282,32 +314,43 @@ impl Evaluator {
 
     /// Scores one incident and zooms in on its location.
     pub fn evaluate(&self, incident: Incident, ping: &PingLog) -> ScoredIncident {
-        let inputs = self.derive_inputs(&incident);
-        let severity = score::severity(&inputs, &self.cfg.score);
+        let (matrix_degraded, zoom_degraded) = self.check_faults(&incident);
+        if zoom_degraded {
+            return self.scored_with(incident, None);
+        }
+        if matrix_degraded {
+            return self.evaluate_with(incident, &ReachabilityMatrix::empty());
+        }
         let zoom = zoom::zoom(
             &incident,
             ping,
             self.cfg.matrix_factor,
             self.cfg.matrix_min_loss,
         );
-        ScoredIncident {
-            incident,
-            severity,
-            zoom,
-        }
+        self.scored_with(incident, Some(zoom))
     }
 
     /// [`Evaluator::evaluate`] with a prebuilt reachability matrix for the
     /// incident's [`zoom::matrix_window`].
     fn evaluate_with(&self, incident: Incident, matrix: &ReachabilityMatrix) -> ScoredIncident {
-        let inputs = self.derive_inputs(&incident);
-        let severity = score::severity(&inputs, &self.cfg.score);
         let zoom = zoom::zoom_with(
             &incident,
             matrix,
             self.cfg.matrix_factor,
             self.cfg.matrix_min_loss,
         );
+        self.scored_with(incident, Some(zoom))
+    }
+
+    /// Severity scoring plus an already-decided zoom outcome; `None` is
+    /// the degraded "keep the root, no refinement" result.
+    fn scored_with(&self, incident: Incident, zoom: Option<ZoomResult>) -> ScoredIncident {
+        let inputs = self.derive_inputs(&incident);
+        let severity = score::severity(&inputs, &self.cfg.score);
+        let zoom = zoom.unwrap_or_else(|| ZoomResult {
+            location: incident.root.clone(),
+            method: ZoomMethod::None,
+        });
         ScoredIncident {
             incident,
             severity,
@@ -336,20 +379,31 @@ impl Evaluator {
         incidents: Vec<Incident>,
         ping: &PingLog,
     ) -> (Vec<ScoredIncident>, MatrixMemoStats) {
-        // Sequential prebuild keeps the memo free of locks; the parallel
-        // stage below only reads the shared matrices.
+        // Sequential prebuild keeps the memo free of locks — and keeps the
+        // fault-injection decision streams deterministic: site checks
+        // happen here, in incident order, never inside the parallel stage.
         let mut memo = MatrixMemo::new();
-        let jobs: Vec<(Incident, Arc<ReachabilityMatrix>)> = incidents
+        let empty = Arc::new(ReachabilityMatrix::empty());
+        let jobs: Vec<(Incident, Arc<ReachabilityMatrix>, bool)> = incidents
             .into_iter()
             .map(|incident| {
-                let (from, to, level) = zoom::matrix_window(&incident);
-                let matrix = memo.get_or_build(ping, from, to, level);
-                (incident, matrix)
+                let (matrix_degraded, zoom_degraded) = self.check_faults(&incident);
+                let matrix = if zoom_degraded || matrix_degraded {
+                    Arc::clone(&empty)
+                } else {
+                    let (from, to, level) = zoom::matrix_window(&incident);
+                    memo.get_or_build(ping, from, to, level)
+                };
+                (incident, matrix, zoom_degraded)
             })
             .collect();
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let mut scored = parallel_map(jobs, workers, |(incident, matrix)| {
-            self.evaluate_with(incident, &matrix)
+        let mut scored = parallel_map(jobs, workers, |(incident, matrix, zoom_degraded)| {
+            if zoom_degraded {
+                self.scored_with(incident, None)
+            } else {
+                self.evaluate_with(incident, &matrix)
+            }
         });
         scored.sort_by(|a, b| b.score().total_cmp(&a.score()));
         (scored, memo.stats())

@@ -30,6 +30,16 @@ pub struct ReachabilityMatrix {
 }
 
 impl ReachabilityMatrix {
+    /// The empty matrix: no samples, no focal points. Used as the degraded
+    /// stand-in when a matrix-build fault is injected — zoom then falls
+    /// through to the sFlow/INT signals.
+    pub fn empty() -> Self {
+        ReachabilityMatrix {
+            labels: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
     /// Builds the matrix from lossy ping samples in `[from, to)`,
     /// truncating endpoints to `level`.
     ///

@@ -18,6 +18,7 @@
 //!    [`DeadLetterQueue`] for operator inspection.
 
 use crate::error::RejectReason;
+use crate::faultinject::{self, FaultAction, FaultArm};
 use crate::obs::{Counter, Gauge, Observability, Stage, StageTracer};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -128,6 +129,7 @@ impl DeadLetterQueue {
             RejectReason::FutureTimestamp => 2,
             RejectReason::Duplicate => 3,
             RejectReason::CorruptBody => 4,
+            RejectReason::FaultInjected => 5,
         }
     }
 
@@ -197,6 +199,9 @@ pub struct IngestStats {
     pub rejected_duplicate: u64,
     /// Rejects: structurally corrupt body.
     pub rejected_corrupt: u64,
+    /// Rejects: intercepted by an injected fault at a guard site.
+    #[serde(default)]
+    pub rejected_injected: u64,
     /// The watermark when this snapshot was taken.
     pub watermark: SimTime,
 }
@@ -209,6 +214,7 @@ impl IngestStats {
             + self.rejected_future
             + self.rejected_duplicate
             + self.rejected_corrupt
+            + self.rejected_injected
     }
 
     /// The counter for one rejection reason.
@@ -219,6 +225,7 @@ impl IngestStats {
             RejectReason::FutureTimestamp => self.rejected_future,
             RejectReason::Duplicate => self.rejected_duplicate,
             RejectReason::CorruptBody => self.rejected_corrupt,
+            RejectReason::FaultInjected => self.rejected_injected,
         }
     }
 
@@ -233,6 +240,7 @@ impl IngestStats {
         self.rejected_future += other.rejected_future;
         self.rejected_duplicate += other.rejected_duplicate;
         self.rejected_corrupt += other.rejected_corrupt;
+        self.rejected_injected += other.rejected_injected;
         self.watermark = self.watermark.max_of(other.watermark);
     }
 }
@@ -332,6 +340,9 @@ pub struct IngestGuard {
     /// this guard incarnation.
     next_trace: u64,
     obs: GuardObs,
+    /// Fault-injection arms for the guard's two sites (`None` = free).
+    offer_fault: Option<FaultArm>,
+    validate_fault: Option<FaultArm>,
 }
 
 impl IngestGuard {
@@ -360,6 +371,8 @@ impl IngestGuard {
             dead,
             next_trace: 0,
             obs: GuardObs::default(),
+            offer_fault: None,
+            validate_fault: None,
         }
     }
 
@@ -370,6 +383,35 @@ impl IngestGuard {
     pub fn with_observability(mut self, obs: &Observability) -> Self {
         self.obs = GuardObs::registered(obs);
         self
+    }
+
+    /// Arms the guard's fault-injection sites
+    /// ([`GuardOffer`](crate::faultinject::InjectionSite::GuardOffer) and
+    /// [`GuardValidate`](crate::faultinject::InjectionSite::GuardValidate)).
+    /// An intercepted alert is preserved in the dead-letter queue as
+    /// [`RejectReason::FaultInjected`] — even when the action is a panic,
+    /// so chaos runs never lose evidence.
+    pub fn with_faults(mut self, offer: Option<FaultArm>, validate: Option<FaultArm>) -> Self {
+        self.offer_fault = offer;
+        self.validate_fault = validate;
+        self
+    }
+
+    /// Checks one guard fault arm for `raw`; dead-letters on error *and*
+    /// panic actions (the panic is raised after the letter is written).
+    fn check_fault(&mut self, arm: &FaultArm, raw: &RawAlert) -> bool {
+        match arm.check(raw.trace, raw.timestamp) {
+            None => false,
+            Some(FaultAction::Error) => true,
+            Some(FaultAction::Latency(ms)) => {
+                faultinject::sleep_ms(ms);
+                false
+            }
+            Some(FaultAction::Panic) => {
+                self.reject(raw.clone(), RejectReason::FaultInjected);
+                arm.panic_now()
+            }
+        }
     }
 
     /// The current watermark: releases and late-drop decisions happen
@@ -434,6 +476,7 @@ impl IngestGuard {
             RejectReason::FutureTimestamp => self.stats.rejected_future += 1,
             RejectReason::Duplicate => self.stats.rejected_duplicate += 1,
             RejectReason::CorruptBody => self.stats.rejected_corrupt += 1,
+            RejectReason::FaultInjected => self.stats.rejected_injected += 1,
         }
         self.obs.rejected[DeadLetterQueue::slot(reason)].inc();
         self.obs
@@ -460,10 +503,20 @@ impl IngestGuard {
             self.next_trace += 1;
             raw.trace = TraceId(self.next_trace);
         }
+        if let Some(arm) = self.offer_fault.clone() {
+            if self.check_fault(&arm, &raw) {
+                return Err(self.reject(raw, RejectReason::FaultInjected));
+            }
+        }
         let (loc, peer) = match self.validate(&raw) {
             Ok(ids) => ids,
             Err(reason) => return Err(self.reject(raw, reason)),
         };
+        if let Some(arm) = self.validate_fault.clone() {
+            if self.check_fault(&arm, &raw) {
+                return Err(self.reject(raw, RejectReason::FaultInjected));
+            }
+        }
         let key: DupKey = (
             raw.source,
             raw.body.clone(),

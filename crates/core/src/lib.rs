@@ -39,6 +39,9 @@
 //! - [`obs`] — the unified observability layer: the metrics registry every
 //!   stage registers into, per-alert stage tracing, and the Prometheus /
 //!   JSON / table exporters.
+//! - [`faultinject`] — seeded, replayable fault injection at every stage
+//!   boundary, plus the post-incident degradation report. Disabled by
+//!   default and zero-cost when off.
 //!
 //! Build a pipeline with [`SkyNet::builder`]; pull the common surface in
 //! one line with `use skynet_core::prelude::*`.
@@ -48,6 +51,7 @@
 
 pub mod error;
 pub mod evaluator;
+pub mod faultinject;
 pub mod guard;
 pub mod locator;
 pub mod obs;
@@ -59,6 +63,10 @@ pub mod sop;
 
 pub use error::{RejectReason, SkyNetError};
 pub use evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+pub use faultinject::{
+    DegradationReport, FaultAction, FaultConfig, FaultRule, FaultTrigger, InjectedFault,
+    InjectionSite,
+};
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
 pub use obs::{ObsConfig, Observability};
@@ -77,6 +85,9 @@ pub use sop::{SopAction, SopEngine, SopPlan, SopRule};
 pub mod prelude {
     pub use crate::error::{RejectReason, SkyNetError};
     pub use crate::evaluator::ScoredIncident;
+    pub use crate::faultinject::{
+        DegradationReport, FaultAction, FaultConfig, FaultRule, InjectionSite,
+    };
     pub use crate::locator::Incident;
     pub use crate::obs::{ObsConfig, Observability, Stage, TraceEvent};
     pub use crate::pipeline::{

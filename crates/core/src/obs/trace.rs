@@ -75,6 +75,12 @@ pub enum Stage {
     IncidentCompleted(IncidentId),
     /// The evaluator scored the incident containing this alert.
     Scored(IncidentId),
+    /// A fault-injection rule fired at this stage boundary while the alert
+    /// (or its incident) was in flight.
+    FaultInjected(crate::faultinject::InjectionSite),
+    /// A supervisor restarted the panicked worker on this lane (shard
+    /// index, or 0 for the unsharded worker) that was carrying the alert.
+    WorkerRestarted(u16),
 }
 
 impl Stage {
@@ -91,6 +97,8 @@ impl Stage {
             Stage::LocateInserted => "locate:inserted".to_string(),
             Stage::IncidentCompleted(id) => format!("locate:completed({id})"),
             Stage::Scored(id) => format!("evaluate:scored({id})"),
+            Stage::FaultInjected(site) => format!("fault:injected({site})"),
+            Stage::WorkerRestarted(lane) => format!("worker:restarted({lane})"),
         }
     }
 }
@@ -329,6 +337,11 @@ mod tests {
             Stage::Scored(IncidentId(2)).label(),
             "evaluate:scored(incident2)"
         );
+        assert_eq!(
+            Stage::FaultInjected(crate::faultinject::InjectionSite::LocateWorker).label(),
+            "fault:injected(locate-worker)"
+        );
+        assert_eq!(Stage::WorkerRestarted(2).label(), "worker:restarted(2)");
     }
 
     #[test]

@@ -19,16 +19,20 @@
 //!   snapshots), up to a configurable cap;
 //! - [`StreamingHandle::health`] is the liveness probe.
 
-use crate::error::SkyNetError;
+use crate::error::{RejectReason, SkyNetError};
 use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
-use crate::guard::{DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
+use crate::faultinject::{
+    self, DegradationReport, FaultAction, FaultArm, FaultConfig, FaultPanic, FaultPlane,
+    InjectedFault, InjectionSite,
+};
+use crate::guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 use crate::locator::{Incident, Locator, LocatorConfig};
 use crate::obs::{
     Counter, Histogram, ObsConfig, Observability, Stage, StageTracer, TraceEvent, LATENCY_BUCKETS,
 };
 use crate::par::parallel_map;
 use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
-use crate::shard::ShardRouter;
+use crate::shard::{ShardRouter, FALLBACK_SHARD};
 use crate::sop::{SopEngine, SopPlan};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -162,6 +166,9 @@ pub struct PipelineConfig {
     /// Observability knobs: stage tracing and the trace-ring capacity.
     #[serde(default)]
     pub obs: ObsConfig,
+    /// Fault-injection policy (disabled by default; zero-cost when off).
+    #[serde(default)]
+    pub faults: FaultConfig,
     /// FT-tree minimum template support.
     pub classifier_min_support: u32,
     /// FT-tree maximum template depth.
@@ -177,6 +184,7 @@ impl PipelineConfig {
             evaluator: EvaluatorConfig::default(),
             streaming: StreamingConfig::default(),
             obs: ObsConfig::default(),
+            faults: FaultConfig::default(),
             classifier_min_support: 3,
             classifier_max_depth: 8,
         }
@@ -212,6 +220,13 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the fault-injection policy (chaos testing; disabled by
+    /// default).
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = cfg;
+        self
+    }
+
     /// Sets the FT-tree minimum template support.
     pub fn with_classifier_min_support(mut self, support: u32) -> Self {
         self.classifier_min_support = support;
@@ -240,6 +255,15 @@ pub struct AnalysisReport {
     pub ingest: IngestStats,
     /// The severity threshold in force.
     pub severity_threshold: f64,
+    /// Faults the fault plane injected during this run (empty when
+    /// injection is disabled).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<InjectedFault>,
+    /// Dead letters quarantined during this run — guard rejects plus
+    /// alerts preserved by injected faults (empty when nothing was
+    /// rejected).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl AnalysisReport {
@@ -513,11 +537,29 @@ impl SkyNet {
         horizon: SimTime,
     ) -> AnalysisReport {
         let shards = self.cfg.streaming.shards.max(1);
+        let plane = FaultPlane::from_config(&self.cfg.faults, &self.obs);
+        let arm = |site: InjectionSite| plane.as_ref().and_then(|p| p.arm(site, 0));
+        let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+            self.cfg.streaming.guard.dead_letter_capacity,
+        )));
         let mut preprocessor =
             Preprocessor::new(self.cfg.preprocessor.clone(), self.classifier.clone())
-                .with_observability(&self.obs);
-        let mut guard = IngestGuard::new(&self.topo, self.cfg.streaming.guard.clone())
-            .with_observability(&self.obs);
+                .with_observability(&self.obs)
+                .with_faults(
+                    arm(InjectionSite::PreprocessClassify),
+                    arm(InjectionSite::PreprocessConsolidate),
+                );
+        let mut guard = IngestGuard::with_dead_letters(
+            &self.topo,
+            self.cfg.streaming.guard.clone(),
+            Arc::clone(&dead),
+        )
+        .with_observability(&self.obs)
+        .with_faults(
+            arm(InjectionSite::GuardOffer),
+            arm(InjectionSite::GuardValidate),
+        );
+        let route_fault = arm(InjectionSite::ShardRoute);
         let router = ShardRouter::new(self.topo.interner(), shards);
         let tracer = self.obs.tracer();
         let stage_seconds = StageLatency::registered(&self.obs);
@@ -542,7 +584,11 @@ impl SkyNet {
             structured.clear();
             preprocessor.push(raw, &mut structured);
             for alert in structured.drain(..) {
-                let shard = router.route(&alert.location);
+                let shard = if faultinject::trip(&route_fault, alert.trace, alert.last_seen) {
+                    FALLBACK_SHARD
+                } else {
+                    router.route(&alert.location)
+                };
                 tracer.record(
                     alert.trace,
                     alert.last_seen,
@@ -561,18 +607,85 @@ impl SkyNet {
         // locator fires the same grid checks over the same region-local
         // state as the global one, so per-shard incidents equal the
         // single worker's (see DESIGN.md on the sharding invariants).
-        let locate = |batch: Vec<StructuredAlert>| -> Vec<Incident> {
-            let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
-            for alert in &batch {
-                tracer.record(alert.trace, alert.last_seen, Stage::LocateInserted);
-                locator.insert(alert);
+        //
+        // Each lane runs under its own catch_unwind retry loop so injected
+        // locate-worker panics exercise the same restart semantics the
+        // streaming supervisor has: a panicked lane restarts with a fresh
+        // locator and replays its whole partition (the fault arm's state
+        // lives in the plane, so the decision stream does not rewind). A
+        // lane that exhausts the restart budget surrenders its partition
+        // as dead letters instead of losing it.
+        let restart_counter = self.obs.registry().counter(
+            "skynet_worker_restarts_total",
+            "worker restarts performed by the supervisors",
+        );
+        let max_restarts = self.cfg.streaming.max_restarts;
+        let lanes: Vec<(u32, Vec<StructuredAlert>)> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(lane, batch)| (lane as u32, batch))
+            .collect();
+        let locate =
+            |(lane, batch): (u32, Vec<StructuredAlert>)| -> (Vec<Incident>, Vec<StructuredAlert>) {
+                let fault = plane
+                    .as_ref()
+                    .and_then(|p| p.arm(InjectionSite::LocateWorker, lane));
+                let mut attempts = 0u32;
+                loop {
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
+                        let mut lost = Vec::new();
+                        for alert in &batch {
+                            if let Some(arm) = &fault {
+                                match arm.check(alert.trace, alert.last_seen) {
+                                    Some(FaultAction::Error) => {
+                                        lost.push(alert.clone());
+                                        continue;
+                                    }
+                                    Some(FaultAction::Panic) => arm.panic_now(),
+                                    Some(FaultAction::Latency(ms)) => faultinject::sleep_ms(ms),
+                                    None => {}
+                                }
+                            }
+                            tracer.record(alert.trace, alert.last_seen, Stage::LocateInserted);
+                            locator.insert(alert);
+                        }
+                        locator.advance(horizon);
+                        locator.finish();
+                        (locator.take_completed(), lost)
+                    }));
+                    match outcome {
+                        Ok(result) => return result,
+                        Err(_) => {
+                            attempts += 1;
+                            restart_counter.inc();
+                            if let Some(arm) = &fault {
+                                tracer.record(
+                                    arm.last_fired_trace(),
+                                    arm.last_fired_at(),
+                                    Stage::WorkerRestarted(lane as u16),
+                                );
+                            }
+                            if attempts > max_restarts {
+                                // Budget exhausted: preserve the whole
+                                // partition rather than dropping it silently.
+                                return (Vec::new(), batch.clone());
+                            }
+                        }
+                    }
+                }
+            };
+        let per_shard = parallel_map(lanes, shards, locate);
+        let mut incident_parts = Vec::with_capacity(per_shard.len());
+        for (completed, lost) in per_shard {
+            // Dead-letter fault-intercepted alerts here, sequentially in
+            // shard order, so the queue's contents replay identically.
+            for alert in &lost {
+                push_fault_letter(&dead, alert);
             }
-            locator.advance(horizon);
-            locator.finish();
-            locator.take_completed()
-        };
-        let per_shard = parallel_map(partitions, shards, locate);
-        let incidents = merge_incidents(per_shard);
+            incident_parts.push(completed);
+        }
+        let incidents = merge_incidents(incident_parts);
         let located = Instant::now();
         stage_seconds
             .locate
@@ -589,11 +702,43 @@ impl SkyNet {
             }
         }
 
-        let report = self.finish_report(incidents, ping, preprocessor.stats(), guard.stats());
+        let dead_letters: Vec<DeadLetter> = dead.lock().letters().cloned().collect();
+        let report = self.finish_report(
+            incidents,
+            ping,
+            preprocessor.stats(),
+            guard.stats(),
+            dead_letters,
+            plane,
+        );
         stage_seconds
             .evaluate
             .observe(located.elapsed().as_secs_f64());
         report
+    }
+
+    /// Post-incident analysis for a batch run: every fault the report's
+    /// run injected, the restart/shed counters, and the degradation
+    /// timeline from the trace ring. For streaming use
+    /// [`StreamingHandle::degradation_report`].
+    pub fn degradation_report(&self, report: &AnalysisReport) -> DegradationReport {
+        let fault_letters = report
+            .dead_letters
+            .iter()
+            .filter(|l| l.reason == RejectReason::FaultInjected)
+            .count() as u64;
+        let restarts = self
+            .obs
+            .snapshot()
+            .counter("skynet_worker_restarts_total", None);
+        DegradationReport::assemble(
+            report.faults.clone(),
+            &self.obs,
+            fault_letters,
+            restarts,
+            false,
+            None,
+        )
     }
 
     fn finish_report(
@@ -602,11 +747,31 @@ impl SkyNet {
         ping: &PingLog,
         preprocess: PreprocessStats,
         ingest: IngestStats,
+        dead_letters: Vec<DeadLetter>,
+        plane: Option<Arc<FaultPlane>>,
     ) -> AnalysisReport {
-        let evaluator = Evaluator::new(&self.topo, self.cfg.evaluator.clone());
+        let evaluator = Evaluator::new(&self.topo, self.cfg.evaluator.clone()).with_faults(
+            plane
+                .as_ref()
+                .and_then(|p| p.arm(InjectionSite::MatrixBuild, 0)),
+            plane
+                .as_ref()
+                .and_then(|p| p.arm(InjectionSite::Evaluate, 0)),
+        );
+        let sop_fault = plane
+            .as_ref()
+            .and_then(|p| p.arm(InjectionSite::SopSelect, 0));
         let sop = SopEngine::standard(&self.topo);
         let mut sop_plans = Vec::new();
         for incident in &incidents {
+            let trace = incident
+                .alerts
+                .first()
+                .map(|a| a.trace)
+                .unwrap_or(TraceId::NONE);
+            if faultinject::trip(&sop_fault, trace, incident.last_seen) {
+                continue;
+            }
             if let Some(plan) = sop.match_incident(incident) {
                 sop_plans.push((incident.id, plan));
             }
@@ -646,8 +811,24 @@ impl SkyNet {
             preprocess,
             ingest,
             severity_threshold: self.cfg.evaluator.severity_threshold,
+            faults: plane.as_ref().map(|p| p.ledger()).unwrap_or_default(),
+            dead_letters,
         }
     }
+}
+
+/// Synthesizes a dead letter for a structured alert a fault intercepted
+/// past the guard, so chaos runs never lose evidence silently.
+fn push_fault_letter(dead: &Arc<Mutex<DeadLetterQueue>>, alert: &StructuredAlert) {
+    let raw = RawAlert::known(
+        alert.ty.source,
+        alert.last_seen,
+        alert.location.clone(),
+        alert.ty.kind,
+    )
+    .with_magnitude(alert.magnitude)
+    .with_trace(alert.trace);
+    dead.lock().push(raw, RejectReason::FaultInjected);
 }
 
 /// Per-phase wall-clock histograms. Latency is observed at *phase*
@@ -742,6 +923,11 @@ pub struct HealthReport {
     pub restarts: u32,
     /// The supervisor exhausted its restart budget and stopped.
     pub gave_up: bool,
+    /// The terminal degradation cause when `gave_up` is set: the error
+    /// behind the panic that exhausted the budget (an injected fault names
+    /// its site; anything else surfaces as
+    /// [`SkyNetError::WorkerPanicked`]).
+    pub degraded: Option<SkyNetError>,
     /// Events currently queued in the channel.
     pub queued_events: usize,
 }
@@ -788,6 +974,8 @@ struct SupervisorState {
     alive: bool,
     gave_up: bool,
     restarts: u32,
+    /// Why the budget ran out, preserved from the final caught panic.
+    degraded: Option<SkyNetError>,
 }
 
 #[derive(Debug)]
@@ -810,6 +998,7 @@ impl Monitor {
                 alive: true,
                 gave_up: false,
                 restarts: 0,
+                degraded: None,
             }),
             shed_abnormal: AtomicU64::new(0),
             shed_root_cause: AtomicU64::new(0),
@@ -838,8 +1027,14 @@ impl Monitor {
         s.restarts
     }
 
-    fn give_up(&self) {
-        self.state.lock().gave_up = true;
+    /// Marks the terminal `Degraded` state, preserving the error behind
+    /// the panic that exhausted the restart budget. The first cause wins:
+    /// in sharded mode several supervisors may give up independently and
+    /// the first failure is the one worth reporting.
+    fn give_up(&self, cause: SkyNetError) {
+        let mut s = self.state.lock();
+        s.gave_up = true;
+        s.degraded.get_or_insert(cause);
     }
 
     fn mark_dead(&self) {
@@ -867,6 +1062,7 @@ pub struct StreamingHandle {
     counters: Arc<Mutex<SharedCounters>>,
     monitor: Arc<Monitor>,
     obs: Observability,
+    plane: Option<Arc<FaultPlane>>,
     shed_high_water: f64,
 }
 
@@ -931,8 +1127,37 @@ impl StreamingHandle {
             alive: s.alive,
             restarts: s.restarts,
             gave_up: s.gave_up,
+            degraded: s.degraded,
             queued_events: self.events.len(),
         }
+    }
+
+    /// Every fault the injection policy fired so far, in canonical
+    /// (site, lane, ordinal) order. Empty when injection is disabled.
+    pub fn injected_faults(&self) -> Vec<InjectedFault> {
+        self.plane.as_ref().map(|p| p.ledger()).unwrap_or_default()
+    }
+
+    /// Reconstructs the degradation story of the stream so far: the fault
+    /// ledger, restart/shed counters, fault-quarantined dead letters, the
+    /// degradation timeline from the trace ring, and — if the supervisor
+    /// gave up — the terminal cause.
+    pub fn degradation_report(&self) -> DegradationReport {
+        let health = self.health();
+        let fault_letters = self
+            .dead_letters
+            .lock()
+            .letters()
+            .filter(|l| l.reason == RejectReason::FaultInjected)
+            .count() as u64;
+        DegradationReport::assemble(
+            self.injected_faults(),
+            &self.obs,
+            fault_letters,
+            u64::from(health.restarts),
+            health.gave_up,
+            health.degraded,
+        )
     }
 
     /// True while the supervisor loop is running.
@@ -1005,6 +1230,10 @@ struct WorkerShared {
     dead: Arc<Mutex<DeadLetterQueue>>,
     monitor: Arc<Monitor>,
     obs: Observability,
+    /// Fault-injection state. Lives here — not per incarnation — so a
+    /// restarted worker *resumes* its decision streams instead of
+    /// replaying them.
+    plane: Option<Arc<FaultPlane>>,
 }
 
 /// Spawns the pipeline as a supervised worker thread fed through a bounded
@@ -1020,11 +1249,13 @@ pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
     )));
     let obs = skynet.obs.clone();
     let monitor = Arc::new(Monitor::new(&obs));
+    let plane = FaultPlane::from_config(&skynet.cfg.faults, &obs);
     let shared = WorkerShared {
         counters: Arc::clone(&counters),
         dead: Arc::clone(&dead_letters),
         monitor: Arc::clone(&monitor),
         obs: obs.clone(),
+        plane: plane.clone(),
     };
     let shed_high_water = scfg.shed_high_water;
 
@@ -1047,6 +1278,7 @@ pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
         counters,
         monitor,
         obs,
+        plane,
         shed_high_water,
     }
 }
@@ -1069,10 +1301,10 @@ fn supervise(
         }));
         match outcome {
             Ok(()) => break,
-            Err(_) => {
+            Err(payload) => {
                 let caught = shared.monitor.count_restart();
                 if caught > scfg.max_restarts {
-                    shared.monitor.give_up();
+                    shared.monitor.give_up(panic_cause(&payload, caught));
                     break;
                 }
                 // The next incarnation's guard restarts trace ids at 1;
@@ -1088,6 +1320,16 @@ fn supervise(
     // with `ChannelClosed`) and ends the consumer's iterator.
 }
 
+/// Maps a caught panic payload to the terminal degradation cause: an
+/// injected-fault panic names its injection site; any other payload is an
+/// ordinary worker panic.
+fn panic_cause(payload: &(dyn std::any::Any + Send), restarts: u32) -> SkyNetError {
+    match payload.downcast_ref::<FaultPanic>() {
+        Some(fault) => SkyNetError::FaultInjected { site: fault.0 },
+        None => SkyNetError::WorkerPanicked { restarts },
+    }
+}
+
 /// One worker incarnation: fresh guard/preprocessor/locator state, counters
 /// based on whatever earlier incarnations already published.
 fn run_worker(
@@ -1097,15 +1339,32 @@ fn run_worker(
     incidents: &Sender<StreamIncident>,
     shared: &WorkerShared,
 ) {
+    // Lane 0: the unsharded worker runs every stage on one lane. Arm
+    // state lives in the shared plane, so a restarted incarnation resumes
+    // the decision streams where the previous one left off.
+    let arm = |site: InjectionSite| shared.plane.as_ref().and_then(|p| p.arm(site, 0));
     let mut preprocessor =
         Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone())
-            .with_observability(&shared.obs);
+            .with_observability(&shared.obs)
+            .with_faults(
+                arm(InjectionSite::PreprocessClassify),
+                arm(InjectionSite::PreprocessConsolidate),
+            );
     let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
-    let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone());
+    let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone()).with_faults(
+        arm(InjectionSite::MatrixBuild),
+        arm(InjectionSite::Evaluate),
+    );
     let sop = SopEngine::standard(&skynet.topo);
+    let locate_fault = arm(InjectionSite::LocateWorker);
+    let sop_fault = arm(InjectionSite::SopSelect);
     let mut guard =
         IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead))
-            .with_observability(&shared.obs);
+            .with_observability(&shared.obs)
+            .with_faults(
+                arm(InjectionSite::GuardOffer),
+                arm(InjectionSite::GuardValidate),
+            );
     let mut ping = PingLog::new();
     let mut released: Vec<RawAlert> = Vec::new();
     let mut structured: Vec<StructuredAlert> = Vec::new();
@@ -1128,6 +1387,8 @@ fn run_worker(
                     &mut preprocessor,
                     &mut locator,
                     &tracer,
+                    &locate_fault,
+                    &shared.dead,
                 );
                 since_publish += 1;
                 if since_publish >= scfg.stats_interval {
@@ -1147,6 +1408,8 @@ fn run_worker(
                     &mut preprocessor,
                     &mut locator,
                     &tracer,
+                    &locate_fault,
+                    &shared.dead,
                 );
                 locator.advance(now);
                 publish(shared, base, &preprocessor, &guard);
@@ -1160,6 +1423,7 @@ fn run_worker(
             &ping,
             &evaluator,
             &sop,
+            &sop_fault,
             incidents,
             &tracer,
             &completed,
@@ -1176,6 +1440,8 @@ fn run_worker(
         &mut preprocessor,
         &mut locator,
         &tracer,
+        &locate_fault,
+        &shared.dead,
     );
     preprocessor.finish();
     locator.finish();
@@ -1185,6 +1451,7 @@ fn run_worker(
         &ping,
         &evaluator,
         &sop,
+        &sop_fault,
         incidents,
         &tracer,
         &completed,
@@ -1235,6 +1502,8 @@ fn run_sharded(
         let incident_tx = incidents.clone();
         let monitor = Arc::clone(&shared.monitor);
         let obs = shared.obs.clone();
+        let dead = Arc::clone(&shared.dead);
+        let plane = shared.plane.clone();
         let max_restarts = scfg.max_restarts;
         let handle = std::thread::Builder::new()
             .name(format!("skynet-shard-{s}"))
@@ -1247,6 +1516,9 @@ fn run_sharded(
                     &incident_tx,
                     &monitor,
                     &obs,
+                    &dead,
+                    &plane,
+                    s as u32,
                     max_restarts,
                 );
             })
@@ -1264,11 +1536,11 @@ fn run_sharded(
         }));
         match outcome {
             Ok(()) => break,
-            Err(_) => {
+            Err(payload) => {
                 attempts += 1;
                 shared.monitor.count_restart();
                 if attempts > scfg.max_restarts {
-                    shared.monitor.give_up();
+                    shared.monitor.give_up(panic_cause(&payload, attempts));
                     break;
                 }
                 // A fresh ingest incarnation restarts trace ids at 1.
@@ -1297,12 +1569,24 @@ fn run_sharded_ingest(
     shard_txs: &[Sender<ShardEvent>],
     shared: &WorkerShared,
 ) {
+    // The ingest worker owns the ingestion-side sites on lane 0; shard
+    // workers own the locate/evaluate sites on their own lanes.
+    let arm = |site: InjectionSite| shared.plane.as_ref().and_then(|p| p.arm(site, 0));
     let mut preprocessor =
         Preprocessor::new(skynet.cfg.preprocessor.clone(), skynet.classifier.clone())
-            .with_observability(&shared.obs);
+            .with_observability(&shared.obs)
+            .with_faults(
+                arm(InjectionSite::PreprocessClassify),
+                arm(InjectionSite::PreprocessConsolidate),
+            );
     let mut guard =
         IngestGuard::with_dead_letters(&skynet.topo, scfg.guard.clone(), Arc::clone(&shared.dead))
-            .with_observability(&shared.obs);
+            .with_observability(&shared.obs)
+            .with_faults(
+                arm(InjectionSite::GuardOffer),
+                arm(InjectionSite::GuardValidate),
+            );
+    let route_fault = arm(InjectionSite::ShardRoute);
     let mut released: Vec<RawAlert> = Vec::new();
     let mut structured: Vec<StructuredAlert> = Vec::new();
     let base = *shared.counters.lock();
@@ -1318,6 +1602,7 @@ fn run_sharded_ingest(
                     &mut structured,
                     &mut preprocessor,
                     router,
+                    &route_fault,
                     shard_txs,
                     &tracer,
                 );
@@ -1335,6 +1620,7 @@ fn run_sharded_ingest(
                     &mut structured,
                     &mut preprocessor,
                     router,
+                    &route_fault,
                     shard_txs,
                     &tracer,
                 );
@@ -1353,6 +1639,7 @@ fn run_sharded_ingest(
         &mut structured,
         &mut preprocessor,
         router,
+        &route_fault,
         shard_txs,
         &tracer,
     );
@@ -1370,11 +1657,13 @@ fn broadcast(shard_txs: &[Sender<ShardEvent>], event: ShardEvent) {
 
 /// Preprocesses guard-released raw alerts and routes each structured alert
 /// to its region's shard.
+#[allow(clippy::too_many_arguments)]
 fn route_released(
     released: &mut Vec<RawAlert>,
     structured: &mut Vec<StructuredAlert>,
     preprocessor: &mut Preprocessor,
     router: &ShardRouter,
+    route_fault: &Option<FaultArm>,
     shard_txs: &[Sender<ShardEvent>],
     tracer: &StageTracer,
 ) {
@@ -1382,7 +1671,13 @@ fn route_released(
         structured.clear();
         preprocessor.push(&raw, structured);
         for alert in structured.drain(..) {
-            let shard = router.route(&alert.location);
+            let shard = if faultinject::trip(route_fault, alert.trace, alert.last_seen) {
+                // Misroute to the fallback shard: the alert still lands in
+                // *a* locator, modeling a routing-table fault.
+                FALLBACK_SHARD
+            } else {
+                router.route(&alert.location)
+            };
             tracer.record(
                 alert.trace,
                 alert.last_seen,
@@ -1403,20 +1698,46 @@ fn supervise_shard(
     incidents: &Sender<StreamIncident>,
     monitor: &Monitor,
     obs: &Observability,
+    dead: &Arc<Mutex<DeadLetterQueue>>,
+    plane: &Option<Arc<FaultPlane>>,
+    lane: u32,
     max_restarts: u32,
 ) {
     let mut attempts = 0u32;
     loop {
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_shard_worker(topo, locator_cfg, evaluator_cfg, events, incidents, obs);
+            run_shard_worker(
+                topo,
+                locator_cfg,
+                evaluator_cfg,
+                events,
+                incidents,
+                obs,
+                dead,
+                plane,
+                lane,
+            );
         }));
         match outcome {
             Ok(()) => break,
-            Err(_) => {
+            Err(payload) => {
                 attempts += 1;
                 monitor.count_restart();
+                // Attribute the restart to the alert whose injected fault
+                // triggered it (no-op for organic panics: the arm never
+                // fired, so the trace id is NONE).
+                if let Some(arm) = plane
+                    .as_ref()
+                    .and_then(|p| p.arm(InjectionSite::LocateWorker, lane))
+                {
+                    obs.tracer().record(
+                        arm.last_fired_trace(),
+                        arm.last_fired_at(),
+                        Stage::WorkerRestarted(lane as u16),
+                    );
+                }
                 if attempts > max_restarts {
-                    monitor.give_up();
+                    monitor.give_up(panic_cause(&payload, attempts));
                     break;
                 }
             }
@@ -1427,6 +1748,7 @@ fn supervise_shard(
 /// One incarnation of a shard worker: locate, evaluate and emit incidents
 /// for this shard's regions. State is shard-local and rebuilt fresh on
 /// restart.
+#[allow(clippy::too_many_arguments)]
 fn run_shard_worker(
     topo: &Arc<Topology>,
     locator_cfg: &LocatorConfig,
@@ -1434,10 +1756,19 @@ fn run_shard_worker(
     events: &Receiver<ShardEvent>,
     incidents: &Sender<StreamIncident>,
     obs: &Observability,
+    dead: &Arc<Mutex<DeadLetterQueue>>,
+    plane: &Option<Arc<FaultPlane>>,
+    lane: u32,
 ) {
+    let arm = |site: InjectionSite| plane.as_ref().and_then(|p| p.arm(site, lane));
     let mut locator = Locator::new(topo, locator_cfg.clone());
-    let evaluator = Evaluator::new(topo, evaluator_cfg.clone());
+    let evaluator = Evaluator::new(topo, evaluator_cfg.clone()).with_faults(
+        arm(InjectionSite::MatrixBuild),
+        arm(InjectionSite::Evaluate),
+    );
     let sop = SopEngine::standard(topo);
+    let locate_fault = arm(InjectionSite::LocateWorker);
+    let sop_fault = arm(InjectionSite::SopSelect);
     let mut ping = PingLog::new();
     let tracer = obs.tracer();
     let completed = obs.registry().counter(
@@ -1447,6 +1778,9 @@ fn run_shard_worker(
     for event in events.iter() {
         match event {
             ShardEvent::Alert(alert) => {
+                if locate_fault_skips(&locate_fault, &alert, dead) {
+                    continue;
+                }
                 tracer.record(alert.trace, alert.last_seen, Stage::LocateInserted);
                 locator.insert(&alert);
             }
@@ -1461,6 +1795,7 @@ fn run_shard_worker(
             &ping,
             &evaluator,
             &sop,
+            &sop_fault,
             incidents,
             &tracer,
             &completed,
@@ -1475,6 +1810,7 @@ fn run_shard_worker(
         &ping,
         &evaluator,
         &sop,
+        &sop_fault,
         incidents,
         &tracer,
         &completed,
@@ -1482,20 +1818,57 @@ fn run_shard_worker(
 }
 
 /// Runs released raw alerts through preprocessing into the locator.
+#[allow(clippy::too_many_arguments)]
 fn feed(
     released: &[RawAlert],
     structured: &mut Vec<StructuredAlert>,
     preprocessor: &mut Preprocessor,
     locator: &mut Locator,
     tracer: &StageTracer,
+    locate_fault: &Option<FaultArm>,
+    dead: &Arc<Mutex<DeadLetterQueue>>,
 ) {
     for raw in released {
         structured.clear();
         preprocessor.push(raw, structured);
         for s in structured.iter() {
+            if locate_fault_skips(locate_fault, s, dead) {
+                continue;
+            }
             tracer.record(s.trace, s.last_seen, Stage::LocateInserted);
             locator.insert(s);
         }
+    }
+}
+
+/// Checks the locate-worker injection arm for one structured alert.
+/// Returns `true` when the alert must be skipped (it has been
+/// dead-lettered). A `Panic` action also dead-letters first: streaming
+/// events are consumed from the channel, so a restarted incarnation can
+/// never replay them — quarantining before unwinding is what keeps
+/// `Failure`-class evidence from vanishing.
+fn locate_fault_skips(
+    locate_fault: &Option<FaultArm>,
+    alert: &StructuredAlert,
+    dead: &Arc<Mutex<DeadLetterQueue>>,
+) -> bool {
+    let Some(arm) = locate_fault else {
+        return false;
+    };
+    match arm.check(alert.trace, alert.last_seen) {
+        Some(FaultAction::Error) => {
+            push_fault_letter(dead, alert);
+            true
+        }
+        Some(FaultAction::Panic) => {
+            push_fault_letter(dead, alert);
+            arm.panic_now()
+        }
+        Some(FaultAction::Latency(ms)) => {
+            faultinject::sleep_ms(ms);
+            false
+        }
+        None => false,
     }
 }
 
@@ -1519,11 +1892,13 @@ fn publish(
 
 /// Evaluates and emits every newly-completed incident, with its SOP plan
 /// attached. Returns `false` when the consumer dropped the receiver.
+#[allow(clippy::too_many_arguments)]
 fn drain_completed(
     locator: &mut Locator,
     ping: &PingLog,
     evaluator: &Evaluator,
     sop: &SopEngine,
+    sop_fault: &Option<FaultArm>,
     incidents: &Sender<StreamIncident>,
     tracer: &StageTracer,
     completed: &Counter,
@@ -1539,7 +1914,14 @@ fn drain_completed(
                 );
             }
         }
-        let plan = sop.match_incident(&incident);
+        let sop_trace = incident.alerts.first().map_or(TraceId::NONE, |a| a.trace);
+        let plan = if faultinject::trip(sop_fault, sop_trace, incident.last_seen) {
+            // SOP selection failed: the incident still ships, without its
+            // automatic remediation plan.
+            None
+        } else {
+            sop.match_incident(&incident)
+        };
         let scored = evaluator.evaluate(incident, ping);
         if tracer.is_enabled() {
             for alert in &scored.incident.alerts {

@@ -25,6 +25,7 @@ pub mod classify;
 
 pub use classify::SyslogClassifier;
 
+use crate::faultinject::{self, FaultArm};
 use crate::obs::{Counter, DropReason, Observability, Stage, StageTracer};
 use serde::{Deserialize, Serialize};
 use skynet_model::{
@@ -242,6 +243,9 @@ pub struct Preprocessor {
     recent_surges: HashMap<LocId, SimTime>,
     stats: PreprocessStats,
     obs: PreprocessObs,
+    /// Fault-injection arms for the classify / consolidate sites.
+    classify_fault: Option<FaultArm>,
+    consolidate_fault: Option<FaultArm>,
 }
 
 impl Preprocessor {
@@ -260,6 +264,8 @@ impl Preprocessor {
             recent_surges: HashMap::new(),
             stats: PreprocessStats::default(),
             obs: PreprocessObs::default(),
+            classify_fault: None,
+            consolidate_fault: None,
         }
     }
 
@@ -267,6 +273,20 @@ impl Preprocessor {
     /// consolidation counters and per-alert stage tracing start feeding it.
     pub fn with_observability(mut self, obs: &Observability) -> Self {
         self.obs = PreprocessObs::registered(obs);
+        self
+    }
+
+    /// Arms the preprocessor's fault-injection sites. A firing classify
+    /// fault degrades the alert to [`AlertKind::Unclassified`]; a firing
+    /// consolidate fault bypasses consolidation and emits the observation
+    /// directly (duplicates leak through instead of alerts being lost).
+    pub fn with_faults(
+        mut self,
+        classify: Option<FaultArm>,
+        consolidate: Option<FaultArm>,
+    ) -> Self {
+        self.classify_fault = classify;
+        self.consolidate_fault = consolidate;
         self
     }
 
@@ -286,15 +306,36 @@ impl Preprocessor {
         self.obs.raw.inc();
         let now = raw.timestamp;
 
-        // Normalization: resolve the kind.
-        let kind = match &raw.body {
-            AlertBody::Known(k) => *k,
-            AlertBody::SyslogText(text) => self
-                .classifier
-                .as_ref()
-                .map(|c| c.classify(text))
-                .unwrap_or(AlertKind::Unclassified),
+        // Normalization: resolve the kind. An injected classify fault
+        // degrades the alert to Unclassified instead of dropping it.
+        let kind = if faultinject::trip(&self.classify_fault, raw.trace, now) {
+            AlertKind::Unclassified
+        } else {
+            match &raw.body {
+                AlertBody::Known(k) => *k,
+                AlertBody::SyslogText(text) => self
+                    .classifier
+                    .as_ref()
+                    .map(|c| c.classify(text))
+                    .unwrap_or(AlertKind::Unclassified),
+            }
         };
+
+        // An injected consolidate fault bypasses the three consolidation
+        // stages: the observation is emitted directly (per endpoint), so
+        // downstream sees duplicates rather than losing the alert.
+        if faultinject::trip(&self.consolidate_fault, raw.trace, now) {
+            self.emit(StructuredAlert::from_raw(raw, kind), out);
+            if let Some(peer) = &raw.peer {
+                self.stats.raw += 1;
+                self.obs.raw.inc();
+                let mut mirrored = StructuredAlert::from_raw(raw, kind);
+                mirrored.location = peer.clone();
+                self.emit(mirrored, out);
+            }
+            self.expire(now, out);
+            return;
+        }
 
         // Location: a link/path alert is split into two alerts, one per
         // endpoint (§4.1).

@@ -61,6 +61,16 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// Sets the deterministic seed: the same seed over the same input
+    /// replays the exact same degraded feed, which is what lets a chaos
+    /// run from a bug report be reproduced byte-for-byte.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// What one [`ChaosEngine::apply`] pass actually did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ChaosStats {
@@ -96,6 +106,12 @@ impl ChaosEngine {
             rng,
             stats: ChaosStats::default(),
         }
+    }
+
+    /// Default knobs with an explicit seed — the replayable-chaos entry
+    /// point CLI flags thread through.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosEngine::new(ChaosConfig::default().with_seed(seed))
     }
 
     /// Cumulative mutation counts across all `apply` calls.
@@ -223,6 +239,17 @@ mod tests {
         })
         .apply(&input);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn explicit_seed_replays_and_matches_config_seed() {
+        let input = flood(200);
+        let a = ChaosEngine::seeded(42).apply(&input);
+        let b = ChaosEngine::seeded(42).apply(&input);
+        assert_eq!(a, b);
+        let via_cfg = ChaosEngine::new(ChaosConfig::default().with_seed(42)).apply(&input);
+        assert_eq!(a, via_cfg);
+        assert_ne!(a, ChaosEngine::seeded(43).apply(&input));
     }
 
     #[test]

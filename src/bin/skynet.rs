@@ -6,11 +6,18 @@
 //!
 //! ```text
 //! skynet analyze --topology topo.json --alerts flood.jsonl [--horizon-mins 60]
+//!                [--chaos-seed N]   # degrade the feed first, replayably
 //! skynet gen-topology [--scale small|medium|large] > topo.json
-//! skynet demo          # generate, break, analyze — end to end
+//! skynet demo [--chaos-seed N] [--fault-seed N]   # generate, break, analyze
 //! ```
+//!
+//! `--chaos-seed` degrades the *input feed* (tool dropout, duplicate
+//! storms, corruption) through the telemetry chaos engine; `--fault-seed`
+//! injects faults into the *pipeline stages themselves* and prints the
+//! post-incident degradation report. Both are deterministic: the same seed
+//! replays the same run byte-for-byte.
 
-use skynet::core::{PipelineConfig, SkyNet};
+use skynet::core::{FaultAction, FaultConfig, FaultRule, InjectionSite, PipelineConfig, SkyNet};
 use skynet::model::{PingLog, RawAlert, SimDuration, SimTime};
 use skynet::topology::{generate, GeneratorConfig, Topology};
 use std::io::{BufRead, BufReader, Write};
@@ -18,7 +25,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo"
+        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N] [--chaos-seed N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo [--chaos-seed N] [--fault-seed N]"
     );
     std::process::exit(2);
 }
@@ -28,7 +35,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("gen-topology") => gen_topology(&args[1..]),
-        Some("demo") => demo(),
+        Some("demo") => demo(&args[1..]),
         _ => usage(),
     }
 }
@@ -38,6 +45,50 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn seed_flag(args: &[String], name: &str) -> Option<u64> {
+    flag(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name} takes a u64 seed"))
+    })
+}
+
+/// Degrades a recorded feed through the telemetry chaos engine with an
+/// explicit seed, reporting what was mutated.
+fn apply_chaos(alerts: Vec<RawAlert>, seed: u64) -> Vec<RawAlert> {
+    use skynet::telemetry::ChaosEngine;
+    let mut engine = ChaosEngine::seeded(seed);
+    let degraded = engine.apply(&alerts);
+    eprintln!(
+        "chaos (seed {seed}): {} -> {} alerts, {:?}",
+        alerts.len(),
+        degraded.len(),
+        engine.stats()
+    );
+    degraded
+}
+
+/// The demo's stage-fault mix: a periodic locate-worker panic (exercises
+/// the supervisor), a low-probability guard error (exercises the
+/// dead-letter queue) and a one-shot SOP skip.
+fn demo_faults(seed: u64) -> FaultConfig {
+    FaultConfig::seeded(seed)
+        .with_rule(FaultRule::every(
+            InjectionSite::LocateWorker,
+            40,
+            FaultAction::Panic,
+        ))
+        .with_rule(FaultRule::probability(
+            InjectionSite::GuardOffer,
+            0.02,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::once(
+            InjectionSite::SopSelect,
+            1,
+            FaultAction::Error,
+        ))
 }
 
 fn scale_config(scale: Option<&str>) -> GeneratorConfig {
@@ -92,6 +143,9 @@ fn analyze(args: &[String]) {
         alerts.len(),
         topo.summary()
     );
+    if let Some(seed) = seed_flag(args, "--chaos-seed") {
+        alerts = apply_chaos(alerts, seed);
+    }
 
     let skynet = SkyNet::builder(&topo)
         .config(PipelineConfig::production())
@@ -101,7 +155,9 @@ fn analyze(args: &[String]) {
 }
 
 /// End-to-end demo: generate a network, break a router, print the report.
-fn demo() {
+/// `--chaos-seed` degrades the feed first; `--fault-seed` injects stage
+/// faults and prints the degradation report after the incident report.
+fn demo(args: &[String]) {
     use skynet::failure::Injector;
     use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
 
@@ -117,9 +173,19 @@ fn demo() {
     let scenario = injector.finish(SimTime::from_mins(20));
     let run = TelemetrySuite::standard(&topo, TelemetryConfig::default()).run(&scenario);
     eprintln!("demo: {} raw alerts", run.alerts.len());
-    let skynet = SkyNet::builder(&topo)
-        .config(PipelineConfig::production())
-        .build();
-    let report = skynet.analyze(&run.alerts, &run.ping, SimTime::from_mins(40));
+    let mut alerts = run.alerts;
+    if let Some(seed) = seed_flag(args, "--chaos-seed") {
+        alerts = apply_chaos(alerts, seed);
+    }
+    let fault_seed = seed_flag(args, "--fault-seed");
+    let mut cfg = PipelineConfig::production();
+    if let Some(seed) = fault_seed {
+        cfg = cfg.with_faults(demo_faults(seed));
+    }
+    let skynet = SkyNet::builder(&topo).config(cfg).build();
+    let report = skynet.analyze(&alerts, &run.ping, SimTime::from_mins(40));
     println!("{}", report.render());
+    if fault_seed.is_some() {
+        println!("{}", skynet.degradation_report(&report).render());
+    }
 }
