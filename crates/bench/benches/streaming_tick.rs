@@ -1,0 +1,55 @@
+//! Streaming tick hot path: incremental maintenance (expiry wheel +
+//! delta-maintained region counts) vs the full-rescan oracle.
+//!
+//! The streaming runtime calls `advance` after every event, so per-tick
+//! cost is what bounds sustainable alert rate. Both modes produce
+//! byte-identical reports (see the `locator_incremental` differential
+//! suite); this bench isolates what the delta refactor buys. Record the
+//! ratio in `EXPERIMENTS.md` when it changes materially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::experiments::fig8c;
+use skynet_core::locator::{Locator, LocatorConfig, MaintenanceMode};
+use skynet_model::{SimDuration, StructuredAlert};
+use skynet_topology::Topology;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Replays the flood the way the streaming worker sees it: one `advance`
+/// per inserted alert, a finalizing sweep at the end.
+fn run_stream(topo: &Arc<Topology>, cfg: LocatorConfig, alerts: &[StructuredAlert]) -> usize {
+    let mut locator = Locator::new(topo, cfg);
+    let mut horizon = skynet_model::SimTime::ZERO;
+    for alert in alerts {
+        locator.insert(alert);
+        locator.advance(alert.last_seen);
+        horizon = horizon.max(alert.last_seen);
+    }
+    locator.advance(horizon + SimDuration::from_mins(20));
+    locator.finish();
+    locator.take_completed().len()
+}
+
+fn bench(c: &mut Criterion) {
+    let (topo, flood) = fig8c::build_flood(8_000);
+    let mut group = c.benchmark_group("streaming_tick");
+    for &n in &[2_000usize, 8_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            let cfg = LocatorConfig::default().with_maintenance(MaintenanceMode::Incremental);
+            b.iter(|| black_box(run_stream(&topo, cfg.clone(), &flood[..n])));
+        });
+        group.bench_with_input(BenchmarkId::new("rescan", n), &n, |b, &n| {
+            let cfg = LocatorConfig::default().with_maintenance(MaintenanceMode::Rescan);
+            b.iter(|| black_box(run_stream(&topo, cfg.clone(), &flood[..n])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Regenerates the paper's tables and figures from the simulation.
 //!
 //! ```text
-//! paper_report [--scale small|paper] [experiment ...]
+//! paper_report [--scale small|paper] [--devices N] [experiment ...]
 //! ```
 //!
 //! With no experiment names, everything runs. Shared corpora are prepared
-//! once and reused across the experiments that need them.
+//! once and reused across the experiments that need them. `--devices N`
+//! regenerates the corpus (and the Fig. 8c flood) on a topology of
+//! approximately `N` devices, lifting the presets toward the paper's
+//! O(10^5) production network.
 
 use skynet_bench::experiments::{
     self, ablations, fig1, fig10, fig3, fig5d, fig7, fig8a, fig8b, fig8c, fig9, sec62, tables,
@@ -31,6 +34,7 @@ const ALL: &[&str] = &[
 
 fn main() {
     let mut scale = ExperimentScale::Small;
+    let mut devices: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,8 +46,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--devices" => {
+                let v = args.next().unwrap_or_default();
+                devices = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad device count {v:?}; use a positive integer");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: paper_report [--scale small|paper] [experiment ...]");
+                eprintln!(
+                    "usage: paper_report [--scale small|paper] [--devices N] [experiment ...]"
+                );
                 eprintln!("experiments: {}", ALL.join(" "));
                 return;
             }
@@ -71,8 +84,11 @@ fn main() {
         )
     });
     let prepared = needs_corpus.then(|| {
-        eprintln!("preparing shared corpus ({scale:?}) ...");
-        experiments::prepare(scale)
+        match devices {
+            Some(n) => eprintln!("preparing shared corpus ({scale:?}, ~{n} devices) ..."),
+            None => eprintln!("preparing shared corpus ({scale:?}) ..."),
+        }
+        experiments::prepare_sized(scale, devices)
     });
 
     for name in &wanted {
@@ -86,7 +102,7 @@ fn main() {
             "fig7" => fig7::run(scale).render(),
             "fig8a" => fig8a::run_on(prepared.as_ref().expect("prepared")).render(),
             "fig8b" => fig8b::run_on(prepared.as_ref().expect("prepared"), scale).render(),
-            "fig8c" => fig8c::run(scale).render(),
+            "fig8c" => fig8c::run_with_devices(scale, devices).render(),
             "fig9" => fig9::run_on(prepared.as_ref().expect("prepared")).render(),
             "fig10" => fig10::run_on(prepared.as_ref().expect("prepared")).render(),
             "sec62" => sec62::run(scale).render(),

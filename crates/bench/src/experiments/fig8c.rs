@@ -38,7 +38,17 @@ pub struct Fig8cResult {
 /// Builds a large structured-alert flood by replaying a severe failure
 /// with heavy noise and cycling it to reach `target` alerts.
 pub fn build_flood(target: usize) -> (Arc<Topology>, Vec<StructuredAlert>) {
-    let scenario = severe_cable_cut(GeneratorConfig::small(), 77);
+    build_flood_on(GeneratorConfig::small(), target)
+}
+
+/// [`build_flood`] on an explicit topology scale — the `--devices N`
+/// knob routes here so the sweep can run toward the paper's O(10^5)
+/// network instead of the default test-sized one.
+pub fn build_flood_on(
+    topology: GeneratorConfig,
+    target: usize,
+) -> (Arc<Topology>, Vec<StructuredAlert>) {
+    let scenario = severe_cable_cut(topology, 77);
     let cfg = TelemetryConfig {
         noise_per_hour: 50_000.0,
         ..TelemetryConfig::default()
@@ -85,11 +95,18 @@ pub fn time_locating(topo: &Arc<Topology>, alerts: &[StructuredAlert]) -> (f64, 
 
 /// Runs the sweep.
 pub fn run(scale: ExperimentScale) -> Fig8cResult {
+    run_with_devices(scale, None)
+}
+
+/// Runs the sweep on a flood replayed over a `devices`-sized topology
+/// (`None` keeps the default test-sized network).
+pub fn run_with_devices(scale: ExperimentScale, devices: Option<usize>) -> Fig8cResult {
     let sizes: &[usize] = match scale {
         ExperimentScale::Small => &[1_000, 4_000, 8_000],
         ExperimentScale::Paper => &[5_000, 10_000, 20_000, 40_000],
     };
-    let (topo, flood) = build_flood(*sizes.last().expect("sizes non-empty"));
+    let topology = devices.map_or_else(GeneratorConfig::small, GeneratorConfig::sized);
+    let (topo, flood) = build_flood_on(topology, *sizes.last().expect("sizes non-empty"));
     let points = sizes
         .iter()
         .map(|&n| {

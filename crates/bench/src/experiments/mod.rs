@@ -35,10 +35,21 @@ pub struct PreparedCorpus {
 
 /// Builds and simulates the accuracy corpus for a scale.
 pub fn prepare(scale: ExperimentScale) -> PreparedCorpus {
-    let cfg = match scale {
+    prepare_sized(scale, None)
+}
+
+/// [`prepare`] with the corpus topology regenerated at approximately
+/// `devices` total devices (`None` keeps the scale's preset). This is
+/// the `paper_report --devices N` knob: the paper's network is O(10^5)
+/// devices, while the presets stay laptop-sized.
+pub fn prepare_sized(scale: ExperimentScale, devices: Option<usize>) -> PreparedCorpus {
+    let mut cfg = match scale {
         ExperimentScale::Small => CorpusConfig::small(),
         ExperimentScale::Paper => CorpusConfig::paper(),
     };
+    if let Some(n) = devices {
+        cfg.topology = skynet_topology::GeneratorConfig::sized(n);
+    }
     let telemetry = cfg.telemetry();
     prepare_with(&cfg, &telemetry)
 }

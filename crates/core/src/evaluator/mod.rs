@@ -11,7 +11,7 @@ use crate::faultinject::{self, FaultArm};
 use crate::locator::Incident;
 use crate::par::parallel_map;
 use serde::{Deserialize, Serialize};
-use skynet_model::{AlertKind, CustomerId, LocId, PingLog, TraceId};
+use skynet_model::{AlertKind, CustomerId, LocId, LocationLevel, PingLog, SimTime, TraceId};
 use skynet_topology::Topology;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -330,6 +330,30 @@ impl Evaluator {
         self.scored_with(incident, Some(zoom))
     }
 
+    /// [`Evaluator::evaluate`] through a caller-held [`MatrixMemo`] — the
+    /// streaming drain shape: incidents completed by consecutive checks
+    /// mostly share (or slide forward) their matrix windows, so the memo's
+    /// per-level sliding accumulator replaces the per-incident `PingLog`
+    /// rescan with an O(delta) window slide over the worker's growing log.
+    /// Byte-identical results to [`Evaluator::evaluate`].
+    pub fn evaluate_memoized(
+        &self,
+        incident: Incident,
+        ping: &PingLog,
+        memo: &mut MatrixMemo,
+    ) -> ScoredIncident {
+        let (matrix_degraded, zoom_degraded) = self.check_faults(&incident);
+        if zoom_degraded {
+            return self.scored_with(incident, None);
+        }
+        if matrix_degraded {
+            return self.evaluate_with(incident, &ReachabilityMatrix::empty());
+        }
+        let (from, to, level) = zoom::matrix_window(&incident);
+        let matrix = memo.get_or_build(ping, from, to, level);
+        self.evaluate_with(incident, &matrix)
+    }
+
     /// [`Evaluator::evaluate`] with a prebuilt reachability matrix for the
     /// incident's [`zoom::matrix_window`].
     fn evaluate_with(&self, incident: Incident, matrix: &ReachabilityMatrix) -> ScoredIncident {
@@ -379,25 +403,52 @@ impl Evaluator {
         incidents: Vec<Incident>,
         ping: &PingLog,
     ) -> (Vec<ScoredIncident>, MatrixMemoStats) {
-        // Sequential prebuild keeps the memo free of locks — and keeps the
-        // fault-injection decision streams deterministic: site checks
-        // happen here, in incident order, never inside the parallel stage.
-        let mut memo = MatrixMemo::new();
-        let empty = Arc::new(ReachabilityMatrix::empty());
-        let jobs: Vec<(Incident, Arc<ReachabilityMatrix>, bool)> = incidents
+        type Key = (SimTime, SimTime, LocationLevel);
+        // Phase 1 — sequential: fault-site checks stay in incident order
+        // (the injection decision streams must never depend on worker
+        // count), and the distinct (window, level) keys are collected in
+        // first-use order.
+        let mut keys: Vec<Key> = Vec::new();
+        let mut seen: HashSet<Key> = HashSet::new();
+        let checked: Vec<(Incident, Option<Key>, bool)> = incidents
             .into_iter()
             .map(|incident| {
                 let (matrix_degraded, zoom_degraded) = self.check_faults(&incident);
-                let matrix = if zoom_degraded || matrix_degraded {
-                    Arc::clone(&empty)
-                } else {
-                    let (from, to, level) = zoom::matrix_window(&incident);
-                    memo.get_or_build(ping, from, to, level)
+                let key =
+                    (!matrix_degraded && !zoom_degraded).then(|| zoom::matrix_window(&incident));
+                if let Some(k) = key {
+                    if seen.insert(k) {
+                        keys.push(k);
+                    }
+                }
+                (incident, key, zoom_degraded)
+            })
+            .collect();
+        // Phase 2 — parallel: build each distinct matrix exactly once,
+        // fanned out over the same scoped-thread pool the scoring uses.
+        // The memo itself stays lock-free: workers never touch it.
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let built = parallel_map(keys.clone(), workers, |(from, to, level)| {
+            Arc::new(ReachabilityMatrix::build(ping, from, to, level))
+        });
+        let mut memo = MatrixMemo::new();
+        let log_len = ping.samples().len();
+        for (key, matrix) in keys.into_iter().zip(built) {
+            memo.preload(key, matrix, log_len);
+        }
+        // Phase 3 — sequential claims reproduce the sequential prebuild's
+        // builds/hits accounting exactly, then scoring fans out.
+        let empty = Arc::new(ReachabilityMatrix::empty());
+        let jobs: Vec<(Incident, Arc<ReachabilityMatrix>, bool)> = checked
+            .into_iter()
+            .map(|(incident, key, zoom_degraded)| {
+                let matrix = match key {
+                    Some(k) => memo.claim(k),
+                    None => Arc::clone(&empty),
                 };
                 (incident, matrix, zoom_degraded)
             })
             .collect();
-        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut scored = parallel_map(jobs, workers, |(incident, matrix, zoom_degraded)| {
             if zoom_degraded {
                 self.scored_with(incident, None)

@@ -13,11 +13,13 @@
 //! general location of the incident".
 
 use crate::locator::Incident;
+use crate::obs::{Counter, Observability};
 use serde::{Deserialize, Serialize};
 use skynet_model::PingLog;
-use skynet_model::{AlertKind, LocId, LocationInterner, LocationLevel, LocationPath, SimTime};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use skynet_model::{
+    AlertKind, LocId, LocationInterner, LocationLevel, LocationPath, PingSample, SimTime,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// A dense src × dst loss matrix at one location granularity.
@@ -101,7 +103,67 @@ impl ReachabilityMatrix {
     /// Focal points: labels whose row *and* column means both dominate the
     /// overall mean by `factor` (and exceed `min_loss` absolutely). Fig. 7:
     /// the dark row+column pinpoints the incident.
+    ///
+    /// Loss matrices are sparse (a healthy pair never logs a sample, so
+    /// most cells are exactly `0.0`), so the means are accumulated from
+    /// packed `u64` presence rows — one bit per nonzero cell — iterating
+    /// set bits in ascending order. Since the zero cells contribute exactly
+    /// `+0.0` to a left-to-right fold, the sums (and therefore the focal
+    /// verdicts) are bit-identical to the dense scan, which survives as
+    /// [`ReachabilityMatrix::focal_points_dense`], the differential oracle.
     pub fn focal_points(&self, factor: f64, min_loss: f64) -> Vec<LocationPath> {
+        let n = self.labels.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        // Pack the off-diagonal nonzero cells of each row into bit words.
+        let words = n.div_ceil(64);
+        let mut rows: Vec<u64> = vec![0; n * words];
+        for i in 0..n {
+            let row = &self.data[i];
+            let bits = &mut rows[i * words..(i + 1) * words];
+            for (j, &cell) in row.iter().enumerate() {
+                if j != i && cell != 0.0 {
+                    bits[j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+        // One pass over set bits accumulates row sums (ascending j within
+        // each row), column sums (ascending i per column) and the overall
+        // sum (lexicographic (i, j)) — the dense fold orders exactly.
+        let mut row_sums = vec![0.0f64; n];
+        let mut col_sums = vec![0.0f64; n];
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let bits = &rows[i * words..(i + 1) * words];
+            for (w, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let j = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let cell = self.data[i][j];
+                    row_sums[i] += cell;
+                    col_sums[j] += cell;
+                    total += cell;
+                }
+            }
+        }
+        let overall = total / (n * (n - 1)) as f64;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let r = row_sums[i] / (n - 1) as f64;
+            let c = col_sums[i] / (n - 1) as f64;
+            if r >= min_loss && c >= min_loss && r >= overall * factor && c >= overall * factor {
+                out.push(self.labels[i].clone());
+            }
+        }
+        out
+    }
+
+    /// The original dense focal-point scan — kept as the differential
+    /// oracle for the bitset path. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn focal_points_dense(&self, factor: f64, min_loss: f64) -> Vec<LocationPath> {
         let n = self.labels.len();
         if n <= 1 {
             return Vec::new();
@@ -153,10 +215,17 @@ impl ReachabilityMatrix {
 /// the per-incident `PingLog` rescan is actually gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MatrixMemoStats {
-    /// Matrices built from a `PingLog` window scan.
+    /// Matrices built for a cache miss (delta updates and full scans).
     pub builds: u64,
     /// Lookups served from an already-built matrix.
     pub hits: u64,
+    /// Of the builds, how many were incremental slides of an existing
+    /// window accumulator rather than full `PingLog` scans.
+    #[serde(default)]
+    pub delta_updates: u64,
+    /// Of the builds, how many were full `PingLog` window scans.
+    #[serde(default)]
+    pub rebuilds: u64,
 }
 
 impl MatrixMemoStats {
@@ -172,17 +241,197 @@ impl MatrixMemoStats {
     }
 }
 
+/// One cell of a [`SlidingMatrix`]: the window's sample indexes for a
+/// truncated (src, dst) pair, plus their cached loss sum.
+#[derive(Debug, Default)]
+struct SlidingCell {
+    /// Log indexes of the cell's in-window samples, ascending.
+    idxs: VecDeque<usize>,
+    /// Cached sum of the samples' losses (valid when `!dirty`).
+    sum: f64,
+    /// Set when `idxs` changed since `sum` was folded.
+    dirty: bool,
+}
+
+/// A per-level reachability-matrix accumulator over a sliding time window.
+///
+/// The streaming runtime asks for matrices over windows that mostly move
+/// forward (incidents complete in time order). Instead of rescanning the
+/// whole [`PingLog`] per window, this keeps the current window's samples
+/// bucketed per truncated (src, dst) cell; a forward slide pops expired
+/// front indexes and appends the new tail — O(samples entering + leaving).
+///
+/// Snapshots are **bit-identical** to [`ReachabilityMatrix::build`]: dirty
+/// cells re-fold their sums over ascending log indexes (build's exact scan
+/// order), labels sort by path string (build's exact label order), and the
+/// mean divides the same operands. Non-forward windows and logs without the
+/// time-ordered watermark fall back to a full scan.
+#[derive(Debug)]
+struct SlidingMatrix {
+    level: LocationLevel,
+    /// Persistent endpoint interner (ids are stable across slides; labels
+    /// are materialized per snapshot, ordered by path string).
+    interner: LocationInterner,
+    cells: HashMap<(LocId, LocId), SlidingCell>,
+    from: SimTime,
+    to: SimTime,
+    /// Log index range [lo, hi) currently folded into `cells`.
+    lo: usize,
+    hi: usize,
+    /// Timestamp of sample `hi - 1` when the window was last folded — a
+    /// cheap guard against the log prefix shifting under us (e.g. via a
+    /// re-sorting merge); a mismatch forces a full rebuild.
+    edge_t: Option<SimTime>,
+    /// [`PingLog::mutation_epoch`] when the window was last folded. A
+    /// re-sorting merge can reorder samples *between* equal boundary
+    /// timestamps, which `edge_t` alone cannot see; an epoch change
+    /// forces a full rebuild.
+    log_epoch: u64,
+    initialized: bool,
+}
+
+impl SlidingMatrix {
+    fn new(level: LocationLevel) -> Self {
+        SlidingMatrix {
+            level,
+            interner: LocationInterner::new(),
+            cells: HashMap::new(),
+            from: SimTime::ZERO,
+            to: SimTime::ZERO,
+            lo: 0,
+            hi: 0,
+            edge_t: None,
+            log_epoch: 0,
+            initialized: false,
+        }
+    }
+
+    /// Produces the matrix for `[from, to)`, sliding incrementally when the
+    /// window moved forward over an append-only time-ordered log. Returns
+    /// `(matrix, used_delta)`.
+    fn advance(&mut self, log: &PingLog, from: SimTime, to: SimTime) -> (ReachabilityMatrix, bool) {
+        if !log.is_time_ordered() {
+            // No binary-searchable structure; positional bookkeeping may no
+            // longer describe this log either.
+            self.cells.clear();
+            self.initialized = false;
+            return (ReachabilityMatrix::build(log, from, to, self.level), false);
+        }
+        let samples = log.samples();
+        let lo = samples.partition_point(|s| s.t < from);
+        let hi = samples.partition_point(|s| s.t < to);
+        let prefix_intact = samples.len() >= self.hi
+            && log.mutation_epoch() == self.log_epoch
+            && (self.hi == 0 || Some(samples[self.hi - 1].t) == self.edge_t);
+        let forward = self.initialized && from >= self.from && to >= self.to && prefix_intact;
+        let delta = if forward {
+            // Samples leaving at the front (only those actually folded).
+            for idx in self.lo..lo.min(self.hi) {
+                self.remove_sample(&samples[idx], idx);
+            }
+            // Samples entering at the tail.
+            for idx in self.hi.max(lo)..hi {
+                self.add_sample(&samples[idx], idx);
+            }
+            true
+        } else {
+            self.cells.clear();
+            for idx in lo..hi {
+                self.add_sample(&samples[idx], idx);
+            }
+            false
+        };
+        self.from = from;
+        self.to = to;
+        self.lo = lo;
+        self.hi = hi;
+        self.edge_t = hi.checked_sub(1).map(|i| samples[i].t);
+        self.log_epoch = log.mutation_epoch();
+        self.initialized = true;
+        (self.snapshot(samples), delta)
+    }
+
+    fn cell_key(&mut self, s: &PingSample) -> (LocId, LocId) {
+        let src = self.interner.intern(&s.src);
+        let src = self.interner.truncate_at(src, self.level);
+        let dst = self.interner.intern(&s.dst);
+        let dst = self.interner.truncate_at(dst, self.level);
+        (src, dst)
+    }
+
+    fn add_sample(&mut self, s: &PingSample, idx: usize) {
+        let key = self.cell_key(s);
+        let cell = self.cells.entry(key).or_default();
+        cell.idxs.push_back(idx);
+        cell.dirty = true;
+    }
+
+    fn remove_sample(&mut self, s: &PingSample, idx: usize) {
+        let key = self.cell_key(s);
+        let cell = self.cells.get_mut(&key).expect("removing a folded sample");
+        let front = cell.idxs.pop_front();
+        debug_assert_eq!(front, Some(idx), "window slides evict in index order");
+        cell.dirty = true;
+        if cell.idxs.is_empty() {
+            self.cells.remove(&key);
+        }
+    }
+
+    fn snapshot(&mut self, samples: &[PingSample]) -> ReachabilityMatrix {
+        // Re-fold dirty cells over ascending indexes — the same operand
+        // sequence as build()'s single scan, so sums are bit-identical.
+        for cell in self.cells.values_mut() {
+            if cell.dirty {
+                cell.sum = cell.idxs.iter().map(|&i| samples[i].loss).sum();
+                cell.dirty = false;
+            }
+        }
+        let mut ids: Vec<LocId> = self
+            .cells
+            .keys()
+            .flat_map(|&(src, dst)| [src, dst])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.sort_by_cached_key(|&id| self.interner.path(id).to_string());
+        let index: HashMap<LocId, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let n = ids.len();
+        let mut data = vec![vec![0.0; n]; n];
+        for (&(src, dst), cell) in &self.cells {
+            data[index[&src]][index[&dst]] = cell.sum / f64::from(cell.idxs.len() as u32);
+        }
+        let labels = ids
+            .iter()
+            .map(|&id| self.interner.path(id).clone())
+            .collect();
+        ReachabilityMatrix { labels, data }
+    }
+}
+
 /// Memo of reachability matrices keyed by `(window, level)`.
 ///
 /// Incidents born of one flood overwhelmingly share their evaluation
 /// windows (a grid check completes siblings with identical time bounds),
-/// so the batch evaluator builds each distinct matrix **once** and shares
-/// it across incidents behind an [`Arc`] instead of rescanning the
+/// so the evaluator builds each distinct matrix **once** and shares it
+/// across incidents behind an [`Arc`] instead of rescanning the
 /// [`PingLog`] per incident.
+///
+/// Cache entries remember the log length they were built at: a streaming
+/// worker's log grows between drains, so a same-window lookup over a grown
+/// log is a *miss* (the cached matrix may be missing fresh samples) and
+/// rebuilds via the per-level [`SlidingMatrix`] — usually an O(delta)
+/// slide rather than a full scan.
 #[derive(Debug, Default)]
 pub struct MatrixMemo {
-    map: HashMap<(SimTime, SimTime, LocationLevel), Arc<ReachabilityMatrix>>,
+    map: HashMap<(SimTime, SimTime, LocationLevel), (Arc<ReachabilityMatrix>, usize)>,
+    sliders: HashMap<LocationLevel, SlidingMatrix>,
+    /// Keys preloaded by the batch evaluator's parallel prebuild that have
+    /// not yet been claimed by an incident (claim accounting keeps the
+    /// builds/hits stats identical to the sequential prebuild).
+    preloaded: HashSet<(SimTime, SimTime, LocationLevel)>,
     stats: MatrixMemoStats,
+    delta_counter: Option<Counter>,
+    rebuild_counter: Option<Counter>,
 }
 
 impl MatrixMemo {
@@ -191,8 +440,23 @@ impl MatrixMemo {
         MatrixMemo::default()
     }
 
+    /// Wires the memo's delta-update/rebuild counters into an
+    /// observability registry.
+    pub fn with_observability(mut self, obs: &Observability) -> Self {
+        self.delta_counter = Some(obs.registry().counter(
+            "skynet_matrix_delta_updates_total",
+            "Reachability matrices produced by sliding-window delta updates",
+        ));
+        self.rebuild_counter = Some(obs.registry().counter(
+            "skynet_matrix_rebuilds_total",
+            "Reachability matrices produced by full ping-log window scans",
+        ));
+        self
+    }
+
     /// The matrix for `[from, to)` at `level`, building (and caching) it on
-    /// first request.
+    /// first request — and re-building if the log has grown since the
+    /// cached entry was folded.
     pub fn get_or_build(
         &mut self,
         log: &PingLog,
@@ -200,16 +464,68 @@ impl MatrixMemo {
         to: SimTime,
         level: LocationLevel,
     ) -> Arc<ReachabilityMatrix> {
-        match self.map.entry((from, to, level)) {
-            Entry::Occupied(e) => {
+        let log_len = log.samples().len();
+        if let Some((matrix, cached_len)) = self.map.get(&(from, to, level)) {
+            if *cached_len == log_len {
                 self.stats.hits += 1;
-                Arc::clone(e.get())
-            }
-            Entry::Vacant(v) => {
-                self.stats.builds += 1;
-                Arc::clone(v.insert(Arc::new(ReachabilityMatrix::build(log, from, to, level))))
+                return Arc::clone(matrix);
             }
         }
+        self.stats.builds += 1;
+        let slider = self
+            .sliders
+            .entry(level)
+            .or_insert_with(|| SlidingMatrix::new(level));
+        let (matrix, delta) = slider.advance(log, from, to);
+        if delta {
+            self.stats.delta_updates += 1;
+            if let Some(c) = &self.delta_counter {
+                c.inc();
+            }
+        } else {
+            self.stats.rebuilds += 1;
+            if let Some(c) = &self.rebuild_counter {
+                c.inc();
+            }
+        }
+        let matrix = Arc::new(matrix);
+        self.map
+            .insert((from, to, level), (Arc::clone(&matrix), log_len));
+        matrix
+    }
+
+    /// Installs a matrix built elsewhere (the batch evaluator's parallel
+    /// prebuild) without touching the stats; the first [`MatrixMemo::claim`]
+    /// of the key then counts as its build.
+    pub(crate) fn preload(
+        &mut self,
+        key: (SimTime, SimTime, LocationLevel),
+        matrix: Arc<ReachabilityMatrix>,
+        log_len: usize,
+    ) {
+        self.map.insert(key, (matrix, log_len));
+        self.preloaded.insert(key);
+    }
+
+    /// Fetches a preloaded matrix, counting the first claim of each key as
+    /// a (full-scan) build and every further claim as a hit — exactly the
+    /// accounting a sequential build loop would produce.
+    pub(crate) fn claim(
+        &mut self,
+        key: (SimTime, SimTime, LocationLevel),
+    ) -> Arc<ReachabilityMatrix> {
+        let (matrix, _) = self.map.get(&key).expect("claimed key was preloaded");
+        let matrix = Arc::clone(matrix);
+        if self.preloaded.remove(&key) {
+            self.stats.builds += 1;
+            self.stats.rebuilds += 1;
+            if let Some(c) = &self.rebuild_counter {
+                c.inc();
+            }
+        } else {
+            self.stats.hits += 1;
+        }
+        matrix
     }
 
     /// Counters so far.
@@ -492,6 +808,113 @@ mod tests {
             zoom_with(&incident, &matrix, 1.5, 0.01),
             zoom(&incident, &log, 1.5, 0.01)
         );
+    }
+
+    #[test]
+    fn bitset_focal_points_match_dense_oracle() {
+        // Figure 7's sparse matrix plus a denser synthetic one.
+        let mut lossy = figure7_log();
+        for (i, a) in ["K-o", "K-i", "K-iii"].iter().enumerate() {
+            for b in ["K-iv", "K-ii"] {
+                lossy.record(
+                    SimTime::from_secs(20 + i as u64),
+                    cluster(a),
+                    cluster(b),
+                    0.01 + i as f64 * 0.03,
+                );
+            }
+        }
+        for log in [figure7_log(), lossy, PingLog::new()] {
+            let m = ReachabilityMatrix::build(
+                &log,
+                SimTime::ZERO,
+                SimTime::from_secs(100),
+                LocationLevel::Cluster,
+            );
+            for (factor, min_loss) in [(1.5, 0.01), (1.0, 0.0), (0.5, 0.001)] {
+                assert_eq!(
+                    m.focal_points(factor, min_loss),
+                    m.focal_points_dense(factor, min_loss),
+                    "factor {factor}, min_loss {min_loss}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_matrix_matches_build_across_forward_slides() {
+        let mut log = PingLog::new();
+        let names = ["K-o", "K-i", "K-ii", "K-iii"];
+        for t in 0..200u64 {
+            let a = names[(t % 4) as usize];
+            let b = names[((t / 4) % 4) as usize];
+            if a != b {
+                log.record(
+                    SimTime::from_secs(t),
+                    cluster(a),
+                    cluster(b),
+                    0.02 + (t % 7) as f64 * 0.01,
+                );
+            }
+        }
+        let mut slider = SlidingMatrix::new(LocationLevel::Cluster);
+        let windows = [
+            (0u64, 50u64),
+            (10, 60),  // forward slide
+            (10, 90),  // grow right edge only
+            (40, 90),  // advance left edge only
+            (80, 120), // disjoint forward jump
+            (30, 100), // non-forward: left edge moved back => full rebuild
+            (30, 100), // identical window, delta with zero ops
+        ];
+        for (i, (from, to)) in windows.into_iter().enumerate() {
+            let (from, to) = (SimTime::from_secs(from), SimTime::from_secs(to));
+            let (slid, delta) = slider.advance(&log, from, to);
+            let built = ReachabilityMatrix::build(&log, from, to, LocationLevel::Cluster);
+            assert_eq!(slid, built, "window {i}");
+            assert_eq!(delta, ![0, 5].contains(&i), "window {i} slide mode");
+        }
+    }
+
+    #[test]
+    fn sliding_matrix_rescans_unsorted_logs() {
+        let mut log = PingLog::new();
+        log.record(SimTime::from_secs(50), cluster("K-o"), cluster("K-i"), 0.2);
+        log.record(SimTime::from_secs(10), cluster("K-i"), cluster("K-o"), 0.1);
+        assert!(!log.is_time_ordered());
+        let mut slider = SlidingMatrix::new(LocationLevel::Cluster);
+        let (from, to) = (SimTime::ZERO, SimTime::from_secs(100));
+        let (slid, delta) = slider.advance(&log, from, to);
+        assert!(!delta, "unsorted logs cannot slide");
+        assert_eq!(
+            slid,
+            ReachabilityMatrix::build(&log, from, to, LocationLevel::Cluster)
+        );
+    }
+
+    #[test]
+    fn memo_rebuilds_when_the_log_grows_inside_a_cached_window() {
+        let mut log = figure7_log();
+        let mut memo = MatrixMemo::new();
+        let (from, to) = (SimTime::ZERO, SimTime::from_secs(100));
+        let a = memo.get_or_build(&log, from, to, LocationLevel::Cluster);
+        // The log grows *inside* the cached window — the streaming shape:
+        // pings keep arriving between drains.
+        log.record(SimTime::from_secs(60), cluster("K-o"), cluster("K-i"), 0.5);
+        let b = memo.get_or_build(&log, from, to, LocationLevel::Cluster);
+        assert!(!Arc::ptr_eq(&a, &b), "a grown log must not hit the cache");
+        assert_eq!(
+            *b,
+            ReachabilityMatrix::build(&log, from, to, LocationLevel::Cluster)
+        );
+        let stats = memo.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.builds, stats.delta_updates + stats.rebuilds);
+        // Unchanged log, same window: a genuine hit.
+        let c = memo.get_or_build(&log, from, to, LocationLevel::Cluster);
+        assert!(Arc::ptr_eq(&b, &c));
+        assert_eq!(memo.stats().hits, 1);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use faultinject::{
     InjectionSite,
 };
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
-pub use locator::{CountingMode, Incident, Locator, LocatorConfig, Thresholds};
+pub use locator::{CountingMode, Incident, Locator, LocatorConfig, MaintenanceMode, Thresholds};
 pub use obs::{ObsConfig, Observability};
 pub use pipeline::{
     spawn_streaming, AnalysisReport, HealthReport, IngestSnapshot, PipelineConfig, SkyNet,

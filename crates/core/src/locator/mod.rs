@@ -35,13 +35,14 @@ pub use incident::Incident;
 pub use reference::PathLocator;
 pub use thresholds::Thresholds;
 
+use crate::obs::{Counter, Observability};
 use serde::{Deserialize, Serialize};
 use skynet_model::{
     AlertClass, AlertType, IncidentId, LocId, LocationInterner, LocationLevel, LocationPath,
     SimDuration, SimTime, StructuredAlert,
 };
 use skynet_topology::Topology;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// How alerts under a node are counted against the thresholds.
@@ -54,6 +55,23 @@ pub enum CountingMode {
     /// Alerts of the same type at different locations count separately —
     /// Fig. 9's `type+location` baseline (false positives jump to ~70%).
     TypeAndLocation,
+}
+
+/// How Algorithm 3 maintains the main tree between checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MaintenanceMode {
+    /// Delta-per-event: alert expiry runs off an expiry wheel (O(evictions)
+    /// per tick instead of O(active)), per-region alert counts are
+    /// maintained incrementally on insert/expiry, component grouping uses
+    /// linear ancestor/sibling/adjacency probes, and incident generation is
+    /// skipped entirely on ticks where nothing structural changed. Produces
+    /// byte-identical incidents to [`MaintenanceMode::Rescan`].
+    #[default]
+    Incremental,
+    /// Rebuild-per-tick: the original full `retain` scans and pairwise
+    /// connectivity checks. Kept as the differential oracle (and the
+    /// benchmark baseline) for the incremental path.
+    Rescan,
 }
 
 /// Locator knobs. Defaults are the paper's production values.
@@ -84,6 +102,11 @@ pub struct LocatorConfig {
     /// cannot flatten the incident to the network root. `1.0` reduces to
     /// the plain deepest-common-ancestor (an ablation knob).
     pub root_quorum: f64,
+    /// Main-tree maintenance strategy (incremental in production; the
+    /// rescan oracle is a differential-testing knob). `serde(default)` so
+    /// configs written before this knob existed still deserialize.
+    #[serde(default)]
+    pub maintenance: MaintenanceMode,
 }
 
 impl Default for LocatorConfig {
@@ -96,6 +119,7 @@ impl Default for LocatorConfig {
             check_interval: SimDuration::from_secs(10),
             use_topology_connectivity: true,
             root_quorum: 0.8,
+            maintenance: MaintenanceMode::Incremental,
         }
     }
 }
@@ -140,6 +164,12 @@ impl LocatorConfig {
     /// Sets the root-quorum fraction.
     pub fn with_root_quorum(mut self, quorum: f64) -> Self {
         self.root_quorum = quorum;
+        self
+    }
+
+    /// Sets the main-tree maintenance strategy.
+    pub fn with_maintenance(mut self, maintenance: MaintenanceMode) -> Self {
+        self.maintenance = maintenance;
         self
     }
 }
@@ -217,6 +247,89 @@ fn pair(a: LocId, b: LocId) -> (LocId, LocId) {
     }
 }
 
+/// Union-find root lookup with path halving.
+fn find(parent: &mut [usize], i: usize) -> usize {
+    let mut i = i;
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+/// Groups indices by union-find root, in index order within each group.
+fn collect_components(parent: &mut [usize]) -> Vec<Vec<usize>> {
+    let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..parent.len() {
+        let r = find(parent, i);
+        components.entry(r).or_default().push(i);
+    }
+    components.into_values().collect()
+}
+
+/// Delta-maintained per-region alert tallies. Connectivity never crosses a
+/// region, so a component's type set is always a subset of its region's —
+/// and [`Thresholds::is_met`] is monotone in the joint (failure, other)
+/// counts — which makes these counts a sound gate: a region that cannot
+/// meet the thresholds cannot contain a threshold-crossing component.
+#[derive(Debug, Clone, Default)]
+struct RegionCounts {
+    /// How many active (location, type) pairs carry each alert type.
+    type_refs: HashMap<AlertType, u32>,
+    /// Distinct active types in the region.
+    distinct_all: u32,
+    /// Distinct active Failure-class types in the region.
+    distinct_failure: u32,
+    /// Active (location, type) pairs in the region.
+    pair_all: u32,
+    /// Active Failure-class (location, type) pairs in the region.
+    pair_failure: u32,
+}
+
+impl RegionCounts {
+    fn add(&mut self, ty: AlertType) {
+        let failure = ty.class() == AlertClass::Failure;
+        self.pair_all += 1;
+        self.pair_failure += u32::from(failure);
+        let refs = self.type_refs.entry(ty).or_insert(0);
+        *refs += 1;
+        if *refs == 1 {
+            self.distinct_all += 1;
+            self.distinct_failure += u32::from(failure);
+        }
+    }
+
+    fn remove(&mut self, ty: AlertType) {
+        let failure = ty.class() == AlertClass::Failure;
+        self.pair_all -= 1;
+        self.pair_failure -= u32::from(failure);
+        let refs = self
+            .type_refs
+            .get_mut(&ty)
+            .expect("removing a counted type");
+        *refs -= 1;
+        if *refs == 0 {
+            self.type_refs.remove(&ty);
+            self.distinct_all -= 1;
+            self.distinct_failure -= u32::from(failure);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pair_all == 0
+    }
+
+    /// Upper-bound threshold check for any component inside the region.
+    fn could_meet(&self, thresholds: &Thresholds, counting: CountingMode) -> bool {
+        match counting {
+            CountingMode::TypeDistinct => {
+                thresholds.is_met(self.distinct_failure, self.distinct_all)
+            }
+            CountingMode::TypeAndLocation => thresholds.is_met(self.pair_failure, self.pair_all),
+        }
+    }
+}
+
 /// The locator: feed it time-ordered structured alerts, collect finished
 /// incidents.
 pub struct Locator {
@@ -236,6 +349,26 @@ pub struct Locator {
     /// Location-prefix pairs directly connected by a topology link, stored
     /// once in canonical id order.
     adjacency: HashSet<(LocId, LocId)>,
+    /// Adjacency as per-location neighbor lists, for the incremental
+    /// grouping pass (linear probes instead of pairwise checks).
+    adjacency_neighbors: HashMap<LocId, Vec<LocId>>,
+    /// Position of each active id in `active` — O(1) membership probes and
+    /// swap-removal for the expiry wheel.
+    active_index: HashMap<LocId, usize>,
+    /// Expiry wheel: (location, type) entries bucketed by the tick-time at
+    /// which they expire (`last_seen + node_timeout`). A refreshed alert is
+    /// re-bucketed on insert; earlier buckets then hold stale entries that
+    /// the drain skips by re-checking the live timestamp.
+    wheel: BTreeMap<SimTime, Vec<(LocId, AlertType)>>,
+    /// Delta-maintained per-region tallies gating incident generation.
+    region_counts: HashMap<LocId, RegionCounts>,
+    /// Set when the active alert set changed structurally (new type,
+    /// activation, eviction) or an incident finalized — the only events
+    /// that can change what Algorithm 2 produces. Unchanged ticks skip
+    /// incident generation entirely.
+    dirty: bool,
+    /// Expiry-wheel evictions, when wired to an observability registry.
+    evictions: Option<Counter>,
 }
 
 impl std::fmt::Debug for Locator {
@@ -254,6 +387,7 @@ impl Locator {
     pub fn new(topo: &Arc<Topology>, cfg: LocatorConfig) -> Self {
         let interner = (**topo.interner()).clone();
         let mut adjacency = HashSet::new();
+        let mut adjacency_neighbors: HashMap<LocId, Vec<LocId>> = HashMap::new();
         if cfg.use_topology_connectivity {
             for link in topo.links() {
                 let (Some(da), Some(db)) = (link.a.device(), link.b.device()) else {
@@ -270,8 +404,9 @@ impl Locator {
                 }
                 for pa in interner.ancestors(la) {
                     for pb in interner.ancestors(lb) {
-                        if pa != pb {
-                            adjacency.insert(pair(pa, pb));
+                        if pa != pb && adjacency.insert(pair(pa, pb)) {
+                            adjacency_neighbors.entry(pa).or_default().push(pb);
+                            adjacency_neighbors.entry(pb).or_default().push(pa);
                         }
                     }
                 }
@@ -288,7 +423,24 @@ impl Locator {
             next_check: SimTime::ZERO,
             next_id: 0,
             adjacency,
+            adjacency_neighbors,
+            active_index: HashMap::new(),
+            wheel: BTreeMap::new(),
+            region_counts: HashMap::new(),
+            dirty: false,
+            evictions: None,
         }
+    }
+
+    /// Wires the locator's counters (expiry-wheel evictions) into an
+    /// observability registry. Eviction counts are content-determined and
+    /// tick-aligned, so they are identical at any shard count.
+    pub fn with_observability(mut self, obs: &Observability) -> Self {
+        self.evictions = Some(obs.registry().counter(
+            "skynet_wheel_evictions_total",
+            "Main-tree alerts expired via the locator's expiry wheel",
+        ));
+        self
     }
 
     /// Algorithm 1: routes an alert into any covering incident tree, and
@@ -314,9 +466,29 @@ impl Locator {
         }
         let node = &mut self.main[loc.index()];
         let was_empty = node.alerts.is_empty();
+        let new_type = !node.alerts.contains_key(&alert.ty);
         node.add(alert);
+        // The alert's effective timestamp after absorption drives its
+        // expiry bucket.
+        let last_seen = node.alerts[&alert.ty].last_seen;
         if was_empty {
             self.active.push(loc);
+        }
+        if self.cfg.maintenance == MaintenanceMode::Incremental {
+            if was_empty {
+                self.active_index.insert(loc, self.active.len() - 1);
+            }
+            if new_type {
+                let region = self.interner.region_of(loc);
+                self.region_counts.entry(region).or_default().add(alert.ty);
+                // A refreshed (absorbed) alert cannot change what
+                // Algorithm 2 produces; a new (location, type) pair can.
+                self.dirty = true;
+            }
+            self.wheel
+                .entry(last_seen + self.cfg.node_timeout)
+                .or_default()
+                .push((loc, alert.ty));
         }
     }
 
@@ -335,6 +507,34 @@ impl Locator {
 
     /// Algorithm 3: expire main-tree alerts and finalize idle incidents.
     fn check_trees(&mut self, now: SimTime) {
+        match self.cfg.maintenance {
+            MaintenanceMode::Incremental => self.expire_wheel(now),
+            MaintenanceMode::Rescan => self.expire_rescan(now),
+        }
+
+        let idle = self.cfg.incident_timeout;
+        let interner = &self.interner;
+        let completed = &mut self.completed;
+        let mut finalized = false;
+        let mut still_open = Vec::new();
+        for incident in self.open.drain(..) {
+            if now.since(incident.update_time) > idle {
+                completed.push(incident.into_incident(interner));
+                finalized = true;
+            } else {
+                still_open.push(incident);
+            }
+        }
+        self.open = still_open;
+        if finalized {
+            // A finalized incident no longer covers its root, so a later
+            // carve at (or under) that root becomes possible again.
+            self.dirty = true;
+        }
+    }
+
+    /// Rescan-mode expiry: full `retain` over every active node's alerts.
+    fn expire_rescan(&mut self, now: SimTime) {
         let timeout = self.cfg.node_timeout;
         let main = &mut self.main;
         self.active.retain(|&id| {
@@ -342,19 +542,52 @@ impl Locator {
             node.alerts.retain(|_, a| now.since(a.last_seen) <= timeout);
             !node.alerts.is_empty()
         });
+    }
 
-        let idle = self.cfg.incident_timeout;
-        let interner = &self.interner;
-        let completed = &mut self.completed;
-        let mut still_open = Vec::new();
-        for incident in self.open.drain(..) {
-            if now.since(incident.update_time) > idle {
-                completed.push(incident.into_incident(interner));
-            } else {
-                still_open.push(incident);
+    /// Incremental-mode expiry: drain wheel buckets strictly before `now`.
+    /// An alert is alive iff `now.since(last_seen) <= timeout`, i.e. its
+    /// bucket `last_seen + timeout` has not passed — so the exact-timeout
+    /// boundary is kept, matching the rescan semantics. Entries whose live
+    /// timestamp was refreshed since bucketing are skipped here; their
+    /// fresher bucket is still pending. O(evictions), not O(active).
+    fn expire_wheel(&mut self, now: SimTime) {
+        let timeout = self.cfg.node_timeout;
+        while let Some(entry) = self.wheel.first_entry() {
+            if *entry.key() >= now {
+                break;
+            }
+            for (loc, ty) in entry.remove() {
+                let node = &mut self.main[loc.index()];
+                let Some(alert) = node.alerts.get(&ty) else {
+                    continue; // already evicted (stale duplicate entry)
+                };
+                if now.since(alert.last_seen) <= timeout {
+                    continue; // refreshed; a later bucket holds it
+                }
+                node.alerts.remove(&ty);
+                let region = self.interner.region_of(loc);
+                if let Some(counts) = self.region_counts.get_mut(&region) {
+                    counts.remove(ty);
+                    if counts.is_empty() {
+                        self.region_counts.remove(&region);
+                    }
+                }
+                if let Some(counter) = &self.evictions {
+                    counter.inc();
+                }
+                self.dirty = true;
+                if self.main[loc.index()].alerts.is_empty() {
+                    let idx = self
+                        .active_index
+                        .remove(&loc)
+                        .expect("active node is indexed");
+                    self.active.swap_remove(idx);
+                    if let Some(&moved) = self.active.get(idx) {
+                        self.active_index.insert(moved, idx);
+                    }
+                }
             }
         }
-        self.open = still_open;
     }
 
     /// True when two alerting locations belong to the same failure scope:
@@ -407,6 +640,24 @@ impl Locator {
     /// Algorithm 2: group alerting nodes into connected components and turn
     /// threshold-crossing components into incident trees.
     fn generate_trees(&mut self, _now: SimTime) {
+        match self.cfg.maintenance {
+            MaintenanceMode::Incremental => {
+                // Nothing structural changed since the last tick: the
+                // grouping, counts and quorum roots are all unchanged, and
+                // every carveable incident was already carved — a rerun
+                // would be a pure no-op.
+                if !self.dirty {
+                    return;
+                }
+                self.dirty = false;
+                self.generate_trees_incremental();
+            }
+            MaintenanceMode::Rescan => self.generate_trees_rescan(),
+        }
+    }
+
+    /// Rescan-mode grouping: the original O(n²) pairwise union-find.
+    fn generate_trees_rescan(&mut self) {
         let locations: Vec<LocId> = self.active.clone();
         if locations.is_empty() {
             return;
@@ -415,14 +666,6 @@ impl Locator {
         // Union-find over alerting nodes.
         let n = locations.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut [usize], i: usize) -> usize {
-            let mut i = i;
-            while parent[i] != i {
-                parent[i] = parent[parent[i]];
-                i = parent[i];
-            }
-            i
-        }
         for i in 0..n {
             for j in (i + 1)..n {
                 if self.connected(locations[i], locations[j]) {
@@ -433,13 +676,88 @@ impl Locator {
                 }
             }
         }
-        let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
-        for i in 0..n {
-            let r = find(&mut parent, i);
-            components.entry(r).or_default().push(i);
+        let component_list = collect_components(&mut parent);
+        self.carve_components(&locations, component_list);
+    }
+
+    /// Incremental-mode grouping: regions whose delta-maintained counts
+    /// cannot meet the thresholds are skipped outright (components never
+    /// cross regions), and the surviving nodes are grouped with linear
+    /// probes — active strict ancestors for containment edges, a
+    /// group-by-parent pass for deep-sibling edges, and per-location
+    /// neighbor lists for topology adjacency. The edge set is exactly
+    /// [`Locator::connected`]'s, so the partition is identical.
+    fn generate_trees_incremental(&mut self) {
+        let mut locations: Vec<LocId> = Vec::with_capacity(self.active.len());
+        for &loc in &self.active {
+            let region = self.interner.region_of(loc);
+            if self
+                .region_counts
+                .get(&region)
+                .is_some_and(|c| c.could_meet(&self.cfg.thresholds, self.cfg.counting))
+            {
+                locations.push(loc);
+            }
+        }
+        if locations.is_empty() {
+            return;
         }
 
-        let mut component_list: Vec<Vec<usize>> = components.into_values().collect();
+        let n = locations.len();
+        let index: HashMap<LocId, usize> =
+            locations.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let mut parent: Vec<usize> = (0..n).collect();
+        let mut union = |parent: &mut Vec<usize>, i: usize, j: usize| {
+            let (ri, rj) = (find(parent, i), find(parent, j));
+            if ri != rj {
+                parent[ri] = rj;
+            }
+        };
+        // Containment: a distinct active pair has a containment edge iff
+        // one is a strict ancestor of the other.
+        for i in 0..n {
+            for anc in self.interner.strict_ancestors(locations[i]) {
+                if let Some(&j) = index.get(&anc) {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+        // Deep siblings (devices of a cluster, clusters of a site, sites of
+        // a logic site): equal parents imply equal depth, so grouping the
+        // deep nodes by parent yields exactly the pairwise sibling edges.
+        let mut by_parent: HashMap<LocId, usize> = HashMap::new();
+        for i in 0..n {
+            if self.interner.depth(locations[i]) >= LocationLevel::Site.depth() {
+                if let Some(p) = self.interner.parent(locations[i]) {
+                    match by_parent.entry(p) {
+                        std::collections::hash_map::Entry::Occupied(rep) => {
+                            let rep = *rep.get();
+                            union(&mut parent, i, rep);
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(i);
+                        }
+                    }
+                }
+            }
+        }
+        // Topology adjacency, via the precomputed neighbor lists.
+        for i in 0..n {
+            if let Some(neighbors) = self.adjacency_neighbors.get(&locations[i]) {
+                for nb in neighbors {
+                    if let Some(&j) = index.get(nb) {
+                        union(&mut parent, i, j);
+                    }
+                }
+            }
+        }
+        let component_list = collect_components(&mut parent);
+        self.carve_components(&locations, component_list);
+    }
+
+    /// Shared carve loop: sorts components deterministically and cuts
+    /// threshold-crossing incident trees out of each.
+    fn carve_components(&mut self, locations: &[LocId], mut component_list: Vec<Vec<usize>>) {
         // Deterministic order: by each component's first location in path
         // order (id order is interning order, not path order).
         let interner = &self.interner;
@@ -542,6 +860,91 @@ impl Locator {
     /// thresholds; the component's deepest common ancestor always
     /// qualifies, so this is total.
     fn quorum_root(&self, locs: &[LocId]) -> LocId {
+        match self.cfg.maintenance {
+            MaintenanceMode::Incremental => self.quorum_root_rollup(locs),
+            MaintenanceMode::Rescan => self.quorum_root_rescan(locs),
+        }
+    }
+
+    /// Incremental quorum rooting: one pass over the members rolls their
+    /// type sets and pair counts up the O(1) ancestor arrays, so each
+    /// candidate is then judged by a map lookup instead of a member
+    /// re-scan. Candidate set, ordering and verdicts match
+    /// [`Locator::quorum_root_rescan`] exactly.
+    fn quorum_root_rollup(&self, locs: &[LocId]) -> LocId {
+        let (&first, rest) = locs.split_first().expect("quorum_root needs members");
+        let mut dca = first;
+        for &l in rest {
+            // Connectivity is region-scoped, so every component shares a
+            // region and the fold can never reach the network root.
+            dca = self
+                .interner
+                .common_ancestor(dca, l)
+                .expect("components never span regions");
+        }
+
+        #[derive(Default)]
+        struct Rollup {
+            types: HashSet<AlertType>,
+            pair_all: u32,
+            pair_failure: u32,
+        }
+        let mut rollups: HashMap<LocId, Rollup> = HashMap::new();
+        let mut total: HashSet<AlertType> = HashSet::new();
+        for &l in locs {
+            let alerts = &self.main[l.index()].alerts;
+            total.extend(alerts.keys().copied());
+            let failures = alerts
+                .keys()
+                .filter(|t| t.class() == AlertClass::Failure)
+                .count() as u32;
+            // A member contributes to every candidate that contains it —
+            // exactly its ancestors (itself included) inside the dca.
+            for &anc in self.interner.ancestor_slice(l) {
+                if !self.interner.contains(dca, anc) {
+                    continue;
+                }
+                let roll = rollups.entry(anc).or_default();
+                roll.types.extend(alerts.keys().copied());
+                roll.pair_all += alerts.len() as u32;
+                roll.pair_failure += failures;
+            }
+        }
+        let needed = ((total.len() as f64) * self.cfg.root_quorum).ceil() as usize;
+
+        let mut candidates: Vec<LocId> = rollups.keys().copied().collect();
+        candidates.sort_by(|&a, &b| {
+            self.interner
+                .depth(b)
+                .cmp(&self.interner.depth(a))
+                .then_with(|| self.interner.cmp(a, b))
+        });
+
+        for candidate in candidates {
+            let roll = &rollups[&candidate];
+            if roll.types.len() < needed {
+                continue;
+            }
+            let (failure, all) = match self.cfg.counting {
+                CountingMode::TypeDistinct => {
+                    let failure = roll
+                        .types
+                        .iter()
+                        .filter(|t| t.class() == AlertClass::Failure)
+                        .count() as u32;
+                    (failure, roll.types.len() as u32)
+                }
+                CountingMode::TypeAndLocation => (roll.pair_failure, roll.pair_all),
+            };
+            if self.cfg.thresholds.is_met(failure, all) {
+                return candidate;
+            }
+        }
+        dca
+    }
+
+    /// Rescan quorum rooting: per-candidate member scans (the oracle).
+    fn quorum_root_rescan(&self, locs: &[LocId]) -> LocId {
         let (&first, rest) = locs.split_first().expect("quorum_root needs members");
         let mut dca = first;
         for &l in rest {
@@ -612,6 +1015,10 @@ impl Locator {
             self.main[id.index()].alerts.clear();
         }
         self.active.clear();
+        self.active_index.clear();
+        self.wheel.clear();
+        self.region_counts.clear();
+        self.dirty = false;
     }
 
     /// Takes the finished incidents accumulated so far.
@@ -953,5 +1360,106 @@ mod tests {
         assert_eq!(incidents.len(), 1);
         assert!(incidents[0].has_class(AlertClass::Failure));
         assert!(incidents[0].has_class(AlertClass::RootCause));
+    }
+
+    fn both_modes() -> [LocatorConfig; 2] {
+        [
+            LocatorConfig::default(),
+            LocatorConfig::default().with_maintenance(MaintenanceMode::Rescan),
+        ]
+    }
+
+    #[test]
+    fn alert_aged_exactly_timeout_survives_the_tick() {
+        let t = topo();
+        for cfg in both_modes() {
+            let mode = cfg.maintenance;
+            let mut loc = Locator::new(&t, cfg);
+            let s = site(&t);
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 0, &s));
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 299, &s));
+            // The 10s check grid lands a tick at exactly t = 300s, where
+            // the first alert's age equals the 5-minute timeout — the
+            // boundary is inclusive, so the pair still forms an incident.
+            loc.advance(SimTime::from_secs(300));
+            assert_eq!(loc.open_count(), 1, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn alert_one_tick_past_timeout_expires() {
+        let t = topo();
+        for cfg in both_modes() {
+            let mode = cfg.maintenance;
+            let mut loc = Locator::new(&t, cfg);
+            let s = site(&t);
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 0, &s));
+            loc.advance(SimTime::from_secs(305));
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 305, &s));
+            // The next tick (t = 310s) evicts the first alert — age 310s,
+            // one grid step past the timeout — before generation runs, so
+            // the lone TCP alert cannot form an incident.
+            loc.advance(SimTime::from_secs(310));
+            assert_eq!(loc.open_count(), 0, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn refreshed_alerts_survive_their_stale_wheel_entry() {
+        let t = topo();
+        for cfg in both_modes() {
+            let mode = cfg.maintenance;
+            let mut loc = Locator::new(&t, cfg);
+            let s = site(&t);
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 0, &s));
+            // Same type again at t = 200s: absorbed, refreshing last_seen.
+            // The wheel still holds the stale t = 300s bucket entry; the
+            // drain must skip it instead of evicting the refreshed alert.
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 200, &s));
+            loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 400, &s));
+            loc.advance(SimTime::from_secs(450));
+            assert_eq!(loc.open_count(), 1, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn incidents_finalizing_in_one_tick_complete_in_creation_order() {
+        let t = topo();
+        let c1 = t
+            .clusters()
+            .iter()
+            .find(|c| c.segments()[0].as_ref() == "Region-0")
+            .unwrap()
+            .clone();
+        let c2 = t
+            .clusters()
+            .iter()
+            .find(|c| c.segments()[0].as_ref() == "Region-1")
+            .unwrap()
+            .clone();
+        for cfg in both_modes() {
+            let mode = cfg.maintenance;
+            let mut loc = Locator::new(&t, cfg);
+            for (i, kind) in [AlertKind::PacketLossIcmp, AlertKind::PacketLossTcp]
+                .iter()
+                .enumerate()
+            {
+                loc.insert(&alert(DataSource::Ping, *kind, 10 + i as u64, &c1));
+                loc.insert(&alert(DataSource::Ping, *kind, 12 + i as u64, &c2));
+            }
+            loc.advance(SimTime::from_secs(60));
+            assert_eq!(loc.open_count(), 2, "mode {mode:?}");
+            // Update times 11s and 13s sit in the same 10s grid cell, so
+            // one tick (t = 920s) idles both incidents out together; they
+            // must complete in creation order (Region-0 before Region-1,
+            // ids ascending).
+            loc.advance(SimTime::from_mins(60));
+            assert_eq!(loc.open_count(), 0, "mode {mode:?}");
+            let done = loc.take_completed();
+            assert_eq!(done.len(), 2, "mode {mode:?}");
+            assert!(done[0].id < done[1].id, "mode {mode:?}");
+            assert_eq!(done[0].root, c1, "mode {mode:?}");
+            assert_eq!(done[1].root, c2, "mode {mode:?}");
+        }
     }
 }

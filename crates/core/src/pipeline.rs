@@ -20,7 +20,7 @@
 //! - [`StreamingHandle::health`] is the liveness probe.
 
 use crate::error::{RejectReason, SkyNetError};
-use crate::evaluator::{Evaluator, EvaluatorConfig, ScoredIncident};
+use crate::evaluator::{Evaluator, EvaluatorConfig, MatrixMemo, ScoredIncident};
 use crate::faultinject::{
     self, DegradationReport, FaultAction, FaultArm, FaultConfig, FaultPanic, FaultPlane,
     InjectedFault, InjectionSite,
@@ -633,7 +633,8 @@ impl SkyNet {
                 let mut attempts = 0u32;
                 loop {
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        let mut locator = Locator::new(&self.topo, self.cfg.locator.clone());
+                        let mut locator = Locator::new(&self.topo, self.cfg.locator.clone())
+                            .with_observability(&self.obs);
                         let mut lost = Vec::new();
                         for alert in &batch {
                             if let Some(arm) = &fault {
@@ -793,6 +794,16 @@ impl SkyNet {
             "reachability-matrix memo hits in the evaluator's zoom stage",
         )
         .add(memo.hits);
+        reg.counter(
+            "skynet_matrix_delta_updates_total",
+            "reachability matrices produced by sliding-window delta updates",
+        )
+        .add(memo.delta_updates);
+        reg.counter(
+            "skynet_matrix_rebuilds_total",
+            "reachability matrices rebuilt from scratch by the memo",
+        )
+        .add(memo.rebuilds);
         let tracer = self.obs.tracer();
         if tracer.is_enabled() {
             for s in &scored {
@@ -1350,11 +1361,13 @@ fn run_worker(
                 arm(InjectionSite::PreprocessClassify),
                 arm(InjectionSite::PreprocessConsolidate),
             );
-    let mut locator = Locator::new(&skynet.topo, skynet.cfg.locator.clone());
+    let mut locator =
+        Locator::new(&skynet.topo, skynet.cfg.locator.clone()).with_observability(&shared.obs);
     let evaluator = Evaluator::new(&skynet.topo, skynet.cfg.evaluator.clone()).with_faults(
         arm(InjectionSite::MatrixBuild),
         arm(InjectionSite::Evaluate),
     );
+    let mut memo = MatrixMemo::new().with_observability(&shared.obs);
     let sop = SopEngine::standard(&skynet.topo);
     let locate_fault = arm(InjectionSite::LocateWorker);
     let sop_fault = arm(InjectionSite::SopSelect);
@@ -1422,6 +1435,7 @@ fn run_worker(
             &mut locator,
             &ping,
             &evaluator,
+            &mut memo,
             &sop,
             &sop_fault,
             incidents,
@@ -1450,6 +1464,7 @@ fn run_worker(
         &mut locator,
         &ping,
         &evaluator,
+        &mut memo,
         &sop,
         &sop_fault,
         incidents,
@@ -1761,11 +1776,12 @@ fn run_shard_worker(
     lane: u32,
 ) {
     let arm = |site: InjectionSite| plane.as_ref().and_then(|p| p.arm(site, lane));
-    let mut locator = Locator::new(topo, locator_cfg.clone());
+    let mut locator = Locator::new(topo, locator_cfg.clone()).with_observability(obs);
     let evaluator = Evaluator::new(topo, evaluator_cfg.clone()).with_faults(
         arm(InjectionSite::MatrixBuild),
         arm(InjectionSite::Evaluate),
     );
+    let mut memo = MatrixMemo::new().with_observability(obs);
     let sop = SopEngine::standard(topo);
     let locate_fault = arm(InjectionSite::LocateWorker);
     let sop_fault = arm(InjectionSite::SopSelect);
@@ -1794,6 +1810,7 @@ fn run_shard_worker(
             &mut locator,
             &ping,
             &evaluator,
+            &mut memo,
             &sop,
             &sop_fault,
             incidents,
@@ -1809,6 +1826,7 @@ fn run_shard_worker(
         &mut locator,
         &ping,
         &evaluator,
+        &mut memo,
         &sop,
         &sop_fault,
         incidents,
@@ -1897,6 +1915,7 @@ fn drain_completed(
     locator: &mut Locator,
     ping: &PingLog,
     evaluator: &Evaluator,
+    memo: &mut MatrixMemo,
     sop: &SopEngine,
     sop_fault: &Option<FaultArm>,
     incidents: &Sender<StreamIncident>,
@@ -1922,7 +1941,7 @@ fn drain_completed(
         } else {
             sop.match_incident(&incident)
         };
-        let scored = evaluator.evaluate(incident, ping);
+        let scored = evaluator.evaluate_memoized(incident, ping, memo);
         if tracer.is_enabled() {
             for alert in &scored.incident.alerts {
                 tracer.record(

@@ -272,6 +272,34 @@ impl LocationInterner {
     pub fn ids(&self) -> impl Iterator<Item = LocId> {
         (0..self.nodes.len()).map(LocId::from_index)
     }
+
+    /// The full ancestor array of `id` (region first, `id` last), as a
+    /// slice. O(1); the backbone of delta-maintained per-ancestor counts.
+    pub fn ancestor_slice(&self, id: LocId) -> &[LocId] {
+        let node = &self.nodes[id.index()];
+        &node.ancestors[..node.depth as usize]
+    }
+
+    /// Strict ancestors of `id`, region first (excludes `id` itself).
+    pub fn strict_ancestors(&self, id: LocId) -> impl Iterator<Item = LocId> + '_ {
+        let node = &self.nodes[id.index()];
+        node.ancestors[..node.depth.saturating_sub(1) as usize]
+            .iter()
+            .copied()
+    }
+
+    /// Ids in the subtree rooted at `id` (including `id`), in interning
+    /// order. O(subtree) via the child lists — small trees only; hot paths
+    /// should read delta-maintained subtree counts instead.
+    pub fn subtree(&self, id: LocId) -> Vec<LocId> {
+        let mut out = vec![id];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend_from_slice(self.children(out[i]));
+            i += 1;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -486,5 +514,32 @@ mod tests {
         let early = i.resolve(&p("R|C|L|S|Cluster-10")).unwrap();
         assert!(late > early, "id order follows interning order");
         assert_eq!(i.cmp(late, early), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn ancestor_slice_matches_ancestors_iterator() {
+        let i = device_interner();
+        for id in i.ids() {
+            let from_iter: Vec<_> = i.ancestors(id).collect();
+            assert_eq!(i.ancestor_slice(id), &from_iter[..]);
+            assert_eq!(i.ancestor_slice(id).last(), Some(&id));
+            let strict: Vec<_> = i.strict_ancestors(id).collect();
+            assert_eq!(&from_iter[..from_iter.len() - 1], &strict[..]);
+            for a in strict {
+                assert!(i.is_strict_ancestor(a, id));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_enumerates_exactly_the_contained_ids() {
+        let i = device_interner();
+        for root in i.ids() {
+            let mut got = i.subtree(root);
+            got.sort_unstable();
+            let mut expect: Vec<_> = i.ids().filter(|&id| i.contains(root, id)).collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
     }
 }

@@ -19,9 +19,38 @@ pub struct PingSample {
 }
 
 /// Append-only log of lossy samples, time-ordered by construction.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PingLog {
     samples: Vec<PingSample>,
+    /// Watermark: true iff `samples` is known to be nondecreasing in `t`.
+    /// Incremental matrix maintenance relies on this to locate windows by
+    /// binary search; a deserialized log makes no ordering claim.
+    #[serde(skip)]
+    sorted: bool,
+    /// Bumped whenever existing sample *positions* may have shifted (a
+    /// re-sorting `merge`). In-order appends keep the epoch: positional
+    /// bookkeeping over a prefix stays valid while the epoch is unchanged.
+    #[serde(skip)]
+    epoch: u64,
+}
+
+impl Default for PingLog {
+    fn default() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+            epoch: 0,
+        }
+    }
+}
+
+// Equality is over the recorded samples only: the `sorted` watermark is a
+// derived cache, and a deserialized copy (watermark conservatively false)
+// must still compare equal to its source.
+impl PartialEq for PingLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
 }
 
 impl PingLog {
@@ -34,6 +63,13 @@ impl PingLog {
     /// log sparse (a healthy mesh probes millions of pairs per hour).
     pub fn record(&mut self, t: SimTime, src: LocationPath, dst: LocationPath, loss: f64) {
         if loss > 0.0 {
+            if self.sorted {
+                if let Some(last) = self.samples.last() {
+                    if t < last.t {
+                        self.sorted = false;
+                    }
+                }
+            }
             self.samples.push(PingSample { t, src, dst, loss });
         }
     }
@@ -41,6 +77,19 @@ impl PingLog {
     /// All recorded samples.
     pub fn samples(&self) -> &[PingSample] {
         &self.samples
+    }
+
+    /// True iff the samples are known to be nondecreasing in `t`. False is
+    /// always safe: consumers fall back to a full scan.
+    pub fn is_time_ordered(&self) -> bool {
+        self.sorted
+    }
+
+    /// Monotone counter of position-shifting mutations. While two reads
+    /// return the same epoch, the log was only appended to — indexes into
+    /// `samples` observed at the first read still name the same samples.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Samples within `[from, to)`.
@@ -52,6 +101,11 @@ impl PingLog {
     pub fn merge(&mut self, other: PingLog) {
         self.samples.extend(other.samples);
         self.samples.sort_by_key(|s| s.t);
+        self.sorted = true;
+        // The stable sort may have moved existing samples (even between
+        // two equal boundary timestamps), so positional observers must
+        // start over.
+        self.epoch += 1;
     }
 }
 
@@ -83,5 +137,86 @@ mod tests {
             .collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].t, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn sorted_watermark_tracks_out_of_order_appends() {
+        let mut log = PingLog::new();
+        assert!(log.is_time_ordered());
+        log.record(
+            SimTime::from_secs(10),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        log.record(
+            SimTime::from_secs(10),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        log.record(
+            SimTime::from_secs(20),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        assert!(log.is_time_ordered());
+        log.record(SimTime::from_secs(5), p("R|C|L|S|K1"), p("R|C|L|S|K2"), 0.5);
+        assert!(!log.is_time_ordered());
+        // merge() re-sorts, restoring the watermark.
+        log.merge(PingLog::new());
+        assert!(log.is_time_ordered());
+    }
+
+    #[test]
+    fn epoch_tracks_position_shifting_mutations_only() {
+        let mut log = PingLog::new();
+        assert_eq!(log.mutation_epoch(), 0);
+        // In-order appends never shift existing positions.
+        log.record(
+            SimTime::from_secs(10),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        log.record(
+            SimTime::from_secs(20),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        assert_eq!(log.mutation_epoch(), 0);
+        // A merge re-sorts, so positional bookkeeping must restart — even
+        // when the merged-in log is empty.
+        log.merge(PingLog::new());
+        assert_eq!(log.mutation_epoch(), 1);
+        let mut other = PingLog::new();
+        other.record(
+            SimTime::from_secs(15),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        log.merge(other);
+        assert_eq!(log.mutation_epoch(), 2);
+        assert_eq!(log.samples().len(), 3);
+    }
+
+    #[test]
+    fn watermark_is_not_part_of_identity() {
+        let mut a = PingLog::new();
+        a.record(
+            SimTime::from_secs(10),
+            p("R|C|L|S|K1"),
+            p("R|C|L|S|K2"),
+            0.5,
+        );
+        let json = serde_json::to_string(&a).unwrap();
+        let b: PingLog = serde_json::from_str(&json).unwrap();
+        // Deserialization is conservative about ordering, but equality only
+        // looks at the samples.
+        assert!(!b.is_time_ordered());
+        assert_eq!(a, b);
     }
 }

@@ -133,6 +133,39 @@ impl GeneratorConfig {
         }
     }
 
+    /// A network scaled to approximately `target_devices` total devices.
+    ///
+    /// Holds the Fig. 5b aggregation shape of [`GeneratorConfig::large`]
+    /// fixed and grows the workload edge (clusters per site, leaves per
+    /// cluster), which is where real fleets put their device count. The
+    /// paper's production network is O(10^5) devices; `sized(100_000)`
+    /// reproduces that order on the same shape the benches use.
+    pub fn sized(target_devices: usize) -> Self {
+        let mut cfg = GeneratorConfig::large();
+        let sites = cfg.regions
+            * cfg.cities_per_region
+            * cfg.logic_sites_per_city
+            * cfg.sites_per_logic_site;
+        // The aggregation overhead is fixed by the shape; every remaining
+        // device is a leaf.
+        let overhead = {
+            let mut probe = cfg.clone();
+            probe.clusters_per_site = 0;
+            probe.leaves_per_cluster = 0;
+            probe.expected_devices()
+        };
+        let leaves = target_devices.saturating_sub(overhead).max(sites);
+        let per_site = leaves.div_ceil(sites);
+        // Keep clusters around a dozen leaves each, as in `large()`.
+        cfg.clusters_per_site = per_site.div_ceil(12).max(1);
+        // Rounded (not ceiled) so the two splits do not compound upward.
+        cfg.leaves_per_cluster =
+            ((per_site + cfg.clusters_per_site / 2) / cfg.clusters_per_site).max(1);
+        cfg.customers = (target_devices / 30).clamp(60, 2_000);
+        cfg.flows = (target_devices / 2).clamp(600, 25_000);
+        cfg
+    }
+
     /// Expected total device count for this config.
     pub fn expected_devices(&self) -> usize {
         let sites = self.regions
@@ -319,6 +352,27 @@ mod tests {
                 * cfg.clusters_per_site
         );
         assert_eq!(t.customers().len(), cfg.customers);
+        assert_eq!(t.flows().len(), cfg.flows);
+    }
+
+    #[test]
+    fn sized_configs_land_near_their_target() {
+        for target in [2_000usize, 10_000, 40_000, 100_000] {
+            let cfg = GeneratorConfig::sized(target);
+            let got = cfg.expected_devices();
+            let err = got.abs_diff(target) as f64 / target as f64;
+            assert!(err < 0.05, "target {target}: got {got} ({err:.3} off)");
+        }
+        // Tiny targets degrade gracefully to the fixed aggregation shape.
+        let floor = GeneratorConfig::sized(1);
+        assert!(floor.clusters_per_site >= 1 && floor.leaves_per_cluster >= 1);
+    }
+
+    #[test]
+    fn sized_generation_matches_its_expectation() {
+        let cfg = GeneratorConfig::sized(3_000);
+        let t = generate(&cfg);
+        assert_eq!(t.devices().len(), cfg.expected_devices());
         assert_eq!(t.flows().len(), cfg.flows);
     }
 

@@ -1,0 +1,239 @@
+//! Differential suite for the incremental locator/evaluator hot path.
+//!
+//! The delta-per-event refactor — expiry wheel, delta-maintained region
+//! counts, memoized sliding reachability matrices — must be invisible in
+//! the output. Two oracles pin that:
+//!
+//! - the whole-pipeline property: for any chaos-degraded flood, with the
+//!   fault plane armed, the [`AnalysisReport`] JSON produced under
+//!   [`MaintenanceMode::Incremental`] is **byte-identical** to the
+//!   [`MaintenanceMode::Rescan`] oracle at 1 and 4 shards;
+//! - the locator-only property: under seeded permutations of the arrival
+//!   order, with expiry ticks interleaved, the expiry wheel finalizes
+//!   exactly the incidents the retain-scan oracle does.
+//!
+//! [`AnalysisReport`]: skynet::core::AnalysisReport
+
+use proptest::prelude::*;
+use skynet::core::locator::{Locator, LocatorConfig};
+use skynet::core::{
+    FaultAction, FaultConfig, FaultRule, InjectionSite, MaintenanceMode, PipelineConfig, SkyNet,
+};
+use skynet::model::{
+    AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimDuration, SimTime, StructuredAlert,
+};
+use skynet::telemetry::{ChaosConfig, ChaosEngine};
+use skynet::topology::{generate, GeneratorConfig, Topology};
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(generate(&GeneratorConfig::small()))
+}
+
+fn kind_strategy() -> impl Strategy<Value = AlertKind> {
+    prop::sample::select(vec![
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossTcp,
+        AlertKind::LatencyJitter,
+        AlertKind::DeviceInaccessible,
+        AlertKind::LinkDown,
+        AlertKind::PortDown,
+        AlertKind::TrafficCongestion,
+        AlertKind::HardwareError,
+        AlertKind::BgpPeerDown,
+    ])
+}
+
+fn location_strategy(topo: &Arc<Topology>) -> impl Strategy<Value = LocationPath> {
+    let mut locations: Vec<LocationPath> = topo
+        .devices()
+        .iter()
+        .flat_map(|d| d.location.prefixes().collect::<Vec<_>>())
+        .collect();
+    locations.sort();
+    locations.dedup();
+    locations.push(LocationPath::parse("Chaos|Phantom|Rack-0").unwrap());
+    prop::sample::select(locations)
+}
+
+fn raw_alert_strategy(topo: &Arc<Topology>) -> impl Strategy<Value = RawAlert> {
+    (
+        prop::sample::select(DataSource::ALL.to_vec()),
+        kind_strategy(),
+        0u64..1_800_000, // 30 minutes of millis
+        location_strategy(topo),
+        0.0f64..1.0,
+    )
+        .prop_map(|(source, kind, t, location, magnitude)| {
+            RawAlert::known(source, SimTime::from_millis(t), location, kind)
+                .with_magnitude(magnitude)
+        })
+}
+
+fn sorted_stream(topo: &Arc<Topology>, max: usize) -> impl Strategy<Value = Vec<RawAlert>> {
+    prop::collection::vec(raw_alert_strategy(topo), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|a| a.timestamp);
+        v
+    })
+}
+
+/// Deterministic lossy ping telemetry so the evaluator's reachability
+/// matrices (and therefore the sliding-window delta path) are non-trivial.
+fn ping_log(topo: &Topology) -> PingLog {
+    let mut ping = PingLog::new();
+    let clusters = topo.clusters();
+    for (i, pair) in clusters.windows(2).enumerate() {
+        ping.record(
+            SimTime::from_secs(30 + i as u64 * 60),
+            pair[0].clone(),
+            pair[1].clone(),
+            0.02 * (1 + i % 5) as f64,
+        );
+    }
+    ping
+}
+
+/// An armed fault plane touching every stage the refactor moved:
+/// locate-worker drops, matrix-build degradation, SOP skips. Seeded, so
+/// both maintenance modes replay the same decision streams.
+fn armed_faults(seed: u64) -> FaultConfig {
+    FaultConfig::seeded(seed)
+        .with_rule(FaultRule::probability(
+            InjectionSite::GuardOffer,
+            0.05,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::every(
+            InjectionSite::PreprocessClassify,
+            30,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::once(
+            InjectionSite::ShardRoute,
+            3,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::once(
+            InjectionSite::MatrixBuild,
+            1,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::once(
+            InjectionSite::SopSelect,
+            1,
+            FaultAction::Error,
+        ))
+        .with_rule(FaultRule::probability(
+            InjectionSite::LocateWorker,
+            0.02,
+            FaultAction::Error,
+        ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole guarantee: the incremental hot path is byte-for-byte
+    /// indistinguishable from the rescan oracle through the whole
+    /// pipeline, chaos and armed faults included, at 1 and 4 shards.
+    #[test]
+    fn incremental_report_json_matches_rescan_oracle(
+        alerts in sorted_stream(&topo(), 250),
+        chaos_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let t = topo();
+        // Degrade the feed ONCE so every run replays the same byte stream.
+        let mut chaos = ChaosEngine::new(ChaosConfig {
+            seed: chaos_seed,
+            drop_prob: 0.0,
+            corrupt_syslog_prob: 0.0,
+            off_topology_prob: 0.0,
+            duplicate_prob: 0.2,
+            duplicate_burst: 2,
+            skew_prob: 0.0,
+            shuffle_window: 6,
+            ..ChaosConfig::default()
+        });
+        let degraded = chaos.apply(&alerts);
+        let ping = ping_log(&t);
+
+        let run = |shards: usize, maintenance: MaintenanceMode| {
+            let mut cfg = PipelineConfig::production().with_faults(armed_faults(fault_seed));
+            cfg.streaming.shards = shards;
+            cfg.locator = cfg.locator.with_maintenance(maintenance);
+            let report = SkyNet::builder(&t)
+                .config(cfg)
+                .build()
+                .analyze(&degraded, &ping, SimTime::from_mins(60));
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        for shards in [1usize, 4] {
+            let incremental = run(shards, MaintenanceMode::Incremental);
+            let rescan = run(shards, MaintenanceMode::Rescan);
+            prop_assert!(
+                incremental == rescan,
+                "report JSON diverged between maintenance modes at {} shards",
+                shards
+            );
+        }
+    }
+
+    /// The locator-only oracle: under seeded permutations of arrival
+    /// order with expiry ticks interleaved, the expiry wheel finalizes
+    /// exactly what the retain-scan does.
+    #[test]
+    fn wheel_matches_retain_scan_under_permuted_arrivals(
+        flood in {
+            let t = topo();
+            prop::collection::vec(
+                (
+                    prop::sample::select(DataSource::ALL.to_vec()),
+                    kind_strategy(),
+                    0u64..2_400_000, // spans node + incident timeouts
+                    location_strategy(&t),
+                ),
+                1..200,
+            )
+        }.prop_shuffle(),
+        tick_every in 1usize..9,
+    ) {
+        let t = topo();
+        let alerts: Vec<StructuredAlert> = flood
+            .into_iter()
+            .map(|(source, kind, t_ms, location)| {
+                let raw = RawAlert::known(source, SimTime::from_millis(t_ms), location, kind);
+                StructuredAlert::from_raw(&raw, kind)
+            })
+            .collect();
+        let horizon = alerts
+            .iter()
+            .map(|a| a.last_seen)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            + SimDuration::from_mins(20);
+
+        // Streaming-style replay: ticks advance to the high-water mark,
+        // so expiry fires mid-flood, not only at the horizon.
+        let run = |maintenance: MaintenanceMode| {
+            let cfg = LocatorConfig::default().with_maintenance(maintenance);
+            let mut locator = Locator::new(&t, cfg);
+            let mut seen = SimTime::ZERO;
+            for (i, alert) in alerts.iter().enumerate() {
+                locator.insert(alert);
+                seen = seen.max(alert.last_seen);
+                if (i + 1) % tick_every == 0 {
+                    locator.advance(seen);
+                }
+            }
+            locator.advance(horizon);
+            locator.finish();
+            let mut incidents = locator.take_completed();
+            incidents.sort_by_key(|i| (i.first_seen, i.id));
+            incidents
+        };
+        let incremental = run(MaintenanceMode::Incremental);
+        let rescan = run(MaintenanceMode::Rescan);
+        prop_assert_eq!(incremental, rescan);
+    }
+}
