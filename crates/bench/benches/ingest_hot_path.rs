@@ -1,0 +1,178 @@
+//! Ingest hot-path bench: the front half of the pipeline — classify,
+//! guard, preprocess — at 1 and 4 lanes.
+//!
+//! Two comparisons lock the allocation-lean ingest work in:
+//!
+//! - `classify/{sym_striped,string_mutex}/{1,4}`: raw syslog
+//!   classification through one shared classifier. `sym_striped` is the
+//!   production path (symbol-interned matcher, lock-striped 128-bit
+//!   fingerprint memo); `string_mutex` replays the previous design — the
+//!   String-keyed oracle matcher behind a single global
+//!   `Mutex<HashMap<u64, _>>` memo keyed by `DefaultHasher` — so the
+//!   striping/interning win is measured against the real baseline.
+//! - `ingest/{1,4}`: guard + preprocess end to end, one ingest worker per
+//!   lane over equal slices of a §6.2-style severe flood, all lanes
+//!   sharing one classifier behind an `Arc` exactly like the sharded
+//!   streaming runtime does.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use skynet_bench::corpus::severe_cable_cut;
+use skynet_core::{GuardConfig, IngestGuard, Preprocessor, PreprocessorConfig, SyslogClassifier};
+use skynet_ftree::MatchScratch;
+use skynet_model::{AlertBody, AlertKind, RawAlert};
+use skynet_telemetry::tools::syslog::labeled_corpus;
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+/// The previous classify-memo design, reconstructed as the baseline: one
+/// global mutex, 64-bit `DefaultHasher` key, String-keyed oracle matcher
+/// on miss.
+struct GlobalMutexMemo {
+    classifier: Arc<SyslogClassifier>,
+    cache: Mutex<HashMap<u64, AlertKind>>,
+}
+
+impl GlobalMutexMemo {
+    fn classify(&self, line: &str) -> AlertKind {
+        let mut hasher = DefaultHasher::new();
+        line.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(&kind) = self.cache.lock().unwrap().get(&key) {
+            return kind;
+        }
+        let kind = self.classifier.classify_oracle(line);
+        let mut cache = self.cache.lock().unwrap();
+        if cache.len() >= 4096 {
+            cache.clear();
+        }
+        cache.insert(key, kind);
+        kind
+    }
+}
+
+fn chunked<T: Clone>(items: &[T], lanes: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(lanes);
+    items.chunks(chunk).map(|c| c.to_vec()).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 23);
+    let cfg = TelemetryConfig {
+        noise_per_hour: 60_000.0,
+        ..TelemetryConfig::default()
+    };
+    let run = TelemetrySuite::standard(scenario.topology(), cfg).run(&scenario);
+    let lines: Vec<String> = run
+        .alerts
+        .iter()
+        .filter_map(|a| match &a.body {
+            AlertBody::SyslogText(text) => Some(text.clone()),
+            _ => None,
+        })
+        .collect();
+    println!(
+        "ingest_hot_path corpus: {} raw alerts, {} syslog lines",
+        run.alerts.len(),
+        lines.len()
+    );
+    let classifier = Arc::new(SyslogClassifier::train(&labeled_corpus(40, 7), 3, 8));
+    let oracle =
+        Arc::new(SyslogClassifier::train(&labeled_corpus(40, 7), 3, 8).with_string_oracle());
+
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    for threads in [1usize, 4] {
+        let lanes = chunked(&lines, threads);
+        group.bench_with_input(
+            BenchmarkId::new("sym_striped", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for lane in &lanes {
+                            let classifier = &classifier;
+                            scope.spawn(move || {
+                                let mut scratch = MatchScratch::new();
+                                for line in lane {
+                                    black_box(classifier.classify_memoized(line, &mut scratch));
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+        let baseline = GlobalMutexMemo {
+            classifier: Arc::clone(&oracle),
+            cache: Mutex::new(HashMap::new()),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("string_mutex", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for lane in &lanes {
+                            let baseline = &baseline;
+                            scope.spawn(move || {
+                                for line in lane {
+                                    black_box(baseline.classify(line));
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(run.alerts.len() as u64));
+    for lanes in [1usize, 4] {
+        let slices: Vec<Vec<RawAlert>> = chunked(&run.alerts, lanes);
+        group.bench_with_input(
+            BenchmarkId::new("guard_preprocess", lanes),
+            &lanes,
+            |b, _| {
+                b.iter_batched(
+                    || slices.clone(),
+                    |slices| {
+                        std::thread::scope(|scope| {
+                            for slice in slices {
+                                let classifier = Arc::clone(&classifier);
+                                let topo = scenario.topology();
+                                scope.spawn(move || {
+                                    let mut guard = IngestGuard::new(topo, GuardConfig::default());
+                                    let mut pp = Preprocessor::new(
+                                        PreprocessorConfig::default(),
+                                        Some(classifier),
+                                    );
+                                    let mut admitted = Vec::new();
+                                    guard.offer_batch(slice, &mut admitted);
+                                    guard.flush(&mut admitted);
+                                    let structured = pp.process_batch(&admitted);
+                                    black_box(structured.len());
+                                });
+                            }
+                        });
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

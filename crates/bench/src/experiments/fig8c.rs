@@ -9,8 +9,9 @@ use crate::corpus::severe_cable_cut;
 use crate::ExperimentScale;
 use serde::{Deserialize, Serialize};
 use skynet_core::locator::{Locator, LocatorConfig};
-use skynet_core::{Preprocessor, PreprocessorConfig};
+use skynet_core::{Preprocessor, PreprocessorConfig, SyslogClassifier};
 use skynet_model::{SimTime, StructuredAlert};
+use skynet_telemetry::tools::syslog::labeled_corpus;
 use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet_topology::{GeneratorConfig, Topology};
 use std::fmt::Write as _;
@@ -55,7 +56,10 @@ pub fn build_flood_on(
     };
     let mut suite = TelemetrySuite::standard(scenario.topology(), cfg);
     let run = suite.run(&scenario);
-    let mut pp = Preprocessor::new(PreprocessorConfig::default(), None);
+    // Preprocess through a trained classifier so large `--devices N` sweeps
+    // drive the symbol-interned matcher and striped memo, not a stub path.
+    let classifier = Arc::new(SyslogClassifier::train(&labeled_corpus(40, 7), 3, 8));
+    let mut pp = Preprocessor::new(PreprocessorConfig::default(), Some(classifier));
     let base = pp.process_batch(&run.alerts);
     assert!(!base.is_empty());
     // Cycle the window to reach the target volume, shifting timestamps so

@@ -1,0 +1,126 @@
+//! Allocation-budget regression gate for the classify hot path.
+//!
+//! A counting global allocator wraps `System`; counting is switched on only
+//! around the measured region, so setup (corpus generation, training) is
+//! free. This binary holds a single `#[test]` on purpose: the gate is a
+//! process-global flag, and a concurrently running test would pollute the
+//! count.
+//!
+//! Budgets (CI fails when exceeded):
+//! - steady state (every line already memoized): **zero** heap
+//!   allocations per line;
+//! - cold path (fresh line, memo miss): at most
+//!   [`COLD_ALLOCS_PER_LINE_BUDGET`] allocations per line on average —
+//!   the stripe-map insert plus occasional rehash, nothing per-token.
+
+use skynet_core::SyslogClassifier;
+use skynet_ftree::MatchScratch;
+use skynet_telemetry::tools::syslog::{labeled_corpus, render_message};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Committed cold-path budget, allocations per never-seen line.
+const COLD_ALLOCS_PER_LINE_BUDGET: f64 = 8.0;
+
+struct Counting;
+
+static COUNTING_ON: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING_ON.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING_ON.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING_ON.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING_ON.store(false, Ordering::SeqCst);
+    (out, ALLOCS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn classify_hot_path_stays_within_allocation_budget() {
+    let classifier = SyslogClassifier::train(&labeled_corpus(40, 7), 3, 8);
+    let mut scratch = MatchScratch::new();
+
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let corpus = labeled_corpus(30, 11);
+    let warm: Vec<String> = corpus
+        .iter()
+        .take(64)
+        .map(|(_, kind)| render_message(*kind, &mut rng))
+        .collect();
+
+    // Warm pass: populate the memo stripes and grow the scratch buffers.
+    for line in &warm {
+        classifier.classify_memoized(line, &mut scratch);
+    }
+
+    // Steady state: every line is already memoized — the fingerprint,
+    // stripe lookup and return must not touch the heap at all.
+    let (_, steady_allocs) = counted(|| {
+        for _ in 0..50 {
+            for line in &warm {
+                std::hint::black_box(
+                    classifier.classify_memoized(std::hint::black_box(line.as_str()), &mut scratch),
+                );
+            }
+        }
+    });
+    assert_eq!(
+        steady_allocs,
+        0,
+        "steady-state classify allocated {steady_allocs} times over {} warm lines",
+        warm.len() * 50
+    );
+
+    // Cold path: fresh lines miss the memo and pay one stripe-map insert
+    // (plus amortized rehash); the symbol matcher itself must stay
+    // allocation-free per token.
+    let cold: Vec<String> = (0..512)
+        .map(|i| {
+            format!(
+                "never seen before flap event {i} on peer 10.0.{}.{}",
+                i / 256,
+                i % 256
+            )
+        })
+        .collect();
+    let (_, cold_allocs) = counted(|| {
+        for line in &cold {
+            std::hint::black_box(
+                classifier.classify_memoized(std::hint::black_box(line.as_str()), &mut scratch),
+            );
+        }
+    });
+    let per_line = cold_allocs as f64 / cold.len() as f64;
+    assert!(
+        per_line <= COLD_ALLOCS_PER_LINE_BUDGET,
+        "cold classify path averaged {per_line:.2} allocations per line \
+         (budget {COLD_ALLOCS_PER_LINE_BUDGET}); total {cold_allocs} over {} lines",
+        cold.len()
+    );
+    assert!(
+        classifier.cache_misses() >= cold.len() as u64,
+        "every cold line should miss the memo"
+    );
+}

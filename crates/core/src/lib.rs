@@ -32,7 +32,8 @@
 //!   region's shard in O(1), which is what lets the locate/evaluate stages
 //!   run in parallel without ever splitting an incident.
 //! - [`par`] — the minimal order-preserving parallel map the sharded
-//!   stages run on (std threads; no runtime dependency).
+//!   stages run on, backed by a persistent [`par::WorkerPool`] (std
+//!   threads; no runtime dependency, no per-batch thread spawning).
 //! - [`pipeline`] — the assembled system: batch analysis and a supervised,
 //!   channel-based streaming mode, both optionally region-sharded via
 //!   [`StreamingConfig::shards`].
@@ -46,7 +47,10 @@
 //! Build a pipeline with [`SkyNet::builder`]; pull the common surface in
 //! one line with `use skynet_core::prelude::*`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the worker pool in `par` needs one fenced unsafe
+// block (lifetime erasure of scoped jobs) behind a scoped `allow`; every
+// other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
@@ -102,6 +106,6 @@ pub mod prelude {
 pub mod internals {
     pub use crate::evaluator::{MatrixMemo, MatrixMemoStats};
     pub use crate::locator::PathLocator;
-    pub use crate::par::parallel_map;
+    pub use crate::par::{parallel_map, shared_pool, WorkerPool};
     pub use crate::shard::{ShardRouter, FALLBACK_SHARD};
 }

@@ -413,6 +413,17 @@ impl SkyNetBuilder {
         let obs = self
             .observability
             .unwrap_or_else(|| Observability::new(&self.cfg.obs));
+        // Warm the process-wide worker pool here (rather than lazily on the
+        // first batch) and expose its size: the first analyze call then
+        // pays no thread-spawn cost, and dashboards can see how wide the
+        // parallel stages fan out.
+        let pool = crate::par::shared_pool();
+        obs.registry()
+            .gauge(
+                "skynet_pool_threads",
+                "persistent worker-pool threads shared by all parallel stages",
+            )
+            .set(pool.threads() as f64);
         SkyNet {
             topo: self.topo,
             cfg: self.cfg,
@@ -677,6 +688,13 @@ impl SkyNet {
                 }
             };
         let per_shard = parallel_map(lanes, shards, locate);
+        self.obs
+            .registry()
+            .gauge(
+                "skynet_pool_jobs_completed",
+                "chunk jobs executed by the shared worker pool (process-wide)",
+            )
+            .set(crate::par::shared_pool().jobs_completed() as f64);
         let mut incident_parts = Vec::with_capacity(per_shard.len());
         for (completed, lost) in per_shard {
             // Dead-letter fault-intercepted alerts here, sequentially in
@@ -2292,6 +2310,54 @@ mod tests {
         // More shards than regions leaves some workers idle, never wrong.
         for shards in [2, 4, 7] {
             assert_eq!(run(shards), baseline, "shards = {shards}");
+        }
+    }
+
+    /// The symbol-interned classify hot path must not change analysis
+    /// output: a syslog-heavy flood analyzed with the production
+    /// classifier and with the String-oracle classifier produces
+    /// byte-identical report JSON at 1 and 4 shards.
+    #[test]
+    fn classifier_fast_path_report_is_byte_identical_to_oracle() {
+        use rand::SeedableRng;
+        use skynet_telemetry::tools::syslog::{labeled_corpus, render_message, syslog_kinds};
+
+        let t = topo();
+        let corpus = labeled_corpus(40, 77);
+        let mut alerts = two_region_flood(&t);
+        // Sprinkle raw syslog over a flooded site so classification sits on
+        // the analyzed path.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(78);
+        let kinds = syslog_kinds();
+        let site = t.clusters()[0].parent();
+        for i in 0..200u64 {
+            let kind = kinds[(i as usize) % kinds.len()];
+            alerts.push(RawAlert::syslog(
+                SimTime::from_secs(i % 60),
+                site.clone(),
+                render_message(kind, &mut rng),
+            ));
+        }
+        alerts.sort_by_key(|a| a.timestamp);
+        let ping = PingLog::new();
+        let run = |shards: usize, oracle: bool| {
+            let classifier = SyslogClassifier::train(&corpus, 3, 8);
+            let classifier = if oracle {
+                classifier.with_string_oracle()
+            } else {
+                classifier
+            };
+            let mut cfg = PipelineConfig::production();
+            cfg.streaming.shards = shards;
+            let report = SkyNet::builder(&t)
+                .config(cfg)
+                .classifier(Arc::new(classifier))
+                .build()
+                .analyze(&alerts, &ping, SimTime::from_mins(30));
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        for shards in [1usize, 4] {
+            assert_eq!(run(shards, false), run(shards, true), "shards = {shards}");
         }
     }
 

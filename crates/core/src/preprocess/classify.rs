@@ -10,43 +10,148 @@
 //! training lines that match it. At run time a raw line is matched against
 //! the tree and inherits its template's kind; unmatched lines become
 //! [`AlertKind::Unclassified`].
+//!
+//! The run-time path is allocation- and contention-lean: matching goes
+//! through the tree's symbol-interned [`MatchScratch`] walk (no per-line
+//! `String`/`Vec` allocations), and the repeat-line memo is striped across
+//! power-of-two lock shards keyed by a 128-bit line fingerprint, so shard
+//! workers sharing one classifier behind an `Arc` never serialize on a
+//! single lock. Earlier revisions keyed the memo by a bare 64-bit
+//! `DefaultHasher` value — two colliding lines silently inherited each
+//! other's kind — and one global `Mutex<HashMap>`; both are gone.
 
 use parking_lot::Mutex;
-use skynet_ftree::{FtTree, FtTreeBuilder, TemplateId};
+use skynet_ftree::{FtTree, FtTreeBuilder, MatchScratch, TemplateId};
 use skynet_model::AlertKind;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bound on the classification memo. A flood repeats a small set of
-/// templates with a modest variable vocabulary, so this covers steady
-/// state; on overflow the memo is cleared rather than evicted piecemeal —
-/// cheap, and the hot lines repopulate it within a few alerts.
+/// Bound on the classification memo (total across stripes). A flood
+/// repeats a small set of templates with a modest variable vocabulary, so
+/// this covers steady state; on overflow a stripe is cleared rather than
+/// evicted piecemeal — cheap, and the hot lines repopulate it within a few
+/// alerts.
 const CLASSIFY_CACHE_CAPACITY: usize = 4096;
+
+/// Number of memo stripes. Power of two so the stripe index is a mask of
+/// the fingerprint's low bits; 8 comfortably exceeds the shard counts the
+/// pipeline runs (1/4) while keeping per-stripe maps dense.
+const CLASSIFY_STRIPES: usize = 8;
+
+/// 128-bit fingerprint over the raw line bytes: the classify-memo key.
+///
+/// The memo key must make cross-line collisions practically impossible —
+/// a collision silently misclassifies one of the two lines for as long as
+/// the memo entry lives. At 64 bits the birthday bound over a 4096-entry
+/// memo is small but real across a long-lived streaming process; at 128
+/// bits it is negligible.
+///
+/// The mixer consumes 8-byte words (a byte-at-a-time hash is the single
+/// hottest instruction stream on the memo-hit path, where nothing else
+/// runs) into two multiply-rotate lanes seeded with the length, then
+/// finalizes each lane with a splitmix64-style avalanche. Stable across
+/// processes, no dependencies.
+pub fn fingerprint128(line: &str) -> u128 {
+    const K1: u64 = 0x9e37_79b9_7f4a_7c15;
+    const K2: u64 = 0xff51_afd7_ed55_8ccd;
+    const K3: u64 = 0xc4ce_b9fe_1a85_ec53;
+    fn avalanche(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(K2);
+        x ^= x >> 33;
+        x = x.wrapping_mul(K3);
+        x ^ (x >> 33)
+    }
+    let bytes = line.as_bytes();
+    // Seeding both lanes with the length keeps a short line from colliding
+    // with a longer one whose zero-padded tail word matches.
+    let mut h1: u64 = K1 ^ (bytes.len() as u64);
+    let mut h2: u64 = K2 ^ (bytes.len() as u64).wrapping_mul(K1);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        h1 = (h1 ^ w).wrapping_mul(K2).rotate_left(29);
+        h2 = h2.wrapping_add(w).wrapping_mul(K3).rotate_left(31) ^ h1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        let w = u64::from_le_bytes(tail);
+        h1 = (h1 ^ w).wrapping_mul(K2).rotate_left(29);
+        h2 = h2.wrapping_add(w).wrapping_mul(K3).rotate_left(31) ^ h1;
+    }
+    ((avalanche(h1) as u128) << 64) | avalanche(h2 ^ h1) as u128
+}
+
+/// Pass-through hasher for memo keys: the 128-bit fingerprint is already a
+/// high-quality hash, so the stripe maps fold it to 64 bits instead of
+/// running SipHash over it again on every probe.
+#[derive(Clone, Copy, Default)]
+struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("memo keys are u128 fingerprints and hash via write_u128");
+    }
+    fn write_u128(&mut self, v: u128) {
+        // Xor the halves: the low bits also pick the stripe, so folding in
+        // the high half keeps bucket indices uniform within a stripe.
+        self.0 = (v >> 64) as u64 ^ v as u64;
+    }
+}
+
+type MemoMap = HashMap<u128, AlertKind, std::hash::BuildHasherDefault<FingerprintHasher>>;
+
+fn new_stripes() -> Box<[Mutex<MemoMap>]> {
+    (0..CLASSIFY_STRIPES)
+        .map(|_| Mutex::new(MemoMap::default()))
+        .collect()
+}
+
+thread_local! {
+    /// Scratch for the convenience [`SyslogClassifier::classify`] entry
+    /// point. Hot callers (the preprocessor) own their scratch and call
+    /// [`SyslogClassifier::classify_memoized`] directly.
+    static CLASSIFY_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+}
 
 /// FT-tree-backed syslog classifier.
 ///
-/// Identical raw lines are classified once: a bounded memo keyed by the
-/// line's hash skips the `constant_words`/`order_words` normalization and
-/// tree walk on repeats, which is the common case in a flood (tools
-/// retransmit and devices repeat the same message with the same
-/// variables). The memo uses interior mutability so `classify` stays `&self`
-/// and one classifier can be shared across shard workers behind an `Arc`.
+/// Identical raw lines are classified once: a bounded, lock-striped memo
+/// keyed by a 128-bit line fingerprint skips normalization and the tree
+/// walk on repeats, which is the common case in a flood (tools retransmit
+/// and devices repeat the same message with the same variables). The memo
+/// uses interior mutability so classification stays `&self` and one
+/// classifier can be shared across shard workers behind an `Arc`.
 #[derive(Debug)]
 pub struct SyslogClassifier {
     tree: FtTree,
-    kind_by_template: HashMap<TemplateId, AlertKind>,
-    cache: Mutex<HashMap<u64, AlertKind>>,
+    /// Template kind labels, dense by `TemplateId` (`None` = unlabelled).
+    kinds: Vec<Option<AlertKind>>,
+    stripes: Box<[Mutex<MemoMap>]>,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Forces the String-keyed oracle matcher on memo misses — the
+    /// differential baseline for tests and benchmarks.
+    string_oracle: bool,
 }
 
 impl Clone for SyslogClassifier {
     fn clone(&self) -> Self {
+        // Clones start with a *cold* memo and zeroed counters: a per-shard
+        // clone must report its own hit rate, not inherit the parent's.
         SyslogClassifier {
             tree: self.tree.clone(),
-            kind_by_template: self.kind_by_template.clone(),
-            cache: Mutex::new(self.cache.lock().clone()),
-            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+            kinds: self.kinds.clone(),
+            stripes: new_stripes(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            string_oracle: self.string_oracle,
         }
     }
 }
@@ -67,53 +172,88 @@ impl SyslogClassifier {
                 *votes.entry(t).or_default().entry(*kind).or_insert(0) += 1;
             }
         }
-        let kind_by_template = votes
-            .into_iter()
-            .map(|(t, tally)| {
-                let kind = tally
-                    .into_iter()
-                    .max_by_key(|&(k, n)| (n, kind_tiebreak(k)))
-                    .map(|(k, _)| k)
-                    .unwrap_or(AlertKind::Unclassified);
-                (t, kind)
-            })
-            .collect();
+        let mut kinds: Vec<Option<AlertKind>> = vec![None; tree.templates().len()];
+        for (t, tally) in votes {
+            let kind = tally
+                .into_iter()
+                .max_by_key(|&(k, n)| (n, kind_tiebreak(k)))
+                .map(|(k, _)| k)
+                .unwrap_or(AlertKind::Unclassified);
+            kinds[t.0 as usize] = Some(kind);
+        }
 
         SyslogClassifier {
             tree,
-            kind_by_template,
-            cache: Mutex::new(HashMap::new()),
+            kinds,
+            stripes: new_stripes(),
             cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            string_oracle: false,
         }
     }
 
-    /// Classifies one raw syslog line.
+    /// Switches memo misses to the String-keyed oracle matcher. The
+    /// classifications are identical (the symbol matcher is differential-
+    /// tested against the oracle); this exists so benchmarks and
+    /// byte-identity tests can run the whole pipeline on the baseline
+    /// path.
+    pub fn with_string_oracle(mut self) -> Self {
+        self.string_oracle = true;
+        self
+    }
+
+    /// Classifies one raw syslog line (convenience wrapper over
+    /// [`SyslogClassifier::classify_memoized`] with a thread-local
+    /// scratch).
     pub fn classify(&self, line: &str) -> AlertKind {
-        // SipHash via the std default hasher: deterministic within a
-        // process run, which is all the memo key needs.
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        line.hash(&mut hasher);
-        let key = hasher.finish();
-        if let Some(&kind) = self.cache.lock().get(&key) {
+        CLASSIFY_SCRATCH.with(|scratch| self.classify_memoized(line, &mut scratch.borrow_mut()).0)
+    }
+
+    /// Classifies one raw syslog line using caller-owned scratch buffers,
+    /// returning the kind and whether the memo served it. The steady-state
+    /// path — fingerprint, stripe probe, hit — performs no heap
+    /// allocation.
+    pub fn classify_memoized(&self, line: &str, scratch: &mut MatchScratch) -> (AlertKind, bool) {
+        let key = fingerprint128(line);
+        let stripe = &self.stripes[(key as usize) & (CLASSIFY_STRIPES - 1)];
+        if let Some(&kind) = stripe.lock().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return kind;
+            return (kind, true);
         }
-        let kind = self
-            .tree
-            .match_message(line)
-            .and_then(|t| self.kind_by_template.get(&t).copied())
-            .unwrap_or(AlertKind::Unclassified);
-        let mut cache = self.cache.lock();
-        if cache.len() >= CLASSIFY_CACHE_CAPACITY {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let kind = if self.string_oracle {
+            self.classify_oracle(line)
+        } else {
+            self.kind_of(self.tree.match_message_with(line, scratch))
+        };
+        let mut cache = stripe.lock();
+        if cache.len() >= CLASSIFY_CACHE_CAPACITY / CLASSIFY_STRIPES {
             cache.clear();
         }
         cache.insert(key, kind);
-        kind
+        (kind, false)
+    }
+
+    /// Classifies via the String-keyed oracle matcher, bypassing the memo:
+    /// the differential reference for [`SyslogClassifier::classify`].
+    pub fn classify_oracle(&self, line: &str) -> AlertKind {
+        self.kind_of(self.tree.match_message(line))
+    }
+
+    fn kind_of(&self, template: Option<TemplateId>) -> AlertKind {
+        template
+            .and_then(|t| self.kinds.get(t.0 as usize).copied().flatten())
+            .unwrap_or(AlertKind::Unclassified)
     }
 
     /// Classification calls served from the memo so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Classification calls that walked the tree (memo misses) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
     }
 
     /// Number of mined templates.
@@ -123,7 +263,7 @@ impl SyslogClassifier {
 
     /// Number of templates carrying a kind label.
     pub fn labelled_template_count(&self) -> usize {
-        self.kind_by_template.len()
+        self.kinds.iter().filter(|k| k.is_some()).count()
     }
 }
 
@@ -197,10 +337,15 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let kind = syslog_kinds()[0];
         let line = render_message(kind, &mut rng);
-        let first = classifier.classify(&line);
-        assert_eq!(classifier.cache_hits(), 0, "first sight is a miss");
+        let mut scratch = MatchScratch::new();
+        let (first, hit) = classifier.classify_memoized(&line, &mut scratch);
+        assert!(!hit, "first sight is a miss");
+        assert_eq!(classifier.cache_hits(), 0);
+        assert_eq!(classifier.cache_misses(), 1);
         for _ in 0..5 {
-            assert_eq!(classifier.classify(&line), first);
+            let (kind, hit) = classifier.classify_memoized(&line, &mut scratch);
+            assert_eq!(kind, first);
+            assert!(hit);
         }
         assert_eq!(classifier.cache_hits(), 5);
         // Unknown lines are memoized too — garbage retransmits are the
@@ -209,6 +354,7 @@ mod tests {
         assert_eq!(classifier.classify(garbage), AlertKind::Unclassified);
         assert_eq!(classifier.classify(garbage), AlertKind::Unclassified);
         assert_eq!(classifier.cache_hits(), 6);
+        assert_eq!(classifier.cache_misses(), 2);
     }
 
     #[test]
@@ -224,6 +370,67 @@ mod tests {
             }
         }
         assert!(cached.cache_hits() > 0);
+    }
+
+    /// Regression for the 64-bit memo-key collision bug: every
+    /// classification must agree with the memo-less oracle over a corpus
+    /// far larger than the memo, and the 128-bit fingerprints of all
+    /// distinct lines must be distinct. (With the old bare-`DefaultHasher`
+    /// key, a collision made one line silently inherit the other's kind.)
+    #[test]
+    fn memoized_classification_agrees_with_oracle_across_a_large_corpus() {
+        let classifier = SyslogClassifier::train(&training_corpus(30, 13), 3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let mut scratch = MatchScratch::new();
+        let mut fingerprints: HashMap<u128, String> = HashMap::new();
+        for kind in syslog_kinds() {
+            for _ in 0..200 {
+                let line = render_message(kind, &mut rng);
+                let (memoized, _) = classifier.classify_memoized(&line, &mut scratch);
+                assert_eq!(
+                    memoized,
+                    classifier.classify_oracle(&line),
+                    "memo diverged from oracle on {line:?}"
+                );
+                if let Some(other) = fingerprints.insert(fingerprint128(&line), line.clone()) {
+                    assert_eq!(other, line, "fingerprint collision: {other:?} vs {line:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_oracle_mode_classifies_identically() {
+        let corpus = training_corpus(20, 21);
+        let fast = SyslogClassifier::train(&corpus, 3, 8);
+        let oracle = SyslogClassifier::train(&corpus, 3, 8).with_string_oracle();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for kind in syslog_kinds() {
+            for _ in 0..20 {
+                let line = render_message(kind, &mut rng);
+                assert_eq!(fast.classify(&line), oracle.classify(&line));
+            }
+        }
+    }
+
+    /// Regression: clones used to copy the memo and the hit counter, so a
+    /// per-shard clone reported its parent's statistics.
+    #[test]
+    fn clones_start_with_cold_memo_and_zeroed_stats() {
+        let classifier = SyslogClassifier::train(&training_corpus(20, 17), 3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        let line = render_message(syslog_kinds()[0], &mut rng);
+        let warm = classifier.classify(&line);
+        assert_eq!(classifier.classify(&line), warm);
+        assert!(classifier.cache_hits() > 0);
+
+        let clone = classifier.clone();
+        assert_eq!(clone.cache_hits(), 0, "clone inherited hit stats");
+        assert_eq!(clone.cache_misses(), 0, "clone inherited miss stats");
+        let mut scratch = MatchScratch::new();
+        let (kind, hit) = clone.classify_memoized(&line, &mut scratch);
+        assert_eq!(kind, warm);
+        assert!(!hit, "clone inherited a warm memo");
     }
 
     #[test]

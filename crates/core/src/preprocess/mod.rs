@@ -24,6 +24,7 @@
 pub mod classify;
 
 pub use classify::SyslogClassifier;
+use skynet_ftree::MatchScratch;
 
 use crate::faultinject::{self, FaultArm};
 use crate::obs::{Counter, DropReason, Observability, Stage, StageTracer};
@@ -178,6 +179,8 @@ struct PreprocessObs {
     deduplicated: Counter,
     filtered_sporadic: Counter,
     filtered_uncorroborated: Counter,
+    classify_hits: Counter,
+    classify_misses: Counter,
     tracer: StageTracer,
 }
 
@@ -204,6 +207,14 @@ impl PreprocessObs {
             filtered_uncorroborated: reg.counter(
                 "skynet_preprocess_filtered_uncorroborated_total",
                 "traffic drops discarded for lack of corroboration",
+            ),
+            classify_hits: reg.counter(
+                "skynet_classify_cache_hits_total",
+                "syslog classifications served from this worker's memo",
+            ),
+            classify_misses: reg.counter(
+                "skynet_classify_cache_misses_total",
+                "syslog classifications that walked the FT-tree",
             ),
             tracer: obs.tracer(),
         }
@@ -243,6 +254,11 @@ pub struct Preprocessor {
     recent_surges: HashMap<LocId, SimTime>,
     stats: PreprocessStats,
     obs: PreprocessObs,
+    /// Reusable buffers for the classifier's symbol-interned match path:
+    /// the preprocessor is single-threaded per worker, so one scratch
+    /// serves every line and the steady-state classify path allocates
+    /// nothing.
+    scratch: MatchScratch,
     /// Fault-injection arms for the classify / consolidate sites.
     classify_fault: Option<FaultArm>,
     consolidate_fault: Option<FaultArm>,
@@ -264,6 +280,7 @@ impl Preprocessor {
             recent_surges: HashMap::new(),
             stats: PreprocessStats::default(),
             obs: PreprocessObs::default(),
+            scratch: MatchScratch::new(),
             classify_fault: None,
             consolidate_fault: None,
         }
@@ -313,11 +330,18 @@ impl Preprocessor {
         } else {
             match &raw.body {
                 AlertBody::Known(k) => *k,
-                AlertBody::SyslogText(text) => self
-                    .classifier
-                    .as_ref()
-                    .map(|c| c.classify(text))
-                    .unwrap_or(AlertKind::Unclassified),
+                AlertBody::SyslogText(text) => match self.classifier.as_deref() {
+                    Some(classifier) => {
+                        let (kind, hit) = classifier.classify_memoized(text, &mut self.scratch);
+                        if hit {
+                            self.obs.classify_hits.inc();
+                        } else {
+                            self.obs.classify_misses.inc();
+                        }
+                        kind
+                    }
+                    None => AlertKind::Unclassified,
+                },
             }
         };
 

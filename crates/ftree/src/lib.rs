@@ -18,11 +18,21 @@
 //! 4. Classify a new message by walking the tree with its frequency-ordered
 //!    constant words; the deepest matched template is its type
 //!    ([`FtTree::match_message`]).
+//!
+//! Production callers classify through [`FtTree::match_message_with`], the
+//! symbol-interned hot path: the tree's constant vocabulary is interned
+//! into dense [`Sym`] ids at build time ([`WordTable`]), children live in a
+//! flat symbol-sorted edge arena, and tokenization reuses a caller-owned
+//! [`MatchScratch`], so matching an already-warmed line performs no heap
+//! allocation. [`FtTree::match_message`] keeps the String-keyed walk as
+//! the differential oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod scrub;
+pub mod sym;
 pub mod tree;
 
+pub use sym::{MatchScratch, Sym, WordTable};
 pub use tree::{FtTree, FtTreeBuilder, Template, TemplateId};

@@ -55,16 +55,18 @@ fn is_hex(word: &str) -> bool {
 }
 
 /// True for MAC-address-shaped words: six hex pairs with `:`/`-`.
+/// Deliberately allocation-free — this runs for every token of every line
+/// on the classify hot path.
 fn is_mac(word: &str) -> bool {
-    let parts: Vec<&str> = if word.contains(':') {
-        word.split(':').collect()
-    } else {
-        word.split('-').collect()
-    };
-    parts.len() == 6
-        && parts
-            .iter()
-            .all(|p| p.len() == 2 && p.bytes().all(|b| b.is_ascii_hexdigit()))
+    let sep = if word.contains(':') { ':' } else { '-' };
+    let mut parts = 0usize;
+    for p in word.split(sep) {
+        parts += 1;
+        if parts > 6 || p.len() != 2 || !p.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return false;
+        }
+    }
+    parts == 6
 }
 
 /// True for interface-name-shaped words: an alphabetic prefix followed by

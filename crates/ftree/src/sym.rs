@@ -1,0 +1,118 @@
+//! Symbol interning for the FT-tree match hot path.
+//!
+//! `FtTree::match_message` normalizes every probe line into a fresh
+//! `Vec<String>` and walks `HashMap<String, usize>` children — fine for
+//! mining, ruinous at flood rate. This module interns the tree's constant
+//! vocabulary into dense `u32` symbols at build time (the same move PR 2
+//! made for locations with `LocId`): matching then works on symbols held in
+//! caller-owned scratch buffers, so the steady-state match path performs no
+//! heap allocation and unknown words short-circuit at one table lookup.
+//!
+//! The crucial invariant: symbols are assigned in the tree's canonical word
+//! order — descending corpus frequency, ties broken alphabetically — so
+//! sorting symbols *numerically* reproduces exactly the ordering
+//! `order_words` computes over `String`s. That is what lets the symbol
+//! matcher stay byte-identical to the String-keyed oracle.
+
+use std::collections::HashMap;
+
+/// Dense handle of one constant word in a mined tree's vocabulary.
+///
+/// Ids are assigned in (corpus frequency descending, word ascending)
+/// order, so `Sym`'s derived `Ord` reproduces the comparison
+/// `order_words` performs over the underlying `String`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+/// The interned vocabulary of a mined tree: every constant word of the
+/// training corpus (including words later pruned from the tree — they
+/// still occupy slots in the depth-truncation window), in canonical order.
+#[derive(Debug, Clone, Default)]
+pub struct WordTable {
+    words: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl WordTable {
+    /// Builds the table from the corpus frequency map, assigning ids in
+    /// (frequency descending, word ascending) order.
+    pub(crate) fn from_freq(freq: &HashMap<String, u32>) -> Self {
+        let mut words: Vec<String> = freq.keys().cloned().collect();
+        words.sort_by(|a, b| {
+            let fa = freq.get(a.as_str()).copied().unwrap_or(0);
+            let fb = freq.get(b.as_str()).copied().unwrap_or(0);
+            fb.cmp(&fa).then_with(|| a.cmp(b))
+        });
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), Sym(i as u32)))
+            .collect();
+        WordTable { words, index }
+    }
+
+    /// Number of interned words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Looks up a lowercased constant word. `None` means the tree has never
+    /// seen the word — the match path skips it without touching the tree.
+    pub fn sym(&self, word: &str) -> Option<Sym> {
+        self.index.get(word).copied()
+    }
+
+    /// The word behind a symbol.
+    pub fn word(&self, sym: Sym) -> &str {
+        &self.words[sym.0 as usize]
+    }
+}
+
+/// Reusable buffers for [`FtTree::match_message_with`]: one lowercase
+/// token buffer plus the line's known-symbol sequence. Once the buffers
+/// have grown to the longest line seen, matching allocates nothing.
+///
+/// [`FtTree::match_message_with`]: crate::FtTree::match_message_with
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    pub(crate) lower: String,
+    pub(crate) syms: Vec<Sym>,
+}
+
+impl MatchScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
+
+/// The symbol-compiled tree: every node's children flattened into one
+/// arena of `(Sym, child)` edges, sorted per node for binary-search
+/// lookup. Rebuilt from the persistent fields on deserialization.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Compiled {
+    pub(crate) table: WordTable,
+    /// Prefix offsets into `edges`, one per node plus a final sentinel.
+    pub(crate) edge_start: Vec<u32>,
+    /// Per-node `(symbol, child index)` edges, sorted by symbol.
+    pub(crate) edges: Vec<(Sym, u32)>,
+}
+
+impl Compiled {
+    /// The child of `node` along `sym`, if that edge exists.
+    #[inline]
+    pub(crate) fn child(&self, node: u32, sym: Sym) -> Option<u32> {
+        let lo = self.edge_start[node as usize] as usize;
+        let hi = self.edge_start[node as usize + 1] as usize;
+        let slice = &self.edges[lo..hi];
+        slice
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|k| slice[k].1)
+    }
+}

@@ -1,6 +1,8 @@
 //! The frequency-ordered template tree.
 
-use crate::scrub::constant_words;
+use crate::scrub::{constant_words, is_variable, tokenize};
+use crate::sym::{Compiled, MatchScratch, Sym};
+use crate::WordTable;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -172,12 +174,43 @@ impl FtTreeBuilder {
             }
         }
 
+        let compiled = compile(&nodes, &freq);
         FtTree {
             nodes,
             freq,
             templates,
             max_depth,
+            compiled,
         }
+    }
+}
+
+/// Compiles the String-keyed tree into the symbol arena the hot match path
+/// walks: interns the corpus vocabulary and flattens every node's children
+/// into per-node symbol-sorted edge runs.
+fn compile(nodes: &[Node], freq: &HashMap<String, u32>) -> Compiled {
+    let table = WordTable::from_freq(freq);
+    let mut edge_start: Vec<u32> = Vec::with_capacity(nodes.len() + 1);
+    let mut edges: Vec<(Sym, u32)> = Vec::new();
+    let mut buf: Vec<(Sym, u32)> = Vec::new();
+    edge_start.push(0);
+    for node in nodes {
+        buf.clear();
+        for (word, &child) in &node.children {
+            // Every child edge word came from the corpus, so it is always
+            // in the frequency map and therefore in the table.
+            if let Some(sym) = table.sym(word) {
+                buf.push((sym, child as u32));
+            }
+        }
+        buf.sort_unstable_by_key(|&(s, _)| s);
+        edges.extend_from_slice(&buf);
+        edge_start.push(edges.len() as u32);
+    }
+    Compiled {
+        table,
+        edge_start,
+        edges,
     }
 }
 
@@ -199,12 +232,47 @@ fn order_words(words: &[String], freq: &HashMap<String, u32>, max_depth: usize) 
 }
 
 /// A mined, immutable FT-tree usable for classification.
+///
+/// Two match paths share the same semantics: [`FtTree::match_message`] is
+/// the String-keyed reference walk (retained as the differential oracle,
+/// the same pattern as `PathLocator`), and [`FtTree::match_message_with`]
+/// is the symbol-interned hot path that reuses caller-owned scratch
+/// buffers instead of allocating per line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "TreeData")]
 pub struct FtTree {
     nodes: Vec<Node>,
     freq: HashMap<String, u32>,
     templates: Vec<Template>,
     max_depth: usize,
+    /// Derived symbol arena; excluded from the serialized form and
+    /// recompiled from the persistent fields on deserialization.
+    #[serde(skip)]
+    compiled: Compiled,
+}
+
+/// Serde mirror of [`FtTree`]'s persistent fields: deserialization lands
+/// here, then [`From`] recompiles the symbol arena. The serialized layout
+/// is unchanged from the pre-interning representation.
+#[derive(Deserialize)]
+struct TreeData {
+    nodes: Vec<Node>,
+    freq: HashMap<String, u32>,
+    templates: Vec<Template>,
+    max_depth: usize,
+}
+
+impl From<TreeData> for FtTree {
+    fn from(data: TreeData) -> FtTree {
+        let compiled = compile(&data.nodes, &data.freq);
+        FtTree {
+            nodes: data.nodes,
+            freq: data.freq,
+            templates: data.templates,
+            max_depth: data.max_depth,
+            compiled,
+        }
+    }
 }
 
 impl FtTree {
@@ -218,9 +286,18 @@ impl FtTree {
         &self.templates[id.0 as usize]
     }
 
+    /// The interned vocabulary backing [`FtTree::match_message_with`].
+    pub fn word_table(&self) -> &WordTable {
+        &self.compiled.table
+    }
+
     /// Classifies a raw syslog line: walks the tree with the line's
     /// frequency-ordered constant words (skipping words the tree never
     /// kept) and returns the deepest template reached.
+    ///
+    /// This is the String-keyed reference implementation — it allocates a
+    /// `Vec<String>` per line and is kept as the differential oracle for
+    /// [`FtTree::match_message_with`], which production paths use.
     pub fn match_message(&self, line: &str) -> Option<TemplateId> {
         let words = constant_words(line);
         let ordered = order_words(&words, &self.freq, self.max_depth);
@@ -237,6 +314,50 @@ impl FtTree {
                 // Unknown or pruned word: skip it, keep walking with the
                 // remaining words from the current node.
                 None => continue,
+            }
+        }
+        best
+    }
+
+    /// [`FtTree::match_message`] on interned symbols and caller-owned
+    /// scratch buffers: the hot-path variant that performs no heap
+    /// allocation once the scratch has warmed up to the longest line.
+    ///
+    /// Equivalence to the String oracle: symbols are assigned in the same
+    /// (frequency descending, word ascending) order `order_words` sorts
+    /// by, so sorting the line's symbols numerically reproduces the
+    /// oracle's word order. Words outside the vocabulary have frequency 0,
+    /// strictly below every interned word's frequency (≥ 1), so the oracle
+    /// sorts them after all known words, where they are walk no-ops;
+    /// dropping them at the table lookup before sorting and truncating to
+    /// `max_depth` therefore yields the identical walk.
+    pub fn match_message_with(&self, line: &str, scratch: &mut MatchScratch) -> Option<TemplateId> {
+        scratch.syms.clear();
+        for token in tokenize(line) {
+            if is_variable(token) {
+                continue;
+            }
+            scratch.lower.clear();
+            scratch
+                .lower
+                .extend(token.chars().map(|c| c.to_ascii_lowercase()));
+            let Some(sym) = self.compiled.table.sym(&scratch.lower) else {
+                continue;
+            };
+            if !scratch.syms.contains(&sym) {
+                scratch.syms.push(sym);
+            }
+        }
+        scratch.syms.sort_unstable();
+        scratch.syms.truncate(self.max_depth);
+        let mut cur = 0u32;
+        let mut best = None;
+        for &sym in &scratch.syms {
+            if let Some(next) = self.compiled.child(cur, sym) {
+                cur = next;
+                if let Some(id) = self.nodes[cur as usize].template {
+                    best = Some(id);
+                }
             }
         }
         best
@@ -342,6 +463,60 @@ mod tests {
     }
 
     #[test]
+    fn symbol_matcher_agrees_on_the_corpus_families() {
+        let t = corpus_tree();
+        let mut scratch = MatchScratch::new();
+        for line in [
+            "Interface TenGigE0/9/9/99 changed state to down",
+            "BGP peer 192.168.1.1 session went down",
+            "Interface Eth7/7 changed state to down",
+            "quantum flux capacitor overflow",
+            "totally unique cosmic ray message",
+            "",
+        ] {
+            assert_eq!(
+                t.match_message(line),
+                t.match_message_with(line, &mut scratch),
+                "oracle/symbol divergence on {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_table_orders_by_frequency_then_name() {
+        let t = corpus_tree();
+        let table = t.word_table();
+        assert!(!table.is_empty());
+        // "down" is the most frequent constant word (35 lines), so it gets
+        // the smallest symbol.
+        assert_eq!(table.sym("down"), Some(crate::Sym(0)));
+        assert_eq!(table.word(crate::Sym(0)), "down");
+        // Pruned singleton words stay in the vocabulary: they still occupy
+        // slots in the oracle's depth-truncation window.
+        assert!(table.sym("cosmic").is_some());
+        assert_eq!(table.sym("neverseen"), None);
+    }
+
+    #[test]
+    fn serde_round_trip_recompiles_the_symbol_arena() {
+        let t = corpus_tree();
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: FtTree = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t.templates(), back.templates());
+        assert_eq!(t.word_table().len(), back.word_table().len());
+        let mut scratch = MatchScratch::new();
+        for line in [
+            "Interface TenGigE0/9/9/99 changed state to down",
+            "BGP peer 192.168.1.1 session went down",
+        ] {
+            assert_eq!(
+                t.match_message(line),
+                back.match_message_with(line, &mut scratch)
+            );
+        }
+    }
+
+    #[test]
     fn duplicate_words_in_one_message_count_once_per_path() {
         let mut b = FtTreeBuilder::new(1, 8);
         for _ in 0..2 {
@@ -437,6 +612,33 @@ mod proptests {
                         prop_assert!(other.support <= tp.support);
                     }
                 }
+            }
+        }
+
+        /// Differential: the symbol-interned matcher must agree with the
+        /// String-keyed oracle on every corpus line and every probe line —
+        /// including probes full of words the tree has never seen — across
+        /// support/depth settings.
+        #[test]
+        fn symbol_matcher_equals_string_oracle(
+            corpus in prop::collection::vec(line_strategy(), 1..50),
+            probes in prop::collection::vec(line_strategy(), 0..50),
+            min_support in 1u32..4,
+            max_depth in 1usize..10,
+        ) {
+            let mut b = FtTreeBuilder::new(min_support, max_depth);
+            for l in &corpus {
+                b.add_line(l);
+            }
+            let t = b.build();
+            let mut scratch = MatchScratch::new();
+            for l in corpus.iter().chain(probes.iter()) {
+                prop_assert_eq!(
+                    t.match_message(l),
+                    t.match_message_with(l, &mut scratch),
+                    "oracle/symbol divergence on {:?}",
+                    l
+                );
             }
         }
 
