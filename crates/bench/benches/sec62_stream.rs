@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use skynet_bench::corpus::severe_cable_cut;
 use skynet_bench::experiments::sec62;
 use skynet_bench::ExperimentScale;
-use skynet_core::pipeline::{spawn_streaming, StreamEvent};
+use skynet_core::pipeline::StreamEvent;
 use skynet_core::{PipelineConfig, SkyNet};
 use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet_topology::GeneratorConfig;
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             let skynet = SkyNet::builder(scenario.topology())
                 .config(PipelineConfig::production())
                 .build();
-            let handle = spawn_streaming(skynet);
+            let handle = skynet.stream();
             for a in &run.alerts {
                 handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
             }

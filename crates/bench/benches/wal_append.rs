@@ -1,0 +1,107 @@
+//! Serving-layer WAL bench: append throughput under the fsync policies,
+//! and the full acked-submit path through a running service.
+//!
+//! - `wal_append/writer/{never,every64}`: raw `WalWriter::append` — CRC
+//!   framing + buffered write (+ periodic fsync) + segment rotation — over
+//!   a realistic alert feed. This is the per-event durability overhead the
+//!   ingest service pays before every ack.
+//! - `wal_append/serve_submit`: the same feed through
+//!   `ServiceHandle::submit` on a live service (queue admission + WAL
+//!   append + ack), the number an operator sizing a tenant feed sees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skynet_bench::corpus::severe_cable_cut;
+use skynet_core::serve::{FsyncPolicy, WalEvent, WalWriter};
+use skynet_core::{ObsConfig, Observability, PipelineConfig, ServeConfig, SkyNet};
+use skynet_model::SimTime;
+use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
+use skynet_topology::GeneratorConfig;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn bench_dir(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skynet-wal-bench-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let scenario = severe_cable_cut(GeneratorConfig::small(), 21);
+    let run =
+        TelemetrySuite::standard(scenario.topology(), TelemetryConfig::default()).run(&scenario);
+    let events: Vec<WalEvent> = run
+        .alerts
+        .iter()
+        .map(|a| WalEvent::Alert(a.clone()))
+        .collect();
+
+    let mut group = c.benchmark_group("wal_append");
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    for (name, fsync) in [
+        ("never", FsyncPolicy::Never),
+        ("every64", FsyncPolicy::EveryN(64)),
+    ] {
+        let dir = bench_dir(name);
+        let cfg = ServeConfig::new(&dir)
+            .with_segment_max_bytes(4 << 20)
+            .with_fsync(fsync);
+        let obs = Observability::new(&ObsConfig::default());
+        let mut wal = WalWriter::create(&cfg, &obs).expect("writer opens");
+        group.bench_function(BenchmarkId::new("writer", name), |b| {
+            b.iter(|| {
+                for event in &events {
+                    let at = match event {
+                        WalEvent::Alert(a) => a.timestamp,
+                        WalEvent::Ping(p) => p.t,
+                        WalEvent::Tick(t) => *t,
+                    };
+                    black_box(wal.append("bench", event, at).expect("append"));
+                }
+                // Prune fully-consumed segments so the bench dir stays
+                // bounded no matter how many samples criterion takes.
+                wal.retain_after_snapshot(wal.next_seq().saturating_sub(1))
+                    .expect("retain");
+            })
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    {
+        let dir = bench_dir("serve");
+        let service = SkyNet::builder(scenario.topology())
+            .config(PipelineConfig::production())
+            .serve(
+                ServeConfig::new(&dir)
+                    .with_segment_max_bytes(4 << 20)
+                    .with_fsync(FsyncPolicy::Never)
+                    .with_tenant_queue_capacity(1 << 20),
+            )
+            .expect("service starts");
+        service.hello("bench").expect("tenant admits");
+        group.bench_function("serve_submit", |b| {
+            b.iter(|| {
+                for event in &events {
+                    black_box(service.submit("bench", event.clone()).expect("ack"));
+                }
+                // Let the worker drain before the next round so queue
+                // depth (and admission cost) stays comparable.
+                while service.tenant_health("bench").expect("health").queued > 0 {
+                    std::thread::yield_now();
+                }
+                let _ = service.submit_tick("bench", SimTime::from_mins(60));
+                // Snapshotting prunes consumed WAL segments, keeping the
+                // bench dir bounded across samples.
+                service.snapshot().expect("snapshot");
+            })
+        });
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

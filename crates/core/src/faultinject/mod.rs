@@ -57,11 +57,15 @@ pub enum InjectionSite {
     Evaluate,
     /// Matching a scored incident against the SOP rulebook.
     SopSelect,
+    /// Appending an ingested record to the serving layer's write-ahead log.
+    WalAppend,
+    /// Writing a service snapshot to disk.
+    SnapshotWrite,
 }
 
 impl InjectionSite {
     /// Every site, in pipeline order.
-    pub const ALL: [InjectionSite; 9] = [
+    pub const ALL: [InjectionSite; 11] = [
         InjectionSite::GuardOffer,
         InjectionSite::GuardValidate,
         InjectionSite::PreprocessClassify,
@@ -71,6 +75,8 @@ impl InjectionSite {
         InjectionSite::MatrixBuild,
         InjectionSite::Evaluate,
         InjectionSite::SopSelect,
+        InjectionSite::WalAppend,
+        InjectionSite::SnapshotWrite,
     ];
 
     /// Stable metric/display label for the site.
@@ -85,6 +91,8 @@ impl InjectionSite {
             InjectionSite::MatrixBuild => "matrix-build",
             InjectionSite::Evaluate => "evaluate",
             InjectionSite::SopSelect => "sop-select",
+            InjectionSite::WalAppend => "wal-append",
+            InjectionSite::SnapshotWrite => "snapshot-write",
         }
     }
 
@@ -272,6 +280,12 @@ pub enum FaultDisposition {
     ZoomDegraded,
     /// SOP matching was skipped; the incident shipped without a plan.
     SopSkipped,
+    /// The WAL append was rejected; the record was neither persisted nor
+    /// acknowledged, so the sender must retry (nothing was half-written).
+    WalRejected,
+    /// The snapshot write was skipped; the previous snapshot (if any)
+    /// remains intact and restore falls back to a longer WAL replay.
+    SnapshotSkipped,
     /// The worker panicked and its supervisor took over.
     Panicked,
     /// The passage was delayed, then proceeded normally.
@@ -289,6 +303,8 @@ impl FaultDisposition {
             FaultDisposition::MatrixSkipped => "matrix-skipped",
             FaultDisposition::ZoomDegraded => "zoom-degraded",
             FaultDisposition::SopSkipped => "sop-skipped",
+            FaultDisposition::WalRejected => "wal-rejected",
+            FaultDisposition::SnapshotSkipped => "snapshot-skipped",
             FaultDisposition::Panicked => "panicked",
             FaultDisposition::Delayed => "delayed",
         }
@@ -311,6 +327,8 @@ pub fn disposition(site: InjectionSite, action: FaultAction) -> FaultDisposition
             InjectionSite::MatrixBuild => FaultDisposition::MatrixSkipped,
             InjectionSite::Evaluate => FaultDisposition::ZoomDegraded,
             InjectionSite::SopSelect => FaultDisposition::SopSkipped,
+            InjectionSite::WalAppend => FaultDisposition::WalRejected,
+            InjectionSite::SnapshotWrite => FaultDisposition::SnapshotSkipped,
         },
     }
 }
@@ -339,6 +357,23 @@ pub struct InjectedFault {
 /// to preserve the injection site in the terminal error.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPanic(pub InjectionSite);
+
+/// Serialized decision state of one (site, lane) arm — what a service
+/// snapshot stores so a restarted process resumes every decision stream
+/// without rewinding it (the RNG position is implied by `checks`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmSnapshot {
+    /// The site this arm guards.
+    pub site: InjectionSite,
+    /// The lane (shard index for sharded stages, 0 elsewhere).
+    pub lane: u32,
+    /// Stage passages observed so far.
+    pub checks: u64,
+    /// Trace id in flight at the last firing.
+    pub last_fired_trace: TraceId,
+    /// Simulation time of the last firing.
+    pub last_fired_at: SimTime,
+}
 
 /// Per-(site, lane) decision stream. Lives in the plane so it survives
 /// worker restarts.
@@ -420,6 +455,74 @@ impl FaultPlane {
             lane,
             state,
         })
+    }
+
+    /// Serializes the decision state of every arm ever armed, sorted by
+    /// (site, lane). Together with the seed and rules (already in the
+    /// [`FaultConfig`]) this is everything a warm restart needs to resume
+    /// each decision stream exactly where it stopped.
+    pub fn arm_snapshots(&self) -> Vec<ArmSnapshot> {
+        let arms = self.arms.lock();
+        let mut snaps: Vec<ArmSnapshot> = arms
+            .iter()
+            .map(|(&(site, lane), state)| {
+                let st = state.lock();
+                ArmSnapshot {
+                    site,
+                    lane,
+                    checks: st.checks,
+                    last_fired_trace: st.last_fired_trace,
+                    last_fired_at: st.last_fired_at,
+                }
+            })
+            .collect();
+        snaps.sort_by_key(|s| (s.site.index(), s.lane));
+        snaps
+    }
+
+    /// Restores arm decision state captured by [`FaultPlane::arm_snapshots`]
+    /// on a freshly built plane (same seed and rules). Each arm's ChaCha
+    /// stream is re-seeded and fast-forwarded: [`FaultArm::check`] draws
+    /// one `gen_bool` per probability rule targeting the site on *every*
+    /// check, so replaying `checks × probability-rule-count` draws lands
+    /// the stream exactly where the snapshot left it.
+    pub fn restore_arms(self: &Arc<Self>, snapshots: &[ArmSnapshot]) {
+        let mut arms = self.arms.lock();
+        for snap in snapshots {
+            let prob_rules: Vec<f64> = self
+                .rules
+                .iter()
+                .filter(|r| r.site == snap.site)
+                .filter_map(|r| match r.trigger {
+                    FaultTrigger::Probability(p) => Some(p.clamp(0.0, 1.0)),
+                    _ => None,
+                })
+                .collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(mix(self.seed, snap.site, snap.lane));
+            for _ in 0..snap.checks {
+                for &p in &prob_rules {
+                    let _ = rng.gen_bool(p);
+                }
+            }
+            arms.insert(
+                (snap.site, snap.lane),
+                Arc::new(Mutex::new(ArmState {
+                    rng,
+                    checks: snap.checks,
+                    last_fired_trace: snap.last_fired_trace,
+                    last_fired_at: snap.last_fired_at,
+                })),
+            );
+        }
+    }
+
+    /// Replaces the fired-fault ledger with one captured by
+    /// [`FaultPlane::ledger`] before a restart, so a warm-restarted
+    /// service's reports still account for faults the previous process
+    /// incarnation fired. Arm decision state is restored separately via
+    /// [`FaultPlane::restore_arms`].
+    pub fn restore_ledger(&self, faults: Vec<InjectedFault>) {
+        *self.ledger.lock() = faults;
     }
 
     /// Every fault that fired, sorted by (site, lane, ordinal) so the
@@ -693,6 +796,44 @@ mod tests {
             snap.counter("skynet_faults_injected_total", Some("evaluate")),
             1
         );
+    }
+
+    #[test]
+    fn restored_arms_resume_probability_streams_exactly() {
+        let cfg = FaultConfig::seeded(99)
+            .with_rule(FaultRule::probability(
+                InjectionSite::GuardOffer,
+                0.4,
+                FaultAction::Error,
+            ))
+            .with_rule(FaultRule::probability(
+                InjectionSite::GuardOffer,
+                0.1,
+                FaultAction::Latency(0),
+            ));
+        let live = plane(cfg.clone());
+        let arm = live.arm(InjectionSite::GuardOffer, 2).unwrap();
+        let before: Vec<bool> = (0..23)
+            .map(|_| arm.check(TraceId::NONE, SimTime::ZERO).is_some())
+            .collect();
+        let snaps = live.arm_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].checks, 23);
+        // Round-trip through serde like a real snapshot file would.
+        let json = serde_json::to_string(&snaps).unwrap();
+        let snaps: Vec<ArmSnapshot> = serde_json::from_str(&json).unwrap();
+
+        let restored = plane(cfg);
+        restored.restore_arms(&snaps);
+        let rearmed = restored.arm(InjectionSite::GuardOffer, 2).unwrap();
+        let after_restored: Vec<bool> = (0..41)
+            .map(|_| rearmed.check(TraceId::NONE, SimTime::ZERO).is_some())
+            .collect();
+        let after_live: Vec<bool> = (0..41)
+            .map(|_| arm.check(TraceId::NONE, SimTime::ZERO).is_some())
+            .collect();
+        assert_eq!(after_restored, after_live, "streams diverged after restore");
+        let _ = before;
     }
 
     #[test]

@@ -176,6 +176,39 @@ impl DeadLetterQueue {
     pub fn evicted(&self) -> u64 {
         self.evicted
     }
+
+    /// Serializes the queue (letters and full-history counters) for a
+    /// service snapshot.
+    pub fn snapshot_state(&self) -> DeadLetterState {
+        DeadLetterState {
+            letters: self.letters.iter().cloned().collect(),
+            evicted: self.evicted,
+            counts: self.counts.to_vec(),
+        }
+    }
+
+    /// Restores queue contents captured by
+    /// [`DeadLetterQueue::snapshot_state`]; the capacity stays whatever
+    /// this queue was built with.
+    pub fn restore_state(&mut self, state: DeadLetterState) {
+        self.letters = state.letters.into();
+        self.evicted = state.evicted;
+        self.counts = [0; RejectReason::ALL.len()];
+        for (slot, v) in self.counts.iter_mut().zip(&state.counts) {
+            *slot = *v;
+        }
+    }
+}
+
+/// Serialized [`DeadLetterQueue`] contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadLetterState {
+    /// Retained letters, oldest first.
+    pub letters: Vec<DeadLetter>,
+    /// Letters dropped to stay within capacity.
+    pub evicted: u64,
+    /// Per-reason full-history totals, indexed like [`RejectReason::ALL`].
+    pub counts: Vec<u64>,
 }
 
 /// Ingestion counters, published alongside [`PreprocessStats`]
@@ -275,6 +308,33 @@ impl Ord for Buffered {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
+}
+
+/// One duplicate-suppression signature in serialized (path) form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SeenEntry {
+    source: DataSource,
+    body: AlertBody,
+    location: skynet_model::LocationPath,
+    peer: Option<skynet_model::LocationPath>,
+    timestamp: SimTime,
+    magnitude_bits: u64,
+    admitted_at: SimTime,
+}
+
+/// Serialized [`IngestGuard`] state for service snapshots — everything
+/// behind the watermark semantics, with locations widened back to paths so
+/// the snapshot survives re-interning on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardState {
+    buffered: Vec<(u64, RawAlert)>,
+    seq: u64,
+    max_seen: SimTime,
+    trusted_now: Option<SimTime>,
+    seen: Vec<SeenEntry>,
+    stats: IngestStats,
+    next_trace: u64,
+    dead: DeadLetterState,
 }
 
 /// The guard's registered metric handles (detached no-op handles when the
@@ -440,6 +500,80 @@ impl IngestGuard {
     /// Alerts currently held in the reordering buffer.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Serializes everything a warm restart needs to resume this guard
+    /// mid-flood: the reordering buffer, watermark clocks, duplicate
+    /// signatures (in path form — [`LocId`]s are re-interned on restore),
+    /// counters, the dense trace cursor and the dead-letter queue.
+    pub fn snapshot_state(&self) -> GuardState {
+        let mut buffered: Vec<(u64, RawAlert)> = self
+            .buffer
+            .iter()
+            .map(|Reverse(b)| (b.seq, b.alert.clone()))
+            .collect();
+        buffered.sort_by_key(|(seq, _)| *seq);
+        let seen = self
+            .seen
+            .iter()
+            .map(|(key, &at)| SeenEntry {
+                source: key.0,
+                body: key.1.clone(),
+                location: self.interner.path(key.2).clone(),
+                peer: key.3.map(|p| self.interner.path(p).clone()),
+                timestamp: key.4,
+                magnitude_bits: key.5,
+                admitted_at: at,
+            })
+            .collect();
+        GuardState {
+            buffered,
+            seq: self.seq,
+            max_seen: self.max_seen,
+            trusted_now: self.trusted_now,
+            seen,
+            stats: self.stats,
+            next_trace: self.next_trace,
+            dead: self.dead.lock().snapshot_state(),
+        }
+    }
+
+    /// Restores state captured by [`IngestGuard::snapshot_state`] onto a
+    /// freshly built guard over the same topology. Duplicate signatures
+    /// whose locations no longer resolve (a topology change between
+    /// snapshot and restore) are dropped — the alerts they guarded against
+    /// would be rejected as off-topology anyway.
+    pub fn restore_state(&mut self, state: GuardState) {
+        self.buffer = state
+            .buffered
+            .into_iter()
+            .map(|(seq, alert)| {
+                Reverse(Buffered {
+                    at: alert.timestamp,
+                    seq,
+                    alert,
+                })
+            })
+            .collect();
+        self.seq = state.seq;
+        self.max_seen = state.max_seen;
+        self.trusted_now = state.trusted_now;
+        self.seen = state
+            .seen
+            .into_iter()
+            .filter_map(|e| {
+                let loc = self.interner.resolve(&e.location)?;
+                let peer = match &e.peer {
+                    Some(p) => Some(self.interner.resolve(p)?),
+                    None => None,
+                };
+                let key: DupKey = (e.source, e.body, loc, peer, e.timestamp, e.magnitude_bits);
+                Some((key, e.admitted_at))
+            })
+            .collect();
+        self.stats = state.stats;
+        self.next_trace = state.next_trace;
+        self.dead.lock().restore_state(state.dead);
     }
 
     /// Validates one alert, returning the interned ids of its location and
@@ -806,6 +940,46 @@ mod tests {
             .map(|e| e.stage.label())
             .collect();
         assert_eq!(steps, vec!["guard:admitted", "guard:released"]);
+    }
+
+    #[test]
+    fn guard_state_round_trips_mid_flood() {
+        let t = topo();
+        let mut live = IngestGuard::new(&t, GuardConfig::default());
+        let mut live_out = Vec::new();
+        for s in [100, 90, 110, 130, 125] {
+            let _ = live.offer(alert(&t, s), &mut live_out);
+        }
+        live.advance(SimTime::from_secs(140), &mut live_out);
+
+        let state = live.snapshot_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let state: GuardState = serde_json::from_str(&json).unwrap();
+        let mut restored = IngestGuard::new(&t, GuardConfig::default());
+        restored.restore_state(state);
+        assert_eq!(restored.buffered(), live.buffered());
+        assert_eq!(restored.stats(), live.stats());
+
+        // The tail of the flood must play out identically: a duplicate of a
+        // pre-snapshot alert is still rejected, new alerts release in the
+        // same order, and trace ids continue from the same cursor.
+        let mut r_out = Vec::new();
+        let tail = [125u64, 150, 145, 200];
+        for s in tail {
+            let _ = restored.offer(alert(&t, s), &mut r_out);
+        }
+        restored.flush(&mut r_out);
+        let mut l_tail = Vec::new();
+        for s in tail {
+            let _ = live.offer(alert(&t, s), &mut l_tail);
+        }
+        live.flush(&mut l_tail);
+        assert_eq!(r_out, l_tail);
+        assert_eq!(restored.stats(), live.stats());
+        assert_eq!(
+            restored.dead_letters().lock().total(),
+            live.dead_letters().lock().total()
+        );
     }
 
     #[test]

@@ -43,6 +43,9 @@
 //! - [`faultinject`] — seeded, replayable fault injection at every stage
 //!   boundary, plus the post-incident degradation report. Disabled by
 //!   default and zero-cost when off.
+//! - [`serve`] — the always-on multi-tenant ingest service: a TCP/JSON
+//!   front door with per-tenant backpressure, a segmented replayable
+//!   write-ahead log, and snapshot/restore warm restarts.
 //!
 //! Build a pipeline with [`SkyNet::builder`]; pull the common surface in
 //! one line with `use skynet_core::prelude::*`.
@@ -62,6 +65,7 @@ pub mod obs;
 pub mod par;
 pub mod pipeline;
 pub mod preprocess;
+pub mod serve;
 pub mod shard;
 pub mod sop;
 
@@ -73,12 +77,15 @@ pub use faultinject::{
 };
 pub use guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 pub use locator::{CountingMode, Incident, Locator, LocatorConfig, MaintenanceMode, Thresholds};
-pub use obs::{ObsConfig, Observability};
+pub use obs::{Exporter, ObsConfig, Observability};
+#[allow(deprecated)]
+pub use pipeline::spawn_streaming;
 pub use pipeline::{
-    spawn_streaming, AnalysisReport, HealthReport, IngestSnapshot, PipelineConfig, SkyNet,
-    SkyNetBuilder, StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
+    AnalysisReport, Handle, HealthReport, IngestSnapshot, PipelineConfig, SkyNet, SkyNetBuilder,
+    StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
 };
 pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
+pub use serve::{replay_wal, ServeConfig, ServeError, ServiceHandle, TenantHealth};
 pub use sop::{SopAction, SopEngine, SopPlan, SopRule};
 
 /// The curated one-line import for building and driving a pipeline.
@@ -93,11 +100,14 @@ pub mod prelude {
         DegradationReport, FaultAction, FaultConfig, FaultRule, InjectionSite,
     };
     pub use crate::locator::Incident;
-    pub use crate::obs::{ObsConfig, Observability, Stage, TraceEvent};
+    pub use crate::obs::{Exporter, ObsConfig, Observability, Stage, TraceEvent};
+    #[allow(deprecated)]
+    pub use crate::pipeline::spawn_streaming;
     pub use crate::pipeline::{
-        spawn_streaming, AnalysisReport, PipelineConfig, SkyNet, SkyNetBuilder, StreamEvent,
-        StreamIncident, StreamingConfig, StreamingHandle,
+        AnalysisReport, Handle, PipelineConfig, SkyNet, SkyNetBuilder, StreamEvent, StreamIncident,
+        StreamingConfig, StreamingHandle,
     };
+    pub use crate::serve::{replay_wal, ServeConfig, ServiceHandle, TenantHealth};
     pub use skynet_model::{RawAlert, SimTime, TraceId};
 }
 

@@ -237,6 +237,48 @@ impl OpenIncident {
     }
 }
 
+/// One main-tree node's alerts in a [`LocatorState`], sorted by type so
+/// identical states serialize identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeState {
+    loc: u32,
+    alerts: Vec<StructuredAlert>,
+}
+
+/// One open incident tree in a [`LocatorState`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpenIncidentState {
+    id: IncidentId,
+    root: u32,
+    nodes: Vec<NodeState>,
+    update_time: SimTime,
+}
+
+/// Serializable mid-flood locator state for warm restarts.
+///
+/// Captures the arena's live alerts (in `active` order), open and
+/// completed incidents, the check grid position and the id counter.
+/// Location ids are stored as raw indices: the snapshot also records the
+/// paths the locator interned *beyond* its topology base, in id order, so
+/// a restored locator built over the same topology re-interns them and
+/// reproduces the identical id space. The expiry wheel, region tallies
+/// and active index are derived state and are rebuilt on restore; stale
+/// wheel entries from pre-snapshot refreshes are deliberately not carried
+/// over — the drain skips them by re-checking live timestamps, so their
+/// absence changes neither evictions nor incidents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocatorState {
+    base_locs: usize,
+    extra_paths: Vec<LocationPath>,
+    active: Vec<u32>,
+    main: Vec<NodeState>,
+    open: Vec<OpenIncidentState>,
+    completed: Vec<Incident>,
+    next_check: SimTime,
+    next_id: u32,
+    dirty: bool,
+}
+
 /// A canonical-ordered location pair: adjacency stores each linked pair
 /// once, queried from either direction without cloning anything.
 fn pair(a: LocId, b: LocId) -> (LocId, LocId) {
@@ -337,6 +379,9 @@ pub struct Locator {
     /// The topology's interner, extended in place with any off-topology
     /// locations the flood mentions (e.g. probe pseudo-devices).
     interner: LocationInterner,
+    /// How many ids the interner held at construction (the topology base);
+    /// ids at or beyond this are stream growth that snapshots must carry.
+    base_locs: usize,
     /// The main alert tree as an arena indexed by `LocId`.
     main: Vec<Node>,
     /// Ids of main-tree nodes that currently hold alerts (no duplicates;
@@ -413,9 +458,11 @@ impl Locator {
             }
         }
         let main = vec![Node::default(); interner.len()];
+        let base_locs = interner.len();
         Locator {
             cfg,
             interner,
+            base_locs,
             main,
             active: Vec::new(),
             open: Vec::new(),
@@ -1026,6 +1073,120 @@ impl Locator {
         std::mem::take(&mut self.completed)
     }
 
+    /// Captures the mid-flood state for a warm restart (see
+    /// [`LocatorState`] for exactly what is carried vs. rebuilt).
+    pub fn snapshot_state(&self) -> LocatorState {
+        let node_state = |loc: LocId, node: &Node| {
+            let mut alerts: Vec<StructuredAlert> = node.alerts.values().cloned().collect();
+            alerts.sort_by(|a, b| a.ty.cmp(&b.ty));
+            NodeState {
+                loc: loc.index() as u32,
+                alerts,
+            }
+        };
+        LocatorState {
+            base_locs: self.base_locs,
+            extra_paths: (self.base_locs..self.interner.len())
+                .map(|i| self.interner.path(LocId::from_index(i)).clone())
+                .collect(),
+            active: self.active.iter().map(|l| l.index() as u32).collect(),
+            main: self
+                .active
+                .iter()
+                .map(|&l| node_state(l, &self.main[l.index()]))
+                .collect(),
+            open: self
+                .open
+                .iter()
+                .map(|i| {
+                    let mut nodes: Vec<NodeState> =
+                        i.nodes.iter().map(|(&l, n)| node_state(l, n)).collect();
+                    nodes.sort_by_key(|n| n.loc);
+                    OpenIncidentState {
+                        id: i.id,
+                        root: i.root.index() as u32,
+                        nodes,
+                        update_time: i.update_time,
+                    }
+                })
+                .collect(),
+            completed: self.completed.clone(),
+            next_check: self.next_check,
+            next_id: self.next_id,
+            dirty: self.dirty,
+        }
+    }
+
+    /// Restores the state captured by [`Locator::snapshot_state`] into a
+    /// locator freshly built over the *same* topology and config. The
+    /// active index, expiry wheel and region tallies are rebuilt from the
+    /// restored alerts; subsequent inserts, ticks and carves behave
+    /// exactly as if the process had never stopped.
+    ///
+    /// # Panics
+    /// Panics if this locator's topology base differs from the one the
+    /// snapshot was taken over.
+    pub fn restore_state(&mut self, state: LocatorState) {
+        assert_eq!(
+            state.base_locs, self.base_locs,
+            "locator restore requires the same topology"
+        );
+        for path in &state.extra_paths {
+            self.interner.intern(path);
+        }
+        if self.main.len() < self.interner.len() {
+            self.main.resize_with(self.interner.len(), Node::default);
+        }
+        let as_node = |ns: &NodeState| Node {
+            alerts: ns.alerts.iter().map(|a| (a.ty, a.clone())).collect(),
+        };
+        self.active = state
+            .active
+            .iter()
+            .map(|&i| LocId::from_index(i as usize))
+            .collect();
+        for node in self.main.iter_mut() {
+            node.alerts.clear();
+        }
+        for ns in &state.main {
+            self.main[ns.loc as usize] = as_node(ns);
+        }
+        self.open = state
+            .open
+            .iter()
+            .map(|o| OpenIncident {
+                id: o.id,
+                root: LocId::from_index(o.root as usize),
+                nodes: o
+                    .nodes
+                    .iter()
+                    .map(|ns| (LocId::from_index(ns.loc as usize), as_node(ns)))
+                    .collect(),
+                update_time: o.update_time,
+            })
+            .collect();
+        self.completed = state.completed;
+        self.next_check = state.next_check;
+        self.next_id = state.next_id;
+        self.dirty = state.dirty;
+        self.active_index.clear();
+        self.wheel.clear();
+        self.region_counts.clear();
+        if self.cfg.maintenance == MaintenanceMode::Incremental {
+            for (idx, &loc) in self.active.iter().enumerate() {
+                self.active_index.insert(loc, idx);
+                let region = self.interner.region_of(loc);
+                for (&ty, alert) in &self.main[loc.index()].alerts {
+                    self.region_counts.entry(region).or_default().add(ty);
+                    self.wheel
+                        .entry(alert.last_seen + self.cfg.node_timeout)
+                        .or_default()
+                        .push((loc, ty));
+                }
+            }
+        }
+    }
+
     /// Number of currently open incident trees.
     pub fn open_count(&self) -> usize {
         self.open.len()
@@ -1419,6 +1580,49 @@ mod tests {
             loc.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 400, &s));
             loc.advance(SimTime::from_secs(450));
             assert_eq!(loc.open_count(), 1, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn locator_state_round_trips_mid_flood() {
+        let t = topo();
+        for cfg in both_modes() {
+            let mode = cfg.maintenance;
+            let mut live = Locator::new(&t, cfg.clone());
+            let c1 = t.clusters()[0].clone();
+            let c2 = t.clusters()[1].clone();
+            // Off-topology probe device: grows the interner mid-stream, so
+            // the snapshot must carry the extra path.
+            let probe = c1.child("probe-x");
+            live.insert(&alert(DataSource::Ping, AlertKind::PacketLossIcmp, 10, &c1));
+            live.insert(&alert(DataSource::Ping, AlertKind::PacketLossTcp, 20, &c1));
+            live.insert(&alert(DataSource::Snmp, AlertKind::HighCpu, 25, &probe));
+            live.advance(SimTime::from_secs(60));
+            assert_eq!(live.open_count(), 1, "mode {mode:?}");
+
+            let state = live.snapshot_state();
+            let json = serde_json::to_string(&state).unwrap();
+            let mut restored = Locator::new(&t, cfg);
+            restored.restore_state(serde_json::from_str(&json).unwrap());
+            assert_eq!(restored.open_count(), live.open_count(), "mode {mode:?}");
+            assert_eq!(restored.open_roots(), live.open_roots(), "mode {mode:?}");
+
+            // Identical tail: a second incident in a sibling cluster, then
+            // idle time past both timeouts so everything finalizes.
+            for loc in [&mut live, &mut restored] {
+                loc.insert(&alert(DataSource::Ping, AlertKind::PacketBitFlip, 70, &c2));
+                loc.insert(&alert(DataSource::Snmp, AlertKind::LinkDown, 72, &c2));
+                loc.advance(SimTime::from_mins(40));
+                loc.finish();
+            }
+            let live_done = live.take_completed();
+            let restored_done = restored.take_completed();
+            assert_eq!(
+                serde_json::to_string(&live_done).unwrap(),
+                serde_json::to_string(&restored_done).unwrap(),
+                "mode {mode:?}"
+            );
+            assert!(!live_done.is_empty(), "mode {mode:?}");
         }
     }
 

@@ -2,10 +2,11 @@
 //! human-readable table.
 //!
 //! All three render a [`RegistrySnapshot`], so one consistent read feeds
-//! every format. The JSON exporter writes the document by hand —
-//! `serde_json` is deliberately not a runtime dependency of the core
-//! crate — and is covered by a round-trip test through a real parser in
-//! the workspace test suite.
+//! every format; handles expose them through the
+//! [`Exporter`](super::Exporter) trait rather than re-implementing them.
+//! The JSON exporter writes the document by hand — it predates the serving
+//! layer's `serde_json` dependency and its output shape is pinned by a
+//! round-trip test through a real parser in the workspace test suite.
 
 use super::metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, RegistrySnapshot};
 use std::fmt::Write as _;

@@ -13,7 +13,8 @@
 //!   records `Copy` [`TraceEvent`]s into a bounded ring, so
 //!   "where did alert X go?" has an answer ([`Observability::explain`]).
 //! - [`export`] — Prometheus text, JSON and human-table renderings of one
-//!   consistent [`RegistrySnapshot`].
+//!   consistent [`RegistrySnapshot`], surfaced uniformly through the
+//!   [`Exporter`] trait on every handle that owns a registry.
 //!
 //! An [`Observability`] handle is shared by the whole pipeline (batch
 //! stages, region shards, streaming workers across supervisor restarts);
@@ -75,6 +76,43 @@ impl ObsConfig {
     }
 }
 
+/// The one metrics-export surface, shared by every handle that owns (or
+/// borrows) a metrics registry: [`SkyNet`](crate::SkyNet), the streaming
+/// and service handles, and [`Observability`] itself.
+///
+/// Implementors provide [`Exporter::metrics_snapshot`]; the three render
+/// methods are defaults over that one consistent read, so no handle ever
+/// re-implements (or drifts from) the export formats.
+///
+/// ```
+/// use skynet_core::obs::{Exporter, Observability, ObsConfig};
+///
+/// let obs = Observability::new(&ObsConfig::default());
+/// obs.registry().counter("skynet_x_total", "x").inc();
+/// assert!(obs.prometheus().contains("skynet_x_total 1"));
+/// assert!(obs.json().contains("skynet_x_total"));
+/// assert!(obs.table().contains("skynet_x_total"));
+/// ```
+pub trait Exporter {
+    /// One consistent pass over every registered metric.
+    fn metrics_snapshot(&self) -> RegistrySnapshot;
+
+    /// The snapshot in Prometheus text exposition format.
+    fn prometheus(&self) -> String {
+        export::prometheus(&self.metrics_snapshot())
+    }
+
+    /// The snapshot as one JSON document.
+    fn json(&self) -> String {
+        export::json(&self.metrics_snapshot())
+    }
+
+    /// The snapshot as an aligned human-readable table.
+    fn table(&self) -> String {
+        export::render(&self.metrics_snapshot())
+    }
+}
+
 /// The shared observability handle: one metrics registry plus (optionally)
 /// one trace recorder. Cloning shares state — the pipeline, its shards and
 /// restarted streaming workers all feed the same instance.
@@ -118,21 +156,6 @@ impl Observability {
         self.registry.snapshot()
     }
 
-    /// The snapshot in Prometheus text exposition format.
-    pub fn prometheus(&self) -> String {
-        export::prometheus(&self.snapshot())
-    }
-
-    /// The snapshot as one JSON document.
-    pub fn json(&self) -> String {
-        export::json(&self.snapshot())
-    }
-
-    /// The snapshot as an aligned human-readable table.
-    pub fn render(&self) -> String {
-        export::render(&self.snapshot())
-    }
-
     /// Every retained trace event of one alert, oldest first (empty when
     /// tracing is off, the id never entered the ring, or the flood
     /// overwrote it).
@@ -164,6 +187,12 @@ impl Observability {
             let _ = writeln!(out, "{}  @{}  {}", e.trace, e.at, e.stage.label());
         }
         out
+    }
+}
+
+impl Exporter for Observability {
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
     }
 }
 
@@ -216,6 +245,6 @@ mod tests {
         obs.registry().counter("skynet_x_total", "x").add(7);
         assert!(obs.prometheus().contains("skynet_x_total 7"));
         assert!(obs.json().contains("\"value\":7"));
-        assert!(obs.render().contains("skynet_x_total"));
+        assert!(obs.table().contains("skynet_x_total"));
     }
 }

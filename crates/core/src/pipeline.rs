@@ -2,7 +2,7 @@
 //!
 //! [`SkyNet::analyze`] runs the batch pipeline of Fig. 5a — guard →
 //! preprocess → locate → evaluate → rank — over a recorded alert flood.
-//! [`spawn_streaming`] runs the same stages as a long-lived, *supervised*
+//! [`SkyNet::stream`] runs the same stages as a long-lived, *supervised*
 //! worker thread fed through a channel, the shape the production deployment
 //! uses ("the alert preprocessing occurs through a stream processing
 //! mechanism", §6.2).
@@ -28,7 +28,8 @@ use crate::faultinject::{
 use crate::guard::{DeadLetter, DeadLetterQueue, GuardConfig, IngestGuard, IngestStats};
 use crate::locator::{Incident, Locator, LocatorConfig};
 use crate::obs::{
-    Counter, Histogram, ObsConfig, Observability, Stage, StageTracer, TraceEvent, LATENCY_BUCKETS,
+    Counter, Exporter, Histogram, ObsConfig, Observability, RegistrySnapshot, Stage, StageTracer,
+    TraceEvent, LATENCY_BUCKETS,
 };
 use crate::par::parallel_map;
 use crate::preprocess::{PreprocessStats, Preprocessor, PreprocessorConfig, SyslogClassifier};
@@ -431,15 +432,35 @@ impl SkyNetBuilder {
             obs,
         }
     }
+
+    /// Builds the pipeline and spawns it as the supervised streaming
+    /// runtime in one step — the builder-first spelling of
+    /// [`SkyNet::stream`].
+    pub fn stream(self) -> StreamingHandle {
+        self.build().stream()
+    }
+
+    /// Builds the pipeline and starts the always-on multi-tenant ingest
+    /// service: per-tenant ingest guards behind bounded queues, a
+    /// replayable write-ahead log, snapshot/restore warm restarts and an
+    /// optional TCP/JSON front door. See [`crate::serve`] for the
+    /// architecture and [`ServeConfig`](crate::serve::ServeConfig) for the
+    /// knobs.
+    pub fn serve(
+        self,
+        cfg: crate::serve::ServeConfig,
+    ) -> Result<crate::serve::ServiceHandle, crate::serve::ServeError> {
+        crate::serve::ServiceHandle::start(self.build(), cfg)
+    }
 }
 
 /// The assembled system.
 #[derive(Debug)]
 pub struct SkyNet {
-    topo: Arc<Topology>,
-    cfg: PipelineConfig,
-    classifier: Option<Arc<SyslogClassifier>>,
-    obs: Observability,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) classifier: Option<Arc<SyslogClassifier>>,
+    pub(crate) obs: Observability,
 }
 
 impl SkyNet {
@@ -485,25 +506,18 @@ impl SkyNet {
 
     /// The pipeline's observability handle: metrics snapshots, exporters
     /// and per-alert trace queries. Batch analyses accumulate into it;
-    /// [`spawn_streaming`] hands a clone of it to the
+    /// [`SkyNet::stream`] hands a clone of it to the
     /// [`StreamingHandle`].
     pub fn observability(&self) -> &Observability {
         &self.obs
     }
 
-    /// The metrics snapshot in Prometheus text exposition format.
-    pub fn prometheus(&self) -> String {
-        self.obs.prometheus()
-    }
-
-    /// The metrics snapshot as one JSON document.
-    pub fn metrics_json(&self) -> String {
-        self.obs.json()
-    }
-
-    /// The metrics snapshot as a human-readable table.
-    pub fn render_metrics(&self) -> String {
-        self.obs.render()
+    /// Spawns this pipeline as a supervised streaming worker fed through a
+    /// bounded channel — the paper's production deployment shape (§6.2).
+    /// Prefer reaching this through the builder:
+    /// `SkyNet::builder(topo).config(cfg).stream()`.
+    pub fn stream(self) -> StreamingHandle {
+        spawn_streaming_impl(self)
     }
 
     /// Every retained trace event of one alert — "where did alert X go?".
@@ -760,7 +774,7 @@ impl SkyNet {
         )
     }
 
-    fn finish_report(
+    pub(crate) fn finish_report(
         &self,
         incidents: Vec<Incident>,
         ping: &PingLog,
@@ -902,7 +916,7 @@ impl StageLatency {
 /// reassigned densely in that order. The 1-shard path goes through the
 /// same merge, which is what makes reports byte-comparable across shard
 /// counts.
-fn merge_incidents(per_shard: Vec<Vec<Incident>>) -> Vec<Incident> {
+pub(crate) fn merge_incidents(per_shard: Vec<Vec<Incident>>) -> Vec<Incident> {
     let mut all: Vec<Incident> = per_shard.into_iter().flatten().collect();
     all.sort_by(|a, b| {
         (a.first_seen, &a.root, a.last_seen).cmp(&(b.first_seen, &b.root, b.last_seen))
@@ -1231,24 +1245,55 @@ impl StreamingHandle {
         &self.obs
     }
 
-    /// Every registered metric in Prometheus text exposition format.
-    pub fn prometheus(&self) -> String {
-        self.obs.prometheus()
-    }
-
-    /// Every registered metric as one JSON document.
-    pub fn metrics_json(&self) -> String {
-        self.obs.json()
-    }
-
-    /// Every registered metric as an aligned human-readable table.
-    pub fn render_metrics(&self) -> String {
-        self.obs.render()
-    }
-
     /// The retained stage trace of one alert, oldest first.
     pub fn explain(&self, trace: TraceId) -> Vec<TraceEvent> {
         self.obs.explain(trace)
+    }
+}
+
+/// The shared surface of every long-lived pipeline handle — the streaming
+/// runtime's [`StreamingHandle`] and the serving layer's
+/// [`ServiceHandle`](crate::serve::ServiceHandle) — so operational code
+/// (health endpoints, scrape loops, post-incident tooling) is written once
+/// against the trait.
+///
+/// `Handle: Exporter` — every handle also exports the metrics registry in
+/// all three formats.
+pub trait Handle: Exporter {
+    /// The liveness probe a health-check endpoint polls.
+    fn health(&self) -> HealthReport;
+
+    /// The degradation story so far: fault ledger, restart/shed counters,
+    /// quarantined evidence and the timeline from the trace ring.
+    fn degradation_report(&self) -> DegradationReport;
+
+    /// The retained stage trace of one alert, oldest first.
+    fn explain(&self, trace: TraceId) -> Vec<TraceEvent>;
+}
+
+impl Exporter for SkyNet {
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.obs.snapshot()
+    }
+}
+
+impl Exporter for StreamingHandle {
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.obs.snapshot()
+    }
+}
+
+impl Handle for StreamingHandle {
+    fn health(&self) -> HealthReport {
+        StreamingHandle::health(self)
+    }
+
+    fn degradation_report(&self) -> DegradationReport {
+        StreamingHandle::degradation_report(self)
+    }
+
+    fn explain(&self, trace: TraceId) -> Vec<TraceEvent> {
+        StreamingHandle::explain(self, trace)
     }
 }
 
@@ -1266,9 +1311,20 @@ struct WorkerShared {
 }
 
 /// Spawns the pipeline as a supervised worker thread fed through a bounded
-/// channel — per the tokio guide this workload is CPU-bound stream
-/// processing, so it runs on a plain OS thread with crossbeam channels.
+/// channel.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `SkyNet::builder(topo).config(cfg).stream()` (or \
+            `SkyNet::stream`) — the builder is the one front door"
+)]
 pub fn spawn_streaming(skynet: SkyNet) -> StreamingHandle {
+    skynet.stream()
+}
+
+/// The streaming runtime behind [`SkyNet::stream`] — per the tokio guide
+/// this workload is CPU-bound stream processing, so it runs on a plain OS
+/// thread with crossbeam channels.
+fn spawn_streaming_impl(skynet: SkyNet) -> StreamingHandle {
     let scfg = skynet.cfg.streaming.clone();
     let (event_tx, event_rx) = bounded::<StreamEvent>(scfg.event_capacity.max(1));
     let (incident_tx, incident_rx) = bounded::<StreamIncident>(scfg.incident_capacity.max(1));
@@ -2094,7 +2150,7 @@ mod tests {
         let skynet_stream = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet_stream);
+        let handle = skynet_stream.stream();
         for a in &alerts {
             handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
         }
@@ -2194,7 +2250,7 @@ mod tests {
         let skynet = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         for a in flood(&site) {
             handle.events.send(StreamEvent::Alert(a)).unwrap();
         }
@@ -2221,7 +2277,7 @@ mod tests {
         let skynet = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         assert!(handle.is_alive());
         // Poison first, then the flood: the restarted worker must analyze
         // it with fresh state as if nothing happened.
@@ -2251,7 +2307,7 @@ mod tests {
         let mut cfg = PipelineConfig::production();
         cfg.streaming.max_restarts = 1;
         let skynet = SkyNet::builder(&t).config(cfg).build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         handle.events.send(StreamEvent::ChaosPanic).unwrap();
         handle.events.send(StreamEvent::ChaosPanic).unwrap();
         handle.worker.join().unwrap();
@@ -2372,7 +2428,7 @@ mod tests {
 
         let mut cfg = PipelineConfig::production();
         cfg.streaming.shards = 4;
-        let handle = spawn_streaming(SkyNet::builder(&t).config(cfg).build());
+        let handle = SkyNet::builder(&t).config(cfg).stream();
         for a in &alerts {
             handle.events.send(StreamEvent::Alert(a.clone())).unwrap();
         }
@@ -2415,7 +2471,7 @@ mod tests {
         let alerts = two_region_flood(&t);
         let mut cfg = PipelineConfig::production();
         cfg.streaming.shards = 2;
-        let handle = spawn_streaming(SkyNet::builder(&t).config(cfg).build());
+        let handle = SkyNet::builder(&t).config(cfg).stream();
         // One chaos event is broadcast to every shard; each catches its own
         // panic and restarts with fresh shard-local state while the ingest
         // worker keeps running.
@@ -2457,7 +2513,7 @@ mod tests {
         let skynet = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         // A near-empty channel never sheds anything.
         for a in flood(&site) {
             handle.send_alert(a).unwrap();
@@ -2498,9 +2554,7 @@ mod tests {
         );
         let prom = skynet.prometheus();
         assert!(prom.contains("skynet_stage_seconds_bucket"));
-        assert!(skynet
-            .metrics_json()
-            .contains("skynet_ingest_accepted_total"));
+        assert!(skynet.json().contains("skynet_ingest_accepted_total"));
         // Explain reconstructs the winning incident's constituent traces.
         let top = &report.incidents[0];
         let events = skynet.explain_incident(&top.incident);
@@ -2519,7 +2573,7 @@ mod tests {
         let skynet = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         for a in flood(&site) {
             handle.send_alert(a).unwrap();
         }
@@ -2534,12 +2588,8 @@ mod tests {
         let prom = handle.prometheus();
         assert!(prom.contains("skynet_ingest_accepted_total 41"));
         assert!(prom.contains("skynet_incidents_completed_total 1"));
-        assert!(handle
-            .metrics_json()
-            .contains("skynet_preprocess_emitted_total"));
-        assert!(handle
-            .render_metrics()
-            .contains("skynet_ingest_accepted_total"));
+        assert!(handle.json().contains("skynet_preprocess_emitted_total"));
+        assert!(handle.table().contains("skynet_ingest_accepted_total"));
         // Every constituent alert's trace runs guard → locate → score.
         for alert in &streamed[0].scored.incident.alerts {
             let events = handle.explain(alert.trace);
@@ -2560,7 +2610,7 @@ mod tests {
         let skynet = SkyNet::builder(&t)
             .config(PipelineConfig::production())
             .build();
-        let handle = spawn_streaming(skynet);
+        let handle = skynet.stream();
         for a in flood(&site) {
             handle.events.send(StreamEvent::Alert(a)).unwrap();
         }

@@ -233,6 +233,46 @@ struct PendingPersistence {
     sightings: u32,
 }
 
+/// One open `(type, location)` dedup group in a [`PreprocessorState`].
+///
+/// Locations travel as full [`LocationPath`]s because the preprocessor's
+/// interner starts empty and grows with the stream: a restored process
+/// re-interns every path, so the dense ids never need to survive serde.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OpenEntry {
+    ty: AlertType,
+    location: LocationPath,
+    alert: StructuredAlert,
+    last_emitted: SimTime,
+}
+
+/// One pending persistence gate in a [`PreprocessorState`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PendingEntry {
+    ty: AlertType,
+    location: LocationPath,
+    alert: StructuredAlert,
+    sightings: u32,
+}
+
+/// Serializable mid-stream consolidation state for warm restarts.
+///
+/// Captures everything [`Preprocessor::push`] consults — open dedup
+/// groups, pending persistence gates, held uncorroborated drops,
+/// recent corroborators and surge representatives — plus the running
+/// [`PreprocessStats`]. Restoring this state into a preprocessor built
+/// with the same config and classifier makes the tail of the stream
+/// behave exactly as if the process had never stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreprocessorState {
+    open: Vec<OpenEntry>,
+    pending: Vec<PendingEntry>,
+    held_drops: Vec<(LocationPath, StructuredAlert)>,
+    corroborators: Vec<(SimTime, LocationPath)>,
+    recent_surges: Vec<(LocationPath, SimTime)>,
+    stats: PreprocessStats,
+}
+
 /// The streaming preprocessor. Push time-ordered raw alerts, collect
 /// structured alerts.
 #[derive(Debug)]
@@ -310,6 +350,109 @@ impl Preprocessor {
     /// Counters so far.
     pub fn stats(&self) -> PreprocessStats {
         self.stats
+    }
+
+    /// Captures the mid-stream consolidation state for a warm restart.
+    ///
+    /// Entries are widened from dense [`LocId`]s to [`LocationPath`]s and
+    /// sorted by `(type, location)` so two snapshots of the same state
+    /// serialize identically regardless of hash-map iteration order.
+    pub fn snapshot_state(&self) -> PreprocessorState {
+        let mut open: Vec<OpenEntry> = self
+            .open
+            .iter()
+            .map(|(&(ty, loc), group)| OpenEntry {
+                ty,
+                location: self.interner.path(loc).clone(),
+                alert: group.alert.clone(),
+                last_emitted: group.last_emitted,
+            })
+            .collect();
+        open.sort_by(|a, b| (a.ty, &a.location).cmp(&(b.ty, &b.location)));
+        let mut pending: Vec<PendingEntry> = self
+            .pending
+            .iter()
+            .map(|(&(ty, loc), gate)| PendingEntry {
+                ty,
+                location: self.interner.path(loc).clone(),
+                alert: gate.alert.clone(),
+                sightings: gate.sightings,
+            })
+            .collect();
+        pending.sort_by(|a, b| (a.ty, &a.location).cmp(&(b.ty, &b.location)));
+        let mut recent_surges: Vec<(LocationPath, SimTime)> = self
+            .recent_surges
+            .iter()
+            .map(|(&site, &t)| (self.interner.path(site).clone(), t))
+            .collect();
+        recent_surges.sort_by(|a, b| a.0.cmp(&b.0));
+        PreprocessorState {
+            open,
+            pending,
+            held_drops: self
+                .held_drops
+                .iter()
+                .map(|(loc, d)| (self.interner.path(*loc).clone(), d.clone()))
+                .collect(),
+            corroborators: self
+                .corroborators
+                .iter()
+                .map(|&(t, loc)| (t, self.interner.path(loc).clone()))
+                .collect(),
+            recent_surges,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores the state captured by [`Preprocessor::snapshot_state`].
+    ///
+    /// The preprocessor must have been built with the same config and
+    /// classifier as the one that was snapshotted; every location is
+    /// re-interned, so this works on a fresh (empty) interner.
+    pub fn restore_state(&mut self, state: PreprocessorState) {
+        let interner = &mut self.interner;
+        self.open = state
+            .open
+            .into_iter()
+            .map(|e| {
+                (
+                    (e.ty, interner.intern(&e.location)),
+                    OpenGroup {
+                        alert: e.alert,
+                        last_emitted: e.last_emitted,
+                    },
+                )
+            })
+            .collect();
+        self.pending = state
+            .pending
+            .into_iter()
+            .map(|e| {
+                (
+                    (e.ty, interner.intern(&e.location)),
+                    PendingPersistence {
+                        alert: e.alert,
+                        sightings: e.sightings,
+                    },
+                )
+            })
+            .collect();
+        self.held_drops = state
+            .held_drops
+            .into_iter()
+            .map(|(path, d)| (interner.intern(&path), d))
+            .collect();
+        self.corroborators = state
+            .corroborators
+            .into_iter()
+            .map(|(t, path)| (t, interner.intern(&path)))
+            .collect();
+        self.recent_surges = state
+            .recent_surges
+            .into_iter()
+            .map(|(path, t)| (interner.intern(&path), t))
+            .collect();
+        self.stats = state.stats;
     }
 
     /// Processes one raw alert, appending any resulting structured alerts.
@@ -845,6 +988,78 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ty.kind, AlertKind::Unclassified);
         assert_eq!(out[0].ty.source, DataSource::Syslog);
+    }
+
+    #[test]
+    fn preprocessor_state_round_trips_mid_flood() {
+        // Build up every piece of mid-stream state: an open dedup group,
+        // a half-armed persistence gate, a held traffic drop, a recent
+        // corroborator and a surge representative.
+        let mut live = pp();
+        let mut live_out = Vec::new();
+        let feed_head = |p: &mut Preprocessor, out: &mut Vec<StructuredAlert>| {
+            p.push(
+                &known(DataSource::Snmp, AlertKind::LinkDown, 0, "R|C|L|S|K|d1"),
+                out,
+            );
+            p.push(
+                &known(DataSource::Ping, AlertKind::PacketLossIcmp, 5, "R|C|L|S"),
+                out,
+            );
+            for t in [6, 8] {
+                p.push(
+                    &known(DataSource::Snmp, AlertKind::TrafficSurge, t, "R|C|L|S|K|d2"),
+                    out,
+                );
+            }
+            p.push(
+                &known(
+                    DataSource::TrafficStats,
+                    AlertKind::TrafficDrop,
+                    10,
+                    "Q|C|L|S",
+                ),
+                out,
+            );
+        };
+        feed_head(&mut live, &mut live_out);
+
+        let state = live.snapshot_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let restored_state: PreprocessorState = serde_json::from_str(&json).unwrap();
+        let mut restored = pp();
+        restored.restore_state(restored_state);
+        assert_eq!(restored.stats(), live.stats());
+
+        // The tail exercises each restored structure: a dedup absorb, the
+        // second persistence sighting, a suppressed surge ripple, and a
+        // corroborator that releases the held drop.
+        let tail = [
+            known(DataSource::Snmp, AlertKind::LinkDown, 20, "R|C|L|S|K|d1"),
+            known(DataSource::Ping, AlertKind::PacketLossIcmp, 21, "R|C|L|S"),
+            known(
+                DataSource::Snmp,
+                AlertKind::TrafficSurge,
+                22,
+                "R|C|L|S|K|d3",
+            ),
+            known(DataSource::Snmp, AlertKind::LinkDown, 30, "Q|C|L|S|K|d7"),
+        ];
+        let live_mark = live_out.len();
+        let mut restored_out = Vec::new();
+        for raw in &tail {
+            live.push(raw, &mut live_out);
+            restored.push(raw, &mut restored_out);
+        }
+        live.finish();
+        restored.finish();
+        assert_eq!(&live_out[live_mark..], &restored_out[..]);
+        assert_eq!(restored.stats(), live.stats());
+        let kinds: Vec<AlertKind> = restored_out.iter().map(|a| a.ty.kind).collect();
+        assert!(
+            kinds.contains(&AlertKind::TrafficDrop),
+            "restored corroboration state must release the held drop"
+        );
     }
 
     #[test]

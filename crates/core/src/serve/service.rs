@@ -1,0 +1,736 @@
+//! The service runtime: tenant admission, bounded per-tenant queues with
+//! `BUSY` backpressure, WAL-before-ack submission, snapshot/restore warm
+//! restarts, and the [`ServiceHandle`] the builder returns.
+//!
+//! Concurrency layout: one dedicated worker thread per tenant drains that
+//! tenant's bounded queue into its [`TenantEngine`]; submissions append to
+//! the shared WAL *while holding the tenant's queue lock* (lock order is
+//! always queue → WAL), so a tenant's queue order equals its WAL sequence
+//! order. A slow tenant fills only its own queue — the `BUSY` check happens
+//! before the WAL append, so a wedged tenant costs other tenants nothing.
+
+use super::engine::TenantEngine;
+use super::snapshot::{self, ServiceSnapshot, TenantSnapshot, SNAPSHOT_VERSION};
+use super::wal::{WalEvent, WalReader, WalWriter};
+use super::{ServeConfig, ServeError};
+use crate::error::RejectReason;
+use crate::faultinject::{
+    self, DegradationReport, FaultAction, FaultArm, FaultPlane, InjectionSite,
+};
+use crate::guard::DeadLetterQueue;
+use crate::obs::{Counter, Exporter, Observability, RegistrySnapshot, TraceEvent};
+use crate::pipeline::{AnalysisReport, Handle, HealthReport, SkyNet};
+use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
+use skynet_model::{PingSample, RawAlert, SimTime, TraceId};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One message on a tenant's queue. `Apply` carries an acked WAL record;
+/// the control messages bypass the capacity check (they carry no alert
+/// volume and must stay deliverable under backpressure).
+enum TenantMsg {
+    /// Apply one acked WAL event to the tenant's engine.
+    Apply(u64, WalEvent),
+    /// Finalize the tenant's run at the horizon and reply with the report;
+    /// the engine restarts as a fresh incarnation afterwards.
+    Report(SimTime, mpsc::Sender<AnalysisReport>),
+    /// Reply with the tenant's serialized mid-flood state.
+    Snapshot(mpsc::Sender<TenantSnapshot>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A tenant's queue plus the pause flag the backpressure tests use.
+struct TenantQueue {
+    items: VecDeque<TenantMsg>,
+    /// While `true` the worker stops draining — how tests (and operators
+    /// draining a misbehaving tenant) simulate a slow consumer.
+    paused: bool,
+}
+
+/// Everything the service keeps per admitted tenant.
+struct TenantSlot {
+    name: String,
+    /// Admission ordinal — fixes the tenant's fault-lane stripe.
+    index: usize,
+    queue: Mutex<TenantQueue>,
+    cond: Condvar,
+    accepted: AtomicU64,
+    busy: AtomicU64,
+    applied_seq: AtomicU64,
+    accepted_metric: Counter,
+    busy_metric: Counter,
+    /// The current engine incarnation's dead-letter queue (replaced on
+    /// report, when a fresh incarnation starts).
+    dead: Mutex<Arc<Mutex<DeadLetterQueue>>>,
+}
+
+impl TenantSlot {
+    fn push(&self, msg: TenantMsg) {
+        self.queue.lock().items.push_back(msg);
+        self.cond.notify_one();
+    }
+}
+
+/// One tenant's externally visible health, for per-tenant monitoring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub struct TenantHealth {
+    /// The tenant's name.
+    pub name: String,
+    /// Events waiting in the tenant's bounded queue.
+    pub queued: usize,
+    /// Events accepted (WAL-acked) so far.
+    pub accepted: u64,
+    /// Submissions rejected with `BUSY` backpressure so far.
+    pub busy_rejections: u64,
+    /// The highest WAL sequence number the tenant's engine has applied.
+    pub applied_seq: u64,
+    /// Whether the tenant's worker is paused (draining stopped).
+    pub paused: bool,
+}
+
+/// Shared state behind the handle, the workers and the TCP front door.
+pub(super) struct ServiceInner {
+    skynet: SkyNet,
+    cfg: ServeConfig,
+    obs: Observability,
+    plane: Option<Arc<FaultPlane>>,
+    wal: Mutex<WalWriter>,
+    snapshot_fault: Option<FaultArm>,
+    tenants: Mutex<Vec<Arc<TenantSlot>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: AtomicBool,
+    restarts: AtomicU64,
+    restart_metric: Counter,
+    local_addr: Option<SocketAddr>,
+}
+
+/// The event time a WAL append is stamped with (drives time-triggered
+/// fault arms).
+fn event_time(event: &WalEvent) -> SimTime {
+    match event {
+        WalEvent::Alert(raw) => raw.timestamp,
+        WalEvent::Ping(sample) => sample.t,
+        WalEvent::Tick(at) => *at,
+    }
+}
+
+impl ServiceInner {
+    pub(super) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    fn find(&self, tenant: &str) -> Result<Arc<TenantSlot>, ServeError> {
+        self.tenants
+            .lock()
+            .iter()
+            .find(|s| s.name == tenant)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
+    }
+
+    /// Admits `tenant` (idempotent) and spawns its worker.
+    pub(super) fn admit(self: &Arc<Self>, tenant: &str) -> Result<(), ServeError> {
+        if self.is_shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut tenants = self.tenants.lock();
+        if tenants.iter().any(|s| s.name == tenant) {
+            return Ok(());
+        }
+        let index = tenants.len();
+        let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+            self.skynet.cfg.streaming.guard.dead_letter_capacity,
+        )));
+        let engine = TenantEngine::new(&self.skynet, tenant, index, Arc::clone(&dead), &self.plane);
+        let slot = self.new_slot(tenant, index, dead);
+        tenants.push(Arc::clone(&slot));
+        self.obs
+            .registry()
+            .gauge("skynet_tenants", "tenants admitted to the ingest service")
+            .set(tenants.len() as f64);
+        drop(tenants);
+        self.spawn_worker(slot, engine);
+        Ok(())
+    }
+
+    fn new_slot(
+        &self,
+        tenant: &str,
+        index: usize,
+        dead: Arc<Mutex<DeadLetterQueue>>,
+    ) -> Arc<TenantSlot> {
+        let reg = self.obs.registry();
+        Arc::new(TenantSlot {
+            name: tenant.to_string(),
+            index,
+            queue: Mutex::new(TenantQueue {
+                items: VecDeque::new(),
+                paused: false,
+            }),
+            cond: Condvar::new(),
+            accepted: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            applied_seq: AtomicU64::new(0),
+            accepted_metric: reg.labeled_counter(
+                "skynet_tenant_accepted_total",
+                Some(("tenant", tenant)),
+                "events accepted (WAL-acked) by the ingest service, per tenant",
+            ),
+            busy_metric: reg.labeled_counter(
+                "skynet_tenant_busy_total",
+                Some(("tenant", tenant)),
+                "submissions rejected with BUSY backpressure, per tenant",
+            ),
+            dead: Mutex::new(dead),
+        })
+    }
+
+    fn spawn_worker(self: &Arc<Self>, slot: Arc<TenantSlot>, engine: TenantEngine) {
+        let inner = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("skynet-tenant-{}", slot.index))
+            .spawn(move || run_tenant(inner, slot, engine))
+            .expect("spawning a tenant worker thread");
+        self.workers.lock().push(handle);
+    }
+
+    /// The one submission path: capacity check, WAL append, enqueue, ack.
+    /// The queue lock is held across the append so a tenant's queue order
+    /// equals its WAL sequence order.
+    pub(super) fn submit(&self, tenant: &str, event: WalEvent) -> Result<u64, ServeError> {
+        if self.is_shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let slot = self.find(tenant)?;
+        let mut q = slot.queue.lock();
+        if q.items.len() >= self.cfg.tenant_queue_capacity {
+            slot.busy.fetch_add(1, Ordering::Relaxed);
+            slot.busy_metric.inc();
+            return Err(ServeError::Busy {
+                tenant: tenant.to_string(),
+            });
+        }
+        let at = event_time(&event);
+        let seq = self.wal.lock().append(tenant, &event, at)?;
+        q.items.push_back(TenantMsg::Apply(seq, event));
+        drop(q);
+        slot.accepted.fetch_add(1, Ordering::Relaxed);
+        slot.accepted_metric.inc();
+        slot.cond.notify_one();
+        Ok(seq)
+    }
+
+    pub(super) fn report(
+        &self,
+        tenant: &str,
+        horizon: SimTime,
+    ) -> Result<AnalysisReport, ServeError> {
+        let slot = self.find(tenant)?;
+        let (tx, rx) = mpsc::channel();
+        slot.push(TenantMsg::Report(horizon, tx));
+        rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    fn tenant_health_of(&self, slot: &TenantSlot) -> TenantHealth {
+        let q = slot.queue.lock();
+        TenantHealth {
+            name: slot.name.clone(),
+            queued: q.items.len(),
+            accepted: slot.accepted.load(Ordering::Relaxed),
+            busy_rejections: slot.busy.load(Ordering::Relaxed),
+            applied_seq: slot.applied_seq.load(Ordering::Relaxed),
+            paused: q.paused,
+        }
+    }
+}
+
+/// One tenant worker: drain the queue into the engine, surviving injected
+/// panics (each costs a restart tick; the engine state carries on — arm
+/// decision streams live in the shared plane, so nothing rewinds).
+fn run_tenant(inner: Arc<ServiceInner>, slot: Arc<TenantSlot>, mut engine: TenantEngine) {
+    loop {
+        let msg = {
+            let mut q = slot.queue.lock();
+            loop {
+                if !q.paused {
+                    if let Some(msg) = q.items.pop_front() {
+                        break msg;
+                    }
+                }
+                slot.cond.wait(&mut q);
+            }
+        };
+        match msg {
+            TenantMsg::Apply(seq, event) => {
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply(seq, event)));
+                if outcome.is_err() {
+                    inner.restarts.fetch_add(1, Ordering::Relaxed);
+                    inner.restart_metric.inc();
+                }
+                slot.applied_seq
+                    .store(engine.last_applied_seq(), Ordering::Relaxed);
+            }
+            TenantMsg::Report(horizon, tx) => {
+                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+                    inner.skynet.cfg.streaming.guard.dead_letter_capacity,
+                )));
+                let fresh = TenantEngine::new(
+                    &inner.skynet,
+                    &slot.name,
+                    slot.index,
+                    Arc::clone(&dead),
+                    &inner.plane,
+                );
+                *slot.dead.lock() = dead;
+                let done = std::mem::replace(&mut engine, fresh);
+                let report = done.finish(&inner.skynet, horizon, inner.plane.clone());
+                let _ = tx.send(report);
+                slot.applied_seq.store(0, Ordering::Relaxed);
+            }
+            TenantMsg::Snapshot(tx) => {
+                let _ = tx.send(engine.snapshot());
+            }
+            TenantMsg::Shutdown => break,
+        }
+    }
+}
+
+/// The running ingest service. Returned by
+/// [`SkyNetBuilder::serve`](crate::SkyNetBuilder::serve); dropping the
+/// handle shuts the service down (workers joined, WAL synced).
+///
+/// Thread-safe: every method takes `&self`.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    inner: Arc<ServiceInner>,
+    listener: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServiceInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceInner")
+            .field("cfg", &self.cfg)
+            .field("tenants", &self.tenants.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceHandle {
+    /// Starts the service: cold when `cfg.wal_dir` is empty, warm when a
+    /// snapshot and/or WAL segments are present — warm restarts restore
+    /// every tenant's mid-flood state and replay the WAL tail past each
+    /// tenant's applied watermark before accepting new traffic.
+    pub(crate) fn start(skynet: SkyNet, cfg: ServeConfig) -> Result<ServiceHandle, ServeError> {
+        std::fs::create_dir_all(&cfg.wal_dir)?;
+        let obs = skynet.obs.clone();
+        let plane = FaultPlane::from_config(&skynet.cfg.faults, &obs);
+        let snap = snapshot::load(&cfg.wal_dir)?;
+        // Restore arm decision streams and the fired-fault ledger BEFORE
+        // anything arms a site: arming picks up whatever state the plane
+        // holds, so restore-then-arm resumes, arm-then-restore would fork.
+        if let (Some(plane), Some(snap)) = (&plane, &snap) {
+            plane.restore_arms(&snap.arms);
+            plane.restore_ledger(snap.ledger.clone());
+        }
+        let (existing, disk_next) = WalReader::summarize(&cfg.wal_dir)?;
+        let records = WalReader::scan(&cfg.wal_dir)?;
+        let next_seq = disk_next.max(snap.as_ref().map_or(1, |s| s.next_seq));
+        let wal_fault = plane
+            .as_ref()
+            .and_then(|p| p.arm(InjectionSite::WalAppend, 0));
+        let snapshot_fault = plane
+            .as_ref()
+            .and_then(|p| p.arm(InjectionSite::SnapshotWrite, 0));
+        // A `wal-append` arm advances once per append *attempt*, and
+        // appends after the snapshot advanced it past the snapshotted
+        // state. Fast-forward one check per post-snapshot record so new
+        // appends resume the original decision stream (and the tail's
+        // fires land back in the ledger). Exact whenever the tail holds no
+        // rejected attempts — rejections leave no record to count.
+        if let (Some(arm), Some(snap)) = (&wal_fault, &snap) {
+            for record in &records {
+                if record.seq >= snap.next_seq {
+                    let _ = arm.check(TraceId::NONE, event_time(&record.event));
+                }
+            }
+        }
+        let wal = WalWriter::open(&cfg, &obs, wal_fault, existing, next_seq)?;
+        let restart_metric = obs.registry().counter(
+            "skynet_worker_restarts_total",
+            "worker restarts performed by the supervisors",
+        );
+        let listener = match &cfg.bind {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let local_addr = match &listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let inner = Arc::new(ServiceInner {
+            skynet,
+            cfg,
+            obs,
+            plane,
+            wal: Mutex::new(wal),
+            snapshot_fault,
+            tenants: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+            restarts: AtomicU64::new(0),
+            restart_metric,
+            local_addr,
+        });
+
+        // Rebuild tenants: snapshot order first (the order *is* the
+        // fault-lane assignment), then tenants that only appear in the WAL
+        // tail, in first-appearance order.
+        let mut engines: Vec<TenantEngine> = Vec::new();
+        if let Some(snap) = snap {
+            for tenant_snap in snap.tenants {
+                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+                    inner.skynet.cfg.streaming.guard.dead_letter_capacity,
+                )));
+                engines.push(TenantEngine::restore(
+                    &inner.skynet,
+                    engines.len(),
+                    dead,
+                    &inner.plane,
+                    tenant_snap,
+                ));
+            }
+        }
+        for record in &records {
+            if !engines.iter().any(|e| e.name() == record.tenant) {
+                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+                    inner.skynet.cfg.streaming.guard.dead_letter_capacity,
+                )));
+                let index = engines.len();
+                engines.push(TenantEngine::new(
+                    &inner.skynet,
+                    &record.tenant,
+                    index,
+                    dead,
+                    &inner.plane,
+                ));
+            }
+        }
+        // Replay each tenant's WAL tail past its applied watermark, in
+        // global sequence order, before any new traffic is accepted.
+        for record in records {
+            let engine = engines
+                .iter_mut()
+                .find(|e| e.name() == record.tenant)
+                .expect("every WAL tenant has an engine");
+            if record.seq > engine.last_applied_seq() {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    engine.apply(record.seq, record.event.clone())
+                }));
+                if outcome.is_err() {
+                    inner.restarts.fetch_add(1, Ordering::Relaxed);
+                    inner.restart_metric.inc();
+                }
+            }
+        }
+        {
+            let mut tenants = inner.tenants.lock();
+            for engine in engines {
+                let index = tenants.len();
+                let dead = engine.dead_letters();
+                let slot = inner.new_slot(engine.name(), index, dead);
+                slot.applied_seq
+                    .store(engine.last_applied_seq(), Ordering::Relaxed);
+                tenants.push(Arc::clone(&slot));
+                inner.spawn_worker(slot, engine);
+            }
+            if !tenants.is_empty() {
+                inner
+                    .obs
+                    .registry()
+                    .gauge("skynet_tenants", "tenants admitted to the ingest service")
+                    .set(tenants.len() as f64);
+            }
+        }
+
+        let listener_handle = listener.map(|l| super::tcp::spawn(Arc::clone(&inner), l));
+        Ok(ServiceHandle {
+            inner,
+            listener: Mutex::new(listener_handle),
+        })
+    }
+
+    /// Admits a tenant (idempotent): allocates its bounded queue, pipeline
+    /// engine and worker thread. Tenants are also admitted by the TCP
+    /// front door's `hello`.
+    pub fn hello(&self, tenant: &str) -> Result<(), ServeError> {
+        self.inner.admit(tenant)
+    }
+
+    /// Submits one event on a tenant's feed. The event is on the WAL
+    /// before the returned sequence number — the ack — exists.
+    /// [`ServeError::Busy`] means the tenant's own queue is full; other
+    /// tenants are unaffected.
+    pub fn submit(&self, tenant: &str, event: WalEvent) -> Result<u64, ServeError> {
+        self.inner.submit(tenant, event)
+    }
+
+    /// [`ServiceHandle::submit`] for a raw alert.
+    pub fn submit_alert(&self, tenant: &str, alert: RawAlert) -> Result<u64, ServeError> {
+        self.submit(tenant, WalEvent::Alert(alert))
+    }
+
+    /// [`ServiceHandle::submit`] for a ping sample.
+    pub fn submit_ping(&self, tenant: &str, sample: PingSample) -> Result<u64, ServeError> {
+        self.submit(tenant, WalEvent::Ping(sample))
+    }
+
+    /// [`ServiceHandle::submit`] for a clock tick.
+    pub fn submit_tick(&self, tenant: &str, at: SimTime) -> Result<u64, ServeError> {
+        self.submit(tenant, WalEvent::Tick(at))
+    }
+
+    /// Finalizes a tenant's run at `horizon` and returns the canonical
+    /// [`AnalysisReport`] — byte-identical for the same feed whether the
+    /// service ran uninterrupted or warm-restarted mid-flood. The tenant's
+    /// engine restarts as a fresh incarnation afterwards.
+    pub fn report(&self, tenant: &str, horizon: SimTime) -> Result<AnalysisReport, ServeError> {
+        self.inner.report(tenant, horizon)
+    }
+
+    /// Writes a service snapshot (every tenant's mid-flood state plus the
+    /// fault plane's decision streams) to the WAL directory and applies
+    /// WAL retention up to the snapshot floor. Returns the snapshot path.
+    ///
+    /// Each tenant's state is captured after its queue drains the messages
+    /// enqueued before this call; for an exact fault-stream resumption
+    /// take the snapshot at a quiescent point (no concurrent submissions).
+    pub fn snapshot(&self) -> Result<PathBuf, ServeError> {
+        let inner = &self.inner;
+        if let Some(arm) = &inner.snapshot_fault {
+            match arm.check(TraceId::NONE, SimTime::ZERO) {
+                Some(FaultAction::Error) => return Err(ServeError::SnapshotSkipped),
+                Some(FaultAction::Panic) => arm.panic_now(),
+                Some(FaultAction::Latency(ms)) => faultinject::sleep_ms(ms),
+                None => {}
+            }
+        }
+        let slots: Vec<Arc<TenantSlot>> = inner.tenants.lock().clone();
+        let mut tenants = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let (tx, rx) = mpsc::channel();
+            slot.push(TenantMsg::Snapshot(tx));
+            tenants.push(rx.recv().map_err(|_| ServeError::ShuttingDown)?);
+        }
+        let snap = ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            next_seq: inner.wal.lock().next_seq(),
+            tenants,
+            arms: inner
+                .plane
+                .as_ref()
+                .map(|p| p.arm_snapshots())
+                .unwrap_or_default(),
+            ledger: inner.plane.as_ref().map(|p| p.ledger()).unwrap_or_default(),
+        };
+        let path = snapshot::save(&inner.cfg.wal_dir, &snap)?;
+        let floor = snap
+            .tenants
+            .iter()
+            .map(|t| t.last_applied_seq)
+            .min()
+            .unwrap_or_else(|| snap.next_seq.saturating_sub(1));
+        inner.wal.lock().retain_after_snapshot(floor)?;
+        Ok(path)
+    }
+
+    /// Stops draining a tenant's queue (submissions still ack until the
+    /// queue fills, then turn `BUSY`) — the operator's drain valve and the
+    /// backpressure tests' slow-consumer switch.
+    pub fn pause_tenant(&self, tenant: &str) -> Result<(), ServeError> {
+        let slot = self.inner.find(tenant)?;
+        slot.queue.lock().paused = true;
+        Ok(())
+    }
+
+    /// Resumes a paused tenant's worker.
+    pub fn resume_tenant(&self, tenant: &str) -> Result<(), ServeError> {
+        let slot = self.inner.find(tenant)?;
+        slot.queue.lock().paused = false;
+        slot.cond.notify_all();
+        Ok(())
+    }
+
+    /// One tenant's health.
+    pub fn tenant_health(&self, tenant: &str) -> Result<TenantHealth, ServeError> {
+        let slot = self.inner.find(tenant)?;
+        Ok(self.inner.tenant_health_of(&slot))
+    }
+
+    /// Every tenant's health, in admission order.
+    pub fn tenants(&self) -> Vec<TenantHealth> {
+        let slots: Vec<Arc<TenantSlot>> = self.inner.tenants.lock().clone();
+        slots
+            .iter()
+            .map(|s| self.inner.tenant_health_of(s))
+            .collect()
+    }
+
+    /// The TCP front door's bound address, when one was configured —
+    /// useful with `with_bind("127.0.0.1:0")` ephemeral ports.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.inner.local_addr
+    }
+
+    /// The service's shared observability handle.
+    pub fn observability(&self) -> &Observability {
+        &self.inner.obs
+    }
+
+    /// Shuts the service down: stops accepting, drains and joins every
+    /// tenant worker, syncs the WAL, and stops the TCP front door.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let slots: Vec<Arc<TenantSlot>> = self.inner.tenants.lock().clone();
+        for slot in &slots {
+            let mut q = slot.queue.lock();
+            q.paused = false;
+            q.items.push_back(TenantMsg::Shutdown);
+            drop(q);
+            slot.cond.notify_all();
+        }
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        let _ = self.inner.wal.lock().sync();
+        if let Some(handle) = self.listener.lock().take() {
+            // Wake the accept loop so it observes the flag.
+            if let Some(addr) = self.inner.local_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Exporter for ServiceHandle {
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.inner.obs.snapshot()
+    }
+}
+
+impl Handle for ServiceHandle {
+    fn health(&self) -> HealthReport {
+        let slots: Vec<Arc<TenantSlot>> = self.inner.tenants.lock().clone();
+        let queued = slots.iter().map(|s| s.queue.lock().items.len()).sum();
+        HealthReport {
+            alive: !self.inner.is_shutting_down(),
+            restarts: self.inner.restarts.load(Ordering::Relaxed) as u32,
+            gave_up: false,
+            degraded: None,
+            queued_events: queued,
+        }
+    }
+
+    fn degradation_report(&self) -> DegradationReport {
+        let slots: Vec<Arc<TenantSlot>> = self.inner.tenants.lock().clone();
+        let fault_letters: u64 = slots
+            .iter()
+            .map(|s| {
+                let dead = s.dead.lock().clone();
+                let count = dead
+                    .lock()
+                    .letters()
+                    .filter(|l| l.reason == RejectReason::FaultInjected)
+                    .count();
+                count as u64
+            })
+            .sum();
+        DegradationReport::assemble(
+            self.inner
+                .plane
+                .as_ref()
+                .map(|p| p.ledger())
+                .unwrap_or_default(),
+            &self.inner.obs,
+            fault_letters,
+            self.inner.restarts.load(Ordering::Relaxed),
+            false,
+            None,
+        )
+    }
+
+    fn explain(&self, trace: TraceId) -> Vec<TraceEvent> {
+        self.inner.obs.explain(trace)
+    }
+}
+
+/// Re-ingests a WAL seq range through fresh per-tenant pipelines and
+/// returns each tenant's report, in first-appearance order — the library
+/// behind `skynet replay`.
+///
+/// Replay is byte-identical to a second replay of the same range, and —
+/// when the range covers the whole log and the original run started cold —
+/// to the original service's reports: the WAL *is* the feed, and fault
+/// decision streams are a pure function of (seed, site, lane, check
+/// ordinal).
+pub fn replay_wal(
+    skynet: &SkyNet,
+    dir: &Path,
+    from_seq: u64,
+    to_seq: Option<u64>,
+    horizon: SimTime,
+) -> Result<Vec<(String, AnalysisReport)>, ServeError> {
+    let plane = FaultPlane::from_config(&skynet.cfg.faults, &skynet.obs);
+    let records = WalReader::scan(dir)?;
+    let mut engines: Vec<TenantEngine> = Vec::new();
+    for record in records {
+        if record.seq < from_seq || to_seq.is_some_and(|hi| record.seq > hi) {
+            continue;
+        }
+        let index = match engines.iter().position(|e| e.name() == record.tenant) {
+            Some(i) => i,
+            None => {
+                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+                    skynet.cfg.streaming.guard.dead_letter_capacity,
+                )));
+                let index = engines.len();
+                engines.push(TenantEngine::new(
+                    skynet,
+                    &record.tenant,
+                    index,
+                    dead,
+                    &plane,
+                ));
+                index
+            }
+        };
+        engines[index].apply(record.seq, record.event);
+    }
+    Ok(engines
+        .into_iter()
+        .map(|engine| {
+            let name = engine.name().to_string();
+            let report = engine.finish(skynet, horizon, plane.clone());
+            (name, report)
+        })
+        .collect())
+}

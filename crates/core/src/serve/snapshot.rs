@@ -1,0 +1,145 @@
+//! Service snapshots: the warm-restart counterpart to the WAL.
+//!
+//! A snapshot serializes every tenant's mid-flood pipeline state — guard
+//! watermarks and reorder buffer, preprocessor consolidation windows,
+//! per-shard locator arenas (with their expiry bookkeeping), the ping log,
+//! the applied-WAL watermark — plus the fault plane's decision streams.
+//! Restart = load the newest snapshot, then replay the WAL tail past each
+//! tenant's `last_applied_seq`. The combination resumes an interrupted
+//! run so exactly that the final report is byte-identical to an
+//! uninterrupted one (asserted by the `serve_restart` integration test).
+//!
+//! Snapshots are written to a temp file and atomically renamed into
+//! place, so a crash mid-snapshot leaves the previous snapshot intact —
+//! there is never a moment with no usable restore point.
+
+use super::ServeError;
+use crate::faultinject::{ArmSnapshot, InjectedFault};
+use crate::guard::GuardState;
+use crate::locator::LocatorState;
+use crate::preprocess::PreprocessorState;
+use serde::{Deserialize, Serialize};
+use skynet_model::{PingLog, SimTime};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The snapshot format version this build writes and understands.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// One tenant's complete mid-flood pipeline state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// The tenant's name (its connection identity).
+    pub name: String,
+    /// The highest WAL sequence number this tenant's engine has applied;
+    /// restore replays only records past it.
+    pub last_applied_seq: u64,
+    /// The tenant's pipeline clock (last tick applied).
+    pub clock: SimTime,
+    /// Ingestion-guard state: reorder buffer, watermarks, duplicate
+    /// signatures, counters, trace cursor, dead letters.
+    pub guard: GuardState,
+    /// Preprocessor state: open consolidation groups, persistence gates,
+    /// surge suppression, held drops.
+    pub preprocess: PreprocessorState,
+    /// One locator state per shard, in shard order.
+    pub locators: Vec<LocatorState>,
+    /// The tenant's accumulated ping log.
+    pub ping: PingLog,
+}
+
+/// Everything a warm restart loads: every tenant plus the fault plane's
+/// per-arm decision state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The WAL sequence number the writer would assign next — restart
+    /// resumes numbering from `max(this, highest seq on disk + 1)`.
+    pub next_seq: u64,
+    /// Tenants, in admission order — the order fixes each tenant's
+    /// fault-lane stripe, so it must survive the restart.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Fault-plane arm states, so injected-fault decision streams resume
+    /// instead of replaying.
+    pub arms: Vec<ArmSnapshot>,
+    /// The fired-fault ledger at snapshot time, so post-restart reports
+    /// still account for faults the previous incarnation fired.
+    #[serde(default)]
+    pub ledger: Vec<InjectedFault>,
+}
+
+/// Writes `snap` to `dir/snapshot.json` via temp-file + rename, returning
+/// the final path. The rename is the commit point.
+pub fn save(dir: &Path, snap: &ServiceSnapshot) -> Result<PathBuf, ServeError> {
+    fs::create_dir_all(dir)?;
+    let body = serde_json::to_vec(snap).map_err(|e| ServeError::Corrupt(e.to_string()))?;
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    fs::write(&tmp, &body)?;
+    let path = dir.join(SNAPSHOT_FILE);
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Loads `dir/snapshot.json` if present. A missing file is a cold start
+/// (`Ok(None)`); an unreadable or wrong-version file is an error — silently
+/// cold-starting over a corrupt snapshot would drop acked state.
+pub fn load(dir: &Path) -> Result<Option<ServiceSnapshot>, ServeError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let body = match fs::read(&path) {
+        Ok(body) => body,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let snap: ServiceSnapshot = serde_json::from_slice(&body)
+        .map_err(|e| ServeError::Corrupt(format!("{}: {e}", path.display())))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(ServeError::Corrupt(format!(
+            "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
+            snap.version
+        )));
+    }
+    Ok(Some(snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_snapshot_is_a_cold_start() {
+        let dir =
+            std::env::temp_dir().join(format!("skynet-snap-test-{}-missing", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_then_load_round_trips_and_rejects_future_versions() {
+        let dir =
+            std::env::temp_dir().join(format!("skynet-snap-test-{}-roundtrip", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let snap = ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            next_seq: 42,
+            tenants: Vec::new(),
+            arms: Vec::new(),
+            ledger: Vec::new(),
+        };
+        save(&dir, &snap).unwrap();
+        let loaded = load(&dir).unwrap().expect("snapshot present");
+        assert_eq!(loaded.next_seq, 42);
+        assert!(loaded.tenants.is_empty());
+        let future = ServiceSnapshot {
+            version: SNAPSHOT_VERSION + 1,
+            ..snap
+        };
+        save(&dir, &future).unwrap();
+        assert!(matches!(load(&dir), Err(ServeError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,182 @@
+//! The TCP/JSON front door: one newline-delimited JSON request per line,
+//! one JSON response per line, thread per connection.
+//!
+//! Protocol (all requests are objects tagged by `"op"`):
+//!
+//! ```text
+//! → {"op":"hello","tenant":"edge-west"}        ← {"res":"hello","tenant":"edge-west"}
+//! → {"op":"alert","alert":{...RawAlert...}}    ← {"res":"ack","seq":17} | {"res":"busy"}
+//! → {"op":"ping","ping":{...PingSample...}}    ← {"res":"ack","seq":18}
+//! → {"op":"tick","at":90}                      ← {"res":"ack","seq":19}
+//! → {"op":"report","horizon":600}              ← {"res":"report","report":{...}}
+//! → {"op":"bye"}                               (connection closes)
+//! ```
+//!
+//! A connection is bound to one tenant by its `hello`; every subsequent
+//! op rides that identity. `busy` is the connection-level backpressure
+//! signal: the tenant's own queue is full, other tenants are unaffected,
+//! and the client should drain or back off before retrying. Errors are
+//! `{"res":"error","message":...}` and keep the connection open (except
+//! I/O failures, which close it).
+
+use super::service::ServiceInner;
+use super::wal::WalEvent;
+use super::ServeError;
+use crate::pipeline::AnalysisReport;
+use serde::{Deserialize, Serialize};
+use skynet_model::{PingSample, RawAlert, SimTime};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One request line.
+#[derive(Deserialize)]
+#[serde(tag = "op", rename_all = "lowercase")]
+enum Request {
+    /// Bind this connection to a tenant (admitting it if new).
+    Hello { tenant: String },
+    /// Submit a raw alert on the bound tenant's feed.
+    Alert { alert: RawAlert },
+    /// Submit a ping sample on the bound tenant's feed.
+    Ping { ping: PingSample },
+    /// Advance the bound tenant's pipeline clock.
+    Tick { at: SimTime },
+    /// Finalize the bound tenant's run and return its report.
+    Report { horizon: SimTime },
+    /// Close the connection.
+    Bye,
+}
+
+/// One response line.
+#[derive(Serialize)]
+#[serde(tag = "res", rename_all = "lowercase")]
+enum Response {
+    /// The connection is bound to `tenant`.
+    Hello { tenant: String },
+    /// The event is on the WAL as sequence number `seq`.
+    Ack { seq: u64 },
+    /// Backpressure: the tenant's bounded queue is full; retry later.
+    Busy,
+    /// The tenant's finalized analysis report.
+    Report { report: Box<AnalysisReport> },
+    /// The request failed; the connection stays open.
+    Error { message: String },
+    /// Goodbye acknowledged; the connection closes.
+    Bye,
+}
+
+/// Spawns the accept loop. It exits once the service starts shutting down
+/// (shutdown wakes it with a loopback connection).
+pub(super) fn spawn(inner: Arc<ServiceInner>, listener: TcpListener) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("skynet-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if inner.is_shutting_down() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let inner = Arc::clone(&inner);
+                // Connection threads are detached: they exit when the
+                // client closes or the first submit after shutdown fails.
+                let _ = std::thread::Builder::new()
+                    .name("skynet-serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_conn(inner, stream);
+                    });
+            }
+        })
+        .expect("spawning the serve accept thread")
+}
+
+fn handle_conn(inner: Arc<ServiceInner>, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut tenant: Option<String> = None;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, done) = dispatch(&inner, &mut tenant, &line);
+        let body = serde_json::to_string(&response).expect("serve responses always serialize");
+        writer.write_all(body.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parses and executes one request line; returns the response and whether
+/// the connection should close.
+fn dispatch(
+    inner: &Arc<ServiceInner>,
+    tenant: &mut Option<String>,
+    line: &str,
+) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            return (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Hello { tenant: name } => match inner.admit(&name) {
+            Ok(()) => {
+                *tenant = Some(name.clone());
+                (Response::Hello { tenant: name }, false)
+            }
+            Err(e) => (error_response(e), false),
+        },
+        Request::Alert { alert } => submit(inner, tenant, WalEvent::Alert(alert)),
+        Request::Ping { ping } => submit(inner, tenant, WalEvent::Ping(ping)),
+        Request::Tick { at } => submit(inner, tenant, WalEvent::Tick(at)),
+        Request::Report { horizon } => {
+            let Some(name) = tenant.as_deref() else {
+                return (no_hello(), false);
+            };
+            match inner.report(name, horizon) {
+                Ok(report) => (
+                    Response::Report {
+                        report: Box::new(report),
+                    },
+                    false,
+                ),
+                Err(e) => (error_response(e), false),
+            }
+        }
+        Request::Bye => (Response::Bye, true),
+    }
+}
+
+fn submit(inner: &Arc<ServiceInner>, tenant: &Option<String>, event: WalEvent) -> (Response, bool) {
+    let Some(name) = tenant.as_deref() else {
+        return (no_hello(), false);
+    };
+    match inner.submit(name, event) {
+        Ok(seq) => (Response::Ack { seq }, false),
+        Err(ServeError::Busy { .. }) => (Response::Busy, false),
+        Err(e) => (error_response(e), false),
+    }
+}
+
+fn no_hello() -> Response {
+    Response::Error {
+        message: "say hello first: {\"op\":\"hello\",\"tenant\":...}".to_string(),
+    }
+}
+
+fn error_response(e: ServeError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}

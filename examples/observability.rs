@@ -57,12 +57,12 @@ fn main() {
     println!("...");
 
     // 2. The same registry as one JSON document, for dashboards.
-    let json = sky.metrics_json();
+    let json = sky.json();
     assert!(json.contains("\"skynet_preprocess_emitted_total\""));
     println!("\n--- json snapshot: {} bytes", json.len());
 
     // 3. The human table, for a terminal.
-    println!("\n--- rendered\n{}", sky.render_metrics());
+    println!("\n--- rendered\n{}", sky.table());
 
     // 4. Explain the top incident: replay every stage each of its
     // constituent alerts passed through, oldest first.

@@ -6,8 +6,8 @@
 //! cargo run --example streaming
 //! ```
 
-use skynet::core::pipeline::{spawn_streaming, StreamEvent};
-use skynet::core::{PipelineConfig, SkyNet};
+use skynet::core::pipeline::StreamEvent;
+use skynet::core::{Exporter, PipelineConfig, SkyNet};
 use skynet::failure::Injector;
 use skynet::model::{SimDuration, SimTime};
 use skynet::telemetry::{TelemetryConfig, TelemetrySuite};
@@ -34,7 +34,7 @@ fn main() {
         .config(PipelineConfig::production())
         .training(&training)
         .build();
-    let handle = spawn_streaming(sky);
+    let handle = sky.stream();
 
     // Interleave alerts and ping samples exactly as the feed would.
     for alert in &run.alerts {
@@ -95,7 +95,7 @@ fn main() {
     // The same numbers, as a scrape endpoint would serve them.
     let prom = handle.prometheus();
     assert!(prom.contains("skynet_ingest_accepted_total"));
-    println!("--- metrics\n{}", handle.render_metrics());
+    println!("--- metrics\n{}", handle.table());
 
     handle.events.send(StreamEvent::Flush).unwrap();
     drop(handle.events);

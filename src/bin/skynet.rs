@@ -9,6 +9,10 @@
 //!                [--chaos-seed N]   # degrade the feed first, replayably
 //! skynet gen-topology [--scale small|medium|large] > topo.json
 //! skynet demo [--chaos-seed N] [--fault-seed N]   # generate, break, analyze
+//! skynet serve --topology topo.json --wal-dir DIR --bind 127.0.0.1:7474
+//!              # always-on multi-tenant ingest: TCP/JSON front door + WAL
+//! skynet replay --topology topo.json --wal-dir DIR [--from-seq N] [--to-seq N]
+//!              # re-ingest a WAL range byte-identically, print the reports
 //! ```
 //!
 //! `--chaos-seed` degrades the *input feed* (tool dropout, duplicate
@@ -17,7 +21,10 @@
 //! post-incident degradation report. Both are deterministic: the same seed
 //! replays the same run byte-for-byte.
 
-use skynet::core::{FaultAction, FaultConfig, FaultRule, InjectionSite, PipelineConfig, SkyNet};
+use skynet::core::{
+    replay_wal, FaultAction, FaultConfig, FaultRule, InjectionSite, PipelineConfig, ServeConfig,
+    SkyNet,
+};
 use skynet::model::{PingLog, RawAlert, SimDuration, SimTime};
 use skynet::topology::{generate, GeneratorConfig, Topology};
 use std::io::{BufRead, BufReader, Write};
@@ -25,7 +32,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N] [--chaos-seed N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo [--chaos-seed N] [--fault-seed N]"
+        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N] [--chaos-seed N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo [--chaos-seed N] [--fault-seed N]\n  skynet serve --topology <topo.json> --wal-dir <dir> --bind <addr:port> [--queue-capacity N]\n  skynet replay --topology <topo.json> --wal-dir <dir> [--from-seq N] [--to-seq N] [--horizon-mins N]"
     );
     std::process::exit(2);
 }
@@ -36,6 +43,8 @@ fn main() {
         Some("analyze") => analyze(&args[1..]),
         Some("gen-topology") => gen_topology(&args[1..]),
         Some("demo") => demo(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         _ => usage(),
     }
 }
@@ -119,11 +128,7 @@ fn analyze(args: &[String]) {
         .map(|v| v.parse().expect("--horizon-mins takes a number"))
         .unwrap_or(60);
 
-    let topo_file =
-        std::fs::File::open(topo_path).unwrap_or_else(|e| panic!("cannot open {topo_path}: {e}"));
-    let topo: Topology =
-        serde_json::from_reader(BufReader::new(topo_file)).expect("topology parses");
-    let topo = Arc::new(topo);
+    let topo = load_topology(topo_path);
 
     let alerts_file = std::fs::File::open(alerts_path)
         .unwrap_or_else(|e| panic!("cannot open {alerts_path}: {e}"));
@@ -152,6 +157,73 @@ fn analyze(args: &[String]) {
         .build();
     let report = skynet.analyze(&alerts, &PingLog::new(), SimTime::from_mins(horizon_mins));
     println!("{}", report.render());
+}
+
+/// Loads a topology JSON file into an `Arc<Topology>`.
+fn load_topology(path: &str) -> Arc<Topology> {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+    let topo: Topology = serde_json::from_reader(BufReader::new(file)).expect("topology parses");
+    Arc::new(topo)
+}
+
+/// Runs the always-on ingest service: TCP/JSON front door, per-tenant
+/// backpressure, WAL-before-ack. Restarting over the same `--wal-dir`
+/// warm-restores from the snapshot plus the WAL tail.
+fn serve(args: &[String]) {
+    let topo = load_topology(flag(args, "--topology").unwrap_or_else(|| usage()));
+    let wal_dir = flag(args, "--wal-dir").unwrap_or_else(|| usage());
+    let bind = flag(args, "--bind").unwrap_or("127.0.0.1:7474");
+    let mut cfg = ServeConfig::new(wal_dir).with_bind(bind);
+    if let Some(capacity) = flag(args, "--queue-capacity") {
+        cfg = cfg
+            .with_tenant_queue_capacity(capacity.parse().expect("--queue-capacity takes a number"));
+    }
+    let mut pipeline_cfg = PipelineConfig::production();
+    if let Some(seed) = seed_flag(args, "--fault-seed") {
+        pipeline_cfg = pipeline_cfg.with_faults(demo_faults(seed));
+    }
+    let service = SkyNet::builder(&topo)
+        .config(pipeline_cfg)
+        .serve(cfg)
+        .unwrap_or_else(|e| panic!("cannot start service: {e}"));
+    let addr = service.local_addr().expect("serve binds a TCP address");
+    eprintln!("serving on {addr} (WAL at {wal_dir}); ctrl-c to stop");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Re-ingests a WAL range through fresh pipelines and prints each
+/// tenant's report — the proof that the WAL is the feed.
+fn replay(args: &[String]) {
+    let topo = load_topology(flag(args, "--topology").unwrap_or_else(|| usage()));
+    let wal_dir = flag(args, "--wal-dir").unwrap_or_else(|| usage());
+    let from_seq: u64 = flag(args, "--from-seq")
+        .map(|v| v.parse().expect("--from-seq takes a number"))
+        .unwrap_or(0);
+    let to_seq: Option<u64> =
+        flag(args, "--to-seq").map(|v| v.parse().expect("--to-seq takes a number"));
+    let horizon_mins: u64 = flag(args, "--horizon-mins")
+        .map(|v| v.parse().expect("--horizon-mins takes a number"))
+        .unwrap_or(60);
+    let skynet = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .build();
+    let reports = replay_wal(
+        &skynet,
+        std::path::Path::new(wal_dir),
+        from_seq,
+        to_seq,
+        SimTime::from_mins(horizon_mins),
+    )
+    .unwrap_or_else(|e| panic!("replay failed: {e}"));
+    if reports.is_empty() {
+        eprintln!("no WAL records in range under {wal_dir}");
+    }
+    for (tenant, report) in reports {
+        println!("=== tenant {tenant} ===");
+        println!("{}", report.render());
+    }
 }
 
 /// End-to-end demo: generate a network, break a router, print the report.

@@ -4,7 +4,7 @@
 //! pipeline computes for the well-formed portion of the feed.
 
 use skynet::core::error::RejectReason;
-use skynet::core::pipeline::{spawn_streaming, StreamEvent, StreamIncident};
+use skynet::core::pipeline::{StreamEvent, StreamIncident};
 use skynet::core::{PipelineConfig, SkyNet};
 use skynet::model::{AlertKind, DataSource, LocationPath, PingLog, RawAlert, SimTime};
 use skynet::telemetry::{ChaosConfig, ChaosEngine};
@@ -127,7 +127,7 @@ fn supervised_stream_survives_chaos_and_matches_batch() {
         "chaos must deliver at least 30% of the feed out of order"
     );
 
-    let handle = spawn_streaming(SkyNet::builder(&topo).config(cfg).build());
+    let handle = SkyNet::builder(&topo).config(cfg).build().stream();
 
     // Arm the guard's trusted clock, then hit the fresh worker with the
     // malformed storm.

@@ -477,7 +477,7 @@ fn streaming_panic_dead_letters_then_restarts() {
         FaultRule::once(InjectionSite::LocateWorker, 3, FaultAction::Panic),
     ));
     cfg.streaming.stats_interval = 1;
-    let handle = spawn_streaming(SkyNet::builder(&topo).config(cfg).build());
+    let handle = SkyNet::builder(&topo).config(cfg).build().stream();
 
     handle
         .events
@@ -532,7 +532,7 @@ fn supervisor_exhaustion_reports_degraded_with_cause() {
     ));
     cfg.streaming.stats_interval = 1;
     cfg.streaming.max_restarts = 0;
-    let handle = spawn_streaming(SkyNet::builder(&topo).config(cfg).build());
+    let handle = SkyNet::builder(&topo).config(cfg).build().stream();
 
     let _ = handle.events.send(StreamEvent::Tick(SimTime::ZERO));
     for alert in flood(&topo) {

@@ -139,7 +139,7 @@ fn exporters_are_stable_and_parseable_for_a_flood() {
     assert!(prom.contains("skynet_stage_seconds_count"));
 
     // The JSON document round-trips through a strict parser.
-    let parsed: serde_json::Value = serde_json::from_str(&sky.metrics_json()).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&sky.json()).unwrap();
     let metrics = parsed["metrics"].as_array().unwrap();
     assert!(metrics.iter().any(
         |m| m["name"] == "skynet_ingest_accepted_total" && m["value"] == report.ingest.accepted
@@ -154,7 +154,7 @@ fn exporters_are_stable_and_parseable_for_a_flood() {
     assert_eq!(sky.prometheus(), prom);
 
     // The human rendering covers every family the scrape does.
-    let table = sky.render_metrics();
+    let table = sky.table();
     assert!(table.contains("skynet_ingest_accepted_total"));
     assert!(table.contains("skynet_stage_seconds"));
 }
@@ -170,7 +170,7 @@ fn streaming_handle_exposes_the_shared_observability() {
     let sky = SkyNet::builder(&topo)
         .config(PipelineConfig::production())
         .build();
-    let handle = spawn_streaming(sky);
+    let handle = sky.stream();
     for alert in &run.alerts {
         handle
             .events
