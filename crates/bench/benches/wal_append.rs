@@ -55,6 +55,7 @@ fn bench(c: &mut Criterion) {
                         WalEvent::Alert(a) => a.timestamp,
                         WalEvent::Ping(p) => p.t,
                         WalEvent::Tick(t) => *t,
+                        WalEvent::ReportBoundary(t) => *t,
                     };
                     black_box(wal.append("bench", event, at).expect("append"));
                 }

@@ -279,6 +279,15 @@ pub struct LocatorState {
     dirty: bool,
 }
 
+impl LocatorState {
+    /// The number of topology-interned locations this state was captured
+    /// over. [`Locator::restore_state`] requires a locator built over the
+    /// same base; callers restoring untrusted state check this first.
+    pub fn base_locs(&self) -> usize {
+        self.base_locs
+    }
+}
+
 /// A canonical-ordered location pair: adjacency stores each linked pair
 /// once, queried from either direction without cloning anything.
 fn pair(a: LocId, b: LocId) -> (LocId, LocId) {

@@ -113,6 +113,9 @@ impl TenantEngine {
         snap: TenantSnapshot,
     ) -> TenantEngine {
         let mut engine = TenantEngine::new(skynet, &snap.name, tenant_index, dead, plane);
+        // ServiceHandle::start validates shard count and topology base
+        // before calling restore (returning ServeError::Corrupt); this
+        // assert only backstops callers that skipped that validation.
         assert_eq!(
             snap.locators.len(),
             engine.locators.len(),
@@ -170,6 +173,11 @@ impl TenantEngine {
                     locator.advance(now);
                 }
                 self.clock = now;
+            }
+            WalEvent::ReportBoundary(_) => {
+                // Incarnation boundaries are handled by the replay drivers
+                // (which restart the engine); one reaching a live engine
+                // directly is a no-op.
             }
         }
         self.last_applied_seq = self.last_applied_seq.max(seq);

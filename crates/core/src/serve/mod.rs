@@ -21,14 +21,19 @@
 //!   pushback on its own connection; it cannot delay another tenant's acks
 //!   ([`ServiceHandle`] asserts this in the integration tests).
 //! - **Durability.** Every accepted event is appended to the segmented
-//!   [`wal`] (CRC-framed, fsync policy knob) before its ack is sent. The
-//!   `skynet replay` CLI re-ingests any WAL range byte-identically via
+//!   [`wal`] (CRC-framed, fsync policy knob) before its ack is sent, and
+//!   every delivered report leaves a [`WalEvent::ReportBoundary`] record
+//!   so restarts never re-ingest an already-reported feed. The `skynet
+//!   replay` CLI re-ingests any WAL range byte-identically via
 //!   [`replay_wal`].
 //! - **Warm restart.** [`ServiceHandle::snapshot`] serializes every
 //!   tenant's mid-flood state ([`snapshot`]); a restarted service loads
-//!   the snapshot, restores the fault plane's decision streams, replays
-//!   the WAL tail past each tenant's applied watermark, and resumes as if
-//!   never interrupted — the final report is byte-identical.
+//!   the snapshot (validating it against the configured shard count and
+//!   topology — a mismatch is a recoverable [`ServeError::Corrupt`]),
+//!   restores the fault plane's decision streams, replays the WAL tail
+//!   past each tenant's applied watermark, and resumes as if never
+//!   interrupted — the final report is byte-identical. A snapshotless
+//!   restart replays the whole surviving WAL the same way.
 //! - **Faults.** The WAL append and snapshot write paths are first-class
 //!   injection sites (`wal-append`, `snapshot-write`), so chaos runs
 //!   exercise exactly the failure modes this layer exists to absorb.

@@ -49,8 +49,9 @@ enum TenantMsg {
 /// A tenant's queue plus the pause flag the backpressure tests use.
 struct TenantQueue {
     items: VecDeque<TenantMsg>,
-    /// While `true` the worker stops draining — how tests (and operators
-    /// draining a misbehaving tenant) simulate a slow consumer.
+    /// While `true` the worker stops draining *applies* (control messages
+    /// are still serviced) — how tests (and operators draining a
+    /// misbehaving tenant) simulate a slow consumer.
     paused: bool,
 }
 
@@ -119,6 +120,7 @@ fn event_time(event: &WalEvent) -> SimTime {
         WalEvent::Alert(raw) => raw.timestamp,
         WalEvent::Ping(sample) => sample.t,
         WalEvent::Tick(at) => *at,
+        WalEvent::ReportBoundary(at) => *at,
     }
 }
 
@@ -235,7 +237,22 @@ impl ServiceInner {
     ) -> Result<AnalysisReport, ServeError> {
         let slot = self.find(tenant)?;
         let (tx, rx) = mpsc::channel();
-        slot.push(TenantMsg::Report(horizon, tx));
+        {
+            // Mark the incarnation boundary on the log before the Report
+            // message exists, under the queue lock (queue order = WAL
+            // order): every record below the boundary belongs to the
+            // incarnation whose report this call delivers, so a crash
+            // after the report can never replay them into the fresh one.
+            // The boundary bypasses the `wal-append` arm — it is service
+            // control flow, not tenant data, and must neither consume a
+            // slot in nor be vetoed by the injected decision stream.
+            let mut q = slot.queue.lock();
+            self.wal
+                .lock()
+                .append_unchecked(tenant, &WalEvent::ReportBoundary(horizon))?;
+            q.items.push_back(TenantMsg::Report(horizon, tx));
+        }
+        slot.cond.notify_one();
         rx.recv().map_err(|_| ServeError::ShuttingDown)
     }
 
@@ -260,10 +277,20 @@ fn run_tenant(inner: Arc<ServiceInner>, slot: Arc<TenantSlot>, mut engine: Tenan
         let msg = {
             let mut q = slot.queue.lock();
             loop {
-                if !q.paused {
-                    if let Some(msg) = q.items.pop_front() {
-                        break msg;
-                    }
+                // Pausing defers only Apply drains. Control messages
+                // (report, snapshot, shutdown) stay serviceable — a
+                // paused tenant must never hang a snapshot() caller or
+                // wedge shutdown.
+                let next = if q.paused {
+                    q.items
+                        .iter()
+                        .position(|m| !matches!(m, TenantMsg::Apply(..)))
+                        .and_then(|i| q.items.remove(i))
+                } else {
+                    q.items.pop_front()
+                };
+                if let Some(msg) = next {
+                    break msg;
                 }
                 slot.cond.wait(&mut q);
             }
@@ -334,6 +361,34 @@ impl ServiceHandle {
         let obs = skynet.obs.clone();
         let plane = FaultPlane::from_config(&skynet.cfg.faults, &obs);
         let snap = snapshot::load(&cfg.wal_dir)?;
+        // A snapshot only restores onto the configuration it was taken
+        // over. Validate that up front and fail recoverably — the restore
+        // paths deeper down assert these invariants, and a config change
+        // between runs must surface as an error, not a panic.
+        if let Some(snap) = &snap {
+            let shards = skynet.cfg.streaming.shards.max(1);
+            let base = skynet.topo.interner().len();
+            for tenant in &snap.tenants {
+                if tenant.locators.len() != shards {
+                    return Err(ServeError::Corrupt(format!(
+                        "tenant {:?} was snapshotted at {} shard(s) but this service is \
+                         configured for {shards}; restart with the snapshot's shard count \
+                         or remove the snapshot",
+                        tenant.name,
+                        tenant.locators.len(),
+                    )));
+                }
+                if let Some(state) = tenant.locators.iter().find(|l| l.base_locs() != base) {
+                    return Err(ServeError::Corrupt(format!(
+                        "tenant {:?} was snapshotted over a topology with {} base locations \
+                         but this service's topology has {base}; snapshots only restore onto \
+                         the same topology",
+                        tenant.name,
+                        state.base_locs(),
+                    )));
+                }
+            }
+        }
         // Restore arm decision streams and the fired-fault ledger BEFORE
         // anything arms a site: arming picks up whatever state the plane
         // holds, so restore-then-arm resumes, arm-then-restore would fork.
@@ -350,15 +405,21 @@ impl ServiceHandle {
         let snapshot_fault = plane
             .as_ref()
             .and_then(|p| p.arm(InjectionSite::SnapshotWrite, 0));
-        // A `wal-append` arm advances once per append *attempt*, and
-        // appends after the snapshot advanced it past the snapshotted
-        // state. Fast-forward one check per post-snapshot record so new
-        // appends resume the original decision stream (and the tail's
-        // fires land back in the ledger). Exact whenever the tail holds no
-        // rejected attempts — rejections leave no record to count.
-        if let (Some(arm), Some(snap)) = (&wal_fault, &snap) {
+        // A `wal-append` arm advances once per append *attempt*, and every
+        // record on disk consumed one before the crash. Fast-forward one
+        // check per record not already covered by the snapshot's arm state
+        // — every scanned record on a snapshotless restart — so new
+        // appends resume the original decision stream instead of rewinding
+        // it (and the replayed span's fires land back in the ledger).
+        // Report boundaries never consult the arm and are skipped. Exact
+        // whenever the replayed span holds no rejected attempts —
+        // rejections leave no record to count.
+        if let Some(arm) = &wal_fault {
+            let covered_below = snap.as_ref().map_or(1, |s| s.next_seq);
             for record in &records {
-                if record.seq >= snap.next_seq {
+                if record.seq >= covered_below
+                    && !matches!(record.event, WalEvent::ReportBoundary(_))
+                {
                     let _ = arm.check(TraceId::NONE, event_time(&record.event));
                 }
             }
@@ -427,18 +488,30 @@ impl ServiceHandle {
         // Replay each tenant's WAL tail past its applied watermark, in
         // global sequence order, before any new traffic is accepted.
         for record in records {
-            let engine = engines
-                .iter_mut()
-                .find(|e| e.name() == record.tenant)
+            let index = engines
+                .iter()
+                .position(|e| e.name() == record.tenant)
                 .expect("every WAL tenant has an engine");
-            if record.seq > engine.last_applied_seq() {
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    engine.apply(record.seq, record.event.clone())
-                }));
-                if outcome.is_err() {
-                    inner.restarts.fetch_add(1, Ordering::Relaxed);
-                    inner.restart_metric.inc();
-                }
+            if record.seq <= engines[index].last_applied_seq() {
+                continue;
+            }
+            if matches!(record.event, WalEvent::ReportBoundary(_)) {
+                // The incarnation below the boundary already delivered its
+                // report; its replayed state must not leak into the next
+                // one. Restart fresh, exactly like the live Report handler.
+                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+                    inner.skynet.cfg.streaming.guard.dead_letter_capacity,
+                )));
+                engines[index] =
+                    TenantEngine::new(&inner.skynet, &record.tenant, index, dead, &inner.plane);
+                continue;
+            }
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                engines[index].apply(record.seq, record.event.clone())
+            }));
+            if outcome.is_err() {
+                inner.restarts.fetch_add(1, Ordering::Relaxed);
+                inner.restart_metric.inc();
             }
         }
         {
@@ -501,7 +574,14 @@ impl ServiceHandle {
     /// Finalizes a tenant's run at `horizon` and returns the canonical
     /// [`AnalysisReport`] — byte-identical for the same feed whether the
     /// service ran uninterrupted or warm-restarted mid-flood. The tenant's
-    /// engine restarts as a fresh incarnation afterwards.
+    /// engine restarts as a fresh incarnation afterwards, and a
+    /// [`WalEvent::ReportBoundary`] record marks the cut on the log so a
+    /// later restart never replays the reported feed into the fresh
+    /// incarnation.
+    ///
+    /// Reporting a *paused* tenant finalizes immediately, ahead of any
+    /// events still waiting in its queue; those acked events land in the
+    /// next incarnation once the tenant resumes.
     pub fn report(&self, tenant: &str, horizon: SimTime) -> Result<AnalysisReport, ServeError> {
         self.inner.report(tenant, horizon)
     }
@@ -513,6 +593,10 @@ impl ServiceHandle {
     /// Each tenant's state is captured after its queue drains the messages
     /// enqueued before this call; for an exact fault-stream resumption
     /// take the snapshot at a quiescent point (no concurrent submissions).
+    /// A *paused* tenant still answers — its worker services control
+    /// messages while paused — capturing its state as of the pause; the
+    /// events waiting in its queue stay above the snapshot floor and
+    /// replay from the WAL on restart.
     pub fn snapshot(&self) -> Result<PathBuf, ServeError> {
         let inner = &self.inner;
         if let Some(arm) = &inner.snapshot_fault {
@@ -554,7 +638,9 @@ impl ServiceHandle {
 
     /// Stops draining a tenant's queue (submissions still ack until the
     /// queue fills, then turn `BUSY`) — the operator's drain valve and the
-    /// backpressure tests' slow-consumer switch.
+    /// backpressure tests' slow-consumer switch. Only event applies stop:
+    /// control operations (snapshot, report, shutdown) stay serviceable
+    /// while the tenant is paused.
     pub fn pause_tenant(&self, tenant: &str) -> Result<(), ServeError> {
         let slot = self.inner.find(tenant)?;
         slot.queue.lock().paused = true;
@@ -684,8 +770,14 @@ impl Handle for ServiceHandle {
 }
 
 /// Re-ingests a WAL seq range through fresh per-tenant pipelines and
-/// returns each tenant's report, in first-appearance order — the library
+/// returns the reports the range encodes, in WAL order — the library
 /// behind `skynet replay`.
+///
+/// A [`WalEvent::ReportBoundary`] record finalizes its tenant's
+/// incarnation at the boundary's horizon (reproducing the report the live
+/// service delivered there) and restarts the engine fresh, exactly like
+/// the live Report handler. Tenants whose final incarnation applied
+/// events but never reported are finalized at `horizon` after the scan.
 ///
 /// Replay is byte-identical to a second replay of the same range, and —
 /// when the range covers the whole log and the original run started cold —
@@ -701,7 +793,14 @@ pub fn replay_wal(
 ) -> Result<Vec<(String, AnalysisReport)>, ServeError> {
     let plane = FaultPlane::from_config(&skynet.cfg.faults, &skynet.obs);
     let records = WalReader::scan(dir)?;
+    let fresh_engine = |name: &str, index: usize| {
+        let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
+            skynet.cfg.streaming.guard.dead_letter_capacity,
+        )));
+        TenantEngine::new(skynet, name, index, dead, &plane)
+    };
     let mut engines: Vec<TenantEngine> = Vec::new();
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
     for record in records {
         if record.seq < from_seq || to_seq.is_some_and(|hi| record.seq > hi) {
             continue;
@@ -709,28 +808,27 @@ pub fn replay_wal(
         let index = match engines.iter().position(|e| e.name() == record.tenant) {
             Some(i) => i,
             None => {
-                let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
-                    skynet.cfg.streaming.guard.dead_letter_capacity,
-                )));
                 let index = engines.len();
-                engines.push(TenantEngine::new(
-                    skynet,
-                    &record.tenant,
-                    index,
-                    dead,
-                    &plane,
-                ));
+                engines.push(fresh_engine(&record.tenant, index));
                 index
             }
         };
+        if let WalEvent::ReportBoundary(at) = record.event {
+            let done = std::mem::replace(&mut engines[index], fresh_engine(&record.tenant, index));
+            reports.push((record.tenant, done.finish(skynet, at, plane.clone())));
+            continue;
+        }
         engines[index].apply(record.seq, record.event);
     }
-    Ok(engines
-        .into_iter()
-        .map(|engine| {
-            let name = engine.name().to_string();
-            let report = engine.finish(skynet, horizon, plane.clone());
-            (name, report)
-        })
-        .collect())
+    for engine in engines {
+        if engine.last_applied_seq() == 0 {
+            // A post-boundary incarnation that applied nothing — the live
+            // service delivered no report for it either.
+            continue;
+        }
+        let name = engine.name().to_string();
+        let report = engine.finish(skynet, horizon, plane.clone());
+        reports.push((name, report));
+    }
+    Ok(reports)
 }

@@ -73,6 +73,12 @@ pub enum WalEvent {
     /// A clock advance: drives guard watermarks and locator timeouts
     /// through quiet periods, exactly like the streaming runtime's tick.
     Tick(SimTime),
+    /// A control record marking a delivered report for this tenant at the
+    /// carried horizon: every earlier record of the tenant belongs to the
+    /// finalized incarnation, so a restart or replay must never feed them
+    /// into the fresh one. Written by the service itself (never by a
+    /// tenant feed) and exempt from the `wal-append` fault arm.
+    ReportBoundary(SimTime),
 }
 
 /// One framed WAL record: a globally-monotonic sequence number, the tenant
@@ -191,11 +197,6 @@ impl std::fmt::Debug for WalWriter {
 }
 
 impl WalWriter {
-    /// Opens a fresh segment in `cfg.wal_dir`, continuing after whatever
-    /// segments already exist there. `existing` is the startup scan's
-    /// `(segment index, last seq in segment)` summary of those segments
-    /// (so retention can reason about them) and `next_seq` the first
-    /// sequence number this writer will assign.
     /// Opens a standalone writer over `cfg.wal_dir`, resuming sequence
     /// numbering from whatever segments already exist. This is the
     /// faultless entry point for tools and benchmarks; the service wires
@@ -205,6 +206,11 @@ impl WalWriter {
         WalWriter::open(cfg, obs, None, existing, next_seq)
     }
 
+    /// Opens a fresh segment in `cfg.wal_dir`, continuing after whatever
+    /// segments already exist there — record-bearing or not. `existing` is
+    /// the startup scan's `(segment index, last seq in segment)` summary
+    /// (so retention can reason about them) and `next_seq` the first
+    /// sequence number this writer will assign.
     pub(crate) fn open(
         cfg: &ServeConfig,
         obs: &Observability,
@@ -213,7 +219,24 @@ impl WalWriter {
         next_seq: u64,
     ) -> Result<WalWriter, ServeError> {
         fs::create_dir_all(&cfg.wal_dir)?;
-        let current_index = existing.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        // The new head index comes from the *directory*, not the record
+        // summary: the summary skips record-less segments (an idle run's
+        // head, a crash right after rotation, a torn first record), and
+        // opening with create_new over one of those would refuse to start
+        // in exactly the crash scenarios the WAL exists to survive.
+        let segments = segments_in(&cfg.wal_dir)?;
+        let current_index = segments.last().map_or(0, |(index, _)| index + 1);
+        // Every on-disk segment is closed from this writer's perspective.
+        // Record-less ones inherit the preceding segment's last seq so
+        // retention can still reclaim them once a snapshot covers it.
+        let mut closed = Vec::with_capacity(segments.len());
+        let mut last_seq = 0u64;
+        for (index, _) in &segments {
+            if let Some(&(_, seq)) = existing.iter().find(|(i, _)| i == index) {
+                last_seq = seq;
+            }
+            closed.push((*index, last_seq));
+        }
         let metrics = WalMetrics::registered(obs);
         let file = OpenOptions::new()
             .create_new(true)
@@ -230,7 +253,7 @@ impl WalWriter {
             current_len: 0,
             appends_since_sync: 0,
             next_seq,
-            closed: existing,
+            closed,
             snapshot_floor: 0,
             fault,
             metrics,
@@ -264,6 +287,23 @@ impl WalWriter {
                 None => {}
             }
         }
+        self.append_frame(tenant, event)
+    }
+
+    /// Appends one record *without* consulting the `wal-append` fault arm
+    /// — for control records (report boundaries) that are service flow,
+    /// not tenant data: they must neither consume a slot in nor be vetoed
+    /// by the injected decision stream, or replay fast-forwarding would
+    /// drift.
+    pub(crate) fn append_unchecked(
+        &mut self,
+        tenant: &str,
+        event: &WalEvent,
+    ) -> Result<u64, ServeError> {
+        self.append_frame(tenant, event)
+    }
+
+    fn append_frame(&mut self, tenant: &str, event: &WalEvent) -> Result<u64, ServeError> {
         let record = WalRecord {
             seq: self.next_seq,
             tenant: tenant.to_string(),
@@ -489,6 +529,59 @@ mod tests {
         file.set_len(len - 7).unwrap();
         let records = WalReader::scan(&dir).unwrap();
         assert_eq!(records.len(), 2, "the torn third record is dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_survives_record_less_head_segments() {
+        let dir = tmp_dir("empty-head");
+        let obs = Observability::default();
+        // Two idle runs in a row leave two record-less segments behind;
+        // each reopen must pick a fresh index instead of colliding with
+        // the stale file (regression: AlreadyExists on warm restart).
+        for _ in 0..2 {
+            let writer = WalWriter::create(&cfg(&dir), &obs).expect("reopen over empty head");
+            drop(writer);
+        }
+        assert_eq!(segments_in(&dir).unwrap().len(), 2);
+        // A run that finally appends still numbers from seq 1 and scans.
+        let mut writer = WalWriter::create(&cfg(&dir), &obs).unwrap();
+        let seq = writer
+            .append("t", &alert(0), SimTime::from_secs(0))
+            .unwrap();
+        assert_eq!(seq, 1);
+        drop(writer);
+        // And a crash right after rotation (head exists, no records in it)
+        // reopens too: simulate by creating the next bare segment file.
+        let next = segments_in(&dir).unwrap().last().unwrap().0 + 1;
+        File::create(segment_path(&dir, next)).unwrap();
+        let writer = WalWriter::create(&cfg(&dir), &obs).expect("reopen past bare rotation");
+        assert_eq!(writer.next_seq(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_reclaims_record_less_segments_once_covered() {
+        let dir = tmp_dir("empty-retention");
+        let obs = Observability::default();
+        {
+            let mut writer = WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap();
+            for i in 0..10u64 {
+                writer
+                    .append("t", &alert(i), SimTime::from_secs(i))
+                    .unwrap();
+            }
+        }
+        // An idle restart leaves a record-less head behind the new one.
+        drop(WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap());
+        let mut writer = WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap();
+        let before = segments_in(&dir).unwrap().len();
+        // A snapshot covering everything reclaims the record-less segments
+        // too — they inherit the preceding segment's last seq.
+        writer.retain_after_snapshot(10).unwrap();
+        let after = segments_in(&dir).unwrap().len();
+        assert!(after < before, "{after} < {before}");
+        assert_eq!(after, 1, "only the open head survives");
         let _ = fs::remove_dir_all(&dir);
     }
 

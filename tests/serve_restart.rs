@@ -289,6 +289,268 @@ fn wal_replay_reproduces_the_served_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Restarting over a WAL whose head segment is record-less — an idle
+/// previous run, or a crash right after rotation — must warm-start
+/// instead of colliding with the stale file (regression: the writer
+/// derived its segment index from the record summary, which skips empty
+/// segments, so `create_new` hit `AlreadyExists`).
+#[test]
+fn restart_survives_a_record_less_head_segment() {
+    let topo = topo();
+    let dir = test_dir("empty-head");
+    for round in 0..3 {
+        let service = SkyNet::builder(&topo)
+            .config(PipelineConfig::production())
+            .serve(serve_cfg(&dir))
+            .unwrap_or_else(|e| panic!("idle restart round {round} must start: {e}"));
+        service.hello(TENANT).expect("tenant admits");
+        service.shutdown();
+    }
+    // Ingest still works after the idle restarts.
+    let service = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .serve(serve_cfg(&dir))
+        .expect("service starts after idle runs");
+    service.hello(TENANT).expect("tenant admits");
+    let site = topo.clusters()[0].parent().clone();
+    service
+        .submit_alert(
+            TENANT,
+            RawAlert::known(
+                DataSource::Ping,
+                SimTime::from_secs(1),
+                site,
+                AlertKind::PacketLossIcmp,
+            ),
+        )
+        .expect("submission acks");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `snapshot()` must return while a tenant is paused: pausing defers only
+/// event applies, never control messages — otherwise the documented drain
+/// valve would hang every snapshot caller.
+#[test]
+fn snapshot_completes_while_a_tenant_is_paused() {
+    let topo = topo();
+    let dir = test_dir("paused-snapshot");
+    let service = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .serve(serve_cfg(&dir))
+        .expect("service starts");
+    service.hello("slow").expect("tenant admits");
+    service.pause_tenant("slow").expect("pause");
+    let site = topo.clusters()[0].parent().clone();
+    for t in 0..3u64 {
+        service
+            .submit_alert(
+                "slow",
+                RawAlert::known(
+                    DataSource::Ping,
+                    SimTime::from_secs(t),
+                    site.clone(),
+                    AlertKind::PacketLossIcmp,
+                ),
+            )
+            .expect("acks while paused (queue not full)");
+    }
+    service
+        .snapshot()
+        .expect("snapshot returns despite the pause");
+    let health = service.tenant_health("slow").expect("health");
+    assert!(health.paused);
+    assert_eq!(health.queued, 3, "applies stay deferred while paused");
+    // The snapshot captured the pre-pause state: nothing applied yet, so
+    // the queued events stay above the floor and replay from the WAL.
+    let snap = skynet::core::serve::snapshot::load(&dir)
+        .expect("snapshot loads")
+        .expect("snapshot present");
+    assert_eq!(snap.tenants.len(), 1);
+    assert_eq!(snap.tenants[0].last_applied_seq, 0);
+    service.resume_tenant("slow").expect("resume");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A report cuts an incarnation boundary into the WAL: a restart after a
+/// report must not replay the already-reported feed into the fresh
+/// incarnation. The second incarnation's report is byte-identical whether
+/// the service kept running or was killed right after the first report,
+/// and a restart with no new feed reports an empty incarnation.
+#[test]
+fn restart_after_report_does_not_double_count() {
+    let topo = topo();
+    let events = feed_events(&topo);
+    let horizon = SimTime::from_mins(HORIZON_MINS);
+
+    // Uninterrupted: report, feed again, report.
+    let continued_dir = test_dir("reported-continued");
+    let second_continued = {
+        let service = SkyNet::builder(&topo)
+            .config(PipelineConfig::production())
+            .serve(serve_cfg(&continued_dir))
+            .expect("service starts");
+        service.hello(TENANT).expect("tenant admits");
+        submit_all(&service, TENANT, &events);
+        service.report(TENANT, horizon).expect("first report");
+        submit_all(&service, TENANT, &events);
+        let second = service.report(TENANT, horizon).expect("second report");
+        service.shutdown();
+        serde_json::to_string(&second).expect("report serializes")
+    };
+
+    // Killed right after the first report, then restarted.
+    let killed_dir = test_dir("reported-killed");
+    {
+        let service = SkyNet::builder(&topo)
+            .config(PipelineConfig::production())
+            .serve(serve_cfg(&killed_dir))
+            .expect("service starts");
+        service.hello(TENANT).expect("tenant admits");
+        submit_all(&service, TENANT, &events);
+        service.report(TENANT, horizon).expect("first report");
+        service.shutdown();
+    }
+    let service = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .serve(serve_cfg(&killed_dir))
+        .expect("service warm-restarts past the boundary");
+    let health = service.tenant_health(TENANT).expect("tenant restored");
+    assert_eq!(
+        health.applied_seq, 0,
+        "the restored incarnation starts fresh — nothing replayed into it"
+    );
+    submit_all(&service, TENANT, &events);
+    let second_restarted = service.report(TENANT, horizon).expect("second report");
+    service.shutdown();
+    assert_eq!(
+        serde_json::to_string(&second_restarted).expect("report serializes"),
+        second_continued,
+        "the post-report incarnation must not inherit the reported feed"
+    );
+
+    // And a restart with no new feed reports an empty incarnation.
+    let service = SkyNet::builder(&topo)
+        .config(PipelineConfig::production())
+        .serve(serve_cfg(&killed_dir))
+        .expect("service restarts again");
+    let empty = service.report(TENANT, horizon).expect("empty report");
+    assert_eq!(
+        empty.ingest.accepted, 0,
+        "no pre-boundary event may be re-ingested"
+    );
+    assert!(empty.incidents.is_empty());
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&continued_dir);
+    let _ = std::fs::remove_dir_all(&killed_dir);
+}
+
+/// Snapshotless warm restart still resumes the `wal-append` decision
+/// stream: the arm is fast-forwarded once per scanned record even when no
+/// snapshot exists, so post-restart appends continue — not rewind — the
+/// injected stream and the report stays byte-identical. (`Latency(0)`
+/// faults fire without dropping records, so the fast-forward is exact.)
+#[test]
+fn snapshotless_restart_resumes_wal_fault_streams() {
+    let topo = topo();
+    let seed = env_seed();
+    let chaos = || {
+        FaultConfig::seeded(seed)
+            .with_rule(FaultRule::every(
+                InjectionSite::WalAppend,
+                7,
+                FaultAction::Latency(0),
+            ))
+            .with_rule(FaultRule::every(
+                InjectionSite::LocateWorker,
+                25,
+                FaultAction::Error,
+            ))
+    };
+    let cfg = || {
+        PipelineConfig::production()
+            .with_streaming(StreamingConfig::default().with_shards(2))
+            .with_faults(chaos())
+    };
+    let events = feed_events(&topo);
+    let horizon = SimTime::from_mins(HORIZON_MINS);
+
+    let clean_dir = test_dir(&format!("snapshotless-clean-{seed}"));
+    let clean = {
+        let service = SkyNet::builder(&topo)
+            .config(cfg())
+            .serve(serve_cfg(&clean_dir))
+            .expect("service starts");
+        service.hello(TENANT).expect("tenant admits");
+        submit_all(&service, TENANT, &events);
+        let report = service.report(TENANT, horizon).expect("report");
+        service.shutdown();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+
+    let killed_dir = test_dir(&format!("snapshotless-killed-{seed}"));
+    let (first, rest) = events.split_at(70);
+    {
+        let service = SkyNet::builder(&topo)
+            .config(cfg())
+            .serve(serve_cfg(&killed_dir))
+            .expect("service starts");
+        service.hello(TENANT).expect("tenant admits");
+        submit_all(&service, TENANT, first);
+        service.shutdown(); // no snapshot was ever taken
+    }
+    let service = SkyNet::builder(&topo)
+        .config(cfg())
+        .serve(serve_cfg(&killed_dir))
+        .expect("service warm-restarts from the WAL alone");
+    submit_all(&service, TENANT, rest);
+    let resumed = service.report(TENANT, horizon).expect("report");
+    service.shutdown();
+    assert_eq!(
+        serde_json::to_string(&resumed).expect("report serializes"),
+        clean,
+        "a snapshotless restart must resume the fault streams (seed={seed})"
+    );
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&killed_dir);
+}
+
+/// A shard-count change between snapshot and restart is a recoverable
+/// `ServeError::Corrupt`, not a worker panic.
+#[test]
+fn shard_mismatch_on_restore_is_a_recoverable_error() {
+    let topo = topo();
+    let dir = test_dir("shard-mismatch");
+    let events = feed_events(&topo);
+    {
+        let service = SkyNet::builder(&topo)
+            .config(
+                PipelineConfig::production()
+                    .with_streaming(StreamingConfig::default().with_shards(1)),
+            )
+            .serve(serve_cfg(&dir))
+            .expect("service starts at one shard");
+        service.hello(TENANT).expect("tenant admits");
+        submit_all(&service, TENANT, &events[..20]);
+        service.snapshot().expect("snapshot");
+        service.shutdown();
+    }
+    match SkyNet::builder(&topo)
+        .config(
+            PipelineConfig::production().with_streaming(StreamingConfig::default().with_shards(4)),
+        )
+        .serve(serve_cfg(&dir))
+    {
+        Err(ServeError::Corrupt(msg)) => {
+            assert!(msg.contains("shard"), "actionable message, got: {msg}")
+        }
+        Err(e) => panic!("expected Corrupt, got: {e}"),
+        Ok(_) => panic!("a shard mismatch must not restore"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A wedged tenant fills its own bounded queue and gets `BUSY`; a healthy
 /// tenant's submissions keep acking the whole time.
 #[test]
