@@ -1,28 +1,71 @@
 //! Serving-layer WAL bench: append throughput under the fsync policies,
-//! and the full acked-submit path through a running service.
+//! the full acked-submit path through a running service, and the
+//! group-commit-vs-per-append comparison under submitter contention.
 //!
 //! - `wal_append/writer/{never,every64}`: raw `WalWriter::append` — CRC
 //!   framing + buffered write (+ periodic fsync) + segment rotation — over
-//!   a realistic alert feed. This is the per-event durability overhead the
-//!   ingest service pays before every ack.
+//!   a realistic alert feed. This is the per-event durability overhead a
+//!   non-batching ingest path pays before every ack.
 //! - `wal_append/serve_submit`: the same feed through
-//!   `ServiceHandle::submit` on a live service (queue admission + WAL
-//!   append + ack), the number an operator sizing a tenant feed sees.
+//!   `ServiceHandle::submit` on a live service (queue admission + group
+//!   commit + ack), the number an operator sizing a tenant feed sees.
+//! - `wal_append/per_append/always8`: eight submitters contending on one
+//!   mutex-guarded writer with `FsyncPolicy::Always` — the pre-group-commit
+//!   discipline, one fsync per event.
+//! - `wal_append/group_commit/always8`: the same eight submitters and the
+//!   same `Always` policy through the service's group committer — one
+//!   fsync per drained batch. The ratio of these two lanes is the headline
+//!   amortization (CI asserts ≥5× via `skynet flood`).
+//! - `wal_append/group_commit/tenants4x2`: the contention lane spread over
+//!   four tenants, showing no tenant's ack waits on another's fsync.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use skynet_bench::corpus::severe_cable_cut;
 use skynet_core::serve::{FsyncPolicy, WalEvent, WalWriter};
-use skynet_core::{ObsConfig, Observability, PipelineConfig, ServeConfig, SkyNet};
+use skynet_core::{ObsConfig, Observability, PipelineConfig, ServeConfig, ServiceHandle, SkyNet};
 use skynet_model::SimTime;
 use skynet_telemetry::{TelemetryConfig, TelemetrySuite};
 use skynet_topology::GeneratorConfig;
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Submitter threads in the contention lanes.
+const SUBMITTERS: usize = 8;
 
 fn bench_dir(case: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("skynet-wal-bench-{}-{case}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Drains every tenant's queue and snapshots, so the next timed iteration
+/// starts from an empty service and a pruned WAL directory. Untimed.
+fn drain_and_prune(service: &ServiceHandle, tenants: &[&str]) {
+    for tenant in tenants {
+        while service.tenant_health(tenant).expect("health").queued > 0 {
+            std::thread::yield_now();
+        }
+        let _ = service.submit_tick(tenant, SimTime::from_mins(60));
+    }
+    service.snapshot().expect("snapshot");
+}
+
+/// One timed round of the group-commit contention lane: `SUBMITTERS`
+/// threads submitting disjoint slices of `heavy`, spread over `tenants`.
+fn group_commit_round(service: &ServiceHandle, tenants: &[&str], heavy: &[WalEvent]) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..SUBMITTERS {
+            let tenant = tenants[worker % tenants.len()];
+            scope.spawn(move || {
+                for event in heavy.iter().skip(worker).step_by(SUBMITTERS) {
+                    black_box(service.submit(tenant, event.clone()).expect("ack"));
+                }
+            });
+        }
+    });
+    started.elapsed()
 }
 
 fn bench(c: &mut Criterion) {
@@ -36,6 +79,7 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
     group.throughput(Throughput::Elements(events.len() as u64));
 
     for (name, fsync) in [
@@ -51,17 +95,12 @@ fn bench(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("writer", name), |b| {
             b.iter(|| {
                 for event in &events {
-                    let at = match event {
-                        WalEvent::Alert(a) => a.timestamp,
-                        WalEvent::Ping(p) => p.t,
-                        WalEvent::Tick(t) => *t,
-                        WalEvent::ReportBoundary(t) => *t,
-                    };
-                    black_box(wal.append("bench", event, at).expect("append"));
+                    black_box(wal.append("bench", event).expect("append"));
                 }
                 // Prune fully-consumed segments so the bench dir stays
                 // bounded no matter how many samples criterion takes.
-                wal.retain_after_snapshot(wal.next_seq().saturating_sub(1))
+                let floor = wal.next_seq_for("bench").saturating_sub(1);
+                wal.retain_after_snapshot(&[("bench", floor)])
                     .expect("retain");
             })
         });
@@ -87,14 +126,87 @@ fn bench(c: &mut Criterion) {
                     black_box(service.submit("bench", event.clone()).expect("ack"));
                 }
                 // Let the worker drain before the next round so queue
-                // depth (and admission cost) stays comparable.
-                while service.tenant_health("bench").expect("health").queued > 0 {
-                    std::thread::yield_now();
+                // depth (and admission cost) stays comparable; snapshot
+                // prunes consumed WAL segments.
+                drain_and_prune(&service, &["bench"]);
+            })
+        });
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The contention lanes run a fixed 512-event slice so the fsync-heavy
+    // baselines stay affordable; throughput is per event either way.
+    let heavy: Vec<WalEvent> = events.iter().cycle().take(512).cloned().collect();
+    group.throughput(Throughput::Elements(heavy.len() as u64));
+
+    {
+        let dir = bench_dir("per-append-always");
+        let cfg = ServeConfig::new(&dir)
+            .with_segment_max_bytes(64 << 20)
+            .with_fsync(FsyncPolicy::Always);
+        let obs = Observability::new(&ObsConfig::default());
+        let wal = std::sync::Mutex::new(WalWriter::create(&cfg, &obs).expect("writer opens"));
+        group.bench_function(BenchmarkId::new("per_append", "always8"), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let started = Instant::now();
+                    std::thread::scope(|scope| {
+                        for worker in 0..SUBMITTERS {
+                            let wal = &wal;
+                            let heavy = &heavy;
+                            scope.spawn(move || {
+                                for event in heavy.iter().skip(worker).step_by(SUBMITTERS) {
+                                    black_box(
+                                        wal.lock().unwrap().append("bench", event).expect("append"),
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    total += started.elapsed();
+                    let mut writer = wal.lock().unwrap();
+                    let floor = writer.next_seq_for("bench").saturating_sub(1);
+                    writer
+                        .retain_after_snapshot(&[("bench", floor)])
+                        .expect("retain");
                 }
-                let _ = service.submit_tick("bench", SimTime::from_mins(60));
-                // Snapshotting prunes consumed WAL segments, keeping the
-                // bench dir bounded across samples.
-                service.snapshot().expect("snapshot");
+                total
+            })
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    for (name, tenants) in [
+        ("always8", vec!["bench"]),
+        (
+            "tenants4x2",
+            vec!["bench-0", "bench-1", "bench-2", "bench-3"],
+        ),
+    ] {
+        let dir = bench_dir(name);
+        let service = SkyNet::builder(scenario.topology())
+            .config(PipelineConfig::production())
+            .serve(
+                ServeConfig::new(&dir)
+                    .with_segment_max_bytes(64 << 20)
+                    .with_fsync(FsyncPolicy::Always)
+                    .with_tenant_queue_capacity(1 << 20),
+            )
+            .expect("service starts");
+        for tenant in &tenants {
+            service.hello(tenant).expect("tenant admits");
+        }
+        group.bench_function(BenchmarkId::new("group_commit", name), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += group_commit_round(&service, &tenants, &heavy);
+                    drain_and_prune(&service, &tenants);
+                }
+                total
             })
         });
         service.shutdown();

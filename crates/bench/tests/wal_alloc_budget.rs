@@ -1,0 +1,100 @@
+//! Allocation-budget regression gate for the WAL append hot path.
+//!
+//! A counting global allocator wraps `System`; counting is switched on only
+//! around the measured region, so setup (topology generation, writer
+//! creation, scratch warmup) is free. This binary holds a single `#[test]`
+//! on purpose: the gate is a process-global flag, and a concurrently
+//! running test would pollute the count.
+//!
+//! Budget (CI fails when exceeded): a steady-state append — sequence
+//! lookup, frame encoding into the reusable scratch buffer, buffered
+//! write, per-tenant watermark update — performs **zero** heap
+//! allocations. This extends the ingest-path allocation budget to the
+//! durability layer: an ack under flood costs no allocator traffic.
+
+use skynet_core::serve::{FsyncPolicy, WalEvent, WalWriter};
+use skynet_core::{ObsConfig, Observability, ServeConfig};
+use skynet_model::{AlertKind, DataSource, RawAlert, SimTime};
+use skynet_topology::{generate, GeneratorConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct Counting;
+
+static COUNTING_ON: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING_ON.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING_ON.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING_ON.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING_ON.store(false, Ordering::SeqCst);
+    (out, ALLOCS.load(Ordering::SeqCst))
+}
+
+#[test]
+fn wal_append_steady_state_allocates_nothing() {
+    let dir = std::env::temp_dir().join(format!("skynet-wal-alloc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A huge segment threshold keeps rotation (which legitimately
+    // allocates a fresh file handle and path) off the measured path.
+    let cfg = ServeConfig::new(&dir)
+        .with_fsync(FsyncPolicy::Never)
+        .with_segment_max_bytes(1 << 30);
+    let obs = Observability::new(&ObsConfig::default());
+    let mut wal = WalWriter::create(&cfg, &obs).expect("writer opens");
+
+    let topo = generate(&GeneratorConfig::small());
+    let event = WalEvent::Alert(
+        RawAlert::known(
+            DataSource::Ping,
+            SimTime::from_secs(30),
+            topo.devices()[0].location.clone(),
+            AlertKind::PacketLossIcmp,
+        )
+        .with_magnitude(0.35),
+    );
+
+    // Warm pass: size the encode scratch and seat the per-tenant
+    // sequence/watermark map entries.
+    for _ in 0..64 {
+        wal.append("flood", &event).expect("warm append");
+    }
+
+    let (_, allocs) = counted(|| {
+        for _ in 0..512 {
+            std::hint::black_box(
+                wal.append("flood", std::hint::black_box(&event))
+                    .expect("append"),
+            );
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state WAL append allocated {allocs} times over 512 appends"
+    );
+
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -85,7 +85,7 @@ pub use pipeline::{
     StreamEvent, StreamIncident, StreamingConfig, StreamingHandle,
 };
 pub use preprocess::{Preprocessor, PreprocessorConfig, SyslogClassifier};
-pub use serve::{replay_wal, ServeConfig, ServeError, ServiceHandle, TenantHealth};
+pub use serve::{replay_wal, BatchAck, ServeConfig, ServeError, ServiceHandle, TenantHealth};
 pub use sop::{SopAction, SopEngine, SopPlan, SopRule};
 
 /// The curated one-line import for building and driving a pipeline.
@@ -107,7 +107,7 @@ pub mod prelude {
         AnalysisReport, Handle, PipelineConfig, SkyNet, SkyNetBuilder, StreamEvent, StreamIncident,
         StreamingConfig, StreamingHandle,
     };
-    pub use crate::serve::{replay_wal, ServeConfig, ServiceHandle, TenantHealth};
+    pub use crate::serve::{replay_wal, BatchAck, ServeConfig, ServiceHandle, TenantHealth};
     pub use skynet_model::{RawAlert, SimTime, TraceId};
 }
 

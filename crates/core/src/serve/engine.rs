@@ -232,6 +232,9 @@ impl TenantEngine {
         TenantSnapshot {
             name: self.name.clone(),
             last_applied_seq: self.last_applied_seq,
+            // The service stamps the real value — the engine never sees
+            // the sequencer's counters.
+            next_seq: 0,
             clock: self.clock,
             guard: self.guard.snapshot_state(),
             preprocess: self.preprocessor.snapshot_state(),

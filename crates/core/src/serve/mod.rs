@@ -6,12 +6,12 @@
 //! # Architecture
 //!
 //! ```text
-//!                    ┌───────────────────────── service ────────────────────────┐
-//! tenant A ──TCP──►  │ accept → hello → per-tenant bounded queue ─► worker A    │
-//! tenant B ──TCP──►  │                  (BUSY pushback when full) ─► worker B   │
-//!                    │        every accepted event: WAL append *before* ack     │
-//!                    │        snapshot = guard + preprocess + locator + ping    │
-//!                    └──────────────────────────────────────────────────────────┘
+//!                    ┌───────────────────────── service ─────────────────────────┐
+//! tenant A ──┐       │ poll loop → hello → per-tenant bounded queue ─► worker A  │
+//! tenant B ──┼─TCP─► │             (BUSY pushback when full)        ─► worker B  │
+//! tenant C ──┘       │   submit: seq + frame → group committer → durable → ack   │
+//!                    │   snapshot = guard + preprocess + locator + ping          │
+//!                    └───────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! - **Tenancy.** Each tenant (one authenticated connection identity) owns
@@ -20,12 +20,16 @@
 //!   thread. A slow or flooding tenant fills its own queue and gets `BUSY`
 //!   pushback on its own connection; it cannot delay another tenant's acks
 //!   ([`ServiceHandle`] asserts this in the integration tests).
-//! - **Durability.** Every accepted event is appended to the segmented
-//!   [`wal`] (CRC-framed, fsync policy knob) before its ack is sent, and
-//!   every delivered report leaves a [`WalEvent::ReportBoundary`] record
-//!   so restarts never re-ingest an already-reported feed. The `skynet
-//!   replay` CLI re-ingests any WAL range byte-identically via
-//!   [`replay_wal`].
+//! - **Durability.** Every accepted event is on the segmented [`wal`]
+//!   (CRC-framed, fsync policy knob) before its ack is sent — via *group
+//!   commit*: submissions sequence pre-encoded frames under the tenant
+//!   queue lock, a dedicated committer thread writes and fsyncs whole
+//!   batches, and acks fire on the commit epoch, so one fsync covers every
+//!   submitter that piled up behind it ([`ServiceHandle::submit_batch`]
+//!   amortizes further). Sequence numbers are per tenant. Every delivered
+//!   report leaves a [`WalEvent::ReportBoundary`] record so restarts never
+//!   re-ingest an already-reported feed. The `skynet replay` CLI
+//!   re-ingests any WAL range byte-identically via [`replay_wal`].
 //! - **Warm restart.** [`ServiceHandle::snapshot`] serializes every
 //!   tenant's mid-flood state ([`snapshot`]); a restarted service loads
 //!   the snapshot (validating it against the configured shard count and
@@ -39,12 +43,13 @@
 //!   exercise exactly the failure modes this layer exists to absorb.
 
 mod engine;
+mod group;
 mod service;
 pub mod snapshot;
 mod tcp;
 pub mod wal;
 
-pub use service::{replay_wal, ServiceHandle, TenantHealth};
+pub use service::{replay_wal, BatchAck, ServiceHandle, TenantHealth};
 pub use snapshot::{ServiceSnapshot, TenantSnapshot, SNAPSHOT_VERSION};
 pub use wal::{FsyncPolicy, WalEvent, WalReader, WalRecord, WalWriter};
 

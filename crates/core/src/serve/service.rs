@@ -3,13 +3,17 @@
 //! restarts, and the [`ServiceHandle`] the builder returns.
 //!
 //! Concurrency layout: one dedicated worker thread per tenant drains that
-//! tenant's bounded queue into its [`TenantEngine`]; submissions append to
-//! the shared WAL *while holding the tenant's queue lock* (lock order is
-//! always queue → WAL), so a tenant's queue order equals its WAL sequence
-//! order. A slow tenant fills only its own queue — the `BUSY` check happens
-//! before the WAL append, so a wedged tenant costs other tenants nothing.
+//! tenant's bounded queue into its [`TenantEngine`]; submissions *sequence*
+//! into the shared group-commit WAL ([`GroupWal`]) while holding the
+//! tenant's queue lock (lock order is always queue → sequencer), so a
+//! tenant's queue order equals its WAL order — then release every lock and
+//! wait for the committer thread's durability watermark before acking.
+//! A slow tenant fills only its own queue — the `BUSY` check happens before
+//! sequencing — and a slow *fsync* stalls no sequencer: the committer
+//! amortizes one fsync across every frame that piled up behind it.
 
 use super::engine::TenantEngine;
+use super::group::GroupWal;
 use super::snapshot::{self, ServiceSnapshot, TenantSnapshot, SNAPSHOT_VERSION};
 use super::wal::{WalEvent, WalReader, WalWriter};
 use super::{ServeConfig, ServeError};
@@ -18,25 +22,29 @@ use crate::faultinject::{
     self, DegradationReport, FaultAction, FaultArm, FaultPlane, InjectionSite,
 };
 use crate::guard::DeadLetterQueue;
-use crate::obs::{Counter, Exporter, Observability, RegistrySnapshot, TraceEvent};
+use crate::obs::{
+    Counter, Exporter, Histogram, Observability, RegistrySnapshot, TraceEvent, LATENCY_BUCKETS,
+};
 use crate::pipeline::{AnalysisReport, Handle, HealthReport, SkyNet};
 use parking_lot::{Condvar, Mutex};
 use serde::Serialize;
 use skynet_model::{PingSample, RawAlert, SimTime, TraceId};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// One message on a tenant's queue. `Apply` carries an acked WAL record;
-/// the control messages bypass the capacity check (they carry no alert
-/// volume and must stay deliverable under backpressure).
+/// One message on a tenant's queue. `Apply` carries a sequenced WAL
+/// record; the control messages bypass the capacity check (they carry no
+/// alert volume and must stay deliverable under backpressure).
 enum TenantMsg {
-    /// Apply one acked WAL event to the tenant's engine.
-    Apply(u64, WalEvent),
+    /// Apply one sequenced WAL event (seq, commit ordinal, event) to the
+    /// tenant's engine — after waiting out its durability.
+    Apply(u64, u64, WalEvent),
     /// Finalize the tenant's run at the horizon and reply with the report;
     /// the engine restarts as a fresh incarnation afterwards.
     Report(SimTime, mpsc::Sender<AnalysisReport>),
@@ -60,6 +68,8 @@ struct TenantSlot {
     name: String,
     /// Admission ordinal — fixes the tenant's fault-lane stripe.
     index: usize,
+    /// The tenant's dense id in the group-commit sequencer.
+    wal_id: u32,
     queue: Mutex<TenantQueue>,
     cond: Condvar,
     accepted: AtomicU64,
@@ -97,19 +107,38 @@ pub struct TenantHealth {
     pub paused: bool,
 }
 
+/// The outcome of a batched submission ([`ServiceHandle::submit_batch`]):
+/// the accepted events occupy the contiguous per-tenant sequence range
+/// `first_seq..=last_seq`, all durable by the time the ack exists.
+/// `rejected` counts events bounced by an injected `wal-append` fault
+/// (each consumed no seq, exactly as if submitted one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub struct BatchAck {
+    /// Sequence number of the first accepted event (0 if none accepted).
+    pub first_seq: u64,
+    /// Sequence number of the last accepted event (0 if none accepted).
+    pub last_seq: u64,
+    /// Events accepted and durable.
+    pub accepted: usize,
+    /// Events rejected by the `wal-append` fault arm.
+    pub rejected: usize,
+}
+
 /// Shared state behind the handle, the workers and the TCP front door.
 pub(super) struct ServiceInner {
     skynet: SkyNet,
     cfg: ServeConfig,
     obs: Observability,
     plane: Option<Arc<FaultPlane>>,
-    wal: Mutex<WalWriter>,
+    wal: GroupWal,
     snapshot_fault: Option<FaultArm>,
     tenants: Mutex<Vec<Arc<TenantSlot>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     shutting_down: AtomicBool,
     restarts: AtomicU64,
     restart_metric: Counter,
+    submit_seconds: Histogram,
     local_addr: Option<SocketAddr>,
 }
 
@@ -173,6 +202,7 @@ impl ServiceInner {
         Arc::new(TenantSlot {
             name: tenant.to_string(),
             index,
+            wal_id: self.wal.register(tenant),
             queue: Mutex::new(TenantQueue {
                 items: VecDeque::new(),
                 paused: false,
@@ -204,13 +234,16 @@ impl ServiceInner {
         self.workers.lock().push(handle);
     }
 
-    /// The one submission path: capacity check, WAL append, enqueue, ack.
-    /// The queue lock is held across the append so a tenant's queue order
-    /// equals its WAL sequence order.
+    /// The one submission path: capacity check, sequence into the group
+    /// WAL, enqueue, then wait for durability and ack. The queue lock is
+    /// held across sequencing (never across the fsync) so a tenant's
+    /// queue order equals its WAL order, while the durability wait runs
+    /// lock-free — one tenant's flush stalls nobody else's sequencing.
     pub(super) fn submit(&self, tenant: &str, event: WalEvent) -> Result<u64, ServeError> {
         if self.is_shutting_down() {
             return Err(ServeError::ShuttingDown);
         }
+        let started = Instant::now();
         let slot = self.find(tenant)?;
         let mut q = slot.queue.lock();
         if q.items.len() >= self.cfg.tenant_queue_capacity {
@@ -221,13 +254,83 @@ impl ServiceInner {
             });
         }
         let at = event_time(&event);
-        let seq = self.wal.lock().append(tenant, &event, at)?;
-        q.items.push_back(TenantMsg::Apply(seq, event));
+        let (seq, ordinal) = self.wal.begin_submit(slot.wal_id, &event, at)?;
+        q.items.push_back(TenantMsg::Apply(seq, ordinal, event));
         drop(q);
+        slot.cond.notify_one();
+        self.wal.wait_durable(ordinal)?;
         slot.accepted.fetch_add(1, Ordering::Relaxed);
         slot.accepted_metric.inc();
-        slot.cond.notify_one();
+        self.submit_seconds.observe(started.elapsed().as_secs_f64());
         Ok(seq)
+    }
+
+    /// Batched submission: sequences every event under one queue-lock
+    /// acquisition (one contiguous per-tenant seq range), then waits for
+    /// durability once — one fsync can cover the whole batch. Capacity is
+    /// checked for the batch up front: a full queue bounces the entire
+    /// batch with `BUSY` and admits nothing. Injected `wal-append`
+    /// rejections drop individual events exactly as one-at-a-time
+    /// submission would (each consumes no seq).
+    pub(super) fn submit_batch(
+        &self,
+        tenant: &str,
+        events: Vec<WalEvent>,
+    ) -> Result<BatchAck, ServeError> {
+        if self.is_shutting_down() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let started = Instant::now();
+        let slot = self.find(tenant)?;
+        if events.is_empty() {
+            return Ok(BatchAck {
+                first_seq: 0,
+                last_seq: 0,
+                accepted: 0,
+                rejected: 0,
+            });
+        }
+        let mut q = slot.queue.lock();
+        if q.items.len() + events.len() > self.cfg.tenant_queue_capacity {
+            slot.busy.fetch_add(1, Ordering::Relaxed);
+            slot.busy_metric.inc();
+            return Err(ServeError::Busy {
+                tenant: tenant.to_string(),
+            });
+        }
+        let mut ack = BatchAck {
+            first_seq: 0,
+            last_seq: 0,
+            accepted: 0,
+            rejected: 0,
+        };
+        let mut last_ordinal = 0u64;
+        for event in events {
+            let at = event_time(&event);
+            match self.wal.begin_submit(slot.wal_id, &event, at) {
+                Ok((seq, ordinal)) => {
+                    if ack.accepted == 0 {
+                        ack.first_seq = seq;
+                    }
+                    ack.last_seq = seq;
+                    ack.accepted += 1;
+                    last_ordinal = ordinal;
+                    q.items.push_back(TenantMsg::Apply(seq, ordinal, event));
+                }
+                Err(ServeError::WalRejected) => ack.rejected += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        drop(q);
+        if ack.accepted > 0 {
+            slot.cond.notify_one();
+            self.wal.wait_durable(last_ordinal)?;
+            slot.accepted
+                .fetch_add(ack.accepted as u64, Ordering::Relaxed);
+            slot.accepted_metric.add(ack.accepted as u64);
+        }
+        self.submit_seconds.observe(started.elapsed().as_secs_f64());
+        Ok(ack)
     }
 
     pub(super) fn report(
@@ -237,7 +340,7 @@ impl ServiceInner {
     ) -> Result<AnalysisReport, ServeError> {
         let slot = self.find(tenant)?;
         let (tx, rx) = mpsc::channel();
-        {
+        let ordinal = {
             // Mark the incarnation boundary on the log before the Report
             // message exists, under the queue lock (queue order = WAL
             // order): every record below the boundary belongs to the
@@ -247,12 +350,14 @@ impl ServiceInner {
             // control flow, not tenant data, and must neither consume a
             // slot in nor be vetoed by the injected decision stream.
             let mut q = slot.queue.lock();
-            self.wal
-                .lock()
-                .append_unchecked(tenant, &WalEvent::ReportBoundary(horizon))?;
+            let (_, ordinal) = self
+                .wal
+                .begin_submit_unchecked(slot.wal_id, &WalEvent::ReportBoundary(horizon))?;
             q.items.push_back(TenantMsg::Report(horizon, tx));
-        }
+            ordinal
+        };
         slot.cond.notify_one();
+        self.wal.wait_durable(ordinal)?;
         rx.recv().map_err(|_| ServeError::ShuttingDown)
     }
 
@@ -296,15 +401,22 @@ fn run_tenant(inner: Arc<ServiceInner>, slot: Arc<TenantSlot>, mut engine: Tenan
             }
         };
         match msg {
-            TenantMsg::Apply(seq, event) => {
-                let outcome =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply(seq, event)));
-                if outcome.is_err() {
-                    inner.restarts.fetch_add(1, Ordering::Relaxed);
-                    inner.restart_metric.inc();
+            TenantMsg::Apply(seq, ordinal, event) => {
+                // Never apply an event whose durability is still pending
+                // — a snapshot taken after the apply must not capture
+                // state from a record that could still fail its commit.
+                // On commit failure the event is dropped unapplied (its
+                // submitter got the error, not an ack).
+                if inner.wal.wait_durable(ordinal).is_ok() {
+                    let outcome =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| engine.apply(seq, event)));
+                    if outcome.is_err() {
+                        inner.restarts.fetch_add(1, Ordering::Relaxed);
+                        inner.restart_metric.inc();
+                    }
+                    slot.applied_seq
+                        .store(engine.last_applied_seq(), Ordering::Relaxed);
                 }
-                slot.applied_seq
-                    .store(engine.last_applied_seq(), Ordering::Relaxed);
             }
             TenantMsg::Report(horizon, tx) => {
                 let dead = Arc::new(Mutex::new(DeadLetterQueue::new(
@@ -398,7 +510,15 @@ impl ServiceHandle {
         }
         let (existing, disk_next) = WalReader::summarize(&cfg.wal_dir)?;
         let records = WalReader::scan(&cfg.wal_dir)?;
-        let next_seq = disk_next.max(snap.as_ref().map_or(1, |s| s.next_seq));
+        // Per-tenant sequencing seeds: resume each tenant past both its
+        // highest on-disk seq and the snapshot's recorded counter.
+        let mut seeds = disk_next;
+        if let Some(snap) = &snap {
+            for tenant in &snap.tenants {
+                let slot = seeds.entry(tenant.name.clone()).or_insert(1);
+                *slot = (*slot).max(tenant.next_seq.max(1));
+            }
+        }
         let wal_fault = plane
             .as_ref()
             .and_then(|p| p.arm(InjectionSite::WalAppend, 0));
@@ -411,12 +531,17 @@ impl ServiceHandle {
         // — every scanned record on a snapshotless restart — so new
         // appends resume the original decision stream instead of rewinding
         // it (and the replayed span's fires land back in the ledger).
-        // Report boundaries never consult the arm and are skipped. Exact
-        // whenever the replayed span holds no rejected attempts —
-        // rejections leave no record to count.
+        // Coverage is per tenant: a record is covered when the snapshot's
+        // counter for its tenant had already moved past its seq. Report
+        // boundaries never consult the arm and are skipped. Exact whenever
+        // the replayed span holds no rejected attempts — rejections leave
+        // no record to count.
         if let Some(arm) = &wal_fault {
-            let covered_below = snap.as_ref().map_or(1, |s| s.next_seq);
             for record in &records {
+                let covered_below = snap
+                    .as_ref()
+                    .and_then(|s| s.tenants.iter().find(|t| t.name == record.tenant))
+                    .map_or(1, |t| t.next_seq.max(1));
                 if record.seq >= covered_below
                     && !matches!(record.event, WalEvent::ReportBoundary(_))
                 {
@@ -424,10 +549,17 @@ impl ServiceHandle {
                 }
             }
         }
-        let wal = WalWriter::open(&cfg, &obs, wal_fault, existing, next_seq)?;
+        let writer = WalWriter::open(&cfg, &obs, existing, seeds.clone())?;
+        let wal = GroupWal::start(writer, wal_fault, &obs, seeds);
         let restart_metric = obs.registry().counter(
             "skynet_worker_restarts_total",
             "worker restarts performed by the supervisors",
+        );
+        let submit_seconds = obs.registry().histogram(
+            "skynet_submit_seconds",
+            None,
+            &LATENCY_BUCKETS,
+            "submit-to-ack latency (queue admission, sequencing and group commit)",
         );
         let listener = match &cfg.bind {
             Some(addr) => Some(TcpListener::bind(addr)?),
@@ -442,13 +574,14 @@ impl ServiceHandle {
             cfg,
             obs,
             plane,
-            wal: Mutex::new(wal),
+            wal,
             snapshot_fault,
             tenants: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
             restarts: AtomicU64::new(0),
             restart_metric,
+            submit_seconds,
             local_addr,
         });
 
@@ -556,6 +689,32 @@ impl ServiceHandle {
         self.inner.submit(tenant, event)
     }
 
+    /// Submits a batch of events on a tenant's feed in one shot: the
+    /// whole batch sequences under a single queue-lock acquisition (one
+    /// contiguous per-tenant seq range, in order) and waits out a single
+    /// commit epoch — so one fsync can cover the entire batch. Every
+    /// accepted event is on the WAL before the ack exists, exactly like
+    /// [`ServiceHandle::submit`]. A full queue bounces the whole batch
+    /// with [`ServeError::Busy`]; injected `wal-append` faults drop
+    /// individual events (counted in [`BatchAck::rejected`]).
+    pub fn submit_batch(
+        &self,
+        tenant: &str,
+        events: Vec<WalEvent>,
+    ) -> Result<BatchAck, ServeError> {
+        self.inner.submit_batch(tenant, events)
+    }
+
+    /// [`ServiceHandle::submit_batch`] for raw alerts — the library face
+    /// of the TCP front door's `alerts` verb.
+    pub fn submit_alerts(
+        &self,
+        tenant: &str,
+        alerts: Vec<RawAlert>,
+    ) -> Result<BatchAck, ServeError> {
+        self.submit_batch(tenant, alerts.into_iter().map(WalEvent::Alert).collect())
+    }
+
     /// [`ServiceHandle::submit`] for a raw alert.
     pub fn submit_alert(&self, tenant: &str, alert: RawAlert) -> Result<u64, ServeError> {
         self.submit(tenant, WalEvent::Alert(alert))
@@ -614,9 +773,16 @@ impl ServiceHandle {
             slot.push(TenantMsg::Snapshot(tx));
             tenants.push(rx.recv().map_err(|_| ServeError::ShuttingDown)?);
         }
+        // Stamp each tenant's sequencing counter — the engine leaves the
+        // field zeroed because only the sequencer knows it.
+        let next_by_tenant: HashMap<String, u64> =
+            inner.wal.tenant_next_seqs().into_iter().collect();
+        for tenant in &mut tenants {
+            tenant.next_seq = next_by_tenant.get(&tenant.name).copied().unwrap_or(1);
+        }
         let snap = ServiceSnapshot {
             version: SNAPSHOT_VERSION,
-            next_seq: inner.wal.lock().next_seq(),
+            next_seq: tenants.iter().map(|t| t.next_seq).max().unwrap_or(1),
             tenants,
             arms: inner
                 .plane
@@ -626,13 +792,14 @@ impl ServiceHandle {
             ledger: inner.plane.as_ref().map(|p| p.ledger()).unwrap_or_default(),
         };
         let path = snapshot::save(&inner.cfg.wal_dir, &snap)?;
-        let floor = snap
+        // Per-tenant retention floors: a segment is reclaimable once every
+        // tenant's records in it are applied-and-snapshotted.
+        let floors: Vec<(String, u64)> = snap
             .tenants
             .iter()
-            .map(|t| t.last_applied_seq)
-            .min()
-            .unwrap_or_else(|| snap.next_seq.saturating_sub(1));
-        inner.wal.lock().retain_after_snapshot(floor)?;
+            .map(|t| (t.name.clone(), t.last_applied_seq))
+            .collect();
+        inner.wal.retain_after_snapshot(&floors)?;
         Ok(path)
     }
 
@@ -700,14 +867,17 @@ impl ServiceHandle {
         for handle in workers {
             let _ = handle.join();
         }
-        let _ = self.inner.wal.lock().sync();
         if let Some(handle) = self.listener.lock().take() {
-            // Wake the accept loop so it observes the flag.
+            // Wake the poll loop so it observes the flag promptly.
             if let Some(addr) = self.inner.local_addr {
                 let _ = TcpStream::connect(addr);
             }
             let _ = handle.join();
         }
+        // Last: workers and the front door wait on commit epochs, so the
+        // committer must outlive them. Shutting it down drains pending
+        // frames and final-syncs the log.
+        self.inner.wal.shutdown();
     }
 }
 
@@ -771,7 +941,10 @@ impl Handle for ServiceHandle {
 
 /// Re-ingests a WAL seq range through fresh per-tenant pipelines and
 /// returns the reports the range encodes, in WAL order — the library
-/// behind `skynet replay`.
+/// behind `skynet replay`. Sequence numbers are per tenant, so the
+/// `from_seq`/`to_seq` window selects each tenant's own seq range (on
+/// logs written under the old global numbering it behaves exactly as
+/// before).
 ///
 /// A [`WalEvent::ReportBoundary`] record finalizes its tenant's
 /// incarnation at the boundary's horizon (reproducing the report the live

@@ -24,7 +24,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The snapshot format version this build writes and understands.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 introduced per-tenant WAL sequence counters
+/// ([`TenantSnapshot::next_seq`]).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SNAPSHOT_FILE: &str = "snapshot.json";
 
@@ -36,6 +38,13 @@ pub struct TenantSnapshot {
     /// The highest WAL sequence number this tenant's engine has applied;
     /// restore replays only records past it.
     pub last_applied_seq: u64,
+    /// The sequence number the WAL would assign this tenant next —
+    /// restart resumes the tenant's numbering from `max(this, highest
+    /// on-disk seq for the tenant + 1)` and treats everything below it as
+    /// covered when fast-forwarding fault-arm decision streams. `0`
+    /// (absent) means unknown and is treated as 1.
+    #[serde(default)]
+    pub next_seq: u64,
     /// The tenant's pipeline clock (last tick applied).
     pub clock: SimTime,
     /// Ingestion-guard state: reorder buffer, watermarks, duplicate
@@ -56,8 +65,8 @@ pub struct TenantSnapshot {
 pub struct ServiceSnapshot {
     /// Format version ([`SNAPSHOT_VERSION`]).
     pub version: u32,
-    /// The WAL sequence number the writer would assign next — restart
-    /// resumes numbering from `max(this, highest seq on disk + 1)`.
+    /// The highest per-tenant next-seq at snapshot time — informational
+    /// (per-tenant resumption uses [`TenantSnapshot::next_seq`]).
     pub next_seq: u64,
     /// Tenants, in admission order — the order fixes each tenant's
     /// fault-lane stripe, so it must survive the restart.

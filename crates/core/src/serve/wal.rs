@@ -19,12 +19,25 @@
 //! classic crash-mid-write artifact — is detected by the length/CRC check
 //! and dropped; everything acked before it is intact because acks follow
 //! the write.
+//!
+//! Sequence numbers are **per tenant**: each tenant's records carry their
+//! own dense `1, 2, 3, …` numbering, so one tenant's acks say nothing
+//! about another's traffic and `replay --from-seq` windows are
+//! tenant-scoped. Old segments written under the pre-group-commit global
+//! numbering load unchanged — the startup scan simply takes each tenant's
+//! highest seq as its high-water mark, which coincides with the old
+//! behavior for single-tenant logs and is a strict upper bound otherwise.
+//!
+//! Under the service this writer never syncs per append: the group
+//! committer ([`super::service`]) batches pre-encoded frames from every
+//! tenant through [`WalWriter::write_frame`] and amortizes one fsync per
+//! batch via [`WalWriter::apply_fsync_policy`].
 
 use super::{ServeConfig, ServeError};
-use crate::faultinject::{FaultAction, FaultArm};
 use crate::obs::{Counter, Observability};
 use serde::{Deserialize, Serialize};
-use skynet_model::{PingSample, RawAlert, SimTime, TraceId};
+use skynet_model::{PingSample, RawAlert, SimTime};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -81,17 +94,54 @@ pub enum WalEvent {
     ReportBoundary(SimTime),
 }
 
-/// One framed WAL record: a globally-monotonic sequence number, the tenant
-/// the event belongs to, and the event itself.
+/// One framed WAL record: the tenant's sequence number, the tenant the
+/// event belongs to, and the event itself.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WalRecord {
-    /// Global append sequence number (monotonic across tenants and
-    /// segments; the ack returned to the tenant).
+    /// Per-tenant append sequence number (dense and monotonic within the
+    /// tenant's feed; the ack returned to the tenant). Segments written
+    /// before per-tenant numbering carry globally-monotonic values here —
+    /// still strictly increasing per tenant, which is all replay needs.
     pub seq: u64,
     /// The tenant whose feed this record belongs to.
     pub tenant: String,
     /// The recorded event.
     pub event: WalEvent,
+}
+
+/// Borrowing mirror of [`WalRecord`] for encoding. Field names and order
+/// match exactly, so the serialized JSON is byte-identical to an owned
+/// record — without cloning the tenant name or the event per append.
+#[derive(Serialize)]
+struct WalRecordRef<'a> {
+    seq: u64,
+    tenant: &'a str,
+    event: &'a WalEvent,
+}
+
+/// Encodes one `[len][crc][payload]` frame onto the end of `buf`,
+/// serializing the payload straight into the buffer and backfilling the
+/// header — zero allocations once `buf` has warmed capacity. Returns the
+/// framed length in bytes; on error `buf` is truncated back to where it
+/// started.
+pub(crate) fn encode_frame(
+    buf: &mut Vec<u8>,
+    seq: u64,
+    tenant: &str,
+    event: &WalEvent,
+) -> Result<u32, ServeError> {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 8]);
+    let record = WalRecordRef { seq, tenant, event };
+    if let Err(e) = serde_json::to_writer(&mut *buf, &record) {
+        buf.truncate(start);
+        return Err(ServeError::Corrupt(e.to_string()));
+    }
+    let payload_len = (buf.len() - start - 8) as u32;
+    let crc = crc32(&buf[start + 8..]);
+    buf[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    Ok(payload_len + 8)
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -104,10 +154,16 @@ fn parse_segment_index(path: &Path) -> Option<u64> {
     stem.parse().ok()
 }
 
-/// Sorted `(index, path)` list of every WAL segment in `dir`.
+/// Sorted `(index, path)` list of every WAL segment in `dir`. A missing
+/// directory is an empty log, not an error — the writer creates it.
 fn segments_in(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segments),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
         let path = entry?.path();
         if let Some(index) = parse_segment_index(&path) {
             segments.push((index, path));
@@ -121,10 +177,13 @@ fn segments_in(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
 ///
 /// The policy trades ack latency against the window of acked-but-unsynced
 /// records an OS crash could lose. A *process* crash loses nothing under
-/// any policy — the records are already in the page cache.
+/// any policy — the records are already in the page cache. Under the
+/// service's group committer the unit is a *batch*, not an append: `Always`
+/// means one fsync per committed batch (covering every frame in it), which
+/// is what amortizes durability across a flood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FsyncPolicy {
-    /// `fsync` after every append — maximum durability, slowest acks.
+    /// `fsync` after every append (batch) — maximum durability.
     Always,
     /// `fsync` every N appends (and on rotation/shutdown) — the default,
     /// bounding the loss window to N acks.
@@ -144,7 +203,6 @@ struct WalMetrics {
     bytes: Counter,
     fsyncs: Counter,
     segments: Counter,
-    rejected: Counter,
 }
 
 impl WalMetrics {
@@ -155,16 +213,23 @@ impl WalMetrics {
             bytes: reg.counter("skynet_wal_bytes_total", "framed bytes appended to the WAL"),
             fsyncs: reg.counter("skynet_wal_fsyncs_total", "fsyncs issued by the WAL writer"),
             segments: reg.counter("skynet_wal_segments_total", "WAL segments opened"),
-            rejected: reg.counter(
-                "skynet_wal_rejected_total",
-                "appends rejected by an injected wal-append fault",
-            ),
         }
     }
 }
 
-/// The append side of the segmented WAL. One writer exists per service;
-/// appends are serialized by the service's WAL lock.
+/// One closed segment still on disk, with the *cumulative* per-tenant
+/// highest seq as of the moment it closed. Every record in the segment
+/// sits at or below its tenant's entry, so the segment is reclaimable
+/// once a snapshot floor covers every entry. Record-less segments carry
+/// their predecessor's map unchanged, which keeps them reclaimable too.
+struct ClosedSegment {
+    index: u64,
+    maxima: HashMap<String, u64>,
+}
+
+/// The append side of the segmented WAL. The service owns exactly one,
+/// driven single-threaded by the group committer; `append` is the
+/// standalone all-in-one path for tools, benchmarks and tests.
 pub struct WalWriter {
     dir: PathBuf,
     segment_max_bytes: u64,
@@ -174,14 +239,20 @@ pub struct WalWriter {
     current_index: u64,
     current_len: u64,
     appends_since_sync: u64,
-    next_seq: u64,
-    /// `(index, last seq)` of every closed segment still on disk, oldest
-    /// first — what retention reasons over.
-    closed: Vec<(u64, u64)>,
-    /// Highest seq already covered by a durable snapshot; segments whose
-    /// records all sit at or below it are safe to delete.
-    snapshot_floor: u64,
-    fault: Option<FaultArm>,
+    /// Per-tenant next seq for this writer's own `append` path. The
+    /// service's sequencer keeps its own counters and hands pre-assigned
+    /// seqs to `write_frame`, so under the service this map only tracks
+    /// what landed on disk via `written_max`.
+    next_seq: HashMap<String, u64>,
+    /// Cumulative per-tenant highest seq ever written by this writer (or
+    /// found on disk at open) — snapshotted into `closed` on rotation.
+    written_max: HashMap<String, u64>,
+    /// Closed segments still on disk, oldest first — what retention
+    /// reasons over.
+    closed: Vec<ClosedSegment>,
+    /// Per-tenant snapshot floors: a durable snapshot covers every record
+    /// of tenant `t` with `seq <= floors[t]`.
+    floors: HashMap<String, u64>,
     metrics: WalMetrics,
     scratch: Vec<u8>,
 }
@@ -191,32 +262,28 @@ impl std::fmt::Debug for WalWriter {
         f.debug_struct("WalWriter")
             .field("dir", &self.dir)
             .field("current_index", &self.current_index)
-            .field("next_seq", &self.next_seq)
+            .field("tenants", &self.next_seq.len())
             .finish_non_exhaustive()
     }
 }
 
 impl WalWriter {
-    /// Opens a standalone writer over `cfg.wal_dir`, resuming sequence
-    /// numbering from whatever segments already exist. This is the
-    /// faultless entry point for tools and benchmarks; the service wires
-    /// its writer through the fault plane itself.
+    /// Opens a standalone writer over `cfg.wal_dir`, resuming each
+    /// tenant's sequence numbering from whatever segments already exist.
     pub fn create(cfg: &ServeConfig, obs: &Observability) -> Result<WalWriter, ServeError> {
         let (existing, next_seq) = WalReader::summarize(&cfg.wal_dir)?;
-        WalWriter::open(cfg, obs, None, existing, next_seq)
+        WalWriter::open(cfg, obs, existing, next_seq)
     }
 
     /// Opens a fresh segment in `cfg.wal_dir`, continuing after whatever
     /// segments already exist there — record-bearing or not. `existing` is
-    /// the startup scan's `(segment index, last seq in segment)` summary
-    /// (so retention can reason about them) and `next_seq` the first
-    /// sequence number this writer will assign.
+    /// the startup scan's per-segment summary (so retention can reason
+    /// about them) and `next_seq` each tenant's first sequence number.
     pub(crate) fn open(
         cfg: &ServeConfig,
         obs: &Observability,
-        fault: Option<FaultArm>,
-        existing: Vec<(u64, u64)>,
-        next_seq: u64,
+        existing: Vec<SegmentSummary>,
+        next_seq: HashMap<String, u64>,
     ) -> Result<WalWriter, ServeError> {
         fs::create_dir_all(&cfg.wal_dir)?;
         // The new head index comes from the *directory*, not the record
@@ -227,15 +294,22 @@ impl WalWriter {
         let segments = segments_in(&cfg.wal_dir)?;
         let current_index = segments.last().map_or(0, |(index, _)| index + 1);
         // Every on-disk segment is closed from this writer's perspective.
-        // Record-less ones inherit the preceding segment's last seq so
-        // retention can still reclaim them once a snapshot covers it.
+        // The cumulative maxima build up in directory order; record-less
+        // segments inherit the running map so retention can still reclaim
+        // them once a snapshot covers their predecessors.
         let mut closed = Vec::with_capacity(segments.len());
-        let mut last_seq = 0u64;
+        let mut cumulative: HashMap<String, u64> = HashMap::new();
         for (index, _) in &segments {
-            if let Some(&(_, seq)) = existing.iter().find(|(i, _)| i == index) {
-                last_seq = seq;
+            if let Some(summary) = existing.iter().find(|s| s.index == *index) {
+                for (tenant, max) in &summary.maxima {
+                    let slot = cumulative.entry(tenant.clone()).or_insert(0);
+                    *slot = (*slot).max(*max);
+                }
             }
-            closed.push((*index, last_seq));
+            closed.push(ClosedSegment {
+                index: *index,
+                maxima: cumulative.clone(),
+            });
         }
         let metrics = WalMetrics::registered(obs);
         let file = OpenOptions::new()
@@ -253,103 +327,108 @@ impl WalWriter {
             current_len: 0,
             appends_since_sync: 0,
             next_seq,
+            written_max: cumulative,
             closed,
-            snapshot_floor: 0,
-            fault,
+            floors: HashMap::new(),
             metrics,
             scratch: Vec::with_capacity(256),
         })
     }
 
-    /// The sequence number the next append will be assigned.
-    pub fn next_seq(&self) -> u64 {
-        self.next_seq
+    /// The sequence number this writer's `append` would assign next for
+    /// `tenant`.
+    pub fn next_seq_for(&self, tenant: &str) -> u64 {
+        self.next_seq.get(tenant).copied().unwrap_or(1)
     }
 
     /// Appends one record and returns its sequence number — the ack. The
     /// record is on the log (and fsynced per policy) before this returns,
-    /// which is what makes the ack honest. An armed `wal-append` fault
-    /// rejects the append instead; nothing is written and nothing acked.
-    pub fn append(
-        &mut self,
-        tenant: &str,
-        event: &WalEvent,
-        at: SimTime,
-    ) -> Result<u64, ServeError> {
-        if let Some(arm) = self.fault.clone() {
-            match arm.check(TraceId::NONE, at) {
-                Some(FaultAction::Error) => {
-                    self.metrics.rejected.inc();
-                    return Err(ServeError::WalRejected);
-                }
-                Some(FaultAction::Panic) => arm.panic_now(),
-                Some(FaultAction::Latency(ms)) => crate::faultinject::sleep_ms(ms),
-                None => {}
+    /// which is what makes the ack honest. Steady-state appends allocate
+    /// nothing: the frame is encoded into a reusable scratch buffer and
+    /// the per-tenant counters hit existing map entries.
+    pub fn append(&mut self, tenant: &str, event: &WalEvent) -> Result<u64, ServeError> {
+        let seq = self.next_seq_for(tenant);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let outcome = encode_frame(&mut scratch, seq, tenant, event)
+            .and_then(|_| self.write_frame(&scratch, tenant, seq));
+        self.scratch = scratch;
+        outcome?;
+        match self.next_seq.get_mut(tenant) {
+            Some(next) => *next = seq + 1,
+            None => {
+                self.next_seq.insert(tenant.to_string(), seq + 1);
             }
         }
-        self.append_frame(tenant, event)
+        self.apply_fsync_policy(1)?;
+        Ok(seq)
     }
 
-    /// Appends one record *without* consulting the `wal-append` fault arm
-    /// — for control records (report boundaries) that are service flow,
-    /// not tenant data: they must neither consume a slot in nor be vetoed
-    /// by the injected decision stream, or replay fast-forwarding would
-    /// drift.
-    pub(crate) fn append_unchecked(
+    /// Writes one pre-encoded frame (one record for `tenant` at `seq`),
+    /// rotating the segment if it fills. No fsync — the caller batches
+    /// frames and settles durability once via [`Self::apply_fsync_policy`].
+    pub(crate) fn write_frame(
         &mut self,
+        frame: &[u8],
         tenant: &str,
-        event: &WalEvent,
-    ) -> Result<u64, ServeError> {
-        self.append_frame(tenant, event)
-    }
-
-    fn append_frame(&mut self, tenant: &str, event: &WalEvent) -> Result<u64, ServeError> {
-        let record = WalRecord {
-            seq: self.next_seq,
-            tenant: tenant.to_string(),
-            event: event.clone(),
-        };
-        let payload =
-            serde_json::to_vec(&record).map_err(|e| ServeError::Corrupt(e.to_string()))?;
-        self.scratch.clear();
-        self.scratch
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.scratch
-            .extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.scratch.extend_from_slice(&payload);
-        self.file.write_all(&self.scratch)?;
-        self.current_len += self.scratch.len() as u64;
+        seq: u64,
+    ) -> Result<(), ServeError> {
+        self.file.write_all(frame)?;
+        self.current_len += frame.len() as u64;
         self.metrics.appends.inc();
-        self.metrics.bytes.add(self.scratch.len() as u64);
-        self.appends_since_sync += 1;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        match self.fsync {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) => {
-                if self.appends_since_sync >= n.max(1) {
-                    self.sync()?;
-                }
+        self.metrics.bytes.add(frame.len() as u64);
+        match self.written_max.get_mut(tenant) {
+            Some(max) => *max = (*max).max(seq),
+            None => {
+                self.written_max.insert(tenant.to_string(), seq);
             }
-            FsyncPolicy::Never => {}
         }
         if self.current_len >= self.segment_max_bytes {
             self.rotate()?;
         }
-        Ok(seq)
+        Ok(())
     }
 
-    /// Raises the snapshot floor (a durable snapshot now covers every
-    /// record up to and including `seq`) and applies retention: closed
-    /// segments beyond the retention count whose records are all covered
-    /// are deleted.
-    pub fn retain_after_snapshot(&mut self, seq: u64) -> Result<(), ServeError> {
-        self.snapshot_floor = self.snapshot_floor.max(seq);
+    /// Settles the fsync policy after `appended` frames landed: `Always`
+    /// syncs once for the whole batch — the group-commit amortization —
+    /// and `EveryN` counts frames, not batches.
+    pub(crate) fn apply_fsync_policy(&mut self, appended: u64) -> Result<(), ServeError> {
+        match self.fsync {
+            FsyncPolicy::Always => self.sync(),
+            FsyncPolicy::EveryN(n) => {
+                self.appends_since_sync += appended;
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Raises per-tenant snapshot floors (a durable snapshot now covers
+    /// every record of each listed tenant up to the given seq) and applies
+    /// retention: closed segments beyond the retention count whose records
+    /// are all covered are deleted, oldest first.
+    pub fn retain_after_snapshot(&mut self, floors: &[(&str, u64)]) -> Result<(), ServeError> {
+        for (tenant, seq) in floors {
+            match self.floors.get_mut(*tenant) {
+                Some(floor) => *floor = (*floor).max(*seq),
+                None => {
+                    self.floors.insert((*tenant).to_string(), *seq);
+                }
+            }
+        }
         while self.closed.len() > self.retain_segments {
-            let (index, last_seq) = self.closed[0];
-            if last_seq > self.snapshot_floor {
+            let covered = self.closed[0]
+                .maxima
+                .iter()
+                .all(|(tenant, max)| self.floors.get(tenant).is_some_and(|floor| max <= floor));
+            if !covered {
                 break;
             }
+            let index = self.closed[0].index;
             fs::remove_file(segment_path(&self.dir, index))?;
             self.closed.remove(0);
         }
@@ -366,7 +445,10 @@ impl WalWriter {
 
     fn rotate(&mut self) -> Result<(), ServeError> {
         self.sync()?;
-        self.closed.push((self.current_index, self.next_seq - 1));
+        self.closed.push(ClosedSegment {
+            index: self.current_index,
+            maxima: self.written_max.clone(),
+        });
         self.current_index += 1;
         self.file = OpenOptions::new()
             .create_new(true)
@@ -378,15 +460,23 @@ impl WalWriter {
     }
 }
 
+/// Startup-scan summary of one on-disk segment: the highest seq each
+/// tenant reached within it (non-cumulative — [`WalWriter::open`] folds
+/// the running maxima).
+pub(crate) struct SegmentSummary {
+    pub(crate) index: u64,
+    pub(crate) maxima: Vec<(String, u64)>,
+}
+
 /// The read side: scans a WAL directory back into records.
 #[derive(Debug)]
 pub struct WalReader;
 
 impl WalReader {
-    /// Every intact record in `dir`, in append (= seq) order. A torn or
-    /// corrupt frame ends its segment's scan — everything before it is
-    /// returned, everything after it in that segment is unreachable (the
-    /// frame lengths are gone), and later segments still scan.
+    /// Every intact record in `dir`, in append order. A torn or corrupt
+    /// frame ends its segment's scan — everything before it is returned,
+    /// everything after it in that segment is unreachable (the frame
+    /// lengths are gone), and later segments still scan.
     pub fn scan(dir: &Path) -> Result<Vec<WalRecord>, ServeError> {
         let mut records = Vec::new();
         for (_, path) in segments_in(dir)? {
@@ -411,16 +501,21 @@ impl WalReader {
         Ok(records)
     }
 
-    /// The startup summary [`WalWriter::open`] wants: every segment's
-    /// `(index, last seq)`, plus the overall next sequence number.
-    pub(crate) fn summarize(dir: &Path) -> Result<(Vec<(u64, u64)>, u64), ServeError> {
+    /// The startup summary [`WalWriter::open`] wants: every record-bearing
+    /// segment's per-tenant maxima, plus each tenant's overall next
+    /// sequence number. This is also the migration shim for segments
+    /// written under the old global numbering — each tenant resumes past
+    /// its highest recorded seq, whatever scheme assigned it.
+    pub(crate) fn summarize(
+        dir: &Path,
+    ) -> Result<(Vec<SegmentSummary>, HashMap<String, u64>), ServeError> {
         let mut summary = Vec::new();
-        let mut next_seq = 1u64;
+        let mut next: HashMap<String, u64> = HashMap::new();
         for (index, path) in segments_in(dir)? {
             let mut bytes = Vec::new();
             File::open(&path)?.read_to_end(&mut bytes)?;
             let mut off = 0usize;
-            let mut last = None;
+            let mut maxima: Vec<(String, u64)> = Vec::new();
             while off + 8 <= bytes.len() {
                 let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
                 let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
@@ -432,15 +527,19 @@ impl WalReader {
                 }
                 let record: WalRecord = serde_json::from_slice(payload)
                     .map_err(|e| ServeError::Corrupt(format!("{}: {e}", path.display())))?;
-                next_seq = next_seq.max(record.seq + 1);
-                last = Some(record.seq);
+                match maxima.iter_mut().find(|(t, _)| *t == record.tenant) {
+                    Some((_, max)) => *max = (*max).max(record.seq),
+                    None => maxima.push((record.tenant.clone(), record.seq)),
+                }
+                let slot = next.entry(record.tenant).or_insert(1);
+                *slot = (*slot).max(record.seq + 1);
                 off += 8 + len;
             }
-            if let Some(last) = last {
-                summary.push((index, last));
+            if !maxima.is_empty() {
+                summary.push(SegmentSummary { index, maxima });
             }
         }
-        Ok((summary, next_seq))
+        Ok((summary, next))
     }
 }
 
@@ -479,14 +578,31 @@ mod tests {
     }
 
     #[test]
+    fn encode_frame_matches_owned_record_serialization() {
+        let event = alert(7);
+        let mut buf = Vec::new();
+        let framed = encode_frame(&mut buf, 3, "t", &event).unwrap();
+        assert_eq!(framed as usize, buf.len());
+        let owned = serde_json::to_vec(&WalRecord {
+            seq: 3,
+            tenant: "t".to_string(),
+            event: event.clone(),
+        })
+        .unwrap();
+        assert_eq!(&buf[8..], &owned[..], "ref and owned encodings diverge");
+        assert_eq!(
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            crc32(&owned)
+        );
+    }
+
+    #[test]
     fn appends_rotate_and_scan_back_in_order() {
         let dir = tmp_dir("roundtrip");
         let obs = Observability::default();
-        let mut writer = WalWriter::open(&cfg(&dir), &obs, None, Vec::new(), 1).unwrap();
+        let mut writer = WalWriter::open(&cfg(&dir), &obs, Vec::new(), HashMap::new()).unwrap();
         for i in 0..10u64 {
-            let seq = writer
-                .append("tenant-a", &alert(i), SimTime::from_secs(i))
-                .unwrap();
+            let seq = writer.append("tenant-a", &alert(i)).unwrap();
             assert_eq!(seq, i + 1);
         }
         // 400-byte segments force several rotations.
@@ -498,9 +614,61 @@ mod tests {
             assert_eq!(r.tenant, "tenant-a");
             assert_eq!(r.event, alert(i as u64));
         }
-        let (summary, next_seq) = WalReader::summarize(&dir).unwrap();
-        assert_eq!(next_seq, 11);
+        let (summary, next) = WalReader::summarize(&dir).unwrap();
+        assert_eq!(next.get("tenant-a").copied(), Some(11));
         assert!(!summary.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequences_are_per_tenant() {
+        let dir = tmp_dir("per-tenant");
+        let obs = Observability::default();
+        let mut writer = WalWriter::create(&cfg(&dir), &obs).unwrap();
+        assert_eq!(writer.append("a", &alert(0)).unwrap(), 1);
+        assert_eq!(writer.append("b", &alert(1)).unwrap(), 1);
+        assert_eq!(writer.append("a", &alert(2)).unwrap(), 2);
+        assert_eq!(writer.append("b", &alert(3)).unwrap(), 2);
+        assert_eq!(writer.next_seq_for("a"), 3);
+        assert_eq!(writer.next_seq_for("unseen"), 1);
+        drop(writer);
+        // Records interleave on disk in append order, each tenant's seqs
+        // dense on their own axis.
+        let seqs: Vec<(String, u64)> = WalReader::scan(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.tenant, r.seq))
+            .collect();
+        assert_eq!(
+            seqs,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 1),
+                ("a".into(), 2),
+                ("b".into(), 2)
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_global_seq_segments_migrate() {
+        let dir = tmp_dir("migrate");
+        let obs = Observability::default();
+        // Hand-craft a segment in the pre-per-tenant format: one global
+        // monotonic numbering shared across tenants.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, 1, "a", &alert(0)).unwrap();
+        encode_frame(&mut buf, 2, "b", &alert(1)).unwrap();
+        encode_frame(&mut buf, 3, "a", &alert(2)).unwrap();
+        fs::write(segment_path(&dir, 0), &buf).unwrap();
+        let (_, next) = WalReader::summarize(&dir).unwrap();
+        assert_eq!(next.get("a").copied(), Some(4));
+        assert_eq!(next.get("b").copied(), Some(3));
+        // A new writer resumes each tenant past its old high-water mark.
+        let mut writer = WalWriter::create(&cfg(&dir), &obs).unwrap();
+        assert_eq!(writer.append("a", &alert(3)).unwrap(), 4);
+        assert_eq!(writer.append("b", &alert(4)).unwrap(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -511,15 +679,12 @@ mod tests {
         let mut writer = WalWriter::open(
             &ServeConfig::new(&dir).with_fsync(FsyncPolicy::Never),
             &obs,
-            None,
             Vec::new(),
-            1,
+            HashMap::new(),
         )
         .unwrap();
         for i in 0..3u64 {
-            writer
-                .append("t", &alert(i), SimTime::from_secs(i))
-                .unwrap();
+            writer.append("t", &alert(i)).unwrap();
         }
         drop(writer);
         // Simulate a crash mid-write: chop bytes off the segment tail.
@@ -546,9 +711,7 @@ mod tests {
         assert_eq!(segments_in(&dir).unwrap().len(), 2);
         // A run that finally appends still numbers from seq 1 and scans.
         let mut writer = WalWriter::create(&cfg(&dir), &obs).unwrap();
-        let seq = writer
-            .append("t", &alert(0), SimTime::from_secs(0))
-            .unwrap();
+        let seq = writer.append("t", &alert(0)).unwrap();
         assert_eq!(seq, 1);
         drop(writer);
         // And a crash right after rotation (head exists, no records in it)
@@ -556,7 +719,7 @@ mod tests {
         let next = segments_in(&dir).unwrap().last().unwrap().0 + 1;
         File::create(segment_path(&dir, next)).unwrap();
         let writer = WalWriter::create(&cfg(&dir), &obs).expect("reopen past bare rotation");
-        assert_eq!(writer.next_seq(), 2);
+        assert_eq!(writer.next_seq_for("t"), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -567,9 +730,7 @@ mod tests {
         {
             let mut writer = WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap();
             for i in 0..10u64 {
-                writer
-                    .append("t", &alert(i), SimTime::from_secs(i))
-                    .unwrap();
+                writer.append("t", &alert(i)).unwrap();
             }
         }
         // An idle restart leaves a record-less head behind the new one.
@@ -577,8 +738,8 @@ mod tests {
         let mut writer = WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap();
         let before = segments_in(&dir).unwrap().len();
         // A snapshot covering everything reclaims the record-less segments
-        // too — they inherit the preceding segment's last seq.
-        writer.retain_after_snapshot(10).unwrap();
+        // too — they inherit the preceding segment's cumulative maxima.
+        writer.retain_after_snapshot(&[("t", 10)]).unwrap();
         let after = segments_in(&dir).unwrap().len();
         assert!(after < before, "{after} < {before}");
         assert_eq!(after, 1, "only the open head survives");
@@ -592,29 +753,47 @@ mod tests {
         let mut writer = WalWriter::open(
             &cfg(&dir).with_retain_segments(1),
             &obs,
-            None,
             Vec::new(),
-            1,
+            HashMap::new(),
         )
         .unwrap();
         for i in 0..30u64 {
-            writer
-                .append("t", &alert(i), SimTime::from_secs(i))
-                .unwrap();
+            writer.append("t", &alert(i)).unwrap();
         }
         let before = segments_in(&dir).unwrap().len();
         assert!(before > 2);
         // No snapshot floor yet: nothing may be deleted.
-        writer.retain_after_snapshot(0).unwrap();
+        writer.retain_after_snapshot(&[("t", 0)]).unwrap();
         assert_eq!(segments_in(&dir).unwrap().len(), before);
         // A snapshot covering everything: only the retention count and the
         // open segment survive, and the survivors still scan cleanly.
-        writer.retain_after_snapshot(30).unwrap();
+        writer.retain_after_snapshot(&[("t", 30)]).unwrap();
         let after = segments_in(&dir).unwrap().len();
         assert!(after < before);
         let records = WalReader::scan(&dir).unwrap();
         assert!(records.iter().all(|r| r.seq >= 1));
         assert_eq!(records.last().unwrap().seq, 30);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_respects_each_tenants_floor() {
+        let dir = tmp_dir("multi-floor");
+        let obs = Observability::default();
+        let mut writer = WalWriter::create(&cfg(&dir).with_retain_segments(0), &obs).unwrap();
+        for i in 0..12u64 {
+            writer.append("a", &alert(i)).unwrap();
+            writer.append("b", &alert(i)).unwrap();
+        }
+        let before = segments_in(&dir).unwrap().len();
+        assert!(before > 2);
+        // Covering only tenant `a` deletes nothing: every segment also
+        // holds uncovered `b` records.
+        writer.retain_after_snapshot(&[("a", 12)]).unwrap();
+        assert_eq!(segments_in(&dir).unwrap().len(), before);
+        // Covering `b` as well releases everything but the open head.
+        writer.retain_after_snapshot(&[("b", 12)]).unwrap();
+        assert_eq!(segments_in(&dir).unwrap().len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -13,6 +13,10 @@
 //!              # always-on multi-tenant ingest: TCP/JSON front door + WAL
 //! skynet replay --topology topo.json --wal-dir DIR [--from-seq N] [--to-seq N]
 //!              # re-ingest a WAL range byte-identically, print the reports
+//! skynet flood [--events N] [--submitters K] [--batch B] [--tenants T]
+//!              [--fsync always|never|N] [--assert-speedup R]
+//!              # load-generate against a local service; compare group-commit
+//!              # acked-events/sec to a per-event-fsync baseline
 //! ```
 //!
 //! `--chaos-seed` degrades the *input feed* (tool dropout, duplicate
@@ -21,18 +25,19 @@
 //! post-incident degradation report. Both are deterministic: the same seed
 //! replays the same run byte-for-byte.
 
+use skynet::core::serve::{FsyncPolicy, WalEvent, WalWriter};
 use skynet::core::{
-    replay_wal, FaultAction, FaultConfig, FaultRule, InjectionSite, PipelineConfig, ServeConfig,
-    SkyNet,
+    replay_wal, FaultAction, FaultConfig, FaultRule, InjectionSite, ObsConfig, Observability,
+    PipelineConfig, ServeConfig, SkyNet,
 };
-use skynet::model::{PingLog, RawAlert, SimDuration, SimTime};
+use skynet::model::{AlertKind, DataSource, PingLog, RawAlert, SimDuration, SimTime};
 use skynet::topology::{generate, GeneratorConfig, Topology};
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N] [--chaos-seed N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo [--chaos-seed N] [--fault-seed N]\n  skynet serve --topology <topo.json> --wal-dir <dir> --bind <addr:port> [--queue-capacity N]\n  skynet replay --topology <topo.json> --wal-dir <dir> [--from-seq N] [--to-seq N] [--horizon-mins N]"
+        "usage:\n  skynet analyze --topology <topo.json> --alerts <flood.jsonl> [--horizon-mins N] [--chaos-seed N]\n  skynet gen-topology [--scale small|medium|large]\n  skynet demo [--chaos-seed N] [--fault-seed N]\n  skynet serve --topology <topo.json> --wal-dir <dir> --bind <addr:port> [--queue-capacity N]\n  skynet replay --topology <topo.json> --wal-dir <dir> [--from-seq N] [--to-seq N] [--horizon-mins N]\n  skynet flood [--events N] [--submitters K] [--batch B] [--tenants T] [--fsync always|never|N] [--assert-speedup R]"
     );
     std::process::exit(2);
 }
@@ -45,6 +50,7 @@ fn main() {
         Some("demo") => demo(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("replay") => replay(&args[1..]),
+        Some("flood") => flood(&args[1..]),
         _ => usage(),
     }
 }
@@ -223,6 +229,196 @@ fn replay(args: &[String]) {
     for (tenant, report) in reports {
         println!("=== tenant {tenant} ===");
         println!("{}", report.render());
+    }
+}
+
+/// Parses `--fsync always|never|N` (N = fsync every N appends).
+fn fsync_flag(args: &[String]) -> FsyncPolicy {
+    match flag(args, "--fsync") {
+        None | Some("always") => FsyncPolicy::Always,
+        Some("never") => FsyncPolicy::Never,
+        Some(n) => FsyncPolicy::EveryN(n.parse().expect("--fsync takes always|never|N")),
+    }
+}
+
+/// A fresh scratch WAL directory for one flood lane.
+fn flood_dir(lane: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("skynet-flood-{}-{lane}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small pool of realistic alerts to cycle through: a mix of kinds and
+/// sources spread over every device in a generated topology.
+fn flood_pool(topo: &Topology) -> Vec<RawAlert> {
+    let kinds = [
+        AlertKind::PacketLossIcmp,
+        AlertKind::PacketLossTcp,
+        AlertKind::LinkDown,
+        AlertKind::LatencyJitter,
+        AlertKind::DeviceInaccessible,
+        AlertKind::TrafficCongestion,
+        AlertKind::HighCpu,
+        AlertKind::BgpPeerDown,
+    ];
+    let devices = topo.devices();
+    (0..256u64)
+        .map(|i| {
+            let device = &devices[(i as usize * 7) % devices.len()];
+            RawAlert::known(
+                DataSource::ALL[i as usize % DataSource::ALL.len()],
+                SimTime::from_secs(i),
+                device.location.clone(),
+                kinds[i as usize % kinds.len()],
+            )
+            .with_magnitude(0.1 + 0.8 * (i % 9) as f64 / 9.0)
+        })
+        .collect()
+}
+
+/// The pre-group-commit durability discipline: one writer behind a mutex,
+/// every submitter appending (and fsyncing, under `always`) its own event
+/// before moving on. Returns acked events per second.
+fn flood_per_append(
+    pool: &[RawAlert],
+    events: usize,
+    submitters: usize,
+    fsync: FsyncPolicy,
+) -> f64 {
+    let dir = flood_dir("per-append");
+    let cfg = ServeConfig::new(&dir)
+        .with_segment_max_bytes(64 << 20)
+        .with_fsync(fsync);
+    let obs = Observability::new(&ObsConfig::default());
+    let wal = std::sync::Mutex::new(WalWriter::create(&cfg, &obs).expect("writer opens"));
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..submitters {
+            let wal = &wal;
+            scope.spawn(move || {
+                for i in (worker..events).step_by(submitters) {
+                    let event = WalEvent::Alert(pool[i % pool.len()].clone());
+                    wal.lock()
+                        .unwrap()
+                        .append("flood", &event)
+                        .expect("baseline append");
+                }
+            });
+        }
+    });
+    let rate = events as f64 / started.elapsed().as_secs_f64();
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
+/// The group-commit path: a full service, `submitters` concurrent feeders
+/// acking through the committer (batched `--batch` events at a time over
+/// `--tenants` tenants). Returns acked events per second.
+fn flood_group(
+    topo: &Arc<Topology>,
+    pool: &[RawAlert],
+    events: usize,
+    submitters: usize,
+    batch: usize,
+    tenants: usize,
+    fsync: FsyncPolicy,
+) -> f64 {
+    let dir = flood_dir("group");
+    let service = SkyNet::builder(topo)
+        .config(PipelineConfig::production())
+        .serve(
+            ServeConfig::new(&dir)
+                .with_segment_max_bytes(64 << 20)
+                .with_fsync(fsync)
+                .with_tenant_queue_capacity(1 << 20),
+        )
+        .expect("service starts");
+    let names: Vec<String> = (0..tenants).map(|t| format!("flood-{t}")).collect();
+    for name in &names {
+        service.hello(name).expect("tenant admits");
+    }
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..submitters {
+            let service = &service;
+            let tenant = names[worker % names.len()].as_str();
+            scope.spawn(move || {
+                let mine: Vec<usize> = (worker..events).step_by(submitters).collect();
+                for chunk in mine.chunks(batch) {
+                    if batch == 1 {
+                        let event = WalEvent::Alert(pool[chunk[0] % pool.len()].clone());
+                        service.submit(tenant, event).expect("flood ack");
+                    } else {
+                        let alerts: Vec<RawAlert> = chunk
+                            .iter()
+                            .map(|&i| pool[i % pool.len()].clone())
+                            .collect();
+                        let sent = alerts.len();
+                        let ack = service.submit_alerts(tenant, alerts).expect("flood acks");
+                        assert_eq!(ack.accepted, sent, "no faults armed, nothing rejected");
+                    }
+                }
+            });
+        }
+    });
+    let rate = events as f64 / started.elapsed().as_secs_f64();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
+/// Load-generates against an in-process service and prints a one-line JSON
+/// comparison of group-commit acked-events/sec against the per-event-fsync
+/// baseline. `--assert-speedup R` exits nonzero below R× — the CI smoke
+/// that group commit actually amortizes the fsync.
+fn flood(args: &[String]) {
+    let events: usize = flag(args, "--events")
+        .map(|v| v.parse().expect("--events takes a number"))
+        .unwrap_or(4000)
+        .max(1);
+    let submitters: usize = flag(args, "--submitters")
+        .map(|v| v.parse().expect("--submitters takes a number"))
+        .unwrap_or(8)
+        .max(1);
+    let batch: usize = flag(args, "--batch")
+        .map(|v| v.parse().expect("--batch takes a number"))
+        .unwrap_or(1)
+        .max(1);
+    let tenants: usize = flag(args, "--tenants")
+        .map(|v| v.parse().expect("--tenants takes a number"))
+        .unwrap_or(1)
+        .max(1);
+    let fsync = fsync_flag(args);
+    let assert_speedup: Option<f64> =
+        flag(args, "--assert-speedup").map(|v| v.parse().expect("--assert-speedup takes a ratio"));
+
+    let topo = Arc::new(generate(&GeneratorConfig::small()));
+    let pool = flood_pool(&topo);
+    eprintln!(
+        "flood: {events} events, {submitters} submitters, batch {batch}, {tenants} tenant(s), fsync {fsync:?}"
+    );
+    let per_append = flood_per_append(&pool, events, submitters, fsync);
+    let group = flood_group(&topo, &pool, events, submitters, batch, tenants, fsync);
+    let speedup = group / per_append;
+    println!(
+        "{}",
+        serde_json::json!({
+            "events": events,
+            "submitters": submitters,
+            "batch": batch,
+            "tenants": tenants,
+            "fsync": format!("{fsync:?}"),
+            "per_append_events_per_sec": per_append,
+            "group_commit_events_per_sec": group,
+            "speedup": speedup,
+        })
+    );
+    if let Some(min) = assert_speedup {
+        if speedup < min {
+            eprintln!("flood: speedup {speedup:.2}x is below the required {min:.2}x");
+            std::process::exit(1);
+        }
     }
 }
 
